@@ -1,0 +1,253 @@
+//! Exact DBSCAN (Ester et al. 1996), generic over the range-query engine.
+//!
+//! This is the paper's ground-truth algorithm: *R-DBSCAN* when run over an
+//! R\*-tree ([`Dbscan::fit`]) and *kd-DBSCAN* when run over a kd-tree
+//! ([`Dbscan::fit_with_index`] + [`dbsvec_index::KdTree`]). Handing it an
+//! [`dbsvec_lsh::LshIndex`] instead yields the DBSCAN-LSH baseline — the
+//! clustering logic is identical; only the neighborhood oracle changes.
+//!
+//! Every point receives **exactly one range query** (the paper's Algorithm 1
+//! queries each sub-cluster member once), which is the Θ(n)-queries cost
+//! DBSVEC's support vector expansion attacks.
+
+use dbsvec_core::labels::{Clustering, WorkingLabels};
+use dbsvec_geometry::{PointId, PointSet};
+use dbsvec_index::{RStarTree, RangeIndex};
+
+/// Counters for a DBSCAN run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DbscanStats {
+    /// Range queries issued (one per point).
+    pub range_queries: u64,
+    /// Points that passed the core test.
+    pub core_points: u64,
+}
+
+/// Result of a DBSCAN run.
+#[derive(Clone, Debug)]
+pub struct DbscanResult {
+    /// Final labels.
+    pub clustering: Clustering,
+    /// Cost counters.
+    pub stats: DbscanStats,
+}
+
+/// Exact DBSCAN.
+///
+/// ```
+/// use dbsvec_baselines::Dbscan;
+/// use dbsvec_geometry::PointSet;
+///
+/// let ps = PointSet::from_rows(&[vec![0.0], vec![0.1], vec![0.2], vec![5.0]]);
+/// let result = Dbscan::new(0.15, 2).fit(&ps);
+/// assert_eq!(result.clustering.num_clusters(), 1);
+/// assert!(result.clustering.is_noise(3));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Dbscan {
+    eps: f64,
+    min_pts: usize,
+}
+
+impl Dbscan {
+    /// Creates the algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eps` is positive and finite and `min_pts >= 1`.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "eps must be positive and finite, got {eps}"
+        );
+        assert!(min_pts >= 1, "MinPts must be at least 1");
+        Self { eps, min_pts }
+    }
+
+    /// The radius ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The density threshold MinPts.
+    pub fn min_pts(&self) -> usize {
+        self.min_pts
+    }
+
+    /// Runs over a bulk-loaded R\*-tree (the paper's *R-DBSCAN*).
+    pub fn fit(&self, points: &PointSet) -> DbscanResult {
+        let index = RStarTree::build(points);
+        self.fit_with_index(points, &index)
+    }
+
+    /// Runs over a caller-provided engine (kd-tree, grid, LSH, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index size disagrees with the point set.
+    pub fn fit_with_index<I: RangeIndex>(&self, points: &PointSet, index: &I) -> DbscanResult {
+        assert_eq!(
+            index.len(),
+            points.len(),
+            "index covers {} points but the set has {}",
+            index.len(),
+            points.len()
+        );
+        let n = points.len();
+        let mut labels = WorkingLabels::new(n);
+        let mut stats = DbscanStats::default();
+        let mut queried = vec![false; n];
+        let mut next_cluster = 0u32;
+        let mut queue: Vec<PointId> = Vec::new();
+        let mut neighborhood: Vec<PointId> = Vec::new();
+
+        for i in 0..n as u32 {
+            if !labels.is_unclassified(i) {
+                continue;
+            }
+            neighborhood.clear();
+            index.range(points.point(i), self.eps, &mut neighborhood);
+            stats.range_queries += 1;
+            queried[i as usize] = true;
+            if neighborhood.len() < self.min_pts {
+                labels.set_noise(i);
+                continue;
+            }
+
+            // i is a core point: open a new cluster and flood-fill it.
+            stats.core_points += 1;
+            let cid = next_cluster;
+            next_cluster += 1;
+            labels.set_cluster(i, cid);
+            queue.clear();
+            for &j in &neighborhood {
+                if labels.is_unclassified(j) || labels.is_noise(j) {
+                    labels.set_cluster(j, cid);
+                    queue.push(j);
+                }
+            }
+
+            while let Some(p) = queue.pop() {
+                if queried[p as usize] {
+                    continue;
+                }
+                neighborhood.clear();
+                index.range(points.point(p), self.eps, &mut neighborhood);
+                stats.range_queries += 1;
+                queried[p as usize] = true;
+                if neighborhood.len() < self.min_pts {
+                    continue; // border point: labeled but not expanded
+                }
+                stats.core_points += 1;
+                for &j in &neighborhood {
+                    if labels.is_unclassified(j) || labels.is_noise(j) {
+                        labels.set_cluster(j, cid);
+                        queue.push(j);
+                    }
+                }
+            }
+        }
+
+        DbscanResult {
+            clustering: labels.finalize(|raw| raw),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsvec_geometry::rng::SplitMix64;
+    use dbsvec_index::{KdTree, LinearScan};
+
+    fn blobs(centers: &[[f64; 2]], per: usize, spread: f64, seed: u64) -> PointSet {
+        let mut rng = SplitMix64::new(seed);
+        let mut ps = PointSet::new(2);
+        for c in centers {
+            for _ in 0..per {
+                let x: f64 = (0..12).map(|_| rng.next_f64()).sum::<f64>() - 6.0;
+                let y: f64 = (0..12).map(|_| rng.next_f64()).sum::<f64>() - 6.0;
+                ps.push(&[c[0] + spread * x, c[1] + spread * y]);
+            }
+        }
+        ps
+    }
+
+    #[test]
+    fn finds_separated_blobs() {
+        let ps = blobs(&[[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]], 60, 1.0, 1);
+        let result = Dbscan::new(3.0, 6).fit(&ps);
+        assert_eq!(result.clustering.num_clusters(), 3);
+        assert_eq!(result.stats.range_queries, ps.len() as u64);
+    }
+
+    #[test]
+    fn index_choice_does_not_change_the_result() {
+        let ps = blobs(&[[0.0, 0.0], [25.0, 10.0]], 80, 1.3, 2);
+        let algo = Dbscan::new(2.5, 5);
+        let via_rtree = algo.fit(&ps);
+        let via_kd = algo.fit_with_index(&ps, &KdTree::build(&ps));
+        let via_linear = algo.fit_with_index(&ps, &LinearScan::build(&ps));
+        assert_eq!(via_rtree.clustering, via_kd.clustering);
+        assert_eq!(via_rtree.clustering, via_linear.clustering);
+    }
+
+    #[test]
+    fn chain_cluster_is_fully_connected() {
+        // A chain of points each within eps of the next must be one cluster.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 * 0.5, 0.0]).collect();
+        let ps = PointSet::from_rows(&rows);
+        let result = Dbscan::new(0.6, 2).fit(&ps);
+        assert_eq!(result.clustering.num_clusters(), 1);
+        assert_eq!(result.clustering.noise_count(), 0);
+    }
+
+    #[test]
+    fn border_point_shared_by_two_clusters_goes_to_one() {
+        // Two dense clumps, one point between them in range of both.
+        let mut ps = PointSet::new(1);
+        for i in 0..5 {
+            ps.push(&[i as f64 * 0.1]); // clump A around 0.2
+        }
+        for i in 0..5 {
+            ps.push(&[2.0 + i as f64 * 0.1]); // clump B around 2.2
+        }
+        // 1.2 is 0.8 from A's edge (0.4) and 0.8 from B's edge (2.0), but
+        // sees only 3 neighbors at eps = 0.85 — a border point, not core.
+        ps.push(&[1.2]);
+        let result = Dbscan::new(0.85, 4).fit(&ps);
+        // The middle point is a border of exactly one cluster (first served).
+        assert_eq!(result.clustering.num_clusters(), 2);
+        assert!(!result.clustering.is_noise(10));
+    }
+
+    #[test]
+    fn min_pts_one_makes_every_point_core() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![10.0], vec![20.0]]);
+        let result = Dbscan::new(1.0, 1).fit(&ps);
+        assert_eq!(result.clustering.num_clusters(), 3);
+        assert_eq!(result.clustering.noise_count(), 0);
+    }
+
+    #[test]
+    fn all_noise_when_sparse() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![10.0], vec![20.0]]);
+        let result = Dbscan::new(1.0, 2).fit(&ps);
+        assert_eq!(result.clustering.num_clusters(), 0);
+        assert_eq!(result.clustering.noise_count(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ps = PointSet::new(2);
+        let result = Dbscan::new(1.0, 2).fit(&ps);
+        assert!(result.clustering.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn rejects_bad_eps() {
+        let _ = Dbscan::new(f64::NAN, 2);
+    }
+}

@@ -1,0 +1,274 @@
+//! FDBSCAN (Zhou et al., Journal of Software 2000).
+//!
+//! The earliest "query fewer points" DBSCAN variant the paper discusses
+//! (§II-C): instead of expanding from *every* neighbor of a core point,
+//! FDBSCAN selects a handful of **representative points near the border of
+//! the neighborhood, spread in different directions**, and only queries
+//! those. The paper's criticisms are visible by construction:
+//!
+//! * it "lacks accuracy analysis" — a cluster connected only through a
+//!   non-representative neighbor fragments, so the output is approximate
+//!   with no guarantee;
+//! * it "does not consider cluster expansion" — representatives are chosen
+//!   per-neighborhood with no model of the growing cluster's shape, so
+//!   interior representatives waste queries that DBSVEC's SVDD avoids.
+//!
+//! Representatives are picked by farthest-point sampling among the
+//! neighborhood members: the farthest neighbor first, then greedily the
+//! neighbor maximizing the minimum distance to those already chosen —
+//! "border points in different directions" without any direction
+//! bookkeeping.
+
+use dbsvec_core::labels::{Clustering, WorkingLabels};
+use dbsvec_geometry::{PointId, PointSet};
+use dbsvec_index::{RStarTree, RangeIndex};
+
+/// Counters for an FDBSCAN run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FDbscanStats {
+    /// Range queries issued.
+    pub range_queries: u64,
+    /// Representatives enqueued across all expansions.
+    pub representatives: u64,
+}
+
+/// Result of an FDBSCAN run.
+#[derive(Clone, Debug)]
+pub struct FDbscanResult {
+    /// Final labels.
+    pub clustering: Clustering,
+    /// Cost counters.
+    pub stats: FDbscanStats,
+}
+
+/// FDBSCAN.
+#[derive(Clone, Copy, Debug)]
+pub struct FDbscan {
+    eps: f64,
+    min_pts: usize,
+    representatives: usize,
+}
+
+impl FDbscan {
+    /// Default representatives per neighborhood (2·d is the usual rule of
+    /// thumb — one per half-axis — capped by this when d is large).
+    pub const DEFAULT_REPRESENTATIVES: usize = 8;
+
+    /// Creates the algorithm with the default representative count.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eps` is positive and finite and `min_pts >= 1`.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "eps must be positive and finite"
+        );
+        assert!(min_pts >= 1, "MinPts must be at least 1");
+        Self {
+            eps,
+            min_pts,
+            representatives: Self::DEFAULT_REPRESENTATIVES,
+        }
+    }
+
+    /// Overrides how many representatives are queried per neighborhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn with_representatives(mut self, count: usize) -> Self {
+        assert!(count >= 1, "at least one representative required");
+        self.representatives = count;
+        self
+    }
+
+    /// Clusters `points` over a bulk-loaded R\*-tree.
+    pub fn fit(&self, points: &PointSet) -> FDbscanResult {
+        let index = RStarTree::build(points);
+        self.fit_with_index(points, &index)
+    }
+
+    /// Clusters `points` over a caller-provided engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index size disagrees with the point set.
+    pub fn fit_with_index<I: RangeIndex>(&self, points: &PointSet, index: &I) -> FDbscanResult {
+        assert_eq!(index.len(), points.len(), "index must cover the point set");
+        let n = points.len();
+        let mut labels = WorkingLabels::new(n);
+        let mut stats = FDbscanStats::default();
+        let mut queried = vec![false; n];
+        let mut next_cluster = 0u32;
+        let mut queue: Vec<PointId> = Vec::new();
+        let mut neighborhood: Vec<PointId> = Vec::new();
+
+        for i in 0..n as u32 {
+            if !labels.is_unclassified(i) {
+                continue;
+            }
+            neighborhood.clear();
+            index.range(points.point(i), self.eps, &mut neighborhood);
+            stats.range_queries += 1;
+            queried[i as usize] = true;
+            if neighborhood.len() < self.min_pts {
+                labels.set_noise(i);
+                continue;
+            }
+
+            let cid = next_cluster;
+            next_cluster += 1;
+            labels.set_cluster(i, cid);
+            queue.clear();
+            self.absorb_and_enqueue(points, i, &neighborhood, cid, &mut labels, &mut queue);
+            stats.representatives += queue.len() as u64;
+
+            while let Some(p) = queue.pop() {
+                if queried[p as usize] {
+                    continue;
+                }
+                neighborhood.clear();
+                index.range(points.point(p), self.eps, &mut neighborhood);
+                stats.range_queries += 1;
+                queried[p as usize] = true;
+                if neighborhood.len() < self.min_pts {
+                    continue;
+                }
+                let before = queue.len();
+                self.absorb_and_enqueue(points, p, &neighborhood, cid, &mut labels, &mut queue);
+                stats.representatives += (queue.len() - before) as u64;
+            }
+        }
+
+        FDbscanResult {
+            clustering: labels.finalize(|raw| raw),
+            stats,
+        }
+    }
+
+    /// Labels every unclassified/noise neighbor into `cid`, then enqueues
+    /// only the representative subset.
+    fn absorb_and_enqueue(
+        &self,
+        points: &PointSet,
+        center: PointId,
+        neighborhood: &[PointId],
+        cid: u32,
+        labels: &mut WorkingLabels,
+        queue: &mut Vec<PointId>,
+    ) {
+        let mut fresh: Vec<PointId> = Vec::new();
+        for &j in neighborhood {
+            if labels.is_unclassified(j) || labels.is_noise(j) {
+                labels.set_cluster(j, cid);
+                fresh.push(j);
+            }
+        }
+        // Farthest-point sampling among the freshly absorbed neighbors.
+        let mut chosen: Vec<PointId> = Vec::new();
+        if let Some((first_idx, _)) = fresh
+            .iter()
+            .enumerate()
+            .map(|(k, &j)| (k, points.squared_distance(center, j)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN distance"))
+        {
+            chosen.push(fresh.swap_remove(first_idx));
+        }
+        while chosen.len() < self.representatives && !fresh.is_empty() {
+            let (best_idx, _) = fresh
+                .iter()
+                .enumerate()
+                .map(|(k, &j)| {
+                    let spread = chosen
+                        .iter()
+                        .map(|&c| points.squared_distance(c, j))
+                        .fold(f64::INFINITY, f64::min);
+                    (k, spread)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN distance"))
+                .expect("fresh is nonempty");
+            chosen.push(fresh.swap_remove(best_idx));
+        }
+        queue.extend_from_slice(&chosen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::Dbscan;
+    use dbsvec_geometry::rng::SplitMix64;
+
+    fn blobs(centers: &[[f64; 2]], per: usize, spread: f64, seed: u64) -> PointSet {
+        let mut rng = SplitMix64::new(seed);
+        let mut ps = PointSet::new(2);
+        for c in centers {
+            for _ in 0..per {
+                ps.push(&[
+                    c[0] + rng.next_f64() * spread,
+                    c[1] + rng.next_f64() * spread,
+                ]);
+            }
+        }
+        ps
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let ps = blobs(&[[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]], 80, 5.0, 1);
+        let result = FDbscan::new(2.0, 5).fit(&ps);
+        assert_eq!(result.clustering.num_clusters(), 3);
+        assert_eq!(result.clustering.noise_count(), 0);
+    }
+
+    #[test]
+    fn issues_fewer_queries_than_dbscan() {
+        let ps = blobs(&[[0.0, 0.0]], 500, 8.0, 2);
+        let exact = Dbscan::new(2.0, 5).fit(&ps);
+        let fast = FDbscan::new(2.0, 5).fit(&ps);
+        assert_eq!(exact.stats.range_queries, 500);
+        assert!(
+            fast.stats.range_queries < exact.stats.range_queries / 2,
+            "FDBSCAN used {} queries",
+            fast.stats.range_queries
+        );
+        // Never more clusters lost than DBSCAN found: the blob must remain
+        // a single cluster here (representatives cover a convex blob well).
+        assert_eq!(fast.clustering.num_clusters(), 1);
+    }
+
+    #[test]
+    fn representative_count_trades_queries_for_connectivity() {
+        let ps = blobs(&[[0.0, 0.0]], 400, 10.0, 3);
+        let few = FDbscan::new(1.5, 5).with_representatives(2).fit(&ps);
+        let many = FDbscan::new(1.5, 5).with_representatives(16).fit(&ps);
+        assert!(few.stats.range_queries <= many.stats.range_queries);
+        // More representatives can only improve connectivity.
+        assert!(many.clustering.num_clusters() <= few.clustering.num_clusters());
+    }
+
+    #[test]
+    fn noise_is_still_detected() {
+        let mut ps = blobs(&[[0.0, 0.0]], 60, 4.0, 4);
+        ps.push(&[500.0, 500.0]);
+        let result = FDbscan::new(2.0, 5).fit(&ps);
+        assert!(result.clustering.is_noise(60));
+    }
+
+    #[test]
+    fn deterministic() {
+        let ps = blobs(&[[0.0, 0.0], [30.0, 30.0]], 100, 6.0, 5);
+        let a = FDbscan::new(2.0, 5).fit(&ps);
+        let b = FDbscan::new(2.0, 5).fit(&ps);
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ps = PointSet::new(2);
+        let result = FDbscan::new(1.0, 2).fit(&ps);
+        assert!(result.clustering.is_empty());
+    }
+}

@@ -1,0 +1,442 @@
+//! Single-linkage hierarchy, condensation, and Excess-of-Mass extraction.
+
+use dbsvec_core::UnionFind;
+
+use super::mst::MstEdge;
+
+/// One merge of the single-linkage dendrogram. Merge `k` creates node
+/// `n + k` from two existing nodes (leaves are `0..n`).
+#[derive(Clone, Copy, Debug)]
+pub struct Merge {
+    /// Left child node id.
+    pub left: u32,
+    /// Right child node id.
+    pub right: u32,
+    /// Merge (mutual-reachability) distance.
+    pub dist: f64,
+    /// Leaves under the created node.
+    pub size: u32,
+}
+
+/// Builds the single-linkage dendrogram from MST edges (sorted internally).
+pub fn single_linkage(n: usize, edges: &[MstEdge]) -> Vec<Merge> {
+    let mut sorted: Vec<MstEdge> = edges.to_vec();
+    sorted.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("NaN edge weight"));
+
+    let mut uf = UnionFind::new();
+    for _ in 0..n {
+        uf.make_set();
+    }
+    // Representative SL-node id and size of each union-find root.
+    let mut node_of: Vec<u32> = (0..n as u32).collect();
+    let mut size_of: Vec<u32> = vec![1; n];
+    let mut merges = Vec::with_capacity(edges.len());
+
+    for &(a, b, dist) in &sorted {
+        let ra = uf.find(a);
+        let rb = uf.find(b);
+        debug_assert_ne!(ra, rb, "MST edges never close cycles");
+        let merged = Merge {
+            left: node_of[ra as usize],
+            right: node_of[rb as usize],
+            dist,
+            size: size_of[ra as usize] + size_of[rb as usize],
+        };
+        let new_node = (n + merges.len()) as u32;
+        merges.push(merged);
+        let root = uf.union(ra, rb);
+        node_of[root as usize] = new_node;
+        size_of[root as usize] = merged.size;
+    }
+    merges
+}
+
+/// One edge of the condensed tree: either a point falling out of a cluster
+/// or a child cluster splitting off.
+#[derive(Clone, Copy, Debug)]
+pub struct CondEdge {
+    /// Parent cluster id (`>= n`).
+    pub parent: u32,
+    /// Child: a point (`< n`) or a cluster (`>= n`).
+    pub child: u32,
+    /// Density level `λ = 1/dist` at which the child leaves the parent.
+    pub lambda: f64,
+    /// Leaves under the child.
+    pub size: u32,
+}
+
+/// The condensed hierarchy.
+#[derive(Clone, Debug)]
+pub struct CondensedTree {
+    /// All edges; cluster ids are `n ..= n + cluster_count - 1`, with `n`
+    /// the root.
+    pub edges: Vec<CondEdge>,
+    /// Number of condensed clusters (including the root).
+    pub cluster_count: usize,
+    /// Number of points.
+    pub n: usize,
+}
+
+fn lambda_of(dist: f64) -> f64 {
+    1.0 / dist.max(1e-12)
+}
+
+/// Condenses the dendrogram: splits survive only when both sides hold at
+/// least `min_cluster_size` leaves; smaller sides fall out point by point.
+pub fn condense(merges: &[Merge], n: usize, min_cluster_size: usize) -> CondensedTree {
+    let mut edges = Vec::new();
+    let mut cluster_count = 0usize;
+    if n == 0 {
+        return CondensedTree {
+            edges,
+            cluster_count,
+            n,
+        };
+    }
+    if merges.is_empty() {
+        // One point: a root cluster with a single member at λ = ∞ is not
+        // meaningful; emit an empty tree (the point becomes noise).
+        return CondensedTree {
+            edges,
+            cluster_count,
+            n,
+        };
+    }
+
+    let node_size = |node: u32| -> u32 {
+        if (node as usize) < n {
+            1
+        } else {
+            merges[node as usize - n].size
+        }
+    };
+    // Iterative leaf collection (clusters can be thousands deep).
+    let collect_leaves = |node: u32, out: &mut Vec<u32>| {
+        let mut stack = vec![node];
+        while let Some(x) = stack.pop() {
+            if (x as usize) < n {
+                out.push(x);
+            } else {
+                let m = merges[x as usize - n];
+                stack.push(m.left);
+                stack.push(m.right);
+            }
+        }
+    };
+
+    let root_sl = (n + merges.len() - 1) as u32;
+    let root_cluster = n as u32;
+    cluster_count += 1;
+
+    // Work stack: (single-linkage node, condensed cluster it belongs to).
+    let mut stack: Vec<(u32, u32)> = vec![(root_sl, root_cluster)];
+    let mut scratch_leaves: Vec<u32> = Vec::new();
+    while let Some((node, cluster)) = stack.pop() {
+        debug_assert!(node as usize >= n, "leaves are handled by fall-out");
+        let m = merges[node as usize - n];
+        let lambda = lambda_of(m.dist);
+        let (ls, rs) = (node_size(m.left) as usize, node_size(m.right) as usize);
+
+        let descend_or_fall = |child: u32,
+                               keeps_label: bool,
+                               stack: &mut Vec<(u32, u32)>,
+                               edges: &mut Vec<CondEdge>,
+                               cluster_count: &mut usize| {
+            if keeps_label {
+                if (child as usize) < n {
+                    // A lone leaf continuing the cluster: it falls out when
+                    // the cluster dissolves — i.e. at this lambda.
+                    edges.push(CondEdge {
+                        parent: cluster,
+                        child,
+                        lambda,
+                        size: 1,
+                    });
+                } else {
+                    stack.push((child, cluster));
+                }
+            } else {
+                // The child is large enough to become a new cluster.
+                let new_cluster = (n + *cluster_count) as u32;
+                *cluster_count += 1;
+                edges.push(CondEdge {
+                    parent: cluster,
+                    child: new_cluster,
+                    lambda,
+                    size: node_size(child),
+                });
+                if (child as usize) >= n {
+                    stack.push((child, new_cluster));
+                }
+            }
+        };
+
+        if ls >= min_cluster_size && rs >= min_cluster_size {
+            // True split: both sides become new clusters.
+            descend_or_fall(m.left, false, &mut stack, &mut edges, &mut cluster_count);
+            descend_or_fall(m.right, false, &mut stack, &mut edges, &mut cluster_count);
+        } else if ls >= min_cluster_size {
+            // Right side falls out of the current cluster point by point.
+            scratch_leaves.clear();
+            collect_leaves(m.right, &mut scratch_leaves);
+            for &p in &scratch_leaves {
+                edges.push(CondEdge {
+                    parent: cluster,
+                    child: p,
+                    lambda,
+                    size: 1,
+                });
+            }
+            descend_or_fall(m.left, true, &mut stack, &mut edges, &mut cluster_count);
+        } else if rs >= min_cluster_size {
+            scratch_leaves.clear();
+            collect_leaves(m.left, &mut scratch_leaves);
+            for &p in &scratch_leaves {
+                edges.push(CondEdge {
+                    parent: cluster,
+                    child: p,
+                    lambda,
+                    size: 1,
+                });
+            }
+            descend_or_fall(m.right, true, &mut stack, &mut edges, &mut cluster_count);
+        } else {
+            // Both sides die: every leaf below falls out here.
+            scratch_leaves.clear();
+            collect_leaves(m.left, &mut scratch_leaves);
+            collect_leaves(m.right, &mut scratch_leaves);
+            for &p in &scratch_leaves {
+                edges.push(CondEdge {
+                    parent: cluster,
+                    child: p,
+                    lambda,
+                    size: 1,
+                });
+            }
+        }
+    }
+    CondensedTree {
+        edges,
+        cluster_count,
+        n,
+    }
+}
+
+/// Excess-of-Mass cluster extraction.
+///
+/// Returns `(labels, membership, selected_count)`: per-point cluster
+/// assignments (noise = `None`), per-point membership strengths in
+/// `[0, 1]`, and how many clusters were selected.
+pub fn extract_eom(
+    tree: &CondensedTree,
+    n: usize,
+    allow_single_cluster: bool,
+) -> (Vec<Option<u32>>, Vec<f64>, usize) {
+    let k = tree.cluster_count;
+    let mut labels: Vec<Option<u32>> = vec![None; n];
+    let mut membership = vec![0.0; n];
+    if k == 0 {
+        return (labels, membership, 0);
+    }
+    let idx = |cluster: u32| -> usize { cluster as usize - n };
+
+    // Birth lambda, stability, and the cluster-child lists.
+    let mut birth = vec![0.0f64; k];
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for e in &tree.edges {
+        if (e.child as usize) >= n {
+            birth[idx(e.child)] = e.lambda;
+            children[idx(e.parent)].push(e.child);
+        }
+    }
+    let mut stability = vec![0.0f64; k];
+    for e in &tree.edges {
+        stability[idx(e.parent)] += (e.lambda - birth[idx(e.parent)]) * e.size as f64;
+    }
+
+    // Bottom-up EOM: clusters were numbered in creation order, so children
+    // always have larger ids — reverse id order is a valid bottom-up order.
+    let mut selected = vec![false; k];
+    let mut subtree_value = vec![0.0f64; k];
+    for c in (0..k).rev() {
+        let child_sum: f64 = children[c].iter().map(|&ch| subtree_value[idx(ch)]).sum();
+        let is_root = c == 0;
+        let may_select = !is_root || allow_single_cluster;
+        if may_select && (children[c].is_empty() || stability[c] >= child_sum) {
+            selected[c] = true;
+            subtree_value[c] = stability[c].max(child_sum);
+            if stability[c] < child_sum {
+                // Children are jointly better: keep them instead.
+                selected[c] = false;
+                subtree_value[c] = child_sum;
+            }
+        } else {
+            subtree_value[c] = child_sum.max(if may_select { stability[c] } else { 0.0 });
+        }
+    }
+
+    // Suppress selected descendants of selected ancestors (keep topmost).
+    let mut suppressed = vec![false; k];
+    let mut order: Vec<usize> = (0..k).collect(); // parents precede children
+    order.sort_unstable();
+    for &c in &order {
+        if suppressed[c] {
+            selected[c] = false;
+        }
+        if selected[c] || suppressed[c] {
+            let mut stack: Vec<u32> = children[c].clone();
+            while let Some(ch) = stack.pop() {
+                suppressed[idx(ch)] = true;
+                stack.extend(children[idx(ch)].iter().copied());
+            }
+        }
+    }
+
+    // Map every cluster to its selected ancestor (or itself), if any.
+    let mut owner: Vec<Option<usize>> = vec![None; k];
+    let mut parent_of: Vec<Option<usize>> = vec![None; k];
+    for e in &tree.edges {
+        if (e.child as usize) >= n {
+            parent_of[idx(e.child)] = Some(idx(e.parent));
+        }
+    }
+    #[allow(clippy::needless_range_loop)] // c is walked upward through parent_of
+    for c in 0..k {
+        // Walk up until a selected cluster or the root.
+        let mut cursor = Some(c);
+        while let Some(x) = cursor {
+            if selected[x] {
+                owner[c] = Some(x);
+                break;
+            }
+            cursor = parent_of[x];
+        }
+    }
+
+    // Assign points and collect per-owner maximum lambda for membership.
+    let selected_ids: Vec<usize> = (0..k).filter(|&c| selected[c]).collect();
+    let dense: std::collections::HashMap<usize, u32> = selected_ids
+        .iter()
+        .enumerate()
+        .map(|(d, &c)| (c, d as u32))
+        .collect();
+    let mut max_lambda = vec![0.0f64; selected_ids.len()];
+    let mut point_lambda = vec![0.0f64; n];
+    for e in &tree.edges {
+        if (e.child as usize) < n {
+            if let Some(own) = owner[idx(e.parent)] {
+                let d = dense[&own];
+                labels[e.child as usize] = Some(d);
+                point_lambda[e.child as usize] = e.lambda;
+                if e.lambda > max_lambda[d as usize] {
+                    max_lambda[d as usize] = e.lambda;
+                }
+            }
+        }
+    }
+    for p in 0..n {
+        if let Some(d) = labels[p] {
+            let denom = max_lambda[d as usize];
+            membership[p] = if denom > 0.0 {
+                (point_lambda[p] / denom).min(1.0)
+            } else {
+                1.0
+            };
+        }
+    }
+    (labels, membership, selected_ids.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-checkable dendrogram: two pairs merging tight, then loose.
+    ///   points 0,1 merge at d=1; points 2,3 merge at d=1; roots at d=10.
+    fn two_pair_merges() -> Vec<Merge> {
+        vec![
+            Merge {
+                left: 0,
+                right: 1,
+                dist: 1.0,
+                size: 2,
+            },
+            Merge {
+                left: 2,
+                right: 3,
+                dist: 1.0,
+                size: 2,
+            },
+            Merge {
+                left: 4,
+                right: 5,
+                dist: 10.0,
+                size: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn single_linkage_orders_merges_by_weight() {
+        let edges = vec![(0u32, 1u32, 5.0), (1, 2, 1.0), (2, 3, 3.0)];
+        let merges = single_linkage(4, &edges);
+        assert_eq!(merges.len(), 3);
+        assert!(merges[0].dist <= merges[1].dist && merges[1].dist <= merges[2].dist);
+        assert_eq!(merges[2].size, 4);
+    }
+
+    #[test]
+    fn condense_keeps_viable_splits() {
+        let tree = condense(&two_pair_merges(), 4, 2);
+        // Root splits into two 2-point clusters => 3 clusters total and
+        // 2 cluster edges + 4 point edges.
+        assert_eq!(tree.cluster_count, 3);
+        let cluster_edges = tree.edges.iter().filter(|e| e.child as usize >= 4).count();
+        let point_edges = tree.edges.iter().filter(|e| (e.child as usize) < 4).count();
+        assert_eq!(cluster_edges, 2);
+        assert_eq!(point_edges, 4);
+    }
+
+    #[test]
+    fn condense_dissolves_small_sides() {
+        // min_cluster_size 3 makes both 2-point children fall out.
+        let tree = condense(&two_pair_merges(), 4, 3);
+        assert_eq!(tree.cluster_count, 1);
+        assert_eq!(tree.edges.len(), 4, "all four points fall out of the root");
+    }
+
+    #[test]
+    fn eom_selects_the_two_tight_clusters() {
+        let tree = condense(&two_pair_merges(), 4, 2);
+        let (labels, membership, selected) = extract_eom(&tree, 4, false);
+        assert_eq!(selected, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert!(labels.iter().all(Option::is_some));
+        assert!(membership.iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn eom_without_splits_needs_single_cluster_flag() {
+        let tree = condense(&two_pair_merges(), 4, 3);
+        let (labels, _, selected) = extract_eom(&tree, 4, false);
+        assert_eq!(selected, 0);
+        assert!(labels.iter().all(Option::is_none));
+        let (labels, _, selected) = extract_eom(&tree, 4, true);
+        assert_eq!(selected, 1);
+        assert!(labels.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let tree = condense(&[], 0, 2);
+        let (labels, membership, selected) = extract_eom(&tree, 0, true);
+        assert!(labels.is_empty() && membership.is_empty());
+        assert_eq!(selected, 0);
+        // Single point: no merges, empty condensed tree, noise.
+        let tree = condense(&[], 1, 2);
+        let (labels, _, _) = extract_eom(&tree, 1, true);
+        assert_eq!(labels, vec![None]);
+    }
+}

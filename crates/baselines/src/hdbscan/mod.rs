@@ -1,0 +1,271 @@
+//! HDBSCAN\* — hierarchical density-based clustering.
+//!
+//! Campello, Moulavi & Sander (PAKDD 2013), the algorithm behind the
+//! "faster DBSCAN and HDBSCAN" line of work the paper cites \[9\]. Where
+//! DBSCAN (and DBSVEC) commit to a single density level ε, HDBSCAN builds
+//! the *hierarchy over all ε simultaneously* and extracts the most stable
+//! clusters, so clusters of different densities coexist — the classic
+//! failure mode of single-ε methods.
+//!
+//! Pipeline (each stage its own module):
+//!
+//! 1. **core distances** — distance to the `min_samples`-th neighbor,
+//!    computed with any [`dbsvec_index::RangeIndex`] engine;
+//! 2. **mutual-reachability MST** ([`mst`]) — Prim's algorithm over
+//!    `max(core(a), core(b), dist(a, b))`, O(n²) time / O(n) memory;
+//! 3. **hierarchy** ([`hierarchy`]) — single linkage over the MST edges,
+//!    condensed by `min_cluster_size`, clusters scored by stability and
+//!    extracted with the Excess-of-Mass rule.
+//!
+//! The implementation is deterministic and single-threaded, sized for the
+//! evaluation workloads (the O(n²) MST dominates; ~seconds at n = 20k).
+
+pub mod hierarchy;
+pub mod mst;
+
+use dbsvec_core::labels::Clustering;
+use dbsvec_geometry::PointSet;
+use dbsvec_index::{kth_neighbor_distance, KdTree};
+
+/// Counters and intermediate sizes from an HDBSCAN run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HdbscanStats {
+    /// Edges in the mutual-reachability MST (n − 1 for n ≥ 1).
+    pub mst_edges: usize,
+    /// Clusters in the condensed tree (before extraction).
+    pub condensed_clusters: usize,
+    /// Clusters selected by the Excess-of-Mass rule.
+    pub selected_clusters: usize,
+}
+
+/// Result of an HDBSCAN run.
+#[derive(Clone, Debug)]
+pub struct HdbscanResult {
+    /// Final labels.
+    pub clustering: Clustering,
+    /// Per-point cluster-membership strength in `[0, 1]` (`λ_p / λ_max` of
+    /// its cluster; 0 for noise).
+    pub membership: Vec<f64>,
+    /// Pipeline statistics.
+    pub stats: HdbscanStats,
+}
+
+/// HDBSCAN\* clustering.
+#[derive(Clone, Copy, Debug)]
+pub struct Hdbscan {
+    min_samples: usize,
+    min_cluster_size: usize,
+    allow_single_cluster: bool,
+}
+
+impl Hdbscan {
+    /// Creates the algorithm.
+    ///
+    /// * `min_samples` — the k of the core distance (density smoothing);
+    /// * `min_cluster_size` — smallest condensed cluster kept in the
+    ///   hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(min_samples: usize, min_cluster_size: usize) -> Self {
+        assert!(min_samples >= 1, "min_samples must be at least 1");
+        assert!(min_cluster_size >= 2, "min_cluster_size must be at least 2");
+        Self {
+            min_samples,
+            min_cluster_size,
+            allow_single_cluster: false,
+        }
+    }
+
+    /// Allows the hierarchy root itself to be selected when no split ever
+    /// produces two viable clusters (i.e. the data is one cluster).
+    pub fn with_single_cluster_allowed(mut self) -> Self {
+        self.allow_single_cluster = true;
+        self
+    }
+
+    /// Clusters `points`.
+    pub fn fit(&self, points: &PointSet) -> HdbscanResult {
+        let n = points.len();
+        if n == 0 {
+            return HdbscanResult {
+                clustering: Clustering::from_assignments(Vec::new()),
+                membership: Vec::new(),
+                stats: HdbscanStats::default(),
+            };
+        }
+
+        // ---- Core distances via the kd-tree.
+        let index = KdTree::build(points);
+        let core: Vec<f64> = (0..n as u32)
+            .map(|id| kth_neighbor_distance(points, &index, id, self.min_samples).unwrap_or(0.0))
+            .collect();
+
+        // ---- Mutual-reachability MST and single-linkage hierarchy.
+        let edges = mst::mutual_reachability_mst(points, &core);
+        let tree = hierarchy::single_linkage(n, &edges);
+        let condensed = hierarchy::condense(&tree, n, self.min_cluster_size);
+        let (labels, membership, selected) =
+            hierarchy::extract_eom(&condensed, n, self.allow_single_cluster);
+
+        HdbscanResult {
+            clustering: Clustering::from_assignments(labels),
+            membership,
+            stats: HdbscanStats {
+                mst_edges: edges.len(),
+                condensed_clusters: condensed.cluster_count,
+                selected_clusters: selected,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsvec_geometry::rng::SplitMix64;
+
+    fn blob(ps: &mut PointSet, cx: f64, cy: f64, spread: f64, n: usize, rng: &mut SplitMix64) {
+        for _ in 0..n {
+            let x: f64 = (0..12).map(|_| rng.next_f64()).sum::<f64>() - 6.0;
+            let y: f64 = (0..12).map(|_| rng.next_f64()).sum::<f64>() - 6.0;
+            ps.push(&[cx + spread * x, cy + spread * y]);
+        }
+    }
+
+    #[test]
+    fn separates_well_spaced_blobs() {
+        let mut rng = SplitMix64::new(1);
+        let mut ps = PointSet::new(2);
+        blob(&mut ps, 0.0, 0.0, 1.0, 120, &mut rng);
+        blob(&mut ps, 60.0, 0.0, 1.0, 120, &mut rng);
+        blob(&mut ps, 0.0, 60.0, 1.0, 120, &mut rng);
+        let result = Hdbscan::new(5, 15).fit(&ps);
+        assert_eq!(result.clustering.num_clusters(), 3);
+        // Blobs are pure: points 0..120 share a label, etc.
+        for b in 0..3 {
+            let first = result.clustering.get(b * 120 + 5);
+            let same = (0..120)
+                .filter(|i| result.clustering.get(b * 120 + i) == first)
+                .count();
+            assert!(same > 110, "blob {b} fragmented");
+        }
+    }
+
+    #[test]
+    fn finds_clusters_of_different_densities() {
+        // The single-eps failure mode: one tight and one loose cluster.
+        // Any DBSCAN eps either merges the loose one into noise or splits
+        // it; HDBSCAN's hierarchy handles both densities at once.
+        let mut rng = SplitMix64::new(2);
+        let mut ps = PointSet::new(2);
+        blob(&mut ps, 0.0, 0.0, 0.3, 150, &mut rng); // tight
+        blob(&mut ps, 50.0, 0.0, 4.0, 150, &mut rng); // 13x looser
+        let result = Hdbscan::new(5, 20).fit(&ps);
+        assert_eq!(result.clustering.num_clusters(), 2, "{:?}", result.stats);
+        // Both clusters substantially recovered.
+        let sizes = result.clustering.cluster_sizes();
+        assert!(sizes.iter().all(|&s| s >= 100), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn uniform_noise_is_rejected() {
+        let mut rng = SplitMix64::new(3);
+        let mut ps = PointSet::new(2);
+        blob(&mut ps, 0.0, 0.0, 0.5, 150, &mut rng);
+        blob(&mut ps, 120.0, 0.0, 0.5, 150, &mut rng);
+        // Sparse uniform background.
+        for _ in 0..60 {
+            ps.push(&[
+                rng.next_f64() * 400.0 - 200.0,
+                rng.next_f64() * 400.0 - 200.0,
+            ]);
+        }
+        let result = Hdbscan::new(5, 20).fit(&ps);
+        assert_eq!(result.clustering.num_clusters(), 2);
+        let noise = (300..360)
+            .filter(|&i| result.clustering.is_noise(i))
+            .count();
+        assert!(noise > 50, "only {noise}/60 background points rejected");
+    }
+
+    #[test]
+    fn single_blob_needs_the_allow_flag() {
+        // min_cluster_size 25 over 40 points: no split can have two viable
+        // sides, so the condensed tree is the root alone — selectable only
+        // with the flag. (The same artifact the reference implementation's
+        // `allow_single_cluster` exists for.)
+        let mut rng = SplitMix64::new(4);
+        let mut ps = PointSet::new(2);
+        blob(&mut ps, 0.0, 0.0, 1.0, 40, &mut rng);
+        let strict = Hdbscan::new(5, 25).fit(&ps);
+        assert_eq!(
+            strict.clustering.num_clusters(),
+            0,
+            "root must not be auto-selected"
+        );
+        let relaxed = Hdbscan::new(5, 25).with_single_cluster_allowed().fit(&ps);
+        assert_eq!(relaxed.clustering.num_clusters(), 1);
+        assert!(relaxed.clustering.noise_count() < 10);
+    }
+
+    #[test]
+    fn membership_strengths_are_sane() {
+        let mut rng = SplitMix64::new(5);
+        let mut ps = PointSet::new(2);
+        blob(&mut ps, 0.0, 0.0, 1.0, 100, &mut rng);
+        blob(&mut ps, 50.0, 0.0, 1.0, 100, &mut rng);
+        let result = Hdbscan::new(5, 15).fit(&ps);
+        for i in 0..ps.len() {
+            let m = result.membership[i];
+            assert!((0.0..=1.0 + 1e-9).contains(&m), "membership {m}");
+            if result.clustering.is_noise(i) {
+                assert_eq!(m, 0.0);
+            }
+        }
+        // Some interior point should have full strength.
+        assert!(result.membership.iter().any(|&m| m > 0.99));
+    }
+
+    #[test]
+    fn min_cluster_size_prunes_small_groups() {
+        let mut rng = SplitMix64::new(6);
+        let mut ps = PointSet::new(2);
+        blob(&mut ps, 0.0, 0.0, 1.0, 150, &mut rng);
+        blob(&mut ps, 40.0, 40.0, 1.0, 150, &mut rng);
+        blob(&mut ps, 80.0, 0.0, 1.0, 12, &mut rng); // a 12-point clump
+        let loose = Hdbscan::new(3, 8).fit(&ps);
+        assert_eq!(loose.clustering.num_clusters(), 3);
+        let strict = Hdbscan::new(3, 30).fit(&ps);
+        // The clump is below min_cluster_size: it must not be a cluster.
+        assert_eq!(strict.clustering.num_clusters(), 2);
+        let clump_noise = (300..312)
+            .filter(|&i| strict.clustering.is_noise(i))
+            .count();
+        assert_eq!(clump_noise, 12);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = SplitMix64::new(7);
+        let mut ps = PointSet::new(2);
+        blob(&mut ps, 0.0, 0.0, 1.0, 80, &mut rng);
+        blob(&mut ps, 30.0, 0.0, 1.0, 80, &mut rng);
+        let a = Hdbscan::new(4, 10).fit(&ps);
+        let b = Hdbscan::new(4, 10).fit(&ps);
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.membership, b.membership);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let ps = PointSet::new(2);
+        let result = Hdbscan::new(2, 2).fit(&ps);
+        assert!(result.clustering.is_empty());
+
+        let ps = PointSet::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let result = Hdbscan::new(1, 2).with_single_cluster_allowed().fit(&ps);
+        assert_eq!(result.clustering.len(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Minimum spanning tree under the mutual-reachability distance.
+
+use dbsvec_geometry::PointSet;
+
+/// One MST edge `(a, b, weight)`.
+pub type MstEdge = (u32, u32, f64);
+
+/// Prim's algorithm over the (implicit, complete) mutual-reachability
+/// graph: `mreach(a, b) = max(core[a], core[b], dist(a, b))`.
+///
+/// O(n²) time — each round relaxes every non-tree vertex against the
+/// newly added one — and O(n) memory, since the graph is never
+/// materialized. Returns `n − 1` edges (empty for `n <= 1`).
+///
+/// # Panics
+///
+/// Panics if `core.len() != points.len()`.
+pub fn mutual_reachability_mst(points: &PointSet, core: &[f64]) -> Vec<MstEdge> {
+    let n = points.len();
+    assert_eq!(core.len(), n, "one core distance per point");
+    if n <= 1 {
+        return Vec::new();
+    }
+
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_from = vec![0u32; n];
+    let mut edges = Vec::with_capacity(n - 1);
+
+    let mut current = 0usize;
+    in_tree[0] = true;
+    for _ in 1..n {
+        // Relax against the vertex added last round.
+        let pc = points.point(current as u32);
+        let cc = core[current];
+        for j in 0..n {
+            if in_tree[j] {
+                continue;
+            }
+            let d = dbsvec_geometry::euclidean(pc, points.point(j as u32));
+            let mreach = d.max(cc).max(core[j]);
+            if mreach < best_dist[j] {
+                best_dist[j] = mreach;
+                best_from[j] = current as u32;
+            }
+        }
+        // Take the closest non-tree vertex.
+        let (next, _) = best_dist
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !in_tree[*j])
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN mreach"))
+            .expect("a non-tree vertex remains");
+        in_tree[next] = true;
+        edges.push((best_from[next], next as u32, best_dist[next]));
+        current = next;
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsvec_core::UnionFind;
+    use dbsvec_geometry::rng::SplitMix64;
+
+    fn random_points(n: usize, seed: u64) -> PointSet {
+        let mut rng = SplitMix64::new(seed);
+        let mut ps = PointSet::new(2);
+        for _ in 0..n {
+            ps.push(&[rng.next_f64() * 100.0, rng.next_f64() * 100.0]);
+        }
+        ps
+    }
+
+    /// Total weight of the tree found by a brute-force Kruskal.
+    fn kruskal_weight(points: &PointSet, core: &[f64]) -> f64 {
+        let n = points.len();
+        let mut all: Vec<MstEdge> = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = points
+                    .distance(a as u32, b as u32)
+                    .max(core[a])
+                    .max(core[b]);
+                all.push((a as u32, b as u32, d));
+            }
+        }
+        all.sort_by(|x, y| x.2.partial_cmp(&y.2).unwrap());
+        let mut uf = UnionFind::new();
+        for _ in 0..n {
+            uf.make_set();
+        }
+        let mut total = 0.0;
+        for (a, b, w) in all {
+            if !uf.same(a, b) {
+                uf.union(a, b);
+                total += w;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn matches_kruskal_total_weight() {
+        let ps = random_points(60, 1);
+        let core: Vec<f64> = (0..60).map(|i| (i % 7) as f64).collect();
+        let edges = mutual_reachability_mst(&ps, &core);
+        assert_eq!(edges.len(), 59);
+        let prim_total: f64 = edges.iter().map(|e| e.2).sum();
+        let kruskal_total = kruskal_weight(&ps, &core);
+        assert!(
+            (prim_total - kruskal_total).abs() < 1e-9,
+            "Prim {prim_total} vs Kruskal {kruskal_total}"
+        );
+    }
+
+    #[test]
+    fn edges_form_a_spanning_tree() {
+        let ps = random_points(40, 2);
+        let core = vec![0.0; 40];
+        let edges = mutual_reachability_mst(&ps, &core);
+        let mut uf = UnionFind::new();
+        for _ in 0..40 {
+            uf.make_set();
+        }
+        for &(a, b, _) in &edges {
+            assert!(!uf.same(a, b), "cycle edge ({a},{b})");
+            uf.union(a, b);
+        }
+        for i in 1..40 {
+            assert!(uf.same(0, i), "vertex {i} disconnected");
+        }
+    }
+
+    #[test]
+    fn core_distances_dominate_short_edges() {
+        // With a huge core distance on one point, every edge touching it
+        // weighs at least that much.
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let core = vec![0.0, 50.0, 0.0];
+        let edges = mutual_reachability_mst(&ps, &core);
+        for &(a, b, w) in &edges {
+            if a == 1 || b == 1 {
+                assert!(w >= 50.0, "edge ({a},{b}) weight {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let ps = PointSet::new(2);
+        assert!(mutual_reachability_mst(&ps, &[]).is_empty());
+        let ps = PointSet::from_rows(&[vec![1.0, 1.0]]);
+        assert!(mutual_reachability_mst(&ps, &[0.0]).is_empty());
+    }
+}

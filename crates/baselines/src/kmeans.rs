@@ -1,0 +1,257 @@
+//! Lloyd's k-means with k-means++ seeding (Hartigan & Wong style baseline).
+//!
+//! The paper's Table IV compares DBSVEC's internal validity against
+//! k-MEANS \[32\], and Fig. 6–7 include it as a partitioning-based efficiency
+//! baseline. This implementation is deterministic per seed and never
+//! produces noise (every point is assigned to its nearest centroid).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbsvec_core::labels::Clustering;
+use dbsvec_geometry::PointSet;
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Final labels (never contains noise).
+    pub clustering: Clustering,
+    /// Final centroids, row-major `k × d`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+/// k-means clustering.
+#[derive(Clone, Copy, Debug)]
+pub struct KMeans {
+    k: usize,
+    max_iterations: usize,
+    seed: u64,
+}
+
+impl KMeans {
+    /// Creates the algorithm with `k` clusters and a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self {
+            k,
+            max_iterations: 100,
+            seed,
+        }
+    }
+
+    /// Overrides the Lloyd iteration cap (default 100).
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Clusters `points`. If `k >= n`, every point gets its own cluster.
+    pub fn fit(&self, points: &PointSet) -> KMeansResult {
+        let n = points.len();
+        let d = points.dims();
+        if n == 0 {
+            return KMeansResult {
+                clustering: Clustering::from_assignments(Vec::new()),
+                centroids: Vec::new(),
+                iterations: 0,
+                inertia: 0.0,
+            };
+        }
+        let k = self.k.min(n);
+
+        // ---- k-means++ seeding.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(points.point(rng.gen_range(0..n) as u32).to_vec());
+        let mut dist_sq: Vec<f64> = (0..n)
+            .map(|i| dbsvec_geometry::squared_euclidean(points.point(i as u32), &centroids[0]))
+            .collect();
+        while centroids.len() < k {
+            let total: f64 = dist_sq.iter().sum();
+            let chosen = if total <= 0.0 {
+                rng.gen_range(0..n) // all remaining points coincide
+            } else {
+                let mut target = rng.gen::<f64>() * total;
+                let mut pick = n - 1;
+                for (i, &w) in dist_sq.iter().enumerate() {
+                    if target < w {
+                        pick = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                pick
+            };
+            let c = points.point(chosen as u32).to_vec();
+            for (i, slot) in dist_sq.iter_mut().enumerate() {
+                let d2 = dbsvec_geometry::squared_euclidean(points.point(i as u32), &c);
+                if d2 < *slot {
+                    *slot = d2;
+                }
+            }
+            centroids.push(c);
+        }
+
+        // ---- Lloyd iterations.
+        let mut assignment = vec![0u32; n];
+        let mut iterations = 0;
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            let mut changed = false;
+            #[allow(clippy::needless_range_loop)] // i indexes points and assignment together
+            for i in 0..n {
+                let p = points.point(i as u32);
+                let mut best = assignment[i];
+                let mut best_d = dbsvec_geometry::squared_euclidean(p, &centroids[best as usize]);
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let d2 = dbsvec_geometry::squared_euclidean(p, centroid);
+                    if d2 < best_d {
+                        best_d = d2;
+                        best = c as u32;
+                    }
+                }
+                if best != assignment[i] {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed && iterations > 1 {
+                break;
+            }
+
+            // Recompute centroids; empty clusters respawn on the farthest point.
+            let mut sums = vec![vec![0.0; d]; k];
+            let mut counts = vec![0u64; k];
+            for (i, &a) in assignment.iter().enumerate() {
+                counts[a as usize] += 1;
+                for (s, &x) in sums[a as usize].iter_mut().zip(points.point(i as u32)) {
+                    *s += x;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    let farthest = (0..n)
+                        .max_by(|&a, &b| {
+                            let da = dbsvec_geometry::squared_euclidean(
+                                points.point(a as u32),
+                                &centroids[assignment[a] as usize],
+                            );
+                            let db = dbsvec_geometry::squared_euclidean(
+                                points.point(b as u32),
+                                &centroids[assignment[b] as usize],
+                            );
+                            da.partial_cmp(&db).expect("NaN distance")
+                        })
+                        .expect("nonempty point set");
+                    centroids[c] = points.point(farthest as u32).to_vec();
+                } else {
+                    for (slot, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                        *slot = s / counts[c] as f64;
+                    }
+                }
+            }
+        }
+
+        let inertia = assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                dbsvec_geometry::squared_euclidean(points.point(i as u32), &centroids[a as usize])
+            })
+            .sum();
+        let clustering = Clustering::from_assignments(assignment.into_iter().map(Some).collect());
+        KMeansResult {
+            clustering,
+            centroids,
+            iterations,
+            inertia,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsvec_geometry::rng::SplitMix64;
+
+    fn blobs(centers: &[[f64; 2]], per: usize, seed: u64) -> PointSet {
+        let mut rng = SplitMix64::new(seed);
+        let mut ps = PointSet::new(2);
+        for c in centers {
+            for _ in 0..per {
+                ps.push(&[c[0] + rng.next_f64(), c[1] + rng.next_f64()]);
+            }
+        }
+        ps
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let ps = blobs(&[[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]], 40, 1);
+        let result = KMeans::new(3, 7).fit(&ps);
+        assert_eq!(result.clustering.num_clusters(), 3);
+        // Each blob must be pure: all 40 members share a label.
+        for b in 0..3 {
+            let first = result.clustering.get(b * 40);
+            for i in 0..40 {
+                assert_eq!(result.clustering.get(b * 40 + i), first);
+            }
+        }
+    }
+
+    #[test]
+    fn never_produces_noise() {
+        let ps = blobs(&[[0.0, 0.0], [9.0, 9.0]], 25, 2);
+        let result = KMeans::new(4, 3).fit(&ps);
+        assert_eq!(result.clustering.noise_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ps = blobs(&[[0.0, 0.0], [20.0, 0.0]], 30, 3);
+        let a = KMeans::new(2, 11).fit(&ps);
+        let b = KMeans::new(2, 11).fit(&ps);
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let ps = blobs(&[[0.0, 0.0], [30.0, 0.0], [0.0, 30.0], [30.0, 30.0]], 25, 4);
+        let k2 = KMeans::new(2, 5).fit(&ps);
+        let k4 = KMeans::new(4, 5).fit(&ps);
+        assert!(k4.inertia < k2.inertia);
+    }
+
+    #[test]
+    fn k_larger_than_n_gives_singletons() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![5.0], vec![10.0]]);
+        let result = KMeans::new(10, 1).fit(&ps);
+        assert_eq!(result.clustering.num_clusters(), 3);
+        assert!(result.inertia < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ps = PointSet::new(2);
+        let result = KMeans::new(3, 1).fit(&ps);
+        assert!(result.clustering.is_empty());
+        assert_eq!(result.iterations, 0);
+    }
+
+    #[test]
+    fn identical_points_converge() {
+        let ps = PointSet::from_rows(&vec![vec![2.0, 2.0]; 20]);
+        let result = KMeans::new(3, 9).fit(&ps);
+        assert!(result.inertia < 1e-12);
+        assert!(result.iterations <= 100);
+    }
+}

@@ -1,0 +1,369 @@
+//! NQ-DBSCAN (Chen et al., Pattern Recognition 2018).
+//!
+//! A fast *exact* DBSCAN variant that prunes unnecessary **distance
+//! computations** (not range queries — the paper's §II-C notes it "does not
+//! reduce the number of range queries"). Following the reference design, it
+//! uses a local neighborhood grid with cells of width `ε/√d`:
+//!
+//! * a cell holding ≥ MinPts points makes all of them core with **zero**
+//!   distance computations (cell diameter ≤ ε);
+//! * range queries only touch cells overlapping the query ball, count whole
+//!   cells that lie fully inside it, and compute distances only for the
+//!   boundary cells.
+//!
+//! The clustering logic is exact DBSCAN, so the output matches
+//! [`crate::Dbscan`] exactly; only the work per query differs.
+
+use dbsvec_core::labels::{Clustering, WorkingLabels};
+use dbsvec_geometry::{PointId, PointSet};
+
+use std::collections::HashMap;
+
+/// Counters for an NQ-DBSCAN run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NqDbscanStats {
+    /// Range queries issued.
+    pub range_queries: u64,
+    /// Point-to-point distance computations performed.
+    pub distance_computations: u64,
+    /// Points certified core by the dense-cell shortcut (no query needed).
+    pub dense_cell_cores: u64,
+}
+
+/// Result of an NQ-DBSCAN run.
+#[derive(Clone, Debug)]
+pub struct NqDbscanResult {
+    /// Final labels.
+    pub clustering: Clustering,
+    /// Cost counters.
+    pub stats: NqDbscanStats,
+}
+
+/// NQ-DBSCAN.
+#[derive(Clone, Copy, Debug)]
+pub struct NqDbscan {
+    eps: f64,
+    min_pts: usize,
+}
+
+impl NqDbscan {
+    /// Creates the algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eps` is positive and finite and `min_pts >= 1`.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "eps must be positive and finite"
+        );
+        assert!(min_pts >= 1, "MinPts must be at least 1");
+        Self { eps, min_pts }
+    }
+
+    /// Clusters `points`.
+    pub fn fit(&self, points: &PointSet) -> NqDbscanResult {
+        let n = points.len();
+        let mut labels = WorkingLabels::new(n);
+        let mut stats = NqDbscanStats::default();
+        if n == 0 {
+            return NqDbscanResult {
+                clustering: labels.finalize(|raw| raw),
+                stats,
+            };
+        }
+
+        let grid = LocalGrid::build(points, self.eps);
+        // Dense-cell shortcut: a full cell certifies all members core.
+        let mut known_core = vec![false; n];
+        for (_, ids) in &grid.cells {
+            if ids.len() >= self.min_pts {
+                for &id in ids {
+                    known_core[id as usize] = true;
+                }
+                stats.dense_cell_cores += ids.len() as u64;
+            }
+        }
+
+        let mut queried = vec![false; n];
+        let mut next_cluster = 0u32;
+        let mut queue: Vec<PointId> = Vec::new();
+        let mut neighborhood: Vec<PointId> = Vec::new();
+
+        for i in 0..n as u32 {
+            if !labels.is_unclassified(i) {
+                continue;
+            }
+            neighborhood.clear();
+            grid.range(points, i, self.eps, &mut neighborhood, &mut stats);
+            stats.range_queries += 1;
+            queried[i as usize] = true;
+            if !known_core[i as usize] && neighborhood.len() < self.min_pts {
+                labels.set_noise(i);
+                continue;
+            }
+
+            let cid = next_cluster;
+            next_cluster += 1;
+            labels.set_cluster(i, cid);
+            queue.clear();
+            for &j in &neighborhood {
+                if labels.is_unclassified(j) || labels.is_noise(j) {
+                    labels.set_cluster(j, cid);
+                    queue.push(j);
+                }
+            }
+            while let Some(p) = queue.pop() {
+                if queried[p as usize] {
+                    continue;
+                }
+                neighborhood.clear();
+                grid.range(points, p, self.eps, &mut neighborhood, &mut stats);
+                stats.range_queries += 1;
+                queried[p as usize] = true;
+                if !known_core[p as usize] && neighborhood.len() < self.min_pts {
+                    continue;
+                }
+                for &j in &neighborhood {
+                    if labels.is_unclassified(j) || labels.is_noise(j) {
+                        labels.set_cluster(j, cid);
+                        queue.push(j);
+                    }
+                }
+            }
+        }
+
+        NqDbscanResult {
+            clustering: labels.finalize(|raw| raw),
+            stats,
+        }
+    }
+}
+
+/// Fine grid (`ε/√d` cells) answering exact range queries with
+/// whole-cell shortcuts.
+///
+/// A second level of *super-cells* (a `⌈√d⌉+1` block of fine cells per
+/// edge, so every fine cell within ε of a query lies in an adjacent
+/// super-cell) bounds the candidate enumeration: the query visits at most
+/// the occupied super-cells, never the exponentially many empty fine
+/// cells.
+struct LocalGrid {
+    /// Fine cells: coordinate and member ids.
+    cells: Vec<(Vec<i64>, Vec<PointId>)>,
+    /// Super-cell coordinate -> indices into `cells`.
+    supercells: HashMap<Vec<i64>, Vec<usize>>,
+    cell_width: f64,
+    super_factor: i64,
+}
+
+impl LocalGrid {
+    fn build(points: &PointSet, eps: f64) -> Self {
+        let cell_width = eps / (points.dims() as f64).sqrt();
+        let super_factor = (eps / cell_width).ceil() as i64 + 1;
+        let mut index: HashMap<Vec<i64>, usize> = HashMap::new();
+        let mut cells: Vec<(Vec<i64>, Vec<PointId>)> = Vec::new();
+        for (id, p) in points.iter() {
+            let coord: Vec<i64> = p.iter().map(|&x| (x / cell_width).floor() as i64).collect();
+            match index.get(&coord) {
+                Some(&c) => cells[c].1.push(id),
+                None => {
+                    index.insert(coord.clone(), cells.len());
+                    cells.push((coord, vec![id]));
+                }
+            }
+        }
+        let mut supercells: HashMap<Vec<i64>, Vec<usize>> = HashMap::new();
+        for (c, (coord, _)) in cells.iter().enumerate() {
+            let sc: Vec<i64> = coord.iter().map(|&x| x.div_euclid(super_factor)).collect();
+            supercells.entry(sc).or_default().push(c);
+        }
+        Self {
+            cells,
+            supercells,
+            cell_width,
+            super_factor,
+        }
+    }
+
+    /// Exact ε-range query for point `id` with whole-cell accept/reject.
+    fn range(
+        &self,
+        points: &PointSet,
+        id: PointId,
+        eps: f64,
+        out: &mut Vec<PointId>,
+        stats: &mut NqDbscanStats,
+    ) {
+        let p = points.point(id);
+        let eps_sq = eps * eps;
+        let d = points.dims();
+        let w = self.cell_width;
+
+        let mut visit = |coord: &[i64], ids: &[PointId]| {
+            // Distance bounds from p to the cell box.
+            let mut min_acc = 0.0;
+            let mut max_acc = 0.0;
+            for (&x, &c) in p.iter().zip(coord) {
+                let lo = c as f64 * w;
+                let hi = lo + w;
+                let min_diff = if x < lo {
+                    lo - x
+                } else if x > hi {
+                    x - hi
+                } else {
+                    0.0
+                };
+                min_acc += min_diff * min_diff;
+                let max_diff = (x - lo).abs().max((x - hi).abs());
+                max_acc += max_diff * max_diff;
+            }
+            if min_acc > eps_sq {
+                return; // cell fully outside: zero distance computations
+            }
+            if max_acc <= eps_sq {
+                out.extend_from_slice(ids); // fully inside: zero computations
+                return;
+            }
+            for &q in ids {
+                stats.distance_computations += 1;
+                if points.squared_distance_to(q, p) <= eps_sq {
+                    out.push(q);
+                }
+            }
+        };
+
+        let sc: Vec<i64> = p
+            .iter()
+            .map(|&x| ((x / w).floor() as i64).div_euclid(self.super_factor))
+            .collect();
+        let enumerable =
+            d <= 10 && 3usize.pow(d.min(10) as u32) <= 4 * self.supercells.len().max(1);
+        if enumerable {
+            let mut offset = vec![-1i64; d];
+            loop {
+                let key: Vec<i64> = sc.iter().zip(&offset).map(|(a, o)| a + o).collect();
+                if let Some(members) = self.supercells.get(&key) {
+                    for &c in members {
+                        let (coord, ids) = &self.cells[c];
+                        visit(coord, ids);
+                    }
+                }
+                let mut carry = true;
+                for slot in offset.iter_mut() {
+                    *slot += 1;
+                    if *slot <= 1 {
+                        carry = false;
+                        break;
+                    }
+                    *slot = -1;
+                }
+                if carry {
+                    break;
+                }
+            }
+        } else {
+            for (key, members) in &self.supercells {
+                if key.iter().zip(&sc).all(|(a, b)| (a - b).abs() <= 1) {
+                    for &c in members {
+                        let (coord, ids) = &self.cells[c];
+                        visit(coord, ids);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::Dbscan;
+    use dbsvec_geometry::rng::SplitMix64;
+
+    fn random_blobs(seed: u64) -> PointSet {
+        let mut rng = SplitMix64::new(seed);
+        let mut ps = PointSet::new(2);
+        for c in [[0.0, 0.0], [30.0, 10.0], [5.0, 40.0]] {
+            for _ in 0..70 {
+                ps.push(&[c[0] + rng.next_f64() * 5.0, c[1] + rng.next_f64() * 5.0]);
+            }
+        }
+        ps.push(&[500.0, 500.0]); // noise
+        ps
+    }
+
+    #[test]
+    fn output_is_identical_to_exact_dbscan() {
+        let ps = random_blobs(1);
+        let exact = Dbscan::new(2.0, 5).fit(&ps);
+        let nq = NqDbscan::new(2.0, 5).fit(&ps);
+        // NQ-DBSCAN is exact: same partition (cluster ids may permute, but
+        // both use first-visit order over the same point order).
+        assert_eq!(exact.clustering, nq.clustering);
+    }
+
+    #[test]
+    fn identical_across_parameter_grid() {
+        let ps = random_blobs(2);
+        for eps in [0.5, 1.5, 4.0] {
+            for min_pts in [2, 5, 12] {
+                let exact = Dbscan::new(eps, min_pts).fit(&ps);
+                let nq = NqDbscan::new(eps, min_pts).fit(&ps);
+                assert_eq!(
+                    exact.clustering, nq.clustering,
+                    "eps={eps} min_pts={min_pts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_cells_skip_distance_computations() {
+        // All points coincide: one dense cell, zero distance computations
+        // needed to certify cores (queries still return the full cell).
+        let ps = PointSet::from_rows(&vec![vec![1.0, 1.0]; 40]);
+        let result = NqDbscan::new(1.0, 10).fit(&ps);
+        assert_eq!(result.clustering.num_clusters(), 1);
+        assert_eq!(result.stats.dense_cell_cores, 40);
+        assert_eq!(result.stats.distance_computations, 0);
+    }
+
+    #[test]
+    fn fewer_distance_computations_than_brute_force() {
+        let ps = random_blobs(3);
+        let result = NqDbscan::new(2.0, 5).fit(&ps);
+        let brute = (ps.len() * ps.len()) as u64;
+        assert!(
+            result.stats.distance_computations < brute / 2,
+            "{} of {} brute-force distances",
+            result.stats.distance_computations,
+            brute
+        );
+    }
+
+    #[test]
+    fn higher_dimensional_fallback_is_exact() {
+        let mut rng = SplitMix64::new(5);
+        let mut ps = PointSet::new(14);
+        let mut row = vec![0.0; 14];
+        for c in 0..2 {
+            for _ in 0..40 {
+                for x in row.iter_mut() {
+                    *x = c as f64 * 50.0 + rng.next_f64() * 2.0;
+                }
+                ps.push(&row);
+            }
+        }
+        let exact = Dbscan::new(4.0, 4).fit(&ps);
+        let nq = NqDbscan::new(4.0, 4).fit(&ps);
+        assert_eq!(exact.clustering, nq.clustering);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ps = PointSet::new(2);
+        let result = NqDbscan::new(1.0, 2).fit(&ps);
+        assert!(result.clustering.is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! Data-parallel exact DBSCAN.
+//!
+//! The paper notes that its O(n) range-query factor "can be brought down
+//! further using spatial indices" and cites work on strongly parallelizable
+//! R-trees \[23\]. This module supplies the standard two-phase parallel
+//! DBSCAN (in the style of Patwary et al.'s PDSDBSCAN), built on the same
+//! [`RangeIndex`] engines:
+//!
+//! 1. **parallel core determination** — the ε-neighborhoods of all points
+//!    are computed by a pool of scoped threads (queries are read-only);
+//! 2. **chunked union** — neighbor lists are materialized chunk by chunk
+//!    (bounding memory at `chunk × neighborhood` ids) and folded into a
+//!    union–find sequentially, which is cheap relative to the queries.
+//!
+//! The output is *exactly* DBSCAN's partition of the core points; border
+//! points attach to the cluster of their nearest core neighbor
+//! (deterministic, unlike first-come sequential DBSCAN), and the noise set
+//! is identical to sequential DBSCAN's.
+
+use dbsvec_core::labels::Clustering;
+use dbsvec_core::UnionFind;
+use dbsvec_geometry::{PointId, PointSet};
+use dbsvec_index::{RStarTree, RangeIndex};
+
+/// Counters for a parallel DBSCAN run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParallelDbscanStats {
+    /// Range queries issued (one per point, across all threads).
+    pub range_queries: u64,
+    /// Core points found.
+    pub core_points: u64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Result of a parallel DBSCAN run.
+#[derive(Clone, Debug)]
+pub struct ParallelDbscanResult {
+    /// Final labels.
+    pub clustering: Clustering,
+    /// Cost counters.
+    pub stats: ParallelDbscanStats,
+}
+
+/// Exact DBSCAN with multi-threaded range queries.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelDbscan {
+    eps: f64,
+    min_pts: usize,
+    threads: usize,
+}
+
+impl ParallelDbscan {
+    /// Points processed per parallel batch (bounds peak memory at
+    /// `CHUNK × mean neighborhood size` ids).
+    const CHUNK: usize = 8192;
+
+    /// Creates the algorithm; `threads = 0` means "all available cores".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eps` is positive and finite and `min_pts >= 1`.
+    pub fn new(eps: f64, min_pts: usize, threads: usize) -> Self {
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "eps must be positive and finite"
+        );
+        assert!(min_pts >= 1, "MinPts must be at least 1");
+        Self {
+            eps,
+            min_pts,
+            threads,
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        }
+    }
+
+    /// Clusters `points` over a bulk-loaded R\*-tree.
+    pub fn fit(&self, points: &PointSet) -> ParallelDbscanResult {
+        let index = RStarTree::build(points);
+        self.fit_with_index(points, &index)
+    }
+
+    /// Clusters `points` over a caller-provided engine (must be [`Sync`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index size disagrees with the point set.
+    pub fn fit_with_index<I: RangeIndex + Sync>(
+        &self,
+        points: &PointSet,
+        index: &I,
+    ) -> ParallelDbscanResult {
+        assert_eq!(index.len(), points.len(), "index must cover the point set");
+        let n = points.len();
+        let threads = self.thread_count();
+        let mut stats = ParallelDbscanStats {
+            range_queries: n as u64,
+            threads,
+            ..Default::default()
+        };
+        if n == 0 {
+            return ParallelDbscanResult {
+                clustering: Clustering::from_assignments(Vec::new()),
+                stats,
+            };
+        }
+
+        // Every point is its own union-find set; core sets merge later.
+        let mut uf = UnionFind::new();
+        for _ in 0..n {
+            uf.make_set();
+        }
+
+        let mut core = vec![false; n];
+        // Border bookkeeping: nearest core neighbor seen so far (squared
+        // distance, core id).
+        let mut border_anchor: Vec<Option<(f64, PointId)>> = vec![None; n];
+
+        let mut chunk_neighbors: Vec<Vec<PointId>> = Vec::with_capacity(Self::CHUNK);
+        for chunk_start in (0..n).step_by(Self::CHUNK) {
+            let chunk_end = (chunk_start + Self::CHUNK).min(n);
+            let chunk_len = chunk_end - chunk_start;
+
+            // ---- Parallel phase: materialize the chunk's neighborhoods.
+            chunk_neighbors.clear();
+            chunk_neighbors.resize_with(chunk_len, Vec::new);
+            let per_thread = chunk_len.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, slice) in chunk_neighbors.chunks_mut(per_thread).enumerate() {
+                    let base = chunk_start + t * per_thread;
+                    scope.spawn(move || {
+                        for (k, out) in slice.iter_mut().enumerate() {
+                            let id = (base + k) as PointId;
+                            index.range(points.point(id), self.eps, out);
+                        }
+                    });
+                }
+            });
+
+            // ---- Sequential fold: core flags, unions, border anchors.
+            for (k, neighbors) in chunk_neighbors.iter().enumerate() {
+                let id = (chunk_start + k) as PointId;
+                if neighbors.len() < self.min_pts {
+                    continue;
+                }
+                core[id as usize] = true;
+                for &j in neighbors {
+                    if j == id {
+                        continue;
+                    }
+                    if core[j as usize] {
+                        // Core-core edge. Neighborhoods are symmetric, so
+                        // an edge whose other endpoint proves core later is
+                        // unioned when *that* point's chunk is folded.
+                        uf.union(id, j);
+                    } else {
+                        // Provisionally a border point of `id`'s cluster;
+                        // cleared below if `j` later proves core.
+                        let d = points.squared_distance(id, j);
+                        let slot = &mut border_anchor[j as usize];
+                        if slot.map_or(true, |(best, _)| d < best) {
+                            *slot = Some((d, id));
+                        }
+                    }
+                }
+                // `id` might itself have been provisionally anchored as a
+                // border point of an earlier core; it is core, so drop it.
+                border_anchor[id as usize] = None;
+            }
+        }
+        stats.core_points = core.iter().filter(|&&c| c).count() as u64;
+
+        // ---- Labels: core points by union-find root, border points by
+        // nearest core anchor, everything else noise.
+        let (compact, _) = {
+            // Compact only over core roots: map root -> dense id.
+            let mut mapping = std::collections::HashMap::new();
+            let mut next = 0u32;
+            let mut label_of = vec![u32::MAX; n];
+            for id in 0..n as u32 {
+                if core[id as usize] {
+                    let root = uf.find(id);
+                    let entry = *mapping.entry(root).or_insert_with(|| {
+                        let v = next;
+                        next += 1;
+                        v
+                    });
+                    label_of[id as usize] = entry;
+                }
+            }
+            (label_of, next)
+        };
+
+        let assignments: Vec<Option<u32>> = (0..n)
+            .map(|i| {
+                if core[i] {
+                    Some(compact[i])
+                } else {
+                    border_anchor[i].map(|(_, anchor)| compact[anchor as usize])
+                }
+            })
+            .collect();
+
+        ParallelDbscanResult {
+            clustering: Clustering::from_assignments(assignments),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::Dbscan;
+    use dbsvec_geometry::rng::SplitMix64;
+
+    fn blobs(centers: &[[f64; 2]], per: usize, seed: u64) -> PointSet {
+        let mut rng = SplitMix64::new(seed);
+        let mut ps = PointSet::new(2);
+        for c in centers {
+            for _ in 0..per {
+                ps.push(&[c[0] + rng.next_f64() * 4.0, c[1] + rng.next_f64() * 4.0]);
+            }
+        }
+        ps
+    }
+
+    fn same_partition_on_cores(
+        points: &PointSet,
+        eps: f64,
+        min_pts: usize,
+        a: &Clustering,
+        b: &Clustering,
+    ) {
+        use dbsvec_index::LinearScan;
+        let scan = LinearScan::build(points);
+        let core: Vec<bool> = (0..points.len())
+            .map(|i| scan.count_range(points.point(i as u32), eps) >= min_pts)
+            .collect();
+        for i in 0..points.len() {
+            // Noise sets must agree exactly.
+            assert_eq!(a.is_noise(i), b.is_noise(i), "noise mismatch at {i}");
+            if !core[i] {
+                continue;
+            }
+            #[allow(clippy::needless_range_loop)] // j indexes core and both clusterings
+            for j in (i + 1)..points.len() {
+                if !core[j] {
+                    continue;
+                }
+                assert_eq!(
+                    a.get(i) == a.get(j),
+                    b.get(i) == b.get(j),
+                    "core pair ({i},{j}) split differently"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_dbscan_partition() {
+        let ps = blobs(&[[0.0, 0.0], [40.0, 0.0], [0.0, 40.0]], 150, 1);
+        let seq = Dbscan::new(2.0, 5).fit(&ps).clustering;
+        let par = ParallelDbscan::new(2.0, 5, 4).fit(&ps).clustering;
+        assert_eq!(seq.num_clusters(), par.num_clusters());
+        same_partition_on_cores(&ps, 2.0, 5, &seq, &par);
+    }
+
+    #[test]
+    fn single_thread_equals_multi_thread() {
+        let ps = blobs(&[[0.0, 0.0], [25.0, 25.0]], 200, 2);
+        let one = ParallelDbscan::new(2.0, 5, 1).fit(&ps).clustering;
+        let four = ParallelDbscan::new(2.0, 5, 4).fit(&ps).clustering;
+        assert_eq!(one, four, "thread count must not change the result");
+    }
+
+    #[test]
+    fn noise_detection_matches() {
+        let mut ps = blobs(&[[0.0, 0.0]], 80, 3);
+        ps.push(&[500.0, 500.0]);
+        ps.push(&[-500.0, 300.0]);
+        let seq = Dbscan::new(2.0, 5).fit(&ps).clustering;
+        let par = ParallelDbscan::new(2.0, 5, 3).fit(&ps).clustering;
+        assert_eq!(seq.noise_count(), par.noise_count());
+        assert!(par.is_noise(80) && par.is_noise(81));
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_split_clusters() {
+        // A long chain spanning multiple chunks must remain one cluster.
+        let rows: Vec<Vec<f64>> = (0..20_000).map(|i| vec![i as f64 * 0.4, 0.0]).collect();
+        let ps = PointSet::from_rows(&rows);
+        let par = ParallelDbscan::new(0.5, 2, 4).fit(&ps).clustering;
+        assert_eq!(par.num_clusters(), 1);
+        assert_eq!(par.noise_count(), 0);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let ps = blobs(&[[0.0, 0.0]], 50, 4);
+        let result = ParallelDbscan::new(2.0, 5, 0).fit(&ps);
+        assert!(result.stats.threads >= 1);
+        assert_eq!(result.clustering.num_clusters(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ps = PointSet::new(2);
+        let result = ParallelDbscan::new(1.0, 2, 2).fit(&ps);
+        assert!(result.clustering.is_empty());
+    }
+}

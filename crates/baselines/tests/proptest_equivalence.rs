@@ -1,0 +1,117 @@
+//! Property tests: exact algorithms agree on arbitrary inputs; approximate
+//! ones respect their contracts.
+
+use proptest::prelude::*;
+
+use dbsvec_baselines::{Dbscan, FDbscan, NqDbscan, ParallelDbscan, RhoApproxDbscan};
+use dbsvec_geometry::PointSet;
+
+fn point_set(max_n: usize) -> impl Strategy<Value = PointSet> {
+    (1..=3usize).prop_flat_map(move |d| {
+        prop::collection::vec(prop::collection::vec(-100.0..100.0f64, d), 1..=max_n)
+            .prop_map(|rows| PointSet::from_rows(&rows))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nq_dbscan_is_exactly_dbscan(
+        ps in point_set(120),
+        eps in 1.0..80.0f64,
+        min_pts in 2usize..8,
+    ) {
+        let exact = Dbscan::new(eps, min_pts).fit(&ps).clustering;
+        let nq = NqDbscan::new(eps, min_pts).fit(&ps).clustering;
+        prop_assert_eq!(exact, nq);
+    }
+
+    #[test]
+    fn parallel_dbscan_matches_core_partition_and_noise(
+        ps in point_set(120),
+        eps in 1.0..80.0f64,
+        min_pts in 2usize..8,
+    ) {
+        use dbsvec_index::{LinearScan, RangeIndex};
+        let seq = Dbscan::new(eps, min_pts).fit(&ps).clustering;
+        let par = ParallelDbscan::new(eps, min_pts, 3).fit(&ps).clustering;
+        prop_assert_eq!(seq.num_clusters(), par.num_clusters());
+        let scan = LinearScan::build(&ps);
+        let core: Vec<bool> = (0..ps.len())
+            .map(|i| scan.count_range(ps.point(i as u32), eps) >= min_pts)
+            .collect();
+        for i in 0..ps.len() {
+            prop_assert_eq!(seq.is_noise(i), par.is_noise(i), "noise mismatch at {}", i);
+            if !core[i] {
+                continue;
+            }
+            for j in (i + 1..ps.len()).step_by(5) {
+                if core[j] {
+                    prop_assert_eq!(
+                        seq.get(i) == seq.get(j),
+                        par.get(i) == par.get(j),
+                        "core pair ({}, {})", i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rho_approx_never_loses_true_core_points(
+        ps in point_set(100),
+        eps in 5.0..60.0f64,
+        min_pts in 2usize..6,
+    ) {
+        // ρ-approximate may over-count neighbors (by design) but its core
+        // test must never reject a true core point, so every DBSCAN core
+        // point must be clustered by it.
+        use dbsvec_index::{LinearScan, RangeIndex};
+        let approx = RhoApproxDbscan::new(eps, min_pts, 0.001).fit(&ps).clustering;
+        let scan = LinearScan::build(&ps);
+        for i in 0..ps.len() {
+            if scan.count_range(ps.point(i as u32), eps) >= min_pts {
+                prop_assert!(!approx.is_noise(i), "true core point {} marked noise", i);
+            }
+        }
+    }
+
+    #[test]
+    fn fdbscan_never_invents_clusters(
+        ps in point_set(100),
+        eps in 1.0..60.0f64,
+        min_pts in 2usize..6,
+    ) {
+        // FDBSCAN queries a subset of points, so it can only fragment
+        // DBSCAN clusters, never join DBSCAN-separated core points; its
+        // noise is a superset of DBSCAN's (a border point whose only core
+        // neighbors were never chosen as representatives stays noise).
+        let exact = Dbscan::new(eps, min_pts).fit(&ps).clustering;
+        let fast = FDbscan::new(eps, min_pts).fit(&ps).clustering;
+        prop_assert!(fast.num_clusters() >= exact.num_clusters());
+        for i in 0..ps.len() {
+            if exact.is_noise(i) {
+                prop_assert!(fast.is_noise(i), "DBSCAN noise {} clustered by FDBSCAN", i);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_always_cover_every_point(
+        ps in point_set(80),
+        eps in 1.0..50.0f64,
+        min_pts in 2usize..6,
+    ) {
+        for clustering in [
+            Dbscan::new(eps, min_pts).fit(&ps).clustering,
+            NqDbscan::new(eps, min_pts).fit(&ps).clustering,
+            RhoApproxDbscan::new(eps, min_pts, 0.001).fit(&ps).clustering,
+            FDbscan::new(eps, min_pts).fit(&ps).clustering,
+        ] {
+            prop_assert_eq!(clustering.len(), ps.len());
+            let total: usize = clustering.cluster_sizes().iter().sum();
+            prop_assert_eq!(total + clustering.noise_count(), ps.len());
+        }
+    }
+}

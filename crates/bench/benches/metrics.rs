@@ -1,0 +1,64 @@
+//! Microbenchmark: evaluation metrics.
+//!
+//! The contingency-table recall must stay effectively linear — the paper
+//! notes that computing recall is what limits accuracy experiments to
+//! small datasets, so the evaluation substrate must not be the bottleneck
+//! in ours.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dbsvec_datasets::gaussian_mixture;
+use dbsvec_geometry::rng::SplitMix64;
+use dbsvec_metrics::{
+    adjusted_rand_index, davies_bouldin_separation, normalized_mutual_information, recall,
+    silhouette_compactness,
+};
+
+fn random_labels(n: usize, clusters: u32, noise_pct: f64, seed: u64) -> Vec<Option<u32>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            if rng.next_f64() < noise_pct {
+                None
+            } else {
+                Some(rng.next_below(clusters as u64) as u32)
+            }
+        })
+        .collect()
+}
+
+fn bench_pair_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_metrics");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let a = random_labels(n, 50, 0.05, 1);
+        let b = random_labels(n, 50, 0.05, 2);
+        group.bench_with_input(BenchmarkId::new("recall", n), &n, |bench, _| {
+            bench.iter(|| recall(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("ari", n), &n, |bench, _| {
+            bench.iter(|| adjusted_rand_index(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("nmi", n), &n, |bench, _| {
+            bench.iter(|| normalized_mutual_information(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_internal_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("internal_metrics");
+    group.sample_size(10);
+    let ds = gaussian_mixture(2000, 8, 10, 800.0, 1e5, 3);
+    group.bench_function("silhouette_2k", |b| {
+        b.iter(|| silhouette_compactness(black_box(&ds.points), &ds.truth))
+    });
+    group.bench_function("davies_bouldin_2k", |b| {
+        b.iter(|| davies_bouldin_separation(black_box(&ds.points), &ds.truth))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair_metrics, bench_internal_metrics);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Microbenchmark: the four range-query engines.
+//!
+//! Every algorithm in the workspace reduces to ε-range queries, so the
+//! engine choice dominates end-to-end cost. Expected ordering on clustered
+//! data: grid ≈ kd-tree ≈ R\*-tree ≪ linear scan, with build costs in the
+//! opposite order.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dbsvec_datasets::{random_walk_clusters, RandomWalkConfig};
+use dbsvec_geometry::PointSet;
+use dbsvec_index::{BallTree, GridIndex, KdTree, LinearScan, RStarTree, RangeIndex};
+
+fn workload(n: usize, d: usize) -> PointSet {
+    random_walk_clusters(&RandomWalkConfig::paper_default(n, d), 42).points
+}
+
+fn queries(points: &PointSet, count: usize) -> Vec<Vec<f64>> {
+    (0..count)
+        .map(|i| points.point(((i * 97) % points.len()) as u32).to_vec())
+        .collect()
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_query");
+    group.sample_size(10);
+    let eps = 5000.0;
+    for &n in &[10_000usize, 50_000] {
+        let points = workload(n, 8);
+        let qs = queries(&points, 50);
+        let mut out = Vec::new();
+
+        let linear = LinearScan::build(&points);
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &qs {
+                    out.clear();
+                    linear.range(black_box(q), eps, &mut out);
+                }
+                out.len()
+            })
+        });
+
+        let kd = KdTree::build(&points);
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &qs {
+                    out.clear();
+                    kd.range(black_box(q), eps, &mut out);
+                }
+                out.len()
+            })
+        });
+
+        let rstar = RStarTree::build(&points);
+        group.bench_with_input(BenchmarkId::new("rstar", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &qs {
+                    out.clear();
+                    rstar.range(black_box(q), eps, &mut out);
+                }
+                out.len()
+            })
+        });
+
+        let grid = GridIndex::build(&points, eps);
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &qs {
+                    out.clear();
+                    grid.range(black_box(q), eps, &mut out);
+                }
+                out.len()
+            })
+        });
+
+        let ball = BallTree::build(&points);
+        group.bench_with_input(BenchmarkId::new("balltree", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &qs {
+                    out.clear();
+                    ball.range(black_box(q), eps, &mut out);
+                }
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    let points = workload(50_000, 8);
+    group.bench_function("kdtree", |b| {
+        b.iter(|| KdTree::build(black_box(&points)).node_count())
+    });
+    group.bench_function("rstar_bulk", |b| {
+        b.iter(|| RStarTree::build(black_box(&points)).height())
+    });
+    group.bench_function("grid", |b| {
+        b.iter(|| GridIndex::build(black_box(&points), 5000.0).occupied_cells())
+    });
+    group.bench_function("balltree", |b| {
+        b.iter(|| BallTree::build(black_box(&points)).node_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_builds);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Microbenchmark: the SMO solver and its supporting pieces.
+//!
+//! Validates the §IV-D cost claims: training time should grow roughly
+//! linearly in the target size ñ when ν (and hence the active set) is
+//! small, and the O(ñ) weight proxy should beat the exact O(ñ²) Eq. 5
+//! kernel distance by a widening margin.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dbsvec_datasets::gaussian_mixture;
+use dbsvec_geometry::{PointId, PointSet};
+use dbsvec_svdd::{
+    centroid_distances, kernel_distances, kernel_width_center_radius, penalty_weights,
+    GaussianKernel, SvddProblem, WeightOptions,
+};
+
+fn target(n: usize) -> (PointSet, Vec<PointId>) {
+    let ds = gaussian_mixture(n, 8, 1, 1000.0, 1e5, 7);
+    (ds.points, (0..n as u32).collect())
+}
+
+fn bench_smo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smo_solve");
+    group.sample_size(10);
+    for &n in &[200usize, 800, 3200] {
+        let (points, ids) = target(n);
+        let sigma = kernel_width_center_radius(&points, &ids);
+        let kernel = GaussianKernel::from_width(sigma);
+        group.bench_with_input(BenchmarkId::new("nu_small", n), &n, |b, _| {
+            b.iter(|| {
+                SvddProblem::new(black_box(&points), &ids, kernel)
+                    .with_nu(0.05)
+                    .solve()
+                    .num_support_vectors()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nu_large", n), &n, |b, _| {
+            b.iter(|| {
+                SvddProblem::new(black_box(&points), &ids, kernel)
+                    .with_nu(0.5)
+                    .solve()
+                    .num_support_vectors()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_weights(c: &mut Criterion) {
+    let mut group = c.benchmark_group("penalty_weights");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let (points, ids) = target(n);
+        let kernel = GaussianKernel::from_width(kernel_width_center_radius(&points, &ids));
+        let counts = vec![0u32; n];
+        group.bench_with_input(BenchmarkId::new("proxy_linear", n), &n, |b, _| {
+            b.iter(|| {
+                penalty_weights(
+                    black_box(&points),
+                    &ids,
+                    &counts,
+                    kernel,
+                    1.0,
+                    WeightOptions::default(),
+                )
+                .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_quadratic", n), &n, |b, _| {
+            let opts = WeightOptions {
+                exact_kernel_distance: true,
+                ..Default::default()
+            };
+            b.iter(|| penalty_weights(black_box(&points), &ids, &counts, kernel, 1.0, opts).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_distance");
+    group.sample_size(10);
+    let (points, ids) = target(1000);
+    let kernel = GaussianKernel::from_width(kernel_width_center_radius(&points, &ids));
+    group.bench_function("exact_eq5", |b| {
+        b.iter(|| kernel_distances(black_box(&points), &ids, kernel).len())
+    });
+    group.bench_function("centroid_proxy", |b| {
+        b.iter(|| centroid_distances(black_box(&points), &ids).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_smo, bench_weights, bench_kernel_distance);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Fig. 7 — effect of the radius ε on runtime.
+//!
+//! Sweeps ε from 5000 to 55000 (the paper's range) on the 8-d synthetic
+//! workload, and repeats a shorter sweep on the Corel-Image stand-in
+//! (Fig. 7d's point: on real data the space is large relative to ε, which
+//! floods grid methods with cells).
+//!
+//! Paper shape: R-/kd-DBSCAN and DBSCAN-LSH degrade as ε grows; DBSVEC
+//! gets *faster* (fewer SVDD rounds are needed when each range query
+//! swallows more of the cluster).
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use dbsvec_bench::harness::{fmt_secs, Stopwatch};
+use dbsvec_bench::{parse_args, run_algorithm, Algorithm};
+use dbsvec_datasets::{random_walk_clusters, OpenDataset, RandomWalkConfig};
+
+const MIN_PTS: usize = 100;
+
+fn main() {
+    let args = parse_args();
+    let n = ((2_000_000f64 * args.scale) as usize).max(2_000);
+    let stopwatch = Stopwatch::with_budget(Duration::from_secs_f64(args.budget_secs));
+    let per_run_cap = args.budget_secs / 8.0;
+
+    println!("Fig. 7: runtime vs radius eps (d=8 synthetic, n={n}, MinPts={MIN_PTS})");
+    print!("{:>9}", "eps");
+    for algo in Algorithm::efficiency_suite(10) {
+        print!(" {:>11}", algo.name());
+    }
+    println!();
+
+    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(n, 8), args.seed);
+    let mut timed_out: HashSet<String> = HashSet::new();
+    for eps in [5_000.0, 15_000.0, 25_000.0, 35_000.0, 45_000.0, 55_000.0] {
+        if stopwatch.exhausted() {
+            println!("{eps:>9}  (budget exhausted)");
+            continue;
+        }
+        print!("{eps:>9}");
+        for algo in Algorithm::efficiency_suite(10) {
+            let name = algo.name();
+            if timed_out.contains(&name) {
+                print!(" {:>11}", fmt_secs(Some(f64::INFINITY)));
+                continue;
+            }
+            let out = run_algorithm(algo, &ds.points, eps, MIN_PTS, args.seed);
+            if out.seconds > per_run_cap {
+                timed_out.insert(name);
+            }
+            print!(" {:>11}", fmt_secs(Some(out.seconds)));
+        }
+        println!();
+    }
+
+    // ---- Fig. 7d flavor: a real-ish dataset where the domain dwarfs ε.
+    println!();
+    let standin = OpenDataset::CorelImage.generate_scaled(args.scale.min(0.25), args.seed);
+    let base_eps = standin.suggested.eps;
+    println!(
+        "Fig. 7d: runtime vs eps on {} stand-in (n={}, d={})",
+        standin.name,
+        standin.dataset.len(),
+        standin.dataset.dims()
+    );
+    print!("{:>9}", "eps/e0");
+    for algo in Algorithm::efficiency_suite(10) {
+        print!(" {:>11}", algo.name());
+    }
+    println!();
+    let mut timed_out: HashSet<String> = HashSet::new();
+    for factor in [1.0, 2.0, 4.0] {
+        if stopwatch.exhausted() {
+            println!("{factor:>9}  (budget exhausted)");
+            continue;
+        }
+        print!("{factor:>9}");
+        for algo in Algorithm::efficiency_suite(10) {
+            let name = algo.name();
+            if timed_out.contains(&name) {
+                print!(" {:>11}", fmt_secs(Some(f64::INFINITY)));
+                continue;
+            }
+            let out = run_algorithm(
+                algo,
+                &standin.dataset.points,
+                base_eps * factor,
+                standin.suggested.min_pts,
+                args.seed,
+            );
+            if out.seconds > per_run_cap {
+                timed_out.insert(name);
+            }
+            print!(" {:>11}", fmt_secs(Some(out.seconds)));
+        }
+        println!();
+    }
+    println!(
+        "paper shape: DBSVEC speeds up with eps; DBSCAN/LSH slow down; grids flood on real data"
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig. 8 — effect of the penalty factor ν on DBSVEC's runtime.
+//!
+//! ν lower-bounds the support-vector fraction, so larger ν means more
+//! range queries per expansion round: runtime should increase
+//! monotonically, reaching DBSCAN-like behaviour as ν → 1 (§IV-C). The
+//! harness also prints the support-vector counts so the mechanism is
+//! visible, not just the trend.
+
+use dbsvec_bench::harness::time;
+use dbsvec_bench::parse_args;
+use dbsvec_core::{Dbsvec, DbsvecConfig};
+use dbsvec_datasets::{random_walk_clusters, RandomWalkConfig};
+use dbsvec_index::RStarTree;
+
+fn main() {
+    let args = parse_args();
+    let n = ((2_000_000f64 * args.scale) as usize).max(2_000);
+    let (eps, min_pts) = (5000.0, 100);
+    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(n, 8), args.seed);
+    let index = RStarTree::build(&ds.points);
+
+    println!("Fig. 8: effect of penalty factor nu (d=8 synthetic, n={n})");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10}",
+        "nu", "time", "sup.vectors", "range_q", "clusters"
+    );
+
+    for nu in [0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4] {
+        let (result, secs) = time(|| {
+            Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_nu(nu))
+                .fit_with_index(&ds.points, &index)
+        });
+        println!(
+            "{:>10} {:>9.3}s {:>12} {:>12} {:>10}",
+            nu,
+            secs,
+            result.stats().support_vectors,
+            result.stats().range_queries,
+            result.num_clusters()
+        );
+    }
+
+    // The adaptive ν* for reference.
+    let (result, secs) =
+        time(|| Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit_with_index(&ds.points, &index));
+    println!(
+        "{:>10} {:>9.3}s {:>12} {:>12} {:>10}",
+        "nu*",
+        secs,
+        result.stats().support_vectors,
+        result.stats().range_queries,
+        result.num_clusters()
+    );
+    println!();
+    println!("paper shape: runtime grows with nu (more SVs => more range queries)");
+}

@@ -1,0 +1,91 @@
+//! Fig. 9 — effect of the three SVDD improvements.
+//!
+//! * `recall` (Fig. 9a): recall of `DBSVEC\WF` (no adaptive weights),
+//!   `DBSVEC\IL` (no incremental learning), and full DBSVEC against exact
+//!   DBSCAN over the Table III datasets. Paper: weights are worth 3–8
+//!   recall points; incremental learning barely moves accuracy.
+//! * `efficiency` (Fig. 9b): runtime of `DBSVEC\IL`, `DBSVEC\OK` (random
+//!   kernel widths), and full DBSVEC on the 8-d synthetic workload.
+//!   Paper: both ablations are substantially slower than full DBSVEC.
+
+use dbsvec_bench::{parse_args, run_algorithm, Algorithm, BenchArgs};
+use dbsvec_datasets::{random_walk_clusters, OpenDataset, RandomWalkConfig};
+use dbsvec_metrics::recall;
+
+fn main() {
+    let args = parse_args();
+    match args.free.first().map(String::as_str).unwrap_or("all") {
+        "recall" => recall_panel(&args),
+        "efficiency" => efficiency_panel(&args),
+        "all" => {
+            recall_panel(&args);
+            println!();
+            efficiency_panel(&args);
+        }
+        other => {
+            eprintln!("unknown subcommand {other}; use recall|efficiency|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn recall_panel(args: &BenchArgs) {
+    let variants = [
+        Algorithm::DbsvecNoWeights,
+        Algorithm::DbsvecNoIncremental,
+        Algorithm::Dbsvec,
+    ];
+    println!("Fig. 9a: recall of the SVDD-improvement ablations (vs R-DBSCAN)");
+    print!("{:<12}", "dataset");
+    for algo in &variants {
+        print!(" {:>11}", algo.name());
+    }
+    println!();
+
+    for dataset in OpenDataset::table3() {
+        let scale = if dataset.cardinality() > 20_000 {
+            args.scale.max(0.25)
+        } else {
+            1.0
+        };
+        let standin = dataset.generate_scaled(scale, args.seed);
+        let points = &standin.dataset.points;
+        let eps = standin.suggested.eps;
+        let min_pts = standin.suggested.min_pts;
+        let reference = run_algorithm(Algorithm::RDbscan, points, eps, min_pts, args.seed);
+
+        print!("{:<12}", standin.name);
+        for &algo in &variants {
+            let out = run_algorithm(algo, points, eps, min_pts, args.seed);
+            let r = recall(
+                reference.clustering.assignments(),
+                out.clustering.assignments(),
+            );
+            print!(" {:>11.3}", r);
+        }
+        println!();
+    }
+    println!("paper shape: full DBSVEC >= DBSVEC\\WF; DBSVEC\\IL ~ DBSVEC");
+}
+
+fn efficiency_panel(args: &BenchArgs) {
+    // \IL retrains on the whole sub-cluster each round (quadratic in the
+    // cluster size), so this panel uses a smaller default workload.
+    let n = ((2_000_000f64 * args.scale * 0.25) as usize).max(2_000);
+    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(n, 8), args.seed);
+    let variants = [
+        Algorithm::DbsvecNoIncremental,
+        Algorithm::DbsvecRandomKernel,
+        Algorithm::Dbsvec,
+    ];
+
+    println!("Fig. 9b: runtime of the efficiency ablations (d=8 synthetic, n={n})");
+    println!("{:<12} {:>10}", "variant", "time");
+    for algo in variants {
+        let out = run_algorithm(algo, &ds.points, 5000.0, 100, args.seed);
+        println!("{:<12} {:>9.3}s", out.algorithm.name(), out.seconds);
+    }
+    println!(
+        "paper shape: DBSVEC < DBSVEC\\OK < DBSVEC\\IL (incremental learning saves up to 10x)"
+    );
+}

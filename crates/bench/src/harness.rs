@@ -1,0 +1,193 @@
+//! Shared experiment plumbing: timing, CLI parsing, table printing.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock stopwatch with a per-sweep budget.
+///
+/// The paper caps every run at 10 hours; these harnesses default to a far
+/// smaller per-experiment budget so the full suite finishes on a laptop.
+/// Once the budget is spent the caller is expected to print `timeout` rows,
+/// mirroring how the paper reports algorithms that exceed the limit.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+    budget: Duration,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch with the given budget.
+    pub fn with_budget(budget: Duration) -> Self {
+        Self {
+            start: Instant::now(),
+            budget,
+        }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Whether the budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.elapsed() >= self.budget
+    }
+
+    /// Remaining budget (zero when exhausted).
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.elapsed())
+    }
+}
+
+/// Times one closure, returning its output and the wall-clock seconds.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Common CLI arguments shared by every experiment binary.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Workload scale factor in `(0, 1]` relative to the paper's sizes.
+    pub scale: f64,
+    /// Per-sweep wall-clock budget in seconds.
+    pub budget_secs: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Free arguments (subcommands like `cardinality`).
+    pub free: Vec<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            scale: 0.05,
+            budget_secs: 120.0,
+            seed: 20190401,
+            free: Vec::new(),
+        }
+    }
+}
+
+/// Parses `--scale`, `--budget-secs`, and `--seed` from `std::env::args`,
+/// collecting everything else into [`BenchArgs::free`]. Unknown `--flags`
+/// abort with a usage message.
+pub fn parse_args() -> BenchArgs {
+    parse_arg_list(std::env::args().skip(1))
+}
+
+fn parse_arg_list(args: impl Iterator<Item = String>) -> BenchArgs {
+    let mut out = BenchArgs::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                out.scale = next_value(&mut args, "--scale")
+                    .parse()
+                    .unwrap_or_else(|e| {
+                        eprintln!("bad --scale: {e}");
+                        std::process::exit(2);
+                    });
+                assert!(
+                    out.scale > 0.0 && out.scale <= 1.0,
+                    "--scale must be in (0, 1]"
+                );
+            }
+            "--budget-secs" => {
+                out.budget_secs = next_value(&mut args, "--budget-secs")
+                    .parse()
+                    .unwrap_or_else(|e| {
+                        eprintln!("bad --budget-secs: {e}");
+                        std::process::exit(2);
+                    });
+            }
+            "--seed" => {
+                out.seed = next_value(&mut args, "--seed").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --seed: {e}");
+                    std::process::exit(2);
+                });
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}; supported: --scale F --budget-secs F --seed N");
+                std::process::exit(2);
+            }
+            other => out.free.push(other.to_string()),
+        }
+    }
+    out
+}
+
+fn next_value<I: Iterator<Item = String>>(args: &mut std::iter::Peekable<I>, name: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("missing value for {name}");
+        std::process::exit(2);
+    })
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:>width$}  ", width = width));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Formats seconds for tables (`-` for skipped, `timeout` for exceeded).
+pub fn fmt_secs(value: Option<f64>) -> String {
+    match value {
+        Some(s) if s.is_finite() => format!("{s:.3}s"),
+        Some(_) => "timeout".to_string(),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> BenchArgs {
+        parse_arg_list(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let args = parse(&[]);
+        assert_eq!(args.scale, 0.05);
+        assert_eq!(args.seed, 20190401);
+        assert!(args.free.is_empty());
+    }
+
+    #[test]
+    fn parses_flags_and_free_args() {
+        let args = parse(&["cardinality", "--scale", "0.5", "--seed", "7"]);
+        assert_eq!(args.scale, 0.5);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.free, vec!["cardinality"]);
+    }
+
+    #[test]
+    fn stopwatch_budget() {
+        let sw = Stopwatch::with_budget(Duration::from_secs(3600));
+        assert!(!sw.exhausted());
+        assert!(sw.remaining() > Duration::from_secs(3000));
+        let spent = Stopwatch::with_budget(Duration::ZERO);
+        assert!(spent.exhausted());
+        assert_eq!(spent.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_measures_and_returns() {
+        let (value, secs) = time(|| 41 + 1);
+        assert_eq!(value, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn fmt_secs_variants() {
+        assert_eq!(fmt_secs(None), "-");
+        assert_eq!(fmt_secs(Some(f64::INFINITY)), "timeout");
+        assert_eq!(fmt_secs(Some(1.5)), "1.500s");
+    }
+}

@@ -1,0 +1,201 @@
+//! One entry point per algorithm under evaluation.
+
+use dbsvec_baselines::{Dbscan, DbscanLsh, KMeans, NqDbscan, RhoApproxDbscan};
+use dbsvec_core::{Clustering, Dbsvec, DbsvecConfig};
+use dbsvec_geometry::PointSet;
+use dbsvec_index::KdTree;
+
+use crate::harness::time;
+
+/// The algorithms the paper's experiments compare (§V-A).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// DBSVEC with the adaptive ν* (the paper's "DBSVEC").
+    Dbsvec,
+    /// DBSVEC with ν = 1/ñ (the paper's "DBSVEC_min").
+    DbsvecMin,
+    /// DBSVEC with a fixed ν (the Fig. 8 sweep).
+    DbsvecFixedNu(f64),
+    /// DBSVEC without adaptive penalty weights (Fig. 9 "DBSVEC\WF").
+    DbsvecNoWeights,
+    /// DBSVEC without incremental learning (Fig. 9 "DBSVEC\IL").
+    DbsvecNoIncremental,
+    /// DBSVEC with random kernel widths (Fig. 9 "DBSVEC\OK").
+    DbsvecRandomKernel,
+    /// Exact DBSCAN over an R\*-tree ("R-DBSCAN", the ground truth).
+    RDbscan,
+    /// Exact DBSCAN over a kd-tree ("kd-DBSCAN").
+    KdDbscan,
+    /// ρ-approximate DBSCAN with ρ = 0.001 (paper default).
+    RhoApprox,
+    /// Hashing-based approximate DBSCAN.
+    DbscanLsh,
+    /// NQ-DBSCAN.
+    NqDbscan,
+    /// k-means with the given k.
+    KMeans(usize),
+}
+
+impl Algorithm {
+    /// Display name as used in the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            Algorithm::Dbsvec => "DBSVEC".to_string(),
+            Algorithm::DbsvecMin => "DBSVEC_min".to_string(),
+            Algorithm::DbsvecFixedNu(nu) => format!("DBSVEC(nu={nu})"),
+            Algorithm::DbsvecNoWeights => "DBSVEC\\WF".to_string(),
+            Algorithm::DbsvecNoIncremental => "DBSVEC\\IL".to_string(),
+            Algorithm::DbsvecRandomKernel => "DBSVEC\\OK".to_string(),
+            Algorithm::RDbscan => "R-DBSCAN".to_string(),
+            Algorithm::KdDbscan => "kd-DBSCAN".to_string(),
+            Algorithm::RhoApprox => "rho-Appr".to_string(),
+            Algorithm::DbscanLsh => "DBSCAN-LSH".to_string(),
+            Algorithm::NqDbscan => "NQ-DBSCAN".to_string(),
+            Algorithm::KMeans(_) => "k-MEANS".to_string(),
+        }
+    }
+
+    /// The comparison set of the efficiency figures (Fig. 6–7).
+    pub fn efficiency_suite(k_for_kmeans: usize) -> Vec<Algorithm> {
+        vec![
+            Algorithm::RDbscan,
+            Algorithm::KdDbscan,
+            Algorithm::RhoApprox,
+            Algorithm::DbscanLsh,
+            Algorithm::NqDbscan,
+            Algorithm::KMeans(k_for_kmeans),
+            Algorithm::Dbsvec,
+        ]
+    }
+}
+
+/// Outcome of one timed run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// The labels it produced.
+    pub clustering: Clustering,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Runs one algorithm on `points` with the given DBSCAN-style parameters,
+/// deterministically from `seed` (only the randomized algorithms use it).
+pub fn run_algorithm(
+    algorithm: Algorithm,
+    points: &PointSet,
+    eps: f64,
+    min_pts: usize,
+    seed: u64,
+) -> RunOutcome {
+    let (clustering, seconds) = match algorithm {
+        Algorithm::Dbsvec => time(|| {
+            Dbsvec::new(DbsvecConfig::new(eps, min_pts))
+                .fit(points)
+                .into_labels()
+        }),
+        Algorithm::DbsvecMin => time(|| {
+            Dbsvec::new(DbsvecConfig::new(eps, min_pts).minimal_nu())
+                .fit(points)
+                .into_labels()
+        }),
+        Algorithm::DbsvecFixedNu(nu) => time(|| {
+            Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_nu(nu))
+                .fit(points)
+                .into_labels()
+        }),
+        Algorithm::DbsvecNoWeights => time(|| {
+            Dbsvec::new(DbsvecConfig::new(eps, min_pts).without_weights())
+                .fit(points)
+                .into_labels()
+        }),
+        Algorithm::DbsvecNoIncremental => time(|| {
+            Dbsvec::new(DbsvecConfig::new(eps, min_pts).without_incremental_learning())
+                .fit(points)
+                .into_labels()
+        }),
+        Algorithm::DbsvecRandomKernel => time(|| {
+            Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_random_kernel_width(seed))
+                .fit(points)
+                .into_labels()
+        }),
+        Algorithm::RDbscan => time(|| Dbscan::new(eps, min_pts).fit(points).clustering),
+        Algorithm::KdDbscan => time(|| {
+            let index = KdTree::build(points);
+            Dbscan::new(eps, min_pts)
+                .fit_with_index(points, &index)
+                .clustering
+        }),
+        Algorithm::RhoApprox => time(|| {
+            RhoApproxDbscan::new(eps, min_pts, 0.001)
+                .fit(points)
+                .clustering
+        }),
+        Algorithm::DbscanLsh => time(|| DbscanLsh::new(eps, min_pts, seed).fit(points).clustering),
+        Algorithm::NqDbscan => time(|| NqDbscan::new(eps, min_pts).fit(points).clustering),
+        Algorithm::KMeans(k) => time(|| KMeans::new(k, seed).fit(points).clustering),
+    };
+    RunOutcome {
+        algorithm,
+        clustering,
+        seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsvec_geometry::rng::SplitMix64;
+
+    fn blobs() -> PointSet {
+        let mut rng = SplitMix64::new(1);
+        let mut ps = PointSet::new(2);
+        for c in [[0.0, 0.0], [60.0, 0.0]] {
+            for _ in 0..60 {
+                ps.push(&[c[0] + rng.next_f64() * 4.0, c[1] + rng.next_f64() * 4.0]);
+            }
+        }
+        ps
+    }
+
+    #[test]
+    fn every_algorithm_runs_and_labels_every_point() {
+        let ps = blobs();
+        let mut suite = Algorithm::efficiency_suite(2);
+        suite.extend([
+            Algorithm::DbsvecMin,
+            Algorithm::DbsvecNoWeights,
+            Algorithm::DbsvecNoIncremental,
+            Algorithm::DbsvecRandomKernel,
+            Algorithm::DbsvecFixedNu(0.5),
+        ]);
+        for algo in suite {
+            let out = run_algorithm(algo, &ps, 2.0, 4, 7);
+            assert_eq!(out.clustering.len(), ps.len(), "{}", algo.name());
+            assert!(
+                out.clustering.num_clusters() >= 2,
+                "{} found {} clusters",
+                algo.name(),
+                out.clustering.num_clusters()
+            );
+            assert!(out.seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Algorithm::Dbsvec.name(), "DBSVEC");
+        assert_eq!(Algorithm::RhoApprox.name(), "rho-Appr");
+        assert_eq!(Algorithm::KMeans(5).name(), "k-MEANS");
+        assert_eq!(Algorithm::DbsvecNoWeights.name(), "DBSVEC\\WF");
+    }
+
+    #[test]
+    fn efficiency_suite_matches_figure_six() {
+        let suite = Algorithm::efficiency_suite(10);
+        assert_eq!(suite.len(), 7);
+        assert!(suite.contains(&Algorithm::Dbsvec));
+        assert!(suite.contains(&Algorithm::RDbscan));
+    }
+}

@@ -1,0 +1,172 @@
+//! Minimal flag parser for the CLI (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, `--key value` flags, and `--switch`
+/// booleans.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedArgs {
+    command: Option<String>,
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses a token stream. The first non-flag token is the subcommand;
+    /// `--key value` pairs populate `values`; a `--key` followed by another
+    /// flag (or nothing) is a boolean switch.
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
+        let mut out = ParsedArgs::default();
+        let mut tokens = tokens.into_iter().peekable();
+        while let Some(token) = tokens.next() {
+            if let Some(key) = token.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgError("bare `--` is not a valid flag".into()));
+                }
+                match tokens.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = tokens.next().expect("peeked");
+                        if out.values.insert(key.to_string(), value).is_some() {
+                            return Err(ArgError(format!("--{key} given twice")));
+                        }
+                    }
+                    _ => out.switches.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(token);
+            } else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument {token:?}"
+                )));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The subcommand, if any.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| ArgError(format!("bad value for --{key}: {e}"))),
+        }
+    }
+
+    /// An optional parsed flag.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ArgError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| ArgError(format!("bad value for --{key}: {e}"))),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has_switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Flags the caller never consumed (typo detection).
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), ArgError> {
+        for key in self.values.keys().chain(self.switches.iter()) {
+            if !known.contains(&key.as_str()) {
+                return Err(ArgError(format!("unknown flag --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_flags_and_switches() {
+        let args = parse(&["cluster", "--eps", "1.5", "--svg", "out.svg", "--verbose"]).unwrap();
+        assert_eq!(args.command(), Some("cluster"));
+        assert_eq!(args.require("eps").unwrap(), "1.5");
+        assert_eq!(args.get("svg"), Some("out.svg"));
+        assert!(args.has_switch("verbose"));
+        assert!(!args.has_switch("quiet"));
+    }
+
+    #[test]
+    fn typed_access() {
+        let args = parse(&["x", "--eps", "2.5", "--min-pts", "7"]).unwrap();
+        assert_eq!(args.get_or("eps", 0.0f64).unwrap(), 2.5);
+        assert_eq!(args.get_or("min-pts", 0usize).unwrap(), 7);
+        assert_eq!(args.get_or("seed", 42u64).unwrap(), 42);
+        assert_eq!(args.get_parsed::<f64>("nope").unwrap(), None);
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(parse(&["x", "--eps"]).unwrap().require("eps").is_err()); // switch, not value
+        let err = parse(&["x", "--eps", "abc"])
+            .unwrap()
+            .get_or("eps", 0.0f64)
+            .unwrap_err();
+        assert!(err.0.contains("--eps"));
+        let err = parse(&["x", "--a", "1", "--a", "2"]).unwrap_err();
+        assert!(err.0.contains("twice"));
+        let err = parse(&["x", "y"]).unwrap_err();
+        assert!(err.0.contains("positional"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let args = parse(&["x", "--eps", "1.0", "--oops"]).unwrap();
+        assert!(args.reject_unknown(&["eps"]).is_err());
+        assert!(args.reject_unknown(&["eps", "oops"]).is_ok());
+    }
+
+    #[test]
+    fn no_command() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.command(), None);
+    }
+}

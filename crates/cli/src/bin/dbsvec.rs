@@ -1,0 +1,11 @@
+//! The `dbsvec` command-line tool. All logic lives in `dbsvec_cli`.
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = dbsvec_cli::run(tokens, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

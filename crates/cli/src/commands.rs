@@ -1,0 +1,485 @@
+//! The four CLI subcommands.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+use dbsvec_baselines::{
+    Dbscan, DbscanLsh, FDbscan, Hdbscan, KMeans, NqDbscan, ParallelDbscan, RhoApproxDbscan,
+};
+use dbsvec_core::{Clustering, Dbsvec, DbsvecConfig};
+use dbsvec_datasets::io::{read_csv, write_csv};
+use dbsvec_datasets::plot::write_svg_scatter;
+use dbsvec_datasets::standins::{default_min_pts, suggest_eps};
+use dbsvec_datasets::{
+    chameleon_t48k, chameleon_t710k, random_walk_clusters, spirals, two_moons, Dataset,
+    RandomWalkConfig,
+};
+use dbsvec_geometry::PointSet;
+use dbsvec_index::{k_distance_profile, knee_epsilon, KdTree};
+use dbsvec_metrics::{adjusted_rand_index, recall};
+
+use crate::args::ParsedArgs;
+use crate::CliError;
+
+/// Loads points (labels in the file are ignored) and resolves (ε, MinPts):
+/// explicit flags win; otherwise MinPts comes from the cardinality default
+/// and ε from the k-distance knee.
+fn load_with_params(
+    args: &ParsedArgs,
+    out: &mut dyn Write,
+) -> Result<(PointSet, f64, usize), CliError> {
+    let input = args.require("input")?;
+    let (points, _) = read_csv(Path::new(input))?;
+    if points.is_empty() {
+        return Err(CliError(format!("{input}: no points")));
+    }
+    let min_pts = args.get_or("min-pts", default_min_pts(points.len()))?;
+    let eps = match args.get_parsed::<f64>("eps")? {
+        Some(e) if e > 0.0 => e,
+        Some(e) => return Err(CliError(format!("--eps must be positive, got {e}"))),
+        None => {
+            let index = KdTree::build(&points);
+            let profile = k_distance_profile(&points, &index, min_pts, 500);
+            let eps = knee_epsilon(&profile).unwrap_or_else(|| suggest_eps(&points, min_pts, 1));
+            writeln!(
+                out,
+                "derived eps = {eps:.6} from the {min_pts}-distance knee"
+            )?;
+            eps
+        }
+    };
+    Ok((points, eps, min_pts))
+}
+
+fn print_summary(
+    out: &mut dyn Write,
+    name: &str,
+    clustering: &Clustering,
+    seconds: f64,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{name}: {} clusters, {} noise of {} points in {seconds:.3}s",
+        clustering.num_clusters(),
+        clustering.noise_count(),
+        clustering.len()
+    )?;
+    Ok(())
+}
+
+/// `dbsvec cluster`.
+pub fn cluster(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "input",
+        "algorithm",
+        "eps",
+        "min-pts",
+        "output",
+        "svg",
+        "seed",
+        "k",
+        "min-cluster-size",
+        "stats",
+        "help",
+    ])?;
+    let (points, eps, min_pts) = load_with_params(args, out)?;
+    let seed: u64 = args.get_or("seed", 20190401)?;
+    let algorithm = args.get("algorithm").unwrap_or("dbsvec");
+
+    let start = Instant::now();
+    let (clustering, stats_line) = match algorithm {
+        "dbsvec" => {
+            let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit(&points);
+            let s = *result.stats();
+            (
+                result.into_labels(),
+                Some(format!(
+                    "range queries {} (theta {:.3}), SVDD trainings {}, support vectors {}",
+                    s.range_queries,
+                    s.theta(points.len()),
+                    s.svdd_trainings,
+                    s.support_vectors
+                )),
+            )
+        }
+        "dbsvec-min" => {
+            let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts).minimal_nu()).fit(&points);
+            let s = *result.stats();
+            (
+                result.into_labels(),
+                Some(format!(
+                    "range queries {} (theta {:.3})",
+                    s.range_queries,
+                    s.theta(points.len())
+                )),
+            )
+        }
+        "dbscan" => (Dbscan::new(eps, min_pts).fit(&points).clustering, None),
+        "kd-dbscan" => {
+            let index = KdTree::build(&points);
+            (
+                Dbscan::new(eps, min_pts)
+                    .fit_with_index(&points, &index)
+                    .clustering,
+                None,
+            )
+        }
+        "parallel-dbscan" => (
+            ParallelDbscan::new(eps, min_pts, 0).fit(&points).clustering,
+            None,
+        ),
+        "rho-approx" => (
+            RhoApproxDbscan::new(eps, min_pts, 0.001)
+                .fit(&points)
+                .clustering,
+            None,
+        ),
+        "dbscan-lsh" => (
+            DbscanLsh::new(eps, min_pts, seed).fit(&points).clustering,
+            None,
+        ),
+        "nq-dbscan" => (NqDbscan::new(eps, min_pts).fit(&points).clustering, None),
+        "fdbscan" => (FDbscan::new(eps, min_pts).fit(&points).clustering, None),
+        "kmeans" => {
+            let k: usize = args.get_or("k", 8)?;
+            (KMeans::new(k, seed).fit(&points).clustering, None)
+        }
+        "hdbscan" => {
+            let mcs: usize = args.get_or("min-cluster-size", min_pts.max(5))?;
+            let result = Hdbscan::new(min_pts, mcs).fit(&points);
+            (
+                result.clustering,
+                Some(format!(
+                    "condensed clusters {}, selected {}",
+                    result.stats.condensed_clusters, result.stats.selected_clusters
+                )),
+            )
+        }
+        other => return Err(CliError(format!("unknown algorithm {other:?}"))),
+    };
+    let seconds = start.elapsed().as_secs_f64();
+
+    writeln!(out, "parameters: eps = {eps:.6}, MinPts = {min_pts}")?;
+    print_summary(out, algorithm, &clustering, seconds)?;
+    if args.has_switch("stats") {
+        if let Some(line) = stats_line {
+            writeln!(out, "cost: {line}")?;
+        }
+    }
+
+    if let Some(output) = args.get("output") {
+        write_csv(Path::new(output), &points, Some(clustering.assignments()))?;
+        writeln!(out, "labels written to {output}")?;
+    }
+    if let Some(svg) = args.get("svg") {
+        if points.dims() == 2 {
+            write_svg_scatter(Path::new(svg), &points, clustering.assignments(), 800)?;
+            writeln!(out, "plot written to {svg}")?;
+        } else {
+            writeln!(out, "skipping --svg: data is {}-dimensional", points.dims())?;
+        }
+    }
+    Ok(())
+}
+
+/// `dbsvec compare`.
+pub fn compare(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["input", "eps", "min-pts", "seed", "help"])?;
+    let (points, eps, min_pts) = load_with_params(args, out)?;
+
+    let t0 = Instant::now();
+    let dbscan = Dbscan::new(eps, min_pts).fit(&points);
+    let dbscan_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let dbsvec = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit(&points);
+    let dbsvec_secs = t1.elapsed().as_secs_f64();
+
+    writeln!(out, "parameters: eps = {eps:.6}, MinPts = {min_pts}")?;
+    print_summary(out, "DBSCAN", &dbscan.clustering, dbscan_secs)?;
+    print_summary(out, "DBSVEC", dbsvec.labels(), dbsvec_secs)?;
+    let r = recall(
+        dbscan.clustering.assignments(),
+        dbsvec.labels().assignments(),
+    );
+    let ari = adjusted_rand_index(
+        dbscan.clustering.assignments(),
+        dbsvec.labels().assignments(),
+    );
+    writeln!(
+        out,
+        "agreement: recall = {r:.4}, ARI = {ari:.4}; queries {} vs {}; speedup {:.2}x",
+        dbsvec.stats().range_queries,
+        dbscan.stats.range_queries,
+        dbscan_secs / dbsvec_secs.max(1e-9)
+    )?;
+    Ok(())
+}
+
+/// `dbsvec generate`.
+pub fn generate(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["dataset", "n", "dims", "seed", "output", "help"])?;
+    let name = args.require("dataset")?;
+    let output = args.require("output")?.to_string();
+    let seed: u64 = args.get_or("seed", 20190401)?;
+    let n: usize = args.get_or("n", 8000)?;
+    let dims: usize = args.get_or("dims", 2)?;
+
+    let dataset: Dataset = match name {
+        "t48k" => chameleon_t48k(seed),
+        "t710k" => chameleon_t710k(seed),
+        "moons" => two_moons(n, 0.05, seed),
+        "spirals" => spirals(n, 3, 1.25, 0.015, seed),
+        "walk" => random_walk_clusters(&RandomWalkConfig::paper_default(n, dims), seed),
+        other => return Err(CliError(format!("unknown dataset {other:?}"))),
+    };
+    write_csv(Path::new(&output), &dataset.points, Some(&dataset.truth))?;
+    writeln!(
+        out,
+        "wrote {} points ({}-d, {} ground-truth clusters) to {output}",
+        dataset.len(),
+        dataset.dims(),
+        dataset.truth_clusters()
+    )?;
+    Ok(())
+}
+
+/// `dbsvec suggest`.
+pub fn suggest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["input", "min-pts", "help"])?;
+    let input = args.require("input")?;
+    let (points, _) = read_csv(Path::new(input))?;
+    if points.is_empty() {
+        return Err(CliError(format!("{input}: no points")));
+    }
+    let min_pts = args.get_or("min-pts", default_min_pts(points.len()))?;
+    let index = KdTree::build(&points);
+    let profile = k_distance_profile(&points, &index, min_pts, 500);
+    let knee = knee_epsilon(&profile);
+    writeln!(
+        out,
+        "n = {}, d = {}, MinPts = {min_pts}",
+        points.len(),
+        points.dims()
+    )?;
+    match knee {
+        Some(eps) => writeln!(out, "suggested eps = {eps:.6} (k-distance knee)")?,
+        None => writeln!(out, "profile too short for a knee; try a larger sample")?,
+    }
+    let fallback = suggest_eps(&points, min_pts, 1);
+    writeln!(out, "median-based fallback eps = {fallback:.6}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    fn tempfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dbsvec-cli-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn run_ok(tokens: &[&str]) -> String {
+        let mut out = Vec::new();
+        run(tokens.iter().map(|s| s.to_string()).collect(), &mut out)
+            .unwrap_or_else(|e| panic!("command {tokens:?} failed: {e}"));
+        String::from_utf8(out).unwrap()
+    }
+
+    fn run_err(tokens: &[&str]) -> String {
+        let mut out = Vec::new();
+        run(tokens.iter().map(|s| s.to_string()).collect(), &mut out)
+            .expect_err("command should fail")
+            .0
+    }
+
+    #[test]
+    fn generate_then_cluster_then_compare_round_trip() {
+        let data = tempfile("roundtrip.csv");
+        let labels = tempfile("roundtrip-labels.csv");
+        let data_s = data.to_str().unwrap();
+        let labels_s = labels.to_str().unwrap();
+
+        let text = run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "600",
+            "--output",
+            data_s,
+        ]);
+        assert!(text.contains("600 points"));
+
+        let text = run_ok(&[
+            "cluster",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--output",
+            labels_s,
+            "--stats",
+        ]);
+        assert!(text.contains("dbsvec:"), "missing summary in {text}");
+        assert!(text.contains("cost:"));
+
+        let (points, read_labels) = read_csv(&labels).unwrap();
+        assert_eq!(points.len(), 600);
+        assert!(read_labels.is_some());
+
+        let text = run_ok(&[
+            "compare",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+        ]);
+        assert!(text.contains("agreement: recall = 1.0000"), "got: {text}");
+
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&labels).ok();
+    }
+
+    #[test]
+    fn every_algorithm_name_is_accepted() {
+        let data = tempfile("algos.csv");
+        let data_s = data.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "200",
+            "--output",
+            data_s,
+        ]);
+        for algo in [
+            "dbsvec",
+            "dbsvec-min",
+            "dbscan",
+            "kd-dbscan",
+            "parallel-dbscan",
+            "rho-approx",
+            "dbscan-lsh",
+            "nq-dbscan",
+            "fdbscan",
+            "kmeans",
+            "hdbscan",
+        ] {
+            let text = run_ok(&[
+                "cluster",
+                "--input",
+                data_s,
+                "--algorithm",
+                algo,
+                "--eps",
+                "0.2",
+                "--min-pts",
+                "4",
+            ]);
+            assert!(text.contains(algo), "{algo} summary missing: {text}");
+        }
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn eps_is_derived_when_omitted() {
+        let data = tempfile("derive.csv");
+        let data_s = data.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "400",
+            "--output",
+            data_s,
+        ]);
+        let text = run_ok(&["cluster", "--input", data_s, "--min-pts", "5"]);
+        assert!(text.contains("derived eps"), "got: {text}");
+        let text = run_ok(&["suggest", "--input", data_s, "--min-pts", "5"]);
+        assert!(text.contains("suggested eps"));
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn svg_output_for_2d_data() {
+        let data = tempfile("svg.csv");
+        let svg = tempfile("svg.svg");
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "300",
+            "--output",
+            data.to_str().unwrap(),
+        ]);
+        run_ok(&[
+            "cluster",
+            "--input",
+            data.to_str().unwrap(),
+            "--eps",
+            "0.2",
+            "--min-pts",
+            "4",
+            "--svg",
+            svg.to_str().unwrap(),
+        ]);
+        let content = std::fs::read_to_string(&svg).unwrap();
+        assert!(content.contains("</svg>"));
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&svg).ok();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run_err(&[]).contains("USAGE"));
+        assert!(run_err(&["frobnicate"]).contains("unknown command"));
+        assert!(run_err(&["cluster"]).contains("--input"));
+        assert!(
+            run_err(&["cluster", "--input", "/nonexistent-file.csv"]).contains("No such file")
+                || run_err(&["cluster", "--input", "/nonexistent-file.csv"]).contains("(os error")
+        );
+        let data = tempfile("badalgo.csv");
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "100",
+            "--output",
+            data.to_str().unwrap(),
+        ]);
+        assert!(run_err(&[
+            "cluster",
+            "--input",
+            data.to_str().unwrap(),
+            "--algorithm",
+            "magic",
+            "--eps",
+            "0.2",
+        ])
+        .contains("unknown algorithm"));
+        assert!(
+            run_err(&["generate", "--dataset", "nope", "--output", "/tmp/x.csv"])
+                .contains("unknown dataset")
+        );
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_ok(&["--help"]);
+        assert!(text.contains("USAGE"));
+    }
+}

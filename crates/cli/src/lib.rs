@@ -1,0 +1,87 @@
+//! Library backing the `dbsvec` command-line tool.
+//!
+//! Thin, testable wrappers around the workspace crates:
+//!
+//! * `dbsvec cluster` — cluster a CSV of points with DBSVEC or any
+//!   baseline, writing labels (and optionally an SVG scatter for 2-D data);
+//!   ε can be derived automatically from the k-distance knee;
+//! * `dbsvec compare` — run DBSVEC and exact DBSCAN side by side and
+//!   report agreement (recall, ARI) and timings;
+//! * `dbsvec generate` — emit one of the synthetic benchmark datasets as
+//!   CSV;
+//! * `dbsvec suggest` — print the k-distance-derived ε for a dataset.
+//!
+//! All user errors surface as [`CliError`] with a message suitable for
+//! stderr; the binary in `src/bin/dbsvec.rs` is a trivial shell around
+//! [`run`].
+
+pub mod args;
+pub mod commands;
+
+use args::{ArgError, ParsedArgs};
+
+/// A user-facing CLI failure.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError(e.0)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Usage text printed for `--help` / missing subcommands.
+pub const USAGE: &str = "\
+dbsvec-cli — density-based clustering using support vector expansion (ICDE 2019)
+
+USAGE:
+  dbsvec-cli cluster  --input points.csv [--algorithm NAME] [--eps F] [--min-pts N]
+                  [--output labels.csv] [--svg plot.svg] [--seed N] [--stats]
+  dbsvec-cli compare  --input points.csv [--eps F] [--min-pts N] [--seed N]
+  dbsvec-cli generate --dataset NAME [--n N] [--dims D] [--seed N] --output file.csv
+  dbsvec-cli suggest  --input points.csv [--min-pts N]
+
+ALGORITHMS (for --algorithm):
+  dbsvec (default) | dbsvec-min | dbscan | kd-dbscan | parallel-dbscan |
+  rho-approx | dbscan-lsh | nq-dbscan | fdbscan | kmeans (uses --k) |
+  hdbscan (uses --min-cluster-size; --min-pts doubles as min_samples)
+
+DATASETS (for --dataset):
+  t48k | t710k | moons | spirals | walk (uses --n, --dims)
+
+Omitting --eps derives it from the k-distance knee (Schubert et al. 2017);
+omitting --min-pts uses a cardinality-based default.
+";
+
+/// Entry point shared by the binary and the tests: parses `tokens`
+/// (without the program name) and runs the requested command, writing
+/// human-readable output through `out`.
+pub fn run(tokens: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let parsed = ParsedArgs::parse(tokens)?;
+    if parsed.has_switch("help") {
+        writeln!(out, "{USAGE}")?;
+        return Ok(());
+    }
+    match parsed.command() {
+        Some("cluster") => commands::cluster(&parsed, out),
+        Some("compare") => commands::compare(&parsed, out),
+        Some("generate") => commands::generate(&parsed, out),
+        Some("suggest") => commands::suggest(&parsed, out),
+        Some(other) => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
+        None => Err(CliError(format!("no command given\n\n{USAGE}"))),
+    }
+}

@@ -1,0 +1,426 @@
+//! The DBSVEC driver (paper Algorithm 2).
+
+use dbsvec_geometry::{PointId, PointSet};
+use dbsvec_index::{RStarTree, RangeIndex};
+
+use crate::config::DbsvecConfig;
+use crate::expand::sv_expand_cluster;
+use crate::labels::Clustering;
+use crate::noise::verify_noise;
+use crate::runner::RunState;
+use crate::stats::DbsvecStats;
+
+/// The DBSVEC clustering algorithm.
+///
+/// Construct with a [`DbsvecConfig`] and call [`Dbsvec::fit`]:
+///
+/// ```
+/// use dbsvec_core::{Dbsvec, DbsvecConfig};
+/// use dbsvec_geometry::PointSet;
+///
+/// let mut ps = PointSet::new(2);
+/// for i in 0..30 {
+///     ps.push(&[i as f64 * 0.1, 0.0]);       // a dense line cluster
+///     ps.push(&[i as f64 * 0.1, 100.0]);     // another, far away
+/// }
+/// let result = Dbsvec::new(DbsvecConfig::new(0.5, 4)).fit(&ps);
+/// assert_eq!(result.num_clusters(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dbsvec {
+    config: DbsvecConfig,
+}
+
+/// Output of a DBSVEC run: the clustering plus the cost counters that back
+/// the paper's complexity claims.
+#[derive(Clone, Debug)]
+pub struct DbsvecResult {
+    clustering: Clustering,
+    stats: DbsvecStats,
+    core_points: Vec<PointId>,
+}
+
+impl DbsvecResult {
+    /// The final cluster labels.
+    pub fn labels(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Consumes the result, keeping only the labels.
+    pub fn into_labels(self) -> Clustering {
+        self.clustering
+    }
+
+    /// Number of clusters found.
+    pub fn num_clusters(&self) -> usize {
+        self.clustering.num_clusters()
+    }
+
+    /// Run statistics (range queries, SVDD trainings, merges, ...).
+    pub fn stats(&self) -> &DbsvecStats {
+        &self.stats
+    }
+
+    /// Ids of the points *verified* as core during the run (seeds, core
+    /// support vectors, merge/noise-verification tests). Every clustered
+    /// point lies within ε of one of these — it was absorbed from such a
+    /// point's neighborhood — so they are exactly what
+    /// [`crate::predict::ClusterModel`] needs for out-of-sample
+    /// classification.
+    pub fn core_point_ids(&self) -> Vec<PointId> {
+        self.core_points.clone()
+    }
+}
+
+impl Dbsvec {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: DbsvecConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DbsvecConfig {
+        &self.config
+    }
+
+    /// Clusters `points`, building a bulk-loaded R\*-tree for the range
+    /// queries (the paper's default substrate).
+    pub fn fit(&self, points: &PointSet) -> DbsvecResult {
+        let index = RStarTree::build(points);
+        self.fit_with_index(points, &index)
+    }
+
+    /// Clusters `points` using a caller-provided range-query engine. The
+    /// engine must index exactly `points` (same ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index size disagrees with the point set.
+    pub fn fit_with_index<I: RangeIndex>(&self, points: &PointSet, index: &I) -> DbsvecResult {
+        assert_eq!(
+            index.len(),
+            points.len(),
+            "index covers {} points but the set has {}",
+            index.len(),
+            points.len()
+        );
+        let mut state = RunState::new(points, index, &self.config);
+
+        // ---- Initialization + expansion (Algorithm 2 lines 2–12).
+        let mut neighborhood: Vec<PointId> = Vec::new();
+        for i in 0..points.len() as u32 {
+            if !state.labels.is_unclassified(i) {
+                continue;
+            }
+            state.range_query(i, &mut neighborhood);
+            if neighborhood.len() < self.config.min_pts {
+                // Potential noise; keep the (small) neighborhood for the
+                // verification pass (lines 13–15).
+                state.labels.set_noise(i);
+                state.noise_list.push((i, neighborhood.clone()));
+                continue;
+            }
+
+            // Seed a new sub-cluster from the ε-neighborhood (Corollary 1).
+            state.stats.seeds += 1;
+            let raw_cid = state.uf.make_set();
+            state.labels.set_cluster(i, raw_cid);
+            let mut members = vec![i];
+            let neigh = std::mem::take(&mut neighborhood);
+            for &j in &neigh {
+                if j != i {
+                    state.absorb_or_merge(j, raw_cid, &mut members);
+                }
+            }
+            neighborhood = neigh;
+
+            // ---- Support vector expansion (Algorithm 3).
+            sv_expand_cluster(&mut state, raw_cid, members);
+        }
+
+        // ---- Noise verification (Algorithm 2 line 16).
+        verify_noise(&mut state);
+
+        // ---- Finalize: resolve merges, compact cluster ids.
+        let RunState {
+            labels,
+            mut uf,
+            stats,
+            core_status,
+            ..
+        } = state;
+        let core_points: Vec<PointId> = core_status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, crate::runner::CoreStatus::Core))
+            .map(|(i, _)| i as PointId)
+            .collect();
+        let (compact, _) = uf.compact_labels();
+        let clustering = labels.finalize(|raw| compact[raw as usize]);
+        DbsvecResult {
+            clustering,
+            stats,
+            core_points,
+        }
+    }
+}
+
+/// One-call convenience: DBSVEC with the paper's recommended configuration.
+///
+/// ```
+/// use dbsvec_geometry::PointSet;
+///
+/// let ps = PointSet::from_rows(&[vec![0.0], vec![0.1], vec![0.2], vec![9.0]]);
+/// let clustering = dbsvec_core::dbsvec(&ps, 0.3, 2);
+/// assert_eq!(clustering.num_clusters(), 1);
+/// assert!(clustering.is_noise(3));
+/// ```
+pub fn dbsvec(points: &PointSet, eps: f64, min_pts: usize) -> Clustering {
+    Dbsvec::new(DbsvecConfig::new(eps, min_pts))
+        .fit(points)
+        .into_labels()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NuStrategy;
+    use dbsvec_geometry::rng::SplitMix64;
+    use dbsvec_index::{CountingIndex, LinearScan};
+
+    /// Brute-force reference DBSCAN used as the correctness oracle.
+    fn dbscan_oracle(points: &PointSet, eps: f64, min_pts: usize) -> Vec<Option<u32>> {
+        let n = points.len();
+        let eps_sq = eps * eps;
+        let neighbors: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| points.squared_distance(i as u32, j as u32) <= eps_sq)
+                    .collect()
+            })
+            .collect();
+        let core: Vec<bool> = neighbors.iter().map(|nb| nb.len() >= min_pts).collect();
+        let mut labels: Vec<Option<u32>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut next_cluster = 0u32;
+        for start in 0..n {
+            if visited[start] || !core[start] {
+                continue;
+            }
+            let cid = next_cluster;
+            next_cluster += 1;
+            let mut stack = vec![start];
+            visited[start] = true;
+            labels[start] = Some(cid);
+            while let Some(p) = stack.pop() {
+                for &q in &neighbors[p] {
+                    if labels[q].is_none() {
+                        labels[q] = Some(cid);
+                    }
+                    if core[q] && !visited[q] {
+                        visited[q] = true;
+                        stack.push(q);
+                    }
+                }
+            }
+        }
+        labels
+    }
+
+    /// Same-cluster pair recall of `got` against the oracle (1.0 = every
+    /// oracle pair preserved).
+    fn pair_recall(oracle: &[Option<u32>], got: &[Option<u32>]) -> f64 {
+        let n = oracle.len();
+        let mut oracle_pairs = 0u64;
+        let mut kept = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if oracle[i].is_some() && oracle[i] == oracle[j] {
+                    oracle_pairs += 1;
+                    if got[i].is_some() && got[i] == got[j] {
+                        kept += 1;
+                    }
+                }
+            }
+        }
+        if oracle_pairs == 0 {
+            1.0
+        } else {
+            kept as f64 / oracle_pairs as f64
+        }
+    }
+
+    fn blobs(centers: &[[f64; 2]], per: usize, spread: f64, seed: u64) -> PointSet {
+        let mut rng = SplitMix64::new(seed);
+        let mut ps = PointSet::new(2);
+        for c in centers {
+            for _ in 0..per {
+                let x: f64 = (0..12).map(|_| rng.next_f64()).sum::<f64>() - 6.0;
+                let y: f64 = (0..12).map(|_| rng.next_f64()).sum::<f64>() - 6.0;
+                ps.push(&[c[0] + spread * x, c[1] + spread * y]);
+            }
+        }
+        ps
+    }
+
+    #[test]
+    fn separates_well_spaced_blobs() {
+        let ps = blobs(&[[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]], 80, 1.0, 42);
+        let result = Dbsvec::new(DbsvecConfig::new(4.0, 8)).fit(&ps);
+        assert_eq!(result.num_clusters(), 3);
+        // Each blob should be (almost) one cluster.
+        let sizes = result.labels().cluster_sizes();
+        for &s in &sizes {
+            assert!(s >= 75, "cluster sizes {sizes:?} too uneven");
+        }
+    }
+
+    #[test]
+    fn matches_dbscan_on_blobs() {
+        let ps = blobs(&[[0.0, 0.0], [30.0, 0.0]], 100, 1.0, 7);
+        let oracle = dbscan_oracle(&ps, 3.0, 8);
+        let got = Dbsvec::new(DbsvecConfig::new(3.0, 8)).fit(&ps);
+        let recall = pair_recall(&oracle, got.labels().assignments());
+        assert!(recall > 0.999, "recall {recall} too low");
+        // Theorem 3: identical noise.
+        let oracle_noise: Vec<bool> = oracle.iter().map(Option::is_none).collect();
+        let got_noise: Vec<bool> = got
+            .labels()
+            .assignments()
+            .iter()
+            .map(Option::is_none)
+            .collect();
+        assert_eq!(oracle_noise, got_noise);
+    }
+
+    #[test]
+    fn necessity_guarantee_holds() {
+        // Theorem 1: every DBSVEC cluster is a subset of a DBSCAN cluster.
+        let ps = blobs(&[[0.0, 0.0], [14.0, 0.0], [28.0, 0.0]], 60, 1.4, 99);
+        let oracle = dbscan_oracle(&ps, 2.5, 6);
+        let got = Dbsvec::new(DbsvecConfig::new(2.5, 6)).fit(&ps);
+        // For every pair in the same DBSVEC cluster, the oracle must agree
+        // (both clustered together) unless the oracle calls one of them
+        // noise — which Theorem 3 forbids, so check that too.
+        let a = got.labels().assignments();
+        for i in 0..ps.len() {
+            for j in (i + 1)..ps.len() {
+                if a[i].is_some() && a[i] == a[j] {
+                    assert_eq!(
+                        oracle[i], oracle[j],
+                        "DBSVEC joined {i} and {j} but DBSCAN separated them"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_noise_dataset() {
+        // Points pairwise farther than eps: everything is noise.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 10.0, 0.0]).collect();
+        let ps = PointSet::from_rows(&rows);
+        let result = Dbsvec::new(DbsvecConfig::new(1.0, 3)).fit(&ps);
+        assert_eq!(result.num_clusters(), 0);
+        assert_eq!(result.labels().noise_count(), 20);
+        assert_eq!(result.stats().noise_confirmed, 20);
+    }
+
+    #[test]
+    fn single_dense_cluster_no_noise() {
+        let ps = blobs(&[[0.0, 0.0]], 150, 1.0, 3);
+        let result = Dbsvec::new(DbsvecConfig::new(3.0, 5)).fit(&ps);
+        assert_eq!(result.num_clusters(), 1);
+        assert_eq!(result.labels().noise_count(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ps = PointSet::new(2);
+        let result = Dbsvec::new(DbsvecConfig::new(1.0, 3)).fit(&ps);
+        assert!(result.labels().is_empty());
+        assert_eq!(result.num_clusters(), 0);
+    }
+
+    #[test]
+    fn uses_far_fewer_range_queries_than_points() {
+        let ps = blobs(&[[0.0, 0.0], [40.0, 40.0]], 400, 1.5, 21);
+        let index = CountingIndex::new(LinearScan::build(&ps));
+        let result = Dbsvec::new(DbsvecConfig::new(4.0, 10)).fit_with_index(&ps, &index);
+        assert_eq!(result.num_clusters(), 2);
+        let theta = result.stats().theta(ps.len());
+        assert!(
+            theta < 0.5,
+            "θ = {theta} — support vector expansion saved nothing"
+        );
+        // The internal counter matches the index's own accounting.
+        assert_eq!(result.stats().range_queries, index.stats().queries);
+    }
+
+    #[test]
+    fn ablations_still_cluster_correctly() {
+        let ps = blobs(&[[0.0, 0.0], [25.0, 0.0]], 70, 1.2, 17);
+        for config in [
+            DbsvecConfig::new(3.0, 6).without_weights(),
+            DbsvecConfig::new(3.0, 6).without_incremental_learning(),
+            DbsvecConfig::new(3.0, 6).with_random_kernel_width(5),
+            DbsvecConfig::new(3.0, 6).minimal_nu(),
+        ] {
+            let result = Dbsvec::new(config.clone()).fit(&ps);
+            let oracle = dbscan_oracle(&ps, 3.0, 6);
+            let recall = pair_recall(&oracle, result.labels().assignments());
+            assert!(recall > 0.95, "recall {recall} too low for {config:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let ps = blobs(&[[0.0, 0.0], [20.0, 5.0]], 90, 1.3, 55);
+        let a = Dbsvec::new(DbsvecConfig::new(2.5, 7)).fit(&ps);
+        let b = Dbsvec::new(DbsvecConfig::new(2.5, 7)).fit(&ps);
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn border_points_join_their_nearest_core_cluster() {
+        // A dense clump plus one border point within eps of the clump edge.
+        let mut ps = PointSet::new(2);
+        for i in 0..10 {
+            for j in 0..10 {
+                ps.push(&[i as f64 * 0.1, j as f64 * 0.1]);
+            }
+        }
+        let border = ps.push(&[1.2, 0.45]); // within 0.4 of the (0.9, 0.45) area
+        let result = Dbsvec::new(DbsvecConfig::new(0.4, 8)).fit(&ps);
+        assert_eq!(result.num_clusters(), 1);
+        assert!(
+            !result.labels().is_noise(border as usize),
+            "border point must be attached by noise verification"
+        );
+    }
+
+    #[test]
+    fn nu_one_degenerates_toward_dbscan() {
+        // §IV-C: as ν → 1 every point becomes a support vector.
+        let ps = blobs(&[[0.0, 0.0]], 60, 1.0, 9);
+        let mut config = DbsvecConfig::new(3.0, 5);
+        config.nu = NuStrategy::Fixed(1.0);
+        let result = Dbsvec::new(config).fit(&ps);
+        assert_eq!(result.num_clusters(), 1);
+        // Nearly every point should have been queried.
+        assert!(result.stats().support_vectors as usize >= 50);
+    }
+
+    #[test]
+    fn stats_account_for_every_phase() {
+        let ps = blobs(&[[0.0, 0.0], [30.0, 0.0]], 80, 1.1, 33);
+        let result = Dbsvec::new(DbsvecConfig::new(3.0, 6)).fit(&ps);
+        let s = result.stats();
+        assert!(s.seeds >= 2);
+        assert!(s.svdd_trainings >= s.seeds);
+        assert!(s.support_vectors >= s.core_support_vectors);
+        assert!(s.range_queries > 0);
+        assert!(s.max_target_size > 0);
+    }
+}

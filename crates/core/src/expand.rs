@@ -1,0 +1,110 @@
+//! Support vector expansion (paper Algorithm 3).
+//!
+//! Given a freshly seeded sub-cluster, repeatedly:
+//!
+//! 1. train (weighted) SVDD on the current target set,
+//! 2. run ε-range queries **only on the support vectors**,
+//! 3. absorb the newly discovered neighbors of *core* support vectors into
+//!    the sub-cluster (merging with other sub-clusters through overlapping
+//!    core points),
+//!
+//! until a round discovers nothing new. The paper presents this as
+//! recursion; the loop below is the equivalent iteration (each round only
+//! depends on the points added by the previous one), which avoids unbounded
+//! stack depth on datasets whose clusters span thousands of expansion
+//! rounds.
+
+use dbsvec_geometry::PointId;
+use dbsvec_index::RangeIndex;
+use dbsvec_svdd::{
+    params::nu_to_c, penalty_weights, GaussianKernel, IncrementalTarget, SvddProblem,
+};
+
+use crate::runner::RunState;
+
+/// Expands the sub-cluster `raw_cid`, seeded with `initial_members`.
+pub(crate) fn sv_expand_cluster<I: RangeIndex>(
+    state: &mut RunState<'_, I>,
+    raw_cid: u32,
+    initial_members: Vec<PointId>,
+) {
+    // With incremental learning off (the DBSVEC\IL ablation) the target set
+    // is the whole sub-cluster: an unreachable threshold disables eviction.
+    let threshold = if state.config.incremental {
+        state.config.learning_threshold
+    } else {
+        u32::MAX
+    };
+    let mut target = IncrementalTarget::new(threshold);
+    target.add_new(&initial_members);
+
+    let mut neighborhood: Vec<PointId> = Vec::new();
+    while !target.is_empty() {
+        state.stats.expansion_rounds += 1;
+        state.stats.max_target_size = state.stats.max_target_size.max(target.len());
+
+        let model = train_svdd(state, &target);
+        state.stats.svdd_trainings += 1;
+        state.stats.smo_iterations += model.iterations() as u64;
+        let support_vectors = model.support_vectors();
+        state.stats.support_vectors += support_vectors.len() as u64;
+        target.after_training();
+
+        let mut newly_added: Vec<PointId> = Vec::new();
+        for sv in support_vectors {
+            if state.queried[sv as usize] {
+                // Already materialized and absorbed in an earlier round (or
+                // as a seed): a repeat query cannot discover anything new.
+                continue;
+            }
+            state.range_query(sv, &mut neighborhood);
+            if neighborhood.len() < state.config.min_pts {
+                continue; // non-core support vector: cannot expand (Def. 6)
+            }
+            state.stats.core_support_vectors += 1;
+            // The borrow checker cannot see that `absorb_or_merge` leaves
+            // `neighborhood` alone, so iterate by index over a swap.
+            let neigh = std::mem::take(&mut neighborhood);
+            for &j in &neigh {
+                state.absorb_or_merge(j, raw_cid, &mut newly_added);
+            }
+            neighborhood = neigh;
+        }
+
+        if newly_added.is_empty() {
+            // Nothing new: the surviving target points were already trained
+            // on, so another round would reproduce the same support vectors.
+            break;
+        }
+        target.add_new(&newly_added);
+    }
+}
+
+/// Trains one SVDD model over the current target set, honoring the
+/// configuration's weighting and kernel-width choices.
+fn train_svdd<I: RangeIndex>(
+    state: &mut RunState<'_, I>,
+    target: &IncrementalTarget,
+) -> dbsvec_svdd::SvddModel {
+    let ids = target.ids();
+    let sigma = state.config.kernel_width.resolve(state.points, ids);
+    let kernel = GaussianKernel::from_width(sigma);
+    let nu = state.config.resolve_nu(state.points.dims(), ids.len());
+    let c = nu_to_c(nu, ids.len());
+
+    let problem = SvddProblem::new(state.points, ids, kernel).with_options(state.config.smo);
+    if state.config.weighted {
+        let weights = penalty_weights(
+            state.points,
+            ids,
+            target.counts(),
+            kernel,
+            c,
+            state.config.weight_options,
+        );
+        let bounds: Vec<f64> = weights.into_iter().map(|w| w * c).collect();
+        problem.with_bounds(bounds).solve()
+    } else {
+        problem.with_nu(nu).solve()
+    }
+}

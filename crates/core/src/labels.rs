@@ -1,0 +1,231 @@
+//! Cluster label containers shared by DBSVEC and the baselines.
+
+/// Final output of a clustering run: one assignment per point.
+///
+/// Cluster ids are dense (`0..num_clusters`), `None` marks noise. The type
+/// is deliberately algorithm-agnostic — DBSVEC, every baseline in
+//  `dbsvec-baselines`, and the metrics crate all speak `Clustering`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clustering {
+    assignments: Vec<Option<u32>>,
+    num_clusters: usize,
+}
+
+impl Clustering {
+    /// Builds a clustering from raw assignments, compacting cluster ids to
+    /// a dense `0..k` range ordered by first appearance.
+    pub fn from_assignments(raw: Vec<Option<u32>>) -> Self {
+        let mut mapping = std::collections::HashMap::new();
+        let mut next = 0u32;
+        let assignments = raw
+            .into_iter()
+            .map(|a| {
+                a.map(|cid| {
+                    *mapping.entry(cid).or_insert_with(|| {
+                        let v = next;
+                        next += 1;
+                        v
+                    })
+                })
+            })
+            .collect();
+        Self {
+            assignments,
+            num_clusters: next as usize,
+        }
+    }
+
+    /// One entry per point: `Some(cluster)` or `None` for noise.
+    pub fn assignments(&self) -> &[Option<u32>] {
+        &self.assignments
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether the clustering covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Number of clusters (noise excluded).
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// The assignment of point `i`.
+    pub fn get(&self, i: usize) -> Option<u32> {
+        self.assignments[i]
+    }
+
+    /// Whether point `i` is noise.
+    pub fn is_noise(&self, i: usize) -> bool {
+        self.assignments[i].is_none()
+    }
+
+    /// Number of noise points.
+    pub fn noise_count(&self) -> usize {
+        self.assignments.iter().filter(|a| a.is_none()).count()
+    }
+
+    /// Size of each cluster, indexed by cluster id.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0; self.num_clusters];
+        for a in self.assignments.iter().flatten() {
+            sizes[*a as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The member point ids of each cluster, indexed by cluster id.
+    pub fn cluster_members(&self) -> Vec<Vec<u32>> {
+        let mut members = vec![Vec::new(); self.num_clusters];
+        for (i, a) in self.assignments.iter().enumerate() {
+            if let Some(c) = a {
+                members[*c as usize].push(i as u32);
+            }
+        }
+        members
+    }
+}
+
+/// Mutable per-point label state used *during* a clustering run.
+///
+/// Encodes the paper's three point states compactly: `UNCLASSIFIED`,
+/// `NOISE`, or a raw (pre-merge) cluster id.
+#[derive(Clone, Debug)]
+pub struct WorkingLabels {
+    raw: Vec<i64>,
+}
+
+const UNCLASSIFIED: i64 = -2;
+const NOISE: i64 = -1;
+
+impl WorkingLabels {
+    /// All points start unclassified.
+    pub fn new(n: usize) -> Self {
+        Self {
+            raw: vec![UNCLASSIFIED; n],
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Whether point `i` has not been visited yet.
+    pub fn is_unclassified(&self, i: u32) -> bool {
+        self.raw[i as usize] == UNCLASSIFIED
+    }
+
+    /// Whether point `i` is currently marked as (potential) noise.
+    pub fn is_noise(&self, i: u32) -> bool {
+        self.raw[i as usize] == NOISE
+    }
+
+    /// The raw cluster id of point `i`, if assigned.
+    pub fn cluster(&self, i: u32) -> Option<u32> {
+        let v = self.raw[i as usize];
+        (v >= 0).then_some(v as u32)
+    }
+
+    /// Assigns point `i` to raw cluster `cid`.
+    pub fn set_cluster(&mut self, i: u32, cid: u32) {
+        self.raw[i as usize] = cid as i64;
+    }
+
+    /// Marks point `i` as noise.
+    pub fn set_noise(&mut self, i: u32) {
+        self.raw[i as usize] = NOISE;
+    }
+
+    /// Finalizes into a [`Clustering`], translating raw ids through
+    /// `resolve` (typically a union–find `find` composed with compaction).
+    ///
+    /// Unclassified points are treated as noise — by the end of a correct
+    /// run none remain, but a defensive mapping beats a panic in release.
+    pub fn finalize(self, mut resolve: impl FnMut(u32) -> u32) -> Clustering {
+        let assignments: Vec<Option<u32>> = self
+            .raw
+            .iter()
+            .map(|&v| {
+                if v >= 0 {
+                    Some(resolve(v as u32))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Clustering::from_assignments(assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_assignments_compacts_ids() {
+        let c = Clustering::from_assignments(vec![Some(7), None, Some(3), Some(7), Some(3)]);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.assignments(), &[Some(0), None, Some(1), Some(0), Some(1)]);
+        assert_eq!(c.noise_count(), 1);
+        assert_eq!(c.cluster_sizes(), vec![2, 2]);
+    }
+
+    #[test]
+    fn cluster_members_round_trips() {
+        let c = Clustering::from_assignments(vec![Some(0), Some(1), Some(0), None]);
+        let members = c.cluster_members();
+        assert_eq!(members, vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let c = Clustering::from_assignments(Vec::new());
+        assert!(c.is_empty());
+        assert_eq!(c.num_clusters(), 0);
+        assert!(c.cluster_sizes().is_empty());
+    }
+
+    #[test]
+    fn working_labels_state_machine() {
+        let mut wl = WorkingLabels::new(3);
+        assert!(wl.is_unclassified(0));
+        wl.set_noise(0);
+        assert!(wl.is_noise(0));
+        assert!(!wl.is_unclassified(0));
+        wl.set_cluster(0, 5);
+        assert_eq!(wl.cluster(0), Some(5));
+        assert!(!wl.is_noise(0));
+        assert_eq!(wl.cluster(1), None);
+    }
+
+    #[test]
+    fn finalize_resolves_and_compacts() {
+        let mut wl = WorkingLabels::new(4);
+        wl.set_cluster(0, 10);
+        wl.set_cluster(1, 20);
+        wl.set_noise(2);
+        wl.set_cluster(3, 10);
+        // Pretend union-find merged 20 into 10.
+        let c = wl.finalize(|raw| if raw == 20 { 10 } else { raw });
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.assignments(), &[Some(0), Some(0), None, Some(0)]);
+    }
+
+    #[test]
+    fn finalize_maps_unclassified_to_noise() {
+        let wl = WorkingLabels::new(2);
+        let c = wl.finalize(|raw| raw);
+        assert_eq!(c.noise_count(), 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Noise verification (paper Algorithm 2 line 16 and §III-B).
+//!
+//! Because DBSVEC only queries support vectors, a border point near a core
+//! point that was never selected as a support vector can finish the main
+//! loop still marked as potential noise. The final pass fixes this, and it
+//! is what makes Theorems 2 and 3 (border/noise equivalence with DBSCAN)
+//! hold: every potential noise point either has a core point in its
+//! ε-neighborhood — then it is a border point and joins the cluster of its
+//! *nearest* core neighbor — or it is confirmed as noise.
+//!
+//! The neighborhoods were captured during initialization (they hold fewer
+//! than MinPts points each), so this pass issues at most `MinPts·l`
+//! memoized core tests, matching the §III-D cost model.
+
+use dbsvec_index::RangeIndex;
+
+use crate::runner::RunState;
+
+/// Resolves every entry of the potential-noise list.
+pub(crate) fn verify_noise<I: RangeIndex>(state: &mut RunState<'_, I>) {
+    let noise_list = std::mem::take(&mut state.noise_list);
+    for (i, neighborhood) in &noise_list {
+        if !state.labels.is_noise(*i) {
+            // Absorbed into a cluster by a later expansion: a border point.
+            continue;
+        }
+        state.stats.noise_candidates += 1;
+
+        let mut nearest: Option<(f64, u32)> = None;
+        for &j in neighborhood {
+            if j == *i {
+                continue;
+            }
+            // Only clustered neighbors can be core (every core point is
+            // clustered by the end of the main loop), so checking the label
+            // first avoids wasting core tests on fellow noise points.
+            let Some(cid) = state.labels.cluster(j) else {
+                continue;
+            };
+            if !state.is_core(j) {
+                continue;
+            }
+            let d = state.points.squared_distance(*i, j);
+            if nearest.map_or(true, |(best, _)| d < best) {
+                nearest = Some((d, cid));
+            }
+        }
+
+        match nearest {
+            Some((_, cid)) => state.labels.set_cluster(*i, cid),
+            None => state.stats.noise_confirmed += 1,
+        }
+    }
+    state.noise_list = noise_list;
+}

@@ -1,0 +1,195 @@
+//! Out-of-sample prediction against a fitted clustering.
+//!
+//! DBSCAN-family clusterings are defined by their **core points**: a new
+//! observation belongs to the cluster of the nearest core point within ε
+//! of it, and is noise otherwise — the same rule DBSVEC's noise
+//! verification applies to borderline training points. [`ClusterModel`]
+//! captures the core points of a finished run so that streaming points can
+//! be classified without re-clustering.
+
+use dbsvec_geometry::{PointId, PointSet};
+use dbsvec_index::{KdTree, RangeIndex};
+
+use crate::labels::Clustering;
+
+/// A fitted density clustering reduced to its classification essentials:
+/// the core points and their cluster ids.
+#[derive(Clone, Debug)]
+pub struct ClusterModel {
+    /// Coordinates of the core points (owned — the model outlives the
+    /// training set).
+    cores: PointSet,
+    /// Cluster id of each core point, aligned with `cores`.
+    core_labels: Vec<u32>,
+    /// The ε the clustering was fitted with.
+    eps: f64,
+    num_clusters: usize,
+}
+
+impl ClusterModel {
+    /// Builds a model from a finished clustering.
+    ///
+    /// `core_ids` are the training points that passed the core test (for
+    /// DBSVEC, [`crate::DbsvecResult::core_point_ids`]); every one of them
+    /// must be clustered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listed core point is noise (impossible for a correct
+    /// density clustering) or ids are out of range.
+    pub fn new(points: &PointSet, clustering: &Clustering, core_ids: &[PointId], eps: f64) -> Self {
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "eps must be positive and finite"
+        );
+        let mut cores = PointSet::with_capacity(points.dims(), core_ids.len());
+        let mut core_labels = Vec::with_capacity(core_ids.len());
+        for &id in core_ids {
+            let label = clustering
+                .get(id as usize)
+                .expect("a core point is always clustered");
+            cores.push(points.point(id));
+            core_labels.push(label);
+        }
+        Self {
+            cores,
+            core_labels,
+            eps,
+            num_clusters: clustering.num_clusters(),
+        }
+    }
+
+    /// Number of core points retained.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Number of clusters in the fitted model.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// The ε the model classifies with.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Classifies one observation: the cluster of the nearest core point
+    /// within ε, or `None` (noise/outlier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn predict(&self, x: &[f64]) -> Option<u32> {
+        assert_eq!(x.len(), self.cores.dims(), "query dimensionality mismatch");
+        let eps_sq = self.eps * self.eps;
+        let mut best: Option<(f64, u32)> = None;
+        for (i, core) in self.cores.iter() {
+            let d = dbsvec_geometry::squared_euclidean(core, x);
+            if d <= eps_sq && best.map_or(true, |(bd, _)| d < bd) {
+                best = Some((d, self.core_labels[i as usize]));
+            }
+        }
+        best.map(|(_, label)| label)
+    }
+
+    /// Classifies a batch, using a kd-tree over the core points when the
+    /// batch is large enough to amortize the build.
+    pub fn predict_batch(&self, queries: &PointSet) -> Vec<Option<u32>> {
+        assert_eq!(
+            queries.dims(),
+            self.cores.dims(),
+            "query dimensionality mismatch"
+        );
+        if queries.len() * self.core_count() < 10_000 {
+            return queries.iter().map(|(_, q)| self.predict(q)).collect();
+        }
+        let tree = KdTree::build(&self.cores);
+        let mut hits: Vec<PointId> = Vec::new();
+        queries
+            .iter()
+            .map(|(_, q)| {
+                hits.clear();
+                tree.range(q, self.eps, &mut hits);
+                hits.iter()
+                    .map(|&c| {
+                        (
+                            self.cores.squared_distance_to(c, q),
+                            self.core_labels[c as usize],
+                        )
+                    })
+                    .min_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"))
+                    .map(|(_, label)| label)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dbsvec, DbsvecConfig};
+
+    fn fitted_model() -> (PointSet, ClusterModel) {
+        let mut ps = PointSet::new(2);
+        for i in 0..40 {
+            ps.push(&[i as f64 * 0.1, 0.0]); // cluster 0 along y = 0
+            ps.push(&[i as f64 * 0.1, 50.0]); // cluster 1 along y = 50
+        }
+        let result = Dbsvec::new(DbsvecConfig::new(0.5, 4)).fit(&ps);
+        assert_eq!(result.num_clusters(), 2);
+        let model = ClusterModel::new(&ps, result.labels(), &result.core_point_ids(), 0.5);
+        (ps, model)
+    }
+
+    #[test]
+    fn predicts_cluster_membership_and_noise() {
+        let (_, model) = fitted_model();
+        assert_eq!(model.num_clusters(), 2);
+        let near_zero = model.predict(&[2.0, 0.2]);
+        let near_fifty = model.predict(&[2.0, 49.8]);
+        assert!(near_zero.is_some() && near_fifty.is_some());
+        assert_ne!(near_zero, near_fifty);
+        assert_eq!(model.predict(&[2.0, 25.0]), None, "far point must be noise");
+    }
+
+    #[test]
+    fn training_points_predict_their_own_cluster() {
+        let (ps, model) = fitted_model();
+        let result = Dbsvec::new(DbsvecConfig::new(0.5, 4)).fit(&ps);
+        for (i, p) in ps.iter() {
+            let predicted = model.predict(p);
+            assert_eq!(predicted, result.labels().get(i as usize), "point {i}");
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_scalar_path() {
+        let (_, model) = fitted_model();
+        let mut queries = PointSet::new(2);
+        for i in 0..300 {
+            queries.push(&[(i % 50) as f64 * 0.08, (i % 3) as f64 * 25.0]);
+        }
+        let batch = model.predict_batch(&queries);
+        for (i, q) in queries.iter() {
+            assert_eq!(batch[i as usize], model.predict(q), "query {i}");
+        }
+    }
+
+    #[test]
+    fn nearest_core_wins_ties_toward_proximity() {
+        // Two cores of different clusters; query closer to cluster 1's core.
+        let ps = PointSet::from_rows(&[vec![0.0], vec![10.0]]);
+        let clustering = crate::labels::Clustering::from_assignments(vec![Some(0), Some(1)]);
+        let model = ClusterModel::new(&ps, &clustering, &[0, 1], 8.0);
+        assert_eq!(model.predict(&[6.5]), Some(1));
+        assert_eq!(model.predict(&[3.0]), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn rejects_wrong_dimensionality() {
+        let (_, model) = fitted_model();
+        let _ = model.predict(&[1.0, 2.0, 3.0]);
+    }
+}

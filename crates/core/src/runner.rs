@@ -1,0 +1,109 @@
+//! Shared mutable state threaded through the phases of a DBSVEC run.
+
+use dbsvec_geometry::{PointId, PointSet};
+use dbsvec_index::RangeIndex;
+
+use crate::config::DbsvecConfig;
+use crate::labels::WorkingLabels;
+use crate::stats::DbsvecStats;
+use crate::unionfind::UnionFind;
+
+/// Memoized core-point status.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CoreStatus {
+    Unknown,
+    Core,
+    NonCore,
+}
+
+/// Everything the initialization, expansion, merging, and noise phases
+/// share. Borrowed mutably by each phase in turn.
+pub(crate) struct RunState<'a, I: RangeIndex> {
+    pub points: &'a PointSet,
+    pub index: &'a I,
+    pub config: &'a DbsvecConfig,
+    pub labels: WorkingLabels,
+    pub uf: UnionFind,
+    pub core_status: Vec<CoreStatus>,
+    /// Potential noise points with the ε-neighborhood captured at
+    /// initialization (paper: "N_ε(NoiseList[i]) has been obtained in
+    /// initialization"). Non-core neighborhoods hold < MinPts entries, so
+    /// this costs O(MinPts·l) memory as §III-D states.
+    pub noise_list: Vec<(PointId, Vec<PointId>)>,
+    /// Points whose full ε-neighborhood has already been materialized and
+    /// absorbed. Re-querying such a point is a no-op (every neighbor is
+    /// already labeled into its cluster), so expansion skips it. This caps
+    /// DBSVEC's materializing queries at n even in regimes where SVDD keeps
+    /// re-selecting the same boundary points across rounds.
+    pub queried: Vec<bool>,
+    pub stats: DbsvecStats,
+}
+
+impl<'a, I: RangeIndex> RunState<'a, I> {
+    pub fn new(points: &'a PointSet, index: &'a I, config: &'a DbsvecConfig) -> Self {
+        let n = points.len();
+        Self {
+            points,
+            index,
+            config,
+            labels: WorkingLabels::new(n),
+            uf: UnionFind::new(),
+            core_status: vec![CoreStatus::Unknown; n],
+            noise_list: Vec::new(),
+            queried: vec![false; n],
+            stats: DbsvecStats::default(),
+        }
+    }
+
+    /// Materializing ε-range query with statistics accounting and core-status
+    /// memoization.
+    pub fn range_query(&mut self, id: PointId, out: &mut Vec<PointId>) {
+        out.clear();
+        self.index
+            .range(self.points.point(id), self.config.eps, out);
+        self.stats.range_queries += 1;
+        self.queried[id as usize] = true;
+        self.core_status[id as usize] = if out.len() >= self.config.min_pts {
+            CoreStatus::Core
+        } else {
+            CoreStatus::NonCore
+        };
+    }
+
+    /// Memoized core test (issues a counting query on first use).
+    pub fn is_core(&mut self, id: PointId) -> bool {
+        match self.core_status[id as usize] {
+            CoreStatus::Core => true,
+            CoreStatus::NonCore => false,
+            CoreStatus::Unknown => {
+                let count = self
+                    .index
+                    .count_range(self.points.point(id), self.config.eps);
+                self.stats.range_queries += 1;
+                let core = count >= self.config.min_pts;
+                self.core_status[id as usize] = if core {
+                    CoreStatus::Core
+                } else {
+                    CoreStatus::NonCore
+                };
+                core
+            }
+        }
+    }
+
+    /// Handles one neighbor during initialization or expansion: absorbs
+    /// unclassified/noise points into `raw_cid` (recording them in
+    /// `absorbed`) and merges sub-clusters through overlapping core points
+    /// (paper Lemma 3).
+    pub fn absorb_or_merge(&mut self, j: PointId, raw_cid: u32, absorbed: &mut Vec<PointId>) {
+        if self.labels.is_unclassified(j) || self.labels.is_noise(j) {
+            self.labels.set_cluster(j, raw_cid);
+            absorbed.push(j);
+        } else if let Some(other) = self.labels.cluster(j) {
+            if !self.uf.same(other, raw_cid) && self.is_core(j) {
+                self.uf.union(other, raw_cid);
+                self.stats.merges += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Classic non-convex clustering benchmarks: two moons and spirals.
+//!
+//! These are the standard "k-means fails, density clustering wins" shapes.
+//! They complement the chameleon-style scenes in [`crate::shapes`] with
+//! the two benchmarks every clustering paper's intro gestures at, and they
+//! exercise DBSVEC's SVDD boundary description on maximally non-convex
+//! sub-clusters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbsvec_geometry::PointSet;
+
+use crate::Dataset;
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Two interleaving half-moons with Gaussian jitter.
+///
+/// The upper moon spans angles `[0, π]` on a unit circle; the lower moon is
+/// shifted right by 1 and down by 0.5, spanning `[π, 2π]`. `noise` is the
+/// jitter standard deviation (0.05–0.1 keeps the moons separable).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `noise < 0`.
+pub fn two_moons(n: usize, noise: f64, seed: u64) -> Dataset {
+    assert!(n > 0, "n must be positive");
+    assert!(noise >= 0.0, "noise must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = PointSet::with_capacity(2, n);
+    let mut truth = Vec::with_capacity(n);
+    for i in 0..n {
+        let moon = i % 2;
+        let t = rng.gen::<f64>() * std::f64::consts::PI;
+        let (x, y) = if moon == 0 {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        points.push(&[
+            x + noise * standard_normal(&mut rng),
+            y + noise * standard_normal(&mut rng),
+        ]);
+        truth.push(Some(moon as u32));
+    }
+    Dataset { points, truth }
+}
+
+/// `arms` interleaved Archimedean spirals with Gaussian jitter.
+///
+/// Each arm winds `turns` full revolutions outward from radius
+/// `0.25` to `1.0` (before jitter), rotated by `2π/arms` per arm.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `arms == 0`, `turns <= 0`, or `noise < 0`.
+pub fn spirals(n: usize, arms: usize, turns: f64, noise: f64, seed: u64) -> Dataset {
+    assert!(n > 0 && arms > 0, "n and arms must be positive");
+    assert!(turns > 0.0, "turns must be positive");
+    assert!(noise >= 0.0, "noise must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = PointSet::with_capacity(2, n);
+    let mut truth = Vec::with_capacity(n);
+    for i in 0..n {
+        let arm = i % arms;
+        let t = rng.gen::<f64>(); // position along the arm, 0 = center
+        let angle =
+            t * turns * std::f64::consts::TAU + arm as f64 * std::f64::consts::TAU / arms as f64;
+        let radius = 0.25 + 0.75 * t;
+        points.push(&[
+            radius * angle.cos() + noise * standard_normal(&mut rng),
+            radius * angle.sin() + noise * standard_normal(&mut rng),
+        ]);
+        truth.push(Some(arm as u32));
+    }
+    Dataset { points, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moons_have_two_balanced_classes() {
+        let ds = two_moons(1000, 0.05, 1);
+        assert_eq!(ds.len(), 1000);
+        assert_eq!(ds.truth_clusters(), 2);
+        let upper = ds.truth.iter().filter(|t| **t == Some(0)).count();
+        assert_eq!(upper, 500);
+    }
+
+    #[test]
+    fn moons_are_non_convex_but_separable() {
+        // The centroid of the upper moon lies in a low-density hole: its
+        // nearest data point is farther away than typical in-moon spacing.
+        let ds = two_moons(2000, 0.02, 2);
+        let upper: Vec<u32> = ds
+            .truth
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Some(0))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for &i in &upper {
+            cx += ds.points.point(i)[0];
+            cy += ds.points.point(i)[1];
+        }
+        let c = [cx / upper.len() as f64, cy / upper.len() as f64];
+        let nearest = upper
+            .iter()
+            .map(|&i| dbsvec_geometry::euclidean(ds.points.point(i), &c))
+            .fold(f64::INFINITY, f64::min);
+        assert!(nearest > 0.2, "centroid hole missing: nearest {nearest}");
+    }
+
+    #[test]
+    fn spirals_have_requested_arms() {
+        let ds = spirals(1500, 3, 1.5, 0.01, 3);
+        assert_eq!(ds.truth_clusters(), 3);
+        let per_arm = ds.truth.iter().filter(|t| **t == Some(0)).count();
+        assert_eq!(per_arm, 500);
+    }
+
+    #[test]
+    fn spiral_radii_stay_in_band() {
+        let ds = spirals(500, 2, 2.0, 0.0, 4);
+        for (_, p) in ds.points.iter() {
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!((0.24..=1.01).contains(&r), "radius {r} out of band");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            two_moons(100, 0.05, 9).points,
+            two_moons(100, 0.05, 9).points
+        );
+        assert_eq!(
+            spirals(100, 2, 1.0, 0.05, 9).points,
+            spirals(100, 2, 1.0, 0.05, 9).points
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be non-negative")]
+    fn negative_noise_rejected() {
+        let _ = two_moons(10, -0.1, 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Isotropic Gaussian mixtures.
+//!
+//! Stand-ins for the paper's UCI and benchmark datasets (`Dim32`, `Dim64`,
+//! `D31`, `Seeds`, ...): well separated isotropic Gaussian clusters in a
+//! unit-scale domain, later normalized to `[0, 10^5]` like the paper does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbsvec_geometry::PointSet;
+
+use crate::Dataset;
+
+/// Standard normal via Box–Muller on the `rand` uniform source.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `k` isotropic Gaussian clusters with uniformly placed centers.
+///
+/// Centers are drawn uniformly from `[margin, domain − margin]^d` with
+/// `margin = 3σ·√d`, rejecting centers closer than `6σ·√d` to one another
+/// so the clusters stay DBSCAN-separable. Cluster sizes are as equal as
+/// `n/k` allows.
+///
+/// # Panics
+///
+/// Panics if any argument is zero/non-positive, or if `k` centers cannot be
+/// placed at the required separation (domain too small).
+pub fn gaussian_mixture(
+    n: usize,
+    dims: usize,
+    k: usize,
+    sigma: f64,
+    domain: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(n > 0 && dims > 0 && k > 0, "n, dims, k must be positive");
+    assert!(
+        sigma > 0.0 && domain > 0.0,
+        "sigma and domain must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let spread = sigma * (dims as f64).sqrt();
+    let margin = (3.0 * spread).min(domain / 2.0);
+    let min_sep = 6.0 * spread;
+
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut attempts = 0;
+    while centers.len() < k {
+        attempts += 1;
+        assert!(
+            attempts < 100_000,
+            "cannot place {k} centers {min_sep:.2} apart in a {domain:.2} domain"
+        );
+        let cand: Vec<f64> = (0..dims)
+            .map(|_| rng.gen_range(margin..=(domain - margin).max(margin)))
+            .collect();
+        if centers
+            .iter()
+            .all(|c| dbsvec_geometry::euclidean(c, &cand) >= min_sep)
+        {
+            centers.push(cand);
+        }
+    }
+
+    let mut points = PointSet::with_capacity(dims, n);
+    let mut truth = Vec::with_capacity(n);
+    let mut row = vec![0.0; dims];
+    for i in 0..n {
+        let c = i % k; // round-robin keeps sizes balanced
+        for (x, center) in row.iter_mut().zip(&centers[c]) {
+            *x = (center + sigma * standard_normal(&mut rng)).clamp(0.0, domain);
+        }
+        points.push(&row);
+        truth.push(Some(c as u32));
+    }
+    Dataset { points, truth }
+}
+
+/// `rows × cols` Gaussian clusters on a regular grid — the layout of the
+/// D31 benchmark (Veenman et al.), which packs 31 clusters tightly.
+///
+/// # Panics
+///
+/// Panics if any argument is zero or `sigma <= 0`.
+pub fn grid_gaussians(
+    n: usize,
+    rows: usize,
+    cols: usize,
+    sigma: f64,
+    spacing: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(
+        n > 0 && rows > 0 && cols > 0,
+        "n, rows, cols must be positive"
+    );
+    assert!(
+        sigma > 0.0 && spacing > 0.0,
+        "sigma and spacing must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = rows * cols;
+    let mut points = PointSet::with_capacity(2, n);
+    let mut truth = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % k;
+        let (r, q) = (c / cols, c % cols);
+        let cx = (q as f64 + 1.0) * spacing;
+        let cy = (r as f64 + 1.0) * spacing;
+        let p = [
+            cx + sigma * standard_normal(&mut rng),
+            cy + sigma * standard_normal(&mut rng),
+        ];
+        points.push(&p);
+        truth.push(Some(c as u32));
+    }
+    Dataset { points, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_has_requested_shape() {
+        let ds = gaussian_mixture(1024, 32, 16, 1.0, 1000.0, 1);
+        assert_eq!(ds.len(), 1024);
+        assert_eq!(ds.dims(), 32);
+        assert_eq!(ds.truth_clusters(), 16);
+        // Balanced: each cluster gets 64 points.
+        let mut sizes = [0; 16];
+        for t in ds.truth.iter().flatten() {
+            sizes[*t as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s == 64));
+    }
+
+    #[test]
+    fn clusters_are_separated() {
+        let ds = gaussian_mixture(400, 4, 4, 1.0, 500.0, 2);
+        // Compute centroids per truth cluster and check pairwise gaps.
+        let mut centroids = vec![vec![0.0; 4]; 4];
+        let mut counts = vec![0.0; 4];
+        for (i, t) in ds.truth.iter().enumerate() {
+            let c = t.unwrap() as usize;
+            counts[c] += 1.0;
+            for (acc, &x) in centroids[c].iter_mut().zip(ds.points.point(i as u32)) {
+                *acc += x;
+            }
+        }
+        for (c, count) in centroids.iter_mut().zip(&counts) {
+            for x in c.iter_mut() {
+                *x /= count;
+            }
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let gap = dbsvec_geometry::euclidean(&centroids[i], &centroids[j]);
+                assert!(gap >= 6.0, "centroids {i},{j} only {gap} apart");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_gaussians_d31_layout() {
+        // D31-like: 31 clusters would need rows*cols = 31 (prime); the
+        // stand-in uses a 6x6 grid minus nothing — verify the grid variant
+        // itself with a clean 4x8 = 32 layout here.
+        let ds = grid_gaussians(3100, 4, 8, 0.5, 10.0, 3);
+        assert_eq!(ds.len(), 3100);
+        assert_eq!(ds.truth_clusters(), 32);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gaussian_mixture(100, 3, 2, 1.0, 100.0, 5);
+        let b = gaussian_mixture(100, 3, 2, 1.0, 100.0, 5);
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn coordinates_clamped_to_domain() {
+        let ds = gaussian_mixture(1000, 2, 3, 5.0, 100.0, 7);
+        for (_, p) in ds.points.iter() {
+            for &x in p {
+                assert!((0.0..=100.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn impossible_separation_panics() {
+        // 100 well-separated clusters cannot fit in a tiny domain.
+        let _ = gaussian_mixture(100, 2, 100, 10.0, 20.0, 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Coordinate normalization.
+//!
+//! The paper's efficiency experiments "normalize the data coordinates to
+//! `[0, 10^5]` in each dimension" (§V-C) so that one (ε, MinPts) setting is
+//! comparable across datasets. [`normalize_to_domain`] applies the same
+//! per-dimension affine rescale.
+
+use dbsvec_geometry::PointSet;
+
+/// The domain edge the paper normalizes to.
+pub const PAPER_DOMAIN: f64 = 1e5;
+
+/// Rescales every dimension of `points` linearly onto `[0, domain]`.
+///
+/// Degenerate dimensions (all values equal) map to the domain midpoint so
+/// they stay comparable with the rest.
+///
+/// # Panics
+///
+/// Panics if `domain` is not positive and finite.
+pub fn normalize_to_domain(points: &PointSet, domain: f64) -> PointSet {
+    assert!(
+        domain.is_finite() && domain > 0.0,
+        "domain must be positive, got {domain}"
+    );
+    if points.is_empty() {
+        return PointSet::new(points.dims());
+    }
+    let bbox = points
+        .bounding_box()
+        .expect("nonempty set has a bounding box");
+    let dims = points.dims();
+    let mut out = PointSet::with_capacity(dims, points.len());
+    let mut row = vec![0.0; dims];
+    for (_, p) in points.iter() {
+        for (d, x) in row.iter_mut().enumerate() {
+            let lo = bbox.min()[d];
+            let hi = bbox.max()[d];
+            *x = if hi > lo {
+                (p[d] - lo) / (hi - lo) * domain
+            } else {
+                domain / 2.0
+            };
+        }
+        out.push(&row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rescales_to_full_domain() {
+        let ps = PointSet::from_rows(&[vec![-10.0, 0.0], vec![10.0, 5.0], vec![0.0, 2.5]]);
+        let out = normalize_to_domain(&ps, 100.0);
+        assert_eq!(out.point(0), &[0.0, 0.0]);
+        assert_eq!(out.point(1), &[100.0, 100.0]);
+        assert_eq!(out.point(2), &[50.0, 50.0]);
+    }
+
+    #[test]
+    fn degenerate_dimension_maps_to_midpoint() {
+        let ps = PointSet::from_rows(&[vec![1.0, 7.0], vec![2.0, 7.0]]);
+        let out = normalize_to_domain(&ps, 10.0);
+        assert_eq!(out.point(0)[1], 5.0);
+        assert_eq!(out.point(1)[1], 5.0);
+    }
+
+    #[test]
+    fn preserves_relative_order() {
+        let ps = PointSet::from_rows(&[vec![3.0], vec![1.0], vec![2.0]]);
+        let out = normalize_to_domain(&ps, 1.0);
+        assert!(out.point(1)[0] < out.point(2)[0]);
+        assert!(out.point(2)[0] < out.point(0)[0]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let ps = PointSet::new(3);
+        let out = normalize_to_domain(&ps, 10.0);
+        assert!(out.is_empty());
+        assert_eq!(out.dims(), 3);
+    }
+
+    #[test]
+    fn paper_domain_constant() {
+        assert_eq!(PAPER_DOMAIN, 100_000.0);
+    }
+}

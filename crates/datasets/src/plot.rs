@@ -1,0 +1,260 @@
+//! Minimal SVG scatter plots for 2-D clusterings.
+//!
+//! The paper's Fig. 1 is a colored scatter of the t4.8k clustering; this
+//! module renders the same artifact without any plotting dependency. Each
+//! cluster gets a color from a rotating palette; noise is drawn as small
+//! gray crosses.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use dbsvec_geometry::PointSet;
+
+/// Qualitative palette (ColorBrewer Set1 + friends), cycled per cluster id.
+const PALETTE: [&str; 12] = [
+    "#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#a65628", "#f781bf", "#17becf",
+    "#bcbd22", "#666699", "#66c2a5", "#fc8d62",
+];
+
+/// Renders a 2-D clustering as an SVG string.
+///
+/// Coordinates are fitted to a `width × width` viewport with a 4% margin;
+/// the y-axis is flipped so the plot matches mathematical orientation.
+///
+/// # Panics
+///
+/// Panics if the point set is not 2-D or `assignments` is misaligned.
+pub fn svg_scatter(points: &PointSet, assignments: &[Option<u32>], width: u32) -> String {
+    assert_eq!(points.dims(), 2, "SVG scatter requires 2-D points");
+    assert_eq!(points.len(), assignments.len(), "one assignment per point");
+
+    let w = width as f64;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{width}" viewBox="0 0 {width} {width}">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect width="{width}" height="{width}" fill="white"/>"#
+    );
+
+    if let Some(bbox) = points.bounding_box() {
+        let (x0, y0) = (bbox.min()[0], bbox.min()[1]);
+        let (x1, y1) = (bbox.max()[0], bbox.max()[1]);
+        let raw_span = (x1 - x0).max(y1 - y0);
+        // A degenerate (single-point) extent maps everything to the center.
+        let span = if raw_span > 0.0 { raw_span } else { 1.0 };
+        let margin = 0.04 * w;
+        let scale = (w - 2.0 * margin) / span;
+        let radius = (w / 400.0).max(1.0);
+
+        for (i, p) in points.iter() {
+            let px = margin + (p[0] - x0) * scale;
+            let py = w - margin - (p[1] - y0) * scale;
+            match assignments[i as usize] {
+                Some(c) => {
+                    let color = PALETTE[c as usize % PALETTE.len()];
+                    let _ = writeln!(
+                        svg,
+                        r#"<circle cx="{px:.2}" cy="{py:.2}" r="{radius:.2}" fill="{color}"/>"#
+                    );
+                }
+                None => {
+                    let d = radius;
+                    let _ = writeln!(
+                        svg,
+                        r##"<path d="M{:.2} {:.2} L{:.2} {:.2} M{:.2} {:.2} L{:.2} {:.2}" stroke="#999" stroke-width="0.6"/>"##,
+                        px - d,
+                        py - d,
+                        px + d,
+                        py + d,
+                        px - d,
+                        py + d,
+                        px + d,
+                        py - d
+                    );
+                }
+            }
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Writes [`svg_scatter`] output to a file.
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn write_svg_scatter(
+    path: &Path,
+    points: &PointSet,
+    assignments: &[Option<u32>],
+    width: u32,
+) -> io::Result<()> {
+    std::fs::write(path, svg_scatter(points, assignments, width))
+}
+
+/// Like [`svg_scatter`], with dashed overlay segments in data coordinates —
+/// made for SVDD decision boundaries (the paper's Fig. 3 red dashed curve).
+///
+/// Additionally, `highlight` ids are drawn as larger hollow markers (the
+/// support vectors in a Fig. 3-style rendering).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`svg_scatter`].
+pub fn svg_scatter_with_overlay(
+    points: &PointSet,
+    assignments: &[Option<u32>],
+    segments: &[[[f64; 2]; 2]],
+    highlight: &[u32],
+    width: u32,
+) -> String {
+    let base = svg_scatter(points, assignments, width);
+    let Some(bbox) = points.bounding_box() else {
+        return base;
+    };
+    let w = width as f64;
+    let (x0, y0) = (bbox.min()[0], bbox.min()[1]);
+    let raw_span = (bbox.max()[0] - x0).max(bbox.max()[1] - y0);
+    let span = if raw_span > 0.0 { raw_span } else { 1.0 };
+    let margin = 0.04 * w;
+    let scale = (w - 2.0 * margin) / span;
+    let to_px = |p: &[f64; 2]| -> (f64, f64) {
+        (
+            margin + (p[0] - x0) * scale,
+            w - margin - (p[1] - y0) * scale,
+        )
+    };
+
+    let mut overlay = String::new();
+    for seg in segments {
+        let (ax, ay) = to_px(&seg[0]);
+        let (bx, by) = to_px(&seg[1]);
+        let _ = writeln!(
+            overlay,
+            r##"<line x1="{ax:.2}" y1="{ay:.2}" x2="{bx:.2}" y2="{by:.2}" stroke="#d62728" stroke-width="1.2" stroke-dasharray="4 3"/>"##
+        );
+    }
+    let r = (w / 150.0).max(2.5);
+    for &id in highlight {
+        let p = points.point(id);
+        let (px, py) = to_px(&[p[0], p[1]]);
+        let _ = writeln!(
+            overlay,
+            r##"<circle cx="{px:.2}" cy="{py:.2}" r="{r:.2}" fill="none" stroke="#d62728" stroke-width="1.5"/>"##
+        );
+    }
+
+    base.replace("</svg>\n", &format!("{overlay}</svg>\n"))
+}
+
+/// Writes [`svg_scatter_with_overlay`] output to a file.
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn write_svg_scatter_with_overlay(
+    path: &Path,
+    points: &PointSet,
+    assignments: &[Option<u32>],
+    segments: &[[[f64; 2]; 2]],
+    highlight: &[u32],
+    width: u32,
+) -> io::Result<()> {
+    std::fs::write(
+        path,
+        svg_scatter_with_overlay(points, assignments, segments, highlight, width),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (PointSet, Vec<Option<u32>>) {
+        let ps = PointSet::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![0.5, 0.9]]);
+        (ps, vec![Some(0), Some(1), None])
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let (ps, labels) = sample();
+        let svg = svg_scatter(&ps, &labels, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(
+            svg.matches("<circle").count(),
+            2,
+            "one circle per clustered point"
+        );
+        assert_eq!(svg.matches("<path").count(), 1, "one cross per noise point");
+    }
+
+    #[test]
+    fn clusters_get_distinct_palette_colors() {
+        let (ps, labels) = sample();
+        let svg = svg_scatter(&ps, &labels, 400);
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+    }
+
+    #[test]
+    fn coordinates_stay_inside_viewport() {
+        let ps = PointSet::from_rows(&[vec![-500.0, 2.0], vec![900.0, -3.0], vec![0.0, 0.0]]);
+        let labels = vec![Some(0); 3];
+        let svg = svg_scatter(&ps, &labels, 200);
+        for token in svg.split("cx=\"").skip(1) {
+            let cx: f64 = token.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=200.0).contains(&cx), "cx {cx} escaped the viewport");
+        }
+    }
+
+    #[test]
+    fn single_point_does_not_divide_by_zero() {
+        let ps = PointSet::from_rows(&[vec![5.0, 5.0]]);
+        let svg = svg_scatter(&ps, &[Some(0)], 100);
+        assert!(svg.contains("<circle"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires 2-D")]
+    fn rejects_non_2d() {
+        let ps = PointSet::from_rows(&[vec![0.0, 0.0, 0.0]]);
+        let _ = svg_scatter(&ps, &[Some(0)], 100);
+    }
+
+    #[test]
+    fn overlay_adds_segments_and_highlights() {
+        let (ps, labels) = sample();
+        let segments = [[[0.0, 0.0], [1.0, 1.0]], [[0.5, 0.0], [0.5, 1.0]]];
+        let svg = svg_scatter_with_overlay(&ps, &labels, &segments, &[1], 400);
+        assert_eq!(svg.matches("<line").count(), 2);
+        assert!(svg.contains("stroke-dasharray"));
+        // 2 cluster circles + 1 hollow highlight circle.
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn overlay_on_empty_set_is_harmless() {
+        let ps = PointSet::new(2);
+        let svg = svg_scatter_with_overlay(&ps, &[], &[[[0.0, 0.0], [1.0, 1.0]]], &[], 100);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (ps, labels) = sample();
+        let mut path = std::env::temp_dir();
+        path.push(format!("dbsvec-plot-test-{}.svg", std::process::id()));
+        write_svg_scatter(&path, &ps, &labels, 300).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("</svg>"));
+        std::fs::remove_file(&path).ok();
+    }
+}

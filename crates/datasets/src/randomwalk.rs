@@ -1,0 +1,197 @@
+//! The random-walk cluster generator used for the scalability experiments.
+//!
+//! Modeled on the synthetic generator of Gan & Tao (SIGMOD 2015) that the
+//! paper's §V-C uses: `c` walkers start at random positions in the
+//! `[0, domain]^d` cube; each emitted point advances a randomly chosen
+//! walker by a uniform step and records its position, producing `c`
+//! snake-like dense clusters of arbitrary shape. A `noise_fraction` of the
+//! points is drawn uniformly from the whole domain instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbsvec_geometry::PointSet;
+
+use crate::Dataset;
+
+/// Configuration for [`random_walk_clusters`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomWalkConfig {
+    /// Total points to generate (clusters + noise).
+    pub n: usize,
+    /// Dimensionality.
+    pub dims: usize,
+    /// Number of walkers (≈ number of clusters).
+    pub clusters: usize,
+    /// Domain edge length; the paper normalizes to `10^5`.
+    pub domain: f64,
+    /// Maximum per-coordinate step between consecutive walker emissions,
+    /// as a fraction of the domain. The default `0.002` (step 200 in the
+    /// `10^5` domain) makes an ε = 5000 ball hold ≈ (ε/step)² ≈ 625 walk
+    /// emissions — comfortably above the paper's MinPts = 100 — while each
+    /// cluster spans many ε-balls, so cluster expansion is non-trivial at
+    /// every cardinality.
+    pub step_fraction: f64,
+    /// Fraction of points drawn uniformly as background noise.
+    pub noise_fraction: f64,
+}
+
+impl RandomWalkConfig {
+    /// The paper's default scalability workload shape for a given `n` and
+    /// `d`: 10 walkers in a `[0, 10^5]^d` domain with 0.1% noise.
+    ///
+    /// The step shrinks with `√d` so the expected distance between
+    /// consecutive emissions — and hence the ε-ball occupancy — is the same
+    /// at every dimensionality. Without this, a d-sweep at fixed ε (the
+    /// paper's Fig. 6 protocol) would silently change the density regime
+    /// instead of isolating the effect of d.
+    pub fn paper_default(n: usize, dims: usize) -> Self {
+        Self {
+            n,
+            dims,
+            clusters: 10,
+            domain: 1e5,
+            step_fraction: 0.002 * (8.0 / dims as f64).sqrt(),
+            noise_fraction: 0.001,
+        }
+    }
+}
+
+/// Generates the dataset described by `config`, deterministically from
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `dims == 0`, `clusters == 0`, or `noise_fraction`
+/// is outside `[0, 1]`.
+pub fn random_walk_clusters(config: &RandomWalkConfig, seed: u64) -> Dataset {
+    assert!(config.n > 0, "n must be positive");
+    assert!(config.dims > 0, "dims must be positive");
+    assert!(config.clusters > 0, "clusters must be positive");
+    assert!(
+        (0.0..=1.0).contains(&config.noise_fraction),
+        "noise fraction must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = config.dims;
+    let step = config.step_fraction * config.domain;
+
+    // Walker start positions, kept in the interior so walks rarely clamp.
+    let mut walkers: Vec<Vec<f64>> = (0..config.clusters)
+        .map(|_| {
+            (0..d)
+                .map(|_| rng.gen_range(0.1 * config.domain..0.9 * config.domain))
+                .collect()
+        })
+        .collect();
+
+    let mut points = PointSet::with_capacity(d, config.n);
+    let mut truth = Vec::with_capacity(config.n);
+    let mut scratch = vec![0.0; d];
+    for _ in 0..config.n {
+        if rng.gen::<f64>() < config.noise_fraction {
+            for x in &mut scratch {
+                *x = rng.gen_range(0.0..config.domain);
+            }
+            points.push(&scratch);
+            truth.push(None);
+        } else {
+            let w = rng.gen_range(0..config.clusters);
+            for x in walkers[w].iter_mut() {
+                *x = (*x + rng.gen_range(-step..=step)).clamp(0.0, config.domain);
+            }
+            points.push(&walkers[w]);
+            truth.push(Some(w as u32));
+        }
+    }
+    Dataset { points, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let config = RandomWalkConfig::paper_default(5000, 8);
+        let ds = random_walk_clusters(&config, 1);
+        assert_eq!(ds.len(), 5000);
+        assert_eq!(ds.dims(), 8);
+        assert!(ds.truth_clusters() <= 10);
+    }
+
+    #[test]
+    fn coordinates_stay_in_domain() {
+        let config = RandomWalkConfig::paper_default(2000, 3);
+        let ds = random_walk_clusters(&config, 2);
+        for (_, p) in ds.points.iter() {
+            for &x in p {
+                assert!((0.0..=1e5).contains(&x), "coordinate {x} out of domain");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = RandomWalkConfig::paper_default(1000, 4);
+        let a = random_walk_clusters(&config, 7);
+        let b = random_walk_clusters(&config, 7);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.truth, b.truth);
+        let c = random_walk_clusters(&config, 8);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn noise_fraction_is_respected() {
+        let config = RandomWalkConfig {
+            noise_fraction: 0.2,
+            ..RandomWalkConfig::paper_default(10_000, 2)
+        };
+        let ds = random_walk_clusters(&config, 3);
+        let noise = ds.truth.iter().filter(|t| t.is_none()).count();
+        let frac = noise as f64 / ds.len() as f64;
+        assert!((frac - 0.2).abs() < 0.02, "noise fraction {frac}");
+    }
+
+    #[test]
+    fn clusters_are_much_denser_than_noise() {
+        // Mean nearest-neighbor distance within a cluster should be far
+        // below the domain scale.
+        let config = RandomWalkConfig::paper_default(2000, 2);
+        let ds = random_walk_clusters(&config, 5);
+        let members: Vec<u32> = ds
+            .truth
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Some(0))
+            .map(|(i, _)| i as u32)
+            .take(100)
+            .collect();
+        assert!(members.len() > 10);
+        let mut total_nn = 0.0;
+        for &i in &members {
+            let nn = members
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| ds.points.distance(i, j))
+                .fold(f64::INFINITY, f64::min);
+            total_nn += nn;
+        }
+        let mean_nn = total_nn / members.len() as f64;
+        assert!(
+            mean_nn < 1000.0,
+            "cluster too sparse: mean NN distance {mean_nn}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "noise fraction")]
+    fn rejects_bad_noise_fraction() {
+        let config = RandomWalkConfig {
+            noise_fraction: 1.5,
+            ..RandomWalkConfig::paper_default(10, 2)
+        };
+        let _ = random_walk_clusters(&config, 0);
+    }
+}

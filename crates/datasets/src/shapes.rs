@@ -1,0 +1,353 @@
+//! Chameleon-style 2-D scenes with non-convex clusters.
+//!
+//! The paper's clustering-quality figures use the chameleon benchmark sets
+//! `t4.8k` and `t7.10k` \[13\]: a handful of arbitrarily shaped clusters
+//! (bands, rings, bars) sprinkled with uniform noise. The original files
+//! are not redistributable here, so [`chameleon_t48k`] and
+//! [`chameleon_t710k`] generate scenes of the same topology class with the
+//! same cardinalities — what matters to DBSVEC is that SVDD must describe
+//! *non-convex, interlocking* boundaries, and these scenes exercise exactly
+//! that.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbsvec_geometry::PointSet;
+
+use crate::Dataset;
+
+/// One parametric cluster shape on the `[0, 100]²` canvas.
+#[derive(Clone, Debug)]
+pub enum Shape {
+    /// Filled disc.
+    Blob { center: [f64; 2], radius: f64 },
+    /// Annulus between `radius - thickness/2` and `radius + thickness/2`.
+    Ring {
+        center: [f64; 2],
+        radius: f64,
+        thickness: f64,
+    },
+    /// A sine-wave band `y = y0 + amplitude·sin(freq·x)` of given thickness
+    /// for `x ∈ [x0, x1]`.
+    SineBand {
+        x0: f64,
+        x1: f64,
+        y0: f64,
+        amplitude: f64,
+        frequency: f64,
+        thickness: f64,
+    },
+    /// Axis-aligned filled rectangle.
+    Bar { min: [f64; 2], max: [f64; 2] },
+}
+
+impl Shape {
+    /// Samples one point of the shape.
+    fn sample(&self, rng: &mut StdRng) -> [f64; 2] {
+        match self {
+            Shape::Blob { center, radius } => {
+                // Uniform in the disc via sqrt radius trick.
+                let r = radius * rng.gen::<f64>().sqrt();
+                let a = rng.gen::<f64>() * std::f64::consts::TAU;
+                [center[0] + r * a.cos(), center[1] + r * a.sin()]
+            }
+            Shape::Ring {
+                center,
+                radius,
+                thickness,
+            } => {
+                let r = radius + (rng.gen::<f64>() - 0.5) * thickness;
+                let a = rng.gen::<f64>() * std::f64::consts::TAU;
+                [center[0] + r * a.cos(), center[1] + r * a.sin()]
+            }
+            Shape::SineBand {
+                x0,
+                x1,
+                y0,
+                amplitude,
+                frequency,
+                thickness,
+            } => {
+                let x = rng.gen_range(*x0..*x1);
+                let y =
+                    y0 + amplitude * (frequency * x).sin() + (rng.gen::<f64>() - 0.5) * thickness;
+                [x, y]
+            }
+            Shape::Bar { min, max } => {
+                [rng.gen_range(min[0]..max[0]), rng.gen_range(min[1]..max[1])]
+            }
+        }
+    }
+}
+
+/// A composite scene: shapes with relative weights plus uniform noise.
+#[derive(Clone, Debug)]
+pub struct Scene {
+    /// The cluster shapes; each becomes one ground-truth cluster.
+    pub shapes: Vec<Shape>,
+    /// Relative point weight per shape (normalized internally).
+    pub weights: Vec<f64>,
+    /// Fraction of points drawn uniformly from the canvas as noise.
+    pub noise_fraction: f64,
+    /// Canvas edge length (points live in `[0, canvas]²`).
+    pub canvas: f64,
+}
+
+impl Scene {
+    /// Generates `n` points of the scene, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene has no shapes or mismatched weights.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        assert!(!self.shapes.is_empty(), "a scene needs at least one shape");
+        assert_eq!(
+            self.shapes.len(),
+            self.weights.len(),
+            "one weight per shape"
+        );
+        let total_weight: f64 = self.weights.iter().sum();
+        assert!(total_weight > 0.0, "weights must sum to a positive value");
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = PointSet::with_capacity(2, n);
+        let mut truth = Vec::with_capacity(n);
+        for _ in 0..n {
+            if rng.gen::<f64>() < self.noise_fraction {
+                let p = [
+                    rng.gen_range(0.0..self.canvas),
+                    rng.gen_range(0.0..self.canvas),
+                ];
+                points.push(&p);
+                truth.push(None);
+            } else {
+                // Weighted shape choice.
+                let mut pick = rng.gen::<f64>() * total_weight;
+                let mut idx = 0;
+                for (i, w) in self.weights.iter().enumerate() {
+                    if pick < *w {
+                        idx = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                let p = self.shapes[idx].sample(&mut rng);
+                points.push(&p);
+                truth.push(Some(idx as u32));
+            }
+        }
+        Dataset { points, truth }
+    }
+}
+
+/// A 6-cluster scene standing in for chameleon `t4.8k` (n = 8000):
+/// two interleaved sine bands, a ring with a blob inside it, a diagonal
+/// bar pair, and ~10% uniform noise.
+pub fn chameleon_t48k(seed: u64) -> Dataset {
+    scene_t48k().generate(8000, seed)
+}
+
+/// The scene behind [`chameleon_t48k`], exposed for visualization.
+pub fn scene_t48k() -> Scene {
+    Scene {
+        shapes: vec![
+            Shape::SineBand {
+                x0: 5.0,
+                x1: 95.0,
+                y0: 80.0,
+                amplitude: 6.0,
+                frequency: 0.25,
+                thickness: 4.0,
+            },
+            Shape::SineBand {
+                x0: 5.0,
+                x1: 95.0,
+                y0: 62.0,
+                amplitude: 6.0,
+                frequency: 0.25,
+                thickness: 4.0,
+            },
+            Shape::Ring {
+                center: [25.0, 25.0],
+                radius: 14.0,
+                thickness: 4.0,
+            },
+            Shape::Blob {
+                center: [25.0, 25.0],
+                radius: 5.0,
+            },
+            Shape::Bar {
+                min: [55.0, 10.0],
+                max: [90.0, 18.0],
+            },
+            Shape::Bar {
+                min: [55.0, 28.0],
+                max: [90.0, 36.0],
+            },
+        ],
+        weights: vec![2.0, 2.0, 1.5, 0.8, 1.2, 1.2],
+        noise_fraction: 0.10,
+        canvas: 100.0,
+    }
+}
+
+/// A 9-cluster scene standing in for chameleon `t7.10k` (n = 10000).
+pub fn chameleon_t710k(seed: u64) -> Dataset {
+    scene_t710k().generate(10_000, seed)
+}
+
+/// The scene behind [`chameleon_t710k`], exposed for visualization.
+pub fn scene_t710k() -> Scene {
+    Scene {
+        shapes: vec![
+            Shape::SineBand {
+                x0: 5.0,
+                x1: 60.0,
+                y0: 88.0,
+                amplitude: 4.0,
+                frequency: 0.3,
+                thickness: 3.5,
+            },
+            Shape::SineBand {
+                x0: 40.0,
+                x1: 95.0,
+                y0: 72.0,
+                amplitude: 4.0,
+                frequency: 0.3,
+                thickness: 3.5,
+            },
+            Shape::Ring {
+                center: [20.0, 45.0],
+                radius: 12.0,
+                thickness: 3.5,
+            },
+            Shape::Ring {
+                center: [20.0, 45.0],
+                radius: 5.0,
+                thickness: 3.0,
+            },
+            Shape::Blob {
+                center: [55.0, 45.0],
+                radius: 7.0,
+            },
+            Shape::Blob {
+                center: [80.0, 45.0],
+                radius: 7.0,
+            },
+            Shape::Bar {
+                min: [10.0, 8.0],
+                max: [45.0, 16.0],
+            },
+            Shape::Bar {
+                min: [55.0, 8.0],
+                max: [62.0, 30.0],
+            },
+            Shape::Bar {
+                min: [70.0, 8.0],
+                max: [95.0, 16.0],
+            },
+        ],
+        weights: vec![1.5, 1.5, 1.2, 0.7, 1.0, 1.0, 1.1, 0.8, 1.1],
+        noise_fraction: 0.10,
+        canvas: 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t48k_has_paper_cardinality() {
+        let ds = chameleon_t48k(1);
+        assert_eq!(ds.len(), 8000);
+        assert_eq!(ds.dims(), 2);
+        assert_eq!(ds.truth_clusters(), 6);
+    }
+
+    #[test]
+    fn t710k_has_paper_cardinality() {
+        let ds = chameleon_t710k(1);
+        assert_eq!(ds.len(), 10_000);
+        assert_eq!(ds.truth_clusters(), 9);
+    }
+
+    #[test]
+    fn noise_fraction_is_about_ten_percent() {
+        let ds = chameleon_t48k(2);
+        let noise = ds.truth.iter().filter(|t| t.is_none()).count() as f64;
+        let frac = noise / ds.len() as f64;
+        assert!((frac - 0.1).abs() < 0.02, "noise fraction {frac}");
+    }
+
+    #[test]
+    fn ring_points_live_on_the_annulus() {
+        let scene = Scene {
+            shapes: vec![Shape::Ring {
+                center: [50.0, 50.0],
+                radius: 20.0,
+                thickness: 4.0,
+            }],
+            weights: vec![1.0],
+            noise_fraction: 0.0,
+            canvas: 100.0,
+        };
+        let ds = scene.generate(500, 3);
+        for (_, p) in ds.points.iter() {
+            let r = ((p[0] - 50.0).powi(2) + (p[1] - 50.0).powi(2)).sqrt();
+            assert!((17.9..=22.1).contains(&r), "radius {r} off the annulus");
+        }
+    }
+
+    #[test]
+    fn blob_points_live_in_the_disc() {
+        let scene = Scene {
+            shapes: vec![Shape::Blob {
+                center: [10.0, 10.0],
+                radius: 3.0,
+            }],
+            weights: vec![1.0],
+            noise_fraction: 0.0,
+            canvas: 100.0,
+        };
+        let ds = scene.generate(300, 4);
+        for (_, p) in ds.points.iter() {
+            let r = ((p[0] - 10.0).powi(2) + (p[1] - 10.0).powi(2)).sqrt();
+            assert!(r <= 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(chameleon_t48k(9).points, chameleon_t48k(9).points);
+        assert_ne!(chameleon_t48k(9).points, chameleon_t48k(10).points);
+    }
+
+    #[test]
+    fn shapes_are_separated_enough_for_dbscan() {
+        // Sanity: the two sine bands are 18 apart vertically with amplitude
+        // 6 and thickness 4 => min gap ≈ 18 − 12 − 4 = 2 > typical ε.
+        let ds = chameleon_t48k(5);
+        let band0: Vec<u32> = ds
+            .truth
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Some(0))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let band1: Vec<u32> = ds
+            .truth
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Some(1))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let min_gap = band0
+            .iter()
+            .take(200)
+            .flat_map(|&a| band1.iter().take(200).map(move |&b| (a, b)))
+            .map(|(a, b)| ds.points.distance(a, b))
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_gap > 1.0, "bands overlap: gap {min_gap}");
+    }
+}

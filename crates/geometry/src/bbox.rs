@@ -1,0 +1,282 @@
+//! Axis-aligned bounding boxes in `R^d`.
+
+/// An axis-aligned box `[min_0, max_0] x ... x [min_{d-1}, max_{d-1}]`.
+///
+/// Used by the kd-tree and R\*-tree for pruning: a subtree can be skipped for
+/// an ε-range query exactly when [`BoundingBox::min_squared_distance`] to the
+/// query point exceeds `ε^2`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundingBox {
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl BoundingBox {
+    /// A degenerate box covering exactly one point.
+    pub fn around_point(p: &[f64]) -> Self {
+        Self {
+            min: p.to_vec(),
+            max: p.to_vec(),
+        }
+    }
+
+    /// A box from explicit corner vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corners differ in length or `min[i] > max[i]` for some i.
+    pub fn from_corners(min: Vec<f64>, max: Vec<f64>) -> Self {
+        assert_eq!(min.len(), max.len(), "corner dimensionality mismatch");
+        for (lo, hi) in min.iter().zip(&max) {
+            assert!(lo <= hi, "min corner must not exceed max corner");
+        }
+        Self { min, max }
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn min(&self) -> &[f64] {
+        &self.min
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn max(&self) -> &[f64] {
+        &self.max
+    }
+
+    /// Dimensionality of the box.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Grows the box so it covers `p`.
+    pub fn expand_to_point(&mut self, p: &[f64]) {
+        debug_assert_eq!(p.len(), self.dims());
+        for ((lo, hi), &x) in self.min.iter_mut().zip(&mut self.max).zip(p) {
+            if x < *lo {
+                *lo = x;
+            }
+            if x > *hi {
+                *hi = x;
+            }
+        }
+    }
+
+    /// Grows the box so it covers `other`.
+    pub fn expand_to_box(&mut self, other: &BoundingBox) {
+        debug_assert_eq!(other.dims(), self.dims());
+        for ((lo, hi), (olo, ohi)) in self
+            .min
+            .iter_mut()
+            .zip(&mut self.max)
+            .zip(other.min.iter().zip(&other.max))
+        {
+            if *olo < *lo {
+                *lo = *olo;
+            }
+            if *ohi > *hi {
+                *hi = *ohi;
+            }
+        }
+    }
+
+    /// The union of two boxes without mutating either.
+    pub fn union(&self, other: &BoundingBox) -> BoundingBox {
+        let mut out = self.clone();
+        out.expand_to_box(other);
+        out
+    }
+
+    /// Whether `p` lies inside the closed box.
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(p)
+            .all(|((lo, hi), &x)| *lo <= x && x <= *hi)
+    }
+
+    /// Squared distance from `p` to the nearest point of the box
+    /// (zero when `p` is inside).
+    #[inline]
+    pub fn min_squared_distance(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), self.dims());
+        let mut acc = 0.0;
+        for ((lo, hi), &x) in self.min.iter().zip(&self.max).zip(p) {
+            let diff = if x < *lo {
+                *lo - x
+            } else if x > *hi {
+                x - *hi
+            } else {
+                0.0
+            };
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Whether the closed ball `{q : ||q - center|| <= radius}` intersects the box.
+    #[inline]
+    pub fn intersects_ball(&self, center: &[f64], radius: f64) -> bool {
+        self.min_squared_distance(center) <= radius * radius
+    }
+
+    /// Squared distance from `p` to the farthest point of the box.
+    ///
+    /// When this is `<= ε²` the whole box lies inside the query ball, so a
+    /// range query can report an entire subtree without per-point distance
+    /// checks — a large win for the wide-ε sweeps of the paper's Fig. 7.
+    #[inline]
+    pub fn max_squared_distance(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), self.dims());
+        let mut acc = 0.0;
+        for ((lo, hi), &x) in self.min.iter().zip(&self.max).zip(p) {
+            let diff = (x - *lo).abs().max((x - *hi).abs());
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Whether the box lies entirely inside the closed ball.
+    #[inline]
+    pub fn inside_ball(&self, center: &[f64], radius: f64) -> bool {
+        self.max_squared_distance(center) <= radius * radius
+    }
+
+    /// Hyper-volume of the box (product of edge lengths).
+    pub fn volume(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| hi - lo)
+            .product()
+    }
+
+    /// Half the surface measure used by the R\*-tree split heuristic:
+    /// the sum of edge lengths ("margin").
+    pub fn margin(&self) -> f64 {
+        self.min.iter().zip(&self.max).map(|(lo, hi)| hi - lo).sum()
+    }
+
+    /// Volume of the intersection of two boxes (zero when disjoint).
+    pub fn overlap_volume(&self, other: &BoundingBox) -> f64 {
+        debug_assert_eq!(other.dims(), self.dims());
+        let mut vol = 1.0;
+        for ((alo, ahi), (blo, bhi)) in self
+            .min
+            .iter()
+            .zip(&self.max)
+            .zip(other.min.iter().zip(&other.max))
+        {
+            let lo = alo.max(*blo);
+            let hi = ahi.min(*bhi);
+            if lo >= hi {
+                return 0.0;
+            }
+            vol *= hi - lo;
+        }
+        vol
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> Vec<f64> {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| 0.5 * (lo + hi))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> BoundingBox {
+        BoundingBox::from_corners(vec![0.0, 0.0], vec![1.0, 1.0])
+    }
+
+    #[test]
+    fn around_point_is_degenerate() {
+        let bb = BoundingBox::around_point(&[2.0, 3.0]);
+        assert_eq!(bb.min(), bb.max());
+        assert_eq!(bb.volume(), 0.0);
+        assert!(bb.contains_point(&[2.0, 3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "min corner must not exceed")]
+    fn inverted_corners_rejected() {
+        let _ = BoundingBox::from_corners(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn expand_covers_new_points() {
+        let mut bb = BoundingBox::around_point(&[0.0, 0.0]);
+        bb.expand_to_point(&[-1.0, 2.0]);
+        bb.expand_to_point(&[3.0, -4.0]);
+        assert_eq!(bb.min(), &[-1.0, -4.0]);
+        assert_eq!(bb.max(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn min_squared_distance_inside_is_zero() {
+        let bb = unit_box();
+        assert_eq!(bb.min_squared_distance(&[0.5, 0.5]), 0.0);
+        assert_eq!(bb.min_squared_distance(&[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn min_squared_distance_outside_is_to_nearest_face_or_corner() {
+        let bb = unit_box();
+        assert!((bb.min_squared_distance(&[2.0, 0.5]) - 1.0).abs() < 1e-12);
+        assert!((bb.min_squared_distance(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((bb.min_squared_distance(&[-3.0, 0.5]) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ball_intersection() {
+        let bb = unit_box();
+        assert!(bb.intersects_ball(&[2.0, 0.5], 1.0));
+        assert!(!bb.intersects_ball(&[2.0, 0.5], 0.99));
+        assert!(bb.intersects_ball(&[0.5, 0.5], 0.0));
+    }
+
+    #[test]
+    fn union_and_overlap() {
+        let a = unit_box();
+        let b = BoundingBox::from_corners(vec![0.5, 0.5], vec![2.0, 2.0]);
+        let u = a.union(&b);
+        assert_eq!(u.min(), &[0.0, 0.0]);
+        assert_eq!(u.max(), &[2.0, 2.0]);
+        assert!((a.overlap_volume(&b) - 0.25).abs() < 1e-12);
+        let disjoint = BoundingBox::from_corners(vec![5.0, 5.0], vec![6.0, 6.0]);
+        assert_eq!(a.overlap_volume(&disjoint), 0.0);
+    }
+
+    #[test]
+    fn max_squared_distance_is_to_farthest_corner() {
+        let bb = unit_box();
+        // From the origin corner, the farthest point is (1, 1).
+        assert!((bb.max_squared_distance(&[0.0, 0.0]) - 2.0).abs() < 1e-12);
+        // From outside, farthest is the opposite corner.
+        assert!((bb.max_squared_distance(&[2.0, 0.0]) - (4.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inside_ball_detects_full_containment() {
+        let bb = unit_box();
+        assert!(bb.inside_ball(&[0.5, 0.5], 1.0));
+        assert!(!bb.inside_ball(&[0.5, 0.5], 0.5));
+    }
+
+    #[test]
+    fn volume_margin_center() {
+        let bb = BoundingBox::from_corners(vec![0.0, 0.0, 0.0], vec![1.0, 2.0, 3.0]);
+        assert!((bb.volume() - 6.0).abs() < 1e-12);
+        assert!((bb.margin() - 6.0).abs() < 1e-12);
+        assert_eq!(bb.center(), vec![0.5, 1.0, 1.5]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Euclidean distance kernels.
+//!
+//! These free functions are the innermost loops of every range query and
+//! every Gaussian-kernel evaluation in the workspace, so they are written to
+//! auto-vectorize: a single pass over two equal-length slices with no
+//! branches in the loop body.
+
+/// Squared Euclidean distance `||a - b||^2`.
+///
+/// Preferred in hot paths: range predicates compare against `eps^2` and the
+/// Gaussian kernel consumes the squared distance directly, so the `sqrt` is
+/// almost never needed.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slices differ in length; in release the
+/// shorter length wins, which is never exercised by workspace callers because
+/// all points come from one [`crate::PointSet`].
+#[inline]
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let diff = x - y;
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// Euclidean distance `||a - b||`.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Squared Euclidean norm `||a||^2`.
+#[inline]
+pub fn squared_norm(a: &[f64]) -> f64 {
+    a.iter().map(|&x| x * x).sum()
+}
+
+/// Dot product `a · b`.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_euclidean_matches_hand_computation() {
+        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(squared_euclidean(&[1.0], &[1.0]), 0.0);
+        assert_eq!(squared_euclidean(&[-1.0, 2.0], &[1.0, -2.0]), 4.0 + 16.0);
+    }
+
+    #[test]
+    fn euclidean_is_sqrt_of_squared() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        assert!((euclidean(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = [0.3, -7.5, 2.25];
+        assert_eq!(squared_euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn dot_and_norm_agree() {
+        let a = [1.0, -2.0, 0.5];
+        assert!((dot(&a, &a) - squared_norm(&a)).abs() < 1e-15);
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [0.1, 0.9, -4.0];
+        let b = [2.0, -1.0, 3.5];
+        assert_eq!(squared_euclidean(&a, &b), squared_euclidean(&b, &a));
+    }
+}

@@ -1,0 +1,330 @@
+//! Dense row-major storage for a set of `d`-dimensional points.
+
+use crate::bbox::BoundingBox;
+use crate::distance::squared_euclidean;
+
+/// Identifier of a point inside a [`PointSet`].
+///
+/// `u32` keeps per-point bookkeeping structures (cluster labels, index node
+/// entries, neighbor lists) half the size of `usize` on 64-bit targets, which
+/// matters at the 10M-point cardinalities the DBSVEC paper evaluates.
+pub type PointId = u32;
+
+/// A set of `n` points in `R^d`, stored row-major in one flat buffer.
+///
+/// Invariants:
+/// * `data.len() == n * dims`
+/// * `dims >= 1`
+/// * `n <= u32::MAX` so every point is addressable by [`PointId`]
+///
+/// # Examples
+///
+/// ```
+/// use dbsvec_geometry::PointSet;
+///
+/// let mut ps = PointSet::new(2);
+/// ps.push(&[0.0, 0.0]);
+/// ps.push(&[3.0, 4.0]);
+/// assert_eq!(ps.len(), 2);
+/// assert_eq!(ps.point(1), &[3.0, 4.0]);
+/// assert!((ps.distance(0, 1) - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointSet {
+    dims: usize,
+    data: Vec<f64>,
+}
+
+impl PointSet {
+    /// Creates an empty point set of dimensionality `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims >= 1, "PointSet dimensionality must be at least 1");
+        Self {
+            dims,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty point set with room for `capacity` points.
+    pub fn with_capacity(dims: usize, capacity: usize) -> Self {
+        assert!(dims >= 1, "PointSet dimensionality must be at least 1");
+        Self {
+            dims,
+            data: Vec::with_capacity(dims * capacity),
+        }
+    }
+
+    /// Builds a point set from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `dims` or if the point
+    /// count would exceed `u32::MAX`.
+    pub fn from_flat(dims: usize, data: Vec<f64>) -> Self {
+        assert!(dims >= 1, "PointSet dimensionality must be at least 1");
+        assert!(
+            data.len() % dims == 0,
+            "flat buffer length {} is not a multiple of dims {}",
+            data.len(),
+            dims
+        );
+        assert!(
+            data.len() / dims <= u32::MAX as usize,
+            "PointSet cannot hold more than u32::MAX points"
+        );
+        Self { dims, data }
+    }
+
+    /// Builds a point set from per-point rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all share the same nonzero length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let dims = rows[0].len();
+        let mut ps = Self::with_capacity(dims, rows.len());
+        for row in rows {
+            ps.push(row);
+        }
+        ps
+    }
+
+    /// Appends one point and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != self.dims()` or the set is full.
+    pub fn push(&mut self, coords: &[f64]) -> PointId {
+        assert_eq!(
+            coords.len(),
+            self.dims,
+            "point has {} coordinates but the set is {}-dimensional",
+            coords.len(),
+            self.dims
+        );
+        let id = self.len();
+        assert!(
+            id <= u32::MAX as usize,
+            "PointSet cannot hold more than u32::MAX points"
+        );
+        self.data.extend_from_slice(coords);
+        id as PointId
+    }
+
+    /// Number of points in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// Whether the set contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality `d` of the points.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Borrows the coordinates of point `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn point(&self, id: PointId) -> &[f64] {
+        let start = id as usize * self.dims;
+        &self.data[start..start + self.dims]
+    }
+
+    /// Mutably borrows the coordinates of point `id`.
+    #[inline]
+    pub fn point_mut(&mut self, id: PointId) -> &mut [f64] {
+        let start = id as usize * self.dims;
+        &mut self.data[start..start + self.dims]
+    }
+
+    /// The underlying flat row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterates over `(id, coords)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64])> {
+        self.data
+            .chunks_exact(self.dims)
+            .enumerate()
+            .map(|(i, chunk)| (i as PointId, chunk))
+    }
+
+    /// Euclidean distance between points `a` and `b`.
+    #[inline]
+    pub fn distance(&self, a: PointId, b: PointId) -> f64 {
+        self.squared_distance(a, b).sqrt()
+    }
+
+    /// Squared Euclidean distance between points `a` and `b`.
+    #[inline]
+    pub fn squared_distance(&self, a: PointId, b: PointId) -> f64 {
+        squared_euclidean(self.point(a), self.point(b))
+    }
+
+    /// Squared Euclidean distance between point `a` and an arbitrary query.
+    #[inline]
+    pub fn squared_distance_to(&self, a: PointId, query: &[f64]) -> f64 {
+        squared_euclidean(self.point(a), query)
+    }
+
+    /// The tight axis-aligned bounding box of the whole set.
+    ///
+    /// Returns `None` for an empty set.
+    pub fn bounding_box(&self) -> Option<BoundingBox> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut bb = BoundingBox::around_point(self.point(0));
+        for (_, p) in self.iter().skip(1) {
+            bb.expand_to_point(p);
+        }
+        Some(bb)
+    }
+
+    /// The coordinate-wise mean (centroid) of the whole set.
+    ///
+    /// Returns `None` for an empty set.
+    pub fn centroid(&self) -> Option<Vec<f64>> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut acc = vec![0.0; self.dims];
+        for (_, p) in self.iter() {
+            for (a, &x) in acc.iter_mut().zip(p) {
+                *a += x;
+            }
+        }
+        let n = self.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        Some(acc)
+    }
+
+    /// Copies a subset of points into a new `PointSet`, preserving order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn subset(&self, ids: &[PointId]) -> PointSet {
+        let mut out = PointSet::with_capacity(self.dims, ids.len());
+        for &id in ids {
+            out.push(self.point(id));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut ps = PointSet::new(3);
+        let a = ps.push(&[1.0, 2.0, 3.0]);
+        let b = ps.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.dims(), 3);
+        assert_eq!(ps.point(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(ps.point(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_flat_round_trips() {
+        let ps = PointSet::from_flat(2, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.point(1), &[2.0, 3.0]);
+        assert_eq!(ps.as_flat(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged_buffer() {
+        let _ = PointSet::from_flat(3, vec![0.0; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality must be at least 1")]
+    fn zero_dims_rejected() {
+        let _ = PointSet::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinates")]
+    fn push_rejects_wrong_arity() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[1.0]);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[0.0, 0.0]);
+        ps.push(&[3.0, 4.0]);
+        assert!((ps.distance(0, 1) - 5.0).abs() < 1e-12);
+        assert!((ps.squared_distance(0, 1) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_yields_all_points_in_order() {
+        let ps = PointSet::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let collected: Vec<(PointId, f64)> = ps.iter().map(|(id, p)| (id, p[0])).collect();
+        assert_eq!(collected, vec![(0, 1.0), (1, 2.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let ps = PointSet::from_rows(&[vec![1.0, -5.0], vec![-2.0, 7.0], vec![0.5, 0.0]]);
+        let bb = ps.bounding_box().unwrap();
+        assert_eq!(bb.min(), &[-2.0, -5.0]);
+        assert_eq!(bb.max(), &[1.0, 7.0]);
+    }
+
+    #[test]
+    fn bounding_box_of_empty_set_is_none() {
+        assert!(PointSet::new(4).bounding_box().is_none());
+        assert!(PointSet::new(4).centroid().is_none());
+    }
+
+    #[test]
+    fn centroid_is_mean() {
+        let ps = PointSet::from_rows(&[vec![0.0, 0.0], vec![2.0, 4.0]]);
+        assert_eq!(ps.centroid().unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn subset_preserves_order_and_coords() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let sub = ps.subset(&[3, 1]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.point(0), &[3.0]);
+        assert_eq!(sub.point(1), &[1.0]);
+    }
+
+    #[test]
+    fn point_mut_updates_in_place() {
+        let mut ps = PointSet::from_rows(&[vec![0.0, 0.0]]);
+        ps.point_mut(0)[1] = 9.0;
+        assert_eq!(ps.point(0), &[0.0, 9.0]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Uniform grid range-query engine.
+//!
+//! Points are bucketed into hypercubic cells of side `cell_width` (callers
+//! typically pass ε). A range query with radius `eps <= cell_width` only
+//! needs to inspect the 3^d neighborhood of the query's cell; for larger
+//! radii the neighborhood widens accordingly.
+//!
+//! Enumerating `(2k+1)^d` neighbor cells is exponential in the
+//! dimensionality, so beyond a crossover the engine switches to scanning the
+//! *occupied* cells (there are at most `n` of them) and pruning each by the
+//! distance from the query to the cell's box. This keeps the engine correct
+//! in any dimension while staying fast in the low-dimensional regime it is
+//! designed for (the paper's §II-C discussion of grid methods).
+
+use std::collections::HashMap;
+
+use crate::traits::RangeIndex;
+use dbsvec_geometry::{PointId, PointSet};
+
+/// Integer coordinates of a grid cell.
+pub type CellCoord = Vec<i64>;
+
+/// A uniform grid over a borrowed [`PointSet`].
+pub struct GridIndex<'a> {
+    points: &'a PointSet,
+    cell_width: f64,
+    cells: HashMap<CellCoord, Vec<PointId>>,
+}
+
+impl<'a> GridIndex<'a> {
+    /// Builds the grid in O(n) expected time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_width` is not strictly positive and finite.
+    pub fn build(points: &'a PointSet, cell_width: f64) -> Self {
+        assert!(
+            cell_width.is_finite() && cell_width > 0.0,
+            "cell width must be positive and finite, got {cell_width}"
+        );
+        let mut cells: HashMap<CellCoord, Vec<PointId>> = HashMap::new();
+        for (id, p) in points.iter() {
+            cells.entry(cell_of(p, cell_width)).or_default().push(id);
+        }
+        Self {
+            points,
+            cell_width,
+            cells,
+        }
+    }
+
+    /// Cell side length.
+    pub fn cell_width(&self) -> f64 {
+        self.cell_width
+    }
+
+    /// Number of occupied cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The ids bucketed in the cell containing `p`, if any.
+    pub fn cell_points(&self, p: &[f64]) -> Option<&[PointId]> {
+        self.cells
+            .get(&cell_of(p, self.cell_width))
+            .map(Vec::as_slice)
+    }
+
+    /// Iterates over `(cell, member ids)` pairs.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (&CellCoord, &[PointId])> {
+        self.cells.iter().map(|(c, ids)| (c, ids.as_slice()))
+    }
+
+    /// Visits every candidate id whose cell intersects the query ball.
+    fn for_each_candidate(&self, query: &[f64], eps: f64, mut f: impl FnMut(PointId)) {
+        let dims = self.points.dims();
+        let reach = (eps / self.cell_width).ceil() as i64;
+        let cells_to_enumerate = (2 * reach + 1).pow(dims.min(10) as u32) as usize;
+
+        if dims <= 10 && cells_to_enumerate <= 4 * self.cells.len().max(1) {
+            // Enumerate the (2k+1)^d neighborhood around the query cell.
+            let base = cell_of(query, self.cell_width);
+            let mut offset = vec![-reach; dims];
+            loop {
+                let cell: CellCoord = base.iter().zip(&offset).map(|(b, o)| b + o).collect();
+                if self.cell_intersects_ball(&cell, query, eps) {
+                    if let Some(ids) = self.cells.get(&cell) {
+                        for &id in ids {
+                            f(id);
+                        }
+                    }
+                }
+                // Odometer increment over the offset vector.
+                let mut carry = true;
+                for slot in offset.iter_mut() {
+                    *slot += 1;
+                    if *slot <= reach {
+                        carry = false;
+                        break;
+                    }
+                    *slot = -reach;
+                }
+                if carry {
+                    break;
+                }
+            }
+        } else {
+            // High dimension / wide radius: scan occupied cells instead.
+            for (cell, ids) in &self.cells {
+                if self.cell_intersects_ball(cell, query, eps) {
+                    for &id in ids {
+                        f(id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn cell_intersects_ball(&self, cell: &[i64], query: &[f64], eps: f64) -> bool {
+        let w = self.cell_width;
+        let mut acc = 0.0;
+        for (&c, &q) in cell.iter().zip(query) {
+            let lo = c as f64 * w;
+            let hi = lo + w;
+            let diff = if q < lo {
+                lo - q
+            } else if q > hi {
+                q - hi
+            } else {
+                0.0
+            };
+            acc += diff * diff;
+            if acc > eps * eps {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The integer cell containing `p` for the given cell width.
+pub fn cell_of(p: &[f64], cell_width: f64) -> CellCoord {
+    p.iter().map(|&x| (x / cell_width).floor() as i64).collect()
+}
+
+impl RangeIndex for GridIndex<'_> {
+    fn range(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
+        let eps_sq = eps * eps;
+        self.for_each_candidate(query, eps, |id| {
+            if self.points.squared_distance_to(id, query) <= eps_sq {
+                out.push(id);
+            }
+        });
+    }
+
+    fn count_range(&self, query: &[f64], eps: f64) -> usize {
+        let eps_sq = eps * eps;
+        let mut n = 0;
+        self.for_each_candidate(query, eps, |id| {
+            if self.points.squared_distance_to(id, query) <= eps_sq {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use dbsvec_geometry::rng::SplitMix64;
+
+    fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = SplitMix64::new(seed);
+        let mut ps = PointSet::with_capacity(d, n);
+        let mut row = vec![0.0; d];
+        for _ in 0..n {
+            for x in &mut row {
+                *x = rng.next_f64() * 100.0 - 50.0; // negative coords too
+            }
+            ps.push(&row);
+        }
+        ps
+    }
+
+    #[test]
+    fn matches_linear_scan_low_dim() {
+        for d in [1, 2, 3] {
+            let ps = random_points(500, d, 3 + d as u64);
+            let grid = GridIndex::build(&ps, 10.0);
+            let oracle = LinearScan::build(&ps);
+            let mut rng = SplitMix64::new(17);
+            for _ in 0..50 {
+                let q: Vec<f64> = (0..d).map(|_| rng.next_f64() * 100.0 - 50.0).collect();
+                let eps = rng.next_f64() * 25.0;
+                let mut got = grid.range_vec(&q, eps);
+                let mut want = oracle.range_vec(&q, eps);
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "d={d} eps={eps}");
+                assert_eq!(grid.count_range(&q, eps), want.len());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_high_dim_fallback() {
+        // d = 16 forces the occupied-cell scan path.
+        let ps = random_points(300, 16, 101);
+        let grid = GridIndex::build(&ps, 5.0);
+        let oracle = LinearScan::build(&ps);
+        let mut rng = SplitMix64::new(19);
+        for _ in 0..20 {
+            let q: Vec<f64> = (0..16).map(|_| rng.next_f64() * 100.0 - 50.0).collect();
+            let eps = rng.next_f64() * 60.0;
+            let mut got = grid.range_vec(&q, eps);
+            let mut want = oracle.range_vec(&q, eps);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let ps = PointSet::from_rows(&[vec![-0.5], vec![0.5], vec![-1.5]]);
+        let grid = GridIndex::build(&ps, 1.0);
+        assert_eq!(cell_of(&[-0.5], 1.0), vec![-1]);
+        assert_eq!(grid.cell_points(&[-0.5]).unwrap(), &[0]);
+        let mut hits = grid.range_vec(&[0.0], 1.0);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell width must be positive")]
+    fn zero_cell_width_rejected() {
+        let ps = PointSet::from_rows(&[vec![0.0]]);
+        let _ = GridIndex::build(&ps, 0.0);
+    }
+
+    #[test]
+    fn occupied_cell_count() {
+        let ps = PointSet::from_rows(&[vec![0.1, 0.1], vec![0.2, 0.2], vec![5.0, 5.0]]);
+        let grid = GridIndex::build(&ps, 1.0);
+        assert_eq!(grid.occupied_cells(), 2);
+        assert_eq!(grid.len(), 3);
+    }
+}

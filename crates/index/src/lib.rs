@@ -1,0 +1,54 @@
+//! Range-query engines for density-based clustering.
+//!
+//! Every DBSCAN-family algorithm in this workspace is built on one
+//! primitive: the ε-range query *"give me all points within distance ε of
+//! q"*. This crate provides four interchangeable engines behind the
+//! [`RangeIndex`] trait:
+//!
+//! * [`LinearScan`] — the O(n) baseline, also the correctness oracle in
+//!   tests;
+//! * [`KdTree`] — median-split kd-tree with leaf buckets, the engine behind
+//!   the paper's *kd-DBSCAN* baseline;
+//! * [`RStarTree`] — an R\*-tree (STR bulk load + R\* insertion heuristics),
+//!   the engine behind the paper's *R-DBSCAN* ground-truth algorithm;
+//! * [`GridIndex`] — a uniform grid with ε-wide cells, used by the
+//!   NQ-DBSCAN baseline and useful on its own in low dimensions;
+//! * [`BallTree`] — sphere-bounded subtrees whose pruning does not loosen
+//!   with dimensionality, the engine of choice at d ≳ 16.
+//!
+//! [`CountingIndex`] wraps any engine and counts queries/candidate
+//! inspections so the experiments can report the θ decomposition of the
+//! paper's Table II.
+//!
+//! All engines borrow the [`dbsvec_geometry::PointSet`] they index; they
+//! never copy coordinates. Build once, query many times.
+//!
+//! ```
+//! use dbsvec_geometry::PointSet;
+//! use dbsvec_index::{KdTree, RangeIndex};
+//!
+//! let ps = PointSet::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0], vec![10.0, 10.0]]);
+//! let tree = KdTree::build(&ps);
+//! let mut hits = Vec::new();
+//! tree.range(&[0.5, 0.0], 1.0, &mut hits);
+//! hits.sort_unstable();
+//! assert_eq!(hits, vec![0, 1]);
+//! ```
+
+pub mod balltree;
+pub mod grid;
+pub mod kdist;
+pub mod kdtree;
+pub mod linear;
+pub mod rstar;
+pub mod stats;
+pub mod traits;
+
+pub use balltree::BallTree;
+pub use grid::GridIndex;
+pub use kdist::{k_distance_profile, knee_epsilon, kth_neighbor_distance};
+pub use kdtree::KdTree;
+pub use linear::LinearScan;
+pub use rstar::RStarTree;
+pub use stats::{CountingIndex, QueryStats};
+pub use traits::RangeIndex;

@@ -1,0 +1,110 @@
+//! Brute-force linear-scan range queries.
+
+use crate::traits::RangeIndex;
+use dbsvec_geometry::{PointId, PointSet};
+
+/// The O(n)-per-query baseline engine.
+///
+/// Scans every indexed point and compares squared distances against `eps²`.
+/// It has no build cost and no memory overhead, which makes it the fastest
+/// choice for very small sets (the SVDD target sets inside DBSVEC are a few
+/// hundred points) and the natural correctness oracle for the tree engines.
+pub struct LinearScan<'a> {
+    points: &'a PointSet,
+}
+
+impl<'a> LinearScan<'a> {
+    /// Wraps a point set; O(1).
+    pub fn build(points: &'a PointSet) -> Self {
+        Self { points }
+    }
+
+    /// The indexed point set.
+    pub fn points(&self) -> &'a PointSet {
+        self.points
+    }
+}
+
+impl RangeIndex for LinearScan<'_> {
+    fn range(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
+        let eps_sq = eps * eps;
+        for (id, p) in self.points.iter() {
+            if dbsvec_geometry::squared_euclidean(p, query) <= eps_sq {
+                out.push(id);
+            }
+        }
+    }
+
+    fn count_range(&self, query: &[f64], eps: f64) -> usize {
+        let eps_sq = eps * eps;
+        self.points
+            .iter()
+            .filter(|(_, p)| dbsvec_geometry::squared_euclidean(p, query) <= eps_sq)
+            .count()
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointSet {
+        PointSet::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![5.0, 5.0],
+            vec![1.0, 1.0],
+        ])
+    }
+
+    #[test]
+    fn finds_exactly_the_ball() {
+        let ps = sample();
+        let idx = LinearScan::build(&ps);
+        let mut hits = idx.range_vec(&[0.0, 0.0], 1.0);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn boundary_is_closed() {
+        let ps = PointSet::from_rows(&[vec![3.0, 4.0]]);
+        let idx = LinearScan::build(&ps);
+        assert_eq!(idx.range_vec(&[0.0, 0.0], 5.0), vec![0]);
+        assert!(idx.range_vec(&[0.0, 0.0], 4.999_999).is_empty());
+    }
+
+    #[test]
+    fn count_matches_materialized() {
+        let ps = sample();
+        let idx = LinearScan::build(&ps);
+        for eps in [0.0, 0.5, 1.0, 1.5, 10.0] {
+            assert_eq!(
+                idx.count_range(&[0.5, 0.5], eps),
+                idx.range_vec(&[0.5, 0.5], eps).len()
+            );
+        }
+    }
+
+    #[test]
+    fn appends_without_clearing() {
+        let ps = sample();
+        let idx = LinearScan::build(&ps);
+        let mut out = vec![99];
+        idx.range(&[5.0, 5.0], 0.1, &mut out);
+        assert_eq!(out, vec![99, 3]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let ps = PointSet::new(2);
+        let idx = LinearScan::build(&ps);
+        assert!(idx.is_empty());
+        assert!(idx.range_vec(&[0.0, 0.0], 100.0).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! Leutenegger, Lopez & Edgington, "STR: a simple and efficient algorithm
+//! for R-tree packing" (ICDE 1997). The point set is recursively sorted and
+//! sliced one dimension at a time so every leaf receives a spatially compact
+//! tile of at most `M` points; upper levels are packed the same way over the
+//! child bounding-box centers.
+
+use dbsvec_geometry::{BoundingBox, PointId, PointSet};
+
+use super::{Entries, Node, RStarTree};
+
+/// Builds a packed tree over the whole point set.
+pub(crate) fn str_bulk_load(points: &PointSet) -> RStarTree<'_> {
+    let n = points.len();
+    if n == 0 {
+        return RStarTree::from_parts(points, Vec::new(), None);
+    }
+
+    let m = RStarTree::MAX_ENTRIES;
+    let dims = points.dims();
+
+    // ---- Leaf level: tile the point ids.
+    let mut ids: Vec<PointId> = (0..n as u32).collect();
+    let mut tiles: Vec<&mut [PointId]> = vec![&mut ids[..]];
+    let coord = |id: PointId, d: usize| points.point(id)[d];
+    for d in 0..dims {
+        tiles = slice_tiles(tiles, m, dims - d, |a, b| {
+            coord(a, d)
+                .partial_cmp(&coord(b, d))
+                .expect("NaN coordinate")
+        });
+    }
+
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut level: Vec<u32> = Vec::with_capacity(tiles.len());
+    for tile in tiles {
+        debug_assert!(!tile.is_empty() && tile.len() <= m);
+        let mut bbox = BoundingBox::around_point(points.point(tile[0]));
+        for &id in tile[1..].iter() {
+            bbox.expand_to_point(points.point(id));
+        }
+        nodes.push(Node {
+            bbox,
+            entries: Entries::Leaf(tile.to_vec()),
+        });
+        level.push((nodes.len() - 1) as u32);
+    }
+
+    // ---- Upper levels: pack child nodes by bbox center until one remains.
+    while level.len() > 1 {
+        let centers: Vec<Vec<f64>> = level
+            .iter()
+            .map(|&nid| nodes[nid as usize].bbox.center())
+            .collect();
+        let pos: std::collections::HashMap<u32, usize> =
+            level.iter().enumerate().map(|(i, &nid)| (nid, i)).collect();
+
+        let mut current = level.clone();
+        let mut tiles: Vec<&mut [u32]> = vec![&mut current[..]];
+        // `d` indexes into the inner center vectors, not `centers` itself.
+        #[allow(clippy::needless_range_loop)]
+        for d in 0..dims {
+            tiles = slice_tiles(tiles, m, dims - d, |a, b| {
+                centers[pos[&a]][d]
+                    .partial_cmp(&centers[pos[&b]][d])
+                    .expect("NaN bounding-box center")
+            });
+        }
+
+        let mut next_level = Vec::with_capacity(tiles.len());
+        for tile in tiles {
+            let mut bbox = nodes[tile[0] as usize].bbox.clone();
+            for &child in tile[1..].iter() {
+                let child_bbox = nodes[child as usize].bbox.clone();
+                bbox.expand_to_box(&child_bbox);
+            }
+            nodes.push(Node {
+                bbox,
+                entries: Entries::Inner(tile.to_vec()),
+            });
+            next_level.push((nodes.len() - 1) as u32);
+        }
+        level = next_level;
+    }
+
+    let root = level[0];
+    RStarTree::from_parts(points, nodes, Some(root))
+}
+
+/// Splits every tile into `s` slabs along the current sort order, where
+/// `s = ceil(pages^(1/dims_remaining))` and `pages = ceil(len / m)`.
+///
+/// With `dims_remaining == 1` this degenerates to chunking into pages of at
+/// most `m` entries, terminating the recursion.
+fn slice_tiles<T: Copy>(
+    tiles: Vec<&mut [T]>,
+    m: usize,
+    dims_remaining: usize,
+    mut cmp: impl FnMut(T, T) -> std::cmp::Ordering,
+) -> Vec<&mut [T]> {
+    let mut out = Vec::new();
+    for tile in tiles {
+        tile.sort_unstable_by(|&a, &b| cmp(a, b));
+        let pages = tile.len().div_ceil(m);
+        let slabs = if dims_remaining <= 1 {
+            pages
+        } else {
+            (pages as f64).powf(1.0 / dims_remaining as f64).ceil() as usize
+        };
+        let slabs = slabs.max(1);
+        let slab_size = tile.len().div_ceil(slabs);
+        let mut rest = tile;
+        while !rest.is_empty() {
+            let take = slab_size.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            out.push(head);
+            rest = tail;
+        }
+    }
+    out
+}

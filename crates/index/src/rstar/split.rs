@@ -1,0 +1,185 @@
+//! R\* insertion heuristics: ChooseSubtree and topological node splitting.
+//!
+//! Both follow Beckmann et al., "The R\*-tree: an efficient and robust
+//! access method for points and rectangles" (SIGMOD 1990), §4:
+//!
+//! * **ChooseSubtree** — when the children are leaves, pick the child whose
+//!   bounding box needs the least *overlap* enlargement (ties: least area
+//!   enlargement, then least area); otherwise least area enlargement.
+//! * **Split** — for every axis, sort entries by lower then upper bbox edge
+//!   and evaluate all legal distributions; pick the axis with minimum total
+//!   margin, then the distribution on that axis with minimum overlap (ties:
+//!   minimum combined area).
+
+use dbsvec_geometry::BoundingBox;
+
+use super::{Entries, Node, RStarTree};
+
+/// Picks the child of inner node `node` that should receive point `p`.
+pub(crate) fn choose_subtree(tree: &RStarTree<'_>, node: u32, p: &[f64]) -> u32 {
+    let children: &[u32] = match &tree.nodes[node as usize].entries {
+        Entries::Inner(children) => children,
+        Entries::Leaf(_) => unreachable!("choose_subtree called on a leaf"),
+    };
+    debug_assert!(!children.is_empty());
+
+    let children_are_leaves = matches!(tree.nodes[children[0] as usize].entries, Entries::Leaf(_));
+
+    let mut best = children[0];
+    let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for &child in children {
+        let bbox = &tree.nodes[child as usize].bbox;
+        let mut enlarged = bbox.clone();
+        enlarged.expand_to_point(p);
+        let area = bbox.volume();
+        let area_enlargement = enlarged.volume() - area;
+        let overlap_enlargement = if children_are_leaves {
+            let mut delta = 0.0;
+            for &other in children {
+                if other == child {
+                    continue;
+                }
+                let other_bbox = &tree.nodes[other as usize].bbox;
+                delta += enlarged.overlap_volume(other_bbox) - bbox.overlap_volume(other_bbox);
+            }
+            delta
+        } else {
+            0.0
+        };
+        let key = (overlap_enlargement, area_enlargement, area);
+        if key < best_key {
+            best_key = key;
+            best = child;
+        }
+    }
+    best
+}
+
+/// Splits the overflowing `node` in place; returns the id of the new sibling.
+pub(crate) fn split_node(tree: &mut RStarTree<'_>, node: u32) -> u32 {
+    let (second_entries, first_bbox, second_bbox) = match &tree.nodes[node as usize].entries {
+        Entries::Leaf(ids) => {
+            let boxes: Vec<BoundingBox> = ids
+                .iter()
+                .map(|&id| BoundingBox::around_point(tree.points.point(id)))
+                .collect();
+            let (left, right) = partition(ids, &boxes);
+            let (lb, rb) = (
+                cover(&boxes, &left_mask(ids, &left)),
+                cover(&boxes, &left_mask(ids, &right)),
+            );
+            (Entries::Leaf(right), lb, rb)
+        }
+        Entries::Inner(children) => {
+            let boxes: Vec<BoundingBox> = children
+                .iter()
+                .map(|&c| tree.nodes[c as usize].bbox.clone())
+                .collect();
+            let (left, right) = partition(children, &boxes);
+            let (lb, rb) = (
+                cover(&boxes, &left_mask(children, &left)),
+                cover(&boxes, &left_mask(children, &right)),
+            );
+            (Entries::Inner(right), lb, rb)
+        }
+    };
+
+    // Install the left half back into `node` and create the sibling.
+    match (&mut tree.nodes[node as usize].entries, &second_entries) {
+        (Entries::Leaf(ids), Entries::Leaf(right)) => {
+            ids.retain(|id| !right.contains(id));
+        }
+        (Entries::Inner(children), Entries::Inner(right)) => {
+            children.retain(|c| !right.contains(c));
+        }
+        _ => unreachable!("split halves must share the node kind"),
+    }
+    tree.nodes[node as usize].bbox = first_bbox;
+    tree.nodes.push(Node {
+        bbox: second_bbox,
+        entries: second_entries,
+    });
+    (tree.nodes.len() - 1) as u32
+}
+
+/// Indices (into the original entry list) retained by one half.
+fn left_mask<T: Copy + Eq>(all: &[T], half: &[T]) -> Vec<usize> {
+    all.iter()
+        .enumerate()
+        .filter(|(_, e)| half.contains(e))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn cover(boxes: &[BoundingBox], idx: &[usize]) -> BoundingBox {
+    let mut bb = boxes[idx[0]].clone();
+    for &i in &idx[1..] {
+        bb.expand_to_box(&boxes[i]);
+    }
+    bb
+}
+
+/// R\* topological split over generic entries with precomputed boxes.
+///
+/// Returns the two halves as owned entry lists.
+fn partition<T: Copy + Eq>(entries: &[T], boxes: &[BoundingBox]) -> (Vec<T>, Vec<T>) {
+    let total = entries.len();
+    let min = RStarTree::MIN_ENTRIES.min(total / 2).max(1);
+    let dims = boxes[0].dims();
+
+    // Step 1: choose the split axis by minimum total margin over all
+    // candidate distributions.
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..dims {
+        let order = sorted_order(boxes, axis);
+        let mut margin_sum = 0.0;
+        for k in min..=(total - min) {
+            let left = cover_order(boxes, &order[..k]);
+            let right = cover_order(boxes, &order[k..]);
+            margin_sum += left.margin() + right.margin();
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    // Step 2: on the chosen axis, pick the distribution with minimum overlap
+    // (ties: minimum combined area).
+    let order = sorted_order(boxes, best_axis);
+    let mut best_k = min;
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for k in min..=(total - min) {
+        let left = cover_order(boxes, &order[..k]);
+        let right = cover_order(boxes, &order[k..]);
+        let key = (left.overlap_volume(&right), left.volume() + right.volume());
+        if key < best_key {
+            best_key = key;
+            best_k = k;
+        }
+    }
+
+    let left: Vec<T> = order[..best_k].iter().map(|&i| entries[i]).collect();
+    let right: Vec<T> = order[best_k..].iter().map(|&i| entries[i]).collect();
+    (left, right)
+}
+
+/// Entry indices sorted by (lower edge, upper edge) along `axis`.
+fn sorted_order(boxes: &[BoundingBox], axis: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..boxes.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ka = (boxes[a].min()[axis], boxes[a].max()[axis]);
+        let kb = (boxes[b].min()[axis], boxes[b].max()[axis]);
+        ka.partial_cmp(&kb).expect("NaN coordinate in bounding box")
+    });
+    order
+}
+
+fn cover_order(boxes: &[BoundingBox], idx: &[usize]) -> BoundingBox {
+    let mut bb = boxes[idx[0]].clone();
+    for &i in &idx[1..] {
+        bb.expand_to_box(&boxes[i]);
+    }
+    bb
+}

@@ -1,0 +1,130 @@
+//! Query-counting wrapper used by the Table II complexity experiment.
+
+use std::cell::Cell;
+
+use crate::traits::RangeIndex;
+use dbsvec_geometry::PointId;
+
+/// Counters accumulated by a [`CountingIndex`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Number of `range` / `count_range` calls issued.
+    pub queries: u64,
+    /// Total number of result points reported across all queries.
+    pub results: u64,
+}
+
+impl QueryStats {
+    /// Average result-set size per query; zero when no queries ran.
+    pub fn mean_result_size(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.results as f64 / self.queries as f64
+        }
+    }
+}
+
+/// Wraps any [`RangeIndex`] and counts the queries flowing through it.
+///
+/// The paper's complexity analysis (§III-D) claims DBSVEC issues
+/// `O(s + 1 + k + m + MinPts·l)` range queries versus DBSCAN's `n`; wrapping
+/// both algorithms' indexes in `CountingIndex` lets the Table II harness
+/// verify that claim empirically. Counters use [`Cell`] so the wrapper stays
+/// usable behind the `&self` query interface (the clustering algorithms are
+/// single-threaded, matching the paper's implementation).
+pub struct CountingIndex<I> {
+    inner: I,
+    queries: Cell<u64>,
+    results: Cell<u64>,
+}
+
+impl<I: RangeIndex> CountingIndex<I> {
+    /// Wraps an engine with zeroed counters.
+    pub fn new(inner: I) -> Self {
+        Self {
+            inner,
+            queries: Cell::new(0),
+            results: Cell::new(0),
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> QueryStats {
+        QueryStats {
+            queries: self.queries.get(),
+            results: self.results.get(),
+        }
+    }
+
+    /// Resets the counters to zero.
+    pub fn reset(&self) {
+        self.queries.set(0);
+        self.results.set(0);
+    }
+
+    /// Unwraps the inner engine.
+    pub fn into_inner(self) -> I {
+        self.inner
+    }
+}
+
+impl<I: RangeIndex> RangeIndex for CountingIndex<I> {
+    fn range(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
+        let before = out.len();
+        self.inner.range(query, eps, out);
+        self.queries.set(self.queries.get() + 1);
+        self.results
+            .set(self.results.get() + (out.len() - before) as u64);
+    }
+
+    fn count_range(&self, query: &[f64], eps: f64) -> usize {
+        let n = self.inner.count_range(query, eps);
+        self.queries.set(self.queries.get() + 1);
+        self.results.set(self.results.get() + n as u64);
+        n
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use dbsvec_geometry::PointSet;
+
+    #[test]
+    fn counts_queries_and_results() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let idx = CountingIndex::new(LinearScan::build(&ps));
+        let mut out = Vec::new();
+        idx.range(&[0.0], 1.0, &mut out);
+        idx.range(&[0.0], 5.0, &mut out);
+        let _ = idx.count_range(&[9.0], 0.5);
+        let stats = idx.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.results, 2 + 3);
+        assert!((stats.mean_result_size() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let ps = PointSet::from_rows(&[vec![0.0]]);
+        let idx = CountingIndex::new(LinearScan::build(&ps));
+        let _ = idx.range_vec(&[0.0], 1.0);
+        idx.reset();
+        assert_eq!(idx.stats(), QueryStats::default());
+        assert_eq!(idx.stats().mean_result_size(), 0.0);
+    }
+
+    #[test]
+    fn delegates_len() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0]]);
+        let idx = CountingIndex::new(LinearScan::build(&ps));
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+    }
+}

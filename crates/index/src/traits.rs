@@ -1,0 +1,61 @@
+//! The range-query abstraction all clustering algorithms consume.
+
+use dbsvec_geometry::PointId;
+
+/// An ε-range query engine over a fixed point set.
+///
+/// Implementations index a [`dbsvec_geometry::PointSet`] at construction
+/// time and answer closed-ball queries: every point `p` with
+/// `||p - query|| <= eps` is reported, including the query point itself when
+/// it belongs to the indexed set (DBSCAN's `|N_ε(x)| >= MinPts` counts the
+/// point itself, Definition 2 of the paper).
+///
+/// Results are appended to a caller-supplied buffer so hot loops can reuse
+/// one allocation across millions of queries.
+pub trait RangeIndex {
+    /// Appends the ids of all indexed points within `eps` of `query` to `out`.
+    ///
+    /// `out` is *not* cleared first; callers that need a fresh result must
+    /// clear it themselves. No order is guaranteed.
+    fn range(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>);
+
+    /// Counts the indexed points within `eps` of `query` without
+    /// materializing them.
+    ///
+    /// The default implementation materializes into a scratch vector;
+    /// engines override it when they can count more cheaply.
+    fn count_range(&self, query: &[f64], eps: f64) -> usize {
+        let mut scratch = Vec::new();
+        self.range(query, eps, &mut scratch);
+        scratch.len()
+    }
+
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convenience wrapper returning a fresh vector.
+    fn range_vec(&self, query: &[f64], eps: f64) -> Vec<PointId> {
+        let mut out = Vec::new();
+        self.range(query, eps, &mut out);
+        out
+    }
+}
+
+impl<T: RangeIndex + ?Sized> RangeIndex for &T {
+    fn range(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
+        (**self).range(query, eps, out)
+    }
+
+    fn count_range(&self, query: &[f64], eps: f64) -> usize {
+        (**self).count_range(query, eps)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: every engine is an exact range-query oracle.
+
+use proptest::prelude::*;
+
+use dbsvec_geometry::PointSet;
+use dbsvec_index::{CountingIndex, GridIndex, KdTree, LinearScan, RStarTree, RangeIndex};
+
+fn point_set(max_n: usize, max_d: usize) -> impl Strategy<Value = PointSet> {
+    (1..=max_d).prop_flat_map(move |d| {
+        prop::collection::vec(prop::collection::vec(-1000.0..1000.0f64, d), 1..=max_n)
+            .prop_map(|rows| PointSet::from_rows(&rows))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn count_equals_materialized_for_every_engine(
+        ps in point_set(100, 3),
+        eps in 0.0..500.0f64,
+        qidx in 0usize..100,
+    ) {
+        let q = ps.point((qidx % ps.len()) as u32).to_vec();
+        let engines: Vec<Box<dyn RangeIndex + '_>> = vec![
+            Box::new(LinearScan::build(&ps)),
+            Box::new(KdTree::build(&ps)),
+            Box::new(RStarTree::build(&ps)),
+            Box::new(GridIndex::build(&ps, eps.max(1.0))),
+        ];
+        let expected = engines[0].range_vec(&q, eps).len();
+        for engine in &engines {
+            prop_assert_eq!(engine.count_range(&q, eps), expected);
+            prop_assert_eq!(engine.range_vec(&q, eps).len(), expected);
+        }
+        // The query point itself is always in its own closed neighborhood.
+        prop_assert!(expected >= 1);
+    }
+
+    #[test]
+    fn results_are_unique_ids(ps in point_set(80, 2), eps in 0.0..2000.0f64) {
+        let q = ps.point(0).to_vec();
+        for result in [
+            KdTree::build(&ps).range_vec(&q, eps),
+            RStarTree::build(&ps).range_vec(&q, eps),
+            GridIndex::build(&ps, eps.max(0.5)).range_vec(&q, eps),
+        ] {
+            let mut sorted = result.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), result.len(), "duplicate ids reported");
+        }
+    }
+
+    #[test]
+    fn monotone_in_radius(ps in point_set(60, 3), eps in 0.1..300.0f64) {
+        let q = ps.point(0).to_vec();
+        let tree = KdTree::build(&ps);
+        let small = tree.count_range(&q, eps);
+        let large = tree.count_range(&q, eps * 2.0);
+        prop_assert!(large >= small);
+    }
+
+    #[test]
+    fn counting_wrapper_is_transparent(ps in point_set(50, 2), eps in 0.0..500.0f64) {
+        let q = ps.point(0).to_vec();
+        let plain = KdTree::build(&ps);
+        let counted = CountingIndex::new(KdTree::build(&ps));
+        let mut a = plain.range_vec(&q, eps);
+        let mut b = counted.range_vec(&q, eps);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(counted.stats().queries, 1);
+    }
+
+    #[test]
+    fn rstar_incremental_never_loses_points(ps in point_set(70, 3)) {
+        let mut tree = RStarTree::new(&ps);
+        for id in 0..ps.len() as u32 {
+            tree.insert(id);
+        }
+        // A huge ball must return every point exactly once.
+        let q = vec![0.0; ps.dims()];
+        let mut all = tree.range_vec(&q, 1e9);
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..ps.len() as u32).collect();
+        prop_assert_eq!(all, expected);
+    }
+}

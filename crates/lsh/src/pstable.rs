@@ -1,0 +1,138 @@
+//! Single p-stable (Gaussian-projection) hash functions.
+//!
+//! Datar et al., "Locality-sensitive hashing scheme based on p-stable
+//! distributions" (SoCG 2004). With `a ~ N(0, 1)^d` and `b ~ U[0, w)`:
+//!
+//! ```text
+//! h(x) = ⌊ (a·x + b) / w ⌋
+//! ```
+//!
+//! Two points at distance `r` collide with probability that decays in
+//! `r / w`, so choosing `w ≈ ε` makes the buckets approximate
+//! ε-neighborhoods — the property the DBSCAN-LSH baseline relies on.
+
+use dbsvec_geometry::rng::SplitMix64;
+
+/// One p-stable hash function `h(x) = ⌊(a·x + b)/w⌋`.
+#[derive(Clone, Debug)]
+pub struct PStableHash {
+    projection: Vec<f64>,
+    offset: f64,
+    width: f64,
+}
+
+impl PStableHash {
+    /// Samples a hash function for `dims`-dimensional data with bucket
+    /// width `w`, deterministically from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is positive and finite.
+    pub fn sample(dims: usize, width: f64, rng: &mut SplitMix64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "bucket width must be positive, got {width}"
+        );
+        let projection = (0..dims).map(|_| gaussian(rng)).collect();
+        let offset = rng.next_f64() * width;
+        Self {
+            projection,
+            offset,
+            width,
+        }
+    }
+
+    /// Hashes a point to its bucket index.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `x` has the wrong dimensionality.
+    #[inline]
+    pub fn hash(&self, x: &[f64]) -> i64 {
+        debug_assert_eq!(x.len(), self.projection.len());
+        let dot: f64 = self.projection.iter().zip(x).map(|(&a, &xi)| a * xi).sum();
+        ((dot + self.offset) / self.width).floor() as i64
+    }
+
+    /// The bucket width `w`.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform.
+pub(crate) fn gaussian(rng: &mut SplitMix64) -> f64 {
+    // Guard the log against an exact zero.
+    let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut r1 = SplitMix64::new(5);
+        let mut r2 = SplitMix64::new(5);
+        let h1 = PStableHash::sample(4, 2.0, &mut r1);
+        let h2 = PStableHash::sample(4, 2.0, &mut r2);
+        let x = [0.3, -1.0, 2.5, 0.0];
+        assert_eq!(h1.hash(&x), h2.hash(&x));
+    }
+
+    #[test]
+    fn nearby_points_usually_collide() {
+        let mut rng = SplitMix64::new(7);
+        let mut collisions = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let h = PStableHash::sample(3, 4.0, &mut rng);
+            // Distance 0.1 with w = 4: collision probability is very high.
+            if h.hash(&[0.0, 0.0, 0.0]) == h.hash(&[0.1, 0.0, 0.0]) {
+                collisions += 1;
+            }
+        }
+        assert!(
+            collisions > trials * 9 / 10,
+            "only {collisions}/{trials} collisions"
+        );
+    }
+
+    #[test]
+    fn far_points_usually_split() {
+        let mut rng = SplitMix64::new(9);
+        let mut collisions = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let h = PStableHash::sample(3, 1.0, &mut rng);
+            // Distance 50 with w = 1: collision is very unlikely.
+            if h.hash(&[0.0, 0.0, 0.0]) == h.hash(&[50.0, 0.0, 0.0]) {
+                collisions += 1;
+            }
+        }
+        assert!(
+            collisions < trials / 10,
+            "{collisions}/{trials} far collisions"
+        );
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = SplitMix64::new(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn rejects_zero_width() {
+        let mut rng = SplitMix64::new(1);
+        let _ = PStableHash::sample(2, 0.0, &mut rng);
+    }
+}

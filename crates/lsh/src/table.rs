@@ -1,0 +1,120 @@
+//! One LSH table: an AND-composition of `k` p-stable hash functions.
+
+use std::collections::HashMap;
+
+use dbsvec_geometry::{rng::SplitMix64, PointId, PointSet};
+
+use crate::pstable::PStableHash;
+
+/// A hash table keyed by the concatenation of `k` p-stable hashes.
+///
+/// Composing `k` functions (logical AND) sharpens selectivity: far points
+/// must collide in *every* component to share a bucket, so false-positive
+/// candidates drop exponentially in `k` while near points keep a constant
+/// per-component collision probability.
+#[derive(Clone, Debug)]
+pub struct LshTable {
+    hashes: Vec<PStableHash>,
+    buckets: HashMap<Vec<i64>, Vec<PointId>>,
+}
+
+impl LshTable {
+    /// Samples `k` hash functions and indexes every point of `points`.
+    pub fn build(points: &PointSet, k: usize, width: f64, rng: &mut SplitMix64) -> Self {
+        assert!(k >= 1, "a table needs at least one hash function");
+        let hashes: Vec<PStableHash> = (0..k)
+            .map(|_| PStableHash::sample(points.dims(), width, rng))
+            .collect();
+        let mut buckets: HashMap<Vec<i64>, Vec<PointId>> = HashMap::new();
+        for (id, p) in points.iter() {
+            buckets.entry(key_of(&hashes, p)).or_default().push(id);
+        }
+        Self { hashes, buckets }
+    }
+
+    /// The bucket of `query`, or an empty slice.
+    pub fn bucket(&self, query: &[f64]) -> &[PointId] {
+        self.buckets
+            .get(&key_of(&self.hashes, query))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of non-empty buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of hash functions `k`.
+    pub fn k(&self) -> usize {
+        self.hashes.len()
+    }
+}
+
+fn key_of(hashes: &[PStableHash], p: &[f64]) -> Vec<i64> {
+    hashes.iter().map(|h| h.hash(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_points() -> PointSet {
+        let mut ps = PointSet::new(2);
+        for i in 0..20 {
+            ps.push(&[i as f64 * 0.05, 0.0]); // tight cluster near origin
+        }
+        for i in 0..20 {
+            ps.push(&[1000.0 + i as f64 * 0.05, 0.0]); // far away cluster
+        }
+        ps
+    }
+
+    #[test]
+    fn query_bucket_contains_its_neighbors_mostly() {
+        let ps = clustered_points();
+        let mut rng = SplitMix64::new(3);
+        let table = LshTable::build(&ps, 4, 5.0, &mut rng);
+        let bucket = table.bucket(&[0.5, 0.0]);
+        // The near cluster should dominate the bucket.
+        let near = bucket.iter().filter(|&&id| id < 20).count();
+        let far = bucket.len() - near;
+        assert!(near > 0, "bucket missed the nearby cluster entirely");
+        assert_eq!(far, 0, "points 1000 away must not share a bucket at w=5");
+    }
+
+    #[test]
+    fn every_point_is_indexed_exactly_once() {
+        let ps = clustered_points();
+        let mut rng = SplitMix64::new(5);
+        let table = LshTable::build(&ps, 2, 5.0, &mut rng);
+        let mut total = 0;
+        let mut seen = vec![false; ps.len()];
+        for (_, ids) in table.buckets.iter() {
+            for &id in ids {
+                assert!(!seen[id as usize], "duplicate id {id}");
+                seen[id as usize] = true;
+                total += 1;
+            }
+        }
+        assert_eq!(total, ps.len());
+    }
+
+    #[test]
+    fn unseen_region_yields_empty_bucket() {
+        let ps = clustered_points();
+        let mut rng = SplitMix64::new(7);
+        let table = LshTable::build(&ps, 6, 1.0, &mut rng);
+        assert!(table.bucket(&[-5000.0, 5000.0]).is_empty());
+    }
+
+    #[test]
+    fn more_hashes_mean_finer_buckets() {
+        let ps = clustered_points();
+        let mut r1 = SplitMix64::new(11);
+        let mut r2 = SplitMix64::new(11);
+        let coarse = LshTable::build(&ps, 1, 2.0, &mut r1);
+        let fine = LshTable::build(&ps, 8, 2.0, &mut r2);
+        assert!(fine.bucket_count() >= coarse.bucket_count());
+        assert_eq!(fine.k(), 8);
+    }
+}

@@ -1,0 +1,113 @@
+//! Adjusted Rand Index.
+
+use crate::contingency::{choose2, ContingencyTable};
+
+/// Adjusted Rand Index between two clusterings (Hubert & Arabie 1985).
+///
+/// Chance-corrected pair agreement: 1.0 for identical partitions, ~0 for
+/// independent ones, negative for worse-than-chance. Noise points are
+/// treated as **singleton clusters** (each its own cluster), the standard
+/// convention when comparing DBSCAN-family outputs — two algorithms that
+/// agree on the noise set are rewarded, and one that dumps noise into a real
+/// cluster is penalized.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn adjusted_rand_index(reference: &[Option<u32>], candidate: &[Option<u32>]) -> f64 {
+    let a = noise_as_singletons(reference);
+    let b = noise_as_singletons(candidate);
+    let table = ContingencyTable::new(&a, &b);
+
+    let n = table.total();
+    if n < 2 {
+        return 1.0;
+    }
+    let sum_cells: u64 = table.joint_pairs();
+    let sum_a: u64 = table.reference_pairs();
+    let sum_b: u64 = table.candidate_pairs();
+    let total_pairs = choose2(n);
+
+    let expected = sum_a as f64 * sum_b as f64 / total_pairs as f64;
+    let max_index = 0.5 * (sum_a + sum_b) as f64;
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate: both partitions are all-singletons or one cluster.
+        return if sum_cells as f64 == max_index {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    (sum_cells as f64 - expected) / (max_index - expected)
+}
+
+/// Rewrites noise points as fresh singleton clusters.
+pub(crate) fn noise_as_singletons(labels: &[Option<u32>]) -> Vec<Option<u32>> {
+    let max_label = labels.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let mut next = max_label;
+    labels
+        .iter()
+        .map(|l| match l {
+            Some(c) => Some(*c),
+            None => {
+                let id = next;
+                next += 1;
+                Some(id)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = [Some(0), Some(0), Some(1), Some(1), None];
+        assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_labels_score_one() {
+        let a = [Some(0), Some(0), Some(1), Some(1)];
+        let b = [Some(3), Some(3), Some(0), Some(0)];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disagreement_scores_below_one() {
+        let a = [Some(0), Some(0), Some(0), Some(1), Some(1), Some(1)];
+        let b = [Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari < 1.0 && ari > -1.0);
+    }
+
+    #[test]
+    fn noise_agreement_matters() {
+        let a = [Some(0), Some(0), None, None];
+        let same_noise = [Some(0), Some(0), None, None];
+        let noise_merged = [Some(0), Some(0), Some(0), Some(0)];
+        assert!(
+            adjusted_rand_index(&a, &same_noise) > adjusted_rand_index(&a, &noise_merged),
+            "matching the noise set should score higher"
+        );
+    }
+
+    #[test]
+    fn known_value_hand_computed() {
+        // a: {0,1}{2,3}; b: {0,1,2}{3}. n=4, pairs=6.
+        // joint cells: (0,0)=2, (1,0)=1, (1,1)=1 -> Σ C(nij,2) = 1.
+        // sum_a = 2, sum_b = 3, expected = 2*3/6 = 1, max = 2.5.
+        // ARI = (1-1)/(2.5-1) = 0.
+        let a = [Some(0), Some(0), Some(1), Some(1)];
+        let b = [Some(0), Some(0), Some(0), Some(1)];
+        assert!(adjusted_rand_index(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+        assert_eq!(adjusted_rand_index(&[Some(0)], &[None]), 1.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Contingency table between two clusterings.
+
+use std::collections::HashMap;
+
+/// Cross-tabulation of two assignments over the same points.
+///
+/// Cell `(r, c)` counts points placed in reference cluster `r` *and*
+/// candidate cluster `c`; noise points contribute to marginals only through
+/// the dedicated counters. Every pair-counting metric in this crate is a
+/// few-line function over this table.
+#[derive(Clone, Debug, Default)]
+pub struct ContingencyTable {
+    /// `(reference cluster, candidate cluster) -> count`.
+    cells: HashMap<(u32, u32), u64>,
+    /// Points per reference cluster (noise excluded).
+    reference_sizes: HashMap<u32, u64>,
+    /// Points per candidate cluster (noise excluded).
+    candidate_sizes: HashMap<u32, u64>,
+    /// Points that are noise in the reference.
+    reference_noise: u64,
+    /// Points that are noise in the candidate.
+    candidate_noise: u64,
+    /// Total points.
+    total: u64,
+}
+
+impl ContingencyTable {
+    /// Builds the table from two aligned assignment slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn new(reference: &[Option<u32>], candidate: &[Option<u32>]) -> Self {
+        assert_eq!(
+            reference.len(),
+            candidate.len(),
+            "clusterings must label the same points"
+        );
+        let mut table = Self {
+            total: reference.len() as u64,
+            ..Self::default()
+        };
+        for (&r, &c) in reference.iter().zip(candidate) {
+            match r {
+                Some(rc) => *table.reference_sizes.entry(rc).or_insert(0) += 1,
+                None => table.reference_noise += 1,
+            }
+            match c {
+                Some(cc) => *table.candidate_sizes.entry(cc).or_insert(0) += 1,
+                None => table.candidate_noise += 1,
+            }
+            if let (Some(rc), Some(cc)) = (r, c) {
+                *table.cells.entry((rc, cc)).or_insert(0) += 1;
+            }
+        }
+        table
+    }
+
+    /// Iterates over `(reference, candidate, count)` cells.
+    pub fn cells(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        self.cells.iter().map(|(&(r, c), &n)| (r, c, n))
+    }
+
+    /// Sizes of the reference clusters.
+    pub fn reference_sizes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.reference_sizes.values().copied()
+    }
+
+    /// Sizes of the candidate clusters.
+    pub fn candidate_sizes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.candidate_sizes.values().copied()
+    }
+
+    /// Noise counts `(reference, candidate)`.
+    pub fn noise_counts(&self) -> (u64, u64) {
+        (self.reference_noise, self.candidate_noise)
+    }
+
+    /// Total number of points.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Same-cluster pairs in the reference: `Σ_r C(a_r, 2)`.
+    pub fn reference_pairs(&self) -> u64 {
+        self.reference_sizes.values().map(|&a| choose2(a)).sum()
+    }
+
+    /// Same-cluster pairs in the candidate: `Σ_c C(b_c, 2)`.
+    pub fn candidate_pairs(&self) -> u64 {
+        self.candidate_sizes.values().map(|&b| choose2(b)).sum()
+    }
+
+    /// Pairs clustered together in *both*: `Σ_{r,c} C(n_rc, 2)`.
+    pub fn joint_pairs(&self) -> u64 {
+        self.cells.values().map(|&n| choose2(n)).sum()
+    }
+}
+
+/// `C(n, 2)` without overflow for the cardinalities we use.
+pub(crate) fn choose2(n: u64) -> u64 {
+    n * n.saturating_sub(1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_cells_and_marginals() {
+        let reference = [Some(0), Some(0), Some(1), None];
+        let candidate = [Some(5), Some(5), Some(5), Some(5)];
+        let t = ContingencyTable::new(&reference, &candidate);
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.noise_counts(), (1, 0));
+        assert_eq!(t.reference_pairs(), 1); // C(2,2)=1, C(1,2)=0
+        assert_eq!(t.candidate_pairs(), 6); // C(4,2)
+        assert_eq!(t.joint_pairs(), 1); // cell (0,5) has 2 points
+    }
+
+    #[test]
+    fn identical_clusterings_have_equal_pair_counts() {
+        let labels = [Some(0), Some(0), Some(1), Some(1), Some(1), None];
+        let t = ContingencyTable::new(&labels, &labels);
+        assert_eq!(t.reference_pairs(), t.candidate_pairs());
+        assert_eq!(t.reference_pairs(), t.joint_pairs());
+        assert_eq!(t.joint_pairs(), 1 + 3);
+    }
+
+    #[test]
+    fn choose2_basics() {
+        assert_eq!(choose2(0), 0);
+        assert_eq!(choose2(1), 0);
+        assert_eq!(choose2(2), 1);
+        assert_eq!(choose2(5), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn mismatched_lengths_rejected() {
+        let _ = ContingencyTable::new(&[None], &[None, None]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = ContingencyTable::new(&[], &[]);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.reference_pairs(), 0);
+        assert_eq!(t.joint_pairs(), 0);
+    }
+}

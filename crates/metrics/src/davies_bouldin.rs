@@ -1,0 +1,152 @@
+//! Davies–Bouldin separation (paper Table IV, "S", lower is better).
+
+use dbsvec_geometry::PointSet;
+
+/// Davies–Bouldin index (Davies & Bouldin 1979), the paper's *Separation*
+/// metric \[38\].
+///
+/// For clusters `i` with centroid `c_i` and mean intra-cluster scatter
+/// `S_i`, the index is the average over clusters of the worst ratio
+/// `(S_i + S_j) / ||c_i − c_j||`. Compact, far-apart clusters give small
+/// values.
+///
+/// Conventions: noise points are excluded; fewer than two non-empty
+/// clusters yields 0.0; coincident centroids contribute an infinite ratio,
+/// surfacing the degenerate clustering rather than hiding it.
+///
+/// # Panics
+///
+/// Panics if `assignments.len() != points.len()`.
+pub fn davies_bouldin_separation(points: &PointSet, assignments: &[Option<u32>]) -> f64 {
+    assert_eq!(points.len(), assignments.len(), "one assignment per point");
+    let num_clusters = match assignments.iter().flatten().max() {
+        Some(&m) => m as usize + 1,
+        None => return 0.0,
+    };
+    let dims = points.dims();
+
+    // Centroids.
+    let mut centroids = vec![vec![0.0; dims]; num_clusters];
+    let mut sizes = vec![0u64; num_clusters];
+    for (i, a) in assignments.iter().enumerate() {
+        if let Some(c) = a {
+            sizes[*c as usize] += 1;
+            for (acc, &x) in centroids[*c as usize]
+                .iter_mut()
+                .zip(points.point(i as u32))
+            {
+                *acc += x;
+            }
+        }
+    }
+    let occupied: Vec<usize> = (0..num_clusters).filter(|&c| sizes[c] > 0).collect();
+    if occupied.len() < 2 {
+        return 0.0;
+    }
+    for &c in &occupied {
+        for acc in &mut centroids[c] {
+            *acc /= sizes[c] as f64;
+        }
+    }
+
+    // Mean scatter per cluster.
+    let mut scatter = vec![0.0; num_clusters];
+    for (i, a) in assignments.iter().enumerate() {
+        if let Some(c) = a {
+            scatter[*c as usize] +=
+                dbsvec_geometry::euclidean(points.point(i as u32), &centroids[*c as usize]);
+        }
+    }
+    for &c in &occupied {
+        scatter[c] /= sizes[c] as f64;
+    }
+
+    // DB = mean over i of max_j (S_i + S_j) / M_ij.
+    let mut total = 0.0;
+    for &i in &occupied {
+        let mut worst: f64 = 0.0;
+        for &j in &occupied {
+            if i == j {
+                continue;
+            }
+            let m = dbsvec_geometry::euclidean(&centroids[i], &centroids[j]);
+            let ratio = if m > 0.0 {
+                (scatter[i] + scatter[j]) / m
+            } else {
+                f64::INFINITY
+            };
+            worst = worst.max(ratio);
+        }
+        total += worst;
+    }
+    total / occupied.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_far_clusters_score_low() {
+        let mut ps = PointSet::new(1);
+        let mut labels = Vec::new();
+        for i in 0..5 {
+            ps.push(&[i as f64 * 0.01]);
+            labels.push(Some(0));
+            ps.push(&[1000.0 + i as f64 * 0.01]);
+            labels.push(Some(1));
+        }
+        let db = davies_bouldin_separation(&ps, &labels);
+        assert!(db < 0.01, "got {db}");
+    }
+
+    #[test]
+    fn overlapping_clusters_score_high() {
+        let mut ps = PointSet::new(1);
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            ps.push(&[i as f64]);
+            labels.push(Some(i % 2)); // interleaved clusters
+        }
+        let db = davies_bouldin_separation(&ps, &labels);
+        assert!(
+            db > 2.0,
+            "interleaved clusters should score poorly, got {db}"
+        );
+    }
+
+    #[test]
+    fn hand_computed_value() {
+        // Cluster 0: {0, 2} centroid 1, scatter 1.
+        // Cluster 1: {10, 12} centroid 11, scatter 1.
+        // DB = (1+1)/10 = 0.2 for both clusters -> mean 0.2.
+        let ps = PointSet::from_rows(&[vec![0.0], vec![2.0], vec![10.0], vec![12.0]]);
+        let labels = [Some(0), Some(0), Some(1), Some(1)];
+        assert!((davies_bouldin_separation(&ps, &labels) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_is_zero() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0]]);
+        assert_eq!(davies_bouldin_separation(&ps, &[Some(0), Some(0)]), 0.0);
+    }
+
+    #[test]
+    fn noise_is_excluded() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![0.2], vec![10.0], vec![10.2], vec![500.0]]);
+        let labels = [Some(0), Some(0), Some(1), Some(1), None];
+        let with_noise = davies_bouldin_separation(&ps, &labels);
+        let without = davies_bouldin_separation(
+            &ps.subset(&[0, 1, 2, 3]),
+            &[Some(0), Some(0), Some(1), Some(1)],
+        );
+        assert!((with_noise - without).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coincident_centroids_are_infinite() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![2.0], vec![0.0], vec![2.0]]);
+        let labels = [Some(0), Some(0), Some(1), Some(1)];
+        assert!(davies_bouldin_separation(&ps, &labels).is_infinite());
+    }
+}

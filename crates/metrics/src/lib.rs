@@ -1,0 +1,35 @@
+//! Clustering evaluation metrics for the DBSVEC experiments.
+//!
+//! Two families:
+//!
+//! * **Agreement with a reference clustering** — used to score approximate
+//!   DBSCAN algorithms against exact DBSCAN:
+//!   [`recall()`](fn@recall) (the paper's accuracy metric, after Lulli et al.: the
+//!   fraction of same-cluster point pairs of the reference that the
+//!   candidate preserves), plus [`adjusted_rand_index`],
+//!   [`normalized_mutual_information`], and [`purity`] as extras.
+//! * **Internal validity** — used by the paper's Table IV:
+//!   [`silhouette_compactness`] (higher is better) and
+//!   [`davies_bouldin_separation`] (lower is better).
+//!
+//! All agreement metrics consume `&[Option<u32>]` assignment slices (`None`
+//! = noise), the exchange format produced by `dbsvec_core::Clustering`.
+//! Pair counts use the contingency-table identity `Σ C(n_ij, 2)` rather
+//! than enumerating the O(n²) pairs, so recall over a million points takes
+//! milliseconds.
+
+pub mod ari;
+pub mod contingency;
+pub mod davies_bouldin;
+pub mod nmi;
+pub mod pairs;
+pub mod recall;
+pub mod silhouette;
+
+pub use ari::adjusted_rand_index;
+pub use contingency::ContingencyTable;
+pub use davies_bouldin::davies_bouldin_separation;
+pub use nmi::{normalized_mutual_information, purity};
+pub use pairs::{fowlkes_mallows, pair_f1, pair_jaccard, pair_precision, rand_index};
+pub use recall::recall;
+pub use silhouette::silhouette_compactness;

@@ -1,0 +1,152 @@
+//! Normalized mutual information and purity.
+
+use crate::ari::noise_as_singletons;
+use crate::contingency::ContingencyTable;
+
+/// Normalized mutual information `I(R; C) / √(H(R)·H(C))`.
+///
+/// 1.0 for identical partitions (up to relabeling), 0.0 for independent
+/// ones. Noise points are treated as singleton clusters, as in
+/// [`crate::adjusted_rand_index`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn normalized_mutual_information(reference: &[Option<u32>], candidate: &[Option<u32>]) -> f64 {
+    let a = noise_as_singletons(reference);
+    let b = noise_as_singletons(candidate);
+    let table = ContingencyTable::new(&a, &b);
+    let n = table.total() as f64;
+    if n == 0.0 {
+        return 1.0;
+    }
+
+    let h = |sizes: Vec<u64>| -> f64 {
+        sizes
+            .into_iter()
+            .map(|s| {
+                let p = s as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let h_ref = h(table.reference_sizes().collect());
+    let h_cand = h(table.candidate_sizes().collect());
+
+    let mut mi = 0.0;
+    let ref_size: std::collections::HashMap<u32, u64> = {
+        // Rebuild marginals keyed by label for the joint term.
+        let mut m = std::collections::HashMap::new();
+        for l in a.iter().flatten() {
+            *m.entry(*l).or_insert(0u64) += 1;
+        }
+        m
+    };
+    let cand_size: std::collections::HashMap<u32, u64> = {
+        let mut m = std::collections::HashMap::new();
+        for l in b.iter().flatten() {
+            *m.entry(*l).or_insert(0u64) += 1;
+        }
+        m
+    };
+    for (r, c, count) in table.cells() {
+        let p_rc = count as f64 / n;
+        let p_r = ref_size[&r] as f64 / n;
+        let p_c = cand_size[&c] as f64 / n;
+        mi += p_rc * (p_rc / (p_r * p_c)).ln();
+    }
+
+    if h_ref <= 0.0 && h_cand <= 0.0 {
+        return 1.0; // both partitions are a single cluster
+    }
+    if h_ref <= 0.0 || h_cand <= 0.0 {
+        return 0.0;
+    }
+    (mi / (h_ref * h_cand).sqrt()).clamp(0.0, 1.0)
+}
+
+/// Purity: each candidate cluster votes for its dominant reference cluster;
+/// purity is the fraction of points that agree with their cluster's vote.
+///
+/// Noise in the candidate counts as wrong unless the reference also calls
+/// it noise. Returns 1.0 for empty input.
+pub fn purity(reference: &[Option<u32>], candidate: &[Option<u32>]) -> f64 {
+    assert_eq!(
+        reference.len(),
+        candidate.len(),
+        "clusterings must label the same points"
+    );
+    if reference.is_empty() {
+        return 1.0;
+    }
+    let a = noise_as_singletons(reference);
+    let table = ContingencyTable::new(&a, candidate);
+    let mut best: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for (_, c, count) in table.cells() {
+        let entry = best.entry(c).or_insert(0);
+        *entry = (*entry).max(count);
+    }
+    let correct: u64 = best.values().sum::<u64>()
+        + reference
+            .iter()
+            .zip(candidate)
+            .filter(|(r, c)| r.is_none() && c.is_none())
+            .count() as u64;
+    correct as f64 / reference.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmi_identical_is_one() {
+        let labels = [Some(0), Some(0), Some(1), Some(1), Some(2)];
+        assert!((normalized_mutual_information(&labels, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmi_permuted_is_one() {
+        let a = [Some(0), Some(0), Some(1), Some(1)];
+        let b = [Some(7), Some(7), Some(2), Some(2)];
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmi_independent_is_low() {
+        // Candidate splits orthogonally to the reference.
+        let a = [Some(0), Some(0), Some(1), Some(1)];
+        let b = [Some(0), Some(1), Some(0), Some(1)];
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(
+            nmi < 0.01,
+            "orthogonal split should carry ~no information, got {nmi}"
+        );
+    }
+
+    #[test]
+    fn nmi_single_cluster_edge_cases() {
+        let one = [Some(0), Some(0), Some(0)];
+        let split = [Some(0), Some(1), Some(2)];
+        assert_eq!(normalized_mutual_information(&one, &one), 1.0);
+        assert_eq!(normalized_mutual_information(&one, &split), 0.0);
+    }
+
+    #[test]
+    fn purity_perfect_and_imperfect() {
+        let reference = [Some(0), Some(0), Some(1), Some(1)];
+        assert_eq!(purity(&reference, &reference), 1.0);
+        let candidate = [Some(0), Some(0), Some(0), Some(1)];
+        // Cluster 0 votes ref-0 (2 of 3 right), cluster 1 votes ref-1 (1 right).
+        assert!((purity(&reference, &candidate) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_counts_matching_noise() {
+        let reference = [Some(0), None];
+        let candidate = [Some(0), None];
+        assert_eq!(purity(&reference, &candidate), 1.0);
+        let bad = [Some(0), Some(0)];
+        assert!((purity(&reference, &bad) - 0.5).abs() < 1e-12);
+    }
+}

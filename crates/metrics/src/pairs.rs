@@ -1,0 +1,140 @@
+//! Additional pair-counting agreement metrics.
+//!
+//! [`crate::recall()`](fn@crate::recall) is the paper's headline metric; these complete the
+//! standard pair-confusion family so users can report whichever their
+//! venue expects. All are O(n + cells) via the shared
+//! [`crate::ContingencyTable`], with noise treated as singleton clusters
+//! (see [`crate::adjusted_rand_index`]).
+
+use crate::ari::noise_as_singletons;
+use crate::contingency::{choose2, ContingencyTable};
+
+/// Pair-level precision: of the pairs the *candidate* clusters together,
+/// the fraction the reference also clusters together. The mirror image of
+/// [`crate::recall()`](fn@crate::recall); 1.0 when the candidate never merges reference-split
+/// pairs (DBSVEC's Theorem 1 direction).
+pub fn pair_precision(reference: &[Option<u32>], candidate: &[Option<u32>]) -> f64 {
+    let table = ContingencyTable::new(reference, candidate);
+    let denom = table.candidate_pairs();
+    if denom == 0 {
+        return 1.0;
+    }
+    table.joint_pairs() as f64 / denom as f64
+}
+
+/// Pair-level F1: harmonic mean of [`pair_precision`] and [`crate::recall()`](fn@crate::recall).
+pub fn pair_f1(reference: &[Option<u32>], candidate: &[Option<u32>]) -> f64 {
+    let p = pair_precision(reference, candidate);
+    let r = crate::recall(reference, candidate);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Fowlkes–Mallows index: geometric mean of pair precision and recall,
+/// with noise as singletons. 1.0 for identical partitions.
+pub fn fowlkes_mallows(reference: &[Option<u32>], candidate: &[Option<u32>]) -> f64 {
+    let a = noise_as_singletons(reference);
+    let b = noise_as_singletons(candidate);
+    let table = ContingencyTable::new(&a, &b);
+    let tp = table.joint_pairs() as f64;
+    let ref_pairs = table.reference_pairs() as f64;
+    let cand_pairs = table.candidate_pairs() as f64;
+    if ref_pairs == 0.0 || cand_pairs == 0.0 {
+        return if ref_pairs == cand_pairs { 1.0 } else { 0.0 };
+    }
+    tp / (ref_pairs * cand_pairs).sqrt()
+}
+
+/// Jaccard index over point pairs: `TP / (TP + FP + FN)` where TP are the
+/// pairs clustered together in both partitions. Noise as singletons.
+pub fn pair_jaccard(reference: &[Option<u32>], candidate: &[Option<u32>]) -> f64 {
+    let a = noise_as_singletons(reference);
+    let b = noise_as_singletons(candidate);
+    let table = ContingencyTable::new(&a, &b);
+    let tp = table.joint_pairs();
+    let fp = table.candidate_pairs() - tp;
+    let fnn = table.reference_pairs() - tp;
+    let denom = tp + fp + fnn;
+    if denom == 0 {
+        return 1.0;
+    }
+    tp as f64 / denom as f64
+}
+
+/// Rand index (unadjusted): fraction of point pairs on which the two
+/// partitions agree (both together or both apart). Noise as singletons.
+pub fn rand_index(reference: &[Option<u32>], candidate: &[Option<u32>]) -> f64 {
+    let a = noise_as_singletons(reference);
+    let b = noise_as_singletons(candidate);
+    let table = ContingencyTable::new(&a, &b);
+    let total = choose2(table.total());
+    if total == 0 {
+        return 1.0;
+    }
+    let tp = table.joint_pairs();
+    let fp = table.candidate_pairs() - tp;
+    let fnn = table.reference_pairs() - tp;
+    let tn = total - tp - fp - fnn;
+    (tp + tn) as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [Option<u32>; 6] = [Some(0), Some(0), Some(0), Some(1), Some(1), None];
+
+    #[test]
+    fn identity_scores_one_everywhere() {
+        assert_eq!(pair_precision(&A, &A), 1.0);
+        assert_eq!(pair_f1(&A, &A), 1.0);
+        assert!((fowlkes_mallows(&A, &A) - 1.0).abs() < 1e-12);
+        assert_eq!(pair_jaccard(&A, &A), 1.0);
+        assert_eq!(rand_index(&A, &A), 1.0);
+    }
+
+    #[test]
+    fn precision_penalizes_merges_recall_does_not() {
+        let merged = [Some(0), Some(0), Some(0), Some(0), Some(0), None];
+        assert_eq!(crate::recall(&A, &merged), 1.0);
+        // Candidate has C(5,2)=10 pairs; only 3+1=4 exist in the reference.
+        assert!((pair_precision(&A, &merged) - 0.4).abs() < 1e-12);
+        let f1 = pair_f1(&A, &merged);
+        assert!((f1 - 2.0 * 0.4 / 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fowlkes_mallows_hand_computed() {
+        let split = [Some(0), Some(0), Some(1), Some(2), Some(2), None];
+        // Singleton-ized: ref pairs = 3 + 1 = 4; cand pairs = 1 + 1 = 2.
+        // Joint pairs = 1 (first two) + 1 (last pair of cluster 1) = 2.
+        let fm = fowlkes_mallows(&A, &split);
+        assert!((fm - 2.0 / (4.0f64 * 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_and_rand_move_together() {
+        let other = [Some(0), Some(0), Some(1), Some(1), Some(1), Some(1)];
+        let j = pair_jaccard(&A, &other);
+        let r = rand_index(&A, &other);
+        assert!(j < 1.0 && j > 0.0);
+        assert!(r < 1.0 && r > 0.0);
+        assert!(
+            r >= j,
+            "Rand counts true negatives, so it is never below Jaccard"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: [Option<u32>; 0] = [];
+        assert_eq!(pair_precision(&empty, &empty), 1.0);
+        assert_eq!(rand_index(&empty, &empty), 1.0);
+        let single = [None];
+        assert_eq!(pair_jaccard(&single, &single), 1.0);
+        assert_eq!(fowlkes_mallows(&single, &single), 1.0);
+    }
+}

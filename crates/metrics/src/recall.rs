@@ -1,0 +1,83 @@
+//! The paper's clustering accuracy metric (§III-C, after Lulli et al.).
+
+use crate::contingency::ContingencyTable;
+
+/// Pair recall of `candidate` against `reference`.
+///
+/// > "the ratio of point pairs that share the same cluster in the clustering
+/// > results of both DBSCAN and an approximate DBSCAN algorithm to be
+/// > evaluated" — §III-C.
+///
+/// Concretely: of all point pairs placed in one cluster by the *reference*
+/// (exact DBSCAN), the fraction that the *candidate* also places in one
+/// cluster. 1.0 means the candidate never splits a reference cluster — the
+/// property DBSVEC's Theorem 1 trades away only under rare conditions.
+///
+/// A reference with no same-cluster pairs (all noise / all singletons)
+/// yields 1.0 by convention: there was nothing to preserve.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn recall(reference: &[Option<u32>], candidate: &[Option<u32>]) -> f64 {
+    let table = ContingencyTable::new(reference, candidate);
+    let denom = table.reference_pairs();
+    if denom == 0 {
+        return 1.0;
+    }
+    table.joint_pairs() as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_clusterings_score_one() {
+        let labels = [Some(0), Some(0), Some(1), Some(1), None];
+        assert_eq!(recall(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn relabeled_clusters_still_score_one() {
+        let reference = [Some(0), Some(0), Some(1), Some(1)];
+        let candidate = [Some(9), Some(9), Some(4), Some(4)];
+        assert_eq!(recall(&reference, &candidate), 1.0);
+    }
+
+    #[test]
+    fn splitting_a_cluster_halves_its_pairs() {
+        // Reference: one cluster of 4 => 6 pairs.
+        // Candidate splits it 2+2 => 2 preserved pairs.
+        let reference = [Some(0), Some(0), Some(0), Some(0)];
+        let candidate = [Some(0), Some(0), Some(1), Some(1)];
+        assert!((recall(&reference, &candidate) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_clusters_does_not_reduce_recall() {
+        // Recall only checks reference pairs; a merge preserves all of them.
+        let reference = [Some(0), Some(0), Some(1), Some(1)];
+        let candidate = [Some(0), Some(0), Some(0), Some(0)];
+        assert_eq!(recall(&reference, &candidate), 1.0);
+    }
+
+    #[test]
+    fn noise_in_candidate_loses_pairs() {
+        let reference = [Some(0), Some(0), Some(0)];
+        let candidate = [Some(0), Some(0), None];
+        assert!((recall(&reference, &candidate) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_noise_reference_scores_one_by_convention() {
+        let reference = [None, None, None];
+        let candidate = [Some(0), Some(0), Some(0)];
+        assert_eq!(recall(&reference, &candidate), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_score_one() {
+        assert_eq!(recall(&[], &[]), 1.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Silhouette-based compactness (paper Table IV, "C", higher is better).
+
+use dbsvec_geometry::PointSet;
+
+/// Mean silhouette coefficient over all clustered points (Rousseeuw 1987),
+/// the paper's *Compactness* metric \[37\].
+///
+/// For point `i` in cluster `A`: `a(i)` is its mean distance to the rest of
+/// `A`, `b(i)` the smallest mean distance to any other cluster, and
+/// `s(i) = (b − a)/max(a, b) ∈ [−1, 1]`. Conventions:
+///
+/// * noise points are excluded entirely,
+/// * a point alone in its cluster contributes `s = 0`,
+/// * fewer than two clusters yields 0.0 (silhouette is undefined; 0 is the
+///   neutral value).
+///
+/// Cost is O(n²·d) over clustered points — fine for the validation-sized
+/// datasets Table IV uses.
+///
+/// # Panics
+///
+/// Panics if `assignments.len() != points.len()`.
+pub fn silhouette_compactness(points: &PointSet, assignments: &[Option<u32>]) -> f64 {
+    assert_eq!(points.len(), assignments.len(), "one assignment per point");
+    let clustered: Vec<(u32, u32)> = assignments
+        .iter()
+        .enumerate()
+        .filter_map(|(i, a)| a.map(|c| (i as u32, c)))
+        .collect();
+    if clustered.is_empty() {
+        return 0.0;
+    }
+    let num_clusters = clustered.iter().map(|&(_, c)| c).max().unwrap() as usize + 1;
+    if num_clusters < 2 {
+        return 0.0;
+    }
+    let mut cluster_sizes = vec![0u64; num_clusters];
+    for &(_, c) in &clustered {
+        cluster_sizes[c as usize] += 1;
+    }
+
+    let mut total = 0.0;
+    let mut mean_dist = vec![0.0; num_clusters];
+    for &(i, ci) in &clustered {
+        mean_dist.fill(0.0);
+        for &(j, cj) in &clustered {
+            if i != j {
+                mean_dist[cj as usize] += points.distance(i, j);
+            }
+        }
+        let own = cluster_sizes[ci as usize];
+        let a = if own > 1 {
+            mean_dist[ci as usize] / (own - 1) as f64
+        } else {
+            f64::NAN
+        };
+        let b = mean_dist
+            .iter()
+            .enumerate()
+            .filter(|&(c, _)| c != ci as usize && cluster_sizes[c] > 0)
+            .map(|(c, &s)| s / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let s = if a.is_nan() || !b.is_finite() {
+            0.0 // singleton cluster or no other cluster
+        } else {
+            (b - a) / a.max(b)
+        };
+        total += s;
+    }
+    total / clustered.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (PointSet, Vec<Option<u32>>) {
+        let mut ps = PointSet::new(2);
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            ps.push(&[i as f64 * 0.01, 0.0]);
+            labels.push(Some(0));
+            ps.push(&[100.0 + i as f64 * 0.01, 0.0]);
+            labels.push(Some(1));
+        }
+        (ps, labels)
+    }
+
+    #[test]
+    fn well_separated_blobs_score_near_one() {
+        let (ps, labels) = two_blobs();
+        let s = silhouette_compactness(&ps, &labels);
+        assert!(
+            s > 0.99,
+            "tight, well separated blobs should score ~1, got {s}"
+        );
+    }
+
+    #[test]
+    fn shuffled_labels_score_poorly() {
+        let (ps, labels) = two_blobs();
+        // Swap half the labels: clusters now straddle both blobs.
+        let bad: Vec<Option<u32>> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| if i % 4 == 0 { l.map(|c| 1 - c) } else { l })
+            .collect();
+        let good = silhouette_compactness(&ps, &labels);
+        let poor = silhouette_compactness(&ps, &bad);
+        assert!(poor < good);
+        assert!(poor < 0.5);
+    }
+
+    #[test]
+    fn single_cluster_is_zero() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        assert_eq!(
+            silhouette_compactness(&ps, &[Some(0), Some(0), Some(0)]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn noise_is_excluded() {
+        let (ps, mut labels) = two_blobs();
+        let with_noise = silhouette_compactness(&ps, &labels);
+        // Turning two points into noise must not crash nor change much.
+        labels[0] = None;
+        labels[1] = None;
+        let s = silhouette_compactness(&ps, &labels);
+        assert!((s - with_noise).abs() < 0.05);
+    }
+
+    #[test]
+    fn all_noise_is_zero() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0]]);
+        assert_eq!(silhouette_compactness(&ps, &[None, None]), 0.0);
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![0.1], vec![50.0]]);
+        let labels = [Some(0), Some(0), Some(1)];
+        let s = silhouette_compactness(&ps, &labels);
+        // Two near points score ~1 each, singleton scores 0: mean ≈ 2/3.
+        assert!(s > 0.6 && s < 0.7, "got {s}");
+    }
+}

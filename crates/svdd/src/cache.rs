@@ -1,0 +1,176 @@
+//! LRU cache of kernel matrix rows.
+//!
+//! SMO touches two kernel rows per iteration (the working pair) and revisits
+//! the same small set of "active" rows many times before the working set
+//! drifts. Materializing the full `ñ × ñ` Gram matrix would be quadratic in
+//! memory, so — like libsvm, on which the paper's implementation is based —
+//! we cache complete rows with LRU eviction and recompute on miss.
+
+use dbsvec_geometry::{PointId, PointSet};
+
+use crate::kernel::GaussianKernel;
+
+/// Cached rows of the Gram matrix `K[i][j] = K(x_{ids[i]}, x_{ids[j]})`.
+pub struct KernelCache<'a> {
+    points: &'a PointSet,
+    ids: &'a [PointId],
+    kernel: GaussianKernel,
+    /// `slots[i]` is `Some(row)` when row `i` is resident.
+    slots: Vec<Option<Box<[f64]>>>,
+    /// Resident row indices in LRU order (front = oldest).
+    lru: Vec<usize>,
+    capacity_rows: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'a> KernelCache<'a> {
+    /// Creates a cache holding at most `capacity_rows` rows (at least 2, the
+    /// SMO working-pair size).
+    pub fn new(
+        points: &'a PointSet,
+        ids: &'a [PointId],
+        kernel: GaussianKernel,
+        capacity_rows: usize,
+    ) -> Self {
+        let n = ids.len();
+        Self {
+            points,
+            ids,
+            kernel,
+            slots: (0..n).map(|_| None).collect(),
+            lru: Vec::new(),
+            capacity_rows: capacity_rows.max(2),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of target points (rows).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the target set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Returns row `i`, computing and caching it if absent.
+    pub fn row(&mut self, i: usize) -> &[f64] {
+        if self.slots[i].is_some() {
+            self.hits += 1;
+            self.touch(i);
+        } else {
+            self.misses += 1;
+            self.insert(i);
+        }
+        self.slots[i].as_deref().expect("row just ensured resident")
+    }
+
+    /// A single kernel entry, bypassing the cache when the row is absent.
+    pub fn entry(&self, i: usize, j: usize) -> f64 {
+        if let Some(row) = &self.slots[i] {
+            return row[j];
+        }
+        if let Some(row) = &self.slots[j] {
+            return row[i];
+        }
+        self.kernel.eval(
+            self.points.point(self.ids[i]),
+            self.points.point(self.ids[j]),
+        )
+    }
+
+    /// `(hits, misses)` counters — used to validate cache effectiveness.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn insert(&mut self, i: usize) {
+        if self.lru.len() >= self.capacity_rows {
+            let evict = self.lru.remove(0);
+            self.slots[evict] = None;
+        }
+        let pi = self.points.point(self.ids[i]);
+        let row: Box<[f64]> = self
+            .ids
+            .iter()
+            .map(|&id| self.kernel.eval(pi, self.points.point(id)))
+            .collect();
+        self.slots[i] = Some(row);
+        self.lru.push(i);
+    }
+
+    fn touch(&mut self, i: usize) {
+        if let Some(pos) = self.lru.iter().position(|&x| x == i) {
+            self.lru.remove(pos);
+            self.lru.push(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PointSet, Vec<PointId>) {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let ids = vec![0, 1, 2, 3];
+        (ps, ids)
+    }
+
+    #[test]
+    fn rows_match_direct_evaluation() {
+        let (ps, ids) = setup();
+        let k = GaussianKernel::from_width(1.0);
+        let mut cache = KernelCache::new(&ps, &ids, k, 4);
+        for i in 0..4 {
+            let row = cache.row(i).to_vec();
+            for (j, &v) in row.iter().enumerate() {
+                let want = k.eval(ps.point(ids[i]), ps.point(ids[j]));
+                assert!((v - want).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn lru_eviction_keeps_capacity() {
+        let (ps, ids) = setup();
+        let k = GaussianKernel::from_width(1.0);
+        let mut cache = KernelCache::new(&ps, &ids, k, 2);
+        cache.row(0);
+        cache.row(1);
+        cache.row(2); // evicts 0
+        assert!(cache.slots[0].is_none());
+        assert!(cache.slots[1].is_some());
+        assert!(cache.slots[2].is_some());
+        // Touch 1, then insert 3: 2 must be evicted, not 1.
+        cache.row(1);
+        cache.row(3);
+        assert!(cache.slots[1].is_some());
+        assert!(cache.slots[2].is_none());
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let (ps, ids) = setup();
+        let k = GaussianKernel::from_width(1.0);
+        let mut cache = KernelCache::new(&ps, &ids, k, 4);
+        cache.row(0);
+        cache.row(0);
+        cache.row(1);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn entry_works_without_resident_rows() {
+        let (ps, ids) = setup();
+        let k = GaussianKernel::from_width(1.0);
+        let cache = KernelCache::new(&ps, &ids, k, 2);
+        let v = cache.entry(0, 3);
+        assert!((v - k.eval(&[0.0], &[3.0])).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,106 @@
+//! The Gaussian (RBF) kernel used by DBSVEC's SVDD (paper Eq. 6).
+
+use dbsvec_geometry::squared_euclidean;
+
+/// Gaussian kernel `K(x, y) = exp(-||x - y||² / (2σ²))`.
+///
+/// `σ` is the RMS width parameter. The paper selects
+/// `σ = r/√2` per sub-cluster (see [`crate::params`]); with that choice the
+/// solution function of Eq. 16 is unimodal and SVDD does not overfit.
+///
+/// Two properties the solver relies on:
+/// * `K(x, x) = 1` for every `x`, so the dual objective's linear term is
+///   constant and SVDD coincides with one-class SVM (paper footnote 1);
+/// * `K` is strictly positive definite for distinct points, so the SMO pair
+///   curvature `K_ii + K_jj − 2K_ij` is positive unless the points coincide.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaussianKernel {
+    sigma: f64,
+    /// Precomputed `1 / (2σ²)`.
+    gamma: f64,
+}
+
+impl GaussianKernel {
+    /// Creates a kernel with RMS width `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma` is strictly positive and finite.
+    pub fn from_width(sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "kernel width must be positive and finite, got {sigma}"
+        );
+        Self {
+            sigma,
+            gamma: 1.0 / (2.0 * sigma * sigma),
+        }
+    }
+
+    /// The RMS width σ.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Evaluates `K(a, b)`.
+    #[inline]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval_sq_dist(squared_euclidean(a, b))
+    }
+
+    /// Evaluates the kernel from a precomputed squared distance.
+    #[inline]
+    pub fn eval_sq_dist(&self, sq_dist: f64) -> f64 {
+        (-self.gamma * sq_dist).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_similarity_is_one() {
+        let k = GaussianKernel::from_width(2.5);
+        assert_eq!(k.eval(&[1.0, -3.0], &[1.0, -3.0]), 1.0);
+    }
+
+    #[test]
+    fn symmetric_and_bounded() {
+        let k = GaussianKernel::from_width(1.0);
+        let a = [0.0, 0.0];
+        let b = [1.0, 2.0];
+        assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+        assert!(k.eval(&a, &b) > 0.0 && k.eval(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn matches_closed_form() {
+        let k = GaussianKernel::from_width(2.0);
+        // ||a-b||² = 8, so K = exp(-8/(2·4)) = exp(-1).
+        let v = k.eval(&[0.0, 0.0], &[2.0, 2.0]);
+        assert!((v - (-1.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn smaller_sigma_decays_faster() {
+        let narrow = GaussianKernel::from_width(0.5);
+        let wide = GaussianKernel::from_width(5.0);
+        let a = [0.0];
+        let b = [1.0];
+        assert!(narrow.eval(&a, &b) < wide.eval(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel width must be positive")]
+    fn rejects_zero_sigma() {
+        let _ = GaussianKernel::from_width(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel width must be positive")]
+    fn rejects_nan_sigma() {
+        let _ = GaussianKernel::from_width(f64::NAN);
+    }
+}

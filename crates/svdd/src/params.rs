@@ -1,0 +1,215 @@
+//! Penalty-factor and kernel-width selection (paper §IV-B.2 and §IV-C).
+
+use dbsvec_geometry::{rng::SplitMix64, PointId, PointSet};
+
+/// The paper's empirical penalty factor (Eq. 20):
+///
+/// ```text
+/// ν* = d · √(log_MinPts ñ) / ñ
+/// ```
+///
+/// `ν ∈ (0, 1]` upper-bounds the fraction of bounded support vectors and
+/// lower-bounds the fraction of support vectors (Schölkopf & Smola), so it
+/// directly controls how many range queries each expansion round issues.
+/// The result is clamped to `[1/ñ, 1]`: below `1/ñ` the dual is infeasible
+/// (a single multiplier could not reach `Σα = 1`), and `ν = 1` makes every
+/// point a support vector, degenerating DBSVEC to DBSCAN (§IV-C).
+///
+/// # Panics
+///
+/// Panics if `target_size == 0` or `min_pts < 2` (the logarithm base must
+/// exceed 1).
+pub fn optimal_nu(dims: usize, target_size: usize, min_pts: usize) -> f64 {
+    assert!(target_size > 0, "target set must be nonempty");
+    assert!(
+        min_pts >= 2,
+        "MinPts must be at least 2 to serve as a log base"
+    );
+    let n = target_size as f64;
+    let log_mp = n.ln() / (min_pts as f64).ln();
+    let nu = dims as f64 * log_mp.max(0.0).sqrt() / n;
+    nu.clamp(1.0 / n, 1.0)
+}
+
+/// The minimal penalty factor `ν = 1/ñ` used by the paper's `DBSVEC_min`
+/// variant (Table III).
+pub fn minimal_nu(target_size: usize) -> f64 {
+    assert!(target_size > 0, "target set must be nonempty");
+    1.0 / target_size as f64
+}
+
+/// Converts ν to the box penalty `C = 1/(ν·ñ)` (paper §IV-C).
+pub fn nu_to_c(nu: f64, target_size: usize) -> f64 {
+    assert!(nu > 0.0 && nu.is_finite(), "nu must be positive, got {nu}");
+    assert!(target_size > 0, "target set must be nonempty");
+    1.0 / (nu * target_size as f64)
+}
+
+/// How the Gaussian kernel width σ is chosen for each SVDD training.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KernelWidthStrategy {
+    /// The paper's rule: `σ = r/√2` where `r` is the distance from the
+    /// target-set centroid to its farthest member (§IV-B.2, Eq. 19).
+    CenterRadius,
+    /// A fixed width, for experiments that sweep σ explicitly.
+    Fixed(f64),
+    /// A width drawn uniformly from `[min‖x_i−x_j‖, max‖x_i−x_j‖]` — the
+    /// paper's `DBSVEC\OK` ablation (Fig. 9b). Deterministic per seed.
+    RandomRange { seed: u64 },
+}
+
+impl KernelWidthStrategy {
+    /// Resolves the strategy to a concrete σ for one target set.
+    ///
+    /// Always returns a positive, finite width; degenerate targets (all
+    /// points identical) fall back to 1.0, where the kernel is constant and
+    /// any width is equivalent.
+    pub fn resolve(&self, points: &PointSet, ids: &[PointId]) -> f64 {
+        match *self {
+            KernelWidthStrategy::CenterRadius => kernel_width_center_radius(points, ids),
+            KernelWidthStrategy::Fixed(sigma) => {
+                assert!(
+                    sigma.is_finite() && sigma > 0.0,
+                    "fixed width must be positive"
+                );
+                sigma
+            }
+            KernelWidthStrategy::RandomRange { seed } => random_range_width(points, ids, seed),
+        }
+    }
+}
+
+/// The paper's kernel width rule `σ = r/√2` (Eq. 19).
+///
+/// `r` is the Euclidean distance from the centroid of the target points to
+/// the farthest target point. Returns 1.0 for degenerate targets.
+pub fn kernel_width_center_radius(points: &PointSet, ids: &[PointId]) -> f64 {
+    if ids.is_empty() {
+        return 1.0;
+    }
+    let dims = points.dims();
+    let mut center = vec![0.0; dims];
+    for &id in ids {
+        for (c, &x) in center.iter_mut().zip(points.point(id)) {
+            *c += x;
+        }
+    }
+    for c in &mut center {
+        *c /= ids.len() as f64;
+    }
+    let r_sq = ids
+        .iter()
+        .map(|&id| dbsvec_geometry::squared_euclidean(points.point(id), &center))
+        .fold(0.0, f64::max);
+    let sigma = (r_sq.sqrt()) / std::f64::consts::SQRT_2;
+    if sigma > 0.0 {
+        sigma
+    } else {
+        1.0
+    }
+}
+
+/// Width drawn uniformly from the pairwise-distance range (the `DBSVEC\OK`
+/// ablation). O(ñ²); only used by the Fig. 9b experiment.
+fn random_range_width(points: &PointSet, ids: &[PointId], seed: u64) -> f64 {
+    if ids.len() < 2 {
+        return 1.0;
+    }
+    let mut min_d = f64::INFINITY;
+    let mut max_d: f64 = 0.0;
+    for (a, &ia) in ids.iter().enumerate() {
+        for &ib in &ids[a + 1..] {
+            let d = points.distance(ia, ib);
+            if d > 0.0 && d < min_d {
+                min_d = d;
+            }
+            max_d = max_d.max(d);
+        }
+    }
+    if !min_d.is_finite() || max_d <= 0.0 {
+        return 1.0;
+    }
+    let mut rng = SplitMix64::new(seed ^ ids.len() as u64);
+    let sigma = min_d + (max_d - min_d) * rng.next_f64();
+    sigma.max(f64::MIN_POSITIVE.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_nu_matches_formula() {
+        // d=2, ñ=100, MinPts=10: log_10(100)=2, ν = 2·√2/100.
+        let nu = optimal_nu(2, 100, 10);
+        assert!((nu - 2.0 * 2.0f64.sqrt() / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_nu_is_clamped_to_unit() {
+        // Very high dimensionality would push ν above 1.
+        assert_eq!(optimal_nu(1000, 10, 2), 1.0);
+    }
+
+    #[test]
+    fn optimal_nu_never_below_one_over_n() {
+        // ñ = MinPts makes log = 1; tiny d keeps ν small.
+        let nu = optimal_nu(1, 1_000_000, 100);
+        assert!(nu >= 1.0 / 1_000_000.0);
+    }
+
+    #[test]
+    fn minimal_nu_and_c() {
+        assert_eq!(minimal_nu(50), 0.02);
+        // C = 1/(ν·ñ): with ν = 1/ñ, C = 1 (every α may reach 1).
+        assert!((nu_to_c(minimal_nu(50), 50) - 1.0).abs() < 1e-12);
+        // With ν = 1, C = 1/ñ (all points must share the mass equally).
+        assert!((nu_to_c(1.0, 50) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn center_radius_width_on_unit_circle() {
+        // Points on a unit circle: centroid ≈ origin, r ≈ 1, σ ≈ 1/√2.
+        let mut ps = PointSet::new(2);
+        for i in 0..64 {
+            let a = i as f64 / 64.0 * std::f64::consts::TAU;
+            ps.push(&[a.cos(), a.sin()]);
+        }
+        let ids: Vec<PointId> = (0..64).collect();
+        let sigma = kernel_width_center_radius(&ps, &ids);
+        assert!((sigma - 1.0 / 2.0f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_targets_fall_back_to_unit_width() {
+        let ps = PointSet::from_rows(&vec![vec![3.0, 3.0]; 5]);
+        let ids: Vec<PointId> = (0..5).collect();
+        assert_eq!(kernel_width_center_radius(&ps, &ids), 1.0);
+        assert_eq!(
+            KernelWidthStrategy::RandomRange { seed: 1 }.resolve(&ps, &ids),
+            1.0
+        );
+    }
+
+    #[test]
+    fn random_range_is_within_pairwise_distances_and_deterministic() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![5.0]]);
+        let ids: Vec<PointId> = (0..3).collect();
+        let s1 = KernelWidthStrategy::RandomRange { seed: 9 }.resolve(&ps, &ids);
+        let s2 = KernelWidthStrategy::RandomRange { seed: 9 }.resolve(&ps, &ids);
+        assert_eq!(s1, s2);
+        assert!((1.0..=5.0).contains(&s1));
+    }
+
+    #[test]
+    fn fixed_strategy_returns_its_value() {
+        let ps = PointSet::from_rows(&[vec![0.0]]);
+        assert_eq!(KernelWidthStrategy::Fixed(2.5).resolve(&ps, &[0]), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "MinPts must be at least 2")]
+    fn optimal_nu_rejects_minpts_one() {
+        let _ = optimal_nu(2, 100, 1);
+    }
+}

@@ -1,0 +1,483 @@
+//! Sequential Minimal Optimization for the (weighted) SVDD dual.
+//!
+//! The dual problem (paper Eq. 11, after dropping the constant linear term
+//! `Σ α_i K_ii = 1` of the Gaussian kernel) is
+//!
+//! ```text
+//! minimize   f(α) = αᵀ K α
+//! subject to Σ_i α_i = 1,   0 <= α_i <= u_i        (u_i = ω_i C)
+//! ```
+//!
+//! Because every coefficient in the equality constraint is `+1`, a feasible
+//! direction moves mass from one multiplier to another. Each SMO iteration:
+//!
+//! 1. **selects** the pair with maximum first-order KKT violation —
+//!    `i = argmin G_k` over `α_k < u_k` (most profitable to grow) and
+//!    `j = argmax G_k` over `α_k > 0` (most profitable to shrink), where
+//!    `G = 2Kα` is the gradient;
+//! 2. **moves** `δ = (G_j − G_i) / (2η)` with curvature
+//!    `η = K_ii + K_jj − 2K_ij = 2(1 − K_ij) > 0`, clipped to the box;
+//! 3. **updates** the gradient with the two kernel rows:
+//!    `G_k += 2δ (K_ik − K_jk)`.
+//!
+//! Convergence: the duality gap proxy `G_j − G_i` is monotone under exact
+//! pair optimization (Keerthi et al.); iteration stops at
+//! [`SmoOptions::tolerance`] or the iteration cap.
+//!
+//! Cost: O(active-set · ñ) gradient work plus O(ñ·d) per kernel-row cache
+//! miss. With DBSVEC's small ν (few support vectors) the active set is tiny,
+//! which is what makes per-expansion SVDD training effectively linear in ñ
+//! (paper §IV-D).
+
+use dbsvec_geometry::{PointId, PointSet};
+
+use crate::cache::KernelCache;
+use crate::kernel::GaussianKernel;
+use crate::model::{SvddModel, ALPHA_TOL};
+use crate::params::nu_to_c;
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SmoOptions {
+    /// Stop when the maximum KKT violation `G_j − G_i` drops below this.
+    /// Gradient entries live in `[0, 2]` for a Gaussian kernel, so the
+    /// default `1e-3` is a relative accuracy of about 5e-4 — DBSVEC only
+    /// needs the *identity* of the boundary points, not polished
+    /// multipliers, and the looser stop roughly halves SMO iterations.
+    pub tolerance: f64,
+    /// Hard iteration cap; `0` means `200·ñ + 10_000` (never reached in
+    /// practice — typical solves take a few times the support-vector count).
+    pub max_iterations: usize,
+    /// Kernel-row cache capacity in rows; `0` means `min(ñ, 512)`.
+    pub cache_rows: usize,
+}
+
+impl Default for SmoOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-3,
+            max_iterations: 0,
+            cache_rows: 0,
+        }
+    }
+}
+
+/// A weighted SVDD training problem over a subset of a [`PointSet`].
+pub struct SvddProblem<'a> {
+    points: &'a PointSet,
+    ids: &'a [PointId],
+    kernel: GaussianKernel,
+    upper: Vec<f64>,
+    options: SmoOptions,
+}
+
+impl<'a> SvddProblem<'a> {
+    /// Creates a problem over `ids` with uniform unit bounds (`C = 1`,
+    /// i.e. ν = 1/ñ — the `DBSVEC_min` setting). Use [`SvddProblem::with_nu`]
+    /// or [`SvddProblem::with_bounds`] to change them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty.
+    pub fn new(points: &'a PointSet, ids: &'a [PointId], kernel: GaussianKernel) -> Self {
+        assert!(!ids.is_empty(), "SVDD requires a nonempty target set");
+        Self {
+            points,
+            ids,
+            kernel,
+            upper: vec![1.0; ids.len()],
+            options: SmoOptions::default(),
+        }
+    }
+
+    /// Sets uniform bounds from a penalty fraction ν: `u_i = C = 1/(ν·ñ)`.
+    pub fn with_nu(mut self, nu: f64) -> Self {
+        let c = nu_to_c(nu, self.ids.len());
+        self.upper = vec![c; self.ids.len()];
+        self
+    }
+
+    /// Sets per-point bounds `u_i = ω_i C` (the weighted dual of Eq. 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound vector has the wrong length, contains
+    /// non-positive entries, or sums below 1 (infeasible simplex).
+    pub fn with_bounds(mut self, upper: Vec<f64>) -> Self {
+        assert_eq!(upper.len(), self.ids.len(), "one bound per target point");
+        assert!(
+            upper.iter().all(|&u| u > 0.0 && u.is_finite()),
+            "bounds must be positive"
+        );
+        let total: f64 = upper.iter().sum();
+        assert!(
+            total >= 1.0 - 1e-9,
+            "Σ upper bounds = {total} < 1: dual infeasible"
+        );
+        self.upper = upper;
+        self
+    }
+
+    /// Overrides solver options.
+    pub fn with_options(mut self, options: SmoOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs SMO to convergence and returns the trained model.
+    pub fn solve(self) -> SvddModel {
+        let n = self.ids.len();
+        let max_iter = if self.options.max_iterations == 0 {
+            200 * n + 10_000
+        } else {
+            self.options.max_iterations
+        };
+        let cache_rows = if self.options.cache_rows == 0 {
+            n.min(512)
+        } else {
+            self.options.cache_rows
+        };
+
+        // ---- Initial feasible point: greedily fill bounds until Σα = 1.
+        let mut alpha = vec![0.0; n];
+        let mut remaining = 1.0;
+        for (a, &u) in alpha.iter_mut().zip(&self.upper) {
+            let take = u.min(remaining);
+            *a = take;
+            remaining -= take;
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        debug_assert!(remaining <= 1e-9, "with_bounds guarantees feasibility");
+
+        let mut cache = KernelCache::new(self.points, self.ids, self.kernel, cache_rows);
+
+        // ---- Initial gradient G = 2Kα from the rows of nonzero multipliers.
+        let mut grad = vec![0.0; n];
+        #[allow(clippy::needless_range_loop)] // i indexes alpha AND selects the cache row
+        for i in 0..n {
+            if alpha[i] > 0.0 {
+                let ai = alpha[i];
+                let row = cache.row(i);
+                for (g, &k) in grad.iter_mut().zip(row) {
+                    *g += 2.0 * ai * k;
+                }
+            }
+        }
+
+        // ---- Main loop.
+        let mut iterations = 0;
+        while iterations < max_iter {
+            // Working-set selection by maximum KKT violation.
+            let mut i_up = usize::MAX; // candidate to increase
+            let mut g_up = f64::INFINITY;
+            let mut j_down = usize::MAX; // candidate to decrease
+            let mut g_down = f64::NEG_INFINITY;
+            for k in 0..n {
+                if alpha[k] < self.upper[k] - ALPHA_TOL && grad[k] < g_up {
+                    g_up = grad[k];
+                    i_up = k;
+                }
+                if alpha[k] > ALPHA_TOL && grad[k] > g_down {
+                    g_down = grad[k];
+                    j_down = k;
+                }
+            }
+            if i_up == usize::MAX || j_down == usize::MAX || i_up == j_down {
+                break;
+            }
+            if g_down - g_up < self.options.tolerance {
+                break; // KKT-optimal within tolerance
+            }
+
+            let (i, j) = (i_up, j_down);
+            let k_ij = cache.entry(i, j);
+            let eta = 2.0 * (1.0 - k_ij); // K_ii + K_jj − 2K_ij for Gaussian
+            let max_step = (self.upper[i] - alpha[i]).min(alpha[j]);
+            let delta = if eta > 1e-12 {
+                ((g_down - g_up) / (2.0 * eta)).min(max_step)
+            } else {
+                // Coincident points: the objective is linear along the
+                // direction; move as far as the box allows.
+                max_step
+            };
+            if delta <= 0.0 {
+                break; // numerically stuck; current iterate is KKT-ε optimal
+            }
+
+            alpha[i] += delta;
+            alpha[j] -= delta;
+
+            // Gradient maintenance with the two working rows. The rows must
+            // be copied out because the cache hands out overlapping borrows.
+            {
+                let row_i = cache.row(i).to_vec();
+                let row_j = cache.row(j);
+                for ((g, &ki), &kj) in grad.iter_mut().zip(&row_i).zip(row_j) {
+                    *g += 2.0 * delta * (ki - kj);
+                }
+            }
+            iterations += 1;
+        }
+
+        // ---- Radius and constants.
+        let alpha_k_alpha: f64 = alpha.iter().zip(&grad).map(|(&a, &g)| a * g).sum::<f64>() / 2.0;
+        let decision_at = |k: usize| 1.0 - grad[k] + alpha_k_alpha;
+
+        // KKT: normal SVs sit exactly on the sphere. Average them for a
+        // robust R²; fall back to bracketing when every SV is at its bound.
+        let mut nsv_sum = 0.0;
+        let mut nsv_count = 0usize;
+        let mut max_inside = f64::NEG_INFINITY; // over α≈0 points (F <= R²)
+        let mut min_outside = f64::INFINITY; // over bounded SVs (F >= R²)
+        #[allow(clippy::needless_range_loop)] // k indexes alpha, upper, and grad together
+        for k in 0..n {
+            let f = decision_at(k);
+            if alpha[k] <= ALPHA_TOL {
+                max_inside = max_inside.max(f);
+            } else if alpha[k] >= self.upper[k] - ALPHA_TOL {
+                min_outside = min_outside.min(f);
+            } else {
+                nsv_sum += f;
+                nsv_count += 1;
+            }
+        }
+        let r_sq = if nsv_count > 0 {
+            nsv_sum / nsv_count as f64
+        } else {
+            match (max_inside.is_finite(), min_outside.is_finite()) {
+                (true, true) => 0.5 * (max_inside + min_outside),
+                (true, false) => max_inside,
+                (false, true) => min_outside,
+                (false, false) => 0.0,
+            }
+        };
+
+        SvddModel::new(
+            self.ids.to_vec(),
+            alpha,
+            self.upper,
+            self.kernel,
+            r_sq,
+            alpha_k_alpha,
+            iterations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SvType;
+    use dbsvec_geometry::rng::SplitMix64;
+
+    fn ring(n: usize, radius: f64) -> (PointSet, Vec<PointId>) {
+        let mut ps = PointSet::new(2);
+        for i in 0..n {
+            let a = i as f64 / n as f64 * std::f64::consts::TAU;
+            ps.push(&[radius * a.cos(), radius * a.sin()]);
+        }
+        (ps, (0..n as u32).collect())
+    }
+
+    fn gaussian_blob(n: usize, seed: u64) -> (PointSet, Vec<PointId>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut ps = PointSet::new(2);
+        for _ in 0..n {
+            // Irwin–Hall approximate normal.
+            let x: f64 = (0..12).map(|_| rng.next_f64()).sum::<f64>() - 6.0;
+            let y: f64 = (0..12).map(|_| rng.next_f64()).sum::<f64>() - 6.0;
+            ps.push(&[x, y]);
+        }
+        (ps, (0..n as u32).collect())
+    }
+
+    #[test]
+    fn alphas_form_a_simplex_point() {
+        let (ps, ids) = gaussian_blob(120, 5);
+        let model = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(2.0))
+            .with_nu(0.1)
+            .solve();
+        let sum: f64 = model.alphas().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "Σα = {sum}");
+        assert!(model.alphas().iter().all(|&a| (-1e-12..=1.0).contains(&a)));
+    }
+
+    #[test]
+    fn two_symmetric_points_split_mass_evenly() {
+        let ps = PointSet::from_rows(&[vec![-1.0], vec![1.0]]);
+        let ids = [0, 1];
+        let model = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(1.0))
+            .with_nu(0.5)
+            .solve();
+        assert!((model.alphas()[0] - 0.5).abs() < 1e-6);
+        assert!((model.alphas()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kkt_conditions_hold_at_solution() {
+        let (ps, ids) = gaussian_blob(150, 7);
+        let kernel = GaussianKernel::from_width(1.5);
+        let model = SvddProblem::new(&ps, &ids, kernel).with_nu(0.2).solve();
+        // Recompute the gradient from scratch and check the violation.
+        let n = ids.len();
+        let alpha = model.alphas();
+        let mut grad = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                grad[i] += 2.0 * alpha[j] * kernel.eval(ps.point(ids[i]), ps.point(ids[j]));
+            }
+        }
+        let c = 1.0 / (0.2 * n as f64);
+        let g_up = (0..n)
+            .filter(|&k| alpha[k] < c - 1e-9)
+            .map(|k| grad[k])
+            .fold(f64::INFINITY, f64::min);
+        let g_down = (0..n)
+            .filter(|&k| alpha[k] > 1e-9)
+            .map(|k| grad[k])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            g_down - g_up < 1e-3,
+            "KKT violation {} too large",
+            g_down - g_up
+        );
+    }
+
+    #[test]
+    fn support_vectors_lie_on_the_boundary_of_a_blob() {
+        let (ps, ids) = gaussian_blob(200, 11);
+        let model = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(2.0))
+            .with_nu(0.1)
+            .solve();
+        let centroid = ps.centroid().unwrap();
+        let mean_dist: f64 = ids
+            .iter()
+            .map(|&id| dbsvec_geometry::euclidean(ps.point(id), &centroid))
+            .sum::<f64>()
+            / ids.len() as f64;
+        let svs = model.support_vectors();
+        assert!(!svs.is_empty());
+        let sv_mean_dist: f64 = svs
+            .iter()
+            .map(|&id| dbsvec_geometry::euclidean(ps.point(id), &centroid))
+            .sum::<f64>()
+            / svs.len() as f64;
+        assert!(
+            sv_mean_dist > mean_dist,
+            "support vectors ({sv_mean_dist:.3}) should be farther out than average ({mean_dist:.3})"
+        );
+    }
+
+    #[test]
+    fn decision_separates_inside_from_far_outside() {
+        let (ps, ids) = ring(48, 1.0);
+        let model = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(1.0))
+            .with_nu(0.5)
+            .solve();
+        let inside = model.decision(&ps, &[0.0, 0.0]);
+        let on_data = model.decision(&ps, &[1.0, 0.0]);
+        let outside = model.decision(&ps, &[5.0, 5.0]);
+        assert!(inside < outside);
+        assert!(on_data < outside);
+        assert!(model.contains(&ps, &[1.0, 0.0]));
+        assert!(!model.contains(&ps, &[5.0, 5.0]));
+    }
+
+    #[test]
+    fn nu_controls_support_vector_count() {
+        let (ps, ids) = gaussian_blob(200, 13);
+        let kernel = GaussianKernel::from_width(2.0);
+        let few = SvddProblem::new(&ps, &ids, kernel).with_nu(0.05).solve();
+        let many = SvddProblem::new(&ps, &ids, kernel).with_nu(0.5).solve();
+        assert!(
+            few.num_support_vectors() < many.num_support_vectors(),
+            "ν=0.05 gave {} SVs, ν=0.5 gave {}",
+            few.num_support_vectors(),
+            many.num_support_vectors()
+        );
+        // ν lower-bounds the SV fraction (Schölkopf & Smola).
+        assert!(many.num_support_vectors() as f64 >= 0.5 * 200.0 * 0.9);
+    }
+
+    #[test]
+    fn weighted_bounds_are_respected() {
+        let (ps, ids) = gaussian_blob(60, 17);
+        let mut upper = vec![0.5; 60];
+        upper[0] = 1e-6; // effectively forbid point 0
+        let model = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(2.0))
+            .with_bounds(upper)
+            .solve();
+        assert!(model.alphas()[0] <= 1e-6 + 1e-12);
+    }
+
+    #[test]
+    fn single_point_target_is_trivial() {
+        let ps = PointSet::from_rows(&[vec![3.0, 4.0]]);
+        let model = SvddProblem::new(&ps, &[0], GaussianKernel::from_width(1.0)).solve();
+        assert_eq!(model.alphas(), &[1.0]);
+        assert_eq!(model.support_vectors(), vec![0]);
+        assert!(model.contains(&ps, &[3.0, 4.0]));
+    }
+
+    #[test]
+    fn duplicate_points_do_not_stall() {
+        let ps = PointSet::from_rows(&vec![vec![1.0, 1.0]; 30]);
+        let ids: Vec<PointId> = (0..30).collect();
+        let model = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(1.0))
+            .with_nu(0.3)
+            .solve();
+        let sum: f64 = model.alphas().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (ps, ids) = gaussian_blob(100, 23);
+        let kernel = GaussianKernel::from_width(1.7);
+        let a = SvddProblem::new(&ps, &ids, kernel).with_nu(0.15).solve();
+        let b = SvddProblem::new(&ps, &ids, kernel).with_nu(0.15).solve();
+        assert_eq!(a.alphas(), b.alphas());
+        assert_eq!(a.radius_sq(), b.radius_sq());
+    }
+
+    #[test]
+    fn sv_types_partition_correctly() {
+        let (ps, ids) = gaussian_blob(150, 29);
+        let model = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(2.0))
+            .with_nu(0.2)
+            .solve();
+        let mut interior = 0;
+        let mut normal = 0;
+        let mut bounded = 0;
+        for i in 0..ids.len() {
+            match model.sv_type(i) {
+                SvType::Interior => interior += 1,
+                SvType::Normal => normal += 1,
+                SvType::Bounded => bounded += 1,
+            }
+        }
+        assert_eq!(interior + normal + bounded, ids.len());
+        assert_eq!(normal + bounded, model.num_support_vectors());
+        assert!(interior > 0, "most blob points should be interior");
+    }
+
+    #[test]
+    fn solver_objective_not_worse_than_uniform() {
+        let (ps, ids) = gaussian_blob(80, 31);
+        let kernel = GaussianKernel::from_width(2.0);
+        let model = SvddProblem::new(&ps, &ids, kernel).with_nu(0.5).solve();
+        let objective = |alpha: &[f64]| {
+            let mut f = 0.0;
+            for i in 0..ids.len() {
+                for j in 0..ids.len() {
+                    f += alpha[i] * alpha[j] * kernel.eval(ps.point(ids[i]), ps.point(ids[j]));
+                }
+            }
+            f
+        };
+        let uniform = vec![1.0 / ids.len() as f64; ids.len()];
+        assert!(objective(model.alphas()) <= objective(&uniform) + 1e-9);
+    }
+}

@@ -1,0 +1,77 @@
+//! Arbitrary-shape clustering: the claim that motivates density methods.
+//!
+//! Runs DBSVEC and k-means on the two classic non-convex benchmarks — two
+//! moons and interleaved spirals — and writes SVG scatter plots of every
+//! result to `results/`. k-means (spherical clusters by construction) cuts
+//! the shapes apart; DBSVEC follows them exactly, at a fraction of
+//! DBSCAN's range queries.
+//!
+//! ```text
+//! cargo run --release --example arbitrary_shapes
+//! ```
+
+use std::path::Path;
+
+use dbsvec::baselines::KMeans;
+use dbsvec::datasets::{spirals, two_moons, write_svg_scatter, Dataset};
+use dbsvec::metrics::{adjusted_rand_index, recall};
+use dbsvec::{Dbsvec, DbsvecConfig};
+
+fn evaluate(name: &str, data: &Dataset, eps: f64, min_pts: usize, k: usize) {
+    let dbsvec = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit(&data.points);
+    let kmeans = KMeans::new(k, 7).fit(&data.points);
+
+    let r_dbsvec = recall(&data.truth, dbsvec.labels().assignments());
+    let r_kmeans = recall(&data.truth, kmeans.clustering.assignments());
+    let ari_dbsvec = adjusted_rand_index(&data.truth, dbsvec.labels().assignments());
+    let ari_kmeans = adjusted_rand_index(&data.truth, kmeans.clustering.assignments());
+
+    println!("{name}:");
+    println!(
+        "  DBSVEC:  {} clusters, recall {:.3}, ARI {:.3}, theta {:.3}",
+        dbsvec.num_clusters(),
+        r_dbsvec,
+        ari_dbsvec,
+        dbsvec.stats().theta(data.len())
+    );
+    println!(
+        "  k-MEANS: {} clusters, recall {:.3}, ARI {:.3}",
+        kmeans.clustering.num_clusters(),
+        r_kmeans,
+        ari_kmeans
+    );
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let svg_a = format!("results/shapes_{name}_dbsvec.svg");
+    let svg_b = format!("results/shapes_{name}_kmeans.svg");
+    write_svg_scatter(
+        Path::new(&svg_a),
+        &data.points,
+        dbsvec.labels().assignments(),
+        600,
+    )
+    .expect("write dbsvec svg");
+    write_svg_scatter(
+        Path::new(&svg_b),
+        &data.points,
+        kmeans.clustering.assignments(),
+        600,
+    )
+    .expect("write kmeans svg");
+    println!("  plots: {svg_a}, {svg_b}");
+
+    assert!(
+        ari_dbsvec > ari_kmeans,
+        "{name}: density clustering must beat k-means on non-convex shapes"
+    );
+}
+
+fn main() {
+    let moons = two_moons(3000, 0.05, 11);
+    evaluate("moons", &moons, 0.12, 6, 2);
+
+    let spiral = spirals(4000, 3, 1.25, 0.012, 13);
+    evaluate("spirals", &spiral, 0.07, 6, 3);
+
+    println!("\nok: DBSVEC traced both non-convex shapes; k-means could not");
+}

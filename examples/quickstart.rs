@@ -1,0 +1,47 @@
+//! Quickstart: cluster a small 2-D dataset with DBSVEC.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dbsvec::{Dbsvec, DbsvecConfig, PointSet};
+
+fn main() {
+    // Three Gaussian-ish blobs and a few stragglers.
+    let mut points = PointSet::new(2);
+    for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (5.0, 8.0)] {
+        for i in 0..100 {
+            let a = i as f64 * 0.618; // low-discrepancy angle
+            let r = (i as f64 / 100.0).sqrt();
+            points.push(&[cx + r * a.cos(), cy + r * a.sin()]);
+        }
+    }
+    points.push(&[50.0, 50.0]);
+    points.push(&[-40.0, 30.0]);
+
+    // eps = 0.6, MinPts = 5: blob-interior points see plenty of neighbors.
+    let config = DbsvecConfig::new(0.6, 5);
+    let result = Dbsvec::new(config).fit(&points);
+
+    println!("points:       {}", points.len());
+    println!("clusters:     {}", result.num_clusters());
+    println!("noise points: {}", result.labels().noise_count());
+    println!("cluster sizes: {:?}", result.labels().cluster_sizes());
+    println!();
+    println!("cost counters (the reason DBSVEC is fast):");
+    println!(
+        "  range queries:   {} (DBSCAN would issue {})",
+        result.stats().range_queries,
+        points.len()
+    );
+    println!("  SVDD trainings:  {}", result.stats().svdd_trainings);
+    println!("  support vectors: {}", result.stats().support_vectors);
+    println!(
+        "  theta = {:.3} (queries per point)",
+        result.stats().theta(points.len())
+    );
+
+    assert_eq!(result.num_clusters(), 3);
+    assert_eq!(result.labels().noise_count(), 2);
+    println!("\nok: 3 clusters found, 2 stragglers flagged as noise");
+}

@@ -1,0 +1,55 @@
+//! # DBSVEC — Density-Based Clustering Using Support Vector Expansion
+//!
+//! A Rust implementation of the DBSVEC algorithm (Wang, Zhang, Qi, Yuan —
+//! ICDE 2019) together with the full stack of substrates and baselines the
+//! paper evaluates against.
+//!
+//! This facade crate re-exports the workspace's public API under stable
+//! paths. Most users only need [`Dbsvec`] (or [`dbsvec()`](fn@dbsvec) for the one-liner),
+//! a [`PointSet`], and the evaluation helpers in [`metrics`]:
+//!
+//! ```
+//! use dbsvec::{Dbsvec, DbsvecConfig, PointSet};
+//!
+//! // Two dense blobs and one straggler.
+//! let mut ps = PointSet::new(2);
+//! for i in 0..20 {
+//!     ps.push(&[i as f64 * 0.01, 0.0]);
+//!     ps.push(&[i as f64 * 0.01, 10.0]);
+//! }
+//! ps.push(&[100.0, 100.0]);
+//!
+//! let config = DbsvecConfig::new(0.5, 5);
+//! let result = Dbsvec::new(config).fit(&ps);
+//! assert_eq!(result.num_clusters(), 2);
+//! assert!(result.labels().is_noise(40));
+//! ```
+//!
+//! ## Workspace layout
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`geometry`] | `dbsvec-geometry` | [`PointSet`], distance kernels, bounding boxes |
+//! | [`index`] | `dbsvec-index` | linear scan, kd-tree, R\*-tree, ball-tree, grid range-query engines; k-distance profiles |
+//! | [`svdd`] | `dbsvec-svdd` | weighted SVDD trained by a from-scratch SMO solver; 2-D boundary extraction |
+//! | [`core`] | `dbsvec-core` | the DBSVEC algorithm, its ablation variants, out-of-sample prediction |
+//! | [`lsh`] | `dbsvec-lsh` | p-stable LSH substrate |
+//! | [`baselines`] | `dbsvec-baselines` | DBSCAN, ρ-approximate DBSCAN, DBSCAN-LSH, NQ-DBSCAN, FDBSCAN, k-means, parallel DBSCAN, HDBSCAN\* |
+//! | [`metrics`] | `dbsvec-metrics` | pair recall/precision/F1, Fowlkes–Mallows, ARI, NMI, silhouette, Davies–Bouldin |
+//! | [`datasets`] | `dbsvec-datasets` | deterministic synthetic generators, CSV I/O, SVG scatter plots |
+//!
+//! A command-line front end lives in the separate `dbsvec-cli` crate
+//! (binary `dbsvec-cli`): cluster, compare, generate, and suggest
+//! subcommands over CSV files.
+
+pub use dbsvec_baselines as baselines;
+pub use dbsvec_core as core;
+pub use dbsvec_datasets as datasets;
+pub use dbsvec_geometry as geometry;
+pub use dbsvec_index as index;
+pub use dbsvec_lsh as lsh;
+pub use dbsvec_metrics as metrics;
+pub use dbsvec_svdd as svdd;
+
+pub use dbsvec_core::{dbsvec, Dbsvec, DbsvecConfig};
+pub use dbsvec_geometry::{PointId, PointSet};

@@ -1,0 +1,160 @@
+//! The reproduction's central claims (paper §III-C): DBSVEC's clusters
+//! match exact DBSCAN's across dataset families, dimensionalities, and
+//! configurations.
+
+use dbsvec::baselines::Dbscan;
+use dbsvec::core::{Clustering, NuStrategy};
+use dbsvec::datasets::{
+    chameleon_t48k, gaussian_mixture, random_walk_clusters, OpenDataset, RandomWalkConfig,
+};
+use dbsvec::metrics::{adjusted_rand_index, recall};
+use dbsvec::{Dbsvec, DbsvecConfig, PointSet};
+
+fn run_both(points: &PointSet, eps: f64, min_pts: usize) -> (Clustering, Clustering) {
+    let dbscan = Dbscan::new(eps, min_pts).fit(points).clustering;
+    let dbsvec = Dbsvec::new(DbsvecConfig::new(eps, min_pts))
+        .fit(points)
+        .into_labels();
+    (dbscan, dbsvec)
+}
+
+/// Theorem 3: noise sets are identical.
+fn assert_same_noise(dbscan: &Clustering, dbsvec: &Clustering) {
+    for i in 0..dbscan.len() {
+        assert_eq!(
+            dbscan.is_noise(i),
+            dbsvec.is_noise(i),
+            "noise status of point {i} differs (Theorem 3 violated)"
+        );
+    }
+}
+
+/// Theorem 1 (sampled): DBSVEC never joins *core* points DBSCAN separates.
+/// (Border points within ε of two clusters may land in either under both
+/// algorithms — DBSCAN itself is order-dependent there.)
+fn assert_necessity(
+    points: &PointSet,
+    eps: f64,
+    min_pts: usize,
+    dbscan: &Clustering,
+    dbsvec: &Clustering,
+) {
+    use dbsvec::index::{LinearScan, RangeIndex};
+    let scan = LinearScan::build(points);
+    let core: Vec<bool> = (0..points.len())
+        .map(|i| scan.count_range(points.point(i as u32), eps) >= min_pts)
+        .collect();
+    let a = dbscan.assignments();
+    let b = dbsvec.assignments();
+    for i in (0..a.len()).step_by(3) {
+        if !core[i] {
+            continue;
+        }
+        for j in (i + 1..a.len()).step_by(17) {
+            if core[j] && b[i].is_some() && b[i] == b[j] {
+                assert!(
+                    a[i].is_some() && a[i] == a[j],
+                    "DBSVEC joined core points {i},{j} but DBSCAN separated them (Theorem 1)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chameleon_shapes_match() {
+    let ds = chameleon_t48k(42);
+    // Density-derived parameters, like the Fig. 1 harness.
+    let min_pts = 10;
+    let eps = dbsvec::datasets::standins::suggest_eps(&ds.points, min_pts, 1);
+    let (dbscan, dbsvec) = run_both(&ds.points, eps, min_pts);
+    let r = recall(dbscan.assignments(), dbsvec.assignments());
+    assert!(r > 0.999, "t4.8k recall {r}");
+    assert_same_noise(&dbscan, &dbsvec);
+    assert_necessity(&ds.points, eps, min_pts, &dbscan, &dbsvec);
+}
+
+#[test]
+fn gaussian_mixtures_match_across_dimensionalities() {
+    for (d, k) in [(2, 8), (9, 4), (16, 6), (32, 8)] {
+        let ds = gaussian_mixture(1200, d, k, 1000.0, 1e5, 7 + d as u64);
+        let min_pts = 8;
+        let eps = dbsvec::datasets::standins::suggest_eps(&ds.points, min_pts, 2);
+        let (dbscan, dbsvec) = run_both(&ds.points, eps, min_pts);
+        let r = recall(dbscan.assignments(), dbsvec.assignments());
+        assert!(r > 0.999, "d={d}: recall {r}");
+        assert_same_noise(&dbscan, &dbsvec);
+        let ari = adjusted_rand_index(dbscan.assignments(), dbsvec.assignments());
+        assert!(ari > 0.999, "d={d}: ARI {ari}");
+    }
+}
+
+#[test]
+fn random_walk_clusters_match() {
+    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(8000, 8), 3);
+    let (dbscan, dbsvec) = run_both(&ds.points, 5000.0, 100);
+    let r = recall(dbscan.assignments(), dbsvec.assignments());
+    assert!(r > 0.999, "recall {r}");
+    assert_same_noise(&dbscan, &dbsvec);
+    assert_necessity(&ds.points, 5000.0, 100, &dbscan, &dbsvec);
+}
+
+#[test]
+fn every_table3_standin_reaches_paper_recall() {
+    // Table III: DBSVEC with ν* scores 1.000 on every dataset. Run the
+    // small stand-ins end to end (big ones are covered at reduced scale).
+    for dataset in OpenDataset::table3() {
+        let scale = if dataset.cardinality() > 8000 {
+            0.2
+        } else {
+            1.0
+        };
+        let standin = dataset.generate_scaled(scale, 11);
+        let points = &standin.dataset.points;
+        let (dbscan, dbsvec) = run_both(points, standin.suggested.eps, standin.suggested.min_pts);
+        let r = recall(dbscan.assignments(), dbsvec.assignments());
+        assert!(r >= 0.99, "{}: recall {r}", standin.name);
+    }
+}
+
+#[test]
+fn dbsvec_min_stays_close_to_dbscan() {
+    // Table III's DBSVEC_min row: worst observed recall 0.976.
+    let ds = gaussian_mixture(1000, 9, 4, 1000.0, 1e5, 5);
+    let min_pts = 8;
+    let eps = dbsvec::datasets::standins::suggest_eps(&ds.points, min_pts, 3);
+    let dbscan = Dbscan::new(eps, min_pts).fit(&ds.points).clustering;
+    let dbsvec_min = Dbsvec::new(DbsvecConfig::new(eps, min_pts).minimal_nu())
+        .fit(&ds.points)
+        .into_labels();
+    let r = recall(dbscan.assignments(), dbsvec_min.assignments());
+    assert!(r >= 0.95, "DBSVEC_min recall {r}");
+}
+
+#[test]
+fn nu_one_matches_dbscan_exactly() {
+    // §IV-C: DBSVEC degenerates to DBSCAN as ν → 1 (every point becomes a
+    // support vector, so every cluster point is eventually queried).
+    let ds = gaussian_mixture(600, 3, 3, 1000.0, 1e5, 9);
+    let min_pts = 6;
+    let eps = dbsvec::datasets::standins::suggest_eps(&ds.points, min_pts, 4);
+    let mut config = DbsvecConfig::new(eps, min_pts);
+    config.nu = NuStrategy::Fixed(1.0);
+    let dbsvec = Dbsvec::new(config).fit(&ds.points).into_labels();
+    let dbscan = Dbscan::new(eps, min_pts).fit(&ds.points).clustering;
+    let r = recall(dbscan.assignments(), dbsvec.assignments());
+    assert_eq!(r, 1.0);
+    assert_same_noise(&dbscan, &dbsvec);
+}
+
+#[test]
+fn query_savings_grow_with_density() {
+    // The core efficiency claim: θ ≪ 1 on clustered data.
+    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(20_000, 8), 13);
+    let result = Dbsvec::new(DbsvecConfig::new(5000.0, 100)).fit(&ds.points);
+    let theta = result.stats().theta(ds.len());
+    assert!(
+        theta < 0.35,
+        "theta = {theta}: DBSVEC saved too few queries"
+    );
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the beyond-the-paper extensions: ball tree,
+//! FDBSCAN, parallel DBSCAN, HDBSCAN, out-of-sample prediction, and the
+//! SVDD boundary extraction — exercised together through the facade.
+
+use dbsvec::baselines::{Dbscan, FDbscan, Hdbscan, ParallelDbscan};
+use dbsvec::core::ClusterModel;
+use dbsvec::datasets::{gaussian_mixture, two_moons};
+use dbsvec::index::BallTree;
+use dbsvec::metrics::{pair_f1, recall};
+use dbsvec::svdd::{
+    decision_boundary_around_targets, kernel_width_center_radius, GaussianKernel, SvddProblem,
+};
+use dbsvec::{Dbsvec, DbsvecConfig};
+
+#[test]
+fn dbsvec_over_a_ball_tree_matches_the_rtree_run() {
+    let ds = gaussian_mixture(1500, 16, 5, 900.0, 1e5, 3);
+    let eps = dbsvec::datasets::standins::suggest_eps(&ds.points, 8, 1);
+    let config = DbsvecConfig::new(eps, 8);
+    let via_rtree = Dbsvec::new(config.clone()).fit(&ds.points);
+    let ball = BallTree::build(&ds.points);
+    let via_ball = Dbsvec::new(config).fit_with_index(&ds.points, &ball);
+    // Exact engines => identical clusterings. (Run *statistics* may differ
+    // in the last few support vectors: engines report neighbors in
+    // different orders, which perturbs SMO tie-breaks.)
+    assert_eq!(via_rtree.labels(), via_ball.labels());
+    let (a, b) = (via_rtree.stats(), via_ball.stats());
+    assert_eq!(a.seeds, b.seeds);
+    assert!(
+        (a.range_queries as f64 - b.range_queries as f64).abs() <= 0.05 * a.range_queries as f64
+    );
+}
+
+#[test]
+fn parallel_dbscan_agrees_with_dbsvec_on_core_structure() {
+    let ds = gaussian_mixture(2000, 4, 6, 800.0, 1e5, 5);
+    let eps = dbsvec::datasets::standins::suggest_eps(&ds.points, 8, 2);
+    let par = ParallelDbscan::new(eps, 8, 4).fit(&ds.points);
+    let svec = Dbsvec::new(DbsvecConfig::new(eps, 8)).fit(&ds.points);
+    let r = recall(par.clustering.assignments(), svec.labels().assignments());
+    assert!(r > 0.999, "recall {r}");
+    assert_eq!(par.clustering.num_clusters(), svec.num_clusters());
+}
+
+#[test]
+fn fdbscan_approximates_and_hdbscan_generalizes() {
+    let moons = two_moons(2000, 0.05, 9);
+    let exact = Dbscan::new(0.12, 6).fit(&moons.points).clustering;
+    assert_eq!(exact.num_clusters(), 2);
+
+    // FDBSCAN: far fewer queries, approximately the same clustering.
+    let fast = FDbscan::new(0.12, 6).fit(&moons.points);
+    assert!(fast.stats.range_queries < 2000 / 2);
+    let f1 = pair_f1(exact.assignments(), fast.clustering.assignments());
+    assert!(f1 > 0.8, "FDBSCAN F1 {f1}");
+
+    // HDBSCAN: no eps at all, same two moons.
+    let hier = Hdbscan::new(6, 40).fit(&moons.points);
+    assert_eq!(hier.clustering.num_clusters(), 2);
+    let r = recall(exact.assignments(), hier.clustering.assignments());
+    assert!(r > 0.95, "HDBSCAN recall {r}");
+}
+
+#[test]
+fn fitted_model_classifies_a_held_out_stream() {
+    // Fit on one sample of the generator, predict a fresh sample.
+    let train = gaussian_mixture(1200, 3, 4, 700.0, 1e5, 11);
+    let eps = dbsvec::datasets::standins::suggest_eps(&train.points, 8, 3);
+    let result = Dbsvec::new(DbsvecConfig::new(eps, 8)).fit(&train.points);
+    assert_eq!(result.num_clusters(), 4);
+    let model = ClusterModel::new(
+        &train.points,
+        result.labels(),
+        &result.core_point_ids(),
+        eps,
+    );
+
+    let test = gaussian_mixture(1200, 3, 4, 700.0, 1e5, 11); // same centers (same seed)
+    let predictions = model.predict_batch(&test.points);
+    // Ground-truth agreement: points of one generator cluster map to one
+    // predicted cluster.
+    let mut agree = 0;
+    let mut total = 0;
+    for i in 0..test.len() {
+        for j in (i + 1)..test.len().min(i + 40) {
+            let same_truth = test.truth[i] == test.truth[j];
+            if let (Some(a), Some(b)) = (predictions[i], predictions[j]) {
+                total += 1;
+                if (a == b) == same_truth {
+                    agree += 1;
+                }
+            }
+        }
+    }
+    assert!(total > 1000, "too few classified pairs ({total})");
+    assert!(
+        agree as f64 > 0.99 * total as f64,
+        "pairwise agreement {agree}/{total}"
+    );
+}
+
+#[test]
+fn boundary_extraction_composes_with_clustering() {
+    // Cluster a mixture with DBSVEC, then describe one found cluster with
+    // SVDD and check the boundary separates it from the other cluster.
+    let ds = gaussian_mixture(1200, 2, 2, 2000.0, 1e5, 13);
+    let eps = dbsvec::datasets::standins::suggest_eps(&ds.points, 8, 4);
+    let result = Dbsvec::new(DbsvecConfig::new(eps, 8)).fit(&ds.points);
+    assert_eq!(result.num_clusters(), 2);
+    let members = result.labels().cluster_members();
+    let cluster0 = &members[0];
+
+    let sigma = kernel_width_center_radius(&ds.points, cluster0);
+    let model = SvddProblem::new(&ds.points, cluster0, GaussianKernel::from_width(sigma))
+        .with_nu(0.02)
+        .solve();
+    let segments = decision_boundary_around_targets(&model, &ds.points, 500.0, 120);
+    assert!(!segments.is_empty());
+
+    // Nearly all of cluster 0 inside; nearly all of cluster 1 outside.
+    let inside = |ids: &[u32]| {
+        ids.iter()
+            .filter(|&&id| model.contains(&ds.points, ds.points.point(id)))
+            .count()
+    };
+    let own = inside(cluster0);
+    let other = inside(&members[1]);
+    assert!(
+        own as f64 > 0.9 * cluster0.len() as f64,
+        "{own}/{}",
+        cluster0.len()
+    );
+    assert!(
+        (other as f64) < 0.1 * members[1].len() as f64,
+        "{other}/{}",
+        members[1].len()
+    );
+}

@@ -1,0 +1,100 @@
+//! End-to-end pipeline: generate → cluster → persist → reload → evaluate.
+
+use std::path::PathBuf;
+
+use dbsvec::baselines::Dbscan;
+use dbsvec::datasets::io::{read_csv, write_csv};
+use dbsvec::datasets::{chameleon_t710k, normalize_to_domain, OpenDataset};
+use dbsvec::metrics::{davies_bouldin_separation, recall, silhouette_compactness};
+use dbsvec::{Dbsvec, DbsvecConfig};
+
+fn tempfile(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dbsvec-pipeline-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn cluster_persist_reload_evaluate() {
+    let standin = OpenDataset::Seeds.generate(5);
+    let points = &standin.dataset.points;
+    let result = Dbsvec::new(DbsvecConfig::new(
+        standin.suggested.eps,
+        standin.suggested.min_pts,
+    ))
+    .fit(points);
+
+    // Persist points + labels, read back, and verify the round trip.
+    let path = tempfile("seeds.csv");
+    write_csv(&path, points, Some(result.labels().assignments())).unwrap();
+    let (reloaded_points, reloaded_labels) = read_csv(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(&reloaded_points, points);
+    let labels = reloaded_labels.expect("labels column present");
+    assert_eq!(labels, result.labels().assignments());
+
+    // Metrics computed on the reloaded data agree with the originals.
+    let c1 = silhouette_compactness(points, result.labels().assignments());
+    let c2 = silhouette_compactness(&reloaded_points, &labels);
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn t710k_full_quality_pipeline() {
+    // The paper's second shape benchmark, end to end at full size.
+    let ds = chameleon_t710k(21);
+    let min_pts = 10;
+    let eps = dbsvec::datasets::standins::suggest_eps(&ds.points, min_pts, 9);
+
+    let dbscan = Dbscan::new(eps, min_pts).fit(&ds.points);
+    let dbsvec = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit(&ds.points);
+
+    let r = recall(
+        dbscan.clustering.assignments(),
+        dbsvec.labels().assignments(),
+    );
+    assert!(r > 0.99, "t7.10k recall {r} (paper: 0.997–1.000)");
+
+    // Internal validity sanity: the clustering should beat a one-cluster
+    // degenerate labeling on both measures.
+    let c = silhouette_compactness(&ds.points, dbsvec.labels().assignments());
+    assert!(c > 0.0, "compactness {c} not positive");
+    let s = davies_bouldin_separation(&ds.points, dbsvec.labels().assignments());
+    assert!(s.is_finite() && s > 0.0);
+}
+
+#[test]
+fn normalization_preserves_clustering_structure() {
+    // Normalizing to the paper's [0, 1e5] domain rescales eps linearly but
+    // must not change which points cluster together (isotropic data).
+    let standin = OpenDataset::Dim32.generate(3);
+    let points = &standin.dataset.points;
+    let before = Dbsvec::new(DbsvecConfig::new(
+        standin.suggested.eps,
+        standin.suggested.min_pts,
+    ))
+    .fit(points);
+
+    // Points were generated in [0, 1e5] already; renormalizing to [0, 1e3]
+    // shrinks every dimension by ~100x (up to per-dimension extents).
+    let shrunk = normalize_to_domain(points, 1000.0);
+    let eps = dbsvec::datasets::standins::suggest_eps(&shrunk, standin.suggested.min_pts, 1);
+    let after = Dbsvec::new(DbsvecConfig::new(eps, standin.suggested.min_pts)).fit(&shrunk);
+
+    let r = recall(before.labels().assignments(), after.labels().assignments());
+    assert!(r > 0.98, "normalization changed the clustering: recall {r}");
+    assert_eq!(before.num_clusters(), after.num_clusters());
+}
+
+#[test]
+fn facade_one_liner_works() {
+    let standin = OpenDataset::BreastCancer.generate(1);
+    let clustering = dbsvec::dbsvec(
+        &standin.dataset.points,
+        standin.suggested.eps,
+        standin.suggested.min_pts,
+    );
+    assert_eq!(clustering.len(), standin.dataset.len());
+    assert!(clustering.num_clusters() >= 1);
+}
