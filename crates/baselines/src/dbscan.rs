@@ -13,6 +13,7 @@
 use dbsvec_core::labels::{Clustering, WorkingLabels};
 use dbsvec_geometry::{PointId, PointSet};
 use dbsvec_index::{RStarTree, RangeIndex};
+use dbsvec_obs::{Event, NoopObserver, Observer, Phase};
 
 /// Counters for a DBSCAN run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -76,8 +77,13 @@ impl Dbscan {
 
     /// Runs over a bulk-loaded R\*-tree (the paper's *R-DBSCAN*).
     pub fn fit(&self, points: &PointSet) -> DbscanResult {
+        self.fit_observed(points, &mut NoopObserver)
+    }
+
+    /// [`Dbscan::fit`] with an observer receiving the run's events.
+    pub fn fit_observed(&self, points: &PointSet, obs: &mut dyn Observer) -> DbscanResult {
         let index = RStarTree::build(points);
-        self.fit_with_index(points, &index)
+        self.fit_with_index_observed(points, &index, obs)
     }
 
     /// Runs over a caller-provided engine (kd-tree, grid, LSH, ...).
@@ -86,6 +92,19 @@ impl Dbscan {
     ///
     /// Panics if the index size disagrees with the point set.
     pub fn fit_with_index<I: RangeIndex>(&self, points: &PointSet, index: &I) -> DbscanResult {
+        self.fit_with_index_observed(points, index, &mut NoopObserver)
+    }
+
+    /// [`Dbscan::fit_with_index`] with an observer. DBSCAN has a single
+    /// scan-and-flood loop, so it spans one `init` phase and emits one
+    /// [`Event::RangeQuery`] per query — the same event DBSVEC emits, which
+    /// is what makes θ comparable across algorithms.
+    pub fn fit_with_index_observed<I: RangeIndex>(
+        &self,
+        points: &PointSet,
+        index: &I,
+        obs: &mut dyn Observer,
+    ) -> DbscanResult {
         assert_eq!(
             index.len(),
             points.len(),
@@ -101,6 +120,7 @@ impl Dbscan {
         let mut queue: Vec<PointId> = Vec::new();
         let mut neighborhood: Vec<PointId> = Vec::new();
 
+        obs.span_enter(Phase::Init);
         for i in 0..n as u32 {
             if !labels.is_unclassified(i) {
                 continue;
@@ -108,6 +128,10 @@ impl Dbscan {
             neighborhood.clear();
             index.range(points.point(i), self.eps, &mut neighborhood);
             stats.range_queries += 1;
+            obs.event(&Event::RangeQuery {
+                probe: i,
+                result_len: neighborhood.len(),
+            });
             queried[i as usize] = true;
             if neighborhood.len() < self.min_pts {
                 labels.set_noise(i);
@@ -134,6 +158,10 @@ impl Dbscan {
                 neighborhood.clear();
                 index.range(points.point(p), self.eps, &mut neighborhood);
                 stats.range_queries += 1;
+                obs.event(&Event::RangeQuery {
+                    probe: p,
+                    result_len: neighborhood.len(),
+                });
                 queried[p as usize] = true;
                 if neighborhood.len() < self.min_pts {
                     continue; // border point: labeled but not expanded
@@ -147,6 +175,7 @@ impl Dbscan {
                 }
             }
         }
+        obs.span_exit(Phase::Init);
 
         DbscanResult {
             clustering: labels.finalize(|raw| raw),

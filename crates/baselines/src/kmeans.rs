@@ -5,10 +5,8 @@
 //! baseline. This implementation is deterministic per seed and never
 //! produces noise (every point is assigned to its nearest centroid).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dbsvec_core::labels::Clustering;
+use dbsvec_geometry::rng::SplitMix64;
 use dbsvec_geometry::PointSet;
 
 /// Result of a k-means run.
@@ -68,18 +66,18 @@ impl KMeans {
         let k = self.k.min(n);
 
         // ---- k-means++ seeding.
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-        centroids.push(points.point(rng.gen_range(0..n) as u32).to_vec());
+        centroids.push(points.point(rng.next_below(n as u64) as u32).to_vec());
         let mut dist_sq: Vec<f64> = (0..n)
             .map(|i| dbsvec_geometry::squared_euclidean(points.point(i as u32), &centroids[0]))
             .collect();
         while centroids.len() < k {
             let total: f64 = dist_sq.iter().sum();
             let chosen = if total <= 0.0 {
-                rng.gen_range(0..n) // all remaining points coincide
+                rng.next_below(n as u64) as usize // all remaining points coincide
             } else {
-                let mut target = rng.gen::<f64>() * total;
+                let mut target = rng.next_f64() * total;
                 let mut pick = n - 1;
                 for (i, &w) in dist_sq.iter().enumerate() {
                     if target < w {
@@ -180,7 +178,6 @@ impl KMeans {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbsvec_geometry::rng::SplitMix64;
 
     fn blobs(centers: &[[f64; 2]], per: usize, seed: u64) -> PointSet {
         let mut rng = SplitMix64::new(seed);

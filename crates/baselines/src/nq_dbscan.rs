@@ -16,6 +16,7 @@
 
 use dbsvec_core::labels::{Clustering, WorkingLabels};
 use dbsvec_geometry::{PointId, PointSet};
+use dbsvec_obs::{Event, NoopObserver, Observer, Phase};
 
 use std::collections::HashMap;
 
@@ -63,6 +64,13 @@ impl NqDbscan {
 
     /// Clusters `points`.
     pub fn fit(&self, points: &PointSet) -> NqDbscanResult {
+        self.fit_observed(points, &mut NoopObserver)
+    }
+
+    /// [`NqDbscan::fit`] with an observer. Like plain DBSCAN this spans one
+    /// `init` phase and emits one [`Event::RangeQuery`] per query, so θ is
+    /// directly comparable with DBSVEC traces.
+    pub fn fit_observed(&self, points: &PointSet, obs: &mut dyn Observer) -> NqDbscanResult {
         let n = points.len();
         let mut labels = WorkingLabels::new(n);
         let mut stats = NqDbscanStats::default();
@@ -90,6 +98,7 @@ impl NqDbscan {
         let mut queue: Vec<PointId> = Vec::new();
         let mut neighborhood: Vec<PointId> = Vec::new();
 
+        obs.span_enter(Phase::Init);
         for i in 0..n as u32 {
             if !labels.is_unclassified(i) {
                 continue;
@@ -97,6 +106,10 @@ impl NqDbscan {
             neighborhood.clear();
             grid.range(points, i, self.eps, &mut neighborhood, &mut stats);
             stats.range_queries += 1;
+            obs.event(&Event::RangeQuery {
+                probe: i,
+                result_len: neighborhood.len(),
+            });
             queried[i as usize] = true;
             if !known_core[i as usize] && neighborhood.len() < self.min_pts {
                 labels.set_noise(i);
@@ -120,6 +133,10 @@ impl NqDbscan {
                 neighborhood.clear();
                 grid.range(points, p, self.eps, &mut neighborhood, &mut stats);
                 stats.range_queries += 1;
+                obs.event(&Event::RangeQuery {
+                    probe: p,
+                    result_len: neighborhood.len(),
+                });
                 queried[p as usize] = true;
                 if !known_core[p as usize] && neighborhood.len() < self.min_pts {
                     continue;
@@ -132,6 +149,7 @@ impl NqDbscan {
                 }
             }
         }
+        obs.span_exit(Phase::Init);
 
         NqDbscanResult {
             clustering: labels.finalize(|raw| raw),

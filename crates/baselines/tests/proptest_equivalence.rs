@@ -1,117 +1,133 @@
-//! Property tests: exact algorithms agree on arbitrary inputs; approximate
-//! ones respect their contracts.
-
-use proptest::prelude::*;
+//! Randomized property tests: exact algorithms agree on arbitrary inputs;
+//! approximate ones respect their contracts.
+//!
+//! Deterministic SplitMix64-driven instance loops; fixed seeds make every
+//! failure exactly reproducible.
 
 use dbsvec_baselines::{Dbscan, FDbscan, NqDbscan, ParallelDbscan, RhoApproxDbscan};
+use dbsvec_geometry::rng::SplitMix64;
 use dbsvec_geometry::PointSet;
 
-fn point_set(max_n: usize) -> impl Strategy<Value = PointSet> {
-    (1..=3usize).prop_flat_map(move |d| {
-        prop::collection::vec(prop::collection::vec(-100.0..100.0f64, d), 1..=max_n)
-            .prop_map(|rows| PointSet::from_rows(&rows))
-    })
+fn point_set(rng: &mut SplitMix64, max_n: usize) -> PointSet {
+    let d = 1 + rng.next_below(3) as usize;
+    let n = 1 + rng.next_below(max_n as u64) as usize;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.next_f64_range(-100.0, 100.0)).collect())
+        .collect();
+    PointSet::from_rows(&rows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn params(rng: &mut SplitMix64, eps_lo: f64, eps_hi: f64, mp_lo: u64, mp_hi: u64) -> (f64, usize) {
+    (
+        rng.next_f64_range(eps_lo, eps_hi),
+        (mp_lo + rng.next_below(mp_hi - mp_lo)) as usize,
+    )
+}
 
-    #[test]
-    fn nq_dbscan_is_exactly_dbscan(
-        ps in point_set(120),
-        eps in 1.0..80.0f64,
-        min_pts in 2usize..8,
-    ) {
+#[test]
+fn nq_dbscan_is_exactly_dbscan() {
+    let mut rng = SplitMix64::new(0xAB01);
+    for _ in 0..48 {
+        let ps = point_set(&mut rng, 120);
+        let (eps, min_pts) = params(&mut rng, 1.0, 80.0, 2, 8);
         let exact = Dbscan::new(eps, min_pts).fit(&ps).clustering;
         let nq = NqDbscan::new(eps, min_pts).fit(&ps).clustering;
-        prop_assert_eq!(exact, nq);
+        assert_eq!(exact, nq);
     }
+}
 
-    #[test]
-    fn parallel_dbscan_matches_core_partition_and_noise(
-        ps in point_set(120),
-        eps in 1.0..80.0f64,
-        min_pts in 2usize..8,
-    ) {
-        use dbsvec_index::{LinearScan, RangeIndex};
+#[test]
+fn parallel_dbscan_matches_core_partition_and_noise() {
+    use dbsvec_index::{LinearScan, RangeIndex};
+    let mut rng = SplitMix64::new(0xAB02);
+    for _ in 0..48 {
+        let ps = point_set(&mut rng, 120);
+        let (eps, min_pts) = params(&mut rng, 1.0, 80.0, 2, 8);
         let seq = Dbscan::new(eps, min_pts).fit(&ps).clustering;
         let par = ParallelDbscan::new(eps, min_pts, 3).fit(&ps).clustering;
-        prop_assert_eq!(seq.num_clusters(), par.num_clusters());
+        assert_eq!(seq.num_clusters(), par.num_clusters());
         let scan = LinearScan::build(&ps);
         let core: Vec<bool> = (0..ps.len())
             .map(|i| scan.count_range(ps.point(i as u32), eps) >= min_pts)
             .collect();
         for i in 0..ps.len() {
-            prop_assert_eq!(seq.is_noise(i), par.is_noise(i), "noise mismatch at {}", i);
+            assert_eq!(seq.is_noise(i), par.is_noise(i), "noise mismatch at {i}");
             if !core[i] {
                 continue;
             }
             for j in (i + 1..ps.len()).step_by(5) {
                 if core[j] {
-                    prop_assert_eq!(
+                    assert_eq!(
                         seq.get(i) == seq.get(j),
                         par.get(i) == par.get(j),
-                        "core pair ({}, {})", i, j
+                        "core pair ({i}, {j})"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn rho_approx_never_loses_true_core_points(
-        ps in point_set(100),
-        eps in 5.0..60.0f64,
-        min_pts in 2usize..6,
-    ) {
+#[test]
+fn rho_approx_never_loses_true_core_points() {
+    use dbsvec_index::{LinearScan, RangeIndex};
+    let mut rng = SplitMix64::new(0xAB03);
+    for _ in 0..48 {
         // ρ-approximate may over-count neighbors (by design) but its core
         // test must never reject a true core point, so every DBSCAN core
         // point must be clustered by it.
-        use dbsvec_index::{LinearScan, RangeIndex};
-        let approx = RhoApproxDbscan::new(eps, min_pts, 0.001).fit(&ps).clustering;
+        let ps = point_set(&mut rng, 100);
+        let (eps, min_pts) = params(&mut rng, 5.0, 60.0, 2, 6);
+        let approx = RhoApproxDbscan::new(eps, min_pts, 0.001)
+            .fit(&ps)
+            .clustering;
         let scan = LinearScan::build(&ps);
         for i in 0..ps.len() {
             if scan.count_range(ps.point(i as u32), eps) >= min_pts {
-                prop_assert!(!approx.is_noise(i), "true core point {} marked noise", i);
+                assert!(!approx.is_noise(i), "true core point {i} marked noise");
             }
         }
     }
+}
 
-    #[test]
-    fn fdbscan_never_invents_clusters(
-        ps in point_set(100),
-        eps in 1.0..60.0f64,
-        min_pts in 2usize..6,
-    ) {
+#[test]
+fn fdbscan_never_invents_clusters() {
+    let mut rng = SplitMix64::new(0xAB04);
+    for _ in 0..48 {
         // FDBSCAN queries a subset of points, so it can only fragment
         // DBSCAN clusters, never join DBSCAN-separated core points; its
         // noise is a superset of DBSCAN's (a border point whose only core
         // neighbors were never chosen as representatives stays noise).
+        let ps = point_set(&mut rng, 100);
+        let (eps, min_pts) = params(&mut rng, 1.0, 60.0, 2, 6);
         let exact = Dbscan::new(eps, min_pts).fit(&ps).clustering;
         let fast = FDbscan::new(eps, min_pts).fit(&ps).clustering;
-        prop_assert!(fast.num_clusters() >= exact.num_clusters());
+        assert!(fast.num_clusters() >= exact.num_clusters());
         for i in 0..ps.len() {
             if exact.is_noise(i) {
-                prop_assert!(fast.is_noise(i), "DBSCAN noise {} clustered by FDBSCAN", i);
+                assert!(fast.is_noise(i), "DBSCAN noise {i} clustered by FDBSCAN");
             }
         }
     }
+}
 
-    #[test]
-    fn labels_always_cover_every_point(
-        ps in point_set(80),
-        eps in 1.0..50.0f64,
-        min_pts in 2usize..6,
-    ) {
+#[test]
+fn labels_always_cover_every_point() {
+    let mut rng = SplitMix64::new(0xAB05);
+    for _ in 0..48 {
+        let ps = point_set(&mut rng, 80);
+        let (eps, min_pts) = params(&mut rng, 1.0, 50.0, 2, 6);
         for clustering in [
             Dbscan::new(eps, min_pts).fit(&ps).clustering,
             NqDbscan::new(eps, min_pts).fit(&ps).clustering,
-            RhoApproxDbscan::new(eps, min_pts, 0.001).fit(&ps).clustering,
+            RhoApproxDbscan::new(eps, min_pts, 0.001)
+                .fit(&ps)
+                .clustering,
             FDbscan::new(eps, min_pts).fit(&ps).clustering,
         ] {
-            prop_assert_eq!(clustering.len(), ps.len());
+            assert_eq!(clustering.len(), ps.len());
             let total: usize = clustering.cluster_sizes().iter().sum();
-            prop_assert_eq!(total + clustering.noise_count(), ps.len());
+            assert_eq!(total + clustering.noise_count(), ps.len());
         }
     }
 }

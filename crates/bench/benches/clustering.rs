@@ -1,170 +1,167 @@
 //! Microbenchmark: end-to-end clustering, DBSVEC vs every baseline.
 //!
-//! The Criterion counterpart of the Fig. 6 harness at a fixed, small
-//! workload — useful for catching performance regressions in CI. Expected
-//! ordering on the 8-d random-walk workload: DBSVEC fastest among the
-//! density-based methods, exact DBSCAN next, DBSCAN-LSH last.
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+//! The microbench counterpart of the Fig. 6 harness at a fixed workload —
+//! useful for catching performance regressions. Expected ordering on the
+//! 8-d random-walk workload: DBSVEC fastest among the density-based
+//! methods, exact DBSCAN next, DBSCAN-LSH last.
+//!
+//! Also checks the observability overhead claim: `fit` vs
+//! `fit_observed(&mut NoopObserver)` must be within noise (±2%), since the
+//! no-op observer's empty callbacks inline away.
 
 use dbsvec_baselines::{
     Dbscan, DbscanLsh, FDbscan, Hdbscan, KMeans, NqDbscan, ParallelDbscan, RhoApproxDbscan,
 };
+use dbsvec_bench::micro::{black_box, Runner};
 use dbsvec_core::{Dbsvec, DbsvecConfig};
 use dbsvec_datasets::{random_walk_clusters, RandomWalkConfig};
 use dbsvec_index::KdTree;
+use dbsvec_obs::NoopObserver;
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("clustering_20k_8d");
-    group.sample_size(10);
-    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(20_000, 8), 42);
+fn main() {
+    let runner = Runner::from_env("clustering");
+    bench_end_to_end(&runner);
+    bench_noop_observer_overhead(&runner);
+    bench_ablations(&runner);
+}
+
+fn bench_end_to_end(runner: &Runner) {
+    let n = runner.size(20_000, 2_000);
+    println!("clustering_{}k_8d", n / 1000);
+    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(n, 8), 42);
     let points = &ds.points;
     let (eps, min_pts) = (5000.0, 100);
 
-    group.bench_function("dbsvec", |b| {
-        b.iter(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts))
-                .fit(black_box(points))
-                .num_clusters()
-        })
+    runner.bench("dbsvec", || {
+        Dbsvec::new(DbsvecConfig::new(eps, min_pts))
+            .fit(black_box(points))
+            .num_clusters()
     });
-    group.bench_function("dbsvec_min", |b| {
-        b.iter(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts).minimal_nu())
-                .fit(black_box(points))
-                .num_clusters()
-        })
+    runner.bench("dbsvec_min", || {
+        Dbsvec::new(DbsvecConfig::new(eps, min_pts).minimal_nu())
+            .fit(black_box(points))
+            .num_clusters()
     });
-    group.bench_function("r_dbscan", |b| {
-        b.iter(|| {
-            Dbscan::new(eps, min_pts)
-                .fit(black_box(points))
-                .clustering
-                .num_clusters()
-        })
+    runner.bench("r_dbscan", || {
+        Dbscan::new(eps, min_pts)
+            .fit(black_box(points))
+            .clustering
+            .num_clusters()
     });
-    group.bench_function("kd_dbscan", |b| {
-        b.iter(|| {
-            let index = KdTree::build(points);
-            Dbscan::new(eps, min_pts)
-                .fit_with_index(black_box(points), &index)
-                .clustering
-                .num_clusters()
-        })
+    runner.bench("kd_dbscan", || {
+        let index = KdTree::build(points);
+        Dbscan::new(eps, min_pts)
+            .fit_with_index(black_box(points), &index)
+            .clustering
+            .num_clusters()
     });
-    group.bench_function("rho_approx", |b| {
-        b.iter(|| {
-            RhoApproxDbscan::new(eps, min_pts, 0.001)
-                .fit(black_box(points))
-                .clustering
-                .num_clusters()
-        })
+    runner.bench("rho_approx", || {
+        RhoApproxDbscan::new(eps, min_pts, 0.001)
+            .fit(black_box(points))
+            .clustering
+            .num_clusters()
     });
-    group.bench_function("nq_dbscan", |b| {
-        b.iter(|| {
-            NqDbscan::new(eps, min_pts)
-                .fit(black_box(points))
-                .clustering
-                .num_clusters()
-        })
+    runner.bench("nq_dbscan", || {
+        NqDbscan::new(eps, min_pts)
+            .fit(black_box(points))
+            .clustering
+            .num_clusters()
     });
-    group.bench_function("dbscan_lsh", |b| {
-        b.iter(|| {
-            DbscanLsh::new(eps, min_pts, 42)
-                .fit(black_box(points))
-                .clustering
-                .num_clusters()
-        })
+    runner.bench("dbscan_lsh", || {
+        DbscanLsh::new(eps, min_pts, 42)
+            .fit(black_box(points))
+            .clustering
+            .num_clusters()
     });
-    group.bench_function("kmeans", |b| {
-        b.iter(|| {
-            KMeans::new(10, 42)
-                .fit(black_box(points))
-                .clustering
-                .num_clusters()
-        })
+    runner.bench("kmeans", || {
+        KMeans::new(10, 42)
+            .fit(black_box(points))
+            .clustering
+            .num_clusters()
     });
-    group.bench_function("fdbscan", |b| {
-        b.iter(|| {
-            FDbscan::new(eps, min_pts)
-                .fit(black_box(points))
-                .clustering
-                .num_clusters()
-        })
+    runner.bench("fdbscan", || {
+        FDbscan::new(eps, min_pts)
+            .fit(black_box(points))
+            .clustering
+            .num_clusters()
     });
-    group.bench_function("parallel_dbscan", |b| {
-        b.iter(|| {
-            ParallelDbscan::new(eps, min_pts, 0)
-                .fit(black_box(points))
-                .clustering
-                .num_clusters()
-        })
+    runner.bench("parallel_dbscan", || {
+        ParallelDbscan::new(eps, min_pts, 0)
+            .fit(black_box(points))
+            .clustering
+            .num_clusters()
     });
-    group.finish();
 
     // HDBSCAN's O(n^2) MST dominates; bench it at a smaller n.
-    let small = random_walk_clusters(&RandomWalkConfig::paper_default(5_000, 8), 42);
-    let mut hgroup = c.benchmark_group("hdbscan_5k_8d");
-    hgroup.sample_size(10);
-    hgroup.bench_function("hdbscan", |b| {
-        b.iter(|| {
-            Hdbscan::new(5, 50)
-                .fit(black_box(&small.points))
-                .clustering
-                .num_clusters()
-        })
+    let small_n = runner.size(5_000, 1_000);
+    let small = random_walk_clusters(&RandomWalkConfig::paper_default(small_n, 8), 42);
+    println!("hdbscan_{}k_8d", small_n / 1000);
+    runner.bench("hdbscan", || {
+        Hdbscan::new(5, 50)
+            .fit(black_box(&small.points))
+            .clustering
+            .num_clusters()
     });
-    hgroup.finish();
+}
+
+/// The acceptance check for the observer seam: the NoopObserver path must
+/// cost the same as the plain path (empty callbacks inline to nothing).
+fn bench_noop_observer_overhead(runner: &Runner) {
+    let n = runner.size(20_000, 2_000);
+    println!("noop_observer_overhead_{}k_8d", n / 1000);
+    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(n, 8), 42);
+    let points = &ds.points;
+    let (eps, min_pts) = (5000.0, 100);
+
+    let plain = runner.bench("dbsvec_fit", || {
+        Dbsvec::new(DbsvecConfig::new(eps, min_pts))
+            .fit(black_box(points))
+            .num_clusters()
+    });
+    let observed = runner.bench("dbsvec_fit_observed_noop", || {
+        Dbsvec::new(DbsvecConfig::new(eps, min_pts))
+            .fit_observed(black_box(points), &mut NoopObserver)
+            .num_clusters()
+    });
+    println!(
+        "  noop observer overhead: {:+.2}% (target: within +/-2%)",
+        (observed / plain - 1.0) * 100.0
+    );
 }
 
 /// Ablation bench: the design choices DESIGN.md calls out.
-fn bench_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dbsvec_ablations_10k_8d");
-    group.sample_size(10);
-    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(10_000, 8), 7);
+fn bench_ablations(runner: &Runner) {
+    let n = runner.size(10_000, 2_000);
+    println!("dbsvec_ablations_{}k_8d", n / 1000);
+    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(n, 8), 7);
     let points = &ds.points;
     let (eps, min_pts) = (5000.0, 100);
 
-    group.bench_function("full", |b| {
-        b.iter(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts))
-                .fit(black_box(points))
-                .num_clusters()
-        })
+    runner.bench("full", || {
+        Dbsvec::new(DbsvecConfig::new(eps, min_pts))
+            .fit(black_box(points))
+            .num_clusters()
     });
-    group.bench_function("no_weights", |b| {
-        b.iter(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts).without_weights())
-                .fit(black_box(points))
-                .num_clusters()
-        })
+    runner.bench("no_weights", || {
+        Dbsvec::new(DbsvecConfig::new(eps, min_pts).without_weights())
+            .fit(black_box(points))
+            .num_clusters()
     });
-    group.bench_function("no_incremental", |b| {
-        b.iter(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts).without_incremental_learning())
-                .fit(black_box(points))
-                .num_clusters()
-        })
+    runner.bench("no_incremental", || {
+        Dbsvec::new(DbsvecConfig::new(eps, min_pts).without_incremental_learning())
+            .fit(black_box(points))
+            .num_clusters()
     });
-    group.bench_function("random_kernel", |b| {
-        b.iter(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_random_kernel_width(3))
-                .fit(black_box(points))
-                .num_clusters()
-        })
+    runner.bench("random_kernel", || {
+        Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_random_kernel_width(3))
+            .fit(black_box(points))
+            .num_clusters()
     });
     // Ablation of *our* substitution: literal Eq. 5 weights (O(ñ²)) vs the
     // default O(ñ) centroid proxy.
-    group.bench_function("exact_kernel_weights", |b| {
-        b.iter(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_exact_kernel_weights())
-                .fit(black_box(points))
-                .num_clusters()
-        })
+    runner.bench("exact_kernel_weights", || {
+        Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_exact_kernel_weights())
+            .fit(black_box(points))
+            .num_clusters()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_end_to_end, bench_ablations);
-criterion_main!(benches);

@@ -5,15 +5,19 @@
 //! small datasets, so the evaluation substrate must not be the bottleneck
 //! in ours.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use dbsvec_bench::micro::{black_box, Runner};
 use dbsvec_datasets::gaussian_mixture;
 use dbsvec_geometry::rng::SplitMix64;
 use dbsvec_metrics::{
     adjusted_rand_index, davies_bouldin_separation, normalized_mutual_information, recall,
     silhouette_compactness,
 };
+
+fn main() {
+    let runner = Runner::from_env("metrics");
+    bench_pair_metrics(&runner);
+    bench_internal_metrics(&runner);
+}
 
 fn random_labels(n: usize, clusters: u32, noise_pct: f64, seed: u64) -> Vec<Option<u32>> {
     let mut rng = SplitMix64::new(seed);
@@ -28,37 +32,36 @@ fn random_labels(n: usize, clusters: u32, noise_pct: f64, seed: u64) -> Vec<Opti
         .collect()
 }
 
-fn bench_pair_metrics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pair_metrics");
-    group.sample_size(10);
-    for &n in &[10_000usize, 100_000, 1_000_000] {
+fn bench_pair_metrics(runner: &Runner) {
+    println!("pair_metrics");
+    let sizes = if runner.is_quick() {
+        vec![10_000usize]
+    } else {
+        vec![10_000usize, 100_000, 1_000_000]
+    };
+    for &n in &sizes {
         let a = random_labels(n, 50, 0.05, 1);
         let b = random_labels(n, 50, 0.05, 2);
-        group.bench_with_input(BenchmarkId::new("recall", n), &n, |bench, _| {
-            bench.iter(|| recall(black_box(&a), black_box(&b)))
+        runner.bench(&format!("recall/{n}"), || {
+            recall(black_box(&a), black_box(&b))
         });
-        group.bench_with_input(BenchmarkId::new("ari", n), &n, |bench, _| {
-            bench.iter(|| adjusted_rand_index(black_box(&a), black_box(&b)))
+        runner.bench(&format!("ari/{n}"), || {
+            adjusted_rand_index(black_box(&a), black_box(&b))
         });
-        group.bench_with_input(BenchmarkId::new("nmi", n), &n, |bench, _| {
-            bench.iter(|| normalized_mutual_information(black_box(&a), black_box(&b)))
+        runner.bench(&format!("nmi/{n}"), || {
+            normalized_mutual_information(black_box(&a), black_box(&b))
         });
     }
-    group.finish();
 }
 
-fn bench_internal_metrics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("internal_metrics");
-    group.sample_size(10);
-    let ds = gaussian_mixture(2000, 8, 10, 800.0, 1e5, 3);
-    group.bench_function("silhouette_2k", |b| {
-        b.iter(|| silhouette_compactness(black_box(&ds.points), &ds.truth))
+fn bench_internal_metrics(runner: &Runner) {
+    let n = runner.size(2000, 500);
+    println!("internal_metrics (n={n})");
+    let ds = gaussian_mixture(n, 8, 10, 800.0, 1e5, 3);
+    runner.bench("silhouette", || {
+        silhouette_compactness(black_box(&ds.points), &ds.truth)
     });
-    group.bench_function("davies_bouldin_2k", |b| {
-        b.iter(|| davies_bouldin_separation(black_box(&ds.points), &ds.truth))
+    runner.bench("davies_bouldin", || {
+        davies_bouldin_separation(black_box(&ds.points), &ds.truth)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_pair_metrics, bench_internal_metrics);
-criterion_main!(benches);

@@ -5,12 +5,16 @@
 //! data: grid ≈ kd-tree ≈ R\*-tree ≪ linear scan, with build costs in the
 //! opposite order.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use dbsvec_bench::micro::{black_box, Runner};
 use dbsvec_datasets::{random_walk_clusters, RandomWalkConfig};
 use dbsvec_geometry::PointSet;
 use dbsvec_index::{BallTree, GridIndex, KdTree, LinearScan, RStarTree, RangeIndex};
+
+fn main() {
+    let runner = Runner::from_env("range_query");
+    bench_queries(&runner);
+    bench_builds(&runner);
+}
 
 fn workload(n: usize, d: usize) -> PointSet {
     random_walk_clusters(&RandomWalkConfig::paper_default(n, d), 42).points
@@ -22,91 +26,78 @@ fn queries(points: &PointSet, count: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
-fn bench_queries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("range_query");
-    group.sample_size(10);
+fn bench_queries(runner: &Runner) {
+    println!("range_query (50 queries per sample)");
     let eps = 5000.0;
-    for &n in &[10_000usize, 50_000] {
+    let sizes = if runner.is_quick() {
+        vec![2_000usize]
+    } else {
+        vec![10_000usize, 50_000]
+    };
+    for &n in &sizes {
         let points = workload(n, 8);
         let qs = queries(&points, 50);
         let mut out = Vec::new();
 
         let linear = LinearScan::build(&points);
-        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
-            b.iter(|| {
-                for q in &qs {
-                    out.clear();
-                    linear.range(black_box(q), eps, &mut out);
-                }
-                out.len()
-            })
+        runner.bench(&format!("linear/{n}"), || {
+            for q in &qs {
+                out.clear();
+                linear.range(black_box(q), eps, &mut out);
+            }
+            out.len()
         });
 
         let kd = KdTree::build(&points);
-        group.bench_with_input(BenchmarkId::new("kdtree", n), &n, |b, _| {
-            b.iter(|| {
-                for q in &qs {
-                    out.clear();
-                    kd.range(black_box(q), eps, &mut out);
-                }
-                out.len()
-            })
+        runner.bench(&format!("kdtree/{n}"), || {
+            for q in &qs {
+                out.clear();
+                kd.range(black_box(q), eps, &mut out);
+            }
+            out.len()
         });
 
         let rstar = RStarTree::build(&points);
-        group.bench_with_input(BenchmarkId::new("rstar", n), &n, |b, _| {
-            b.iter(|| {
-                for q in &qs {
-                    out.clear();
-                    rstar.range(black_box(q), eps, &mut out);
-                }
-                out.len()
-            })
+        runner.bench(&format!("rstar/{n}"), || {
+            for q in &qs {
+                out.clear();
+                rstar.range(black_box(q), eps, &mut out);
+            }
+            out.len()
         });
 
         let grid = GridIndex::build(&points, eps);
-        group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, _| {
-            b.iter(|| {
-                for q in &qs {
-                    out.clear();
-                    grid.range(black_box(q), eps, &mut out);
-                }
-                out.len()
-            })
+        runner.bench(&format!("grid/{n}"), || {
+            for q in &qs {
+                out.clear();
+                grid.range(black_box(q), eps, &mut out);
+            }
+            out.len()
         });
 
         let ball = BallTree::build(&points);
-        group.bench_with_input(BenchmarkId::new("balltree", n), &n, |b, _| {
-            b.iter(|| {
-                for q in &qs {
-                    out.clear();
-                    ball.range(black_box(q), eps, &mut out);
-                }
-                out.len()
-            })
+        runner.bench(&format!("balltree/{n}"), || {
+            for q in &qs {
+                out.clear();
+                ball.range(black_box(q), eps, &mut out);
+            }
+            out.len()
         });
     }
-    group.finish();
 }
 
-fn bench_builds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("index_build");
-    group.sample_size(10);
-    let points = workload(50_000, 8);
-    group.bench_function("kdtree", |b| {
-        b.iter(|| KdTree::build(black_box(&points)).node_count())
+fn bench_builds(runner: &Runner) {
+    let n = runner.size(50_000, 5_000);
+    println!("index_build (n={n})");
+    let points = workload(n, 8);
+    runner.bench("kdtree", || KdTree::build(black_box(&points)).node_count());
+    runner.bench("rstar_bulk", || {
+        RStarTree::build(black_box(&points)).height()
     });
-    group.bench_function("rstar_bulk", |b| {
-        b.iter(|| RStarTree::build(black_box(&points)).height())
+    runner.bench("grid", || {
+        GridIndex::build(black_box(&points), 5000.0).occupied_cells()
     });
-    group.bench_function("grid", |b| {
-        b.iter(|| GridIndex::build(black_box(&points), 5000.0).occupied_cells())
+    runner.bench("balltree", || {
+        BallTree::build(black_box(&points)).node_count()
     });
-    group.bench_function("balltree", |b| {
-        b.iter(|| BallTree::build(black_box(&points)).node_count())
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_queries, bench_builds);
-criterion_main!(benches);

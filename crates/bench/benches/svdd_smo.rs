@@ -5,9 +5,7 @@
 //! small, and the O(ñ) weight proxy should beat the exact O(ñ²) Eq. 5
 //! kernel distance by a widening margin.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use dbsvec_bench::micro::{black_box, Runner};
 use dbsvec_datasets::gaussian_mixture;
 use dbsvec_geometry::{PointId, PointSet};
 use dbsvec_svdd::{
@@ -15,82 +13,85 @@ use dbsvec_svdd::{
     GaussianKernel, SvddProblem, WeightOptions,
 };
 
+fn main() {
+    let runner = Runner::from_env("svdd_smo");
+    bench_smo(&runner);
+    bench_weights(&runner);
+    bench_kernel_distance(&runner);
+}
+
 fn target(n: usize) -> (PointSet, Vec<PointId>) {
     let ds = gaussian_mixture(n, 8, 1, 1000.0, 1e5, 7);
     (ds.points, (0..n as u32).collect())
 }
 
-fn bench_smo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("smo_solve");
-    group.sample_size(10);
-    for &n in &[200usize, 800, 3200] {
+fn bench_smo(runner: &Runner) {
+    println!("smo_solve");
+    let sizes = if runner.is_quick() {
+        vec![200usize]
+    } else {
+        vec![200usize, 800, 3200]
+    };
+    for &n in &sizes {
         let (points, ids) = target(n);
         let sigma = kernel_width_center_radius(&points, &ids);
         let kernel = GaussianKernel::from_width(sigma);
-        group.bench_with_input(BenchmarkId::new("nu_small", n), &n, |b, _| {
-            b.iter(|| {
-                SvddProblem::new(black_box(&points), &ids, kernel)
-                    .with_nu(0.05)
-                    .solve()
-                    .num_support_vectors()
-            })
+        runner.bench(&format!("nu_small/{n}"), || {
+            SvddProblem::new(black_box(&points), &ids, kernel)
+                .with_nu(0.05)
+                .solve()
+                .num_support_vectors()
         });
-        group.bench_with_input(BenchmarkId::new("nu_large", n), &n, |b, _| {
-            b.iter(|| {
-                SvddProblem::new(black_box(&points), &ids, kernel)
-                    .with_nu(0.5)
-                    .solve()
-                    .num_support_vectors()
-            })
+        runner.bench(&format!("nu_large/{n}"), || {
+            SvddProblem::new(black_box(&points), &ids, kernel)
+                .with_nu(0.5)
+                .solve()
+                .num_support_vectors()
         });
     }
-    group.finish();
 }
 
-fn bench_weights(c: &mut Criterion) {
-    let mut group = c.benchmark_group("penalty_weights");
-    group.sample_size(10);
-    for &n in &[500usize, 2000] {
+fn bench_weights(runner: &Runner) {
+    println!("penalty_weights");
+    let sizes = if runner.is_quick() {
+        vec![500usize]
+    } else {
+        vec![500usize, 2000]
+    };
+    for &n in &sizes {
         let (points, ids) = target(n);
         let kernel = GaussianKernel::from_width(kernel_width_center_radius(&points, &ids));
         let counts = vec![0u32; n];
-        group.bench_with_input(BenchmarkId::new("proxy_linear", n), &n, |b, _| {
-            b.iter(|| {
-                penalty_weights(
-                    black_box(&points),
-                    &ids,
-                    &counts,
-                    kernel,
-                    1.0,
-                    WeightOptions::default(),
-                )
-                .len()
-            })
+        runner.bench(&format!("proxy_linear/{n}"), || {
+            penalty_weights(
+                black_box(&points),
+                &ids,
+                &counts,
+                kernel,
+                1.0,
+                WeightOptions::default(),
+            )
+            .len()
         });
-        group.bench_with_input(BenchmarkId::new("exact_quadratic", n), &n, |b, _| {
-            let opts = WeightOptions {
-                exact_kernel_distance: true,
-                ..Default::default()
-            };
-            b.iter(|| penalty_weights(black_box(&points), &ids, &counts, kernel, 1.0, opts).len())
+        let opts = WeightOptions {
+            exact_kernel_distance: true,
+            ..Default::default()
+        };
+        runner.bench(&format!("exact_quadratic/{n}"), || {
+            penalty_weights(black_box(&points), &ids, &counts, kernel, 1.0, opts).len()
         });
     }
-    group.finish();
 }
 
-fn bench_kernel_distance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel_distance");
-    group.sample_size(10);
-    let (points, ids) = target(1000);
+fn bench_kernel_distance(runner: &Runner) {
+    let n = runner.size(1000, 300);
+    println!("kernel_distance (n={n})");
+    let (points, ids) = target(n);
     let kernel = GaussianKernel::from_width(kernel_width_center_radius(&points, &ids));
-    group.bench_function("exact_eq5", |b| {
-        b.iter(|| kernel_distances(black_box(&points), &ids, kernel).len())
+    runner.bench("exact_eq5", || {
+        kernel_distances(black_box(&points), &ids, kernel).len()
     });
-    group.bench_function("centroid_proxy", |b| {
-        b.iter(|| centroid_distances(black_box(&points), &ids).len())
+    runner.bench("centroid_proxy", || {
+        centroid_distances(black_box(&points), &ids).len()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_smo, bench_weights, bench_kernel_distance);
-criterion_main!(benches);

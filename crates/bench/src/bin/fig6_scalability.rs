@@ -17,7 +17,7 @@ use std::collections::HashSet;
 use std::time::Duration;
 
 use dbsvec_bench::harness::{fmt_secs, Stopwatch};
-use dbsvec_bench::{parse_args, run_algorithm, Algorithm, BenchArgs};
+use dbsvec_bench::{parse_args, run_algorithm_profiled, Algorithm, BenchArgs, JsonReport};
 use dbsvec_datasets::{random_walk_clusters, OpenDataset, RandomWalkConfig};
 use dbsvec_geometry::PointSet;
 
@@ -27,26 +27,29 @@ const MIN_PTS: usize = 100;
 fn main() {
     let args = parse_args();
     let which = args.free.first().map(String::as_str).unwrap_or("all");
+    let mut report = JsonReport::new("fig6_scalability");
     match which {
-        "cardinality" => cardinality(&args),
-        "dimensionality" => dimensionality(&args),
-        "realworld" => realworld(&args),
+        "cardinality" => cardinality(&args, &mut report),
+        "dimensionality" => dimensionality(&args, &mut report),
+        "realworld" => realworld(&args, &mut report),
         "all" => {
-            cardinality(&args);
+            cardinality(&args, &mut report);
             println!();
-            dimensionality(&args);
+            dimensionality(&args, &mut report);
             println!();
-            realworld(&args);
+            realworld(&args, &mut report);
         }
         other => {
             eprintln!("unknown subcommand {other}; use cardinality|dimensionality|realworld|all");
             std::process::exit(2);
         }
     }
+    report.write_if_requested(&args);
 }
 
 /// Runs the full suite over one dataset, skipping algorithms that already
 /// blew the per-run cap at a smaller workload.
+#[allow(clippy::too_many_arguments)]
 fn run_suite(
     points: &PointSet,
     eps: f64,
@@ -54,18 +57,23 @@ fn run_suite(
     seed: u64,
     timed_out: &mut HashSet<String>,
     per_run_cap: f64,
+    report: &mut JsonReport,
+    group: &str,
+    x: f64,
 ) -> Vec<(String, Option<f64>)> {
     let mut rows = Vec::new();
     for algo in Algorithm::efficiency_suite(10) {
         let name = algo.name();
         if timed_out.contains(&name) {
+            report.push_skipped(group, x, &name, "timeout");
             rows.push((name, Some(f64::INFINITY)));
             continue;
         }
-        let out = run_algorithm(algo, points, eps, min_pts, seed);
+        let out = run_algorithm_profiled(algo, points, eps, min_pts, seed);
         if out.seconds > per_run_cap {
             timed_out.insert(name.clone());
         }
+        report.push(group, x, &out);
         rows.push((name, Some(out.seconds)));
     }
     rows
@@ -79,7 +87,7 @@ fn header(label: &str) {
     println!();
 }
 
-fn cardinality(args: &BenchArgs) {
+fn cardinality(args: &BenchArgs, report: &mut JsonReport) {
     println!(
         "Fig. 6a: runtime vs cardinality (d=8 synthetic, eps={EPS}, MinPts={MIN_PTS}, scale={})",
         args.scale
@@ -115,6 +123,9 @@ fn cardinality(args: &BenchArgs) {
             args.seed,
             &mut timed_out,
             per_run_cap,
+            report,
+            "cardinality",
+            n as f64,
         );
         print!("{n:>12}");
         for (_, secs) in rows {
@@ -125,7 +136,7 @@ fn cardinality(args: &BenchArgs) {
     println!("paper shape: DBSVEC grows ~linearly and stays fastest; R/kd-DBSCAN blow up first");
 }
 
-fn dimensionality(args: &BenchArgs) {
+fn dimensionality(args: &BenchArgs, report: &mut JsonReport) {
     let n = ((2_000_000f64 * args.scale) as usize).max(2_000);
     println!("Fig. 6 (dimensionality): runtime vs d (n={n}, eps={EPS}, MinPts={MIN_PTS})");
     let stopwatch = Stopwatch::with_budget(Duration::from_secs_f64(args.budget_secs));
@@ -146,6 +157,9 @@ fn dimensionality(args: &BenchArgs) {
             args.seed,
             &mut timed_out,
             per_run_cap,
+            report,
+            "dimensionality",
+            d as f64,
         );
         print!("{d:>12}");
         for (_, secs) in rows {
@@ -156,7 +170,7 @@ fn dimensionality(args: &BenchArgs) {
     println!("paper shape: rho-Appr deteriorates rapidly with d; DBSVEC grows ~linearly");
 }
 
-fn realworld(args: &BenchArgs) {
+fn realworld(args: &BenchArgs, report: &mut JsonReport) {
     // The paper's protocol (§V-C): coordinates normalized to [0, 10^5],
     // eps = 5000 and MinPts = 100 by default. MinPts shrinks with the
     // subsampling scale so the density threshold stays proportionate.
@@ -183,6 +197,9 @@ fn realworld(args: &BenchArgs) {
             args.seed,
             &mut timed_out,
             per_run_cap,
+            report,
+            "realworld",
+            standin.dataset.points.len() as f64,
         );
         print!("{:>12}", standin.name);
         for (_, secs) in rows {

@@ -22,7 +22,10 @@
 //! once a sweep's time budget is spent.
 
 pub mod harness;
+pub mod micro;
 pub mod runners;
 
-pub use harness::{parse_args, BenchArgs, Stopwatch};
-pub use runners::{run_algorithm, Algorithm, RunOutcome};
+pub use harness::{parse_args, BenchArgs, JsonReport, Stopwatch};
+pub use runners::{
+    run_algorithm, run_algorithm_observed, run_algorithm_profiled, Algorithm, RunOutcome,
+};

@@ -1,0 +1,111 @@
+//! A tiny microbenchmark runner for the `benches/` targets.
+//!
+//! The workspace builds offline with no external dependencies, so this
+//! replaces criterion with the minimum that matters here: warm up once,
+//! time a handful of samples, print best/mean per row. Two modes:
+//!
+//! * **quick** (the default, and what `cargo test` exercises): shrunken
+//!   workloads and few samples, so every bench target doubles as a smoke
+//!   test that finishes in seconds;
+//! * **full** (`--full` or `MICROBENCH_FULL=1`, e.g.
+//!   `cargo bench --bench clustering -- --full`): the real workloads.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Sample-count and workload-size policy for one bench binary.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    samples: usize,
+    quick: bool,
+}
+
+impl Runner {
+    /// Reads the mode from `--full` / `MICROBENCH_FULL` and prints a
+    /// header line saying which mode is active.
+    pub fn from_env(name: &str) -> Self {
+        let full = std::env::var_os("MICROBENCH_FULL").is_some()
+            || std::env::args().any(|a| a == "--full");
+        let runner = Self {
+            samples: if full { 10 } else { 2 },
+            quick: !full,
+        };
+        println!(
+            "microbench {name} [{} mode, {} samples/row]",
+            if full { "full" } else { "quick" },
+            runner.samples
+        );
+        runner
+    }
+
+    /// Picks a workload size: `full` normally, `quick` in quick mode.
+    pub fn size(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// Whether the shrunken quick mode is active.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Times `f` (one warmup + `samples` timed calls), prints a row, and
+    /// returns the best observed seconds.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> f64 {
+        black_box(f());
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let secs = start.elapsed().as_secs_f64();
+            best = best.min(secs);
+            total += secs;
+        }
+        println!(
+            "  {name:<44} best {:>12}  mean {:>12}",
+            fmt_time(best),
+            fmt_time(total / self.samples as f64)
+        );
+        best
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else {
+        format!("{:.1}us", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_best_sample() {
+        let runner = Runner {
+            samples: 3,
+            quick: true,
+        };
+        let mut calls = 0;
+        let best = runner.bench("noop", || calls += 1);
+        assert_eq!(calls, 4); // 1 warmup + 3 samples
+        assert!(best >= 0.0 && best.is_finite());
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(fmt_time(2.5), "2.500s");
+        assert_eq!(fmt_time(0.0125), "12.500ms");
+        assert_eq!(fmt_time(42e-6), "42.0us");
+    }
+}

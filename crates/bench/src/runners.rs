@@ -4,6 +4,7 @@ use dbsvec_baselines::{Dbscan, DbscanLsh, KMeans, NqDbscan, RhoApproxDbscan};
 use dbsvec_core::{Clustering, Dbsvec, DbsvecConfig};
 use dbsvec_geometry::PointSet;
 use dbsvec_index::KdTree;
+use dbsvec_obs::{NoopObserver, Observer, Phase, PhaseTimings, RecordingObserver, ReplayCounts};
 
 use crate::harness::time;
 
@@ -67,6 +68,15 @@ impl Algorithm {
             Algorithm::Dbsvec,
         ]
     }
+
+    /// Whether this algorithm emits observer spans/events, i.e. whether a
+    /// profiled run yields phase timings and a comparable θ.
+    pub fn is_instrumented(&self) -> bool {
+        !matches!(
+            self,
+            Algorithm::RhoApprox | Algorithm::DbscanLsh | Algorithm::KMeans(_)
+        )
+    }
 }
 
 /// Outcome of one timed run.
@@ -78,6 +88,85 @@ pub struct RunOutcome {
     pub clustering: Clustering,
     /// Wall-clock seconds.
     pub seconds: f64,
+    /// Per-phase wall-clock breakdown, in [`Phase::ALL`] order. Empty
+    /// unless the run was profiled ([`run_algorithm_profiled`]) and the
+    /// algorithm [is instrumented](Algorithm::is_instrumented).
+    pub phases: Vec<(Phase, PhaseTimings)>,
+    /// Event counters replayed from the observer stream (range queries,
+    /// SVDD trainings, …). All-zero unless the run was profiled.
+    pub counts: ReplayCounts,
+}
+
+impl RunOutcome {
+    /// θ = range queries / n from the replayed counters, if profiled.
+    pub fn theta(&self) -> Option<f64> {
+        if self.counts.range_queries > 0 {
+            Some(self.counts.theta(self.clustering.len()))
+        } else {
+            None
+        }
+    }
+}
+
+/// The single dispatch point: runs `algorithm` once, reporting spans and
+/// events to `obs` where the implementation is instrumented.
+fn fit_once(
+    algorithm: Algorithm,
+    points: &PointSet,
+    eps: f64,
+    min_pts: usize,
+    seed: u64,
+    obs: &mut dyn Observer,
+) -> Clustering {
+    match algorithm {
+        Algorithm::Dbsvec => Dbsvec::new(DbsvecConfig::new(eps, min_pts))
+            .fit_observed(points, obs)
+            .into_labels(),
+        Algorithm::DbsvecMin => Dbsvec::new(DbsvecConfig::new(eps, min_pts).minimal_nu())
+            .fit_observed(points, obs)
+            .into_labels(),
+        Algorithm::DbsvecFixedNu(nu) => Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_nu(nu))
+            .fit_observed(points, obs)
+            .into_labels(),
+        Algorithm::DbsvecNoWeights => {
+            Dbsvec::new(DbsvecConfig::new(eps, min_pts).without_weights())
+                .fit_observed(points, obs)
+                .into_labels()
+        }
+        Algorithm::DbsvecNoIncremental => {
+            Dbsvec::new(DbsvecConfig::new(eps, min_pts).without_incremental_learning())
+                .fit_observed(points, obs)
+                .into_labels()
+        }
+        Algorithm::DbsvecRandomKernel => {
+            Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_random_kernel_width(seed))
+                .fit_observed(points, obs)
+                .into_labels()
+        }
+        Algorithm::RDbscan => {
+            Dbscan::new(eps, min_pts)
+                .fit_observed(points, obs)
+                .clustering
+        }
+        Algorithm::KdDbscan => {
+            let index = KdTree::build(points);
+            Dbscan::new(eps, min_pts)
+                .fit_with_index_observed(points, &index, obs)
+                .clustering
+        }
+        Algorithm::RhoApprox => {
+            RhoApproxDbscan::new(eps, min_pts, 0.001)
+                .fit(points)
+                .clustering
+        }
+        Algorithm::DbscanLsh => DbscanLsh::new(eps, min_pts, seed).fit(points).clustering,
+        Algorithm::NqDbscan => {
+            NqDbscan::new(eps, min_pts)
+                .fit_observed(points, obs)
+                .clustering
+        }
+        Algorithm::KMeans(k) => KMeans::new(k, seed).fit(points).clustering,
+    }
 }
 
 /// Runs one algorithm on `points` with the given DBSCAN-style parameters,
@@ -89,58 +178,45 @@ pub fn run_algorithm(
     min_pts: usize,
     seed: u64,
 ) -> RunOutcome {
-    let (clustering, seconds) = match algorithm {
-        Algorithm::Dbsvec => time(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts))
-                .fit(points)
-                .into_labels()
-        }),
-        Algorithm::DbsvecMin => time(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts).minimal_nu())
-                .fit(points)
-                .into_labels()
-        }),
-        Algorithm::DbsvecFixedNu(nu) => time(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_nu(nu))
-                .fit(points)
-                .into_labels()
-        }),
-        Algorithm::DbsvecNoWeights => time(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts).without_weights())
-                .fit(points)
-                .into_labels()
-        }),
-        Algorithm::DbsvecNoIncremental => time(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts).without_incremental_learning())
-                .fit(points)
-                .into_labels()
-        }),
-        Algorithm::DbsvecRandomKernel => time(|| {
-            Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_random_kernel_width(seed))
-                .fit(points)
-                .into_labels()
-        }),
-        Algorithm::RDbscan => time(|| Dbscan::new(eps, min_pts).fit(points).clustering),
-        Algorithm::KdDbscan => time(|| {
-            let index = KdTree::build(points);
-            Dbscan::new(eps, min_pts)
-                .fit_with_index(points, &index)
-                .clustering
-        }),
-        Algorithm::RhoApprox => time(|| {
-            RhoApproxDbscan::new(eps, min_pts, 0.001)
-                .fit(points)
-                .clustering
-        }),
-        Algorithm::DbscanLsh => time(|| DbscanLsh::new(eps, min_pts, seed).fit(points).clustering),
-        Algorithm::NqDbscan => time(|| NqDbscan::new(eps, min_pts).fit(points).clustering),
-        Algorithm::KMeans(k) => time(|| KMeans::new(k, seed).fit(points).clustering),
-    };
+    run_algorithm_observed(algorithm, points, eps, min_pts, seed, &mut NoopObserver)
+}
+
+/// Like [`run_algorithm`] but reports to a caller-supplied observer.
+/// `phases`/`counts` in the outcome stay empty — the caller owns the
+/// observer and can fold the stream however it likes.
+pub fn run_algorithm_observed(
+    algorithm: Algorithm,
+    points: &PointSet,
+    eps: f64,
+    min_pts: usize,
+    seed: u64,
+    obs: &mut dyn Observer,
+) -> RunOutcome {
+    let (clustering, seconds) = time(|| fit_once(algorithm, points, eps, min_pts, seed, obs));
     RunOutcome {
         algorithm,
         clustering,
         seconds,
+        phases: Vec::new(),
+        counts: ReplayCounts::default(),
     }
+}
+
+/// Runs with a [`RecordingObserver`] attached and folds its stream into
+/// the outcome: per-phase timings plus replayed event counters. For
+/// uninstrumented algorithms this costs nothing and the extras stay empty.
+pub fn run_algorithm_profiled(
+    algorithm: Algorithm,
+    points: &PointSet,
+    eps: f64,
+    min_pts: usize,
+    seed: u64,
+) -> RunOutcome {
+    let mut recorder = RecordingObserver::new();
+    let mut outcome = run_algorithm_observed(algorithm, points, eps, min_pts, seed, &mut recorder);
+    outcome.phases = recorder.phase_timings();
+    outcome.counts = recorder.replay();
+    outcome
 }
 
 #[cfg(test)]
@@ -189,6 +265,32 @@ mod tests {
         assert_eq!(Algorithm::RhoApprox.name(), "rho-Appr");
         assert_eq!(Algorithm::KMeans(5).name(), "k-MEANS");
         assert_eq!(Algorithm::DbsvecNoWeights.name(), "DBSVEC\\WF");
+    }
+
+    #[test]
+    fn profiled_run_folds_phase_timings_and_counters() {
+        let ps = blobs();
+        let out = run_algorithm_profiled(Algorithm::Dbsvec, &ps, 2.0, 4, 7);
+        assert!(!out.phases.is_empty());
+        assert!(out.counts.range_queries > 0);
+        assert!(out.counts.seeds > 0);
+        let theta = out.theta().expect("instrumented run has a theta");
+        assert!(theta > 0.0);
+        // Phase totals are sane: the init span covers the whole scan.
+        let init = out
+            .phases
+            .iter()
+            .find(|(p, _)| *p == Phase::Init)
+            .expect("init phase recorded");
+        assert!(init.1.spans >= 1);
+
+        // Uninstrumented algorithms profile to an empty stream.
+        let kmeans = run_algorithm_profiled(Algorithm::KMeans(2), &ps, 2.0, 4, 7);
+        assert!(kmeans.phases.is_empty());
+        assert_eq!(kmeans.counts, ReplayCounts::default());
+        assert!(kmeans.theta().is_none());
+        assert!(!Algorithm::KMeans(2).is_instrumented());
+        assert!(Algorithm::Dbsvec.is_instrumented());
     }
 
     #[test]

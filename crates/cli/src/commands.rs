@@ -18,6 +18,7 @@ use dbsvec_datasets::{
 use dbsvec_geometry::PointSet;
 use dbsvec_index::{k_distance_profile, knee_epsilon, KdTree};
 use dbsvec_metrics::{adjusted_rand_index, recall};
+use dbsvec_obs::{JsonlSink, NoopObserver, Observer, ProfileReport, RecordingObserver, Tee};
 
 use crate::args::ParsedArgs;
 use crate::CliError;
@@ -81,16 +82,46 @@ pub fn cluster(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "k",
         "min-cluster-size",
         "stats",
+        "trace",
+        "profile",
         "help",
     ])?;
     let (points, eps, min_pts) = load_with_params(args, out)?;
     let seed: u64 = args.get_or("seed", 20190401)?;
     let algorithm = args.get("algorithm").unwrap_or("dbsvec");
 
+    // Observability: --profile records in memory, --trace streams JSONL;
+    // both can be active at once (the Tee fans out). Only the algorithms
+    // with observed entry points (dbsvec variants, dbscan family,
+    // nq-dbscan) report into it.
+    let profile = args.has_switch("profile");
+    let mut sink = match args.get("trace") {
+        Some(path) => Some(JsonlSink::new(std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .map_err(|e| CliError(format!("cannot create trace file {path}: {e}")))?,
+        ))),
+        None => None,
+    };
+    let observing = profile || sink.is_some();
+    let observable = matches!(
+        algorithm,
+        "dbsvec" | "dbsvec-min" | "dbscan" | "kd-dbscan" | "nq-dbscan"
+    );
+    if observing && !observable {
+        writeln!(
+            out,
+            "note: --trace/--profile are not instrumented for {algorithm}; running unobserved"
+        )?;
+    }
+    let mut recorder = RecordingObserver::new();
+    let mut noop = NoopObserver;
+    let mut tee = Tee(&mut recorder, &mut sink);
+    let obs: &mut dyn Observer = if observing { &mut tee } else { &mut noop };
+
     let start = Instant::now();
     let (clustering, stats_line) = match algorithm {
         "dbsvec" => {
-            let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit(&points);
+            let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit_observed(&points, obs);
             let s = *result.stats();
             (
                 result.into_labels(),
@@ -104,7 +135,8 @@ pub fn cluster(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             )
         }
         "dbsvec-min" => {
-            let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts).minimal_nu()).fit(&points);
+            let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts).minimal_nu())
+                .fit_observed(&points, obs);
             let s = *result.stats();
             (
                 result.into_labels(),
@@ -115,12 +147,17 @@ pub fn cluster(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
                 )),
             )
         }
-        "dbscan" => (Dbscan::new(eps, min_pts).fit(&points).clustering, None),
+        "dbscan" => (
+            Dbscan::new(eps, min_pts)
+                .fit_observed(&points, obs)
+                .clustering,
+            None,
+        ),
         "kd-dbscan" => {
             let index = KdTree::build(&points);
             (
                 Dbscan::new(eps, min_pts)
-                    .fit_with_index(&points, &index)
+                    .fit_with_index_observed(&points, &index, obs)
                     .clustering,
                 None,
             )
@@ -139,7 +176,12 @@ pub fn cluster(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             DbscanLsh::new(eps, min_pts, seed).fit(&points).clustering,
             None,
         ),
-        "nq-dbscan" => (NqDbscan::new(eps, min_pts).fit(&points).clustering, None),
+        "nq-dbscan" => (
+            NqDbscan::new(eps, min_pts)
+                .fit_observed(&points, obs)
+                .clustering,
+            None,
+        ),
         "fdbscan" => (FDbscan::new(eps, min_pts).fit(&points).clustering, None),
         "kmeans" => {
             let k: usize = args.get_or("k", 8)?;
@@ -166,6 +208,20 @@ pub fn cluster(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         if let Some(line) = stats_line {
             writeln!(out, "cost: {line}")?;
         }
+    }
+    if profile && observable {
+        writeln!(out, "\nprofile:")?;
+        writeln!(
+            out,
+            "{}",
+            ProfileReport::from_recording(&recorder, points.len())
+        )?;
+    }
+    if let Some(sink) = sink.take() {
+        let path = args.get("trace").expect("sink implies --trace");
+        sink.finish()
+            .map_err(|e| CliError(format!("writing trace file {path}: {e}")))?;
+        writeln!(out, "trace written to {path}")?;
     }
 
     if let Some(output) = args.get("output") {
@@ -389,6 +445,67 @@ mod tests {
             assert!(text.contains(algo), "{algo} summary missing: {text}");
         }
         std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn profile_and_trace_outputs() {
+        let data = tempfile("obs.csv");
+        let trace = tempfile("obs.jsonl");
+        let data_s = data.to_str().unwrap();
+        let trace_s = trace.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "400",
+            "--output",
+            data_s,
+        ]);
+
+        let text = run_ok(&[
+            "cluster",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--profile",
+            "--trace",
+            trace_s,
+        ]);
+        assert!(text.contains("profile:"), "missing profile table: {text}");
+        for phase in ["init", "sv_expand", "svdd_train", "merge", "noise_verify"] {
+            assert!(text.contains(phase), "missing {phase} row: {text}");
+        }
+        assert!(text.contains("theta = "), "missing theta line: {text}");
+        assert!(
+            text.contains("trace written to"),
+            "missing trace note: {text}"
+        );
+
+        // Every trace line parses, and the replayed counters are sane.
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        let counts = dbsvec_obs::ReplayCounts::from_jsonl(&trace_text).unwrap();
+        assert!(counts.range_queries > 0);
+        assert!(counts.seeds > 0);
+
+        // Un-instrumented algorithms degrade gracefully.
+        let text = run_ok(&[
+            "cluster",
+            "--input",
+            data_s,
+            "--algorithm",
+            "kmeans",
+            "--eps",
+            "0.15",
+            "--profile",
+        ]);
+        assert!(text.contains("running unobserved"), "got: {text}");
+
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]

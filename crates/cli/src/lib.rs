@@ -51,6 +51,7 @@ dbsvec-cli — density-based clustering using support vector expansion (ICDE 201
 USAGE:
   dbsvec-cli cluster  --input points.csv [--algorithm NAME] [--eps F] [--min-pts N]
                   [--output labels.csv] [--svg plot.svg] [--seed N] [--stats]
+                  [--profile] [--trace out.jsonl]
   dbsvec-cli compare  --input points.csv [--eps F] [--min-pts N] [--seed N]
   dbsvec-cli generate --dataset NAME [--n N] [--dims D] [--seed N] --output file.csv
   dbsvec-cli suggest  --input points.csv [--min-pts N]
@@ -65,6 +66,10 @@ DATASETS (for --dataset):
 
 Omitting --eps derives it from the k-distance knee (Schubert et al. 2017);
 omitting --min-pts uses a cardinality-based default.
+
+OBSERVABILITY (cluster only; dbsvec, dbsvec-min, dbscan, kd-dbscan, nq-dbscan):
+  --profile           print a per-phase wall-clock + theta breakdown after the run
+  --trace out.jsonl   stream every phase span and event as one JSON object per line
 ";
 
 /// Entry point shared by the binary and the tests: parses `tokens`

@@ -2,6 +2,7 @@
 
 use dbsvec_geometry::{PointId, PointSet};
 use dbsvec_index::{RStarTree, RangeIndex};
+use dbsvec_obs::{Event, NoopObserver, Observer, Phase};
 
 use crate::config::DbsvecConfig;
 use crate::expand::sv_expand_cluster;
@@ -67,6 +68,12 @@ impl DbsvecResult {
     /// point's neighborhood — so they are exactly what
     /// [`crate::predict::ClusterModel`] needs for out-of-sample
     /// classification.
+    pub fn core_points(&self) -> &[PointId] {
+        &self.core_points
+    }
+
+    /// Owned copy of [`DbsvecResult::core_points`].
+    #[deprecated(since = "0.1.0", note = "use the borrowing `core_points` instead")]
     pub fn core_point_ids(&self) -> Vec<PointId> {
         self.core_points.clone()
     }
@@ -86,8 +93,13 @@ impl Dbsvec {
     /// Clusters `points`, building a bulk-loaded R\*-tree for the range
     /// queries (the paper's default substrate).
     pub fn fit(&self, points: &PointSet) -> DbsvecResult {
+        self.fit_observed(points, &mut NoopObserver)
+    }
+
+    /// [`Dbsvec::fit`] with an observer receiving phase spans and events.
+    pub fn fit_observed(&self, points: &PointSet, obs: &mut dyn Observer) -> DbsvecResult {
         let index = RStarTree::build(points);
-        self.fit_with_index(points, &index)
+        self.fit_with_index_observed(points, &index, obs)
     }
 
     /// Clusters `points` using a caller-provided range-query engine. The
@@ -97,6 +109,20 @@ impl Dbsvec {
     ///
     /// Panics if the index size disagrees with the point set.
     pub fn fit_with_index<I: RangeIndex>(&self, points: &PointSet, index: &I) -> DbsvecResult {
+        self.fit_with_index_observed(points, index, &mut NoopObserver)
+    }
+
+    /// [`Dbsvec::fit_with_index`] with an observer. The observer sees five
+    /// phases (`init` ⊃ `sv_expand` ⊃ `svdd_train`, then `noise_verify`,
+    /// then `merge` for finalization) and one typed event per statistics
+    /// increment, so a recorded stream replays to exactly the returned
+    /// [`DbsvecStats`] (see `dbsvec-obs`'s `ReplayCounts`).
+    pub fn fit_with_index_observed<I: RangeIndex>(
+        &self,
+        points: &PointSet,
+        index: &I,
+        obs: &mut dyn Observer,
+    ) -> DbsvecResult {
         assert_eq!(
             index.len(),
             points.len(),
@@ -104,9 +130,10 @@ impl Dbsvec {
             index.len(),
             points.len()
         );
-        let mut state = RunState::new(points, index, &self.config);
+        let mut state = RunState::new(points, index, &self.config, obs);
 
         // ---- Initialization + expansion (Algorithm 2 lines 2–12).
+        state.obs.span_enter(Phase::Init);
         let mut neighborhood: Vec<PointId> = Vec::new();
         for i in 0..points.len() as u32 {
             if !state.labels.is_unclassified(i) {
@@ -123,6 +150,10 @@ impl Dbsvec {
 
             // Seed a new sub-cluster from the ε-neighborhood (Corollary 1).
             state.stats.seeds += 1;
+            state.obs.event(&Event::Seed {
+                point: i,
+                neighborhood_len: neighborhood.len(),
+            });
             let raw_cid = state.uf.make_set();
             state.labels.set_cluster(i, raw_cid);
             let mut members = vec![i];
@@ -137,16 +168,19 @@ impl Dbsvec {
             // ---- Support vector expansion (Algorithm 3).
             sv_expand_cluster(&mut state, raw_cid, members);
         }
+        state.obs.span_exit(Phase::Init);
 
         // ---- Noise verification (Algorithm 2 line 16).
         verify_noise(&mut state);
 
         // ---- Finalize: resolve merges, compact cluster ids.
+        state.obs.span_enter(Phase::Merge);
         let RunState {
             labels,
             mut uf,
             stats,
             core_status,
+            obs,
             ..
         } = state;
         let core_points: Vec<PointId> = core_status
@@ -157,6 +191,7 @@ impl Dbsvec {
             .collect();
         let (compact, _) = uf.compact_labels();
         let clustering = labels.finalize(|raw| compact[raw as usize]);
+        obs.span_exit(Phase::Merge);
         DbsvecResult {
             clustering,
             stats,

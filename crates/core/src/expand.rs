@@ -16,6 +16,7 @@
 
 use dbsvec_geometry::PointId;
 use dbsvec_index::RangeIndex;
+use dbsvec_obs::{Event, Phase};
 use dbsvec_svdd::{
     params::nu_to_c, penalty_weights, GaussianKernel, IncrementalTarget, SvddProblem,
 };
@@ -38,18 +39,33 @@ pub(crate) fn sv_expand_cluster<I: RangeIndex>(
     let mut target = IncrementalTarget::new(threshold);
     target.add_new(&initial_members);
 
+    state.obs.span_enter(Phase::SvExpand);
     let mut neighborhood: Vec<PointId> = Vec::new();
+    let mut round = 0usize;
     while !target.is_empty() {
+        round += 1;
+        let target_size = target.len();
         state.stats.expansion_rounds += 1;
-        state.stats.max_target_size = state.stats.max_target_size.max(target.len());
+        state.stats.max_target_size = state.stats.max_target_size.max(target_size);
 
+        state.obs.span_enter(Phase::SvddTrain);
         let model = train_svdd(state, &target);
+        state.obs.span_exit(Phase::SvddTrain);
         state.stats.svdd_trainings += 1;
         state.stats.smo_iterations += model.iterations() as u64;
+        let (cache_hits, cache_misses) = model.cache_stats();
+        state.obs.event(&Event::SmoSolve {
+            target_size,
+            iterations: model.iterations(),
+            cache_hits,
+            cache_misses,
+        });
         let support_vectors = model.support_vectors();
         state.stats.support_vectors += support_vectors.len() as u64;
         target.after_training();
 
+        let n_sv = support_vectors.len();
+        let mut n_core_sv = 0usize;
         let mut newly_added: Vec<PointId> = Vec::new();
         for sv in support_vectors {
             if state.queried[sv as usize] {
@@ -62,6 +78,7 @@ pub(crate) fn sv_expand_cluster<I: RangeIndex>(
                 continue; // non-core support vector: cannot expand (Def. 6)
             }
             state.stats.core_support_vectors += 1;
+            n_core_sv += 1;
             // The borrow checker cannot see that `absorb_or_merge` leaves
             // `neighborhood` alone, so iterate by index over a swap.
             let neigh = std::mem::take(&mut neighborhood);
@@ -71,6 +88,15 @@ pub(crate) fn sv_expand_cluster<I: RangeIndex>(
             neighborhood = neigh;
         }
 
+        state.obs.event(&Event::ExpansionRound {
+            cluster: raw_cid,
+            round,
+            target_size,
+            n_sv,
+            n_core_sv,
+            smo_iters: model.iterations(),
+        });
+
         if newly_added.is_empty() {
             // Nothing new: the surviving target points were already trained
             // on, so another round would reproduce the same support vectors.
@@ -78,6 +104,7 @@ pub(crate) fn sv_expand_cluster<I: RangeIndex>(
         }
         target.add_new(&newly_added);
     }
+    state.obs.span_exit(Phase::SvExpand);
 }
 
 /// Trains one SVDD model over the current target set, honoring the

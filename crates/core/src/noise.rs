@@ -13,11 +13,13 @@
 //! memoized core tests, matching the §III-D cost model.
 
 use dbsvec_index::RangeIndex;
+use dbsvec_obs::{Event, Phase};
 
 use crate::runner::RunState;
 
 /// Resolves every entry of the potential-noise list.
 pub(crate) fn verify_noise<I: RangeIndex>(state: &mut RunState<'_, I>) {
+    state.obs.span_enter(Phase::NoiseVerify);
     let noise_list = std::mem::take(&mut state.noise_list);
     for (i, neighborhood) in &noise_list {
         if !state.labels.is_noise(*i) {
@@ -50,6 +52,11 @@ pub(crate) fn verify_noise<I: RangeIndex>(state: &mut RunState<'_, I>) {
             Some((_, cid)) => state.labels.set_cluster(*i, cid),
             None => state.stats.noise_confirmed += 1,
         }
+        state.obs.event(&Event::NoiseVerdict {
+            point: *i,
+            confirmed: nearest.is_none(),
+        });
     }
     state.noise_list = noise_list;
+    state.obs.span_exit(Phase::NoiseVerify);
 }

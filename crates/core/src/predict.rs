@@ -30,7 +30,7 @@ impl ClusterModel {
     /// Builds a model from a finished clustering.
     ///
     /// `core_ids` are the training points that passed the core test (for
-    /// DBSVEC, [`crate::DbsvecResult::core_point_ids`]); every one of them
+    /// DBSVEC, [`crate::DbsvecResult::core_points`]); every one of them
     /// must be clustered.
     ///
     /// # Panics
@@ -138,7 +138,7 @@ mod tests {
         }
         let result = Dbsvec::new(DbsvecConfig::new(0.5, 4)).fit(&ps);
         assert_eq!(result.num_clusters(), 2);
-        let model = ClusterModel::new(&ps, result.labels(), &result.core_point_ids(), 0.5);
+        let model = ClusterModel::new(&ps, result.labels(), result.core_points(), 0.5);
         (ps, model)
     }
 

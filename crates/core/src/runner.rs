@@ -2,6 +2,7 @@
 
 use dbsvec_geometry::{PointId, PointSet};
 use dbsvec_index::RangeIndex;
+use dbsvec_obs::{Event, Observer};
 
 use crate::config::DbsvecConfig;
 use crate::labels::WorkingLabels;
@@ -37,10 +38,19 @@ pub(crate) struct RunState<'a, I: RangeIndex> {
     /// re-selecting the same boundary points across rounds.
     pub queried: Vec<bool>,
     pub stats: DbsvecStats,
+    /// Observer every phase reports into. The stats counters above stay
+    /// authoritative; the observer sees the same increments as events, so a
+    /// recorded stream replays to identical counts (`dbsvec-obs`).
+    pub obs: &'a mut dyn Observer,
 }
 
 impl<'a, I: RangeIndex> RunState<'a, I> {
-    pub fn new(points: &'a PointSet, index: &'a I, config: &'a DbsvecConfig) -> Self {
+    pub fn new(
+        points: &'a PointSet,
+        index: &'a I,
+        config: &'a DbsvecConfig,
+        obs: &'a mut dyn Observer,
+    ) -> Self {
         let n = points.len();
         Self {
             points,
@@ -52,6 +62,7 @@ impl<'a, I: RangeIndex> RunState<'a, I> {
             noise_list: Vec::new(),
             queried: vec![false; n],
             stats: DbsvecStats::default(),
+            obs,
         }
     }
 
@@ -62,6 +73,10 @@ impl<'a, I: RangeIndex> RunState<'a, I> {
         self.index
             .range(self.points.point(id), self.config.eps, out);
         self.stats.range_queries += 1;
+        self.obs.event(&Event::RangeQuery {
+            probe: id,
+            result_len: out.len(),
+        });
         self.queried[id as usize] = true;
         self.core_status[id as usize] = if out.len() >= self.config.min_pts {
             CoreStatus::Core
@@ -80,6 +95,10 @@ impl<'a, I: RangeIndex> RunState<'a, I> {
                     .index
                     .count_range(self.points.point(id), self.config.eps);
                 self.stats.range_queries += 1;
+                self.obs.event(&Event::RangeQuery {
+                    probe: id,
+                    result_len: count,
+                });
                 let core = count >= self.config.min_pts;
                 self.core_status[id as usize] = if core {
                     CoreStatus::Core
@@ -103,6 +122,10 @@ impl<'a, I: RangeIndex> RunState<'a, I> {
             if !self.uf.same(other, raw_cid) && self.is_core(j) {
                 self.uf.union(other, raw_cid);
                 self.stats.merges += 1;
+                self.obs.event(&Event::Merge {
+                    existing: other,
+                    expanding: raw_cid,
+                });
             }
         }
     }

@@ -6,18 +6,10 @@
 //! exercise DBSVEC's SVDD boundary description on maximally non-convex
 //! sub-clusters.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use dbsvec_geometry::rng::SplitMix64;
 use dbsvec_geometry::PointSet;
 
 use crate::Dataset;
-
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
 
 /// Two interleaving half-moons with Gaussian jitter.
 ///
@@ -31,21 +23,18 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
 pub fn two_moons(n: usize, noise: f64, seed: u64) -> Dataset {
     assert!(n > 0, "n must be positive");
     assert!(noise >= 0.0, "noise must be non-negative");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut points = PointSet::with_capacity(2, n);
     let mut truth = Vec::with_capacity(n);
     for i in 0..n {
         let moon = i % 2;
-        let t = rng.gen::<f64>() * std::f64::consts::PI;
+        let t = rng.next_f64() * std::f64::consts::PI;
         let (x, y) = if moon == 0 {
             (t.cos(), t.sin())
         } else {
             (1.0 - t.cos(), 0.5 - t.sin())
         };
-        points.push(&[
-            x + noise * standard_normal(&mut rng),
-            y + noise * standard_normal(&mut rng),
-        ]);
+        points.push(&[x + noise * rng.next_normal(), y + noise * rng.next_normal()]);
         truth.push(Some(moon as u32));
     }
     Dataset { points, truth }
@@ -63,18 +52,18 @@ pub fn spirals(n: usize, arms: usize, turns: f64, noise: f64, seed: u64) -> Data
     assert!(n > 0 && arms > 0, "n and arms must be positive");
     assert!(turns > 0.0, "turns must be positive");
     assert!(noise >= 0.0, "noise must be non-negative");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut points = PointSet::with_capacity(2, n);
     let mut truth = Vec::with_capacity(n);
     for i in 0..n {
         let arm = i % arms;
-        let t = rng.gen::<f64>(); // position along the arm, 0 = center
+        let t = rng.next_f64(); // position along the arm, 0 = center
         let angle =
             t * turns * std::f64::consts::TAU + arm as f64 * std::f64::consts::TAU / arms as f64;
         let radius = 0.25 + 0.75 * t;
         points.push(&[
-            radius * angle.cos() + noise * standard_normal(&mut rng),
-            radius * angle.sin() + noise * standard_normal(&mut rng),
+            radius * angle.cos() + noise * rng.next_normal(),
+            radius * angle.sin() + noise * rng.next_normal(),
         ]);
         truth.push(Some(arm as u32));
     }

@@ -4,19 +4,10 @@
 //! `D31`, `Seeds`, ...): well separated isotropic Gaussian clusters in a
 //! unit-scale domain, later normalized to `[0, 10^5]` like the paper does.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use dbsvec_geometry::rng::SplitMix64;
 use dbsvec_geometry::PointSet;
 
 use crate::Dataset;
-
-/// Standard normal via Box–Muller on the `rand` uniform source.
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
 
 /// `k` isotropic Gaussian clusters with uniformly placed centers.
 ///
@@ -42,7 +33,7 @@ pub fn gaussian_mixture(
         sigma > 0.0 && domain > 0.0,
         "sigma and domain must be positive"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
 
     let spread = sigma * (dims as f64).sqrt();
     let margin = (3.0 * spread).min(domain / 2.0);
@@ -57,7 +48,7 @@ pub fn gaussian_mixture(
             "cannot place {k} centers {min_sep:.2} apart in a {domain:.2} domain"
         );
         let cand: Vec<f64> = (0..dims)
-            .map(|_| rng.gen_range(margin..=(domain - margin).max(margin)))
+            .map(|_| rng.next_f64_range(margin, (domain - margin).max(margin)))
             .collect();
         if centers
             .iter()
@@ -73,7 +64,7 @@ pub fn gaussian_mixture(
     for i in 0..n {
         let c = i % k; // round-robin keeps sizes balanced
         for (x, center) in row.iter_mut().zip(&centers[c]) {
-            *x = (center + sigma * standard_normal(&mut rng)).clamp(0.0, domain);
+            *x = (center + sigma * rng.next_normal()).clamp(0.0, domain);
         }
         points.push(&row);
         truth.push(Some(c as u32));
@@ -103,7 +94,7 @@ pub fn grid_gaussians(
         sigma > 0.0 && spacing > 0.0,
         "sigma and spacing must be positive"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let k = rows * cols;
     let mut points = PointSet::with_capacity(2, n);
     let mut truth = Vec::with_capacity(n);
@@ -113,8 +104,8 @@ pub fn grid_gaussians(
         let cx = (q as f64 + 1.0) * spacing;
         let cy = (r as f64 + 1.0) * spacing;
         let p = [
-            cx + sigma * standard_normal(&mut rng),
-            cy + sigma * standard_normal(&mut rng),
+            cx + sigma * rng.next_normal(),
+            cy + sigma * rng.next_normal(),
         ];
         points.push(&p);
         truth.push(Some(c as u32));

@@ -7,9 +7,7 @@
 //! snake-like dense clusters of arbitrary shape. A `noise_fraction` of the
 //! points is drawn uniformly from the whole domain instead.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use dbsvec_geometry::rng::SplitMix64;
 use dbsvec_geometry::PointSet;
 
 use crate::Dataset;
@@ -72,7 +70,7 @@ pub fn random_walk_clusters(config: &RandomWalkConfig, seed: u64) -> Dataset {
         (0.0..=1.0).contains(&config.noise_fraction),
         "noise fraction must be in [0, 1]"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let d = config.dims;
     let step = config.step_fraction * config.domain;
 
@@ -80,7 +78,7 @@ pub fn random_walk_clusters(config: &RandomWalkConfig, seed: u64) -> Dataset {
     let mut walkers: Vec<Vec<f64>> = (0..config.clusters)
         .map(|_| {
             (0..d)
-                .map(|_| rng.gen_range(0.1 * config.domain..0.9 * config.domain))
+                .map(|_| rng.next_f64_range(0.1 * config.domain, 0.9 * config.domain))
                 .collect()
         })
         .collect();
@@ -89,16 +87,16 @@ pub fn random_walk_clusters(config: &RandomWalkConfig, seed: u64) -> Dataset {
     let mut truth = Vec::with_capacity(config.n);
     let mut scratch = vec![0.0; d];
     for _ in 0..config.n {
-        if rng.gen::<f64>() < config.noise_fraction {
+        if rng.next_f64() < config.noise_fraction {
             for x in &mut scratch {
-                *x = rng.gen_range(0.0..config.domain);
+                *x = rng.next_f64_range(0.0, config.domain);
             }
             points.push(&scratch);
             truth.push(None);
         } else {
-            let w = rng.gen_range(0..config.clusters);
+            let w = rng.next_below(config.clusters as u64) as usize;
             for x in walkers[w].iter_mut() {
-                *x = (*x + rng.gen_range(-step..=step)).clamp(0.0, config.domain);
+                *x = (*x + rng.next_f64_range(-step, step)).clamp(0.0, config.domain);
             }
             points.push(&walkers[w]);
             truth.push(Some(w as u32));

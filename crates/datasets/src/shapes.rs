@@ -9,9 +9,7 @@
 //! *non-convex, interlocking* boundaries, and these scenes exercise exactly
 //! that.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use dbsvec_geometry::rng::SplitMix64;
 use dbsvec_geometry::PointSet;
 
 use crate::Dataset;
@@ -43,12 +41,12 @@ pub enum Shape {
 
 impl Shape {
     /// Samples one point of the shape.
-    fn sample(&self, rng: &mut StdRng) -> [f64; 2] {
+    fn sample(&self, rng: &mut SplitMix64) -> [f64; 2] {
         match self {
             Shape::Blob { center, radius } => {
                 // Uniform in the disc via sqrt radius trick.
-                let r = radius * rng.gen::<f64>().sqrt();
-                let a = rng.gen::<f64>() * std::f64::consts::TAU;
+                let r = radius * rng.next_f64().sqrt();
+                let a = rng.next_f64() * std::f64::consts::TAU;
                 [center[0] + r * a.cos(), center[1] + r * a.sin()]
             }
             Shape::Ring {
@@ -56,8 +54,8 @@ impl Shape {
                 radius,
                 thickness,
             } => {
-                let r = radius + (rng.gen::<f64>() - 0.5) * thickness;
-                let a = rng.gen::<f64>() * std::f64::consts::TAU;
+                let r = radius + (rng.next_f64() - 0.5) * thickness;
+                let a = rng.next_f64() * std::f64::consts::TAU;
                 [center[0] + r * a.cos(), center[1] + r * a.sin()]
             }
             Shape::SineBand {
@@ -68,14 +66,14 @@ impl Shape {
                 frequency,
                 thickness,
             } => {
-                let x = rng.gen_range(*x0..*x1);
-                let y =
-                    y0 + amplitude * (frequency * x).sin() + (rng.gen::<f64>() - 0.5) * thickness;
+                let x = rng.next_f64_range(*x0, *x1);
+                let y = y0 + amplitude * (frequency * x).sin() + (rng.next_f64() - 0.5) * thickness;
                 [x, y]
             }
-            Shape::Bar { min, max } => {
-                [rng.gen_range(min[0]..max[0]), rng.gen_range(min[1]..max[1])]
-            }
+            Shape::Bar { min, max } => [
+                rng.next_f64_range(min[0], max[0]),
+                rng.next_f64_range(min[1], max[1]),
+            ],
         }
     }
 }
@@ -109,20 +107,20 @@ impl Scene {
         let total_weight: f64 = self.weights.iter().sum();
         assert!(total_weight > 0.0, "weights must sum to a positive value");
 
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut points = PointSet::with_capacity(2, n);
         let mut truth = Vec::with_capacity(n);
         for _ in 0..n {
-            if rng.gen::<f64>() < self.noise_fraction {
+            if rng.next_f64() < self.noise_fraction {
                 let p = [
-                    rng.gen_range(0.0..self.canvas),
-                    rng.gen_range(0.0..self.canvas),
+                    rng.next_f64_range(0.0, self.canvas),
+                    rng.next_f64_range(0.0, self.canvas),
                 ];
                 points.push(&p);
                 truth.push(None);
             } else {
                 // Weighted shape choice.
-                let mut pick = rng.gen::<f64>() * total_weight;
+                let mut pick = rng.next_f64() * total_weight;
                 let mut idx = 0;
                 for (i, w) in self.weights.iter().enumerate() {
                     if pick < *w {

@@ -7,9 +7,7 @@
 //! carries suggested `(ε, MinPts)` derived from the data's own density, so
 //! the experiment harnesses run DBSCAN in a sensible regime out of the box.
 
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
-
+use dbsvec_geometry::rng::SplitMix64;
 use dbsvec_geometry::PointSet;
 
 use crate::gaussian::gaussian_mixture;
@@ -277,9 +275,9 @@ pub fn suggest_eps(points: &PointSet, min_pts: usize, seed: u64) -> f64 {
     if n <= min_pts {
         return 1.0;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut ids: Vec<u32> = (0..n as u32).collect();
-    ids.shuffle(&mut rng);
+    rng.shuffle(&mut ids);
     let sample = &ids[..n.min(200)];
 
     let mut kth_dists: Vec<f64> = Vec::with_capacity(sample.len());

@@ -1,12 +1,12 @@
-//! A minimal deterministic RNG for internal tie-breaking.
+//! A minimal deterministic RNG shared by the whole workspace.
 //!
-//! The heavyweight generators in `dbsvec-datasets` and `dbsvec-lsh` use the
-//! `rand` crate; this module exists for the few places inside algorithm
-//! crates (e.g. SMO tie-breaks, sampling in k-means tests) where pulling in
-//! `rand` as a dependency of a core crate is not worth it. SplitMix64 is the
-//! standard seeding generator from Steele et al., "Fast Splittable
-//! Pseudorandom Number Generators" (OOPSLA 2014): tiny state, full 2^64
-//! period, passes BigCrush when used as specified.
+//! Every generator in the workspace — dataset synthesis, k-means++ seeding,
+//! LSH projections, randomized tests — draws from this module, so the build
+//! carries no external RNG dependency and every artifact is reproducible
+//! from a single `u64` seed. SplitMix64 is the standard seeding generator
+//! from Steele et al., "Fast Splittable Pseudorandom Number Generators"
+//! (OOPSLA 2014): tiny state, full 2^64 period, passes BigCrush when used
+//! as specified.
 
 /// SplitMix64 pseudorandom generator.
 #[derive(Clone, Debug)]
@@ -46,6 +46,32 @@ impl SplitMix64 {
     pub fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
         ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. Degenerate ranges (`hi <= lo`) return `lo`.
+    #[inline]
+    pub fn next_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Standard normal draw (mean 0, variance 1) via Box–Muller.
+    #[inline]
+    pub fn next_normal(&mut self) -> f64 {
+        // Guard against ln(0): map 0 to the smallest positive subnormal step.
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
     }
 }
 
@@ -98,5 +124,37 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn next_below_zero_panics() {
         SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn range_stays_inside_bounds() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            let x = rng.next_f64_range(-3.0, 5.5);
+            assert!((-3.0..5.5).contains(&x));
+        }
+        assert_eq!(rng.next_f64_range(2.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SplitMix64::new(13);
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.next_normal()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(17);
+        let mut data: Vec<u32> = (0..1000).collect();
+        rng.shuffle(&mut data);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<u32>>());
+        assert_ne!(data, sorted, "shuffle left 1000 elements in order");
     }
 }

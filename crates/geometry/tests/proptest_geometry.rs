@@ -1,98 +1,118 @@
-//! Property tests for the geometric substrate.
+//! Randomized property tests for the geometric substrate.
+//!
+//! Deterministic SplitMix64-driven instance loops: each test draws a fixed
+//! number of random instances from a fixed seed, so every failure
+//! reproduces exactly with no external test-framework dependency.
 
-use proptest::prelude::*;
-
+use dbsvec_geometry::rng::SplitMix64;
 use dbsvec_geometry::{euclidean, squared_euclidean, BoundingBox, PointSet};
 
-fn vectors(d: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
-    (
-        prop::collection::vec(-1e6..1e6f64, d),
-        prop::collection::vec(-1e6..1e6f64, d),
-    )
+fn vector(rng: &mut SplitMix64, d: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..d).map(|_| rng.next_f64_range(lo, hi)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn rows(rng: &mut SplitMix64, n: usize, d: usize, lo: f64, hi: f64) -> Vec<Vec<f64>> {
+    (0..n).map(|_| vector(rng, d, lo, hi)).collect()
+}
 
-    #[test]
-    fn distance_is_a_metric_on_samples((a, b) in vectors(4), (c, _) in vectors(4)) {
+#[test]
+fn distance_is_a_metric_on_samples() {
+    let mut rng = SplitMix64::new(0xA11CE);
+    for _ in 0..128 {
+        let a = vector(&mut rng, 4, -1e6, 1e6);
+        let b = vector(&mut rng, 4, -1e6, 1e6);
+        let c = vector(&mut rng, 4, -1e6, 1e6);
         let ab = euclidean(&a, &b);
         let ba = euclidean(&b, &a);
-        prop_assert_eq!(ab, ba, "symmetry");
-        prop_assert!(ab >= 0.0, "non-negativity");
-        prop_assert_eq!(euclidean(&a, &a), 0.0, "identity");
+        assert_eq!(ab, ba, "symmetry");
+        assert!(ab >= 0.0, "non-negativity");
+        assert_eq!(euclidean(&a, &a), 0.0, "identity");
         // Triangle inequality with a float-scale tolerance.
         let ac = euclidean(&a, &c);
         let cb = euclidean(&c, &b);
-        prop_assert!(ab <= ac + cb + 1e-6 * (1.0 + ab), "triangle");
+        assert!(ab <= ac + cb + 1e-6 * (1.0 + ab), "triangle");
     }
+}
 
-    #[test]
-    fn squared_distance_is_consistent((a, b) in vectors(3)) {
+#[test]
+fn squared_distance_is_consistent() {
+    let mut rng = SplitMix64::new(0xB0B);
+    for _ in 0..128 {
+        let a = vector(&mut rng, 3, -1e6, 1e6);
+        let b = vector(&mut rng, 3, -1e6, 1e6);
         let d = euclidean(&a, &b);
         let d2 = squared_euclidean(&a, &b);
-        prop_assert!((d * d - d2).abs() <= 1e-9 * (1.0 + d2));
+        assert!((d * d - d2).abs() <= 1e-9 * (1.0 + d2));
     }
+}
 
-    #[test]
-    fn bbox_distance_bounds_bracket_every_member(
-        rows in prop::collection::vec(prop::collection::vec(-1e3..1e3f64, 3), 1..60),
-        query in prop::collection::vec(-2e3..2e3f64, 3),
-    ) {
-        let ps = PointSet::from_rows(&rows);
+#[test]
+fn bbox_distance_bounds_bracket_every_member() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for _ in 0..128 {
+        let n = 1 + rng.next_below(59) as usize;
+        let ps = PointSet::from_rows(&rows(&mut rng, n, 3, -1e3, 1e3));
+        let query = vector(&mut rng, 3, -2e3, 2e3);
         let bbox = ps.bounding_box().unwrap();
         for (_, p) in ps.iter() {
             let d2 = squared_euclidean(p, &query);
-            prop_assert!(bbox.min_squared_distance(&query) <= d2 + 1e-9);
-            prop_assert!(bbox.max_squared_distance(&query) >= d2 - 1e-9);
+            assert!(bbox.min_squared_distance(&query) <= d2 + 1e-9);
+            assert!(bbox.max_squared_distance(&query) >= d2 - 1e-9);
         }
     }
+}
 
-    #[test]
-    fn bbox_union_contains_both(
-        a in prop::collection::vec(prop::collection::vec(-1e3..1e3f64, 2), 1..20),
-        b in prop::collection::vec(prop::collection::vec(-1e3..1e3f64, 2), 1..20),
-    ) {
-        let pa = PointSet::from_rows(&a);
-        let pb = PointSet::from_rows(&b);
+#[test]
+fn bbox_union_contains_both() {
+    let mut rng = SplitMix64::new(0xD00D);
+    for _ in 0..128 {
+        let na = 1 + rng.next_below(19) as usize;
+        let nb = 1 + rng.next_below(19) as usize;
+        let pa = PointSet::from_rows(&rows(&mut rng, na, 2, -1e3, 1e3));
+        let pb = PointSet::from_rows(&rows(&mut rng, nb, 2, -1e3, 1e3));
         let ba = pa.bounding_box().unwrap();
         let bb = pb.bounding_box().unwrap();
         let u = ba.union(&bb);
         for (_, p) in pa.iter().chain(pb.iter()) {
-            prop_assert!(u.contains_point(p));
+            assert!(u.contains_point(p));
         }
-        prop_assert!(u.volume() + 1e-12 >= ba.volume().max(bb.volume()));
+        assert!(u.volume() + 1e-12 >= ba.volume().max(bb.volume()));
     }
+}
 
-    #[test]
-    fn overlap_volume_is_symmetric_and_bounded(
-        lo1 in prop::collection::vec(-100.0..100.0f64, 2),
-        ext1 in prop::collection::vec(0.0..50.0f64, 2),
-        lo2 in prop::collection::vec(-100.0..100.0f64, 2),
-        ext2 in prop::collection::vec(0.0..50.0f64, 2),
-    ) {
+#[test]
+fn overlap_volume_is_symmetric_and_bounded() {
+    let mut rng = SplitMix64::new(0xE66);
+    for _ in 0..128 {
+        let lo1 = vector(&mut rng, 2, -100.0, 100.0);
+        let ext1 = vector(&mut rng, 2, 0.0, 50.0);
+        let lo2 = vector(&mut rng, 2, -100.0, 100.0);
+        let ext2 = vector(&mut rng, 2, 0.0, 50.0);
         let hi1: Vec<f64> = lo1.iter().zip(&ext1).map(|(l, e)| l + e).collect();
         let hi2: Vec<f64> = lo2.iter().zip(&ext2).map(|(l, e)| l + e).collect();
         let a = BoundingBox::from_corners(lo1, hi1);
         let b = BoundingBox::from_corners(lo2, hi2);
         let ab = a.overlap_volume(&b);
-        prop_assert!((ab - b.overlap_volume(&a)).abs() < 1e-9);
-        prop_assert!(ab >= 0.0);
-        prop_assert!(ab <= a.volume().min(b.volume()) + 1e-9);
+        assert!((ab - b.overlap_volume(&a)).abs() < 1e-9);
+        assert!(ab >= 0.0);
+        assert!(ab <= a.volume().min(b.volume()) + 1e-9);
     }
+}
 
-    #[test]
-    fn subset_round_trips_coordinates(
-        rows in prop::collection::vec(prop::collection::vec(-10.0..10.0f64, 2), 1..30),
-        picks in prop::collection::vec(0usize..30, 0..10),
-    ) {
-        let ps = PointSet::from_rows(&rows);
-        let ids: Vec<u32> =
-            picks.into_iter().map(|k| (k % ps.len()) as u32).collect();
+#[test]
+fn subset_round_trips_coordinates() {
+    let mut rng = SplitMix64::new(0xF00);
+    for _ in 0..128 {
+        let n = 1 + rng.next_below(29) as usize;
+        let ps = PointSet::from_rows(&rows(&mut rng, n, 2, -10.0, 10.0));
+        let picks = rng.next_below(10) as usize;
+        let ids: Vec<u32> = (0..picks)
+            .map(|_| rng.next_below(ps.len() as u64) as u32)
+            .collect();
         let sub = ps.subset(&ids);
-        prop_assert_eq!(sub.len(), ids.len());
+        assert_eq!(sub.len(), ids.len());
         for (k, &id) in ids.iter().enumerate() {
-            prop_assert_eq!(sub.point(k as u32), ps.point(id));
+            assert_eq!(sub.point(k as u32), ps.point(id));
         }
     }
 }

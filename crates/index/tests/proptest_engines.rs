@@ -1,27 +1,32 @@
-//! Property tests: every engine is an exact range-query oracle.
+//! Randomized property tests: every engine is an exact range-query oracle.
+//!
+//! Deterministic SplitMix64-driven instance loops; fixed seeds make every
+//! failure exactly reproducible.
 
-use proptest::prelude::*;
-
+use dbsvec_geometry::rng::SplitMix64;
 use dbsvec_geometry::PointSet;
 use dbsvec_index::{CountingIndex, GridIndex, KdTree, LinearScan, RStarTree, RangeIndex};
 
-fn point_set(max_n: usize, max_d: usize) -> impl Strategy<Value = PointSet> {
-    (1..=max_d).prop_flat_map(move |d| {
-        prop::collection::vec(prop::collection::vec(-1000.0..1000.0f64, d), 1..=max_n)
-            .prop_map(|rows| PointSet::from_rows(&rows))
-    })
+fn point_set(rng: &mut SplitMix64, max_n: usize, max_d: usize) -> PointSet {
+    let d = 1 + rng.next_below(max_d as u64) as usize;
+    let n = 1 + rng.next_below(max_n as u64) as usize;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            (0..d)
+                .map(|_| rng.next_f64_range(-1000.0, 1000.0))
+                .collect()
+        })
+        .collect();
+    PointSet::from_rows(&rows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn count_equals_materialized_for_every_engine(
-        ps in point_set(100, 3),
-        eps in 0.0..500.0f64,
-        qidx in 0usize..100,
-    ) {
-        let q = ps.point((qidx % ps.len()) as u32).to_vec();
+#[test]
+fn count_equals_materialized_for_every_engine() {
+    let mut rng = SplitMix64::new(0x1DEA);
+    for _ in 0..48 {
+        let ps = point_set(&mut rng, 100, 3);
+        let eps = rng.next_f64_range(0.0, 500.0);
+        let q = ps.point(rng.next_below(ps.len() as u64) as u32).to_vec();
         let engines: Vec<Box<dyn RangeIndex + '_>> = vec![
             Box::new(LinearScan::build(&ps)),
             Box::new(KdTree::build(&ps)),
@@ -30,15 +35,20 @@ proptest! {
         ];
         let expected = engines[0].range_vec(&q, eps).len();
         for engine in &engines {
-            prop_assert_eq!(engine.count_range(&q, eps), expected);
-            prop_assert_eq!(engine.range_vec(&q, eps).len(), expected);
+            assert_eq!(engine.count_range(&q, eps), expected);
+            assert_eq!(engine.range_vec(&q, eps).len(), expected);
         }
         // The query point itself is always in its own closed neighborhood.
-        prop_assert!(expected >= 1);
+        assert!(expected >= 1);
     }
+}
 
-    #[test]
-    fn results_are_unique_ids(ps in point_set(80, 2), eps in 0.0..2000.0f64) {
+#[test]
+fn results_are_unique_ids() {
+    let mut rng = SplitMix64::new(0x2BAD);
+    for _ in 0..48 {
+        let ps = point_set(&mut rng, 80, 2);
+        let eps = rng.next_f64_range(0.0, 2000.0);
         let q = ps.point(0).to_vec();
         for result in [
             KdTree::build(&ps).range_vec(&q, eps),
@@ -48,21 +58,31 @@ proptest! {
             let mut sorted = result.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), result.len(), "duplicate ids reported");
+            assert_eq!(sorted.len(), result.len(), "duplicate ids reported");
         }
     }
+}
 
-    #[test]
-    fn monotone_in_radius(ps in point_set(60, 3), eps in 0.1..300.0f64) {
+#[test]
+fn monotone_in_radius() {
+    let mut rng = SplitMix64::new(0x3CAB);
+    for _ in 0..48 {
+        let ps = point_set(&mut rng, 60, 3);
+        let eps = rng.next_f64_range(0.1, 300.0);
         let q = ps.point(0).to_vec();
         let tree = KdTree::build(&ps);
         let small = tree.count_range(&q, eps);
         let large = tree.count_range(&q, eps * 2.0);
-        prop_assert!(large >= small);
+        assert!(large >= small);
     }
+}
 
-    #[test]
-    fn counting_wrapper_is_transparent(ps in point_set(50, 2), eps in 0.0..500.0f64) {
+#[test]
+fn counting_wrapper_is_transparent() {
+    let mut rng = SplitMix64::new(0x4FAB);
+    for _ in 0..48 {
+        let ps = point_set(&mut rng, 50, 2);
+        let eps = rng.next_f64_range(0.0, 500.0);
         let q = ps.point(0).to_vec();
         let plain = KdTree::build(&ps);
         let counted = CountingIndex::new(KdTree::build(&ps));
@@ -70,12 +90,16 @@ proptest! {
         let mut b = counted.range_vec(&q, eps);
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(counted.stats().queries, 1);
+        assert_eq!(a, b);
+        assert_eq!(counted.stats().queries, 1);
     }
+}
 
-    #[test]
-    fn rstar_incremental_never_loses_points(ps in point_set(70, 3)) {
+#[test]
+fn rstar_incremental_never_loses_points() {
+    let mut rng = SplitMix64::new(0x5EED);
+    for _ in 0..48 {
+        let ps = point_set(&mut rng, 70, 3);
         let mut tree = RStarTree::new(&ps);
         for id in 0..ps.len() as u32 {
             tree.insert(id);
@@ -85,6 +109,6 @@ proptest! {
         let mut all = tree.range_vec(&q, 1e9);
         all.sort_unstable();
         let expected: Vec<u32> = (0..ps.len() as u32).collect();
-        prop_assert_eq!(all, expected);
+        assert_eq!(all, expected);
     }
 }

@@ -1,0 +1,155 @@
+//! The observation vocabulary: phases and typed events.
+//!
+//! The variants mirror the paper's cost model exactly, so a recorded event
+//! stream can be *replayed* into the same counters `DbsvecStats`
+//! accumulates (see [`crate::replay`]). Point ids are bare `u32`s — the
+//! same representation `dbsvec-geometry` uses for `PointId` — so this
+//! crate depends on nothing.
+
+/// One timed phase of a clustering run.
+///
+/// DBSVEC emits all five; plain DBSCAN-family baselines emit only
+/// [`Phase::Init`] (their single scan loop). Spans nest: `SvExpand` opens
+/// inside `Init`, and `SvddTrain` opens inside `SvExpand`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The seed scan: iterate unclassified points, query, seed clusters.
+    Init,
+    /// One SVDD training (SMO solve) inside an expansion round.
+    SvddTrain,
+    /// Support-vector expansion of one sub-cluster (all its rounds).
+    SvExpand,
+    /// Finalization: union-find resolution and label compaction.
+    Merge,
+    /// The noise-verification pass over the potential-noise list.
+    NoiseVerify,
+}
+
+impl Phase {
+    /// Every phase, in canonical display order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Init,
+        Phase::SvExpand,
+        Phase::SvddTrain,
+        Phase::Merge,
+        Phase::NoiseVerify,
+    ];
+
+    /// Stable snake_case name (used in JSONL output and tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Init => "init",
+            Phase::SvddTrain => "svdd_train",
+            Phase::SvExpand => "sv_expand",
+            Phase::Merge => "merge",
+            Phase::NoiseVerify => "noise_verify",
+        }
+    }
+}
+
+/// A typed observation emitted by an instrumented algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A new sub-cluster was seeded from a core point's neighborhood.
+    Seed {
+        /// The seed point.
+        point: u32,
+        /// Size of its materialized ε-neighborhood.
+        neighborhood_len: usize,
+    },
+    /// One ε-range query (materializing or counting).
+    RangeQuery {
+        /// The query point.
+        probe: u32,
+        /// Number of neighbors found (the count, for counting queries).
+        result_len: usize,
+    },
+    /// One SVDD training finished (fires once per expansion round).
+    SmoSolve {
+        /// Target-set size ñ the model was trained on.
+        target_size: usize,
+        /// SMO iterations to convergence.
+        iterations: usize,
+        /// Kernel-row cache hits during the solve.
+        cache_hits: u64,
+        /// Kernel-row cache misses during the solve.
+        cache_misses: u64,
+    },
+    /// One support-vector expansion round completed.
+    ExpansionRound {
+        /// Raw (pre-compaction) sub-cluster id being expanded.
+        cluster: u32,
+        /// 1-based round number within this sub-cluster's expansion.
+        round: usize,
+        /// Target-set size ñ at the start of the round.
+        target_size: usize,
+        /// Support vectors the round's SVDD model produced.
+        n_sv: usize,
+        /// Support vectors that passed the core test this round.
+        n_core_sv: usize,
+        /// SMO iterations the round's training spent.
+        smo_iters: usize,
+    },
+    /// Two sub-clusters were united through an overlapping core point.
+    Merge {
+        /// Raw id of the cluster that was already labeled on the point.
+        existing: u32,
+        /// Raw id of the cluster being expanded into it.
+        expanding: u32,
+    },
+    /// A potential-noise point was resolved.
+    NoiseVerdict {
+        /// The point in question.
+        point: u32,
+        /// `true` if confirmed noise, `false` if attached as a border point.
+        confirmed: bool,
+    },
+}
+
+impl Event {
+    /// Stable snake_case name of the variant (used in JSONL output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Seed { .. } => "seed",
+            Event::RangeQuery { .. } => "range_query",
+            Event::SmoSolve { .. } => "smo_solve",
+            Event::ExpansionRound { .. } => "expansion_round",
+            Event::Merge { .. } => "merge",
+            Event::NoiseVerdict { .. } => "noise_verdict",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            ["init", "sv_expand", "svdd_train", "merge", "noise_verify"]
+        );
+    }
+
+    #[test]
+    fn event_names_are_stable() {
+        assert_eq!(
+            Event::RangeQuery {
+                probe: 0,
+                result_len: 0
+            }
+            .name(),
+            "range_query"
+        );
+        assert_eq!(
+            Event::NoiseVerdict {
+                point: 1,
+                confirmed: true
+            }
+            .name(),
+            "noise_verdict"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! The observer seam: the trait, the no-op default, and the tee combiner.
+
+use crate::event::{Event, Phase};
+
+/// Receives phase spans and typed events from an instrumented run.
+///
+/// All methods default to empty bodies, so an observer implements only
+/// what it cares about. Instrumented code holds `&mut dyn Observer`;
+/// timing is the *observer's* job (each sink stamps callbacks against its
+/// own clock), so the no-op path never touches `Instant::now`.
+///
+/// Span discipline: `span_enter(p)` … `span_exit(p)` pairs nest like
+/// parentheses and always close in LIFO order.
+pub trait Observer {
+    /// A phase span opened.
+    fn span_enter(&mut self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// The innermost open span (which must be `phase`) closed.
+    fn span_exit(&mut self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// A typed event fired inside whatever spans are open.
+    fn event(&mut self, event: &Event) {
+        let _ = event;
+    }
+}
+
+impl<T: Observer + ?Sized> Observer for &mut T {
+    fn span_enter(&mut self, phase: Phase) {
+        (**self).span_enter(phase);
+    }
+
+    fn span_exit(&mut self, phase: Phase) {
+        (**self).span_exit(phase);
+    }
+
+    fn event(&mut self, event: &Event) {
+        (**self).event(event);
+    }
+}
+
+/// `None` behaves like [`NoopObserver`] — lets optional sinks (e.g. a
+/// `--trace` file that may not be requested) slot into a [`Tee`].
+impl<T: Observer> Observer for Option<T> {
+    fn span_enter(&mut self, phase: Phase) {
+        if let Some(obs) = self {
+            obs.span_enter(phase);
+        }
+    }
+
+    fn span_exit(&mut self, phase: Phase) {
+        if let Some(obs) = self {
+            obs.span_exit(phase);
+        }
+    }
+
+    fn event(&mut self, event: &Event) {
+        if let Some(obs) = self {
+            obs.event(event);
+        }
+    }
+}
+
+/// The zero-cost default observer: every callback is an empty body the
+/// inliner erases at the call site.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {}
+
+/// Fans one instrumented run out to two observers (record *and* trace).
+/// Compose nested `Tee`s for more.
+#[derive(Debug, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: Observer, B: Observer> Observer for Tee<A, B> {
+    fn span_enter(&mut self, phase: Phase) {
+        self.0.span_enter(phase);
+        self.1.span_enter(phase);
+    }
+
+    fn span_exit(&mut self, phase: Phase) {
+        self.0.span_exit(phase);
+        self.1.span_exit(phase);
+    }
+
+    fn event(&mut self, event: &Event) {
+        self.0.event(event);
+        self.1.event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        enters: usize,
+        exits: usize,
+        events: usize,
+    }
+
+    impl Observer for Counter {
+        fn span_enter(&mut self, _: Phase) {
+            self.enters += 1;
+        }
+        fn span_exit(&mut self, _: Phase) {
+            self.exits += 1;
+        }
+        fn event(&mut self, _: &Event) {
+            self.events += 1;
+        }
+    }
+
+    #[test]
+    fn noop_observer_accepts_everything() {
+        let mut obs = NoopObserver;
+        obs.span_enter(Phase::Init);
+        obs.event(&Event::RangeQuery {
+            probe: 0,
+            result_len: 3,
+        });
+        obs.span_exit(Phase::Init);
+    }
+
+    #[test]
+    fn tee_forwards_to_both() {
+        let mut tee = Tee(Counter::default(), Counter::default());
+        let obs: &mut dyn Observer = &mut tee;
+        obs.span_enter(Phase::Init);
+        obs.event(&Event::Merge {
+            existing: 0,
+            expanding: 1,
+        });
+        obs.span_exit(Phase::Init);
+        for side in [&tee.0, &tee.1] {
+            assert_eq!(side.enters, 1);
+            assert_eq!(side.exits, 1);
+            assert_eq!(side.events, 1);
+        }
+    }
+}

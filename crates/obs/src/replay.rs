@@ -1,0 +1,302 @@
+//! Replay: fold a recorded event stream back into the run's cost counters.
+//!
+//! The invariant this module exists to check: a trace is *complete* iff
+//! replaying it reproduces the `DbsvecStats` the run itself accumulated,
+//! field for field. [`ReplayCounts`] mirrors that struct's counter layout
+//! exactly; `tests/` and the CLI's `--profile` path both diff the two.
+
+use crate::event::Event;
+use crate::json::{self, Json};
+
+/// Cost counters reconstructed from an event stream.
+///
+/// Field-for-field mirror of `dbsvec_core::stats::DbsvecStats` (this crate
+/// cannot depend on core — core depends on *it* — so the mirror is kept in
+/// sync by the cross-check tests in the workspace root).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayCounts {
+    /// Sub-clusters seeded (count of [`Event::Seed`]).
+    pub seeds: u64,
+    /// SVDD trainings (count of [`Event::SmoSolve`]).
+    pub svdd_trainings: u64,
+    /// Support vectors produced, summed over rounds.
+    pub support_vectors: u64,
+    /// Support vectors that passed the core test, summed over rounds.
+    pub core_support_vectors: u64,
+    /// Cluster unions (count of [`Event::Merge`]).
+    pub merges: u64,
+    /// Potential-noise points examined (count of [`Event::NoiseVerdict`]).
+    pub noise_candidates: u64,
+    /// Of those, confirmed noise (`confirmed == true`).
+    pub noise_confirmed: u64,
+    /// ε-range queries issued (count of [`Event::RangeQuery`]).
+    pub range_queries: u64,
+    /// Expansion rounds completed (count of [`Event::ExpansionRound`]).
+    pub expansion_rounds: u64,
+    /// Largest target set ñ any SVDD was trained on.
+    pub max_target_size: usize,
+    /// SMO iterations, summed over trainings.
+    pub smo_iterations: u64,
+}
+
+impl ReplayCounts {
+    /// Folds one event into the counters.
+    pub fn record(&mut self, event: &Event) {
+        match event {
+            Event::Seed { .. } => self.seeds += 1,
+            Event::RangeQuery { .. } => self.range_queries += 1,
+            Event::SmoSolve {
+                target_size,
+                iterations,
+                ..
+            } => {
+                self.svdd_trainings += 1;
+                self.smo_iterations += *iterations as u64;
+                self.max_target_size = self.max_target_size.max(*target_size);
+            }
+            Event::ExpansionRound {
+                target_size,
+                n_sv,
+                n_core_sv,
+                ..
+            } => {
+                self.expansion_rounds += 1;
+                self.support_vectors += *n_sv as u64;
+                self.core_support_vectors += *n_core_sv as u64;
+                self.max_target_size = self.max_target_size.max(*target_size);
+            }
+            Event::Merge { .. } => self.merges += 1,
+            Event::NoiseVerdict { confirmed, .. } => {
+                self.noise_candidates += 1;
+                if *confirmed {
+                    self.noise_confirmed += 1;
+                }
+            }
+        }
+    }
+
+    /// Builds counters from an event stream.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> Self {
+        let mut counts = Self::default();
+        for e in events {
+            counts.record(e);
+        }
+        counts
+    }
+
+    /// Builds counters from JSONL trace text (as written by
+    /// [`crate::JsonlSink`]). Every line must be valid JSON; `kind:"event"`
+    /// lines must decode to a known event. Span lines are skipped.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut counts = Self::default();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let kind = value
+                .get("kind")
+                .ok_or_else(|| format!("line {}: missing \"kind\"", lineno + 1))?;
+            if kind == &Json::Str("event".to_string()) {
+                let event =
+                    event_from_json(&value).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                counts.record(&event);
+            }
+        }
+        Ok(counts)
+    }
+
+    /// The query-cost ratio θ = range_queries / n.
+    pub fn theta(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.range_queries as f64 / n as f64
+        }
+    }
+}
+
+fn field_u64(value: &Json, key: &str) -> Result<u64, String> {
+    match value.get(key) {
+        Some(Json::UInt(u)) => Ok(*u),
+        Some(Json::Int(i)) if *i >= 0 => Ok(*i as u64),
+        Some(other) => Err(format!("field {key:?} is not an unsigned integer: {other}")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn field_usize(value: &Json, key: &str) -> Result<usize, String> {
+    Ok(field_u64(value, key)? as usize)
+}
+
+fn field_u32(value: &Json, key: &str) -> Result<u32, String> {
+    u32::try_from(field_u64(value, key)?).map_err(|e| format!("field {key:?}: {e}"))
+}
+
+/// Decodes one `kind:"event"` trace object back into an [`Event`]
+/// (inverse of [`crate::jsonl::event_to_json`]).
+pub fn event_from_json(value: &Json) -> Result<Event, String> {
+    let name = match value.get("event") {
+        Some(Json::Str(s)) => s.as_str(),
+        _ => return Err("missing \"event\" name".to_string()),
+    };
+    match name {
+        "seed" => Ok(Event::Seed {
+            point: field_u32(value, "point")?,
+            neighborhood_len: field_usize(value, "neighborhood_len")?,
+        }),
+        "range_query" => Ok(Event::RangeQuery {
+            probe: field_u32(value, "probe")?,
+            result_len: field_usize(value, "result_len")?,
+        }),
+        "smo_solve" => Ok(Event::SmoSolve {
+            target_size: field_usize(value, "target_size")?,
+            iterations: field_usize(value, "iterations")?,
+            cache_hits: field_u64(value, "cache_hits")?,
+            cache_misses: field_u64(value, "cache_misses")?,
+        }),
+        "expansion_round" => Ok(Event::ExpansionRound {
+            cluster: field_u32(value, "cluster")?,
+            round: field_usize(value, "round")?,
+            target_size: field_usize(value, "target_size")?,
+            n_sv: field_usize(value, "n_sv")?,
+            n_core_sv: field_usize(value, "n_core_sv")?,
+            smo_iters: field_usize(value, "smo_iters")?,
+        }),
+        "merge" => Ok(Event::Merge {
+            existing: field_u32(value, "existing")?,
+            expanding: field_u32(value, "expanding")?,
+        }),
+        "noise_verdict" => Ok(Event::NoiseVerdict {
+            point: field_u32(value, "point")?,
+            confirmed: match value.get("confirmed") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("missing bool field \"confirmed\"".to_string()),
+            },
+        }),
+        other => Err(format!("unknown event {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_every_variant() {
+        let events = [
+            Event::Seed {
+                point: 0,
+                neighborhood_len: 9,
+            },
+            Event::RangeQuery {
+                probe: 1,
+                result_len: 4,
+            },
+            Event::RangeQuery {
+                probe: 2,
+                result_len: 0,
+            },
+            Event::SmoSolve {
+                target_size: 40,
+                iterations: 17,
+                cache_hits: 100,
+                cache_misses: 8,
+            },
+            Event::ExpansionRound {
+                cluster: 0,
+                round: 1,
+                target_size: 40,
+                n_sv: 6,
+                n_core_sv: 5,
+                smo_iters: 17,
+            },
+            Event::SmoSolve {
+                target_size: 72,
+                iterations: 23,
+                cache_hits: 50,
+                cache_misses: 2,
+            },
+            Event::ExpansionRound {
+                cluster: 0,
+                round: 2,
+                target_size: 72,
+                n_sv: 8,
+                n_core_sv: 4,
+                smo_iters: 23,
+            },
+            Event::Merge {
+                existing: 0,
+                expanding: 1,
+            },
+            Event::NoiseVerdict {
+                point: 9,
+                confirmed: true,
+            },
+            Event::NoiseVerdict {
+                point: 10,
+                confirmed: false,
+            },
+        ];
+        let c = ReplayCounts::from_events(events.iter());
+        assert_eq!(c.seeds, 1);
+        assert_eq!(c.range_queries, 2);
+        assert_eq!(c.svdd_trainings, 2);
+        assert_eq!(c.smo_iterations, 40);
+        assert_eq!(c.expansion_rounds, 2);
+        assert_eq!(c.support_vectors, 14);
+        assert_eq!(c.core_support_vectors, 9);
+        assert_eq!(c.max_target_size, 72);
+        assert_eq!(c.merges, 1);
+        assert_eq!(c.noise_candidates, 2);
+        assert_eq!(c.noise_confirmed, 1);
+        assert!((c.theta(20) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_round_trip_matches_direct_counts() {
+        use crate::jsonl::event_to_json;
+
+        let events = [
+            Event::RangeQuery {
+                probe: 7,
+                result_len: 3,
+            },
+            Event::Merge {
+                existing: 2,
+                expanding: 5,
+            },
+            Event::NoiseVerdict {
+                point: 11,
+                confirmed: false,
+            },
+        ];
+        let mut text = String::new();
+        // A span line mixed in must be skipped, not rejected.
+        text.push_str("{\"t\":0.0,\"kind\":\"enter\",\"phase\":\"init\"}\n");
+        for e in &events {
+            let mut obj = vec![
+                ("t".to_string(), Json::Num(0.5)),
+                ("kind".to_string(), Json::str("event")),
+            ];
+            if let Json::Obj(fields) = event_to_json(e) {
+                obj.extend(fields);
+            }
+            text.push_str(&Json::Obj(obj).to_string());
+            text.push('\n');
+        }
+        let replayed = ReplayCounts::from_jsonl(&text).expect("valid trace");
+        assert_eq!(replayed, ReplayCounts::from_events(events.iter()));
+    }
+
+    #[test]
+    fn jsonl_rejects_bad_lines() {
+        assert!(ReplayCounts::from_jsonl("not json\n").is_err());
+        assert!(ReplayCounts::from_jsonl("{\"no_kind\":1}\n").is_err());
+        assert!(ReplayCounts::from_jsonl("{\"kind\":\"event\",\"event\":\"mystery\"}\n").is_err());
+        assert!(ReplayCounts::from_jsonl(
+            "{\"kind\":\"event\",\"event\":\"range_query\",\"probe\":1}\n"
+        )
+        .is_err());
+    }
+}

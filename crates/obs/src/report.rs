@@ -1,0 +1,153 @@
+//! The human-readable `--profile` report: phase times + θ breakdown.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::event::Phase;
+use crate::recording::{PhaseTimings, RecordingObserver};
+use crate::replay::ReplayCounts;
+
+/// A finished run's profile: per-phase wall-clock plus the replayed cost
+/// counters, rendered as the table the CLI prints under `--profile`.
+#[derive(Clone, Debug)]
+pub struct ProfileReport {
+    /// Dataset size the run clustered (for θ).
+    pub n: usize,
+    /// Per-phase timings in [`Phase::ALL`] order (phases that never ran
+    /// report zeros).
+    pub phases: Vec<(Phase, PhaseTimings)>,
+    /// The counters replayed from the recorded events.
+    pub counts: ReplayCounts,
+}
+
+impl ProfileReport {
+    /// Builds the report from a recording of the run.
+    pub fn from_recording(recorder: &RecordingObserver, n: usize) -> Self {
+        let measured = recorder.phase_timings();
+        let phases = Phase::ALL
+            .iter()
+            .map(|&p| {
+                let t = measured
+                    .iter()
+                    .find(|(q, _)| *q == p)
+                    .map(|(_, t)| *t)
+                    .unwrap_or_default();
+                (p, t)
+            })
+            .collect();
+        Self {
+            n,
+            phases,
+            counts: recorder.replay(),
+        }
+    }
+
+    /// Total observed wall-clock (sum of self-times, so nested spans are
+    /// not double-counted).
+    pub fn total_time(&self) -> Duration {
+        self.phases.iter().map(|(_, t)| t.self_time).sum()
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else {
+        format!("{:.1}us", secs * 1e6)
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_time().as_secs_f64().max(f64::MIN_POSITIVE);
+        writeln!(
+            f,
+            "{:<14} {:>6} {:>12} {:>12} {:>7}",
+            "phase", "spans", "total", "self", "self%"
+        )?;
+        for (phase, t) in &self.phases {
+            writeln!(
+                f,
+                "{:<14} {:>6} {:>12} {:>12} {:>6.1}%",
+                phase.name(),
+                t.spans,
+                fmt_duration(t.total),
+                fmt_duration(t.self_time),
+                100.0 * t.self_time.as_secs_f64() / total
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<14} {:>6} {:>12} {:>12} {:>7}",
+            "(sum of self)",
+            "",
+            "",
+            fmt_duration(self.total_time()),
+            "100.0%"
+        )?;
+        writeln!(f)?;
+        let c = &self.counts;
+        writeln!(
+            f,
+            "range queries  {:>10}   over n = {} points   theta = {:.4}",
+            c.range_queries,
+            self.n,
+            c.theta(self.n)
+        )?;
+        writeln!(
+            f,
+            "seeds {} | expansion rounds {} | svdd trainings {} | smo iterations {}",
+            c.seeds, c.expansion_rounds, c.svdd_trainings, c.smo_iterations
+        )?;
+        writeln!(
+            f,
+            "support vectors {} (core {}) | max target size {} | merges {}",
+            c.support_vectors, c.core_support_vectors, c.max_target_size, c.merges
+        )?;
+        write!(
+            f,
+            "noise candidates {} | confirmed noise {}",
+            c.noise_candidates, c.noise_confirmed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::observer::Observer;
+
+    #[test]
+    fn report_lists_all_phases_and_theta() {
+        let mut rec = RecordingObserver::new();
+        rec.span_enter(Phase::Init);
+        rec.event(&Event::RangeQuery {
+            probe: 0,
+            result_len: 2,
+        });
+        rec.event(&Event::RangeQuery {
+            probe: 1,
+            result_len: 0,
+        });
+        rec.span_exit(Phase::Init);
+        let report = ProfileReport::from_recording(&rec, 8);
+        assert_eq!(report.phases.len(), Phase::ALL.len());
+        assert_eq!(report.counts.range_queries, 2);
+        let text = report.to_string();
+        for p in Phase::ALL {
+            assert!(text.contains(p.name()), "missing {} in:\n{text}", p.name());
+        }
+        assert!(text.contains("theta = 0.2500"), "bad theta in:\n{text}");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.000ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.0us");
+    }
+}

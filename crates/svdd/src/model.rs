@@ -34,6 +34,8 @@ pub struct SvddModel {
     support: Vec<usize>,
     /// SMO iterations spent.
     iterations: usize,
+    /// Kernel-row cache `(hits, misses)` during the solve.
+    cache_stats: (u64, u64),
 }
 
 /// Multipliers below this are treated as exactly zero.
@@ -49,6 +51,7 @@ impl SvddModel {
         r_sq: f64,
         alpha_k_alpha: f64,
         iterations: usize,
+        cache_stats: (u64, u64),
     ) -> Self {
         let support = alpha
             .iter()
@@ -65,6 +68,7 @@ impl SvddModel {
             alpha_k_alpha,
             support,
             iterations,
+            cache_stats,
         }
     }
 
@@ -113,6 +117,11 @@ impl SvddModel {
     /// SMO iterations used to reach convergence.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Kernel-row cache `(hits, misses)` recorded during the solve.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache_stats
     }
 
     /// The discrimination function `F(x) = ||Φ(x) − a||²` (paper Eq. 12):

@@ -262,6 +262,7 @@ impl<'a> SvddProblem<'a> {
             r_sq,
             alpha_k_alpha,
             iterations,
+            cache.stats(),
         )
     }
 }

@@ -1,15 +1,19 @@
-//! Property tests: the SMO solver against first principles.
+//! Randomized property tests: the SMO solver against first principles.
+//!
+//! Deterministic SplitMix64-driven instance loops; fixed seeds make every
+//! failure exactly reproducible.
 
-use proptest::prelude::*;
-
+use dbsvec_geometry::rng::SplitMix64;
 use dbsvec_geometry::{PointId, PointSet};
 use dbsvec_svdd::{GaussianKernel, SvddProblem};
 
-fn point_set(max_n: usize, max_d: usize) -> impl Strategy<Value = PointSet> {
-    (1..=max_d).prop_flat_map(move |d| {
-        prop::collection::vec(prop::collection::vec(-50.0..50.0f64, d), 2..=max_n)
-            .prop_map(|rows| PointSet::from_rows(&rows))
-    })
+fn point_set(rng: &mut SplitMix64, max_n: usize, max_d: usize) -> PointSet {
+    let d = 1 + rng.next_below(max_d as u64) as usize;
+    let n = 2 + rng.next_below(max_n as u64 - 1) as usize;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.next_f64_range(-50.0, 50.0)).collect())
+        .collect();
+    PointSet::from_rows(&rows)
 }
 
 /// Dense dual objective f(α) = αᵀKα.
@@ -24,15 +28,12 @@ fn objective(points: &PointSet, ids: &[PointId], kernel: GaussianKernel, alpha: 
     f
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn smo_beats_random_feasible_points(
-        ps in point_set(25, 3),
-        nu in 0.2..1.0f64,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn smo_beats_random_feasible_points() {
+    let mut rng = SplitMix64::new(0x6A0);
+    for _ in 0..32 {
+        let ps = point_set(&mut rng, 25, 3);
+        let nu = rng.next_f64_range(0.2, 1.0);
         let ids: Vec<PointId> = (0..ps.len() as u32).collect();
         let n = ids.len();
         let nu = nu.max(1.0 / n as f64);
@@ -43,7 +44,6 @@ proptest! {
         // Sample random feasible α (projected onto the simplex, clipped to
         // the box by rejection) and confirm none beats the solver.
         let c = 1.0 / (nu * n as f64);
-        let mut rng = dbsvec_geometry::rng::SplitMix64::new(seed);
         let mut tried = 0;
         let mut attempts = 0;
         while tried < 20 && attempts < 500 {
@@ -56,35 +56,39 @@ proptest! {
             }
             tried += 1;
             let f_rand = objective(&ps, &ids, kernel, &alpha);
-            prop_assert!(
+            assert!(
                 f_smo <= f_rand + 1e-6,
-                "random feasible point beat SMO: {} < {}",
-                f_rand,
-                f_smo
+                "random feasible point beat SMO: {f_rand} < {f_smo}"
             );
         }
     }
+}
 
-    #[test]
-    fn uniform_is_optimal_under_tightest_box(ps in point_set(20, 2)) {
+#[test]
+fn uniform_is_optimal_under_tightest_box() {
+    let mut rng = SplitMix64::new(0x7B1);
+    for _ in 0..32 {
         // ν = 1 forces α_i = 1/n exactly (the box is the simplex center).
+        let ps = point_set(&mut rng, 20, 2);
         let ids: Vec<PointId> = (0..ps.len() as u32).collect();
         let n = ids.len();
         let model = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(10.0))
             .with_nu(1.0)
             .solve();
         for &a in model.alphas() {
-            prop_assert!((a - 1.0 / n as f64).abs() < 1e-9);
+            assert!((a - 1.0 / n as f64).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn decision_function_is_translation_invariant(
-        ps in point_set(15, 2),
-        shift in -100.0..100.0f64,
-    ) {
+#[test]
+fn decision_function_is_translation_invariant() {
+    let mut rng = SplitMix64::new(0x8C2);
+    for _ in 0..32 {
         // The Gaussian kernel depends only on differences, so translating
         // every point must not change multipliers or the radius.
+        let ps = point_set(&mut rng, 15, 2);
+        let shift = rng.next_f64_range(-100.0, 100.0);
         let ids: Vec<PointId> = (0..ps.len() as u32).collect();
         let kernel = GaussianKernel::from_width(15.0);
         let model_a = SvddProblem::new(&ps, &ids, kernel).with_nu(0.5).solve();
@@ -93,33 +97,45 @@ proptest! {
             .map(|i| ps.point(i as u32).iter().map(|&x| x + shift).collect())
             .collect();
         let shifted = PointSet::from_rows(&shifted_rows);
-        let model_b = SvddProblem::new(&shifted, &ids, kernel).with_nu(0.5).solve();
+        let model_b = SvddProblem::new(&shifted, &ids, kernel)
+            .with_nu(0.5)
+            .solve();
 
         // Floating-point translation perturbs kernel entries in the last
         // bits, so compare solution *quality*, not the (non-unique) α path.
         let f_a = objective(&ps, &ids, kernel, model_a.alphas());
         let f_b = objective(&shifted, &ids, kernel, model_b.alphas());
-        prop_assert!((f_a - f_b).abs() < 1e-4, "objectives differ: {} vs {}", f_a, f_b);
-        prop_assert!(
+        assert!(
+            (f_a - f_b).abs() < 1e-4,
+            "objectives differ: {f_a} vs {f_b}"
+        );
+        assert!(
             (model_a.radius_sq() - model_b.radius_sq()).abs() < 1e-3,
             "radii differ: {} vs {}",
             model_a.radius_sq(),
             model_b.radius_sq()
         );
     }
+}
 
-    #[test]
-    fn support_vectors_cover_the_hull_in_1d(
-        xs in prop::collection::vec(-100.0..100.0f64, 5..40),
-    ) {
+#[test]
+fn support_vectors_cover_the_hull_in_1d() {
+    let mut rng = SplitMix64::new(0x9D3);
+    let mut checked = 0;
+    for _ in 0..64 {
         // In 1-D the extreme points (min and max) are always on the data
         // boundary; with a moderate ν they must be support vectors.
+        let n = 5 + rng.next_below(35) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_f64_range(-100.0, 100.0)).collect();
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        if spread <= 1.0 {
+            continue; // degenerate draw, skip (proptest `prop_assume` analog)
+        }
+        checked += 1;
         let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
         let ps = PointSet::from_rows(&rows);
         let ids: Vec<PointId> = (0..ps.len() as u32).collect();
-        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
-        prop_assume!(spread > 1.0);
         let kernel = GaussianKernel::from_width(spread / 2.0f64.sqrt());
         let model = SvddProblem::new(&ps, &ids, kernel).with_nu(0.3).solve();
         let svs = model.support_vectors();
@@ -128,13 +144,16 @@ proptest! {
         let min_val = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max_val = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let tol = spread * 1e-6;
-        prop_assert!(
-            svs.iter().any(|&id| (xs[id as usize] - min_val).abs() <= tol),
+        assert!(
+            svs.iter()
+                .any(|&id| (xs[id as usize] - min_val).abs() <= tol),
             "no support vector at the min extreme"
         );
-        prop_assert!(
-            svs.iter().any(|&id| (xs[id as usize] - max_val).abs() <= tol),
+        assert!(
+            svs.iter()
+                .any(|&id| (xs[id as usize] - max_val).abs() <= tol),
             "no support vector at the max extreme"
         );
     }
+    assert!(checked >= 32, "too many degenerate draws: {checked}");
 }

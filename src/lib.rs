@@ -37,6 +37,7 @@
 //! | [`baselines`] | `dbsvec-baselines` | DBSCAN, ρ-approximate DBSCAN, DBSCAN-LSH, NQ-DBSCAN, FDBSCAN, k-means, parallel DBSCAN, HDBSCAN\* |
 //! | [`metrics`] | `dbsvec-metrics` | pair recall/precision/F1, Fowlkes–Mallows, ARI, NMI, silhouette, Davies–Bouldin |
 //! | [`datasets`] | `dbsvec-datasets` | deterministic synthetic generators, CSV I/O, SVG scatter plots |
+//! | [`obs`] | `dbsvec-obs` | run-trace observers: phase spans, typed events, JSONL sink, replay, profiling |
 //!
 //! A command-line front end lives in the separate `dbsvec-cli` crate
 //! (binary `dbsvec-cli`): cluster, compare, generate, and suggest
@@ -49,6 +50,7 @@ pub use dbsvec_geometry as geometry;
 pub use dbsvec_index as index;
 pub use dbsvec_lsh as lsh;
 pub use dbsvec_metrics as metrics;
+pub use dbsvec_obs as obs;
 pub use dbsvec_svdd as svdd;
 
 pub use dbsvec_core::{dbsvec, Dbsvec, DbsvecConfig};

@@ -68,12 +68,7 @@ fn fitted_model_classifies_a_held_out_stream() {
     let eps = dbsvec::datasets::standins::suggest_eps(&train.points, 8, 3);
     let result = Dbsvec::new(DbsvecConfig::new(eps, 8)).fit(&train.points);
     assert_eq!(result.num_clusters(), 4);
-    let model = ClusterModel::new(
-        &train.points,
-        result.labels(),
-        &result.core_point_ids(),
-        eps,
-    );
+    let model = ClusterModel::new(&train.points, result.labels(), result.core_points(), eps);
 
     let test = gaussian_mixture(1200, 3, 4, 700.0, 1e5, 11); // same centers (same seed)
     let predictions = model.predict_batch(&test.points);
@@ -103,7 +98,7 @@ fn fitted_model_classifies_a_held_out_stream() {
 fn boundary_extraction_composes_with_clustering() {
     // Cluster a mixture with DBSVEC, then describe one found cluster with
     // SVDD and check the boundary separates it from the other cluster.
-    let ds = gaussian_mixture(1200, 2, 2, 2000.0, 1e5, 13);
+    let ds = gaussian_mixture(1200, 2, 2, 2000.0, 1e5, 21);
     let eps = dbsvec::datasets::standins::suggest_eps(&ds.points, 8, 4);
     let result = Dbsvec::new(DbsvecConfig::new(eps, 8)).fit(&ds.points);
     assert_eq!(result.num_clusters(), 2);

@@ -4,7 +4,8 @@ use std::path::PathBuf;
 
 use dbsvec::baselines::Dbscan;
 use dbsvec::datasets::io::{read_csv, write_csv};
-use dbsvec::datasets::{chameleon_t710k, normalize_to_domain, OpenDataset};
+use dbsvec::datasets::{chameleon_t710k, gaussian_mixture, normalize_to_domain, OpenDataset};
+use dbsvec::index::{CountingIndex, RStarTree};
 use dbsvec::metrics::{davies_bouldin_separation, recall, silhouette_compactness};
 use dbsvec::{Dbsvec, DbsvecConfig};
 
@@ -85,6 +86,24 @@ fn normalization_preserves_clustering_structure() {
     let r = recall(before.labels().assignments(), after.labels().assignments());
     assert!(r > 0.98, "normalization changed the clustering: recall {r}");
     assert_eq!(before.num_clusters(), after.num_clusters());
+}
+
+#[test]
+fn reported_range_queries_match_the_index_counters() {
+    // `DbsvecStats.range_queries` (what θ and Table II are computed from)
+    // must equal what the index itself saw — every query goes through the
+    // counted seam, none is double-counted.
+    let ds = gaussian_mixture(3000, 8, 6, 900.0, 1e5, 17);
+    let eps = dbsvec::datasets::standins::suggest_eps(&ds.points, 10, 2);
+    let index = CountingIndex::new(RStarTree::build(&ds.points));
+
+    let result = Dbsvec::new(DbsvecConfig::new(eps, 10)).fit_with_index(&ds.points, &index);
+
+    assert!(result.num_clusters() >= 2, "want multi-cluster data");
+    let counted = index.stats();
+    assert_eq!(result.stats().range_queries, counted.queries);
+    // And the headline claim the accounting exists for: θ ≪ 1.
+    assert!(result.stats().theta(ds.points.len()) < 0.5);
 }
 
 #[test]

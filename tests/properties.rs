@@ -1,54 +1,70 @@
-//! Property-based tests over the core data structures and invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests over the core data structures and invariants.
+//!
+//! Deterministic SplitMix64-driven instance loops; fixed seeds make every
+//! failure exactly reproducible.
 
 use dbsvec::baselines::Dbscan;
+use dbsvec::geometry::rng::SplitMix64;
 use dbsvec::index::{GridIndex, KdTree, LinearScan, RStarTree, RangeIndex};
 use dbsvec::metrics::{adjusted_rand_index, recall};
 use dbsvec::svdd::{GaussianKernel, SvddProblem};
 use dbsvec::{Dbsvec, DbsvecConfig, PointSet};
 
-/// Strategy: a point set of n points in d dimensions with bounded coords.
-fn point_set(max_n: usize, max_d: usize) -> impl Strategy<Value = PointSet> {
-    (1..=max_d).prop_flat_map(move |d| {
-        prop::collection::vec(prop::collection::vec(-100.0..100.0f64, d), 1..=max_n)
-            .prop_map(|rows| PointSet::from_rows(&rows))
-    })
+/// A point set of 1..=max_n points in 1..=max_d dimensions with bounded
+/// coordinates.
+fn point_set(rng: &mut SplitMix64, max_n: usize, max_d: usize) -> PointSet {
+    let d = 1 + rng.next_below(max_d as u64) as usize;
+    let n = 1 + rng.next_below(max_n as u64) as usize;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.next_f64_range(-100.0, 100.0)).collect())
+        .collect();
+    PointSet::from_rows(&rows)
 }
 
-/// Strategy: a clustering assignment over n points.
-fn assignment(n: usize) -> impl Strategy<Value = Vec<Option<u32>>> {
-    prop::collection::vec(prop::option::weighted(0.8, 0u32..5), n)
+/// A clustering assignment over n points (≈80% clustered into 5 labels).
+fn assignment(rng: &mut SplitMix64, n: usize) -> Vec<Option<u32>> {
+    (0..n)
+        .map(|_| {
+            if rng.next_f64() < 0.8 {
+                Some(rng.next_below(5) as u32)
+            } else {
+                None
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_indexes_agree_with_linear_scan(
-        ps in point_set(120, 4),
-        query in prop::collection::vec(-120.0..120.0f64, 4),
-        eps in 0.1..150.0f64,
-    ) {
-        let query = &query[..ps.dims()];
-        let mut expected = LinearScan::build(&ps).range_vec(query, eps);
+#[test]
+fn all_indexes_agree_with_linear_scan() {
+    let mut rng = SplitMix64::new(0xF001);
+    for _ in 0..64 {
+        let ps = point_set(&mut rng, 120, 4);
+        let query: Vec<f64> = (0..ps.dims())
+            .map(|_| rng.next_f64_range(-120.0, 120.0))
+            .collect();
+        let eps = rng.next_f64_range(0.1, 150.0);
+        let mut expected = LinearScan::build(&ps).range_vec(&query, eps);
         expected.sort_unstable();
 
-        let mut kd = KdTree::build(&ps).range_vec(query, eps);
+        let mut kd = KdTree::build(&ps).range_vec(&query, eps);
         kd.sort_unstable();
-        prop_assert_eq!(&kd, &expected);
+        assert_eq!(kd, expected);
 
-        let mut rstar = RStarTree::build(&ps).range_vec(query, eps);
+        let mut rstar = RStarTree::build(&ps).range_vec(&query, eps);
         rstar.sort_unstable();
-        prop_assert_eq!(&rstar, &expected);
+        assert_eq!(rstar, expected);
 
-        let mut grid = GridIndex::build(&ps, eps.max(1.0)).range_vec(query, eps);
+        let mut grid = GridIndex::build(&ps, eps.max(1.0)).range_vec(&query, eps);
         grid.sort_unstable();
-        prop_assert_eq!(&grid, &expected);
+        assert_eq!(grid, expected);
     }
+}
 
-    #[test]
-    fn incremental_rstar_agrees_with_bulk_load(ps in point_set(80, 3)) {
+#[test]
+fn incremental_rstar_agrees_with_bulk_load() {
+    let mut rng = SplitMix64::new(0xF002);
+    for _ in 0..64 {
+        let ps = point_set(&mut rng, 80, 3);
         let bulk = RStarTree::build(&ps);
         let mut incremental = RStarTree::new(&ps);
         for id in 0..ps.len() as u32 {
@@ -60,31 +76,37 @@ proptest! {
             let mut b = incremental.range_vec(&query, eps);
             a.sort_unstable();
             b.sort_unstable();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    #[test]
-    fn svdd_solution_is_a_feasible_simplex_point(
-        ps in point_set(60, 3),
-        nu in 0.05..1.0f64,
-    ) {
+#[test]
+fn svdd_solution_is_a_feasible_simplex_point() {
+    let mut rng = SplitMix64::new(0xF003);
+    for _ in 0..64 {
+        let ps = point_set(&mut rng, 60, 3);
+        let nu = rng.next_f64_range(0.05, 1.0);
         let ids: Vec<u32> = (0..ps.len() as u32).collect();
         let model = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(5.0))
             .with_nu(nu.max(1.0 / ids.len() as f64))
             .solve();
         let sum: f64 = model.alphas().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+        assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
         let c = 1.0 / (nu.max(1.0 / ids.len() as f64) * ids.len() as f64);
         for &a in model.alphas() {
-            prop_assert!(a >= -1e-12 && a <= c + 1e-9);
+            assert!(a >= -1e-12 && a <= c + 1e-9);
         }
-        prop_assert!(model.num_support_vectors() >= 1);
+        assert!(model.num_support_vectors() >= 1);
     }
+}
 
-    #[test]
-    fn svdd_sphere_contains_most_mass(ps in point_set(50, 2)) {
+#[test]
+fn svdd_sphere_contains_most_mass() {
+    let mut rng = SplitMix64::new(0xF004);
+    for _ in 0..64 {
         // With nu = 1/n, outliers are not allowed: all points inside R².
+        let ps = point_set(&mut rng, 50, 2);
         let ids: Vec<u32> = (0..ps.len() as u32).collect();
         let model = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(50.0)).solve();
         // Margin: SMO stops at a 1e-4 KKT tolerance, so normal SVs sit on
@@ -93,31 +115,43 @@ proptest! {
             .iter()
             .filter(|&&id| model.decision(&ps, ps.point(id)) <= model.radius_sq() + 1e-3)
             .count();
-        prop_assert!(inside as f64 >= 0.99 * ids.len() as f64,
-            "{}/{} inside", inside, ids.len());
+        assert!(
+            inside as f64 >= 0.99 * ids.len() as f64,
+            "{}/{} inside",
+            inside,
+            ids.len()
+        );
     }
+}
 
-    #[test]
-    fn dbsvec_labels_are_complete_and_dense(ps in point_set(150, 3)) {
+#[test]
+fn dbsvec_labels_are_complete_and_dense() {
+    let mut rng = SplitMix64::new(0xF005);
+    for _ in 0..64 {
+        let ps = point_set(&mut rng, 150, 3);
         let result = Dbsvec::new(DbsvecConfig::new(20.0, 4)).fit(&ps);
         let labels = result.labels();
-        prop_assert_eq!(labels.len(), ps.len());
+        assert_eq!(labels.len(), ps.len());
         // Cluster ids are dense 0..k.
         let k = labels.num_clusters();
         for a in labels.assignments().iter().flatten() {
-            prop_assert!((*a as usize) < k);
+            assert!((*a as usize) < k);
         }
         // Sizes sum to n - noise.
         let total: usize = labels.cluster_sizes().iter().sum();
-        prop_assert_eq!(total + labels.noise_count(), ps.len());
+        assert_eq!(total + labels.noise_count(), ps.len());
         // Every non-empty cluster id actually occurs.
         for (c, &size) in labels.cluster_sizes().iter().enumerate() {
-            prop_assert!(size > 0, "cluster {} is empty", c);
+            assert!(size > 0, "cluster {c} is empty");
         }
     }
+}
 
-    #[test]
-    fn dbsvec_noise_points_really_have_no_core_neighbor(ps in point_set(120, 2)) {
+#[test]
+fn dbsvec_noise_points_really_have_no_core_neighbor() {
+    let mut rng = SplitMix64::new(0xF006);
+    for _ in 0..64 {
+        let ps = point_set(&mut rng, 120, 2);
         let eps = 15.0;
         let min_pts = 4;
         let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit(&ps);
@@ -127,18 +161,20 @@ proptest! {
                 // DBSCAN semantics: a noise point is non-core and has no
                 // core point in its eps-neighborhood.
                 let neigh = scan.range_vec(ps.point(i as u32), eps);
-                prop_assert!(neigh.len() < min_pts, "noise point {} is core", i);
+                assert!(neigh.len() < min_pts, "noise point {i} is core");
                 for &j in &neigh {
                     let jn = scan.count_range(ps.point(j), eps);
-                    prop_assert!(jn < min_pts,
-                        "noise point {} has core neighbor {}", i, j);
+                    assert!(jn < min_pts, "noise point {i} has core neighbor {j}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn dbsvec_theorems_hold_on_adversarial_random_data(ps in point_set(150, 3)) {
+#[test]
+fn dbsvec_theorems_hold_on_adversarial_random_data() {
+    let mut rng = SplitMix64::new(0xF007);
+    for _ in 0..64 {
         // Uniform random clouds connect clusters through thin single-point
         // chains — exactly the §III-C Condition 1/2 regime where DBSVEC is
         // *allowed* to split a DBSCAN cluster. What the paper guarantees
@@ -147,12 +183,15 @@ proptest! {
         //   Theorem 3: the noise sets are identical.
         // Recall stays high even here; the >0.999 bound for clustered data
         // lives in tests/dbsvec_vs_dbscan.rs.
+        let ps = point_set(&mut rng, 150, 3);
         let eps = 25.0;
         let min_pts = 4;
         let dbscan = Dbscan::new(eps, min_pts).fit(&ps).clustering;
-        let dbsvec = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit(&ps).into_labels();
+        let dbsvec = Dbsvec::new(DbsvecConfig::new(eps, min_pts))
+            .fit(&ps)
+            .into_labels();
         let r = recall(dbscan.assignments(), dbsvec.assignments());
-        prop_assert!(r > 0.75, "recall {} collapsed even for adversarial data", r);
+        assert!(r > 0.75, "recall {r} collapsed even for adversarial data");
         let (a, b) = (dbscan.assignments(), dbsvec.assignments());
         // Core flags: necessity is a statement about core points — a border
         // point in range of two clusters may legitimately land in either
@@ -164,39 +203,51 @@ proptest! {
             .collect();
         for i in 0..ps.len() {
             // Theorem 3: identical noise sets.
-            prop_assert_eq!(a[i].is_none(), b[i].is_none(), "noise mismatch at {}", i);
+            assert_eq!(a[i].is_none(), b[i].is_none(), "noise mismatch at {i}");
             if !core[i] {
                 continue;
             }
             // Theorem 1 (necessity) over core-core pairs.
             for j in (i + 1..ps.len()).step_by(3) {
                 if core[j] && b[i].is_some() && b[i] == b[j] {
-                    prop_assert!(a[i] == a[j],
-                        "DBSVEC joined core points {},{} but DBSCAN separated them", i, j);
+                    assert!(
+                        a[i] == a[j],
+                        "DBSVEC joined core points {i},{j} but DBSCAN separated them"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn metric_identities(labels in assignment(80)) {
-        prop_assert_eq!(recall(&labels, &labels), 1.0);
+#[test]
+fn metric_identities() {
+    let mut rng = SplitMix64::new(0xF008);
+    for _ in 0..64 {
+        let labels = assignment(&mut rng, 80);
+        assert_eq!(recall(&labels, &labels), 1.0);
         let ari = adjusted_rand_index(&labels, &labels);
-        prop_assert!((ari - 1.0).abs() < 1e-9);
+        assert!((ari - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn recall_is_monotone_under_merging(labels in assignment(60)) {
+#[test]
+fn recall_is_monotone_under_merging() {
+    let mut rng = SplitMix64::new(0xF009);
+    for _ in 0..64 {
         // Merging every cluster into one can never lose reference pairs.
+        let labels = assignment(&mut rng, 60);
         let merged: Vec<Option<u32>> = labels.iter().map(|l| l.map(|_| 0)).collect();
-        prop_assert_eq!(recall(&labels, &merged), 1.0);
+        assert_eq!(recall(&labels, &merged), 1.0);
     }
+}
 
-    #[test]
-    fn recall_matches_brute_force(
-        a in assignment(40),
-        b in assignment(40),
-    ) {
+#[test]
+fn recall_matches_brute_force() {
+    let mut rng = SplitMix64::new(0xF00A);
+    for _ in 0..64 {
+        let a = assignment(&mut rng, 40);
+        let b = assignment(&mut rng, 40);
         let fast = recall(&a, &b);
         let mut denom = 0u64;
         let mut kept = 0u64;
@@ -210,15 +261,24 @@ proptest! {
                 }
             }
         }
-        let brute = if denom == 0 { 1.0 } else { kept as f64 / denom as f64 };
-        prop_assert!((fast - brute).abs() < 1e-12, "fast {} vs brute {}", fast, brute);
+        let brute = if denom == 0 {
+            1.0
+        } else {
+            kept as f64 / denom as f64
+        };
+        assert!((fast - brute).abs() < 1e-12, "fast {fast} vs brute {brute}");
     }
+}
 
-    #[test]
-    fn ari_is_symmetric(a in assignment(50), b in assignment(50)) {
+#[test]
+fn ari_is_symmetric() {
+    let mut rng = SplitMix64::new(0xF00B);
+    for _ in 0..64 {
+        let a = assignment(&mut rng, 50);
+        let b = assignment(&mut rng, 50);
         let ab = adjusted_rand_index(&a, &b);
         let ba = adjusted_rand_index(&b, &a);
-        prop_assert!((ab - ba).abs() < 1e-9);
-        prop_assert!(ab <= 1.0 + 1e-9);
+        assert!((ab - ba).abs() < 1e-9);
+        assert!(ab <= 1.0 + 1e-9);
     }
 }
