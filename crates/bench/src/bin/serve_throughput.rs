@@ -1,0 +1,155 @@
+//! Serving throughput — single-point assignment vs scoped-thread batch
+//! fan-out over a persisted model.
+//!
+//! Fits DBSVEC once, persists the model through the binary snapshot
+//! format, reloads it into an [`Engine`], and then measures how fast the
+//! engine labels a stream of unseen queries: one `assign` call per point
+//! versus `assign_batch` at increasing thread counts. Writes
+//! `BENCH_serve_throughput.json` when `--json DIR` is given.
+//!
+//! The batch path only wins on multi-core machines (the fan-out is plain
+//! `std::thread::scope` over contiguous chunks); on a single core the
+//! speedup hovers around 1x, so the report records the measured ratio
+//! rather than asserting a target.
+
+use std::time::Duration;
+
+use dbsvec_bench::harness::{time, Stopwatch};
+use dbsvec_bench::parse_args;
+use dbsvec_core::{Dbsvec, DbsvecConfig};
+use dbsvec_datasets::{gaussian_mixture, standins::suggest_eps};
+use dbsvec_engine::{snapshot, Engine, ModelArtifact};
+use dbsvec_geometry::rng::SplitMix64;
+use dbsvec_geometry::PointSet;
+use dbsvec_obs::Json;
+
+const DIMS: usize = 8;
+const CLUSTERS: usize = 5;
+const MIN_PTS: usize = 8;
+
+fn main() {
+    let args = parse_args();
+    let stopwatch = Stopwatch::with_budget(Duration::from_secs_f64(args.budget_secs));
+    let n = ((200_000f64 * args.scale) as usize).max(2_000);
+    let n_queries = n;
+
+    // ---- Fit once and round-trip the model through the snapshot format.
+    let data = gaussian_mixture(n, DIMS, CLUSTERS, 400.0, 1e5, args.seed);
+    let eps = suggest_eps(&data.points, MIN_PTS, args.seed);
+    let (fit, fit_secs) = time(|| Dbsvec::new(DbsvecConfig::new(eps, MIN_PTS)).fit(&data.points));
+    let artifact = ModelArtifact::from_fit(
+        &data.points,
+        fit.labels(),
+        fit.core_points(),
+        eps,
+        MIN_PTS as u32,
+    )
+    .expect("fit produces a valid artifact");
+    let (bytes, encode_secs) = time(|| snapshot::encode(&artifact));
+    let (decoded, decode_secs) = time(|| snapshot::decode(&bytes).expect("own bytes decode"));
+    println!(
+        "fit: n={n}, d={DIMS}, eps={eps:.1} -> {} cores, {} clusters in {fit_secs:.3}s",
+        artifact.cores.len(),
+        artifact.num_clusters
+    );
+    println!(
+        "snapshot: {} bytes, encode {:.1}ms, decode {:.1}ms",
+        bytes.len(),
+        encode_secs * 1e3,
+        decode_secs * 1e3
+    );
+
+    // ---- Queries the model has not seen: jittered training points.
+    let mut rng = SplitMix64::new(args.seed ^ 0x5e12e);
+    let mut queries = PointSet::new(DIMS);
+    let mut buf = vec![0.0; DIMS];
+    for i in 0..n_queries {
+        let p = data.points.point((i % n) as u32);
+        for (d, v) in buf.iter_mut().enumerate() {
+            *v = p[d] + (rng.next_f64() - 0.5) * eps;
+        }
+        queries.push(&buf);
+    }
+
+    let mut engine = Engine::new(&decoded);
+    let mut runs: Vec<Json> = Vec::new();
+    let mut best_batch_pps: f64 = 0.0;
+
+    // Single-point path: one assign call per query.
+    let (hits, secs) = time(|| {
+        let mut hits = 0usize;
+        for i in 0..queries.len() {
+            if engine.assign(queries.point(i as u32)).cluster().is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    let single_pps = queries.len() as f64 / secs.max(1e-9);
+    println!(
+        "{:>8} {:>8} {:>10} {:>12.0} pts/s  ({} clustered)",
+        "single",
+        1,
+        queries.len(),
+        single_pps,
+        hits
+    );
+    runs.push(Json::obj([
+        ("mode", Json::str("single")),
+        ("threads", Json::UInt(1)),
+        ("n_queries", Json::UInt(queries.len() as u64)),
+        ("seconds", Json::Num(secs)),
+        ("points_per_sec", Json::Num(single_pps)),
+    ]));
+
+    // Batch path at increasing thread counts.
+    let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+    for threads in [1usize, 2, 4, 8] {
+        if stopwatch.exhausted() {
+            println!("{threads:>8}  (budget exhausted)");
+            break;
+        }
+        let (assignments, secs) = time(|| engine.assign_batch(&queries, threads));
+        let pps = assignments.len() as f64 / secs.max(1e-9);
+        best_batch_pps = best_batch_pps.max(pps);
+        println!(
+            "{:>8} {:>8} {:>10} {:>12.0} pts/s",
+            "batch",
+            threads,
+            assignments.len(),
+            pps
+        );
+        runs.push(Json::obj([
+            ("mode", Json::str("batch")),
+            ("threads", Json::UInt(threads as u64)),
+            ("n_queries", Json::UInt(assignments.len() as u64)),
+            ("seconds", Json::Num(secs)),
+            ("points_per_sec", Json::Num(pps)),
+        ]));
+    }
+
+    let speedup = best_batch_pps / single_pps.max(1e-9);
+    println!("best batch vs single: {speedup:.2}x on {hardware} hardware thread(s)");
+
+    if let Some(dir) = &args.json_dir {
+        let report = Json::obj([
+            ("experiment", Json::str("serve_throughput")),
+            ("n", Json::UInt(n as u64)),
+            ("dims", Json::UInt(DIMS as u64)),
+            ("cores", Json::UInt(artifact.cores.len() as u64)),
+            ("snapshot_bytes", Json::UInt(bytes.len() as u64)),
+            ("hardware_threads", Json::UInt(hardware as u64)),
+            ("runs", Json::Arr(runs)),
+            ("speedup_best_batch_vs_single", Json::Num(speedup)),
+        ]);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return;
+        }
+        let path = std::path::Path::new(dir).join("BENCH_serve_throughput.json");
+        match std::fs::write(&path, format!("{report}\n")) {
+            Ok(()) => println!("json report written to {}", path.display()),
+            Err(e) => eprintln!("cannot write json report to {dir}: {e}"),
+        }
+    }
+}

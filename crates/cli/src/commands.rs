@@ -1,4 +1,4 @@
-//! The four CLI subcommands.
+//! The CLI subcommands.
 
 use std::io::Write;
 use std::path::Path;
@@ -15,13 +15,45 @@ use dbsvec_datasets::{
     chameleon_t48k, chameleon_t710k, random_walk_clusters, spirals, two_moons, Dataset,
     RandomWalkConfig,
 };
+use dbsvec_engine::{snapshot, Assignment, Engine, ModelArtifact, REFIT_THRESHOLD};
 use dbsvec_geometry::PointSet;
 use dbsvec_index::{k_distance_profile, knee_epsilon, KdTree};
 use dbsvec_metrics::{adjusted_rand_index, recall};
-use dbsvec_obs::{JsonlSink, NoopObserver, Observer, ProfileReport, RecordingObserver, Tee};
+use dbsvec_obs::{
+    Event, JsonlSink, NoopObserver, Observer, Phase, ProfileReport, RecordingObserver, Tee,
+};
 
 use crate::args::ParsedArgs;
 use crate::CliError;
+
+/// The JSONL trace sink opened by `--trace out.jsonl`.
+type TraceSink = JsonlSink<std::io::BufWriter<std::fs::File>>;
+
+/// Opens the `--trace` sink if the flag is present.
+fn open_trace(args: &ParsedArgs) -> Result<Option<TraceSink>, CliError> {
+    match args.get("trace") {
+        Some(path) => Ok(Some(JsonlSink::new(std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .map_err(|e| CliError(format!("cannot create trace file {path}: {e}")))?,
+        )))),
+        None => Ok(None),
+    }
+}
+
+/// Flushes and closes the `--trace` sink, reporting where it went.
+fn finish_trace(
+    args: &ParsedArgs,
+    sink: Option<TraceSink>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    if let Some(sink) = sink {
+        let path = args.get("trace").expect("sink implies --trace");
+        sink.finish()
+            .map_err(|e| CliError(format!("writing trace file {path}: {e}")))?;
+        writeln!(out, "trace written to {path}")?;
+    }
+    Ok(())
+}
 
 /// Loads points (labels in the file are ignored) and resolves (ε, MinPts):
 /// explicit flags win; otherwise MinPts comes from the cardinality default
@@ -95,13 +127,7 @@ pub fn cluster(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     // with observed entry points (dbsvec variants, dbscan family,
     // nq-dbscan) report into it.
     let profile = args.has_switch("profile");
-    let mut sink = match args.get("trace") {
-        Some(path) => Some(JsonlSink::new(std::io::BufWriter::new(
-            std::fs::File::create(path)
-                .map_err(|e| CliError(format!("cannot create trace file {path}: {e}")))?,
-        ))),
-        None => None,
-    };
+    let mut sink = open_trace(args)?;
     let observing = profile || sink.is_some();
     let observable = matches!(
         algorithm,
@@ -217,12 +243,7 @@ pub fn cluster(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             ProfileReport::from_recording(&recorder, points.len())
         )?;
     }
-    if let Some(sink) = sink.take() {
-        let path = args.get("trace").expect("sink implies --trace");
-        sink.finish()
-            .map_err(|e| CliError(format!("writing trace file {path}: {e}")))?;
-        writeln!(out, "trace written to {path}")?;
-    }
+    finish_trace(args, sink, out)?;
 
     if let Some(output) = args.get("output") {
         write_csv(Path::new(output), &points, Some(clustering.assignments()))?;
@@ -325,6 +346,242 @@ pub fn suggest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     }
     let fallback = suggest_eps(&points, min_pts, 1);
     writeln!(out, "median-based fallback eps = {fallback:.6}")?;
+    Ok(())
+}
+
+/// `dbsvec fit`: cluster with DBSVEC and persist the fitted model.
+pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "input",
+        "eps",
+        "min-pts",
+        "save",
+        "boundaries",
+        "stats",
+        "trace",
+        "profile",
+        "help",
+    ])?;
+    let (points, eps, min_pts) = load_with_params(args, out)?;
+    let save = args.require("save")?;
+
+    let profile = args.has_switch("profile");
+    let mut sink = open_trace(args)?;
+    let observing = profile || sink.is_some();
+    let mut recorder = RecordingObserver::new();
+    let mut noop = NoopObserver;
+    let mut tee = Tee(&mut recorder, &mut sink);
+    let obs: &mut dyn Observer = if observing { &mut tee } else { &mut noop };
+
+    let start = Instant::now();
+    let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit_observed(&points, obs);
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = *result.stats();
+
+    let mut artifact = ModelArtifact::from_fit(
+        &points,
+        result.labels(),
+        result.core_points(),
+        eps,
+        min_pts as u32,
+    )
+    .map_err(|e| CliError(format!("fit produced an unservable model: {e}")))?;
+    if args.has_switch("boundaries") {
+        artifact = artifact.with_boundaries(&points, result.labels());
+    }
+    let bytes = snapshot::write_file(&artifact, Path::new(save))
+        .map_err(|e| CliError(format!("cannot write model {save}: {e}")))?;
+    obs.event(&Event::SnapshotWrite { bytes });
+
+    writeln!(out, "parameters: eps = {eps:.6}, MinPts = {min_pts}")?;
+    print_summary(out, "dbsvec", result.labels(), seconds)?;
+    let boundary_note = match &artifact.boundaries {
+        Some(b) => format!(", {} SVDD boundaries", b.len()),
+        None => String::new(),
+    };
+    writeln!(
+        out,
+        "model: {} core points, {} clusters{boundary_note} -> {save} ({bytes} bytes)",
+        artifact.cores.len(),
+        artifact.num_clusters,
+    )?;
+    if args.has_switch("stats") {
+        writeln!(
+            out,
+            "cost: range queries {} (theta {:.3}), SVDD trainings {}, support vectors {}",
+            stats.range_queries,
+            stats.theta(points.len()),
+            stats.svdd_trainings,
+            stats.support_vectors
+        )?;
+    }
+    if profile {
+        writeln!(out, "\nprofile:")?;
+        writeln!(
+            out,
+            "{}",
+            ProfileReport::from_recording(&recorder, points.len())
+        )?;
+    }
+    finish_trace(args, sink, out)?;
+    Ok(())
+}
+
+/// `dbsvec serve`: load a persisted model and assign a batch of points.
+pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "model", "assign", "output", "threads", "profile", "trace", "help",
+    ])?;
+    let model_path = args.require("model")?;
+    let assign_path = args.require("assign")?;
+    let threads: usize = args.get_or("threads", 1)?;
+
+    let profile = args.has_switch("profile");
+    let mut sink = open_trace(args)?;
+    let observing = profile || sink.is_some();
+    let mut recorder = RecordingObserver::new();
+    let mut noop = NoopObserver;
+    let mut tee = Tee(&mut recorder, &mut sink);
+    let obs: &mut dyn Observer = if observing { &mut tee } else { &mut noop };
+
+    let (artifact, bytes) = snapshot::read_file(Path::new(model_path))
+        .map_err(|e| CliError(format!("cannot load model {model_path}: {e}")))?;
+    obs.event(&Event::SnapshotLoad { bytes });
+    let mut engine = Engine::new(&artifact);
+    writeln!(
+        out,
+        "model: {}-d, {} core points, {} clusters, eps = {:.6}, MinPts = {} ({bytes} bytes)",
+        engine.dims(),
+        engine.core_count(),
+        engine.num_clusters(),
+        engine.eps(),
+        engine.min_pts()
+    )?;
+
+    let (queries, _) = read_csv(Path::new(assign_path))?;
+    if queries.is_empty() {
+        return Err(CliError(format!("{assign_path}: no points")));
+    }
+    if queries.dims() != engine.dims() {
+        return Err(CliError(format!(
+            "{assign_path} is {}-dimensional but the model expects {}",
+            queries.dims(),
+            engine.dims()
+        )));
+    }
+
+    obs.span_enter(Phase::Serve);
+    let start = Instant::now();
+    let assignments = engine.assign_batch_observed(&queries, threads, obs);
+    let seconds = start.elapsed().as_secs_f64();
+    obs.span_exit(Phase::Serve);
+
+    let hits = assignments
+        .iter()
+        .filter(|a| matches!(a, Assignment::Cluster(_)))
+        .count();
+    writeln!(
+        out,
+        "assigned {} points in {seconds:.3}s ({:.0} points/s, {threads} threads): {hits} clustered, {} noise",
+        queries.len(),
+        queries.len() as f64 / seconds.max(1e-9),
+        queries.len() - hits
+    )?;
+
+    if let Some(output) = args.get("output") {
+        let labels: Vec<Option<u32>> = assignments.iter().map(|a| a.cluster()).collect();
+        write_csv(Path::new(output), &queries, Some(&labels))?;
+        writeln!(out, "labels written to {output}")?;
+    }
+    if profile {
+        writeln!(out, "\nprofile:")?;
+        writeln!(
+            out,
+            "{}",
+            ProfileReport::from_recording(&recorder, queries.len())
+        )?;
+    }
+    finish_trace(args, sink, out)?;
+    Ok(())
+}
+
+/// `dbsvec ingest`: stream points into a persisted model and report drift.
+pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["model", "input", "save", "trace", "help"])?;
+    let model_path = args.require("model")?;
+    let input = args.require("input")?;
+
+    let mut sink = open_trace(args)?;
+    let observing = sink.is_some();
+    let mut recorder = RecordingObserver::new();
+    let mut noop = NoopObserver;
+    let mut tee = Tee(&mut recorder, &mut sink);
+    let obs: &mut dyn Observer = if observing { &mut tee } else { &mut noop };
+
+    let (artifact, bytes) = snapshot::read_file(Path::new(model_path))
+        .map_err(|e| CliError(format!("cannot load model {model_path}: {e}")))?;
+    obs.event(&Event::SnapshotLoad { bytes });
+    let mut engine = Engine::new(&artifact);
+
+    let (points, _) = read_csv(Path::new(input))?;
+    if points.is_empty() {
+        return Err(CliError(format!("{input}: no points")));
+    }
+    if points.dims() != engine.dims() {
+        return Err(CliError(format!(
+            "{input} is {}-dimensional but the model expects {}",
+            points.dims(),
+            engine.dims()
+        )));
+    }
+
+    obs.span_enter(Phase::Serve);
+    let start = Instant::now();
+    for (_, p) in points.iter() {
+        engine.ingest_observed(p, obs);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    obs.span_exit(Phase::Serve);
+
+    let s = *engine.stats();
+    writeln!(
+        out,
+        "ingested {} points in {seconds:.3}s: {} duplicates, {} promoted to core \
+         ({} new clusters, {} merges), {} still buffered",
+        points.len(),
+        s.duplicates,
+        s.promotions,
+        s.new_clusters,
+        s.merges,
+        engine.buffered_count()
+    )?;
+    writeln!(
+        out,
+        "model drift: {} -> {} cores, {} -> {} clusters, staleness {:.1}%",
+        artifact.cores.len(),
+        engine.core_count(),
+        artifact.num_clusters,
+        engine.num_clusters(),
+        engine.staleness() * 100.0
+    )?;
+    if engine.refit_recommended() {
+        writeln!(
+            out,
+            "recommendation: re-fit from scratch (staleness above {:.0}%)",
+            REFIT_THRESHOLD * 100.0
+        )?;
+    } else {
+        writeln!(out, "recommendation: model is still fresh")?;
+    }
+
+    if let Some(save) = args.get("save") {
+        let snap = engine.snapshot();
+        let bytes = snapshot::write_file(&snap, Path::new(save))
+            .map_err(|e| CliError(format!("cannot write model {save}: {e}")))?;
+        obs.event(&Event::SnapshotWrite { bytes });
+        writeln!(out, "updated model written to {save} ({bytes} bytes)")?;
+    }
+    finish_trace(args, sink, out)?;
     Ok(())
 }
 
@@ -598,5 +855,210 @@ mod tests {
     fn help_prints_usage() {
         let text = run_ok(&["--help"]);
         assert!(text.contains("USAGE"));
+        assert!(text.contains("serve"), "serving commands documented");
+    }
+
+    #[test]
+    fn fit_then_serve_reproduces_training_labels() {
+        let data = tempfile("serve.csv");
+        let model = tempfile("serve.dbm");
+        let fit_labels = tempfile("serve-fit-labels.csv");
+        let served_labels = tempfile("serve-labels.csv");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "600",
+            "--output",
+            data_s,
+        ]);
+        let common = ["--input", data_s, "--eps", "0.15", "--min-pts", "5"];
+
+        // The fit's own labels, via the cluster command.
+        let mut cluster_args = vec!["cluster"];
+        cluster_args.extend_from_slice(&common);
+        cluster_args.extend_from_slice(&["--output", fit_labels.to_str().unwrap()]);
+        run_ok(&cluster_args);
+
+        let mut fit_args = vec!["fit"];
+        fit_args.extend_from_slice(&common);
+        fit_args.extend_from_slice(&["--save", model_s, "--stats"]);
+        let text = run_ok(&fit_args);
+        assert!(text.contains("model:"), "missing model line: {text}");
+        assert!(text.contains("cost:"), "missing stats line: {text}");
+
+        let text = run_ok(&[
+            "serve",
+            "--model",
+            model_s,
+            "--assign",
+            data_s,
+            "--threads",
+            "2",
+            "--output",
+            served_labels.to_str().unwrap(),
+        ]);
+        assert!(text.contains("assigned 600 points"), "got: {text}");
+
+        // Served labels must reproduce the fit, modulo border tie-breaks.
+        let (_, fitted) = read_csv(&fit_labels).unwrap();
+        let (_, served) = read_csv(&served_labels).unwrap();
+        let (fitted, served) = (fitted.unwrap(), served.unwrap());
+        assert_eq!(fitted.len(), served.len());
+        let noise = |l: &[Option<u32>]| l.iter().filter(|x| x.is_none()).count();
+        assert_eq!(noise(&fitted), noise(&served), "noise sets must match");
+        let agree = fitted.iter().zip(&served).filter(|(a, b)| a == b).count();
+        assert!(
+            agree as f64 >= 0.999 * fitted.len() as f64,
+            "only {agree}/{} labels agree",
+            fitted.len()
+        );
+
+        for f in [&data, &model, &fit_labels, &served_labels] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn serve_trace_and_profile_cover_the_serve_phase() {
+        let data = tempfile("serve-obs.csv");
+        let model = tempfile("serve-obs.dbm");
+        let trace = tempfile("serve-obs.jsonl");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "300",
+            "--output",
+            data_s,
+        ]);
+        run_ok(&[
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            model_s,
+        ]);
+
+        let text = run_ok(&[
+            "serve",
+            "--model",
+            model_s,
+            "--assign",
+            data_s,
+            "--profile",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]);
+        assert!(text.contains("profile:"), "missing profile: {text}");
+        assert!(text.contains("trace written to"), "missing trace: {text}");
+
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        let counts = dbsvec_obs::ReplayCounts::from_jsonl(&trace_text).unwrap();
+        assert_eq!(counts.assigns, 300);
+        assert_eq!(counts.snapshot_loads, 1);
+
+        for f in [&data, &model, &trace] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn ingest_reports_drift_and_saves_a_servable_model() {
+        let data = tempfile("ingest.csv");
+        let extra = tempfile("ingest-extra.csv");
+        let model = tempfile("ingest.dbm");
+        let updated = tempfile("ingest-updated.dbm");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "400",
+            "--output",
+            data_s,
+        ]);
+        run_ok(&[
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            model_s,
+        ]);
+        // A fresh batch from the same distribution.
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "200",
+            "--seed",
+            "7",
+            "--output",
+            extra.to_str().unwrap(),
+        ]);
+
+        let text = run_ok(&[
+            "ingest",
+            "--model",
+            model_s,
+            "--input",
+            extra.to_str().unwrap(),
+            "--save",
+            updated.to_str().unwrap(),
+        ]);
+        assert!(text.contains("ingested 200 points"), "got: {text}");
+        assert!(text.contains("staleness"), "got: {text}");
+        assert!(text.contains("recommendation:"), "got: {text}");
+        assert!(text.contains("updated model written to"), "got: {text}");
+
+        // The updated snapshot must itself be loadable and servable.
+        let text = run_ok(&[
+            "serve",
+            "--model",
+            updated.to_str().unwrap(),
+            "--assign",
+            data_s,
+        ]);
+        assert!(text.contains("assigned 400 points"), "got: {text}");
+
+        for f in [&data, &extra, &model, &updated] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn serve_rejects_non_model_files() {
+        let data = tempfile("notamodel.csv");
+        let data_s = data.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "50",
+            "--output",
+            data_s,
+        ]);
+        let err = run_err(&["serve", "--model", data_s, "--assign", data_s]);
+        assert!(err.contains("cannot load model"), "got: {err}");
+        std::fs::remove_file(&data).ok();
     }
 }

@@ -9,7 +9,13 @@
 //!   report agreement (recall, ARI) and timings;
 //! * `dbsvec generate` — emit one of the synthetic benchmark datasets as
 //!   CSV;
-//! * `dbsvec suggest` — print the k-distance-derived ε for a dataset.
+//! * `dbsvec suggest` — print the k-distance-derived ε for a dataset;
+//! * `dbsvec fit` — cluster with DBSVEC and persist the fitted model as a
+//!   versioned binary snapshot (`.dbm`);
+//! * `dbsvec serve` — load a snapshot and assign a batch of new points
+//!   (optionally fanned out over threads);
+//! * `dbsvec ingest` — stream new points into a loaded model, promoting
+//!   dense arrivals to cores, and report the resulting drift.
 //!
 //! All user errors surface as [`CliError`] with a message suitable for
 //! stderr; the binary in `src/bin/dbsvec.rs` is a trivial shell around
@@ -55,6 +61,12 @@ USAGE:
   dbsvec-cli compare  --input points.csv [--eps F] [--min-pts N] [--seed N]
   dbsvec-cli generate --dataset NAME [--n N] [--dims D] [--seed N] --output file.csv
   dbsvec-cli suggest  --input points.csv [--min-pts N]
+  dbsvec-cli fit      --input points.csv --save model.dbm [--eps F] [--min-pts N]
+                  [--boundaries] [--stats] [--profile] [--trace out.jsonl]
+  dbsvec-cli serve    --model model.dbm --assign points.csv [--output labels.csv]
+                  [--threads N] [--profile] [--trace out.jsonl]
+  dbsvec-cli ingest   --model model.dbm --input points.csv [--save updated.dbm]
+                  [--trace out.jsonl]
 
 ALGORITHMS (for --algorithm):
   dbsvec (default) | dbsvec-min | dbscan | kd-dbscan | parallel-dbscan |
@@ -67,7 +79,15 @@ DATASETS (for --dataset):
 Omitting --eps derives it from the k-distance knee (Schubert et al. 2017);
 omitting --min-pts uses a cardinality-based default.
 
-OBSERVABILITY (cluster only; dbsvec, dbsvec-min, dbscan, kd-dbscan, nq-dbscan):
+SERVING:
+  fit --save writes a versioned, checksummed binary snapshot (.dbm) of the
+  fitted model (core points, labels, eps/MinPts; --boundaries also persists
+  one trained SVDD per cluster). serve loads it and labels new points by the
+  nearest-core-within-eps rule; ingest streams points in, promoting dense
+  arrivals to cores, and prints a staleness-based re-fit recommendation.
+
+OBSERVABILITY (cluster, fit, serve, ingest; instrumented algorithms:
+dbsvec, dbsvec-min, dbscan, kd-dbscan, nq-dbscan):
   --profile           print a per-phase wall-clock + theta breakdown after the run
   --trace out.jsonl   stream every phase span and event as one JSON object per line
 ";
@@ -86,6 +106,9 @@ pub fn run(tokens: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), CliE
         Some("compare") => commands::compare(&parsed, out),
         Some("generate") => commands::generate(&parsed, out),
         Some("suggest") => commands::suggest(&parsed, out),
+        Some("fit") => commands::fit(&parsed, out),
+        Some("serve") => commands::serve(&parsed, out),
+        Some("ingest") => commands::ingest(&parsed, out),
         Some(other) => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
         None => Err(CliError(format!("no command given\n\n{USAGE}"))),
     }

@@ -71,12 +71,6 @@ impl DbsvecResult {
     pub fn core_points(&self) -> &[PointId] {
         &self.core_points
     }
-
-    /// Owned copy of [`DbsvecResult::core_points`].
-    #[deprecated(since = "0.1.0", note = "use the borrowing `core_points` instead")]
-    pub fn core_point_ids(&self) -> Vec<PointId> {
-        self.core_points.clone()
-    }
 }
 
 impl Dbsvec {

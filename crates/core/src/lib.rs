@@ -61,6 +61,6 @@ pub mod unionfind;
 pub use config::{DbsvecConfig, NuStrategy};
 pub use dbsvec::{dbsvec, Dbsvec, DbsvecResult};
 pub use labels::{Clustering, WorkingLabels};
-pub use predict::ClusterModel;
+pub use predict::{ClusterModel, ModelError};
 pub use stats::DbsvecStats;
 pub use unionfind::UnionFind;

@@ -7,10 +7,70 @@
 //! captures the core points of a finished run so that streaming points can
 //! be classified without re-clustering.
 
+use std::fmt;
+
 use dbsvec_geometry::{PointId, PointSet};
 use dbsvec_index::{KdTree, RangeIndex};
 
 use crate::labels::Clustering;
+
+/// Why a [`ClusterModel`] could not be built.
+///
+/// A correct in-process clustering never produces these — they guard the
+/// untrusted path, where core points and labels arrive from a persisted
+/// snapshot that may be stale, corrupted, or hand-edited.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// ε was not finite and positive.
+    BadEps(f64),
+    /// A listed core point carries no cluster label.
+    NoiseCore(PointId),
+    /// A core id does not refer to a training point.
+    IdOutOfRange {
+        /// The offending id.
+        id: PointId,
+        /// Number of training points.
+        len: usize,
+    },
+    /// A core label names a cluster the model does not have.
+    LabelOutOfRange {
+        /// The offending label.
+        label: u32,
+        /// Number of clusters in the model.
+        num_clusters: usize,
+    },
+    /// `cores` and `core_labels` disagree in length.
+    LengthMismatch {
+        /// Number of core points.
+        cores: usize,
+        /// Number of core labels.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadEps(eps) => write!(f, "eps must be positive and finite, got {eps}"),
+            ModelError::NoiseCore(id) => write!(f, "core point {id} is unclustered (noise)"),
+            ModelError::IdOutOfRange { id, len } => {
+                write!(f, "core id {id} out of range for {len} points")
+            }
+            ModelError::LabelOutOfRange {
+                label,
+                num_clusters,
+            } => write!(
+                f,
+                "core label {label} out of range for {num_clusters} clusters"
+            ),
+            ModelError::LengthMismatch { cores, labels } => {
+                write!(f, "{cores} core points but {labels} core labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
 
 /// A fitted density clustering reduced to its classification essentials:
 /// the core points and their cluster ids.
@@ -31,37 +91,88 @@ impl ClusterModel {
     ///
     /// `core_ids` are the training points that passed the core test (for
     /// DBSVEC, [`crate::DbsvecResult::core_points`]); every one of them
-    /// must be clustered.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a listed core point is noise (impossible for a correct
-    /// density clustering) or ids are out of range.
-    pub fn new(points: &PointSet, clustering: &Clustering, core_ids: &[PointId], eps: f64) -> Self {
-        assert!(
-            eps.is_finite() && eps > 0.0,
-            "eps must be positive and finite"
-        );
+    /// must be clustered. Rejects noise cores, out-of-range ids, and a
+    /// non-positive ε instead of panicking, so callers reconstructing a
+    /// model from persisted state can surface the corruption.
+    pub fn new(
+        points: &PointSet,
+        clustering: &Clustering,
+        core_ids: &[PointId],
+        eps: f64,
+    ) -> Result<Self, ModelError> {
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(ModelError::BadEps(eps));
+        }
         let mut cores = PointSet::with_capacity(points.dims(), core_ids.len());
         let mut core_labels = Vec::with_capacity(core_ids.len());
         for &id in core_ids {
+            if (id as usize) >= points.len() {
+                return Err(ModelError::IdOutOfRange {
+                    id,
+                    len: points.len(),
+                });
+            }
             let label = clustering
                 .get(id as usize)
-                .expect("a core point is always clustered");
+                .ok_or(ModelError::NoiseCore(id))?;
             cores.push(points.point(id));
             core_labels.push(label);
         }
-        Self {
+        Ok(Self {
             cores,
             core_labels,
             eps,
             num_clusters: clustering.num_clusters(),
+        })
+    }
+
+    /// Rebuilds a model from its stored parts (the snapshot-load path).
+    ///
+    /// Validates the same invariants [`ClusterModel::new`] derives from a
+    /// live clustering: aligned lengths, labels within `num_clusters`, and
+    /// a positive finite ε.
+    pub fn from_parts(
+        cores: PointSet,
+        core_labels: Vec<u32>,
+        eps: f64,
+        num_clusters: usize,
+    ) -> Result<Self, ModelError> {
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(ModelError::BadEps(eps));
         }
+        if cores.len() != core_labels.len() {
+            return Err(ModelError::LengthMismatch {
+                cores: cores.len(),
+                labels: core_labels.len(),
+            });
+        }
+        if let Some(&label) = core_labels.iter().find(|&&l| (l as usize) >= num_clusters) {
+            return Err(ModelError::LabelOutOfRange {
+                label,
+                num_clusters,
+            });
+        }
+        Ok(Self {
+            cores,
+            core_labels,
+            eps,
+            num_clusters,
+        })
     }
 
     /// Number of core points retained.
     pub fn core_count(&self) -> usize {
         self.cores.len()
+    }
+
+    /// The retained core points.
+    pub fn cores(&self) -> &PointSet {
+        &self.cores
+    }
+
+    /// Cluster id of each core point, aligned with [`ClusterModel::cores`].
+    pub fn core_labels(&self) -> &[u32] {
+        &self.core_labels
     }
 
     /// Number of clusters in the fitted model.
@@ -138,7 +249,8 @@ mod tests {
         }
         let result = Dbsvec::new(DbsvecConfig::new(0.5, 4)).fit(&ps);
         assert_eq!(result.num_clusters(), 2);
-        let model = ClusterModel::new(&ps, result.labels(), result.core_points(), 0.5);
+        let model = ClusterModel::new(&ps, result.labels(), result.core_points(), 0.5)
+            .expect("valid fit produces a valid model");
         (ps, model)
     }
 
@@ -181,9 +293,65 @@ mod tests {
         // Two cores of different clusters; query closer to cluster 1's core.
         let ps = PointSet::from_rows(&[vec![0.0], vec![10.0]]);
         let clustering = crate::labels::Clustering::from_assignments(vec![Some(0), Some(1)]);
-        let model = ClusterModel::new(&ps, &clustering, &[0, 1], 8.0);
+        let model = ClusterModel::new(&ps, &clustering, &[0, 1], 8.0).unwrap();
         assert_eq!(model.predict(&[6.5]), Some(1));
         assert_eq!(model.predict(&[3.0]), Some(0));
+    }
+
+    #[test]
+    fn construction_rejects_corrupt_inputs() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![10.0]]);
+        let clustering = crate::labels::Clustering::from_assignments(vec![Some(0), None]);
+        assert_eq!(
+            ClusterModel::new(&ps, &clustering, &[0], 0.0).unwrap_err(),
+            ModelError::BadEps(0.0)
+        );
+        assert!(matches!(
+            ClusterModel::new(&ps, &clustering, &[0], f64::NAN),
+            Err(ModelError::BadEps(_))
+        ));
+        assert_eq!(
+            ClusterModel::new(&ps, &clustering, &[1], 1.0).unwrap_err(),
+            ModelError::NoiseCore(1)
+        );
+        assert_eq!(
+            ClusterModel::new(&ps, &clustering, &[7], 1.0).unwrap_err(),
+            ModelError::IdOutOfRange { id: 7, len: 2 }
+        );
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let (_, model) = fitted_model();
+        let rebuilt = ClusterModel::from_parts(
+            model.cores().clone(),
+            model.core_labels().to_vec(),
+            model.eps(),
+            model.num_clusters(),
+        )
+        .expect("parts of a valid model are valid");
+        assert_eq!(rebuilt.core_count(), model.core_count());
+        assert_eq!(rebuilt.predict(&[2.0, 0.2]), model.predict(&[2.0, 0.2]));
+
+        let cores = PointSet::from_rows(&[vec![0.0]]);
+        assert_eq!(
+            ClusterModel::from_parts(cores.clone(), vec![0, 1], 1.0, 2).unwrap_err(),
+            ModelError::LengthMismatch {
+                cores: 1,
+                labels: 2
+            }
+        );
+        assert_eq!(
+            ClusterModel::from_parts(cores.clone(), vec![5], 1.0, 2).unwrap_err(),
+            ModelError::LabelOutOfRange {
+                label: 5,
+                num_clusters: 2
+            }
+        );
+        assert!(matches!(
+            ClusterModel::from_parts(cores, vec![0], -1.0, 2).unwrap_err(),
+            ModelError::BadEps(_)
+        ));
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! The persistable summary of a fitted clustering.
+//!
+//! [`ModelArtifact`] is the serialization-friendly mirror of
+//! [`dbsvec_core::ClusterModel`]: the same core points, labels, and ε, plus
+//! the fit's MinPts (the online engine needs it for promotion) and,
+//! optionally, one trained SVDD boundary per cluster so a consumer can
+//! evaluate the paper's decision function F(x) against a persisted model
+//! without re-solving anything.
+
+use dbsvec_core::labels::Clustering;
+use dbsvec_core::{ClusterModel, ModelError};
+use dbsvec_geometry::{PointId, PointSet};
+use dbsvec_svdd::{kernel_width_center_radius, optimal_nu, GaussianKernel, SvddProblem};
+
+/// Multipliers below this are not support vectors (mirrors the solver's
+/// internal tolerance, so a persisted boundary evaluates the decision
+/// function over exactly the support set the live model uses).
+const ALPHA_TOL: f64 = 1e-9;
+
+/// One cluster's SVDD description, reduced to what the decision function
+/// needs: support vectors, their multipliers, the kernel width, and the
+/// constants `R²` and `αᵀKα`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterBoundary {
+    /// The (compact) cluster this boundary describes.
+    pub cluster: u32,
+    /// Gaussian kernel width σ the SVDD was trained with.
+    pub sigma: f64,
+    /// Squared kernel-space radius `R²` of the description sphere.
+    pub r_sq: f64,
+    /// The constant `αᵀKα` of the decision function.
+    pub alpha_k_alpha: f64,
+    /// Support vector coordinates (owned — outlives the training set).
+    pub sv: PointSet,
+    /// Multipliers, aligned with `sv`.
+    pub alpha: Vec<f64>,
+}
+
+impl ClusterBoundary {
+    /// The discrimination function `F(x) = 1 − 2 Σ_i α_i K(x_i, x) + αᵀKα`
+    /// (paper Eq. 12), evaluated from the persisted support set.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        let kernel = GaussianKernel::from_width(self.sigma);
+        let mut cross = 0.0;
+        for (i, sv) in self.sv.iter() {
+            cross += self.alpha[i as usize] * kernel.eval(sv, x);
+        }
+        1.0 - 2.0 * cross + self.alpha_k_alpha
+    }
+
+    /// Whether `x` lies inside (or on) the description sphere, with the
+    /// same tolerance as `SvddModel::contains`.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        self.decision(x) <= self.r_sq + 1e-9
+    }
+}
+
+/// A fitted DBSVEC model in persistable form.
+///
+/// Produced by [`ModelArtifact::from_fit`], written and read by
+/// [`crate::snapshot`], and served by [`crate::Engine`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelArtifact {
+    /// The ε the clustering was fitted with (also the assignment radius).
+    pub eps: f64,
+    /// The MinPts density threshold of the fit.
+    pub min_pts: u32,
+    /// Number of clusters.
+    pub num_clusters: u32,
+    /// Coordinates of the verified core points.
+    pub cores: PointSet,
+    /// Compact cluster id of each core point, aligned with `cores`.
+    pub core_labels: Vec<u32>,
+    /// Optional per-cluster SVDD boundaries (at most one per cluster;
+    /// clusters too small to train on are simply absent).
+    pub boundaries: Option<Vec<ClusterBoundary>>,
+}
+
+impl ModelArtifact {
+    /// Builds an artifact from a finished clustering — the same inputs
+    /// [`ClusterModel::new`] takes, plus the fit's MinPts.
+    pub fn from_fit(
+        points: &PointSet,
+        clustering: &Clustering,
+        core_ids: &[PointId],
+        eps: f64,
+        min_pts: u32,
+    ) -> Result<Self, ModelError> {
+        let model = ClusterModel::new(points, clustering, core_ids, eps)?;
+        Ok(Self {
+            eps,
+            min_pts,
+            num_clusters: model.num_clusters() as u32,
+            cores: model.cores().clone(),
+            core_labels: model.core_labels().to_vec(),
+            boundaries: None,
+        })
+    }
+
+    /// Trains one SVDD per cluster over the full training set and attaches
+    /// the resulting boundaries. Clusters with fewer than two members are
+    /// skipped (a one-point description sphere carries no information).
+    pub fn with_boundaries(mut self, points: &PointSet, clustering: &Clustering) -> Self {
+        let dims = points.dims();
+        let mut boundaries = Vec::new();
+        for (cluster, members) in clustering.cluster_members().iter().enumerate() {
+            if members.len() < 2 {
+                continue;
+            }
+            let sigma = kernel_width_center_radius(points, members);
+            let nu = optimal_nu(dims, members.len(), self.min_pts as usize);
+            let model = SvddProblem::new(points, members, GaussianKernel::from_width(sigma))
+                .with_nu(nu)
+                .solve();
+            let mut sv = PointSet::new(dims);
+            let mut alpha = Vec::new();
+            for (i, &id) in model.target_ids().iter().enumerate() {
+                if model.alphas()[i] > ALPHA_TOL {
+                    sv.push(points.point(id));
+                    alpha.push(model.alphas()[i]);
+                }
+            }
+            boundaries.push(ClusterBoundary {
+                cluster: cluster as u32,
+                sigma: model.kernel().sigma(),
+                r_sq: model.radius_sq(),
+                alpha_k_alpha: model.alpha_k_alpha(),
+                sv,
+                alpha,
+            });
+        }
+        self.boundaries = Some(boundaries);
+        self
+    }
+
+    /// Reconstructs the in-memory classification model, re-validating the
+    /// stored parts (the snapshot-load path runs through this).
+    pub fn model(&self) -> Result<ClusterModel, ModelError> {
+        ClusterModel::from_parts(
+            self.cores.clone(),
+            self.core_labels.clone(),
+            self.eps,
+            self.num_clusters as usize,
+        )
+    }
+
+    /// Dimensionality of the model's space.
+    pub fn dims(&self) -> usize {
+        self.cores.dims()
+    }
+
+    /// Semantic validity beyond what the binary decoder can check
+    /// structurally: aligned lengths, in-range labels, positive finite
+    /// parameters. Returns a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.eps.is_finite() && self.eps > 0.0) {
+            return Err(format!("eps must be positive and finite, got {}", self.eps));
+        }
+        if self.min_pts == 0 {
+            return Err("min_pts must be at least 1".to_string());
+        }
+        if self.cores.len() != self.core_labels.len() {
+            return Err(format!(
+                "{} core points but {} labels",
+                self.cores.len(),
+                self.core_labels.len()
+            ));
+        }
+        if let Some(&label) = self.core_labels.iter().find(|&&l| l >= self.num_clusters) {
+            return Err(format!(
+                "core label {label} out of range for {} clusters",
+                self.num_clusters
+            ));
+        }
+        if let Some(bounds) = &self.boundaries {
+            for b in bounds {
+                if b.cluster >= self.num_clusters {
+                    return Err(format!(
+                        "boundary for cluster {} out of range for {} clusters",
+                        b.cluster, self.num_clusters
+                    ));
+                }
+                if b.sv.dims() != self.cores.dims() {
+                    return Err(format!(
+                        "boundary for cluster {} has dims {}, model has {}",
+                        b.cluster,
+                        b.sv.dims(),
+                        self.cores.dims()
+                    ));
+                }
+                if b.sv.len() != b.alpha.len() {
+                    return Err(format!(
+                        "boundary for cluster {}: {} support vectors but {} multipliers",
+                        b.cluster,
+                        b.sv.len(),
+                        b.alpha.len()
+                    ));
+                }
+                if !(b.sigma.is_finite() && b.sigma > 0.0) {
+                    return Err(format!(
+                        "boundary for cluster {} has bad kernel width {}",
+                        b.cluster, b.sigma
+                    ));
+                }
+                if !b.r_sq.is_finite() || !b.alpha_k_alpha.is_finite() {
+                    return Err(format!(
+                        "boundary for cluster {} has non-finite constants",
+                        b.cluster
+                    ));
+                }
+                if b.alpha.iter().any(|a| !a.is_finite() || *a < 0.0) {
+                    return Err(format!(
+                        "boundary for cluster {} has invalid multipliers",
+                        b.cluster
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsvec_core::{Dbsvec, DbsvecConfig};
+
+    fn two_blob_fit() -> (PointSet, dbsvec_core::DbsvecResult, f64, u32) {
+        let mut ps = PointSet::new(2);
+        for i in 0..40 {
+            ps.push(&[i as f64 * 0.1, 0.0]);
+            ps.push(&[i as f64 * 0.1, 50.0]);
+        }
+        let eps = 0.5;
+        let min_pts: u32 = 4;
+        let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts as usize)).fit(&ps);
+        assert_eq!(result.num_clusters(), 2);
+        (ps, result, eps, min_pts)
+    }
+
+    #[test]
+    fn from_fit_captures_the_model() {
+        let (ps, result, eps, min_pts) = two_blob_fit();
+        let artifact =
+            ModelArtifact::from_fit(&ps, result.labels(), result.core_points(), eps, min_pts)
+                .expect("valid fit");
+        assert_eq!(artifact.num_clusters, 2);
+        assert_eq!(artifact.cores.len(), result.core_points().len());
+        assert_eq!(artifact.min_pts, min_pts);
+        artifact.validate().expect("fresh artifact validates");
+        let model = artifact.model().expect("reconstructs");
+        assert_eq!(model.core_count(), artifact.cores.len());
+    }
+
+    #[test]
+    fn boundaries_reproduce_the_live_decision_function() {
+        let (ps, result, eps, min_pts) = two_blob_fit();
+        let artifact =
+            ModelArtifact::from_fit(&ps, result.labels(), result.core_points(), eps, min_pts)
+                .unwrap()
+                .with_boundaries(&ps, result.labels());
+        let bounds = artifact.boundaries.as_ref().unwrap();
+        assert_eq!(bounds.len(), 2);
+        for b in bounds {
+            // Retrain the same problem and compare decision values.
+            let members = result.labels().cluster_members()[b.cluster as usize].clone();
+            let sigma = kernel_width_center_radius(&ps, &members);
+            let nu = optimal_nu(2, members.len(), min_pts as usize);
+            let live = SvddProblem::new(&ps, &members, GaussianKernel::from_width(sigma))
+                .with_nu(nu)
+                .solve();
+            for x in [[1.5, 0.3], [2.0, 49.0], [30.0, 25.0]] {
+                let got = b.decision(&x);
+                let want = live.decision(&ps, &x);
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "cluster {}: {got} vs {want}",
+                    b.cluster
+                );
+                assert_eq!(b.contains(&x), live.contains(&ps, &x));
+            }
+        }
+        artifact.validate().expect("boundaries validate");
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let (ps, result, eps, min_pts) = two_blob_fit();
+        let good =
+            ModelArtifact::from_fit(&ps, result.labels(), result.core_points(), eps, min_pts)
+                .unwrap();
+
+        let mut bad = good.clone();
+        bad.eps = f64::NAN;
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        bad.min_pts = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        bad.core_labels[0] = 99;
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        bad.core_labels.pop();
+        assert!(bad.validate().is_err());
+    }
+}

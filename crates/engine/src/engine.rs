@@ -1,0 +1,694 @@
+//! The online serving engine: assignment, ingest, promotion, staleness.
+//!
+//! [`Engine`] wraps a loaded [`ModelArtifact`] behind the two operations a
+//! serving system needs:
+//!
+//! * [`Engine::assign`] — classify an observation by the DBSCAN rule the
+//!   paper's noise verification uses: the cluster of the nearest core
+//!   point within ε, or noise. Served off a kd-tree over the core points
+//!   (plus a short linear tail of recently promoted cores, folded into the
+//!   tree periodically).
+//! * [`Engine::ingest`] — absorb an observation into the model. A point
+//!   whose tracked ε-neighborhood reaches MinPts becomes a core point
+//!   immediately; otherwise it is buffered, and buffered points are
+//!   promoted as later arrivals densify their neighborhoods. Promotion
+//!   next to cores of different clusters merges those clusters through
+//!   the same union–find the fit uses.
+//!
+//! The engine counts only the points *it has seen* (cores + buffered
+//! arrivals, with exact-coordinate dedup), so its neighborhood counts are
+//! **underestimates** of the true density. The useful consequence:
+//! re-ingesting the training set is a no-op — cores are duplicates, and
+//! every border/noise point's true neighborhood was already below MinPts,
+//! so an underestimate cannot promote it, spawn a cluster, or merge
+//! anything.
+//!
+//! Online maintenance degrades a fitted model over time (new cores are
+//! attached by the incremental rule, not by a full re-expansion), so the
+//! engine tracks a [`Engine::staleness`] ratio — accumulated topology
+//! changes relative to the fitted core count — and recommends a re-fit
+//! once it passes 25%.
+
+use std::collections::HashSet;
+
+use dbsvec_core::UnionFind;
+use dbsvec_geometry::{squared_euclidean, PointSet};
+use dbsvec_index::{OwnedKdTree, RangeIndex};
+use dbsvec_obs::{Event, NoopObserver, Observer};
+
+use crate::artifact::{ClusterBoundary, ModelArtifact};
+
+/// Result of classifying one observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Assignment {
+    /// The point lies within ε of a core point of this cluster.
+    Cluster(u32),
+    /// No core point within ε.
+    Noise,
+}
+
+impl Assignment {
+    /// The cluster id, or `None` for noise.
+    pub fn cluster(self) -> Option<u32> {
+        match self {
+            Assignment::Cluster(c) => Some(c),
+            Assignment::Noise => None,
+        }
+    }
+}
+
+/// What happened to an ingested observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Exact duplicate of an already-tracked point; nothing changed.
+    Duplicate,
+    /// Dense on arrival — entered the core set of this cluster.
+    Core {
+        /// Compact cluster id the point joined (ids may shift after later
+        /// merges).
+        cluster: u32,
+    },
+    /// Within ε of a core point but not dense: a border point of that
+    /// core's cluster, buffered for possible future promotion.
+    Border {
+        /// Cluster of the nearest core point.
+        cluster: u32,
+    },
+    /// No core point within ε yet; buffered.
+    Buffered,
+}
+
+/// Counters the engine accumulates over its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Assignments answered.
+    pub assigns: u64,
+    /// Assignments that landed in a cluster.
+    pub assign_hits: u64,
+    /// Observations ingested (including duplicates).
+    pub ingests: u64,
+    /// Ingests dropped as exact duplicates.
+    pub duplicates: u64,
+    /// Points promoted to core (at ingest or from the buffer).
+    pub promotions: u64,
+    /// Promotions that spawned a brand-new cluster.
+    pub new_clusters: u64,
+    /// Cluster merges caused by promotions.
+    pub merges: u64,
+    /// Times the core kd-tree was rebuilt to fold in the tail.
+    pub tree_rebuilds: u64,
+}
+
+/// A buffered (not-yet-core) observation and its tracked neighbor count.
+#[derive(Clone, Debug)]
+struct Buffered {
+    coords: Vec<f64>,
+    /// Tracked points within ε, **including the point itself**.
+    count: u32,
+}
+
+/// Staleness ratio above which [`Engine::refit_recommended`] fires.
+pub const REFIT_THRESHOLD: f64 = 0.25;
+
+/// Fold the tail into the kd-tree once it exceeds
+/// `max(REBUILD_MIN_TAIL, indexed/4)`.
+const REBUILD_MIN_TAIL: usize = 64;
+
+/// An online ingest/assign server over a fitted model.
+pub struct Engine {
+    eps: f64,
+    eps_sq: f64,
+    min_pts: u32,
+    dims: usize,
+    /// Static kd-tree over the bulk of the core points.
+    tree: OwnedKdTree,
+    /// Recently promoted cores, scanned linearly until the next rebuild.
+    tail: PointSet,
+    /// Raw union–find id per core, tree order then tail order.
+    core_raw: Vec<u32>,
+    uf: UnionFind,
+    /// Eager raw-id → compact-label map (refreshed on every topology
+    /// change, so classification needs only `&self`).
+    display: Vec<u32>,
+    num_display: usize,
+    buffered: Vec<Buffered>,
+    /// Exact bit patterns of every tracked coordinate vector.
+    seen: HashSet<Vec<u64>>,
+    /// Fit-time SVDD boundaries; dropped on the first topology change
+    /// (they describe clusters that no longer exist as fitted).
+    boundaries: Option<Vec<ClusterBoundary>>,
+    initial_cores: usize,
+    stats: EngineStats,
+}
+
+fn coord_key(x: &[f64]) -> Vec<u64> {
+    x.iter().map(|v| v.to_bits()).collect()
+}
+
+impl Engine {
+    /// Builds an engine from a loaded artifact.
+    ///
+    /// The artifact must be valid ([`ModelArtifact::validate`]); the
+    /// snapshot loader guarantees this, and [`ModelArtifact::from_fit`]
+    /// cannot produce an invalid one.
+    pub fn new(artifact: &ModelArtifact) -> Self {
+        debug_assert!(artifact.validate().is_ok());
+        let mut uf = UnionFind::new();
+        for _ in 0..artifact.num_clusters {
+            uf.make_set();
+        }
+        let core_raw = artifact.core_labels.clone();
+        let (display, num_display) = uf.compact_labels();
+        let mut seen = HashSet::with_capacity(artifact.cores.len());
+        for (_, p) in artifact.cores.iter() {
+            seen.insert(coord_key(p));
+        }
+        Self {
+            eps: artifact.eps,
+            eps_sq: artifact.eps * artifact.eps,
+            min_pts: artifact.min_pts,
+            dims: artifact.cores.dims(),
+            tree: OwnedKdTree::build(artifact.cores.clone()),
+            tail: PointSet::new(artifact.cores.dims()),
+            core_raw,
+            uf,
+            display,
+            num_display,
+            buffered: Vec::new(),
+            seen,
+            boundaries: artifact.boundaries.clone(),
+            initial_cores: artifact.cores.len(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The assignment radius ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The promotion density threshold MinPts.
+    pub fn min_pts(&self) -> u32 {
+        self.min_pts
+    }
+
+    /// Dimensionality of the served space.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Current number of core points (fitted + promoted).
+    pub fn core_count(&self) -> usize {
+        self.tree.len() + self.tail.len()
+    }
+
+    /// Current number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.num_display
+    }
+
+    /// Observations buffered below the density threshold.
+    pub fn buffered_count(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Fit-time SVDD boundaries, while still faithful (dropped on the
+    /// first promotion or merge).
+    pub fn boundaries(&self) -> Option<&[ClusterBoundary]> {
+        self.boundaries.as_deref()
+    }
+
+    /// Accumulated topology drift relative to the fitted model: promoted
+    /// cores, merges, and still-buffered points, per fitted core point.
+    pub fn staleness(&self) -> f64 {
+        let drift = self.stats.promotions + self.stats.merges + self.buffered.len() as u64;
+        drift as f64 / (self.initial_cores.max(1)) as f64
+    }
+
+    /// Whether the drift warrants re-fitting from scratch.
+    pub fn refit_recommended(&self) -> bool {
+        self.staleness() >= REFIT_THRESHOLD
+    }
+
+    /// Pure classification: nearest core within ε, else noise. Shared by
+    /// the single and batch paths; touches no counters, so it needs only
+    /// `&self` and is safe to call from scoped threads.
+    pub fn classify(&self, x: &[f64]) -> Assignment {
+        assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
+        let mut best: Option<(f64, u32)> = None;
+        let mut hits = Vec::new();
+        self.tree.range(x, self.eps, &mut hits);
+        for &id in &hits {
+            let d = self.tree.points().squared_distance_to(id, x);
+            if best.map_or(true, |(bd, _)| d < bd) {
+                best = Some((d, self.core_raw[id as usize]));
+            }
+        }
+        let offset = self.tree.len();
+        for (i, p) in self.tail.iter() {
+            let d = squared_euclidean(p, x);
+            if d <= self.eps_sq && best.map_or(true, |(bd, _)| d < bd) {
+                best = Some((d, self.core_raw[offset + i as usize]));
+            }
+        }
+        match best {
+            Some((_, raw)) => Assignment::Cluster(self.display[raw as usize]),
+            None => Assignment::Noise,
+        }
+    }
+
+    /// Classifies one observation, recording stats and an
+    /// [`Event::Assign`].
+    pub fn assign_observed(&mut self, x: &[f64], obs: &mut dyn Observer) -> Assignment {
+        let a = self.classify(x);
+        self.stats.assigns += 1;
+        let hit = matches!(a, Assignment::Cluster(_));
+        if hit {
+            self.stats.assign_hits += 1;
+        }
+        obs.event(&Event::Assign { hit });
+        a
+    }
+
+    /// [`Engine::assign_observed`] without observation.
+    pub fn assign(&mut self, x: &[f64]) -> Assignment {
+        self.assign_observed(x, &mut NoopObserver)
+    }
+
+    /// Classifies a batch with a scoped-thread fan-out over contiguous
+    /// chunks. `threads == 0` or `1` stays on the calling thread. Events
+    /// and stats are recorded after the join (observers are `&mut` and
+    /// cannot be shared across the fan-out).
+    pub fn assign_batch_observed(
+        &mut self,
+        queries: &PointSet,
+        threads: usize,
+        obs: &mut dyn Observer,
+    ) -> Vec<Assignment> {
+        assert_eq!(queries.dims(), self.dims, "query dimensionality mismatch");
+        let n = queries.len();
+        let threads = threads.clamp(1, n.max(1));
+        let results = if threads == 1 {
+            (0..n)
+                .map(|i| self.classify(queries.point(i as u32)))
+                .collect()
+        } else {
+            let shared: &Engine = self;
+            let chunk = n.div_ceil(threads);
+            let mut results: Vec<Assignment> = Vec::with_capacity(n);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        scope.spawn(move || {
+                            (lo..hi)
+                                .map(|i| shared.classify(queries.point(i as u32)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.extend(h.join().expect("classification must not panic"));
+                }
+            });
+            results
+        };
+        for a in &results {
+            self.stats.assigns += 1;
+            let hit = matches!(a, Assignment::Cluster(_));
+            if hit {
+                self.stats.assign_hits += 1;
+            }
+            obs.event(&Event::Assign { hit });
+        }
+        results
+    }
+
+    /// [`Engine::assign_batch_observed`] without observation.
+    pub fn assign_batch(&mut self, queries: &PointSet, threads: usize) -> Vec<Assignment> {
+        self.assign_batch_observed(queries, threads, &mut NoopObserver)
+    }
+
+    /// Absorbs one observation, recording stats and [`Event::Ingest`] /
+    /// [`Event::Promote`] / [`Event::Merge`] as appropriate.
+    pub fn ingest_observed(&mut self, x: &[f64], obs: &mut dyn Observer) -> IngestOutcome {
+        assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
+        self.stats.ingests += 1;
+        if !self.seen.insert(coord_key(x)) {
+            self.stats.duplicates += 1;
+            obs.event(&Event::Ingest {
+                core: false,
+                duplicate: true,
+            });
+            return IngestOutcome::Duplicate;
+        }
+
+        let core_hits = self.core_hits(x);
+        // Densify buffered neighbors; collect the ones that cross MinPts.
+        let mut ripe = Vec::new();
+        let mut buffered_hits = 0u32;
+        for (i, b) in self.buffered.iter_mut().enumerate() {
+            if squared_euclidean(&b.coords, x) <= self.eps_sq {
+                buffered_hits += 1;
+                b.count += 1;
+                if b.count >= self.min_pts {
+                    ripe.push(i);
+                }
+            }
+        }
+        let count = 1 + core_hits.len() as u32 + buffered_hits;
+
+        let outcome = if count >= self.min_pts {
+            let cluster = self.promote(x, &core_hits, obs);
+            obs.event(&Event::Ingest {
+                core: true,
+                duplicate: false,
+            });
+            IngestOutcome::Core { cluster }
+        } else {
+            let nearest = self.nearest_of(x, &core_hits);
+            self.buffered.push(Buffered {
+                coords: x.to_vec(),
+                count,
+            });
+            obs.event(&Event::Ingest {
+                core: false,
+                duplicate: false,
+            });
+            match nearest {
+                Some(raw) => IngestOutcome::Border {
+                    cluster: self.display[raw as usize],
+                },
+                None => IngestOutcome::Buffered,
+            }
+        };
+
+        // Promote ripe buffered points. Promotion adds cores but never
+        // changes tracked-neighbor counts (the promoted point was already
+        // tracked), so one pass cannot cascade.
+        for &i in ripe.iter().rev() {
+            let b = self.buffered.swap_remove(i);
+            let hits = self.core_hits(&b.coords);
+            self.promote(&b.coords, &hits, obs);
+        }
+        outcome
+    }
+
+    /// [`Engine::ingest_observed`] without observation.
+    pub fn ingest(&mut self, x: &[f64]) -> IngestOutcome {
+        self.ingest_observed(x, &mut NoopObserver)
+    }
+
+    /// Re-persists the engine's current state as an artifact. Boundaries
+    /// survive only if no promotion or merge has occurred since load.
+    pub fn snapshot(&self) -> ModelArtifact {
+        let mut cores = self.tree.points().clone();
+        for (_, p) in self.tail.iter() {
+            cores.push(p);
+        }
+        let core_labels = self
+            .core_raw
+            .iter()
+            .map(|&raw| self.display[raw as usize])
+            .collect();
+        ModelArtifact {
+            eps: self.eps,
+            min_pts: self.min_pts,
+            num_clusters: self.num_display as u32,
+            cores,
+            core_labels,
+            boundaries: self.boundaries.clone(),
+        }
+    }
+
+    /// Global indices (tree order then tail order) of cores within ε.
+    fn core_hits(&self, x: &[f64]) -> Vec<u32> {
+        let mut hits = Vec::new();
+        self.tree.range(x, self.eps, &mut hits);
+        let offset = self.tree.len() as u32;
+        for (i, p) in self.tail.iter() {
+            if squared_euclidean(p, x) <= self.eps_sq {
+                hits.push(offset + i);
+            }
+        }
+        hits
+    }
+
+    /// Raw union–find id of the nearest core among `hits`.
+    fn nearest_of(&self, x: &[f64], hits: &[u32]) -> Option<u32> {
+        let tree_len = self.tree.len() as u32;
+        hits.iter()
+            .map(|&id| {
+                let p = if id < tree_len {
+                    self.tree.points().point(id)
+                } else {
+                    self.tail.point(id - tree_len)
+                };
+                (squared_euclidean(p, x), id)
+            })
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"))
+            .map(|(_, id)| self.core_raw[id as usize])
+    }
+
+    /// Makes `x` a core point: joins the nearest hit cluster (merging all
+    /// hit clusters) or spawns a new one. Returns the compact label.
+    fn promote(&mut self, x: &[f64], core_hits: &[u32], obs: &mut dyn Observer) -> u32 {
+        let mut roots: Vec<u32> = core_hits
+            .iter()
+            .map(|&id| self.uf.find(self.core_raw[id as usize]))
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        let raw = match roots.split_first() {
+            Some((&first, rest)) => {
+                let mut acc = first;
+                for &r in rest {
+                    obs.event(&Event::Merge {
+                        existing: acc,
+                        expanding: r,
+                    });
+                    acc = self.uf.union(acc, r);
+                    self.stats.merges += 1;
+                }
+                acc
+            }
+            None => {
+                self.stats.new_clusters += 1;
+                self.uf.make_set()
+            }
+        };
+        self.tail.push(x);
+        self.core_raw.push(raw);
+        self.stats.promotions += 1;
+        // Topology changed: refresh the display map, drop stale boundaries.
+        let (display, num_display) = self.uf.compact_labels();
+        self.display = display;
+        self.num_display = num_display;
+        self.boundaries = None;
+        let cluster = self.display[raw as usize];
+        obs.event(&Event::Promote { cluster });
+        if self.tail.len() >= REBUILD_MIN_TAIL.max(self.tree.len() / 4) {
+            self.rebuild_tree();
+        }
+        cluster
+    }
+
+    fn rebuild_tree(&mut self) {
+        let tail = std::mem::replace(&mut self.tail, PointSet::new(self.dims));
+        let mut points =
+            std::mem::replace(&mut self.tree, OwnedKdTree::build(PointSet::new(self.dims)))
+                .into_points();
+        for (_, p) in tail.iter() {
+            points.push(p);
+        }
+        self.tree = OwnedKdTree::build(points);
+        self.stats.tree_rebuilds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_artifact() -> ModelArtifact {
+        // Two tight clusters of 5 cores each, eps = 1.5, min_pts = 3.
+        let mut cores = PointSet::new(2);
+        let mut labels = Vec::new();
+        for i in 0..5 {
+            cores.push(&[i as f64, 0.0]);
+            labels.push(0);
+        }
+        for i in 0..5 {
+            cores.push(&[i as f64, 100.0]);
+            labels.push(1);
+        }
+        ModelArtifact {
+            eps: 1.5,
+            min_pts: 3,
+            num_clusters: 2,
+            cores,
+            core_labels: labels,
+            boundaries: None,
+        }
+    }
+
+    #[test]
+    fn classify_matches_the_artifact() {
+        let engine = Engine::new(&grid_artifact());
+        assert_eq!(engine.classify(&[2.0, 0.5]), Assignment::Cluster(0));
+        assert_eq!(engine.classify(&[2.0, 99.5]), Assignment::Cluster(1));
+        assert_eq!(engine.classify(&[2.0, 50.0]), Assignment::Noise);
+        assert_eq!(engine.core_count(), 10);
+        assert_eq!(engine.num_clusters(), 2);
+    }
+
+    #[test]
+    fn batch_agrees_with_single() {
+        let mut engine = Engine::new(&grid_artifact());
+        let mut queries = PointSet::new(2);
+        for i in 0..200 {
+            queries.push(&[(i % 7) as f64, (i % 3) as f64 * 50.0]);
+        }
+        let expected: Vec<Assignment> = (0..queries.len())
+            .map(|i| engine.classify(queries.point(i as u32)))
+            .collect();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(engine.assign_batch(&queries, threads), expected);
+        }
+        assert_eq!(engine.stats().assigns, 4 * 200);
+    }
+
+    #[test]
+    fn duplicate_ingest_is_a_no_op() {
+        let mut engine = Engine::new(&grid_artifact());
+        assert_eq!(engine.ingest(&[2.0, 0.0]), IngestOutcome::Duplicate);
+        assert_eq!(engine.stats().duplicates, 1);
+        assert_eq!(engine.core_count(), 10);
+        assert_eq!(engine.buffered_count(), 0);
+    }
+
+    #[test]
+    fn dense_arrival_is_promoted_immediately() {
+        let mut engine = Engine::new(&grid_artifact());
+        // Within eps of cores (1,0), (2,0), (3,0): count = 4 >= 3.
+        let out = engine.ingest(&[2.0, 0.5]);
+        assert_eq!(out, IngestOutcome::Core { cluster: 0 });
+        assert_eq!(engine.core_count(), 11);
+        assert_eq!(engine.stats().promotions, 1);
+        assert_eq!(engine.stats().new_clusters, 0);
+        // The new core now serves assignments.
+        assert_eq!(engine.classify(&[2.0, 1.6]), Assignment::Cluster(0));
+    }
+
+    #[test]
+    fn sparse_arrivals_buffer_then_spawn_a_cluster() {
+        let mut engine = Engine::new(&grid_artifact());
+        // Far from both clusters; min_pts = 3.
+        assert_eq!(engine.ingest(&[50.0, 50.0]), IngestOutcome::Buffered);
+        assert_eq!(engine.ingest(&[50.5, 50.0]), IngestOutcome::Buffered);
+        assert_eq!(engine.num_clusters(), 2);
+        // Third arrival sees two tracked neighbors + itself = 3: promoted,
+        // and the earlier two are now ripe as well.
+        let out = engine.ingest(&[50.2, 50.2]);
+        assert!(matches!(out, IngestOutcome::Core { .. }));
+        assert_eq!(engine.num_clusters(), 3);
+        assert!(engine.stats().new_clusters >= 1);
+        assert_eq!(
+            engine.classify(&[50.1, 50.1]),
+            Assignment::Cluster(2),
+            "new cluster serves assignments"
+        );
+    }
+
+    #[test]
+    fn bridge_points_merge_clusters() {
+        // Two clusters 3 apart; eps 1.5; a point midway touches cores of
+        // both.
+        let mut cores = PointSet::new(1);
+        for x in [0.0, 1.0, 10.0, 11.0] {
+            cores.push(&[x]);
+        }
+        let artifact = ModelArtifact {
+            eps: 1.5,
+            min_pts: 2,
+            num_clusters: 2,
+            cores,
+            core_labels: vec![0, 0, 1, 1],
+            boundaries: None,
+        };
+        let mut engine = Engine::new(&artifact);
+        assert_eq!(engine.num_clusters(), 2);
+        // Chain toward the gap; each arrival touches the previous core.
+        for x in [2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0] {
+            engine.ingest(&[x]);
+        }
+        assert_eq!(engine.num_clusters(), 1, "chain must merge the clusters");
+        assert!(engine.stats().merges >= 1);
+        assert_eq!(engine.classify(&[0.5]), engine.classify(&[10.5]));
+    }
+
+    #[test]
+    fn staleness_grows_and_recommends_refit() {
+        let mut engine = Engine::new(&grid_artifact());
+        assert_eq!(engine.staleness(), 0.0);
+        assert!(!engine.refit_recommended());
+        for i in 0..6 {
+            engine.ingest(&[2.0 + 0.01 * (i + 1) as f64, 0.5]);
+        }
+        assert!(engine.staleness() > 0.25, "{}", engine.staleness());
+        assert!(engine.refit_recommended());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_an_equal_engine() {
+        let mut engine = Engine::new(&grid_artifact());
+        engine.ingest(&[2.0, 0.5]);
+        engine.ingest(&[50.0, 50.0]);
+        let snap = engine.snapshot();
+        assert_eq!(snap.cores.len(), engine.core_count());
+        snap.validate()
+            .expect("snapshot of a live engine validates");
+        let reloaded = Engine::new(&snap);
+        for q in [[2.0, 0.6], [2.0, 99.0], [70.0, 70.0]] {
+            assert_eq!(reloaded.classify(&q), engine.classify(&q));
+        }
+    }
+
+    #[test]
+    fn tree_rebuild_preserves_answers() {
+        let mut engine = Engine::new(&grid_artifact());
+        // Force enough promotions to trigger a rebuild (tail >= 64).
+        let mut expected_hits = 0;
+        for i in 0..70 {
+            let x = [(i % 10) as f64 * 0.1, 0.2 + (i / 10) as f64 * 0.2];
+            if matches!(engine.ingest(&x), IngestOutcome::Core { .. }) {
+                expected_hits += 1;
+            }
+        }
+        assert!(expected_hits > 0);
+        assert!(engine.stats().tree_rebuilds >= 1 || engine.tail.len() < 64);
+        assert_eq!(engine.classify(&[0.5, 0.5]), Assignment::Cluster(0));
+    }
+
+    #[test]
+    fn events_flow_through_the_observer() {
+        use dbsvec_obs::RecordingObserver;
+        let mut engine = Engine::new(&grid_artifact());
+        let mut rec = RecordingObserver::new();
+        engine.assign_observed(&[2.0, 0.5], &mut rec);
+        engine.ingest_observed(&[2.0, 0.5], &mut rec);
+        engine.ingest_observed(&[2.0, 0.5], &mut rec); // duplicate
+        let counts = rec.replay();
+        assert_eq!(counts.assigns, 1);
+        assert_eq!(counts.assign_hits, 1);
+        assert_eq!(counts.ingests, 2);
+        assert_eq!(counts.ingest_duplicates, 1);
+        assert_eq!(counts.promotions, 1);
+    }
+}

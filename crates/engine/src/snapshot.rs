@@ -1,0 +1,389 @@
+//! The `.dbm` binary snapshot format — versioned, checksummed, dependency
+//! free.
+//!
+//! Layout (all integers little-endian, all floats IEEE-754 `f64` LE bits —
+//! encoding preserves the exact bit pattern, so save→load→save is
+//! byte-identical):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  89 44 42 53 4D 0D 0A 1A  ("\x89DBSM\r\n\x1a")
+//! 8       4     format version (u32)            currently 1
+//! 12      8     FNV-1a 64 checksum of payload (u64)
+//! 20      ...   payload
+//! ```
+//!
+//! Payload (version 1):
+//!
+//! ```text
+//! u32 dims | u32 core_count | u32 num_clusters | u32 min_pts
+//! f64 eps  | u32 flags (bit 0: boundaries present)
+//! f64 core coords   × core_count·dims
+//! u32 core labels   × core_count
+//! [flags bit 0] u32 boundary_count, then per boundary:
+//!     u32 cluster | u32 sv_count
+//!     f64 sigma | f64 r_sq | f64 alpha_k_alpha
+//!     f64 sv coords × sv_count·dims
+//!     f64 alphas    × sv_count
+//! ```
+//!
+//! The magic borrows PNG's trick: a high-bit byte first (catches 7-bit
+//! transfer), `\r\n` (catches newline translation), and ^Z (stops `type`
+//! on old shells). Decoding checks magic → version → checksum → structure
+//! → semantics, in that order, and rejects trailing bytes, so every
+//! corruption mode maps to a typed [`SnapshotError`] rather than a panic
+//! or a silently wrong model.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use dbsvec_geometry::PointSet;
+
+use crate::artifact::{ClusterBoundary, ModelArtifact};
+
+/// File signature of a `.dbm` snapshot.
+pub const MAGIC: [u8; 8] = [0x89, b'D', b'B', b'S', b'M', b'\r', b'\n', 0x1a];
+
+/// The format version this build writes (and the only one it reads).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size of the fixed header (magic + version + checksum).
+const HEADER_LEN: usize = 8 + 4 + 8;
+
+/// Why a snapshot could not be decoded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying read or write failed.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The file is a snapshot, but of a format version this build does not
+    /// read.
+    UnsupportedVersion(u32),
+    /// The payload does not hash to the checksum in the header.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        expected: u64,
+        /// Checksum computed over the payload actually present.
+        found: u64,
+    },
+    /// The payload ended before a field it promised.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes remaining.
+        available: usize,
+    },
+    /// Structurally well-formed but semantically inconsistent (bad lengths,
+    /// out-of-range labels, non-finite parameters, trailing bytes, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a dbsvec model snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "snapshot format version {v} not supported (this build reads {FORMAT_VERSION})")
+            }
+            SnapshotError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected:#018x}, payload hashes to {found:#018x}"
+            ),
+            SnapshotError::Truncated { needed, available } => write!(
+                f,
+                "snapshot truncated: needed {needed} more bytes, {available} available"
+            ),
+            SnapshotError::Invalid(why) => write!(f, "snapshot invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit — tiny, dependency-free, and plenty for catching
+/// accidental corruption (this is an integrity check, not a security
+/// boundary).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64_slice(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+}
+
+/// Encodes an artifact to snapshot bytes. Infallible: any artifact
+/// representable in memory is representable on disk.
+pub fn encode(artifact: &ModelArtifact) -> Vec<u8> {
+    let mut payload = Writer { buf: Vec::new() };
+    payload.u32(artifact.cores.dims() as u32);
+    payload.u32(artifact.cores.len() as u32);
+    payload.u32(artifact.num_clusters);
+    payload.u32(artifact.min_pts);
+    payload.f64(artifact.eps);
+    let flags = if artifact.boundaries.is_some() { 1 } else { 0 };
+    payload.u32(flags);
+    payload.f64_slice(artifact.cores.as_flat());
+    for &label in &artifact.core_labels {
+        payload.u32(label);
+    }
+    if let Some(bounds) = &artifact.boundaries {
+        payload.u32(bounds.len() as u32);
+        for b in bounds {
+            payload.u32(b.cluster);
+            payload.u32(b.sv.len() as u32);
+            payload.f64(b.sigma);
+            payload.f64(b.r_sq);
+            payload.f64(b.alpha_k_alpha);
+            payload.f64_slice(b.sv.as_flat());
+            payload.f64_slice(&b.alpha);
+        }
+    }
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.buf.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload.buf).to_le_bytes());
+    out.extend_from_slice(&payload.buf);
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let available = self.buf.len() - self.pos;
+        if n > available {
+            return Err(SnapshotError::Truncated {
+                needed: n,
+                available,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64_vec(&mut self, n: usize) -> Result<Vec<f64>, SnapshotError> {
+        let bytes = self.take(n.checked_mul(8).ok_or(SnapshotError::Truncated {
+            needed: usize::MAX,
+            available: self.buf.len() - self.pos,
+        })?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Decodes snapshot bytes back into an artifact, validating magic,
+/// version, checksum, structure, and semantics (via
+/// [`ModelArtifact::validate`]) in that order.
+pub fn decode(bytes: &[u8]) -> Result<ModelArtifact, SnapshotError> {
+    if bytes.len() < 8 || bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::Truncated {
+            needed: HEADER_LEN - bytes.len(),
+            available: 0,
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let expected = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let payload = &bytes[HEADER_LEN..];
+    let found = fnv1a(payload);
+    if found != expected {
+        return Err(SnapshotError::ChecksumMismatch { expected, found });
+    }
+
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let dims = r.u32()? as usize;
+    let core_count = r.u32()? as usize;
+    let num_clusters = r.u32()?;
+    let min_pts = r.u32()?;
+    let eps = r.f64()?;
+    let flags = r.u32()?;
+    if dims == 0 {
+        return Err(SnapshotError::Invalid("zero dimensions".to_string()));
+    }
+    if flags & !1 != 0 {
+        return Err(SnapshotError::Invalid(format!(
+            "unknown flag bits {flags:#x}"
+        )));
+    }
+    let coords = r.f64_vec(core_count * dims)?;
+    let cores = PointSet::from_flat(dims, coords);
+    let mut core_labels = Vec::with_capacity(core_count);
+    for _ in 0..core_count {
+        core_labels.push(r.u32()?);
+    }
+    let boundaries = if flags & 1 != 0 {
+        let boundary_count = r.u32()? as usize;
+        let mut bounds = Vec::with_capacity(boundary_count);
+        for _ in 0..boundary_count {
+            let cluster = r.u32()?;
+            let sv_count = r.u32()? as usize;
+            let sigma = r.f64()?;
+            let r_sq = r.f64()?;
+            let alpha_k_alpha = r.f64()?;
+            let sv = PointSet::from_flat(dims, r.f64_vec(sv_count * dims)?);
+            let alpha = r.f64_vec(sv_count)?;
+            bounds.push(ClusterBoundary {
+                cluster,
+                sigma,
+                r_sq,
+                alpha_k_alpha,
+                sv,
+                alpha,
+            });
+        }
+        Some(bounds)
+    } else {
+        None
+    };
+    if r.remaining() != 0 {
+        return Err(SnapshotError::Invalid(format!(
+            "{} trailing bytes after payload",
+            r.remaining()
+        )));
+    }
+
+    let artifact = ModelArtifact {
+        eps,
+        min_pts,
+        num_clusters,
+        cores,
+        core_labels,
+        boundaries,
+    };
+    artifact.validate().map_err(SnapshotError::Invalid)?;
+    Ok(artifact)
+}
+
+/// Writes an artifact to `path`; returns the snapshot size in bytes.
+pub fn write_file(artifact: &ModelArtifact, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+    let bytes = encode(artifact);
+    fs::write(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads and decodes a snapshot from `path`; also returns its size in
+/// bytes.
+pub fn read_file(path: impl AsRef<Path>) -> Result<(ModelArtifact, u64), SnapshotError> {
+    let bytes = fs::read(path)?;
+    let len = bytes.len() as u64;
+    Ok((decode(&bytes)?, len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_artifact() -> ModelArtifact {
+        ModelArtifact {
+            eps: 0.75,
+            min_pts: 4,
+            num_clusters: 2,
+            cores: PointSet::from_rows(&[vec![0.0, 1.0], vec![2.5, -3.0], vec![10.0, 10.0]]),
+            core_labels: vec![0, 0, 1],
+            boundaries: None,
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let a = tiny_artifact();
+        let bytes = encode(&a);
+        let b = decode(&bytes).expect("own encoding decodes");
+        assert_eq!(a, b);
+        assert_eq!(bytes, encode(&b), "save→load→save must be byte-stable");
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn rejects_flipped_payload_byte() {
+        let mut bytes = encode(&tiny_artifact());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(matches!(
+            decode(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let a = tiny_artifact();
+        let mut bytes = encode(&a);
+        let payload_start = HEADER_LEN;
+        bytes.push(0u8);
+        // Re-stamp the checksum so the failure is structural, not checksum.
+        let sum = fnv1a(&bytes[payload_start..]);
+        bytes[12..20].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(SnapshotError::Invalid(_))));
+    }
+}

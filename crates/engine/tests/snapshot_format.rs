@@ -1,0 +1,204 @@
+//! Snapshot-format guarantees: a byte-level golden file, bit-stable
+//! round-trips (including through a real fit with boundaries), and typed
+//! rejection of every corruption mode.
+
+use dbsvec_core::{Dbsvec, DbsvecConfig};
+use dbsvec_datasets::gaussian_mixture;
+use dbsvec_engine::{snapshot, ModelArtifact, SnapshotError, FORMAT_VERSION, MAGIC};
+use dbsvec_geometry::PointSet;
+
+/// Encoding of `tiny_artifact()` as produced by format version 1. If this
+/// test breaks, either the format changed silently (bump
+/// `FORMAT_VERSION`!) or the encoder regressed.
+const GOLDEN_HEX: &str = "894442534d0d0a1a01000000a731e52b2f93af2b\
+                          01000000020000000200000002000000000000000000f03f00000000\
+                          0000000000000000000000000000f03f\
+                          0000000001000000";
+
+fn tiny_artifact() -> ModelArtifact {
+    ModelArtifact {
+        eps: 1.0,
+        min_pts: 2,
+        num_clusters: 2,
+        cores: PointSet::from_rows(&[vec![0.0], vec![1.0]]),
+        core_labels: vec![0, 1],
+        boundaries: None,
+    }
+}
+
+fn golden_bytes() -> Vec<u8> {
+    let hex: String = GOLDEN_HEX.chars().filter(|c| !c.is_whitespace()).collect();
+    hex.as_bytes()
+        .chunks(2)
+        .map(|pair| u8::from_str_radix(std::str::from_utf8(pair).unwrap(), 16).unwrap())
+        .collect()
+}
+
+#[test]
+fn golden_bytes_are_stable() {
+    assert_eq!(snapshot::encode(&tiny_artifact()), golden_bytes());
+}
+
+#[test]
+fn golden_bytes_decode() {
+    let artifact = snapshot::decode(&golden_bytes()).expect("golden snapshot decodes");
+    assert_eq!(artifact, tiny_artifact());
+}
+
+fn fitted_artifact(with_boundaries: bool) -> ModelArtifact {
+    let data = gaussian_mixture(600, 3, 3, 500.0, 1e5, 7);
+    let eps = dbsvec_datasets::standins::suggest_eps(&data.points, 6, 3);
+    let fit = Dbsvec::new(DbsvecConfig::new(eps, 6)).fit(&data.points);
+    let artifact =
+        ModelArtifact::from_fit(&data.points, fit.labels(), fit.core_points(), eps, 6).unwrap();
+    if with_boundaries {
+        artifact.with_boundaries(&data.points, fit.labels())
+    } else {
+        artifact
+    }
+}
+
+#[test]
+fn round_trip_of_a_real_fit_is_bit_stable() {
+    for with_boundaries in [false, true] {
+        let artifact = fitted_artifact(with_boundaries);
+        let bytes = snapshot::encode(&artifact);
+        let restored = snapshot::decode(&bytes).expect("own encoding decodes");
+        assert_eq!(restored, artifact, "model == load(save(model))");
+        assert_eq!(
+            snapshot::encode(&restored),
+            bytes,
+            "save→load→save must yield identical bytes (boundaries={with_boundaries})"
+        );
+    }
+}
+
+#[test]
+fn file_round_trip() {
+    let artifact = fitted_artifact(true);
+    let dir = std::env::temp_dir().join(format!("dbsvec-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.dbm");
+    let written = snapshot::write_file(&artifact, &path).expect("writes");
+    let (restored, read) = snapshot::read_file(&path).expect("reads");
+    assert_eq!(written, read);
+    assert_eq!(restored, artifact);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_non_snapshot_files() {
+    assert!(matches!(
+        snapshot::decode(b"x,y\n1.0,2.0\n"),
+        Err(SnapshotError::BadMagic)
+    ));
+    assert!(matches!(
+        snapshot::decode(b""),
+        Err(SnapshotError::BadMagic)
+    ));
+    // Right length, wrong bytes.
+    let junk = vec![0u8; 64];
+    assert!(matches!(
+        snapshot::decode(&junk),
+        Err(SnapshotError::BadMagic)
+    ));
+}
+
+#[test]
+fn rejects_wrong_version() {
+    let mut bytes = snapshot::encode(&tiny_artifact());
+    let future = FORMAT_VERSION + 1;
+    bytes[8..12].copy_from_slice(&future.to_le_bytes());
+    match snapshot::decode(&bytes) {
+        Err(SnapshotError::UnsupportedVersion(v)) => assert_eq!(v, future),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn rejects_corrupted_header_and_payload() {
+    let good = snapshot::encode(&tiny_artifact());
+
+    // Flip one bit in the magic.
+    let mut bad = good.clone();
+    bad[0] ^= 1;
+    assert!(matches!(
+        snapshot::decode(&bad),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    // Flip one bit in every payload byte position, one at a time.
+    for i in MAGIC.len() + 12..good.len() {
+        let mut bad = good.clone();
+        bad[i] ^= 0x10;
+        assert!(
+            matches!(
+                snapshot::decode(&bad),
+                Err(SnapshotError::ChecksumMismatch { .. })
+            ),
+            "flip at byte {i} must be caught by the checksum"
+        );
+    }
+
+    // A corrupted checksum itself also fails the comparison.
+    let mut bad = good.clone();
+    bad[13] ^= 0xff;
+    assert!(matches!(
+        snapshot::decode(&bad),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn rejects_truncation_at_every_length() {
+    let good = snapshot::encode(&fitted_artifact(true));
+    // Every proper prefix must fail with a typed error — never panic,
+    // never succeed.
+    for len in 0..good.len() {
+        let err = snapshot::decode(&good[..len]).expect_err("prefix must not decode");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::BadMagic
+                    | SnapshotError::Truncated { .. }
+                    | SnapshotError::ChecksumMismatch { .. }
+            ),
+            "len {len}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn rejects_semantic_corruption_with_a_valid_checksum() {
+    // Re-encode an artifact whose label is out of range: the decoder's
+    // structural pass accepts it, the semantic pass must not.
+    let mut artifact = tiny_artifact();
+    artifact.core_labels[1] = 9;
+    let bytes = snapshot::encode(&artifact);
+    assert!(matches!(
+        snapshot::decode(&bytes),
+        Err(SnapshotError::Invalid(_))
+    ));
+}
+
+#[test]
+fn errors_display_usefully() {
+    let io_free = [
+        snapshot::decode(b"nope").unwrap_err().to_string(),
+        SnapshotError::UnsupportedVersion(9).to_string(),
+        SnapshotError::ChecksumMismatch {
+            expected: 1,
+            found: 2,
+        }
+        .to_string(),
+        SnapshotError::Truncated {
+            needed: 8,
+            available: 3,
+        }
+        .to_string(),
+        SnapshotError::Invalid("bad".into()).to_string(),
+    ];
+    for msg in io_free {
+        assert!(!msg.is_empty());
+    }
+}

@@ -14,6 +14,14 @@
 //! Range queries prune subtrees whose bounding box is farther than ε from
 //! the query and *bulk-report* subtrees that lie entirely inside the query
 //! ball, skipping all per-point distance checks for them.
+//!
+//! Two wrappers share the same node layout and traversal:
+//!
+//! * [`KdTree`] borrows the [`PointSet`] it indexes — the right shape for
+//!   one clustering run over data that outlives the index;
+//! * [`OwnedKdTree`] owns its point set — the right shape for a long-lived
+//!   serving engine that must hold the index without tying it to an outside
+//!   allocation, and rebuild it as points arrive.
 
 use crate::traits::RangeIndex;
 use dbsvec_geometry::{BoundingBox, PointId, PointSet};
@@ -22,7 +30,7 @@ use dbsvec_geometry::{BoundingBox, PointId, PointSet};
 enum Node {
     Leaf {
         bbox: BoundingBox,
-        /// Range into `KdTree::ids`.
+        /// Range into `TreeCore::ids`.
         start: u32,
         end: u32,
     },
@@ -41,21 +49,19 @@ impl Node {
     }
 }
 
-/// A static kd-tree over a borrowed [`PointSet`].
-pub struct KdTree<'a> {
-    points: &'a PointSet,
+/// The point-set-agnostic half of the tree: nodes, the leaf-permuted id
+/// array, and the traversal routines. Both tree wrappers delegate here,
+/// passing in whichever `PointSet` they hold.
+#[derive(Debug)]
+struct TreeCore {
     nodes: Vec<Node>,
     /// Point ids permuted so each leaf owns a contiguous range.
     ids: Vec<PointId>,
     root: Option<u32>,
 }
 
-impl<'a> KdTree<'a> {
-    /// Maximum number of points stored in one leaf bucket.
-    pub const LEAF_SIZE: usize = 16;
-
-    /// Builds the tree in O(n log n).
-    pub fn build(points: &'a PointSet) -> Self {
+impl TreeCore {
+    fn build(points: &PointSet) -> Self {
         let mut ids: Vec<PointId> = (0..points.len() as u32).collect();
         let mut nodes = Vec::new();
         let root = if ids.is_empty() {
@@ -64,25 +70,40 @@ impl<'a> KdTree<'a> {
             let n = ids.len();
             Some(build_recursive(points, &mut ids, 0, n, &mut nodes))
         };
-        Self {
-            points,
-            nodes,
-            ids,
-            root,
+        Self { nodes, ids, root }
+    }
+
+    fn range(&self, points: &PointSet, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
+        if let Some(root) = self.root {
+            let eps_sq = eps * eps;
+            if self.nodes[root as usize].bbox().min_squared_distance(query) <= eps_sq {
+                self.range_recursive(points, root, query, eps_sq, out);
+            }
         }
     }
 
-    /// The indexed point set.
-    pub fn points(&self) -> &'a PointSet {
-        self.points
+    fn count_range(&self, points: &PointSet, query: &[f64], eps: f64) -> usize {
+        match self.root {
+            Some(root) => {
+                let eps_sq = eps * eps;
+                if self.nodes[root as usize].bbox().min_squared_distance(query) <= eps_sq {
+                    self.count_recursive(points, root, query, eps_sq)
+                } else {
+                    0
+                }
+            }
+            None => 0,
+        }
     }
 
-    /// Number of tree nodes (diagnostic).
-    pub fn node_count(&self) -> usize {
-        self.nodes.len()
-    }
-
-    fn range_recursive(&self, node: u32, query: &[f64], eps_sq: f64, out: &mut Vec<PointId>) {
+    fn range_recursive(
+        &self,
+        points: &PointSet,
+        node: u32,
+        query: &[f64],
+        eps_sq: f64,
+        out: &mut Vec<PointId>,
+    ) {
         match &self.nodes[node as usize] {
             Node::Leaf { bbox, start, end } => {
                 let ids = &self.ids[*start as usize..*end as usize];
@@ -91,7 +112,7 @@ impl<'a> KdTree<'a> {
                     return;
                 }
                 for &id in ids {
-                    if self.points.squared_distance_to(id, query) <= eps_sq {
+                    if points.squared_distance_to(id, query) <= eps_sq {
                         out.push(id);
                     }
                 }
@@ -107,7 +128,7 @@ impl<'a> KdTree<'a> {
                         .min_squared_distance(query)
                         <= eps_sq
                     {
-                        self.range_recursive(child, query, eps_sq, out);
+                        self.range_recursive(points, child, query, eps_sq, out);
                     }
                 }
             }
@@ -133,7 +154,7 @@ impl<'a> KdTree<'a> {
         }
     }
 
-    fn count_recursive(&self, node: u32, query: &[f64], eps_sq: f64) -> usize {
+    fn count_recursive(&self, points: &PointSet, node: u32, query: &[f64], eps_sq: f64) -> usize {
         match &self.nodes[node as usize] {
             Node::Leaf { bbox, start, end } => {
                 let ids = &self.ids[*start as usize..*end as usize];
@@ -141,7 +162,7 @@ impl<'a> KdTree<'a> {
                     return ids.len();
                 }
                 ids.iter()
-                    .filter(|&&id| self.points.squared_distance_to(id, query) <= eps_sq)
+                    .filter(|&&id| points.squared_distance_to(id, query) <= eps_sq)
                     .count()
             }
             Node::Inner { bbox, left, right } => {
@@ -156,12 +177,104 @@ impl<'a> KdTree<'a> {
                         .min_squared_distance(query)
                         <= eps_sq
                     {
-                        total += self.count_recursive(child, query, eps_sq);
+                        total += self.count_recursive(points, child, query, eps_sq);
                     }
                 }
                 total
             }
         }
+    }
+}
+
+/// A static kd-tree over a borrowed [`PointSet`].
+pub struct KdTree<'a> {
+    points: &'a PointSet,
+    core: TreeCore,
+}
+
+impl<'a> KdTree<'a> {
+    /// Maximum number of points stored in one leaf bucket.
+    pub const LEAF_SIZE: usize = 16;
+
+    /// Builds the tree in O(n log n).
+    pub fn build(points: &'a PointSet) -> Self {
+        Self {
+            points,
+            core: TreeCore::build(points),
+        }
+    }
+
+    /// The indexed point set.
+    pub fn points(&self) -> &'a PointSet {
+        self.points
+    }
+
+    /// Number of tree nodes (diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.core.nodes.len()
+    }
+}
+
+impl RangeIndex for KdTree<'_> {
+    fn range(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
+        self.core.range(self.points, query, eps, out);
+    }
+
+    fn count_range(&self, query: &[f64], eps: f64) -> usize {
+        self.core.count_range(self.points, query, eps)
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+}
+
+/// A kd-tree that owns the [`PointSet`] it indexes.
+///
+/// Same construction and traversal as [`KdTree`]; the only difference is
+/// ownership. A serving engine holds one of these over its core points,
+/// takes the set back out with [`OwnedKdTree::into_points`] when enough new
+/// cores have accumulated, pushes them, and rebuilds.
+#[derive(Debug)]
+pub struct OwnedKdTree {
+    points: PointSet,
+    core: TreeCore,
+}
+
+impl OwnedKdTree {
+    /// Builds the tree in O(n log n), taking ownership of the points.
+    pub fn build(points: PointSet) -> Self {
+        let core = TreeCore::build(&points);
+        Self { points, core }
+    }
+
+    /// The indexed point set.
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// Consumes the tree and returns the point set (for rebuild-after-grow).
+    pub fn into_points(self) -> PointSet {
+        self.points
+    }
+
+    /// Number of tree nodes (diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.core.nodes.len()
+    }
+}
+
+impl RangeIndex for OwnedKdTree {
+    fn range(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
+        self.core.range(&self.points, query, eps, out);
+    }
+
+    fn count_range(&self, query: &[f64], eps: f64) -> usize {
+        self.core.count_range(&self.points, query, eps)
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
     }
 }
 
@@ -213,35 +326,6 @@ fn widest_dimension(bbox: &BoundingBox) -> usize {
         }
     }
     best
-}
-
-impl RangeIndex for KdTree<'_> {
-    fn range(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
-        if let Some(root) = self.root {
-            let eps_sq = eps * eps;
-            if self.nodes[root as usize].bbox().min_squared_distance(query) <= eps_sq {
-                self.range_recursive(root, query, eps_sq, out);
-            }
-        }
-    }
-
-    fn count_range(&self, query: &[f64], eps: f64) -> usize {
-        match self.root {
-            Some(root) => {
-                let eps_sq = eps * eps;
-                if self.nodes[root as usize].bbox().min_squared_distance(query) <= eps_sq {
-                    self.count_recursive(root, query, eps_sq)
-                } else {
-                    0
-                }
-            }
-            None => 0,
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.points.len()
-    }
 }
 
 #[cfg(test)]
@@ -326,5 +410,36 @@ mod tests {
         let tree = KdTree::build(&ps);
         let hits = tree.range_vec(&[100.0, 0.0], 2.5);
         assert_eq!(hits.len(), 5); // 98..=102
+    }
+
+    #[test]
+    fn owned_tree_matches_borrowed_tree() {
+        let ps = random_points(400, 3, 99);
+        let borrowed = KdTree::build(&ps);
+        let owned = OwnedKdTree::build(ps.clone());
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..30 {
+            let q: Vec<f64> = (0..3).map(|_| rng.next_f64() * 100.0).collect();
+            let eps = rng.next_f64() * 25.0;
+            let mut got = owned.range_vec(&q, eps);
+            let mut want = borrowed.range_vec(&q, eps);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+            assert_eq!(owned.count_range(&q, eps), want.len());
+        }
+        assert_eq!(owned.len(), 400);
+        assert_eq!(owned.node_count(), borrowed.node_count());
+    }
+
+    #[test]
+    fn owned_tree_rebuild_cycle() {
+        let ps = random_points(100, 2, 3);
+        let owned = OwnedKdTree::build(ps);
+        let mut points = owned.into_points();
+        points.push(&[500.0, 500.0]);
+        let rebuilt = OwnedKdTree::build(points);
+        assert_eq!(rebuilt.len(), 101);
+        assert_eq!(rebuilt.range_vec(&[500.0, 500.0], 1.0), vec![100]);
     }
 }

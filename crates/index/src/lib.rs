@@ -47,7 +47,7 @@ pub mod traits;
 pub use balltree::BallTree;
 pub use grid::GridIndex;
 pub use kdist::{k_distance_profile, knee_epsilon, kth_neighbor_distance};
-pub use kdtree::KdTree;
+pub use kdtree::{KdTree, OwnedKdTree};
 pub use linear::LinearScan;
 pub use rstar::RStarTree;
 pub use stats::{CountingIndex, QueryStats};

@@ -6,11 +6,13 @@
 //! same representation `dbsvec-geometry` uses for `PointId` — so this
 //! crate depends on nothing.
 
-/// One timed phase of a clustering run.
+/// One timed phase of a clustering run (or a serving session).
 ///
-/// DBSVEC emits all five; plain DBSCAN-family baselines emit only
-/// [`Phase::Init`] (their single scan loop). Spans nest: `SvExpand` opens
-/// inside `Init`, and `SvddTrain` opens inside `SvExpand`.
+/// DBSVEC fitting emits the first five; plain DBSCAN-family baselines emit
+/// only [`Phase::Init`] (their single scan loop). Spans nest: `SvExpand`
+/// opens inside `Init`, and `SvddTrain` opens inside `SvExpand`. The
+/// serving engine opens [`Phase::Serve`] around an assignment or ingest
+/// session, so `--profile` tables cover serving like they cover fitting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// The seed scan: iterate unclassified points, query, seed clusters.
@@ -23,16 +25,20 @@ pub enum Phase {
     Merge,
     /// The noise-verification pass over the potential-noise list.
     NoiseVerify,
+    /// An online serving session (assignment and/or ingest) over a fitted
+    /// model.
+    Serve,
 }
 
 impl Phase {
     /// Every phase, in canonical display order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Init,
         Phase::SvExpand,
         Phase::SvddTrain,
         Phase::Merge,
         Phase::NoiseVerify,
+        Phase::Serve,
     ];
 
     /// Stable snake_case name (used in JSONL output and tables).
@@ -43,6 +49,7 @@ impl Phase {
             Phase::SvExpand => "sv_expand",
             Phase::Merge => "merge",
             Phase::NoiseVerify => "noise_verify",
+            Phase::Serve => "serve",
         }
     }
 }
@@ -104,6 +111,35 @@ pub enum Event {
         /// `true` if confirmed noise, `false` if attached as a border point.
         confirmed: bool,
     },
+    /// The serving engine classified one observation.
+    Assign {
+        /// `true` if the point landed in a cluster, `false` for noise.
+        hit: bool,
+    },
+    /// The serving engine absorbed one streamed observation.
+    Ingest {
+        /// `true` if the point entered the core set immediately.
+        core: bool,
+        /// `true` if the point duplicated an already-tracked observation
+        /// (recorded for staleness but not re-counted for density).
+        duplicate: bool,
+    },
+    /// A point became a core point online (at ingest, or promoted from the
+    /// boundary buffer once its ε-neighborhood reached MinPts).
+    Promote {
+        /// Compact cluster id the new core landed in.
+        cluster: u32,
+    },
+    /// A model snapshot was serialized.
+    SnapshotWrite {
+        /// Snapshot size in bytes.
+        bytes: u64,
+    },
+    /// A model snapshot was deserialized.
+    SnapshotLoad {
+        /// Snapshot size in bytes.
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -116,6 +152,11 @@ impl Event {
             Event::ExpansionRound { .. } => "expansion_round",
             Event::Merge { .. } => "merge",
             Event::NoiseVerdict { .. } => "noise_verdict",
+            Event::Assign { .. } => "assign",
+            Event::Ingest { .. } => "ingest",
+            Event::Promote { .. } => "promote",
+            Event::SnapshotWrite { .. } => "snapshot_write",
+            Event::SnapshotLoad { .. } => "snapshot_load",
         }
     }
 }
@@ -129,7 +170,14 @@ mod tests {
         let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(
             names,
-            ["init", "sv_expand", "svdd_train", "merge", "noise_verify"]
+            [
+                "init",
+                "sv_expand",
+                "svdd_train",
+                "merge",
+                "noise_verify",
+                "serve"
+            ]
         );
     }
 
@@ -151,5 +199,17 @@ mod tests {
             .name(),
             "noise_verdict"
         );
+        assert_eq!(Event::Assign { hit: true }.name(), "assign");
+        assert_eq!(
+            Event::Ingest {
+                core: false,
+                duplicate: false
+            }
+            .name(),
+            "ingest"
+        );
+        assert_eq!(Event::Promote { cluster: 2 }.name(), "promote");
+        assert_eq!(Event::SnapshotWrite { bytes: 64 }.name(), "snapshot_write");
+        assert_eq!(Event::SnapshotLoad { bytes: 64 }.name(), "snapshot_load");
     }
 }

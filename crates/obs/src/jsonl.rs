@@ -72,6 +72,22 @@ pub fn event_to_json(event: &Event) -> Json {
             push("point", Json::UInt(point as u64));
             push("confirmed", Json::Bool(confirmed));
         }
+        Event::Assign { hit } => {
+            push("hit", Json::Bool(hit));
+        }
+        Event::Ingest { core, duplicate } => {
+            push("core", Json::Bool(core));
+            push("duplicate", Json::Bool(duplicate));
+        }
+        Event::Promote { cluster } => {
+            push("cluster", Json::UInt(cluster as u64));
+        }
+        Event::SnapshotWrite { bytes } => {
+            push("bytes", Json::UInt(bytes));
+        }
+        Event::SnapshotLoad { bytes } => {
+            push("bytes", Json::UInt(bytes));
+        }
     }
     Json::Obj(pairs)
 }

@@ -37,6 +37,20 @@ pub struct ReplayCounts {
     pub max_target_size: usize,
     /// SMO iterations, summed over trainings.
     pub smo_iterations: u64,
+    /// Serving: assignments answered (count of [`Event::Assign`]).
+    pub assigns: u64,
+    /// Of those, assignments that landed in a cluster (`hit == true`).
+    pub assign_hits: u64,
+    /// Serving: observations ingested (count of [`Event::Ingest`]).
+    pub ingests: u64,
+    /// Of those, exact duplicates of already-tracked points.
+    pub ingest_duplicates: u64,
+    /// Serving: online core promotions (count of [`Event::Promote`]).
+    pub promotions: u64,
+    /// Model snapshots written (count of [`Event::SnapshotWrite`]).
+    pub snapshot_writes: u64,
+    /// Model snapshots loaded (count of [`Event::SnapshotLoad`]).
+    pub snapshot_loads: u64,
 }
 
 impl ReplayCounts {
@@ -72,6 +86,21 @@ impl ReplayCounts {
                     self.noise_confirmed += 1;
                 }
             }
+            Event::Assign { hit } => {
+                self.assigns += 1;
+                if *hit {
+                    self.assign_hits += 1;
+                }
+            }
+            Event::Ingest { duplicate, .. } => {
+                self.ingests += 1;
+                if *duplicate {
+                    self.ingest_duplicates += 1;
+                }
+            }
+            Event::Promote { .. } => self.promotions += 1,
+            Event::SnapshotWrite { .. } => self.snapshot_writes += 1,
+            Event::SnapshotLoad { .. } => self.snapshot_loads += 1,
         }
     }
 
@@ -133,6 +162,13 @@ fn field_u32(value: &Json, key: &str) -> Result<u32, String> {
     u32::try_from(field_u64(value, key)?).map_err(|e| format!("field {key:?}: {e}"))
 }
 
+fn field_bool(value: &Json, key: &str) -> Result<bool, String> {
+    match value.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing bool field {key:?}")),
+    }
+}
+
 /// Decodes one `kind:"event"` trace object back into an [`Event`]
 /// (inverse of [`crate::jsonl::event_to_json`]).
 pub fn event_from_json(value: &Json) -> Result<Event, String> {
@@ -169,10 +205,23 @@ pub fn event_from_json(value: &Json) -> Result<Event, String> {
         }),
         "noise_verdict" => Ok(Event::NoiseVerdict {
             point: field_u32(value, "point")?,
-            confirmed: match value.get("confirmed") {
-                Some(Json::Bool(b)) => *b,
-                _ => return Err("missing bool field \"confirmed\"".to_string()),
-            },
+            confirmed: field_bool(value, "confirmed")?,
+        }),
+        "assign" => Ok(Event::Assign {
+            hit: field_bool(value, "hit")?,
+        }),
+        "ingest" => Ok(Event::Ingest {
+            core: field_bool(value, "core")?,
+            duplicate: field_bool(value, "duplicate")?,
+        }),
+        "promote" => Ok(Event::Promote {
+            cluster: field_u32(value, "cluster")?,
+        }),
+        "snapshot_write" => Ok(Event::SnapshotWrite {
+            bytes: field_u64(value, "bytes")?,
+        }),
+        "snapshot_load" => Ok(Event::SnapshotLoad {
+            bytes: field_u64(value, "bytes")?,
         }),
         other => Err(format!("unknown event {other:?}")),
     }
@@ -251,6 +300,36 @@ mod tests {
         assert_eq!(c.noise_candidates, 2);
         assert_eq!(c.noise_confirmed, 1);
         assert!((c.theta(20) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_serving_variants() {
+        let events = [
+            Event::Assign { hit: true },
+            Event::Assign { hit: false },
+            Event::Ingest {
+                core: true,
+                duplicate: false,
+            },
+            Event::Ingest {
+                core: false,
+                duplicate: true,
+            },
+            Event::Promote { cluster: 1 },
+            Event::SnapshotWrite { bytes: 128 },
+            Event::SnapshotLoad { bytes: 128 },
+        ];
+        let c = ReplayCounts::from_events(events.iter());
+        assert_eq!(c.assigns, 2);
+        assert_eq!(c.assign_hits, 1);
+        assert_eq!(c.ingests, 2);
+        assert_eq!(c.ingest_duplicates, 1);
+        assert_eq!(c.promotions, 1);
+        assert_eq!(c.snapshot_writes, 1);
+        assert_eq!(c.snapshot_loads, 1);
+        // Fit counters untouched by serving traffic.
+        assert_eq!(c.seeds, 0);
+        assert_eq!(c.range_queries, 0);
     }
 
     #[test]

@@ -111,7 +111,22 @@ impl fmt::Display for ProfileReport {
             f,
             "noise candidates {} | confirmed noise {}",
             c.noise_candidates, c.noise_confirmed
-        )
+        )?;
+        if c.assigns + c.ingests + c.promotions + c.snapshot_writes + c.snapshot_loads > 0 {
+            writeln!(f)?;
+            write!(
+                f,
+                "assigns {} (hits {}) | ingests {} (dups {}) | promotions {} | snapshots w {} / r {}",
+                c.assigns,
+                c.assign_hits,
+                c.ingests,
+                c.ingest_duplicates,
+                c.promotions,
+                c.snapshot_writes,
+                c.snapshot_loads
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -142,6 +157,28 @@ mod tests {
             assert!(text.contains(p.name()), "missing {} in:\n{text}", p.name());
         }
         assert!(text.contains("theta = 0.2500"), "bad theta in:\n{text}");
+    }
+
+    #[test]
+    fn serving_line_appears_only_with_serving_traffic() {
+        let mut rec = RecordingObserver::new();
+        rec.span_enter(Phase::Init);
+        rec.span_exit(Phase::Init);
+        let fit_only = ProfileReport::from_recording(&rec, 4).to_string();
+        assert!(!fit_only.contains("assigns"), "unexpected:\n{fit_only}");
+
+        rec.span_enter(Phase::Serve);
+        rec.event(&Event::Assign { hit: true });
+        rec.event(&Event::Ingest {
+            core: false,
+            duplicate: false,
+        });
+        rec.span_exit(Phase::Serve);
+        let served = ProfileReport::from_recording(&rec, 4).to_string();
+        assert!(
+            served.contains("assigns 1 (hits 1) | ingests 1"),
+            "missing serving line in:\n{served}"
+        );
     }
 
     #[test]

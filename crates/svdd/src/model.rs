@@ -109,6 +109,14 @@ impl SvddModel {
         self.r_sq
     }
 
+    /// The constant term `αᵀKα` of the decision function — needed (along
+    /// with the support vectors, α's, σ, and `R²`) to evaluate
+    /// [`SvddModel::decision`] without re-solving, e.g. after persisting a
+    /// trained boundary.
+    pub fn alpha_k_alpha(&self) -> f64 {
+        self.alpha_k_alpha
+    }
+
     /// The kernel the model was trained with.
     pub fn kernel(&self) -> GaussianKernel {
         self.kernel

@@ -38,14 +38,16 @@
 //! | [`metrics`] | `dbsvec-metrics` | pair recall/precision/F1, Fowlkes–Mallows, ARI, NMI, silhouette, Davies–Bouldin |
 //! | [`datasets`] | `dbsvec-datasets` | deterministic synthetic generators, CSV I/O, SVG scatter plots |
 //! | [`obs`] | `dbsvec-obs` | run-trace observers: phase spans, typed events, JSONL sink, replay, profiling |
+//! | [`engine`] | `dbsvec-engine` | persistent model snapshots (`.dbm`) and the online ingest/assign serving engine |
 //!
 //! A command-line front end lives in the separate `dbsvec-cli` crate
-//! (binary `dbsvec-cli`): cluster, compare, generate, and suggest
-//! subcommands over CSV files.
+//! (binary `dbsvec-cli`): cluster, compare, generate, suggest, fit,
+//! serve, and ingest subcommands over CSV files.
 
 pub use dbsvec_baselines as baselines;
 pub use dbsvec_core as core;
 pub use dbsvec_datasets as datasets;
+pub use dbsvec_engine as engine;
 pub use dbsvec_geometry as geometry;
 pub use dbsvec_index as index;
 pub use dbsvec_lsh as lsh;

@@ -68,7 +68,8 @@ fn fitted_model_classifies_a_held_out_stream() {
     let eps = dbsvec::datasets::standins::suggest_eps(&train.points, 8, 3);
     let result = Dbsvec::new(DbsvecConfig::new(eps, 8)).fit(&train.points);
     assert_eq!(result.num_clusters(), 4);
-    let model = ClusterModel::new(&train.points, result.labels(), result.core_points(), eps);
+    let model = ClusterModel::new(&train.points, result.labels(), result.core_points(), eps)
+        .expect("valid fit produces a valid model");
 
     let test = gaussian_mixture(1200, 3, 4, 700.0, 1e5, 11); // same centers (same seed)
     let predictions = model.predict_batch(&test.points);

@@ -1,0 +1,107 @@
+//! End-to-end serving pipeline through the facade: fit → persist → reload
+//! → serve must reproduce the training run's labels (modulo border
+//! tie-breaks between clusters), and the reloaded engine must keep
+//! serving correctly after online ingest.
+
+use dbsvec::datasets::{gaussian_mixture, standins::suggest_eps, two_moons};
+use dbsvec::engine::{snapshot, Assignment, Engine, ModelArtifact};
+use dbsvec::geometry::squared_euclidean;
+use dbsvec::{Dbsvec, DbsvecConfig};
+
+/// Fit, snapshot to disk, reload, serve the training set back, and check
+/// every single label against the fit.
+fn fit_save_serve_reproduces(points: &dbsvec::PointSet, eps: f64, min_pts: usize, tag: &str) {
+    let fit = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit(points);
+    let artifact =
+        ModelArtifact::from_fit(points, fit.labels(), fit.core_points(), eps, min_pts as u32)
+            .expect("valid fit")
+            .with_boundaries(points, fit.labels());
+
+    let dir = std::env::temp_dir().join(format!("dbsvec-serving-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.dbm");
+    snapshot::write_file(&artifact, &path).expect("snapshot writes");
+    let (restored, _) = snapshot::read_file(&path).expect("snapshot reads");
+    assert_eq!(restored, artifact, "disk round trip is lossless");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut engine = Engine::new(&restored);
+    let served = engine.assign_batch(points, 2);
+    let eps_sq = eps * eps;
+    let core_set: std::collections::HashSet<u32> = fit.core_points().iter().copied().collect();
+
+    let mut border_ties = 0usize;
+    for (i, p) in points.iter() {
+        let fitted = fit.labels().get(i as usize);
+        match served[i as usize] {
+            Assignment::Noise => {
+                // Noise must match exactly: both sides mean "no verified
+                // core within eps" (the paper's Theorems 2-3).
+                assert_eq!(fitted, None, "{tag}: point {i} clustered by the fit");
+            }
+            Assignment::Cluster(c) => {
+                assert!(fitted.is_some(), "{tag}: fit called point {i} noise");
+                if fitted == Some(c) {
+                    continue;
+                }
+                // A disagreement is only legal for a border point sitting
+                // within eps of cores of more than one cluster.
+                assert!(
+                    !core_set.contains(&i),
+                    "{tag}: core point {i} must keep its exact label"
+                );
+                let reachable: Vec<u32> = restored
+                    .cores
+                    .iter()
+                    .filter(|(_, core)| squared_euclidean(core, p) <= eps_sq)
+                    .map(|(j, _)| restored.core_labels[j as usize])
+                    .collect();
+                assert!(
+                    reachable.contains(&c) && reachable.contains(&fitted.unwrap()),
+                    "{tag}: point {i} label {c} is not a tie between reachable clusters"
+                );
+                border_ties += 1;
+            }
+        }
+    }
+    assert!(
+        border_ties * 100 <= points.len(),
+        "{tag}: {border_ties} border ties out of {} points is not 'modulo ties'",
+        points.len()
+    );
+}
+
+#[test]
+fn fit_save_serve_reproduces_training_labels() {
+    let blobs = gaussian_mixture(1200, 4, 4, 600.0, 1e5, 11);
+    let eps = suggest_eps(&blobs.points, 6, 1);
+    fit_save_serve_reproduces(&blobs.points, eps, 6, "blobs");
+
+    let moons = two_moons(900, 0.05, 23);
+    fit_save_serve_reproduces(&moons.points, 0.15, 5, "moons");
+}
+
+#[test]
+fn served_engine_survives_ingest_and_resnapshot() {
+    let ds = gaussian_mixture(1000, 3, 3, 500.0, 1e5, 31);
+    let eps = suggest_eps(&ds.points, 6, 2);
+    let fit = Dbsvec::new(DbsvecConfig::new(eps, 6)).fit(&ds.points);
+    let artifact =
+        ModelArtifact::from_fit(&ds.points, fit.labels(), fit.core_points(), eps, 6).unwrap();
+    let mut engine = Engine::new(&artifact);
+
+    // Stream in a second sample from the same process; the engine must
+    // keep answering and its re-persisted state must reload cleanly.
+    let extra = gaussian_mixture(300, 3, 3, 500.0, 1e5, 77);
+    for (_, p) in extra.points.iter() {
+        engine.ingest(p);
+    }
+    let snap = engine.snapshot();
+    snap.validate().expect("post-ingest snapshot validates");
+    let bytes = snapshot::encode(&snap);
+    let restored = snapshot::decode(&bytes).expect("post-ingest snapshot decodes");
+    let reloaded = Engine::new(&restored);
+    for (_, p) in ds.points.iter() {
+        assert_eq!(reloaded.classify(p), engine.classify(p));
+    }
+}
