@@ -5,9 +5,12 @@
 //! 8-d random-walk workload: DBSVEC fastest among the density-based
 //! methods, exact DBSCAN next, DBSCAN-LSH last.
 //!
-//! Also checks the observability overhead claim: `fit` vs
-//! `fit_observed(&mut NoopObserver)` must be within noise (±2%), since the
-//! no-op observer's empty callbacks inline away.
+//! Also checks the observability overhead claims: `fit` vs
+//! `fit_observed(&mut NoopObserver)` and plain serving vs the noop-observed
+//! serving path must be within noise (±2%) — disabled instrumentation is
+//! supposed to inline away. The envelope is printed on every run and
+//! enforced as a hard assert under `MICROBENCH_ENFORCE=1` (quick-mode
+//! sampling is too noisy for CI to assert unconditionally).
 
 use dbsvec_baselines::{
     Dbscan, DbscanLsh, FDbscan, Hdbscan, KMeans, NqDbscan, ParallelDbscan, RhoApproxDbscan,
@@ -15,6 +18,7 @@ use dbsvec_baselines::{
 use dbsvec_bench::micro::{black_box, Runner};
 use dbsvec_core::{Dbsvec, DbsvecConfig};
 use dbsvec_datasets::{random_walk_clusters, RandomWalkConfig};
+use dbsvec_engine::{Engine, ModelArtifact};
 use dbsvec_index::KdTree;
 use dbsvec_obs::NoopObserver;
 
@@ -22,7 +26,21 @@ fn main() {
     let runner = Runner::from_env("clustering");
     bench_end_to_end(&runner);
     bench_noop_observer_overhead(&runner);
+    bench_serve_telemetry_overhead(&runner);
     bench_ablations(&runner);
+}
+
+/// Prints the overhead of `candidate` relative to `baseline` and, under
+/// `MICROBENCH_ENFORCE=1`, asserts it stays inside `±pct`.
+fn check_envelope(label: &str, baseline_secs: f64, candidate_secs: f64, pct: f64) {
+    let delta = (candidate_secs / baseline_secs - 1.0) * 100.0;
+    println!("  {label}: {delta:+.2}% (target: within +/-{pct}%)");
+    if std::env::var_os("MICROBENCH_ENFORCE").is_some_and(|v| v == "1") {
+        assert!(
+            delta.abs() <= pct,
+            "{label}: {delta:+.2}% exceeds the +/-{pct}% envelope"
+        );
+    }
 }
 
 fn bench_end_to_end(runner: &Runner) {
@@ -123,10 +141,42 @@ fn bench_noop_observer_overhead(runner: &Runner) {
             .fit_observed(black_box(points), &mut NoopObserver)
             .num_clusters()
     });
-    println!(
-        "  noop observer overhead: {:+.2}% (target: within +/-2%)",
-        (observed / plain - 1.0) * 100.0
-    );
+    check_envelope("noop observer overhead", plain, observed, 2.0);
+}
+
+/// The serving counterpart: with telemetry disabled (no `EngineMetrics`
+/// in play), assignment through the stats + observer seam must cost the
+/// same as a bare `classify` loop — the seam's noop events and counter
+/// bumps have to inline away. Guards the metered-method refactor against
+/// creeping into the default path.
+fn bench_serve_telemetry_overhead(runner: &Runner) {
+    let n = runner.size(20_000, 2_000);
+    println!("serve_telemetry_overhead_{}k_8d", n / 1000);
+    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(n, 8), 42);
+    let points = &ds.points;
+    let (eps, min_pts) = (5000.0, 100);
+
+    let fit = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit(points);
+    let artifact =
+        ModelArtifact::from_fit(points, fit.labels(), fit.core_points(), eps, min_pts as u32)
+            .expect("fit produces a valid artifact");
+    let engine = std::cell::RefCell::new(Engine::new(&artifact));
+
+    let plain = runner.bench("engine_classify_loop", || {
+        let e = engine.borrow();
+        let queries = black_box(points);
+        (0..queries.len())
+            .map(|i| e.classify(queries.point(i as u32)))
+            .filter(|a| a.cluster().is_some())
+            .count()
+    });
+    let observed = runner.bench("engine_assign_batch_noop_observed", || {
+        engine
+            .borrow_mut()
+            .assign_batch_observed(black_box(points), 1, &mut NoopObserver)
+            .len()
+    });
+    check_envelope("disabled-telemetry serve overhead", plain, observed, 2.0);
 }
 
 /// Ablation bench: the design choices DESIGN.md calls out.

@@ -15,12 +15,14 @@ use dbsvec_datasets::{
     chameleon_t48k, chameleon_t710k, random_walk_clusters, spirals, two_moons, Dataset,
     RandomWalkConfig,
 };
-use dbsvec_engine::{snapshot, Assignment, Engine, ModelArtifact, REFIT_THRESHOLD};
+use dbsvec_engine::{snapshot, Assignment, Engine, EngineMetrics, ModelArtifact, REFIT_THRESHOLD};
 use dbsvec_geometry::PointSet;
 use dbsvec_index::{k_distance_profile, knee_epsilon, KdTree};
 use dbsvec_metrics::{adjusted_rand_index, recall};
+use dbsvec_obs::telemetry::{parse_prometheus, render_json, render_prometheus};
 use dbsvec_obs::{
-    Event, JsonlSink, NoopObserver, Observer, Phase, ProfileReport, RecordingObserver, Tee,
+    Event, Json, JsonlSink, NoopObserver, Observer, Phase, ProfileReport, RecordingObserver,
+    Registry, Tee,
 };
 
 use crate::args::ParsedArgs;
@@ -51,6 +53,49 @@ fn finish_trace(
         sink.finish()
             .map_err(|e| CliError(format!("writing trace file {path}: {e}")))?;
         writeln!(out, "trace written to {path}")?;
+    }
+    Ok(())
+}
+
+/// Writes a registry dump to `path`: JSON when the extension is `.json`,
+/// Prometheus text exposition format otherwise.
+fn write_metrics_file(path: &str, reg: &Registry) -> Result<(), CliError> {
+    let text = if path.ends_with(".json") {
+        format!("{}\n", render_json(reg))
+    } else {
+        render_prometheus(reg)
+    };
+    std::fs::write(path, text)
+        .map_err(|e| CliError(format!("cannot write metrics file {path}: {e}")))
+}
+
+/// Resolves `--metrics-file` / `--metrics-interval` into an optional
+/// telemetry sink: `(metrics, path, interval)`.
+fn open_metrics(
+    args: &ParsedArgs,
+) -> Result<(Option<EngineMetrics>, Option<String>, usize), CliError> {
+    let path = args.get("metrics-file").map(str::to_string);
+    let interval: usize = args.get_or("metrics-interval", 0)?;
+    if path.is_none() && interval > 0 {
+        return Err(CliError(
+            "--metrics-interval requires --metrics-file".to_string(),
+        ));
+    }
+    let metrics = path.as_ref().map(|_| EngineMetrics::new());
+    Ok((metrics, path, interval))
+}
+
+/// Final refresh + dump + note, shared by `serve` and `ingest`.
+fn finish_metrics(
+    metrics: &mut Option<EngineMetrics>,
+    path: Option<&str>,
+    engine: &Engine,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    if let (Some(m), Some(path)) = (metrics.as_mut(), path) {
+        m.refresh(engine);
+        write_metrics_file(path, m.registry())?;
+        writeln!(out, "metrics written to {path}")?;
     }
     Ok(())
 }
@@ -430,11 +475,20 @@ pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 /// `dbsvec serve`: load a persisted model and assign a batch of points.
 pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     args.reject_unknown(&[
-        "model", "assign", "output", "threads", "profile", "trace", "help",
+        "model",
+        "assign",
+        "output",
+        "threads",
+        "profile",
+        "trace",
+        "metrics-file",
+        "metrics-interval",
+        "help",
     ])?;
     let model_path = args.require("model")?;
     let assign_path = args.require("assign")?;
     let threads: usize = args.get_or("threads", 1)?;
+    let (mut metrics, metrics_path, metrics_interval) = open_metrics(args)?;
 
     let profile = args.has_switch("profile");
     let mut sink = open_trace(args)?;
@@ -447,6 +501,9 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let (artifact, bytes) = snapshot::read_file(Path::new(model_path))
         .map_err(|e| CliError(format!("cannot load model {model_path}: {e}")))?;
     obs.event(&Event::SnapshotLoad { bytes });
+    if let Some(m) = metrics.as_mut() {
+        m.inc_snapshot_load();
+    }
     let mut engine = Engine::new(&artifact);
     writeln!(
         out,
@@ -472,7 +529,41 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
     obs.span_enter(Phase::Serve);
     let start = Instant::now();
-    let assignments = engine.assign_batch_observed(&queries, threads, obs);
+    let assignments = match metrics.as_mut() {
+        None => engine.assign_batch_observed(&queries, threads, obs),
+        Some(m) => {
+            // Metered path: per-query latency lands in the registry, and
+            // the dump is re-flushed every `--metrics-interval` queries so
+            // a scraper watching the file sees progress mid-batch.
+            let n = queries.len();
+            let chunk = if metrics_interval == 0 {
+                n
+            } else {
+                metrics_interval
+            };
+            let path = metrics_path.as_deref().expect("metrics imply a path");
+            let mut assignments = Vec::with_capacity(n);
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + chunk).min(n);
+                let mut part = PointSet::new(queries.dims());
+                for i in lo..hi {
+                    part.push(queries.point(i as u32));
+                }
+                let res = engine.assign_batch_metered(&part, threads, m);
+                for a in &res {
+                    obs.event(&Event::Assign {
+                        hit: matches!(a, Assignment::Cluster(_)),
+                    });
+                }
+                assignments.extend(res);
+                m.refresh(&engine);
+                write_metrics_file(path, m.registry())?;
+                lo = hi;
+            }
+            assignments
+        }
+    };
     let seconds = start.elapsed().as_secs_f64();
     obs.span_exit(Phase::Serve);
 
@@ -501,15 +592,25 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             ProfileReport::from_recording(&recorder, queries.len())
         )?;
     }
+    finish_metrics(&mut metrics, metrics_path.as_deref(), &engine, out)?;
     finish_trace(args, sink, out)?;
     Ok(())
 }
 
 /// `dbsvec ingest`: stream points into a persisted model and report drift.
 pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
-    args.reject_unknown(&["model", "input", "save", "trace", "help"])?;
+    args.reject_unknown(&[
+        "model",
+        "input",
+        "save",
+        "trace",
+        "metrics-file",
+        "metrics-interval",
+        "help",
+    ])?;
     let model_path = args.require("model")?;
     let input = args.require("input")?;
+    let (mut metrics, metrics_path, metrics_interval) = open_metrics(args)?;
 
     let mut sink = open_trace(args)?;
     let observing = sink.is_some();
@@ -521,6 +622,9 @@ pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let (artifact, bytes) = snapshot::read_file(Path::new(model_path))
         .map_err(|e| CliError(format!("cannot load model {model_path}: {e}")))?;
     obs.event(&Event::SnapshotLoad { bytes });
+    if let Some(m) = metrics.as_mut() {
+        m.inc_snapshot_load();
+    }
     let mut engine = Engine::new(&artifact);
 
     let (points, _) = read_csv(Path::new(input))?;
@@ -537,8 +641,22 @@ pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
     obs.span_enter(Phase::Serve);
     let start = Instant::now();
-    for (_, p) in points.iter() {
-        engine.ingest_observed(p, obs);
+    for (i, p) in points.iter() {
+        match metrics.as_mut() {
+            None => {
+                engine.ingest_observed(p, obs);
+            }
+            Some(m) => {
+                let t = Instant::now();
+                engine.ingest_observed(p, obs);
+                m.record_ingest(t.elapsed());
+                if metrics_interval > 0 && (i as usize + 1) % metrics_interval == 0 {
+                    let path = metrics_path.as_deref().expect("metrics imply a path");
+                    m.refresh(&engine);
+                    write_metrics_file(path, m.registry())?;
+                }
+            }
+        }
     }
     let seconds = start.elapsed().as_secs_f64();
     obs.span_exit(Phase::Serve);
@@ -579,9 +697,69 @@ pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         let bytes = snapshot::write_file(&snap, Path::new(save))
             .map_err(|e| CliError(format!("cannot write model {save}: {e}")))?;
         obs.event(&Event::SnapshotWrite { bytes });
+        if let Some(m) = metrics.as_mut() {
+            m.inc_snapshot_write();
+        }
         writeln!(out, "updated model written to {save} ({bytes} bytes)")?;
     }
+    finish_metrics(&mut metrics, metrics_path.as_deref(), &engine, out)?;
     finish_trace(args, sink, out)?;
+    Ok(())
+}
+
+/// `dbsvec metrics-report`: render a metrics dump human-readably.
+///
+/// Accepts either format `--metrics-file` emits: a Prometheus text dump
+/// (validated by the same parser the golden tests use) or a JSON dump.
+pub fn metrics_report(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["input", "help"])?;
+    let path = args.require("input")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read metrics dump {path}: {e}")))?;
+    if path.ends_with(".json") {
+        let v = dbsvec_obs::json::parse(&text)
+            .map_err(|e| CliError(format!("{path}: invalid JSON: {e}")))?;
+        for section in ["counters", "gauges"] {
+            if let Some(Json::Obj(pairs)) = v.get(section) {
+                if pairs.is_empty() {
+                    continue;
+                }
+                writeln!(out, "{section}:")?;
+                for (name, value) in pairs {
+                    writeln!(out, "  {name:<36} {value}")?;
+                }
+            }
+        }
+        if let Some(Json::Obj(pairs)) = v.get("histograms") {
+            if !pairs.is_empty() {
+                writeln!(out, "histograms:")?;
+            }
+            let field = |h: &Json, k: &str| h.get(k).cloned().unwrap_or(Json::Null);
+            for (name, h) in pairs {
+                writeln!(
+                    out,
+                    "  {name:<36} count={} p50={} p95={} p99={}",
+                    field(h, "count"),
+                    field(h, "p50"),
+                    field(h, "p95"),
+                    field(h, "p99"),
+                )?;
+            }
+        }
+    } else {
+        let samples = parse_prometheus(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+        writeln!(out, "{} samples in {path}", samples.len())?;
+        for s in &samples {
+            let labels = if s.labels.is_empty() {
+                String::new()
+            } else {
+                let pairs: Vec<String> =
+                    s.labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+                format!("{{{}}}", pairs.join(","))
+            };
+            writeln!(out, "  {}{labels} = {}", s.name, s.value)?;
+        }
+    }
     Ok(())
 }
 
@@ -1040,6 +1218,183 @@ mod tests {
         assert!(text.contains("assigned 400 points"), "got: {text}");
 
         for f in [&data, &extra, &model, &updated] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn serve_metrics_file_is_valid_prometheus_with_latency_percentiles() {
+        let data = tempfile("metrics.csv");
+        let model = tempfile("metrics.dbm");
+        let prom = tempfile("metrics.prom");
+        let json = tempfile("metrics.json");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+        let prom_s = prom.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "400",
+            "--output",
+            data_s,
+        ]);
+        run_ok(&[
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            model_s,
+        ]);
+
+        let text = run_ok(&[
+            "serve",
+            "--model",
+            model_s,
+            "--assign",
+            data_s,
+            "--metrics-file",
+            prom_s,
+            "--metrics-interval",
+            "150",
+        ]);
+        assert!(text.contains("metrics written to"), "got: {text}");
+
+        // The dump is valid exposition format and carries the acceptance
+        // metrics: assign-latency percentiles and the health gauges.
+        let dump = std::fs::read_to_string(&prom).unwrap();
+        for line in [
+            "# TYPE dbsvec_assign_latency_seconds summary",
+            "dbsvec_assign_latency_seconds{quantile=\"0.5\"}",
+            "dbsvec_assign_latency_seconds{quantile=\"0.95\"}",
+            "dbsvec_assign_latency_seconds{quantile=\"0.99\"}",
+            "dbsvec_assign_latency_seconds_count 400",
+            "dbsvec_assigns_total 400",
+            "# TYPE dbsvec_staleness_ratio gauge",
+            "dbsvec_tree_rebuilds_total 0",
+            "dbsvec_snapshot_loads_total 1",
+        ] {
+            assert!(dump.contains(line), "missing {line:?} in:\n{dump}");
+        }
+        let samples = parse_prometheus(&dump).expect("dump must parse");
+        let p95 = samples
+            .iter()
+            .find(|s| {
+                s.name == "dbsvec_assign_latency_seconds" && s.label("quantile") == Some("0.95")
+            })
+            .expect("p95 sample");
+        assert!(p95.value > 0.0 && p95.value < 1.0, "p95 = {}", p95.value);
+
+        // metrics-report renders the same dump.
+        let text = run_ok(&["metrics-report", "--input", prom_s]);
+        assert!(text.contains("samples in"), "got: {text}");
+        assert!(text.contains("dbsvec_assign_latency_seconds"), "{text}");
+
+        // The .json extension selects the JSON rendering, which parses
+        // with the shared parser and also round-trips through the report.
+        run_ok(&[
+            "serve",
+            "--model",
+            model_s,
+            "--assign",
+            data_s,
+            "--metrics-file",
+            json.to_str().unwrap(),
+        ]);
+        let jtext = std::fs::read_to_string(&json).unwrap();
+        let v = dbsvec_obs::json::parse(&jtext).expect("valid JSON dump");
+        assert!(v.get("histograms").is_some());
+        let text = run_ok(&["metrics-report", "--input", json.to_str().unwrap()]);
+        assert!(text.contains("histograms:"), "got: {text}");
+
+        // --metrics-interval without --metrics-file is a user error.
+        let err = run_err(&[
+            "serve",
+            "--model",
+            model_s,
+            "--assign",
+            data_s,
+            "--metrics-interval",
+            "10",
+        ]);
+        assert!(err.contains("--metrics-file"), "got: {err}");
+
+        for f in [&data, &model, &prom, &json] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn ingest_metrics_cover_latency_and_snapshot_io() {
+        let data = tempfile("ingest-metrics.csv");
+        let extra = tempfile("ingest-metrics-extra.csv");
+        let model = tempfile("ingest-metrics.dbm");
+        let updated = tempfile("ingest-metrics-updated.dbm");
+        let prom = tempfile("ingest-metrics.prom");
+        let data_s = data.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "300",
+            "--output",
+            data_s,
+        ]);
+        run_ok(&[
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            model.to_str().unwrap(),
+        ]);
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "120",
+            "--seed",
+            "9",
+            "--output",
+            extra.to_str().unwrap(),
+        ]);
+
+        let text = run_ok(&[
+            "ingest",
+            "--model",
+            model.to_str().unwrap(),
+            "--input",
+            extra.to_str().unwrap(),
+            "--save",
+            updated.to_str().unwrap(),
+            "--metrics-file",
+            prom.to_str().unwrap(),
+            "--metrics-interval",
+            "50",
+        ]);
+        assert!(text.contains("metrics written to"), "got: {text}");
+        let dump = std::fs::read_to_string(&prom).unwrap();
+        for line in [
+            "dbsvec_ingests_total 120",
+            "dbsvec_ingest_latency_seconds_count 120",
+            "dbsvec_snapshot_loads_total 1",
+            "dbsvec_snapshot_writes_total 1",
+        ] {
+            assert!(dump.contains(line), "missing {line:?} in:\n{dump}");
+        }
+        assert!(parse_prometheus(&dump).is_ok());
+
+        for f in [&data, &extra, &model, &updated, &prom] {
             std::fs::remove_file(f).ok();
         }
     }

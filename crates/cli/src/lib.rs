@@ -15,7 +15,9 @@
 //! * `dbsvec serve` — load a snapshot and assign a batch of new points
 //!   (optionally fanned out over threads);
 //! * `dbsvec ingest` — stream new points into a loaded model, promoting
-//!   dense arrivals to cores, and report the resulting drift.
+//!   dense arrivals to cores, and report the resulting drift;
+//! * `dbsvec metrics-report` — render a `--metrics-file` dump (Prometheus
+//!   text or JSON) human-readably, validating it along the way.
 //!
 //! All user errors surface as [`CliError`] with a message suitable for
 //! stderr; the binary in `src/bin/dbsvec.rs` is a trivial shell around
@@ -65,8 +67,11 @@ USAGE:
                   [--boundaries] [--stats] [--profile] [--trace out.jsonl]
   dbsvec-cli serve    --model model.dbm --assign points.csv [--output labels.csv]
                   [--threads N] [--profile] [--trace out.jsonl]
+                  [--metrics-file metrics.prom] [--metrics-interval N]
   dbsvec-cli ingest   --model model.dbm --input points.csv [--save updated.dbm]
-                  [--trace out.jsonl]
+                  [--trace out.jsonl] [--metrics-file metrics.prom]
+                  [--metrics-interval N]
+  dbsvec-cli metrics-report --input metrics.prom
 
 ALGORITHMS (for --algorithm):
   dbsvec (default) | dbsvec-min | dbscan | kd-dbscan | parallel-dbscan |
@@ -90,6 +95,15 @@ OBSERVABILITY (cluster, fit, serve, ingest; instrumented algorithms:
 dbsvec, dbsvec-min, dbscan, kd-dbscan, nq-dbscan):
   --profile           print a per-phase wall-clock + theta breakdown after the run
   --trace out.jsonl   stream every phase span and event as one JSON object per line
+
+TELEMETRY (serve, ingest):
+  --metrics-file PATH   dump serving metrics (counters, health gauges, and
+                        assign/ingest latency p50/p95/p99) to PATH; the format
+                        is Prometheus text exposition unless PATH ends in
+                        .json, which selects JSON
+  --metrics-interval N  re-dump the file every N processed points (0 = only at
+                        the end), so a scraper sees progress mid-run
+  metrics-report        validate and pretty-print such a dump
 ";
 
 /// Entry point shared by the binary and the tests: parses `tokens`
@@ -109,6 +123,7 @@ pub fn run(tokens: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), CliE
         Some("fit") => commands::fit(&parsed, out),
         Some("serve") => commands::serve(&parsed, out),
         Some("ingest") => commands::ingest(&parsed, out),
+        Some("metrics-report") => commands::metrics_report(&parsed, out),
         Some(other) => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
         None => Err(CliError(format!("no command given\n\n{USAGE}"))),
     }

@@ -30,13 +30,15 @@
 //! once it passes 25%.
 
 use std::collections::HashSet;
+use std::time::Instant;
 
 use dbsvec_core::UnionFind;
 use dbsvec_geometry::{squared_euclidean, PointSet};
 use dbsvec_index::{OwnedKdTree, RangeIndex};
-use dbsvec_obs::{Event, NoopObserver, Observer};
+use dbsvec_obs::{Event, Histogram, NoopObserver, Observer};
 
 use crate::artifact::{ClusterBoundary, ModelArtifact};
+use crate::metrics::EngineMetrics;
 
 /// Result of classifying one observation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +98,29 @@ pub struct EngineStats {
     /// Cluster merges caused by promotions.
     pub merges: u64,
     /// Times the core kd-tree was rebuilt to fold in the tail.
+    pub tree_rebuilds: u64,
+}
+
+/// One coherent point-in-time read of the engine's operational health.
+///
+/// Cheap to produce (a handful of field reads), so poll it as often as a
+/// scraper likes. All fields describe the same instant, unlike chaining
+/// the individual getters across mutations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthSnapshot {
+    /// Accumulated topology drift per fitted core ([`Engine::staleness`]).
+    pub staleness: f64,
+    /// Whether drift passed [`REFIT_THRESHOLD`].
+    pub refit_recommended: bool,
+    /// Current core points (fitted + promoted).
+    pub core_points: usize,
+    /// Promoted cores awaiting the next kd-tree rebuild.
+    pub tail_length: usize,
+    /// Current number of clusters.
+    pub clusters: usize,
+    /// Observations buffered below the density threshold.
+    pub buffered_points: usize,
+    /// Times the core kd-tree has been rebuilt.
     pub tree_rebuilds: u64,
 }
 
@@ -235,6 +260,19 @@ impl Engine {
         self.staleness() >= REFIT_THRESHOLD
     }
 
+    /// One coherent snapshot of the engine's operational health.
+    pub fn health(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            staleness: self.staleness(),
+            refit_recommended: self.refit_recommended(),
+            core_points: self.core_count(),
+            tail_length: self.tail.len(),
+            clusters: self.num_display,
+            buffered_points: self.buffered.len(),
+            tree_rebuilds: self.stats.tree_rebuilds,
+        }
+    }
+
     /// Pure classification: nearest core within ε, else noise. Shared by
     /// the single and batch paths; touches no counters, so it needs only
     /// `&self` and is safe to call from scoped threads.
@@ -333,6 +371,89 @@ impl Engine {
     /// [`Engine::assign_batch_observed`] without observation.
     pub fn assign_batch(&mut self, queries: &PointSet, threads: usize) -> Vec<Assignment> {
         self.assign_batch_observed(queries, threads, &mut NoopObserver)
+    }
+
+    /// [`Engine::assign`] with per-call latency recorded into `metrics`.
+    pub fn assign_metered(&mut self, x: &[f64], metrics: &mut EngineMetrics) -> Assignment {
+        let start = Instant::now();
+        let a = self.assign(x);
+        metrics.record_assign(start.elapsed());
+        a
+    }
+
+    /// [`Engine::assign_batch`] with per-query latency recorded into
+    /// `metrics`. Each scoped-thread worker times its queries into a
+    /// worker-local [`Histogram`]; the locals are merged into the registry
+    /// after the join (bucket merge is associative, so the result equals
+    /// single-threaded recording).
+    pub fn assign_batch_metered(
+        &mut self,
+        queries: &PointSet,
+        threads: usize,
+        metrics: &mut EngineMetrics,
+    ) -> Vec<Assignment> {
+        assert_eq!(queries.dims(), self.dims, "query dimensionality mismatch");
+        let n = queries.len();
+        let threads = threads.clamp(1, n.max(1));
+        let (results, latencies) = if threads == 1 {
+            let mut local = Histogram::new();
+            let results = (0..n)
+                .map(|i| {
+                    let start = Instant::now();
+                    let a = self.classify(queries.point(i as u32));
+                    local.record_duration(start.elapsed());
+                    a
+                })
+                .collect();
+            (results, local)
+        } else {
+            let shared: &Engine = self;
+            let chunk = n.div_ceil(threads);
+            let mut results: Vec<Assignment> = Vec::with_capacity(n);
+            let mut latencies = Histogram::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        scope.spawn(move || {
+                            let mut local = Histogram::new();
+                            let answers: Vec<_> = (lo..hi)
+                                .map(|i| {
+                                    let start = Instant::now();
+                                    let a = shared.classify(queries.point(i as u32));
+                                    local.record_duration(start.elapsed());
+                                    a
+                                })
+                                .collect();
+                            (answers, local)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let (answers, local) = h.join().expect("classification must not panic");
+                    results.extend(answers);
+                    latencies.merge(&local);
+                }
+            });
+            (results, latencies)
+        };
+        for a in &results {
+            self.stats.assigns += 1;
+            if matches!(a, Assignment::Cluster(_)) {
+                self.stats.assign_hits += 1;
+            }
+        }
+        metrics.merge_assign_latencies(&latencies);
+        results
+    }
+
+    /// [`Engine::ingest`] with per-call latency recorded into `metrics`.
+    pub fn ingest_metered(&mut self, x: &[f64], metrics: &mut EngineMetrics) -> IngestOutcome {
+        let start = Instant::now();
+        let out = self.ingest(x);
+        metrics.record_ingest(start.elapsed());
+        out
     }
 
     /// Absorbs one observation, recording stats and [`Event::Ingest`] /
@@ -631,6 +752,28 @@ mod tests {
         assert_eq!(engine.num_clusters(), 1, "chain must merge the clusters");
         assert!(engine.stats().merges >= 1);
         assert_eq!(engine.classify(&[0.5]), engine.classify(&[10.5]));
+    }
+
+    #[test]
+    fn health_is_a_coherent_snapshot_of_the_getters() {
+        let mut engine = Engine::new(&grid_artifact());
+        let fresh = engine.health();
+        assert_eq!(fresh.staleness, 0.0);
+        assert!(!fresh.refit_recommended);
+        assert_eq!(fresh.core_points, 10);
+        assert_eq!(fresh.tail_length, 0);
+        assert_eq!(fresh.clusters, 2);
+        assert_eq!(fresh.buffered_points, 0);
+        assert_eq!(fresh.tree_rebuilds, 0);
+        engine.ingest(&[2.0, 0.5]); // promoted immediately
+        engine.ingest(&[50.0, 50.0]); // buffered
+        let h = engine.health();
+        assert_eq!(h.staleness, engine.staleness());
+        assert_eq!(h.refit_recommended, engine.refit_recommended());
+        assert_eq!(h.core_points, engine.core_count());
+        assert_eq!(h.tail_length, 1);
+        assert_eq!(h.clusters, engine.num_clusters());
+        assert_eq!(h.buffered_points, engine.buffered_count());
     }
 
     #[test]

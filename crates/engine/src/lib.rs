@@ -13,7 +13,12 @@
 //! * [`Engine`] ([`engine`]) — an online ingest/assign server: nearest
 //!   core-within-ε assignment off a kd-tree, streaming ingest with
 //!   MinPts-gated core promotion and union–find merging, scoped-thread
-//!   batch fan-out, and a staleness heuristic that recommends re-fitting.
+//!   batch fan-out, and a staleness heuristic that recommends re-fitting;
+//! * [`EngineMetrics`] ([`metrics`]) — a pre-wired telemetry registry:
+//!   counters mirroring [`EngineStats`], health gauges mirroring
+//!   [`HealthSnapshot`], and per-call latency histograms filled by the
+//!   engine's `*_metered` methods. Exposed as Prometheus text or JSON via
+//!   `dbsvec_obs::telemetry::expo`.
 //!
 //! Everything observes through the `dbsvec-obs` seam (`Assign`, `Ingest`,
 //! `Promote`, `SnapshotWrite`/`SnapshotLoad` events under the `serve`
@@ -45,8 +50,10 @@
 
 pub mod artifact;
 pub mod engine;
+pub mod metrics;
 pub mod snapshot;
 
 pub use artifact::{ClusterBoundary, ModelArtifact};
-pub use engine::{Assignment, Engine, EngineStats, IngestOutcome, REFIT_THRESHOLD};
+pub use engine::{Assignment, Engine, EngineStats, HealthSnapshot, IngestOutcome, REFIT_THRESHOLD};
+pub use metrics::EngineMetrics;
 pub use snapshot::{SnapshotError, FORMAT_VERSION, MAGIC};

@@ -1,0 +1,328 @@
+//! Engine telemetry: a pre-wired [`Registry`] for the serving paths.
+//!
+//! [`EngineMetrics`] owns a `dbsvec-obs` telemetry registry with every
+//! serving metric pre-registered: lifetime counters mirroring
+//! [`EngineStats`](crate::EngineStats), health gauges mirroring
+//! [`HealthSnapshot`](crate::HealthSnapshot), and per-call latency
+//! histograms for assignment and ingest.
+//!
+//! The split of responsibilities avoids double counting:
+//!
+//! * **Counters** are never incremented per call. [`EngineMetrics::refresh`]
+//!   overwrites them from the engine's own cumulative
+//!   [`EngineStats`](crate::EngineStats)
+//!   (which is monotone), so the registry always agrees with the engine no
+//!   matter how many calls happened between refreshes.
+//! * **Gauges** are point-in-time reads of [`Engine::health`], also set by
+//!   `refresh`.
+//! * **Latency histograms** are the only per-call state, filled by the
+//!   engine's `*_metered` methods ([`Engine::assign_metered`],
+//!   [`Engine::assign_batch_metered`], [`Engine::ingest_metered`]).
+//!   The plain `assign`/`ingest` paths never touch telemetry, so the
+//!   disabled-telemetry cost is exactly zero — the bench overhead guard
+//!   pins this.
+//! * **Snapshot I/O** is counted by explicit
+//!   [`EngineMetrics::inc_snapshot_write`] /
+//!   [`EngineMetrics::inc_snapshot_load`] calls at the persistence call
+//!   sites, because `EngineStats` does not track it.
+
+use std::time::Duration;
+
+use dbsvec_obs::telemetry::{CounterId, GaugeId, Histogram, HistogramId, HistogramMetric};
+use dbsvec_obs::Registry;
+
+use crate::engine::Engine;
+
+/// A telemetry registry pre-wired with the engine's serving metrics.
+#[derive(Clone, Debug)]
+pub struct EngineMetrics {
+    reg: Registry,
+    assigns: CounterId,
+    assign_hits: CounterId,
+    ingests: CounterId,
+    duplicates: CounterId,
+    promotions: CounterId,
+    new_clusters: CounterId,
+    merges: CounterId,
+    tree_rebuilds: CounterId,
+    snapshot_writes: CounterId,
+    snapshot_loads: CounterId,
+    staleness: GaugeId,
+    refit_recommended: GaugeId,
+    core_points: GaugeId,
+    tail_length: GaugeId,
+    clusters: GaugeId,
+    buffered_points: GaugeId,
+    assign_latency: HistogramId,
+    ingest_latency: HistogramId,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineMetrics {
+    /// Creates the metrics set with every metric registered under
+    /// `dbsvec_*` names.
+    pub fn new() -> Self {
+        let mut reg = Registry::new();
+        let assigns = reg.counter("dbsvec_assigns_total", "Assignments answered.");
+        let assign_hits = reg.counter(
+            "dbsvec_assign_hits_total",
+            "Assignments that landed in a cluster.",
+        );
+        let ingests = reg.counter(
+            "dbsvec_ingests_total",
+            "Observations ingested (including duplicates).",
+        );
+        let duplicates = reg.counter(
+            "dbsvec_ingest_duplicates_total",
+            "Ingests dropped as exact duplicates.",
+        );
+        let promotions = reg.counter(
+            "dbsvec_promotions_total",
+            "Points promoted to core (at ingest or from the buffer).",
+        );
+        let new_clusters = reg.counter(
+            "dbsvec_new_clusters_total",
+            "Promotions that spawned a brand-new cluster.",
+        );
+        let merges = reg.counter(
+            "dbsvec_merges_total",
+            "Cluster merges caused by promotions.",
+        );
+        let tree_rebuilds = reg.counter(
+            "dbsvec_tree_rebuilds_total",
+            "Core kd-tree rebuilds folding in the promotion tail.",
+        );
+        let snapshot_writes = reg.counter(
+            "dbsvec_snapshot_writes_total",
+            "Model snapshots serialized.",
+        );
+        let snapshot_loads = reg.counter(
+            "dbsvec_snapshot_loads_total",
+            "Model snapshots deserialized.",
+        );
+        let staleness = reg.gauge(
+            "dbsvec_staleness_ratio",
+            "Accumulated topology drift per fitted core point.",
+        );
+        let refit_recommended = reg.gauge(
+            "dbsvec_refit_recommended",
+            "1 when drift passed the re-fit threshold, else 0.",
+        );
+        let core_points = reg.gauge(
+            "dbsvec_core_points",
+            "Current core points (fitted + promoted).",
+        );
+        let tail_length = reg.gauge(
+            "dbsvec_tail_length",
+            "Promoted cores awaiting the next kd-tree rebuild.",
+        );
+        let clusters = reg.gauge("dbsvec_clusters", "Current number of clusters.");
+        let buffered_points = reg.gauge(
+            "dbsvec_buffered_points",
+            "Observations buffered below the density threshold.",
+        );
+        let assign_latency = reg.histogram(
+            "dbsvec_assign_latency_seconds",
+            "Per-call assignment latency.",
+            1e9,
+        );
+        let ingest_latency = reg.histogram(
+            "dbsvec_ingest_latency_seconds",
+            "Per-call ingest latency.",
+            1e9,
+        );
+        Self {
+            reg,
+            assigns,
+            assign_hits,
+            ingests,
+            duplicates,
+            promotions,
+            new_clusters,
+            merges,
+            tree_rebuilds,
+            snapshot_writes,
+            snapshot_loads,
+            staleness,
+            refit_recommended,
+            core_points,
+            tail_length,
+            clusters,
+            buffered_points,
+            assign_latency,
+            ingest_latency,
+        }
+    }
+
+    /// Overwrites counters from the engine's cumulative
+    /// [`EngineStats`](crate::EngineStats)
+    /// and gauges from its current [`HealthSnapshot`](crate::HealthSnapshot).
+    /// Safe to call at any cadence; both sources are authoritative.
+    pub fn refresh(&mut self, engine: &Engine) {
+        let s = engine.stats();
+        self.reg.set_counter(self.assigns, s.assigns);
+        self.reg.set_counter(self.assign_hits, s.assign_hits);
+        self.reg.set_counter(self.ingests, s.ingests);
+        self.reg.set_counter(self.duplicates, s.duplicates);
+        self.reg.set_counter(self.promotions, s.promotions);
+        self.reg.set_counter(self.new_clusters, s.new_clusters);
+        self.reg.set_counter(self.merges, s.merges);
+        self.reg.set_counter(self.tree_rebuilds, s.tree_rebuilds);
+        let h = engine.health();
+        self.reg.set(self.staleness, h.staleness);
+        self.reg
+            .set(self.refit_recommended, f64::from(h.refit_recommended));
+        self.reg.set(self.core_points, h.core_points as f64);
+        self.reg.set(self.tail_length, h.tail_length as f64);
+        self.reg.set(self.clusters, h.clusters as f64);
+        self.reg.set(self.buffered_points, h.buffered_points as f64);
+    }
+
+    /// Records one assignment's wall-clock latency.
+    pub fn record_assign(&mut self, d: Duration) {
+        self.reg.observe_duration(self.assign_latency, d);
+    }
+
+    /// Records one ingest's wall-clock latency.
+    pub fn record_ingest(&mut self, d: Duration) {
+        self.reg.observe_duration(self.ingest_latency, d);
+    }
+
+    /// Folds a worker-local histogram of assignment latencies (nanosecond
+    /// ticks) into the registry — the merge half of the batch fan-out.
+    pub fn merge_assign_latencies(&mut self, local: &Histogram) {
+        self.reg.merge_histogram(self.assign_latency, local);
+    }
+
+    /// Counts one snapshot serialization.
+    pub fn inc_snapshot_write(&mut self) {
+        self.reg.inc(self.snapshot_writes);
+    }
+
+    /// Counts one snapshot deserialization.
+    pub fn inc_snapshot_load(&mut self) {
+        self.reg.inc(self.snapshot_loads);
+    }
+
+    /// The assignment-latency histogram.
+    pub fn assign_latency(&self) -> &HistogramMetric {
+        self.reg.histogram_at(self.assign_latency)
+    }
+
+    /// The ingest-latency histogram.
+    pub fn ingest_latency(&self) -> &HistogramMetric {
+        self.reg.histogram_at(self.ingest_latency)
+    }
+
+    /// The underlying registry (for exposition).
+    pub fn registry(&self) -> &Registry {
+        &self.reg
+    }
+
+    /// Mutable registry access (to add process-level metrics alongside).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::ModelArtifact;
+    use dbsvec_geometry::PointSet;
+
+    fn two_cluster_artifact() -> ModelArtifact {
+        let mut cores = PointSet::new(2);
+        let mut labels = Vec::new();
+        for i in 0..5 {
+            cores.push(&[i as f64, 0.0]);
+            labels.push(0);
+        }
+        for i in 0..5 {
+            cores.push(&[i as f64, 100.0]);
+            labels.push(1);
+        }
+        ModelArtifact {
+            eps: 1.5,
+            min_pts: 3,
+            num_clusters: 2,
+            cores,
+            core_labels: labels,
+            boundaries: None,
+        }
+    }
+
+    #[test]
+    fn refresh_mirrors_stats_and_health() {
+        let mut engine = Engine::new(&two_cluster_artifact());
+        let mut m = EngineMetrics::new();
+        engine.assign(&[2.0, 0.5]);
+        engine.assign(&[2.0, 50.0]);
+        engine.ingest(&[2.0, 0.5]);
+        m.refresh(&engine);
+        let reg = m.registry();
+        assert_eq!(reg.counter_value("dbsvec_assigns_total"), Some(2));
+        assert_eq!(reg.counter_value("dbsvec_assign_hits_total"), Some(1));
+        assert_eq!(reg.counter_value("dbsvec_ingests_total"), Some(1));
+        assert_eq!(reg.counter_value("dbsvec_promotions_total"), Some(1));
+        assert_eq!(reg.gauge_value("dbsvec_core_points"), Some(11.0));
+        assert_eq!(reg.gauge_value("dbsvec_clusters"), Some(2.0));
+        assert_eq!(
+            reg.gauge_value("dbsvec_staleness_ratio"),
+            Some(engine.staleness())
+        );
+        // Refresh is idempotent — counters come from a cumulative source.
+        m.refresh(&engine);
+        assert_eq!(m.registry().counter_value("dbsvec_assigns_total"), Some(2));
+    }
+
+    #[test]
+    fn metered_calls_fill_latency_histograms_and_agree_with_plain() {
+        let mut engine = Engine::new(&two_cluster_artifact());
+        let mut m = EngineMetrics::new();
+        let a = engine.assign_metered(&[2.0, 0.5], &mut m);
+        assert_eq!(a, engine.classify(&[2.0, 0.5]));
+        let out = engine.ingest_metered(&[2.0, 0.6], &mut m);
+        assert!(!matches!(out, crate::IngestOutcome::Duplicate));
+        assert_eq!(m.assign_latency().histogram().count(), 1);
+        assert_eq!(m.ingest_latency().histogram().count(), 1);
+        assert!(m.assign_latency().histogram().p50().is_some());
+    }
+
+    #[test]
+    fn batch_metered_records_one_sample_per_query_across_threads() {
+        let mut engine = Engine::new(&two_cluster_artifact());
+        let mut queries = PointSet::new(2);
+        for i in 0..100 {
+            queries.push(&[(i % 7) as f64, (i % 3) as f64 * 50.0]);
+        }
+        let expected = engine.assign_batch(&queries, 1);
+        for threads in [1, 3] {
+            let mut m = EngineMetrics::new();
+            let got = engine.assign_batch_metered(&queries, threads, &mut m);
+            assert_eq!(got, expected);
+            assert_eq!(m.assign_latency().histogram().count(), 100);
+        }
+    }
+
+    #[test]
+    fn snapshot_counters_are_explicit() {
+        let mut m = EngineMetrics::new();
+        m.inc_snapshot_load();
+        m.inc_snapshot_write();
+        m.inc_snapshot_write();
+        assert_eq!(
+            m.registry().counter_value("dbsvec_snapshot_writes_total"),
+            Some(2)
+        );
+        assert_eq!(
+            m.registry().counter_value("dbsvec_snapshot_loads_total"),
+            Some(1)
+        );
+    }
+}

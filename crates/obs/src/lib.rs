@@ -17,6 +17,10 @@
 //! * [`Tee`] — fan out one instrumented run to two observers (e.g. record
 //!   *and* trace).
 //! * [`ProfileReport`] — renders the phase-time + θ breakdown table.
+//! * [`telemetry`] — serving metrics: a [`Registry`] of named counters,
+//!   gauges, and log-linear latency [`Histogram`]s; Prometheus/JSON
+//!   exposition; and a [`MetricsObserver`] bridging this trait seam into
+//!   the registry.
 //! * [`json`] — the hand-rolled JSON value writer everything above (and
 //!   the bench harness's `BENCH_*.json` output) shares. No external
 //!   dependencies anywhere in this crate.
@@ -33,6 +37,7 @@ pub mod observer;
 pub mod recording;
 pub mod replay;
 pub mod report;
+pub mod telemetry;
 
 pub use event::{Event, Phase};
 pub use json::Json;
@@ -41,3 +46,4 @@ pub use observer::{NoopObserver, Observer, Tee};
 pub use recording::{PhaseTimings, Record, RecordingObserver};
 pub use replay::ReplayCounts;
 pub use report::ProfileReport;
+pub use telemetry::{Histogram, HistogramSummary, MetricsObserver, Registry};

@@ -1,0 +1,373 @@
+//! Log-linear-bucket latency histograms: record, merge, percentiles.
+//!
+//! A [`Histogram`] counts unsigned integer samples (the serving paths
+//! record nanoseconds) into buckets whose width grows with magnitude:
+//! every power of two is split into [`SUB_BUCKETS`] linear sub-buckets, so
+//! the relative quantization error is bounded by `1/SUB_BUCKETS` (6.25%)
+//! at every scale from 1 ns to `u64::MAX`. The scheme is the same one
+//! HdrHistogram popularized, shrunk to what serving metrics need:
+//!
+//! * bucket boundaries depend only on the constants, never on the data,
+//!   so [`Histogram::merge`] is a plain element-wise add — associative and
+//!   commutative, which lets scoped-thread workers record into local
+//!   histograms and fold them together after the join;
+//! * [`Histogram::quantile`] walks the cumulative counts and interpolates
+//!   linearly inside the landing bucket, clamped to the exact observed
+//!   `[min, max]`;
+//! * a [`HistogramSummary`] snapshot carries count/sum/min/max/p50/p95/p99
+//!   as plain numbers for exposition.
+//!
+//! Total footprint is [`BUCKET_COUNT`] (976) `u64` slots — about 8 KiB per
+//! histogram, allocated once at construction.
+
+/// Each power of two is split into this many linear sub-buckets.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 4;
+
+/// Number of buckets needed to cover the full `u64` range.
+pub const BUCKET_COUNT: usize =
+    (63 - SUB_BITS as usize) * SUB_BUCKETS as usize + 2 * SUB_BUCKETS as usize;
+
+/// Bucket index for a sample (values below [`SUB_BUCKETS`] map exactly).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let magnitude = 63 - v.leading_zeros();
+        let sub = (v >> (magnitude - SUB_BITS)) as usize;
+        (magnitude - SUB_BITS) as usize * SUB_BUCKETS as usize + sub
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (inverse of [`bucket_index`]).
+fn bucket_lower(i: usize) -> u64 {
+    if i < SUB_BUCKETS as usize {
+        i as u64
+    } else {
+        let group = i / SUB_BUCKETS as usize;
+        let sub = (i % SUB_BUCKETS as usize) as u64;
+        (SUB_BUCKETS + sub) << (group - 1)
+    }
+}
+
+/// Width of bucket `i` (its exclusive upper bound is `lower + width`).
+fn bucket_width(i: usize) -> u64 {
+    if i < SUB_BUCKETS as usize {
+        1
+    } else {
+        1u64 << (i / SUB_BUCKETS as usize - 1)
+    }
+}
+
+/// A mergeable log-linear histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a [`std::time::Duration`] as nanoseconds (saturating).
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.min)
+    }
+
+    /// Largest recorded sample, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.max)
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.is_empty()).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), `None` when empty.
+    ///
+    /// Walks the cumulative bucket counts to the target rank and
+    /// interpolates linearly inside the landing bucket; the estimate is
+    /// clamped to the exact observed `[min, max]`, so `quantile(0.0)`
+    /// returns the true minimum and `quantile(1.0)` the true maximum.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return Some(self.min as f64);
+        }
+        // 1-based rank of the sample the quantile lands on.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let into = (target - seen) as f64 / c as f64;
+                let est = bucket_lower(i) as f64 + into * bucket_width(i) as f64;
+                return Some(est.clamp(self.min as f64, self.max as f64));
+            }
+            seen += c;
+        }
+        Some(self.max as f64)
+    }
+
+    /// Median estimate, `None` when empty.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate, `None` when empty.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate, `None` when empty.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Folds `other` into `self` (element-wise bucket add). Associative
+    /// and commutative: merging worker-local histograms in any order gives
+    /// the same result as recording every sample into one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty buckets as `(lower, width, count)` triples.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower(i), bucket_width(i), c))
+    }
+
+    /// A plain-number snapshot for exposition.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            p50: self.p50().unwrap_or(0.0),
+            p95: self.p95().unwrap_or(0.0),
+            p99: self.p99().unwrap_or(0.0),
+        }
+    }
+}
+
+/// A snapshot of a histogram's headline numbers (zeros when empty).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median estimate (0 when empty).
+    pub p50: f64,
+    /// 95th-percentile estimate (0 when empty).
+    pub p95: f64,
+    /// 99th-percentile estimate (0 when empty).
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_lower_are_inverse_and_monotone() {
+        // Small values map exactly.
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+        }
+        // Boundaries are continuous: each bucket's lower bound is the
+        // previous bucket's exclusive upper bound.
+        for i in 1..BUCKET_COUNT {
+            assert_eq!(
+                bucket_lower(i),
+                bucket_lower(i - 1) + bucket_width(i - 1),
+                "gap between buckets {} and {i}",
+                i - 1
+            );
+        }
+        // Every lower bound maps back to its own bucket.
+        for i in 0..BUCKET_COUNT {
+            assert_eq!(bucket_index(bucket_lower(i)), i, "bucket {i}");
+        }
+        // The extremes are representable.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // A sample lands in a bucket whose width is at most 1/SUB_BUCKETS
+        // of its lower bound, for all magnitudes.
+        for v in [17, 1000, 123_456, 789_012_345, u64::MAX / 3] {
+            let i = bucket_index(v);
+            let lo = bucket_lower(i);
+            let w = bucket_width(i);
+            assert!(lo <= v && v < lo + w, "sample {v} outside bucket {i}");
+            assert!(w as f64 / lo as f64 <= 1.0 / SUB_BUCKETS as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.buckets().count(), 0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+        // Merging an empty histogram is a no-op in both directions.
+        let mut a = Histogram::new();
+        a.record(42);
+        let before = a.clone();
+        a.merge(&h);
+        assert_eq!(a, before);
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(1_000_000.0), "q = {q}");
+        }
+        assert_eq!(h.min(), Some(1_000_000));
+        assert_eq!(h.max(), Some(1_000_000));
+        assert_eq!(h.mean(), Some(1_000_000.0));
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error_of_truth() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        let tol = 1.0 / SUB_BUCKETS as f64; // 6.25% relative
+        for (q, truth) in [(0.50, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let est = h.quantile(q).unwrap();
+            let rel = (est - truth).abs() / truth;
+            assert!(rel <= tol, "q={q}: est {est} vs {truth} (rel {rel:.4})");
+        }
+        // Extremes are exact thanks to the min/max clamp.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(10_000.0));
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_direct_recording() {
+        let samples: Vec<u64> = (0..3_000u64).map(|i| (i * i * 37) % 500_000 + 1).collect();
+        let mut direct = Histogram::new();
+        for &s in &samples {
+            direct.record(s);
+        }
+        // Split three ways, merge as (a+b)+c and a+(b+c).
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % 3].record(s);
+        }
+        let [a, b, c] = parts;
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+        assert_eq!(left, direct, "merged parts must equal direct recording");
+        assert_eq!(left.summary(), direct.summary());
+    }
+
+    #[test]
+    fn summary_carries_the_headline_numbers() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30, 40] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 100);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 40);
+        assert!(s.p50 >= 10.0 && s.p50 <= 30.0);
+        assert!(s.p99 <= 40.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Serving metrics: registry, latency histograms, and exposition.
+//!
+//! Traces ([`crate::jsonl`]) answer "what happened during this run";
+//! telemetry answers "how is the process doing right now" — cumulative
+//! counters, point-in-time gauges, and latency distributions that a
+//! scraper polls. The two share one instrumentation seam: a
+//! [`MetricsObserver`] is an [`Observer`](crate::Observer), so the same
+//! callbacks that stream a trace can also feed a [`Registry`].
+//!
+//! * [`registry`] — named counters/gauges/histograms behind typed ids; the
+//!   hot path is one array index, no hashing.
+//! * [`hist`] — log-linear-bucket [`Histogram`]: fixed 8 KiB footprint,
+//!   ≤ 6.25 % relative error, mergeable across threads, p50/p95/p99.
+//! * [`expo`] — renders a registry as Prometheus text exposition format
+//!   0.0.4 or as JSON, plus a validating parser for the text format
+//!   (used by `metrics-report` and the CI smoke test).
+//! * [`bridge`] — the [`MetricsObserver`] event→counter / span→histogram
+//!   bridge.
+//!
+//! Everything here is hand-rolled; `DESIGN.md` explains why no
+//! `prometheus`/`metrics` crate (the workspace's offline-buildable rule).
+
+pub mod bridge;
+pub mod expo;
+pub mod hist;
+pub mod registry;
+
+pub use bridge::MetricsObserver;
+pub use expo::{parse_prometheus, render_json, render_prometheus, Sample};
+pub use hist::{Histogram, HistogramSummary};
+pub use registry::{CounterId, GaugeId, HistogramId, HistogramMetric, Registry};

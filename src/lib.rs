@@ -37,7 +37,7 @@
 //! | [`baselines`] | `dbsvec-baselines` | DBSCAN, ρ-approximate DBSCAN, DBSCAN-LSH, NQ-DBSCAN, FDBSCAN, k-means, parallel DBSCAN, HDBSCAN\* |
 //! | [`metrics`] | `dbsvec-metrics` | pair recall/precision/F1, Fowlkes–Mallows, ARI, NMI, silhouette, Davies–Bouldin |
 //! | [`datasets`] | `dbsvec-datasets` | deterministic synthetic generators, CSV I/O, SVG scatter plots |
-//! | [`obs`] | `dbsvec-obs` | run-trace observers: phase spans, typed events, JSONL sink, replay, profiling |
+//! | [`obs`] | `dbsvec-obs` | run-trace observers: phase spans, typed events, JSONL sink, replay, profiling; telemetry registry with latency histograms and Prometheus/JSON exposition |
 //! | [`engine`] | `dbsvec-engine` | persistent model snapshots (`.dbm`) and the online ingest/assign serving engine |
 //!
 //! A command-line front end lives in the separate `dbsvec-cli` crate

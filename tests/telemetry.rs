@@ -1,0 +1,136 @@
+//! Integration tests for the telemetry layer against *real* runs: the
+//! [`MetricsObserver`] fed the same trace as a [`RecordingObserver`] must
+//! land counters that match [`ReplayCounts`] field for field, whether it
+//! listens live (via [`Tee`]) or replays the recorded stream afterwards.
+
+use dbsvec::datasets::gaussian_mixture;
+use dbsvec::engine::{Engine, ModelArtifact};
+use dbsvec::obs::telemetry::parse_prometheus;
+use dbsvec::obs::{
+    Event, MetricsObserver, Observer, Phase, Record, RecordingObserver, Registry, ReplayCounts, Tee,
+};
+use dbsvec::{Dbsvec, DbsvecConfig};
+
+/// Every `MetricsObserver` counter equals its `ReplayCounts` field.
+fn assert_counters_match(reg: &Registry, r: &ReplayCounts) {
+    let c = |name: &str| {
+        reg.counter_value(name)
+            .unwrap_or_else(|| panic!("counter {name} not registered"))
+    };
+    assert_eq!(c("dbsvec_seeds_total"), r.seeds);
+    assert_eq!(c("dbsvec_svdd_trainings_total"), r.svdd_trainings);
+    assert_eq!(c("dbsvec_support_vectors_total"), r.support_vectors);
+    assert_eq!(
+        c("dbsvec_core_support_vectors_total"),
+        r.core_support_vectors
+    );
+    assert_eq!(c("dbsvec_merges_total"), r.merges);
+    assert_eq!(c("dbsvec_noise_candidates_total"), r.noise_candidates);
+    assert_eq!(c("dbsvec_noise_confirmed_total"), r.noise_confirmed);
+    assert_eq!(c("dbsvec_range_queries_total"), r.range_queries);
+    assert_eq!(c("dbsvec_expansion_rounds_total"), r.expansion_rounds);
+    assert_eq!(c("dbsvec_smo_iterations_total"), r.smo_iterations);
+    assert_eq!(c("dbsvec_assigns_total"), r.assigns);
+    assert_eq!(c("dbsvec_assign_hits_total"), r.assign_hits);
+    assert_eq!(c("dbsvec_ingests_total"), r.ingests);
+    assert_eq!(c("dbsvec_ingest_duplicates_total"), r.ingest_duplicates);
+    assert_eq!(c("dbsvec_promotions_total"), r.promotions);
+    assert_eq!(c("dbsvec_snapshot_writes_total"), r.snapshot_writes);
+    assert_eq!(c("dbsvec_snapshot_loads_total"), r.snapshot_loads);
+    assert_eq!(
+        reg.gauge_value("dbsvec_max_target_size"),
+        Some(r.max_target_size as f64)
+    );
+}
+
+/// Fits a model and serves/ingests traffic through one teed trace,
+/// recorded by both observers at once.
+fn traced_run() -> (RecordingObserver, MetricsObserver) {
+    let ds = gaussian_mixture(2000, 6, 4, 900.0, 1e5, 13);
+    let eps = dbsvec::datasets::standins::suggest_eps(&ds.points, 10, 2);
+    let mut recorder = RecordingObserver::new();
+    let mut metrics = MetricsObserver::new();
+    let result = Dbsvec::new(DbsvecConfig::new(eps, 10))
+        .fit_observed(&ds.points, &mut Tee(&mut recorder, &mut metrics));
+    assert!(result.num_clusters() >= 2, "want a multi-cluster run");
+
+    // Serving traffic over the fitted model, through the same seam.
+    let artifact =
+        ModelArtifact::from_fit(&ds.points, result.labels(), result.core_points(), eps, 10)
+            .expect("fit produces a valid artifact");
+    let mut engine = Engine::new(&artifact);
+    let mut tee = Tee(&mut recorder, &mut metrics);
+    tee.event(&Event::SnapshotLoad { bytes: 1024 });
+    for i in 0..50u32 {
+        engine.assign_observed(ds.points.point(i), &mut tee);
+    }
+    for i in 0..20u32 {
+        engine.ingest_observed(ds.points.point(i), &mut tee);
+    }
+    tee.event(&Event::SnapshotWrite { bytes: 1024 });
+    (recorder, metrics)
+}
+
+#[test]
+fn live_metrics_observer_matches_replay_counts_field_for_field() {
+    let (recorder, metrics) = traced_run();
+    let replay = recorder.replay();
+    assert!(replay.seeds > 0 && replay.assigns == 50 && replay.ingests == 20);
+    assert_eq!(replay.snapshot_loads, 1);
+    assert_eq!(replay.snapshot_writes, 1);
+    assert_counters_match(metrics.registry(), &replay);
+}
+
+#[test]
+fn replaying_a_recorded_trace_reproduces_the_live_counters() {
+    let (recorder, live) = traced_run();
+
+    // Feed the recorded stream — spans and events, in arrival order —
+    // into a fresh MetricsObserver, as a trace consumer would.
+    let mut replayed = MetricsObserver::new();
+    for record in recorder.records() {
+        match record {
+            Record::Enter { phase, .. } => replayed.span_enter(*phase),
+            Record::Exit { phase, .. } => replayed.span_exit(*phase),
+            Record::Event { event, .. } => replayed.event(event),
+        }
+    }
+    assert_counters_match(replayed.registry(), &recorder.replay());
+
+    // Counter-for-counter identical to the live observer (durations
+    // differ, but counts of spans per phase must agree too).
+    for ((live_name, _, live_value), (replay_name, _, replay_value)) in live
+        .registry()
+        .counters()
+        .zip(replayed.registry().counters())
+    {
+        assert_eq!(live_name, replay_name);
+        assert_eq!(live_value, replay_value, "counter {live_name} diverged");
+    }
+    for phase in Phase::ALL {
+        let name = format!("dbsvec_phase_{}_seconds", phase.name());
+        let spans = |reg: &Registry| reg.histogram_by_name(&name).unwrap().histogram().count();
+        assert_eq!(
+            spans(live.registry()),
+            spans(replayed.registry()),
+            "span count for {name} diverged"
+        );
+    }
+}
+
+#[test]
+fn metrics_observer_registry_renders_as_valid_prometheus() {
+    let (_, metrics) = traced_run();
+    let text = dbsvec::obs::telemetry::render_prometheus(metrics.registry());
+    let samples = parse_prometheus(&text).expect("exposition parses");
+    let assigns = samples
+        .iter()
+        .find(|s| s.name == "dbsvec_assigns_total")
+        .expect("assigns counter exposed");
+    assert_eq!(assigns.value, 50.0);
+    // The fit ran inside phase spans, so at least one phase summary has
+    // a quantile sample.
+    assert!(samples
+        .iter()
+        .any(|s| s.name.starts_with("dbsvec_phase_") && s.label("quantile").is_some()));
+}
