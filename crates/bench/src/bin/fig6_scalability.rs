@@ -12,20 +12,33 @@
 //! Algorithms that exceed the per-run share of `--budget-secs` are skipped
 //! at larger workloads and printed as `timeout`, mirroring the paper's
 //! 10-hour rule.
+//!
+//! Passing `--threads N` switches to the **parallel-fit sweep** instead:
+//! DBSVEC alone, at thread counts 1, 2, 4, … up to N, on one d=8 workload.
+//! Labels are asserted identical to the single-threaded baseline and the
+//! per-phase speedups land in `BENCH_fit_parallel.json`.
 
 use std::collections::HashSet;
 use std::time::Duration;
 
 use dbsvec_bench::harness::{fmt_secs, Stopwatch};
-use dbsvec_bench::{parse_args, run_algorithm_profiled, Algorithm, BenchArgs, JsonReport};
+use dbsvec_bench::{
+    parse_args, run_algorithm_profiled, run_dbsvec_threads_profiled, Algorithm, BenchArgs,
+    JsonReport, RunOutcome,
+};
 use dbsvec_datasets::{random_walk_clusters, OpenDataset, RandomWalkConfig};
 use dbsvec_geometry::PointSet;
+use dbsvec_obs::{Json, Phase};
 
 const EPS: f64 = 5000.0;
 const MIN_PTS: usize = 100;
 
 fn main() {
     let args = parse_args();
+    if let Some(threads) = args.threads {
+        fit_parallel(&args, threads);
+        return;
+    }
     let which = args.free.first().map(String::as_str).unwrap_or("all");
     let mut report = JsonReport::new("fig6_scalability");
     match which {
@@ -45,6 +58,114 @@ fn main() {
         }
     }
     report.write_if_requested(&args);
+}
+
+/// Self time of the support-vector-expansion phase (excludes the nested
+/// SVDD trainings), the stage the batched range queries accelerate.
+fn expansion_self_secs(outcome: &RunOutcome) -> f64 {
+    outcome
+        .phases
+        .iter()
+        .find(|(p, _)| *p == Phase::SvExpand)
+        .map(|(_, t)| t.self_time.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+/// The parallel-fit sweep (`--threads N`): DBSVEC alone at 1, 2, 4, … N
+/// worker threads on one d=8 random-walk workload, asserting that every
+/// thread count reproduces the single-threaded labels and stats exactly.
+/// Writes `BENCH_fit_parallel.json` when `--json DIR` is given.
+fn fit_parallel(args: &BenchArgs, max_threads: usize) {
+    let max_threads = max_threads.max(1);
+    let n = ((500_000f64 * args.scale) as usize).max(2_000);
+    let hardware = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "Parallel fit: DBSVEC runtime vs threads (n={n}, d=8, eps={EPS}, MinPts={MIN_PTS}, \
+         {hardware} hardware threads)"
+    );
+    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(n, 8), args.seed);
+
+    let mut counts = vec![1usize];
+    let mut t = 2;
+    while t < max_threads {
+        counts.push(t);
+        t *= 2;
+    }
+    if max_threads > 1 {
+        counts.push(max_threads);
+    }
+
+    let mut report = JsonReport::new("fit_parallel");
+    let mut baseline: Option<RunOutcome> = None;
+    println!(
+        "{:>8} {:>11} {:>14} {:>11} {:>15}",
+        "threads", "total", "speedup_vs_1", "expansion", "expansion_spdup"
+    );
+    for &threads in &counts {
+        let out = run_dbsvec_threads_profiled(&ds.points, EPS, MIN_PTS, threads);
+        let (base_secs, base_expand) = match &baseline {
+            Some(base) => {
+                assert_eq!(
+                    base.clustering, out.clustering,
+                    "threads={threads} changed the labels"
+                );
+                assert_eq!(
+                    base.counts, out.counts,
+                    "threads={threads} changed the replayed counters"
+                );
+                (base.seconds, expansion_self_secs(base))
+            }
+            None => (out.seconds, expansion_self_secs(&out)),
+        };
+        let expand = expansion_self_secs(&out);
+        let speedup = if out.seconds > 0.0 {
+            base_secs / out.seconds
+        } else {
+            1.0
+        };
+        let expansion_speedup = if expand > 0.0 {
+            base_expand / expand
+        } else {
+            1.0
+        };
+        println!(
+            "{threads:>8} {:>11} {speedup:>14.2} {:>11} {expansion_speedup:>15.2}",
+            fmt_secs(Some(out.seconds)),
+            fmt_secs(Some(expand)),
+        );
+        let mut extras = vec![
+            ("threads".to_string(), Json::UInt(threads as u64)),
+            ("hardware_threads".to_string(), Json::UInt(hardware as u64)),
+            ("speedup_vs_1".to_string(), Json::Num(speedup)),
+            ("expansion_self_secs".to_string(), Json::Num(expand)),
+            (
+                "expansion_speedup_vs_1".to_string(),
+                Json::Num(expansion_speedup),
+            ),
+        ];
+        if hardware == 1 {
+            extras.push((
+                "note".to_string(),
+                Json::str(
+                    "single hardware thread: worker threads time-slice one core, so wall-clock \
+                     speedup is not expected; this sweep verifies determinism and records the \
+                     parallel path's overhead instead",
+                ),
+            ));
+        }
+        report.push_with_extras("fit_parallel", threads as f64, &out, extras);
+        if baseline.is_none() {
+            baseline = Some(out);
+        }
+    }
+    if hardware == 1 {
+        println!("note: single hardware thread — speedup not expected; sweep verifies determinism");
+    } else {
+        println!("paper shape: expansion self-time shrinks toward 1/threads until memory-bound");
+    }
+    report.write_if_requested(args);
 }
 
 /// Runs the full suite over one dataset, skipping algorithms that already

@@ -64,6 +64,10 @@ pub struct BenchArgs {
     /// Directory for the machine-readable `BENCH_<experiment>.json`
     /// report (`--json DIR`); `None` prints tables only.
     pub json_dir: Option<String>,
+    /// Fit thread budget (`--threads N`). `None` leaves the binary's
+    /// default behavior; experiment binaries that support it switch to a
+    /// parallel-fit sweep when set.
+    pub threads: Option<usize>,
     /// Free arguments (subcommands like `cardinality`).
     pub free: Vec<String>,
 }
@@ -75,6 +79,7 @@ impl Default for BenchArgs {
             budget_secs: 120.0,
             seed: 20190401,
             json_dir: None,
+            threads: None,
             free: Vec::new(),
         }
     }
@@ -121,9 +126,17 @@ fn parse_arg_list(args: impl Iterator<Item = String>) -> BenchArgs {
             "--json" => {
                 out.json_dir = Some(next_value(&mut args, "--json"));
             }
+            "--threads" => {
+                out.threads = Some(next_value(&mut args, "--threads").parse().unwrap_or_else(
+                    |e| {
+                        eprintln!("bad --threads: {e}");
+                        std::process::exit(2);
+                    },
+                ));
+            }
             other if other.starts_with("--") => {
                 eprintln!(
-                    "unknown flag {other}; supported: --scale F --budget-secs F --seed N --json DIR"
+                    "unknown flag {other}; supported: --scale F --budget-secs F --seed N --json DIR --threads N"
                 );
                 std::process::exit(2);
             }
@@ -238,6 +251,22 @@ impl JsonReport {
         self.runs.push(Json::Obj(row));
     }
 
+    /// [`JsonReport::push`] with extra top-level key/value pairs appended
+    /// to the row — used by sweeps whose x-axis needs companions (e.g. the
+    /// parallel-fit sweep records thread counts and speedups).
+    pub fn push_with_extras(
+        &mut self,
+        group: &str,
+        x: f64,
+        outcome: &RunOutcome,
+        extras: Vec<(String, Json)>,
+    ) {
+        self.push(group, x, outcome);
+        if let Some(Json::Obj(row)) = self.runs.last_mut() {
+            row.extend(extras);
+        }
+    }
+
     /// Records a run that was skipped or timed out, so gaps in the sweep
     /// stay visible in the JSON.
     pub fn push_skipped(&mut self, group: &str, x: f64, algorithm: &str, reason: &str) {
@@ -330,6 +359,13 @@ mod tests {
         let args = parse(&["--json", "out"]);
         assert_eq!(args.json_dir.as_deref(), Some("out"));
         assert!(parse(&[]).json_dir.is_none());
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        assert_eq!(parse(&["--threads", "4"]).threads, Some(4));
+        assert_eq!(parse(&["--threads", "0"]).threads, Some(0));
+        assert_eq!(parse(&[]).threads, None);
     }
 
     #[test]

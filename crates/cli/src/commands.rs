@@ -401,6 +401,7 @@ pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "eps",
         "min-pts",
         "save",
+        "threads",
         "boundaries",
         "stats",
         "trace",
@@ -409,6 +410,7 @@ pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     ])?;
     let (points, eps, min_pts) = load_with_params(args, out)?;
     let save = args.require("save")?;
+    let threads: usize = args.get_or("threads", 0)?;
 
     let profile = args.has_switch("profile");
     let mut sink = open_trace(args)?;
@@ -419,7 +421,8 @@ pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let obs: &mut dyn Observer = if observing { &mut tee } else { &mut noop };
 
     let start = Instant::now();
-    let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit_observed(&points, obs);
+    let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_threads(threads))
+        .fit_observed(&points, obs);
     let seconds = start.elapsed().as_secs_f64();
     let stats = *result.stats();
 

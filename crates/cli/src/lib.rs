@@ -64,7 +64,7 @@ USAGE:
   dbsvec-cli generate --dataset NAME [--n N] [--dims D] [--seed N] --output file.csv
   dbsvec-cli suggest  --input points.csv [--min-pts N]
   dbsvec-cli fit      --input points.csv --save model.dbm [--eps F] [--min-pts N]
-                  [--boundaries] [--stats] [--profile] [--trace out.jsonl]
+                  [--threads N] [--boundaries] [--stats] [--profile] [--trace out.jsonl]
   dbsvec-cli serve    --model model.dbm --assign points.csv [--output labels.csv]
                   [--threads N] [--profile] [--trace out.jsonl]
                   [--metrics-file metrics.prom] [--metrics-interval N]
@@ -83,6 +83,10 @@ DATASETS (for --dataset):
 
 Omitting --eps derives it from the k-distance knee (Schubert et al. 2017);
 omitting --min-pts uses a cardinality-based default.
+
+fit --threads N fans the per-round support-vector range queries and the SMO
+kernel rows across N worker threads (0 = all cores, the default; 1 = the
+sequential code path). Labels, stats, and traces are identical at every N.
 
 SERVING:
   fit --save writes a versioned, checksummed binary snapshot (.dbm) of the

@@ -16,6 +16,41 @@ pub enum NuStrategy {
     Fixed(f64),
 }
 
+/// Thread budget for the parallel fit path.
+///
+/// Three fit stages fan out across scoped threads against shared immutable
+/// state: the per-round batch of range queries on core support vectors,
+/// the SMO solver's kernel-row computation, and (via
+/// `dbsvec_index::k_distance_profile_threaded`) the k-dist parameter scan.
+/// Results are **bit identical at every thread count** — workers only
+/// evaluate pure functions, and all state mutation replays on the driving
+/// thread in deterministic order. `threads == 1` is the escape hatch that
+/// takes the exact sequential code path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads; `0` (the default) means all available cores.
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// A fixed thread count (`0` = auto).
+    pub fn fixed(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// The effective worker count: `0` resolves to the machine's available
+    /// parallelism (1 when it cannot be determined).
+    pub fn resolve(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
 /// Full configuration of a DBSVEC run.
 ///
 /// [`DbsvecConfig::new`] gives the paper's recommended settings; the
@@ -50,8 +85,14 @@ pub struct DbsvecConfig {
     /// Kernel width selection (§IV-B.2). `RandomRange` reproduces
     /// `DBSVEC\OK`.
     pub kernel_width: KernelWidthStrategy,
-    /// SMO solver options.
+    /// SMO solver options. The solver's `threads` field is overridden by
+    /// [`DbsvecConfig::parallel`] during a fit, so one knob drives the
+    /// whole parallel path.
     pub smo: SmoOptions,
+    /// Thread budget for the parallel fit path (batched SV range queries
+    /// and SMO kernel rows). Defaults to all available cores; results are
+    /// identical at every setting.
+    pub parallel: ParallelConfig,
 }
 
 impl DbsvecConfig {
@@ -78,7 +119,16 @@ impl DbsvecConfig {
             incremental: true,
             kernel_width: KernelWidthStrategy::CenterRadius,
             smo: SmoOptions::default(),
+            parallel: ParallelConfig::default(),
         }
+    }
+
+    /// Sets the fit thread budget (`0` = all available cores, `1` = the
+    /// exact sequential code path). Labels, core sets, statistics, and
+    /// observer traces are bit-identical at every setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallel = ParallelConfig::fixed(threads);
+        self
     }
 
     /// Switches to the `DBSVEC_min` penalty setting (`ν = 1/ñ`).
@@ -153,6 +203,22 @@ mod tests {
         assert!(c.weighted);
         assert!(c.incremental);
         assert_eq!(c.kernel_width, KernelWidthStrategy::CenterRadius);
+        assert_eq!(c.parallel, ParallelConfig::default());
+        assert_eq!(c.parallel.threads, 0);
+    }
+
+    #[test]
+    fn thread_budget_resolves() {
+        assert_eq!(
+            DbsvecConfig::new(1.0, 5).with_threads(3).parallel.resolve(),
+            3
+        );
+        assert_eq!(
+            DbsvecConfig::new(1.0, 5).with_threads(1).parallel.resolve(),
+            1
+        );
+        // Auto resolves to at least one worker.
+        assert!(DbsvecConfig::new(1.0, 5).parallel.resolve() >= 1);
     }
 
     #[test]

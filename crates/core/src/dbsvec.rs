@@ -102,7 +102,11 @@ impl Dbsvec {
     /// # Panics
     ///
     /// Panics if the index size disagrees with the point set.
-    pub fn fit_with_index<I: RangeIndex>(&self, points: &PointSet, index: &I) -> DbsvecResult {
+    pub fn fit_with_index<I: RangeIndex + Sync>(
+        &self,
+        points: &PointSet,
+        index: &I,
+    ) -> DbsvecResult {
         self.fit_with_index_observed(points, index, &mut NoopObserver)
     }
 
@@ -111,7 +115,7 @@ impl Dbsvec {
     /// then `merge` for finalization) and one typed event per statistics
     /// increment, so a recorded stream replays to exactly the returned
     /// [`DbsvecStats`] (see `dbsvec-obs`'s `ReplayCounts`).
-    pub fn fit_with_index_observed<I: RangeIndex>(
+    pub fn fit_with_index_observed<I: RangeIndex + Sync>(
         &self,
         points: &PointSet,
         index: &I,
@@ -439,6 +443,109 @@ mod tests {
         assert_eq!(result.num_clusters(), 1);
         // Nearly every point should have been queried.
         assert!(result.stats().support_vectors as usize >= 50);
+    }
+
+    /// Adversarial engine answering *open*-ball queries with the boundary
+    /// and exact duplicates excluded — except for probes at the origin,
+    /// which get the honest closed ball. A probe sitting on a pile of
+    /// duplicates, or exactly ε from everything else, gets an EMPTY result
+    /// — not even itself. The `RangeIndex` contract promises closed balls,
+    /// so no shipped engine does this; the driver must still come back
+    /// cleanly instead of indexing into a neighborhood it assumed non-empty.
+    struct OpenBallIndex<'a> {
+        points: &'a PointSet,
+        /// When true, a probe exactly at the origin gets a closed ball, so
+        /// a cluster can seed there and expansion gets to see the empty
+        /// results first-hand.
+        closed_at_origin: bool,
+    }
+
+    impl RangeIndex for OpenBallIndex<'_> {
+        fn range(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
+            let eps_sq = eps * eps;
+            let honest = self.closed_at_origin && query.iter().all(|&c| c == 0.0);
+            for j in 0..self.points.len() as PointId {
+                let p = self.points.point(j);
+                let d_sq: f64 = query.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
+                if (honest && d_sq <= eps_sq) || (d_sq > 0.0 && d_sq < eps_sq) {
+                    out.push(j);
+                }
+            }
+        }
+
+        fn len(&self) -> usize {
+            self.points.len()
+        }
+    }
+
+    #[test]
+    fn empty_range_results_return_cleanly() {
+        // Five exact duplicates at the origin plus one point exactly ε away:
+        // under the open-ball adversary every query returns nothing, at any
+        // thread count. The fit must label everything noise without
+        // panicking.
+        let mut ps = PointSet::new(2);
+        for _ in 0..5 {
+            ps.push(&[0.0, 0.0]);
+        }
+        ps.push(&[1.0, 0.0]);
+        let index = OpenBallIndex {
+            points: &ps,
+            closed_at_origin: false,
+        };
+        for threads in [1usize, 4] {
+            let config = DbsvecConfig::new(1.0, 2).with_threads(threads);
+            let result = Dbsvec::new(config).fit_with_index(&ps, &index);
+            assert_eq!(result.num_clusters(), 0, "threads={threads}");
+            assert_eq!(result.labels().noise_count(), 6, "threads={threads}");
+            assert!(result.core_points().is_empty(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_range_results_inside_expansion_return_cleanly() {
+        // Honest closed ball at the origin only: the duplicate pile seeds a
+        // cluster that absorbs the boundary point, and when expansion later
+        // probes that boundary point — exactly ε from the pile, excluded by
+        // the open ball along with its own degenerate self-distance — the
+        // round's batch holds a genuinely EMPTY neighborhood. Both the
+        // sequential and the batched path must treat it as "non-core, moves
+        // on" rather than indexing into it.
+        let mut ps = PointSet::new(2);
+        for _ in 0..3 {
+            ps.push(&[0.0, 0.0]);
+        }
+        ps.push(&[1.0, 0.0]);
+        let index = OpenBallIndex {
+            points: &ps,
+            closed_at_origin: true,
+        };
+        let baseline =
+            Dbsvec::new(DbsvecConfig::new(1.0, 2).with_threads(1)).fit_with_index(&ps, &index);
+        assert_eq!(baseline.num_clusters(), 1);
+        assert_eq!(baseline.labels().noise_count(), 0);
+        for threads in [2usize, 4] {
+            let par = Dbsvec::new(DbsvecConfig::new(1.0, 2).with_threads(threads))
+                .fit_with_index(&ps, &index);
+            assert_eq!(baseline.labels(), par.labels(), "threads={threads}");
+            assert_eq!(baseline.stats(), par.stats(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_sequential() {
+        let ps = blobs(&[[0.0, 0.0], [25.0, 10.0]], 120, 1.2, 61);
+        let baseline = Dbsvec::new(DbsvecConfig::new(3.0, 6).with_threads(1)).fit(&ps);
+        for threads in [2usize, 4, 8] {
+            let par = Dbsvec::new(DbsvecConfig::new(3.0, 6).with_threads(threads)).fit(&ps);
+            assert_eq!(baseline.labels(), par.labels(), "threads={threads}");
+            assert_eq!(baseline.stats(), par.stats(), "threads={threads}");
+            assert_eq!(
+                baseline.core_points(),
+                par.core_points(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

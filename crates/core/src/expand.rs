@@ -21,10 +21,11 @@ use dbsvec_svdd::{
     params::nu_to_c, penalty_weights, GaussianKernel, IncrementalTarget, SvddProblem,
 };
 
+use crate::parallel::batch_range_queries;
 use crate::runner::RunState;
 
 /// Expands the sub-cluster `raw_cid`, seeded with `initial_members`.
-pub(crate) fn sv_expand_cluster<I: RangeIndex>(
+pub(crate) fn sv_expand_cluster<I: RangeIndex + Sync>(
     state: &mut RunState<'_, I>,
     raw_cid: u32,
     initial_members: Vec<PointId>,
@@ -67,25 +68,64 @@ pub(crate) fn sv_expand_cluster<I: RangeIndex>(
         let n_sv = support_vectors.len();
         let mut n_core_sv = 0usize;
         let mut newly_added: Vec<PointId> = Vec::new();
-        for sv in support_vectors {
-            if state.queried[sv as usize] {
-                // Already materialized and absorbed in an earlier round (or
-                // as a seed): a repeat query cannot discover anything new.
-                continue;
+        if state.threads <= 1 {
+            // Sequential escape hatch: the exact original query-then-absorb
+            // loop, one support vector at a time.
+            for sv in support_vectors {
+                if state.queried[sv as usize] {
+                    // Already materialized and absorbed in an earlier round
+                    // (or as a seed): a repeat query cannot discover anything
+                    // new.
+                    continue;
+                }
+                state.range_query(sv, &mut neighborhood);
+                if neighborhood.len() < state.config.min_pts {
+                    continue; // non-core support vector: cannot expand (Def. 6)
+                }
+                state.stats.core_support_vectors += 1;
+                n_core_sv += 1;
+                // The borrow checker cannot see that `absorb_or_merge` leaves
+                // `neighborhood` alone, so iterate by index over a swap.
+                let neigh = std::mem::take(&mut neighborhood);
+                for &j in &neigh {
+                    state.absorb_or_merge(j, raw_cid, &mut newly_added);
+                }
+                neighborhood = neigh;
             }
-            state.range_query(sv, &mut neighborhood);
-            if neighborhood.len() < state.config.min_pts {
-                continue; // non-core support vector: cannot expand (Def. 6)
+        } else {
+            // Batched path: fan the round's range queries out across worker
+            // threads, then replay accounting and absorption on this thread
+            // in support-vector order. Equivalent to the sequential loop
+            // because a round's support vectors are distinct and a query
+            // only marks its own probe `queried` — no query in the batch can
+            // flip another's skip decision — so filtering up front sees the
+            // same pending set the one-at-a-time check would.
+            let pending: Vec<PointId> = support_vectors
+                .iter()
+                .copied()
+                .filter(|&sv| !state.queried[sv as usize])
+                .collect();
+            let batches = batch_range_queries(
+                state.points,
+                state.index,
+                state.config.eps,
+                &pending,
+                state.threads,
+            );
+            for (sv, neigh) in pending.into_iter().zip(batches) {
+                // `neigh` may legitimately be empty (an index is free to
+                // report nothing inside ε, even the probe itself); the
+                // min_pts gate below handles that without indexing into it.
+                state.record_range_query(sv, neigh.len());
+                if neigh.len() < state.config.min_pts {
+                    continue; // non-core support vector: cannot expand (Def. 6)
+                }
+                state.stats.core_support_vectors += 1;
+                n_core_sv += 1;
+                for &j in &neigh {
+                    state.absorb_or_merge(j, raw_cid, &mut newly_added);
+                }
             }
-            state.stats.core_support_vectors += 1;
-            n_core_sv += 1;
-            // The borrow checker cannot see that `absorb_or_merge` leaves
-            // `neighborhood` alone, so iterate by index over a swap.
-            let neigh = std::mem::take(&mut neighborhood);
-            for &j in &neigh {
-                state.absorb_or_merge(j, raw_cid, &mut newly_added);
-            }
-            neighborhood = neigh;
         }
 
         state.obs.event(&Event::ExpansionRound {
@@ -119,7 +159,11 @@ fn train_svdd<I: RangeIndex>(
     let nu = state.config.resolve_nu(state.points.dims(), ids.len());
     let c = nu_to_c(nu, ids.len());
 
-    let problem = SvddProblem::new(state.points, ids, kernel).with_options(state.config.smo);
+    // One knob drives the whole parallel path: the fit's resolved thread
+    // budget overrides whatever the SMO options carried.
+    let mut smo = state.config.smo;
+    smo.threads = state.threads;
+    let problem = SvddProblem::new(state.points, ids, kernel).with_options(smo);
     if state.config.weighted {
         let weights = penalty_weights(
             state.points,

@@ -53,12 +53,13 @@ pub mod dbsvec;
 pub mod expand;
 pub mod labels;
 pub mod noise;
+pub(crate) mod parallel;
 pub mod predict;
 pub(crate) mod runner;
 pub mod stats;
 pub mod unionfind;
 
-pub use config::{DbsvecConfig, NuStrategy};
+pub use config::{DbsvecConfig, NuStrategy, ParallelConfig};
 pub use dbsvec::{dbsvec, Dbsvec, DbsvecResult};
 pub use labels::{Clustering, WorkingLabels};
 pub use predict::{ClusterModel, ModelError};

@@ -37,6 +37,9 @@ pub(crate) struct RunState<'a, I: RangeIndex> {
     /// DBSVEC's materializing queries at n even in regimes where SVDD keeps
     /// re-selecting the same boundary points across rounds.
     pub queried: Vec<bool>,
+    /// Effective worker count for the parallel fit path, resolved once from
+    /// `config.parallel` so every phase (and every SMO training) agrees.
+    pub threads: usize,
     pub stats: DbsvecStats,
     /// Observer every phase reports into. The stats counters above stay
     /// authoritative; the observer sees the same increments as events, so a
@@ -61,6 +64,7 @@ impl<'a, I: RangeIndex> RunState<'a, I> {
             core_status: vec![CoreStatus::Unknown; n],
             noise_list: Vec::new(),
             queried: vec![false; n],
+            threads: config.parallel.resolve(),
             stats: DbsvecStats::default(),
             obs,
         }
@@ -72,13 +76,22 @@ impl<'a, I: RangeIndex> RunState<'a, I> {
         out.clear();
         self.index
             .range(self.points.point(id), self.config.eps, out);
+        self.record_range_query(id, out.len());
+    }
+
+    /// Accounting for a materializing range query whose result was computed
+    /// elsewhere (the batched expansion path runs the index probes on worker
+    /// threads, then replays this bookkeeping on the driving thread in
+    /// support-vector order so stats, events, and memoization are identical
+    /// to the sequential path).
+    pub fn record_range_query(&mut self, id: PointId, result_len: usize) {
         self.stats.range_queries += 1;
         self.obs.event(&Event::RangeQuery {
             probe: id,
-            result_len: out.len(),
+            result_len,
         });
         self.queried[id as usize] = true;
-        self.core_status[id as usize] = if out.len() >= self.config.min_pts {
+        self.core_status[id as usize] = if result_len >= self.config.min_pts {
             CoreStatus::Core
         } else {
             CoreStatus::NonCore

@@ -85,6 +85,67 @@ pub fn k_distance_profile<I: RangeIndex>(
     profile
 }
 
+/// [`k_distance_profile`] with the per-point doubling searches fanned out
+/// across `threads` scoped worker threads (`0` means all available cores,
+/// `1` takes the exact sequential path).
+///
+/// The strided sample is chunked in order and the chunk results are
+/// concatenated before the final sort, so the profile is identical to the
+/// sequential one at every thread count: each `kth_neighbor_distance` is a
+/// pure function of the immutable index, and concatenation-then-sort of an
+/// order-preserving partition reproduces the sequential collection exactly.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `sample == 0`.
+pub fn k_distance_profile_threaded<I: RangeIndex + Sync>(
+    points: &PointSet,
+    index: &I,
+    k: usize,
+    sample: usize,
+    threads: usize,
+) -> Vec<f64> {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(sample >= 1, "sample must be at least 1");
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let stride = (n / sample).max(1);
+    let ids: Vec<PointId> = (0..n).step_by(stride).map(|i| i as PointId).collect();
+    if threads <= 1 || ids.len() < 2 {
+        return k_distance_profile(points, index, k, sample);
+    }
+    let workers = threads.min(ids.len());
+    let chunk = ids.len().div_ceil(workers);
+    let mut profile: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .filter_map(|&id| kth_neighbor_distance(points, index, id, k))
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(ids.len());
+        for handle in handles {
+            all.extend(handle.join().expect("k-dist worker panicked"));
+        }
+        all
+    });
+    profile.sort_by(|a, b| b.partial_cmp(a).expect("NaN distance"));
+    profile
+}
+
 /// Picks ε from a k-distance profile by the maximum-curvature ("knee")
 /// heuristic: the sorted curve's point farthest from the chord between its
 /// endpoints.
@@ -189,6 +250,38 @@ mod tests {
     fn knee_needs_three_points() {
         assert_eq!(knee_epsilon(&[1.0, 0.5]), None);
         assert!(knee_epsilon(&[9.0, 3.0, 1.0]).is_some());
+    }
+
+    #[test]
+    fn threaded_profile_is_identical_to_sequential() {
+        let mut ps = PointSet::new(2);
+        for i in 0..90 {
+            ps.push(&[(i % 10) as f64 * 1.5, (i / 10) as f64 * 2.0]);
+        }
+        for i in 0..6 {
+            ps.push(&[500.0 + i as f64 * 40.0, 0.0]);
+        }
+        let idx = LinearScan::build(&ps);
+        for (k, sample) in [(1, 96), (3, 96), (4, 17)] {
+            let sequential = k_distance_profile(&ps, &idx, k, sample);
+            for threads in [1, 2, 3, 8] {
+                let threaded = k_distance_profile_threaded(&ps, &idx, k, sample, threads);
+                assert_eq!(
+                    sequential, threaded,
+                    "k={k} sample={sample} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_profile_handles_tiny_inputs() {
+        let ps = line(1, 1.0);
+        let idx = LinearScan::build(&ps);
+        assert!(k_distance_profile_threaded(&ps, &idx, 3, 4, 4).is_empty());
+        let empty = PointSet::new(2);
+        let idx2 = LinearScan::build(&empty);
+        assert!(k_distance_profile_threaded(&empty, &idx2, 1, 1, 4).is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Query-counting wrapper used by the Table II complexity experiment.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::traits::RangeIndex;
 use dbsvec_geometry::PointId;
@@ -30,13 +30,15 @@ impl QueryStats {
 /// The paper's complexity analysis (§III-D) claims DBSVEC issues
 /// `O(s + 1 + k + m + MinPts·l)` range queries versus DBSCAN's `n`; wrapping
 /// both algorithms' indexes in `CountingIndex` lets the Table II harness
-/// verify that claim empirically. Counters use [`Cell`] so the wrapper stays
-/// usable behind the `&self` query interface (the clustering algorithms are
-/// single-threaded, matching the paper's implementation).
+/// verify that claim empirically. Counters use relaxed [`AtomicU64`]s so the
+/// wrapper stays usable behind the `&self` query interface *and* stays
+/// `Sync` — DBSVEC's parallel fit path fans range queries out across scoped
+/// threads against a shared index, and the totals must still come out exact
+/// (each query increments once; no ordering between queries is needed).
 pub struct CountingIndex<I> {
     inner: I,
-    queries: Cell<u64>,
-    results: Cell<u64>,
+    queries: AtomicU64,
+    results: AtomicU64,
 }
 
 impl<I: RangeIndex> CountingIndex<I> {
@@ -44,23 +46,23 @@ impl<I: RangeIndex> CountingIndex<I> {
     pub fn new(inner: I) -> Self {
         Self {
             inner,
-            queries: Cell::new(0),
-            results: Cell::new(0),
+            queries: AtomicU64::new(0),
+            results: AtomicU64::new(0),
         }
     }
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> QueryStats {
         QueryStats {
-            queries: self.queries.get(),
-            results: self.results.get(),
+            queries: self.queries.load(Ordering::Relaxed),
+            results: self.results.load(Ordering::Relaxed),
         }
     }
 
     /// Resets the counters to zero.
     pub fn reset(&self) {
-        self.queries.set(0);
-        self.results.set(0);
+        self.queries.store(0, Ordering::Relaxed);
+        self.results.store(0, Ordering::Relaxed);
     }
 
     /// Unwraps the inner engine.
@@ -73,15 +75,15 @@ impl<I: RangeIndex> RangeIndex for CountingIndex<I> {
     fn range(&self, query: &[f64], eps: f64, out: &mut Vec<PointId>) {
         let before = out.len();
         self.inner.range(query, eps, out);
-        self.queries.set(self.queries.get() + 1);
+        self.queries.fetch_add(1, Ordering::Relaxed);
         self.results
-            .set(self.results.get() + (out.len() - before) as u64);
+            .fetch_add((out.len() - before) as u64, Ordering::Relaxed);
     }
 
     fn count_range(&self, query: &[f64], eps: f64) -> usize {
         let n = self.inner.count_range(query, eps);
-        self.queries.set(self.queries.get() + 1);
-        self.results.set(self.results.get() + n as u64);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.results.fetch_add(n as u64, Ordering::Relaxed);
         n
     }
 

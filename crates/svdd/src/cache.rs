@@ -87,17 +87,131 @@ impl<'a> KernelCache<'a> {
         (self.hits, self.misses)
     }
 
+    /// Visits the rows at `indices` in order, computing the missing ones
+    /// across `threads` scoped worker threads first (per-thread shards,
+    /// merged back into this cache).
+    ///
+    /// The hit/miss counters, LRU transitions, and row values are **bit
+    /// identical** to calling [`KernelCache::row`] once per index in the
+    /// same order: the shards only pre-compute values (each row is a pure
+    /// function of the immutable target set), while all accounting is
+    /// replayed sequentially in `indices` order — a repeated index scores
+    /// a hit on its second visit, and a shard row whose slot was evicted
+    /// again before a later revisit is recomputed as a fresh miss, exactly
+    /// as the sequential path would. `threads <= 1` takes the sequential
+    /// path outright.
+    pub fn for_rows(
+        &mut self,
+        indices: &[usize],
+        threads: usize,
+        mut f: impl FnMut(usize, &[f64]),
+    ) {
+        if threads <= 1 || indices.len() < 2 {
+            for &i in indices {
+                let row = self.row(i);
+                f(i, row);
+            }
+            return;
+        }
+
+        // Distinct absent rows, in first-occurrence order.
+        let mut queued = vec![false; self.ids.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        for &i in indices {
+            if self.slots[i].is_none() && !queued[i] {
+                queued[i] = true;
+                missing.push(i);
+            }
+        }
+
+        let mut shard: Vec<Option<Box<[f64]>>> = (0..self.ids.len()).map(|_| None).collect();
+        if missing.len() >= 2 {
+            let workers = threads.min(missing.len());
+            let chunk = missing.len().div_ceil(workers);
+            let (points, ids, kernel) = (self.points, self.ids, self.kernel);
+            let computed: Vec<Vec<(usize, Box<[f64]>)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = missing
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter()
+                                .map(|&i| (i, gram_row(points, ids, kernel, i)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("kernel-row worker panicked"))
+                    .collect()
+            });
+            for (i, row) in computed.into_iter().flatten() {
+                shard[i] = Some(row);
+            }
+        }
+
+        // Sequential replay of the accounting, in request order.
+        for &i in indices {
+            if self.slots[i].is_some() {
+                self.hits += 1;
+                self.touch(i);
+            } else {
+                self.misses += 1;
+                let row = shard[i].take().unwrap_or_else(|| self.compute_row(i));
+                self.insert_row(i, row);
+            }
+            f(
+                i,
+                self.slots[i].as_deref().expect("row resident after replay"),
+            );
+        }
+    }
+
+    /// Fetches the SMO working pair `(i, j)`, computing both rows
+    /// concurrently when `parallel` is set and neither is resident.
+    ///
+    /// Row `i` comes back as an owned copy (the gradient update needs both
+    /// rows at once, and the cache hands out overlapping borrows).
+    /// Accounting and LRU state match two sequential [`KernelCache::row`]
+    /// calls exactly; the capacity floor of 2 keeps the pair resident
+    /// together.
+    pub fn pair_rows(&mut self, i: usize, j: usize, parallel: bool) -> (Vec<f64>, &[f64]) {
+        if parallel && i != j && self.slots[i].is_none() && self.slots[j].is_none() {
+            let (points, ids, kernel) = (self.points, self.ids, self.kernel);
+            let (row_i, row_j) = std::thread::scope(|scope| {
+                let handle = scope.spawn(move || gram_row(points, ids, kernel, i));
+                let row_j = gram_row(points, ids, kernel, j);
+                (handle.join().expect("kernel-row worker panicked"), row_j)
+            });
+            self.misses += 1;
+            self.insert_row(i, row_i);
+            self.misses += 1;
+            self.insert_row(j, row_j);
+            let row_i = self.slots[i]
+                .as_deref()
+                .expect("pair row survives one insertion (capacity >= 2)")
+                .to_vec();
+            (row_i, self.slots[j].as_deref().expect("row just inserted"))
+        } else {
+            let row_i = self.row(i).to_vec();
+            (row_i, self.row(j))
+        }
+    }
+
+    fn compute_row(&self, i: usize) -> Box<[f64]> {
+        gram_row(self.points, self.ids, self.kernel, i)
+    }
+
     fn insert(&mut self, i: usize) {
+        let row = self.compute_row(i);
+        self.insert_row(i, row);
+    }
+
+    fn insert_row(&mut self, i: usize, row: Box<[f64]>) {
         if self.lru.len() >= self.capacity_rows {
             let evict = self.lru.remove(0);
             self.slots[evict] = None;
         }
-        let pi = self.points.point(self.ids[i]);
-        let row: Box<[f64]> = self
-            .ids
-            .iter()
-            .map(|&id| self.kernel.eval(pi, self.points.point(id)))
-            .collect();
         self.slots[i] = Some(row);
         self.lru.push(i);
     }
@@ -108,6 +222,16 @@ impl<'a> KernelCache<'a> {
             self.lru.push(i);
         }
     }
+}
+
+/// One Gram-matrix row, computed from scratch. A pure function of the
+/// target set, shared by the cached and the parallel shard paths so both
+/// produce bit-identical values.
+fn gram_row(points: &PointSet, ids: &[PointId], kernel: GaussianKernel, i: usize) -> Box<[f64]> {
+    let pi = points.point(ids[i]);
+    ids.iter()
+        .map(|&id| kernel.eval(pi, points.point(id)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -172,5 +296,110 @@ mod tests {
         let cache = KernelCache::new(&ps, &ids, k, 2);
         let v = cache.entry(0, 3);
         assert!((v - k.eval(&[0.0], &[3.0])).abs() < 1e-15);
+    }
+
+    /// Delivered `(index, row)` pairs, `(hits, misses)`, and final slot
+    /// residency of one request sequence — everything the parallel shard
+    /// merge must reproduce.
+    type OracleState = (Vec<(usize, Vec<f64>)>, (u64, u64), Vec<Option<Vec<f64>>>);
+
+    /// Mirror of a request sequence through `row()` — the sequential
+    /// oracle the parallel shard merge must reproduce exactly.
+    fn sequential_oracle(
+        ps: &PointSet,
+        ids: &[PointId],
+        capacity: usize,
+        indices: &[usize],
+    ) -> OracleState {
+        let k = GaussianKernel::from_width(1.0);
+        let mut cache = KernelCache::new(ps, ids, k, capacity);
+        let mut seen = Vec::new();
+        for &i in indices {
+            seen.push((i, cache.row(i).to_vec()));
+        }
+        let slots = cache
+            .slots
+            .iter()
+            .map(|s| s.as_deref().map(|r| r.to_vec()))
+            .collect();
+        (seen, cache.stats(), slots)
+    }
+
+    #[test]
+    fn for_rows_shard_merge_equals_sequential_cache() {
+        let mut ps = PointSet::new(2);
+        for i in 0..12 {
+            ps.push(&[i as f64 * 0.7, (i % 5) as f64]);
+        }
+        let ids: Vec<PointId> = (0..12).collect();
+        let k = GaussianKernel::from_width(1.0);
+        // Repeats, revisits after eviction, and an undersized capacity all
+        // in one request stream.
+        let indices = [0usize, 1, 2, 0, 3, 4, 5, 1, 6, 7, 0, 8, 9, 10, 11, 2, 2];
+        for capacity in [2, 3, 8, 16] {
+            let (want_rows, want_stats, want_slots) =
+                sequential_oracle(&ps, &ids, capacity, &indices);
+            for threads in [2, 3, 8] {
+                let mut cache = KernelCache::new(&ps, &ids, k, capacity);
+                let mut got_rows = Vec::new();
+                cache.for_rows(&indices, threads, |i, row| got_rows.push((i, row.to_vec())));
+                assert_eq!(got_rows, want_rows, "cap={capacity} threads={threads}");
+                assert_eq!(
+                    cache.stats(),
+                    want_stats,
+                    "cap={capacity} threads={threads}"
+                );
+                let got_slots: Vec<Option<Vec<f64>>> = cache
+                    .slots
+                    .iter()
+                    .map(|s| s.as_deref().map(|r| r.to_vec()))
+                    .collect();
+                assert_eq!(got_slots, want_slots, "cap={capacity} threads={threads}");
+                // No duplicate resident rows: the LRU list is a set.
+                let mut lru = cache.lru.clone();
+                lru.sort_unstable();
+                lru.dedup();
+                assert_eq!(lru.len(), cache.lru.len(), "duplicate rows in LRU");
+            }
+        }
+    }
+
+    #[test]
+    fn for_rows_sequential_path_is_plain_row_calls() {
+        let (ps, ids) = setup();
+        let k = GaussianKernel::from_width(1.0);
+        let indices = [0usize, 1, 0, 2, 3, 1];
+        let (want_rows, want_stats, _) = sequential_oracle(&ps, &ids, 2, &indices);
+        let mut cache = KernelCache::new(&ps, &ids, k, 2);
+        let mut got = Vec::new();
+        cache.for_rows(&indices, 1, |i, row| got.push((i, row.to_vec())));
+        assert_eq!(got, want_rows);
+        assert_eq!(cache.stats(), want_stats);
+    }
+
+    #[test]
+    fn pair_rows_parallel_matches_sequential() {
+        let mut ps = PointSet::new(1);
+        for i in 0..6 {
+            ps.push(&[i as f64]);
+        }
+        let ids: Vec<PointId> = (0..6).collect();
+        let k = GaussianKernel::from_width(1.0);
+
+        let mut seq = KernelCache::new(&ps, &ids, k, 2);
+        let want_i = seq.row(4).to_vec();
+        let want_j = seq.row(5).to_vec();
+        let want_stats = seq.stats();
+
+        let mut par = KernelCache::new(&ps, &ids, k, 2);
+        let (got_i, got_j) = par.pair_rows(4, 5, true);
+        assert_eq!(got_i, want_i);
+        assert_eq!(got_j.to_vec(), want_j);
+        assert_eq!(par.stats(), want_stats);
+        assert!(par.slots[4].is_some() && par.slots[5].is_some());
+
+        // Resident rows fall back to the plain path and score hits.
+        let (_, _) = par.pair_rows(4, 5, true);
+        assert_eq!(par.stats(), (2, 2));
     }
 }

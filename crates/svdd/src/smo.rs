@@ -50,6 +50,13 @@ pub struct SmoOptions {
     pub max_iterations: usize,
     /// Kernel-row cache capacity in rows; `0` means `min(ñ, 512)`.
     pub cache_rows: usize,
+    /// Worker threads for batched kernel-row computation (the initial
+    /// gradient rows and, on large targets, the per-iteration working
+    /// pair). `1` (the default) keeps the solver on the exact sequential
+    /// code path; `0` means all available cores. The solution, iteration
+    /// count, and cache statistics are bit-identical at every setting —
+    /// threads only precompute rows, all accounting replays in order.
+    pub threads: usize,
 }
 
 impl Default for SmoOptions {
@@ -58,9 +65,30 @@ impl Default for SmoOptions {
             tolerance: 1e-3,
             max_iterations: 0,
             cache_rows: 0,
+            threads: 1,
         }
     }
 }
+
+impl SmoOptions {
+    /// The effective worker count: `0` resolves to the machine's available
+    /// parallelism.
+    pub fn resolve_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Below this target size the per-iteration working pair is fetched
+/// sequentially even when threads are available: two O(ñ·d) rows are too
+/// cheap to amortize a spawn. The batched initial gradient (many rows per
+/// scope) parallelizes at any size.
+const PAIR_ROWS_PARALLEL_MIN: usize = 2048;
 
 /// A weighted SVDD training problem over a subset of a [`PointSet`].
 pub struct SvddProblem<'a> {
@@ -137,6 +165,7 @@ impl<'a> SvddProblem<'a> {
         } else {
             self.options.cache_rows
         };
+        let threads = self.options.resolve_threads();
 
         // ---- Initial feasible point: greedily fill bounds until Σα = 1.
         let mut alpha = vec![0.0; n];
@@ -154,17 +183,17 @@ impl<'a> SvddProblem<'a> {
         let mut cache = KernelCache::new(self.points, self.ids, self.kernel, cache_rows);
 
         // ---- Initial gradient G = 2Kα from the rows of nonzero multipliers.
+        // The rows are independent, so `for_rows` may precompute them across
+        // threads; the accumulation below runs on this thread in ascending
+        // index order either way, keeping the float association identical.
         let mut grad = vec![0.0; n];
-        #[allow(clippy::needless_range_loop)] // i indexes alpha AND selects the cache row
-        for i in 0..n {
-            if alpha[i] > 0.0 {
-                let ai = alpha[i];
-                let row = cache.row(i);
-                for (g, &k) in grad.iter_mut().zip(row) {
-                    *g += 2.0 * ai * k;
-                }
+        let seeded: Vec<usize> = (0..n).filter(|&i| alpha[i] > 0.0).collect();
+        cache.for_rows(&seeded, threads, |i, row| {
+            let ai = alpha[i];
+            for (g, &k) in grad.iter_mut().zip(row) {
+                *g += 2.0 * ai * k;
             }
-        }
+        });
 
         // ---- Main loop.
         let mut iterations = 0;
@@ -209,11 +238,11 @@ impl<'a> SvddProblem<'a> {
             alpha[i] += delta;
             alpha[j] -= delta;
 
-            // Gradient maintenance with the two working rows. The rows must
-            // be copied out because the cache hands out overlapping borrows.
+            // Gradient maintenance with the two working rows (fetched
+            // concurrently on large targets when both are cache misses).
             {
-                let row_i = cache.row(i).to_vec();
-                let row_j = cache.row(j);
+                let parallel = threads > 1 && n >= PAIR_ROWS_PARALLEL_MIN;
+                let (row_i, row_j) = cache.pair_rows(i, j, parallel);
                 for ((g, &ki), &kj) in grad.iter_mut().zip(&row_i).zip(row_j) {
                     *g += 2.0 * delta * (ki - kj);
                 }
@@ -441,6 +470,47 @@ mod tests {
         let b = SvddProblem::new(&ps, &ids, kernel).with_nu(0.15).solve();
         assert_eq!(a.alphas(), b.alphas());
         assert_eq!(a.radius_sq(), b.radius_sq());
+    }
+
+    #[test]
+    fn threads_do_not_change_the_solution() {
+        // ν = 0.3 seeds ~60 nonzero multipliers, so the batched initial
+        // gradient genuinely fans out; the solution must stay bit-identical.
+        let (ps, ids) = gaussian_blob(200, 41);
+        let kernel = GaussianKernel::from_width(1.6);
+        let solve = |threads: usize| {
+            let options = SmoOptions {
+                threads,
+                ..SmoOptions::default()
+            };
+            SvddProblem::new(&ps, &ids, kernel)
+                .with_nu(0.3)
+                .with_options(options)
+                .solve()
+        };
+        let base = solve(1);
+        for threads in [2, 4, 8] {
+            let got = solve(threads);
+            assert_eq!(base.alphas(), got.alphas(), "{threads} threads");
+            assert_eq!(base.iterations(), got.iterations(), "{threads} threads");
+            assert_eq!(base.cache_stats(), got.cache_stats(), "{threads} threads");
+            assert_eq!(base.radius_sq(), got.radius_sq(), "{threads} threads");
+            assert_eq!(
+                base.support_vectors(),
+                got.support_vectors(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let options = SmoOptions {
+            threads: 0,
+            ..SmoOptions::default()
+        };
+        assert!(options.resolve_threads() >= 1);
+        assert_eq!(SmoOptions::default().resolve_threads(), 1);
     }
 
     #[test]

@@ -55,5 +55,5 @@ pub use dbsvec_metrics as metrics;
 pub use dbsvec_obs as obs;
 pub use dbsvec_svdd as svdd;
 
-pub use dbsvec_core::{dbsvec, Dbsvec, DbsvecConfig};
+pub use dbsvec_core::{dbsvec, Dbsvec, DbsvecConfig, ParallelConfig};
 pub use dbsvec_geometry::{PointId, PointSet};

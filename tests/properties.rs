@@ -21,6 +21,16 @@ fn point_set(rng: &mut SplitMix64, max_n: usize, max_d: usize) -> PointSet {
     PointSet::from_rows(&rows)
 }
 
+/// Thread count for the parallel-fit property tests, from the
+/// `DBSVEC_TEST_THREADS` environment variable (CI runs the suite at 1 and
+/// 4; the default of 2 keeps the parallel path exercised locally).
+fn test_threads() -> usize {
+    std::env::var("DBSVEC_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
 /// A clustering assignment over n points (≈80% clustered into 5 labels).
 fn assignment(rng: &mut SplitMix64, n: usize) -> Vec<Option<u32>> {
     (0..n)
@@ -216,6 +226,94 @@ fn dbsvec_theorems_hold_on_adversarial_random_data() {
                     );
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn dbsvec_core_points_have_dense_neighborhoods_at_any_thread_count() {
+    let threads = test_threads();
+    let mut rng = SplitMix64::new(0xF00C);
+    for _ in 0..64 {
+        let ps = point_set(&mut rng, 130, 3);
+        let eps = 20.0;
+        let min_pts = 4;
+        let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_threads(threads)).fit(&ps);
+        let scan = LinearScan::build(&ps);
+        for &c in result.core_points() {
+            let count = scan.count_range(ps.point(c), eps);
+            assert!(
+                count >= min_pts,
+                "reported core point {c} has only {count} ε-neighbors (threads={threads})"
+            );
+        }
+    }
+}
+
+#[test]
+fn dbsvec_clustered_points_touch_a_core_of_their_cluster_at_any_thread_count() {
+    let threads = test_threads();
+    let mut rng = SplitMix64::new(0xF00D);
+    for _ in 0..64 {
+        let ps = point_set(&mut rng, 130, 2);
+        let eps = 18.0;
+        let min_pts = 4;
+        let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_threads(threads)).fit(&ps);
+        let labels = result.labels();
+        let scan = LinearScan::build(&ps);
+        let eps_sq = eps * eps;
+        for i in 0..ps.len() {
+            let Some(cid) = labels.assignments()[i] else {
+                continue;
+            };
+            // Every clustered point is density-reachable: within ε of some
+            // core point carrying the same cluster label.
+            let witness = scan
+                .range_vec(ps.point(i as u32), eps)
+                .into_iter()
+                .any(|j| {
+                    labels.assignments()[j as usize] == Some(cid)
+                        && scan.count_range(ps.point(j), eps) >= min_pts
+                        && ps.squared_distance(i as u32, j) <= eps_sq
+                });
+            assert!(
+                witness,
+                "clustered point {i} has no same-cluster core within ε (threads={threads})"
+            );
+        }
+    }
+}
+
+#[test]
+fn dbsvec_noise_verification_never_attaches_beyond_eps_at_any_thread_count() {
+    let threads = test_threads();
+    let mut rng = SplitMix64::new(0xF00E);
+    for _ in 0..64 {
+        let ps = point_set(&mut rng, 120, 3);
+        let eps = 22.0;
+        let min_pts = 5;
+        let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_threads(threads)).fit(&ps);
+        let labels = result.labels();
+        let scan = LinearScan::build(&ps);
+        let eps_sq = eps * eps;
+        for i in 0..ps.len() {
+            if labels.assignments()[i].is_none() {
+                continue;
+            }
+            if scan.count_range(ps.point(i as u32), eps) >= min_pts {
+                continue; // core points carry their own cluster
+            }
+            // A border point (attached by noise verification or absorption)
+            // must sit within ε of its *nearest* core point in particular —
+            // i.e. of some core point at all.
+            let nearest_core_sq = (0..ps.len() as u32)
+                .filter(|&j| scan.count_range(ps.point(j), eps) >= min_pts)
+                .map(|j| ps.squared_distance(i as u32, j))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                nearest_core_sq <= eps_sq,
+                "border point {i} attached at distance² {nearest_core_sq} > ε² (threads={threads})"
+            );
         }
     }
 }
