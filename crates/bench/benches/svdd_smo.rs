@@ -10,12 +10,13 @@ use dbsvec_datasets::gaussian_mixture;
 use dbsvec_geometry::{PointId, PointSet};
 use dbsvec_svdd::{
     centroid_distances, kernel_distances, kernel_width_center_radius, penalty_weights,
-    GaussianKernel, SvddProblem, WeightOptions,
+    GaussianKernel, SmoOptions, SolverSession, SvddProblem, WeightOptions,
 };
 
 fn main() {
     let runner = Runner::from_env("svdd_smo");
     bench_smo(&runner);
+    bench_warm_vs_cold(&runner);
     bench_weights(&runner);
     bench_kernel_distance(&runner);
 }
@@ -49,6 +50,52 @@ fn bench_smo(runner: &Runner) {
                 .num_support_vectors()
         });
     }
+}
+
+/// Expansion-shaped solve sequence: three rounds over a growing prefix of
+/// one blob, σ re-resolved per round, sharing one [`SolverSession`] — the
+/// exact access pattern `sv_expand_cluster` drives. Warm start must not
+/// cost iterations versus a cold fill of the same rounds; under
+/// `MICROBENCH_ENFORCE=1` that envelope is asserted, not just printed.
+fn bench_warm_vs_cold(runner: &Runner) {
+    println!("smo_warm_vs_cold");
+    let n = runner.size(2400, 600);
+    let (points, ids) = target(n);
+    let rounds = [n / 2, (3 * n) / 4, n];
+    let run = |options: SmoOptions| -> usize {
+        let mut session = SolverSession::new();
+        let mut iters = 0usize;
+        for &end in &rounds {
+            let ids = &ids[..end];
+            let sigma = kernel_width_center_radius(&points, ids);
+            let model =
+                SvddProblem::new(black_box(&points), ids, GaussianKernel::from_width(sigma))
+                    .with_nu(0.1)
+                    .with_options(options)
+                    .with_session(&mut session)
+                    .solve();
+            assert!(model.converged(), "round at n={end} must converge");
+            iters += model.iterations();
+        }
+        iters
+    };
+    let warm_opts = SmoOptions::default();
+    let cold_opts = SmoOptions {
+        warm_start: false,
+        shrinking: false,
+        ..SmoOptions::default()
+    };
+    let (warm_iters, cold_iters) = (run(warm_opts), run(cold_opts));
+    let saved = 100.0 * (cold_iters as f64 - warm_iters as f64) / cold_iters as f64;
+    println!("  iterations: warm={warm_iters} cold={cold_iters} ({saved:+.1}% saved)");
+    if std::env::var_os("MICROBENCH_ENFORCE").is_some_and(|v| v == "1") {
+        assert!(
+            warm_iters <= cold_iters,
+            "warm start must not cost iterations: warm={warm_iters} cold={cold_iters}"
+        );
+    }
+    runner.bench("warm/3_rounds", || run(warm_opts));
+    runner.bench("cold/3_rounds", || run(cold_opts));
 }
 
 fn bench_weights(runner: &Runner) {

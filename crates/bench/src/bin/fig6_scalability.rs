@@ -7,7 +7,11 @@
 //! * `dimensionality` — runtime vs d at fixed n (paper §V-C.2: d = 2…24,
 //!   n = 2M scaled; ρ-approximate deteriorates rapidly, as in the paper),
 //! * `realworld` — runtime on the PAMAP2 / Sensors / Corel-Image stand-ins
-//!   (paper Fig. 6b).
+//!   (paper Fig. 6b),
+//! * `smo` — DBSVEC alone, warm-started solver (the default) against
+//!   `cold_start()` on the Fig. 6a workloads; labels are asserted
+//!   identical and total SMO iterations strictly fewer, with the results
+//!   in `BENCH_fit_smo.json`.
 //!
 //! Algorithms that exceed the per-run share of `--budget-secs` are skipped
 //! at larger workloads and printed as `timeout`, mirroring the paper's
@@ -23,9 +27,10 @@ use std::time::Duration;
 
 use dbsvec_bench::harness::{fmt_secs, Stopwatch};
 use dbsvec_bench::{
-    parse_args, run_algorithm_profiled, run_dbsvec_threads_profiled, Algorithm, BenchArgs,
-    JsonReport, RunOutcome,
+    parse_args, run_algorithm_profiled, run_dbsvec_config_profiled, run_dbsvec_threads_profiled,
+    Algorithm, BenchArgs, JsonReport, RunOutcome,
 };
+use dbsvec_core::DbsvecConfig;
 use dbsvec_datasets::{random_walk_clusters, OpenDataset, RandomWalkConfig};
 use dbsvec_geometry::PointSet;
 use dbsvec_obs::{Json, Phase};
@@ -40,6 +45,10 @@ fn main() {
         return;
     }
     let which = args.free.first().map(String::as_str).unwrap_or("all");
+    if which == "smo" {
+        fit_smo(&args);
+        return;
+    }
     let mut report = JsonReport::new("fig6_scalability");
     match which {
         "cardinality" => cardinality(&args, &mut report),
@@ -53,7 +62,9 @@ fn main() {
             realworld(&args, &mut report);
         }
         other => {
-            eprintln!("unknown subcommand {other}; use cardinality|dimensionality|realworld|all");
+            eprintln!(
+                "unknown subcommand {other}; use cardinality|dimensionality|realworld|smo|all"
+            );
             std::process::exit(2);
         }
     }
@@ -165,6 +176,89 @@ fn fit_parallel(args: &BenchArgs, max_threads: usize) {
     } else {
         println!("paper shape: expansion self-time shrinks toward 1/threads until memory-bound");
     }
+    report.write_if_requested(args);
+}
+
+/// The warm-vs-cold SMO sweep (`smo` subcommand): DBSVEC with the default
+/// warm-started, shrinking solver against [`DbsvecConfig::cold_start`] on
+/// the Fig. 6a cardinality workloads. Labels must match exactly at every
+/// size, and the warm solver must spend strictly fewer total SMO
+/// iterations. Writes `BENCH_fit_smo.json`.
+fn fit_smo(args: &BenchArgs) {
+    let hardware = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "Warm vs cold SMO: DBSVEC solver ablation (d=8, eps={EPS}, MinPts={MIN_PTS}, scale={}, \
+         {hardware} hardware threads)",
+        args.scale
+    );
+    let mut sizes: Vec<usize> = [100_000usize, 200_000, 500_000]
+        .iter()
+        .map(|&n| ((n as f64 * args.scale) as usize).max(2_000))
+        .collect();
+    sizes.dedup();
+
+    let mut report = JsonReport::new("fit_smo");
+    let (mut warm_total, mut cold_total) = (0u64, 0u64);
+    let (mut warm_secs, mut cold_secs) = (0.0f64, 0.0f64);
+    println!(
+        "{:>10} {:>6} {:>12} {:>11} {:>10} {:>10} {:>10}",
+        "n", "mode", "smo_iters", "total", "warm_fits", "shrunk", "exhausted"
+    );
+    for &n in &sizes {
+        let ds = random_walk_clusters(&RandomWalkConfig::paper_default(n, 8), args.seed);
+        let warm = run_dbsvec_config_profiled(&ds.points, DbsvecConfig::new(EPS, MIN_PTS));
+        let cold =
+            run_dbsvec_config_profiled(&ds.points, DbsvecConfig::new(EPS, MIN_PTS).cold_start());
+        assert_eq!(
+            warm.clustering, cold.clustering,
+            "n={n}: warm-start + shrinking changed the labels"
+        );
+        assert_eq!(
+            cold.counts.warm_started_trainings, 0,
+            "n={n}: cold_start() must never warm-start"
+        );
+        warm_total += warm.counts.smo_iterations;
+        cold_total += cold.counts.smo_iterations;
+        warm_secs += warm.seconds;
+        cold_secs += cold.seconds;
+        for (mode, out) in [("warm", &warm), ("cold", &cold)] {
+            println!(
+                "{n:>10} {mode:>6} {:>12} {:>11} {:>10} {:>10} {:>10}",
+                out.counts.smo_iterations,
+                fmt_secs(Some(out.seconds)),
+                out.counts.warm_started_trainings,
+                out.counts.shrunk_variables,
+                out.counts.iterations_exhausted,
+            );
+            let mut extras = vec![
+                ("mode".to_string(), Json::str(mode)),
+                ("hardware_threads".to_string(), Json::UInt(hardware as u64)),
+            ];
+            if hardware == 1 {
+                extras.push((
+                    "note".to_string(),
+                    Json::str(
+                        "single hardware thread: iteration counts are the load-bearing \
+                         comparison; wall-clock moves with them but carries scheduler noise",
+                    ),
+                ));
+            }
+            report.push_with_extras("fit_smo", n as f64, out, extras);
+        }
+    }
+    assert!(
+        warm_total < cold_total,
+        "warm-start must save SMO iterations: warm={warm_total} cold={cold_total}"
+    );
+    let saved = 100.0 * (cold_total - warm_total) as f64 / cold_total as f64;
+    println!(
+        "total SMO iterations: warm={warm_total} cold={cold_total} ({saved:.1}% saved); \
+         wall-clock warm={} cold={}",
+        fmt_secs(Some(warm_secs)),
+        fmt_secs(Some(cold_secs)),
+    );
     report.write_if_requested(args);
 }
 

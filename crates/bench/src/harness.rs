@@ -62,7 +62,9 @@ pub struct BenchArgs {
     /// Master RNG seed.
     pub seed: u64,
     /// Directory for the machine-readable `BENCH_<experiment>.json`
-    /// report (`--json DIR`); `None` prints tables only.
+    /// report. Defaults to the repository root so every bench run extends
+    /// the `BENCH_*` trajectory; `--json DIR` overrides the destination.
+    /// `None` (not reachable from the CLI) prints tables only.
     pub json_dir: Option<String>,
     /// Fit thread budget (`--threads N`). `None` leaves the binary's
     /// default behavior; experiment binaries that support it switch to a
@@ -78,10 +80,22 @@ impl Default for BenchArgs {
             scale: 0.05,
             budget_secs: 120.0,
             seed: 20190401,
-            json_dir: None,
+            json_dir: Some(default_json_dir()),
             threads: None,
             free: Vec::new(),
         }
+    }
+}
+
+/// The default `BENCH_*.json` destination: the repository root (resolved
+/// relative to this crate at compile time), falling back to the current
+/// directory when the build tree no longer exists at run time.
+fn default_json_dir() -> String {
+    let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    if Path::new(repo_root).is_dir() {
+        repo_root.to_string()
+    } else {
+        ".".to_string()
     }
 }
 
@@ -239,6 +253,16 @@ impl JsonReport {
                     ("expansion_rounds", Json::UInt(c.expansion_rounds)),
                     ("svdd_trainings", Json::UInt(c.svdd_trainings)),
                     ("smo_iterations", Json::UInt(c.smo_iterations)),
+                    (
+                        "warm_started_trainings",
+                        Json::UInt(c.warm_started_trainings),
+                    ),
+                    ("iterations_exhausted", Json::UInt(c.iterations_exhausted)),
+                    ("shrunk_variables", Json::UInt(c.shrunk_variables)),
+                    (
+                        "initial_kkt_violation_e6",
+                        Json::UInt(c.initial_kkt_violation_e6),
+                    ),
                     ("support_vectors", Json::UInt(c.support_vectors)),
                     ("core_support_vectors", Json::UInt(c.core_support_vectors)),
                     ("max_target_size", Json::UInt(c.max_target_size as u64)),
@@ -320,6 +344,10 @@ mod tests {
         assert_eq!(args.scale, 0.05);
         assert_eq!(args.seed, 20190401);
         assert!(args.free.is_empty());
+        // Reports land in the repo root by default, so every bench run
+        // extends the BENCH_* trajectory without remembering --json.
+        let dir = args.json_dir.expect("json output is on by default");
+        assert!(Path::new(&dir).is_dir(), "{dir} should exist");
     }
 
     #[test]
@@ -358,7 +386,8 @@ mod tests {
     fn parses_json_flag() {
         let args = parse(&["--json", "out"]);
         assert_eq!(args.json_dir.as_deref(), Some("out"));
-        assert!(parse(&[]).json_dir.is_none());
+        // Without the flag the default destination (repo root) remains.
+        assert!(parse(&[]).json_dir.is_some());
     }
 
     #[test]

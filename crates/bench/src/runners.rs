@@ -244,6 +244,26 @@ pub fn run_dbsvec_threads_profiled(
     }
 }
 
+/// Profiled DBSVEC run under an explicit configuration, for ablation-style
+/// sweeps that toggle solver knobs (warm-start, shrinking) rather than
+/// thread counts. Phase timings and replayed counters are folded into the
+/// outcome exactly as in [`run_algorithm_profiled`].
+pub fn run_dbsvec_config_profiled(points: &PointSet, config: DbsvecConfig) -> RunOutcome {
+    let mut recorder = RecordingObserver::new();
+    let (clustering, seconds) = time(|| {
+        Dbsvec::new(config)
+            .fit_observed(points, &mut recorder)
+            .into_labels()
+    });
+    RunOutcome {
+        algorithm: Algorithm::Dbsvec,
+        clustering,
+        seconds,
+        phases: recorder.phase_timings(),
+        counts: recorder.replay(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +348,17 @@ mod tests {
             assert_eq!(baseline.counts, par.counts, "threads={threads}");
             assert!(!par.phases.is_empty());
         }
+    }
+
+    #[test]
+    fn config_profiled_run_compares_warm_and_cold_solvers() {
+        let ps = blobs();
+        let warm = run_dbsvec_config_profiled(&ps, DbsvecConfig::new(2.0, 4));
+        let cold = run_dbsvec_config_profiled(&ps, DbsvecConfig::new(2.0, 4).cold_start());
+        assert_eq!(warm.clustering, cold.clustering);
+        assert_eq!(cold.counts.warm_started_trainings, 0);
+        assert!(warm.counts.smo_iterations <= cold.counts.smo_iterations);
+        assert!(!warm.phases.is_empty());
     }
 
     #[test]

@@ -402,6 +402,7 @@ pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "min-pts",
         "save",
         "threads",
+        "cold-start",
         "boundaries",
         "stats",
         "trace",
@@ -411,6 +412,7 @@ pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let (points, eps, min_pts) = load_with_params(args, out)?;
     let save = args.require("save")?;
     let threads: usize = args.get_or("threads", 0)?;
+    let cold_start = args.has_switch("cold-start");
 
     let profile = args.has_switch("profile");
     let mut sink = open_trace(args)?;
@@ -421,8 +423,11 @@ pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let obs: &mut dyn Observer = if observing { &mut tee } else { &mut noop };
 
     let start = Instant::now();
-    let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts).with_threads(threads))
-        .fit_observed(&points, obs);
+    let mut config = DbsvecConfig::new(eps, min_pts).with_threads(threads);
+    if cold_start {
+        config = config.cold_start();
+    }
+    let result = Dbsvec::new(config).fit_observed(&points, obs);
     let seconds = start.elapsed().as_secs_f64();
     let stats = *result.stats();
 
@@ -1037,6 +1042,54 @@ mod tests {
         let text = run_ok(&["--help"]);
         assert!(text.contains("USAGE"));
         assert!(text.contains("serve"), "serving commands documented");
+        assert!(text.contains("--cold-start"), "solver switch documented");
+    }
+
+    #[test]
+    fn cold_start_fit_matches_the_default_fit() {
+        let data = tempfile("coldstart.csv");
+        let warm_model = tempfile("coldstart-warm.dbm");
+        let cold_model = tempfile("coldstart-cold.dbm");
+        let data_s = data.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "400",
+            "--output",
+            data_s,
+        ]);
+        let common = [
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--stats",
+        ];
+        let mut warm_args = vec!["fit"];
+        warm_args.extend_from_slice(&common);
+        warm_args.extend_from_slice(&["--save", warm_model.to_str().unwrap()]);
+        let warm_text = run_ok(&warm_args);
+        let mut cold_args = vec!["fit"];
+        cold_args.extend_from_slice(&common);
+        cold_args.extend_from_slice(&["--save", cold_model.to_str().unwrap(), "--cold-start"]);
+        let cold_text = run_ok(&cold_args);
+        // Same clusters either way; only the solver path differs.
+        let model_line = |t: &str| {
+            t.lines()
+                .find(|l| l.starts_with("model:"))
+                .map(str::to_string)
+                .unwrap()
+        };
+        let (warm_line, cold_line) = (model_line(&warm_text), model_line(&cold_text));
+        let strip_path = |l: &str| l.split(" -> ").next().unwrap().to_string();
+        assert_eq!(strip_path(&warm_line), strip_path(&cold_line));
+        for f in [&data, &warm_model, &cold_model] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

@@ -64,7 +64,8 @@ USAGE:
   dbsvec-cli generate --dataset NAME [--n N] [--dims D] [--seed N] --output file.csv
   dbsvec-cli suggest  --input points.csv [--min-pts N]
   dbsvec-cli fit      --input points.csv --save model.dbm [--eps F] [--min-pts N]
-                  [--threads N] [--boundaries] [--stats] [--profile] [--trace out.jsonl]
+                  [--threads N] [--cold-start] [--boundaries] [--stats] [--profile]
+                  [--trace out.jsonl]
   dbsvec-cli serve    --model model.dbm --assign points.csv [--output labels.csv]
                   [--threads N] [--profile] [--trace out.jsonl]
                   [--metrics-file metrics.prom] [--metrics-interval N]
@@ -87,6 +88,8 @@ omitting --min-pts uses a cardinality-based default.
 fit --threads N fans the per-round support-vector range queries and the SMO
 kernel rows across N worker threads (0 = all cores, the default; 1 = the
 sequential code path). Labels, stats, and traces are identical at every N.
+fit --cold-start disables the warm-started incremental SMO solver (cross-round
+alpha reuse + active-set shrinking); labels are identical either way.
 
 SERVING:
   fit --save writes a versioned, checksummed binary snapshot (.dbm) of the

@@ -169,6 +169,23 @@ impl DbsvecConfig {
         self
     }
 
+    /// Escape hatch: disables both cross-round α warm starts and active-set
+    /// shrinking, so every expansion round solves its SVDD from scratch the
+    /// way the pre-incremental solver did. (The σ-invariant distance-row
+    /// cache still persists across rounds — it reproduces kernel values
+    /// exactly, so there is nothing to opt out of.)
+    pub fn cold_start(mut self) -> Self {
+        self.smo.warm_start = false;
+        self.smo.shrinking = false;
+        self
+    }
+
+    /// Disables active-set shrinking only, keeping warm starts.
+    pub fn without_shrinking(mut self) -> Self {
+        self.smo.shrinking = false;
+        self
+    }
+
     /// Uses the literal Eq. 5 kernel distance for the penalty weights
     /// instead of the O(ñ) centroid proxy (see
     /// [`dbsvec_svdd::WeightOptions::exact_kernel_distance`]). Quadratic in
@@ -205,6 +222,19 @@ mod tests {
         assert_eq!(c.kernel_width, KernelWidthStrategy::CenterRadius);
         assert_eq!(c.parallel, ParallelConfig::default());
         assert_eq!(c.parallel.threads, 0);
+        // Warm starts and shrinking are on by default.
+        assert!(c.smo.warm_start);
+        assert!(c.smo.shrinking);
+    }
+
+    #[test]
+    fn cold_start_disables_warm_start_and_shrinking() {
+        let c = DbsvecConfig::new(1.0, 5).cold_start();
+        assert!(!c.smo.warm_start);
+        assert!(!c.smo.shrinking);
+        let s = DbsvecConfig::new(1.0, 5).without_shrinking();
+        assert!(s.smo.warm_start);
+        assert!(!s.smo.shrinking);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use dbsvec_geometry::PointId;
 use dbsvec_index::RangeIndex;
 use dbsvec_obs::{Event, Phase};
 use dbsvec_svdd::{
-    params::nu_to_c, penalty_weights, GaussianKernel, IncrementalTarget, SvddProblem,
+    params::nu_to_c, penalty_weights, GaussianKernel, IncrementalTarget, SolverSession, SvddProblem,
 };
 
 use crate::parallel::batch_range_queries;
@@ -39,6 +39,9 @@ pub(crate) fn sv_expand_cluster<I: RangeIndex + Sync>(
     };
     let mut target = IncrementalTarget::new(threshold);
     target.add_new(&initial_members);
+    // One solver session per sub-cluster: consecutive rounds reuse the
+    // previous α (warm start) and the σ-invariant distance rows.
+    let mut session = SolverSession::new();
 
     state.obs.span_enter(Phase::SvExpand);
     let mut neighborhood: Vec<PointId> = Vec::new();
@@ -50,16 +53,27 @@ pub(crate) fn sv_expand_cluster<I: RangeIndex + Sync>(
         state.stats.max_target_size = state.stats.max_target_size.max(target_size);
 
         state.obs.span_enter(Phase::SvddTrain);
-        let model = train_svdd(state, &target);
+        let model = train_svdd(state, &target, &mut session);
         state.obs.span_exit(Phase::SvddTrain);
+        let diag = model.diagnostics();
+        // Fixed-point microunits: the one place the f64 violation is
+        // encoded, so stats and the replayed trace agree exactly.
+        let violation_e6 = (diag.initial_kkt_violation * 1e6).round() as u64;
         state.stats.svdd_trainings += 1;
         state.stats.smo_iterations += model.iterations() as u64;
-        let (cache_hits, cache_misses) = model.cache_stats();
+        state.stats.warm_started_trainings += diag.warm_started as u64;
+        state.stats.iterations_exhausted += !diag.converged as u64;
+        state.stats.shrunk_variables += diag.shrunk_peak as u64;
+        state.stats.initial_kkt_violation_e6 += violation_e6;
         state.obs.event(&Event::SmoSolve {
             target_size,
             iterations: model.iterations(),
-            cache_hits,
-            cache_misses,
+            cache_hits: diag.cache.hits,
+            cache_misses: diag.cache.misses,
+            warm_started: diag.warm_started,
+            converged: diag.converged,
+            shrunk: diag.shrunk_peak,
+            initial_kkt_violation_e6: violation_e6,
         });
         let support_vectors = model.support_vectors();
         state.stats.support_vectors += support_vectors.len() as u64;
@@ -152,6 +166,7 @@ pub(crate) fn sv_expand_cluster<I: RangeIndex + Sync>(
 fn train_svdd<I: RangeIndex>(
     state: &mut RunState<'_, I>,
     target: &IncrementalTarget,
+    session: &mut SolverSession,
 ) -> dbsvec_svdd::SvddModel {
     let ids = target.ids();
     let sigma = state.config.kernel_width.resolve(state.points, ids);
@@ -163,7 +178,9 @@ fn train_svdd<I: RangeIndex>(
     // budget overrides whatever the SMO options carried.
     let mut smo = state.config.smo;
     smo.threads = state.threads;
-    let problem = SvddProblem::new(state.points, ids, kernel).with_options(smo);
+    let problem = SvddProblem::new(state.points, ids, kernel)
+        .with_options(smo)
+        .with_session(session);
     if state.config.weighted {
         let weights = penalty_weights(
             state.points,

@@ -31,6 +31,18 @@ pub struct DbsvecStats {
     pub max_target_size: usize,
     /// Total SMO iterations across all trainings.
     pub smo_iterations: u64,
+    /// Trainings that started from a previous round's α (warm starts).
+    pub warm_started_trainings: u64,
+    /// Trainings that hit the SMO iteration cap instead of converging.
+    pub iterations_exhausted: u64,
+    /// Peak shrunk variables summed over all trainings (active-set
+    /// shrinking effectiveness; divide by `smo_iterations`-weighted target
+    /// sizes for a fraction).
+    pub shrunk_variables: u64,
+    /// Sum of per-training initial KKT violations in fixed-point microunits
+    /// (`round(violation · 1e6)`): integer so the stats stay `Eq`/replayable.
+    /// Warm starts drive the per-training violation toward 0.
+    pub initial_kkt_violation_e6: u64,
 }
 
 impl DbsvecStats {

@@ -77,10 +77,22 @@ pub enum Event {
         target_size: usize,
         /// SMO iterations to convergence.
         iterations: usize,
-        /// Kernel-row cache hits during the solve.
+        /// Distance-row cache hits during the solve.
         cache_hits: u64,
-        /// Kernel-row cache misses during the solve.
+        /// Distance-row cache misses during the solve.
         cache_misses: u64,
+        /// Whether the solve was seeded from the previous round's α.
+        warm_started: bool,
+        /// `false` when the solve exhausted its iteration cap instead of
+        /// reaching the KKT tolerance.
+        converged: bool,
+        /// Peak variables simultaneously dropped by active-set shrinking
+        /// (divide by `target_size` for the shrunk fraction).
+        shrunk: usize,
+        /// Initial KKT violation in fixed-point microunits
+        /// (`round(violation · 1e6)`); integers keep the event `Eq` and
+        /// the replay exact.
+        initial_kkt_violation_e6: u64,
     },
     /// One support-vector expansion round completed.
     ExpansionRound {

@@ -40,11 +40,22 @@ pub fn event_to_json(event: &Event) -> Json {
             iterations,
             cache_hits,
             cache_misses,
+            warm_started,
+            converged,
+            shrunk,
+            initial_kkt_violation_e6,
         } => {
             push("target_size", Json::UInt(target_size as u64));
             push("iterations", Json::UInt(iterations as u64));
             push("cache_hits", Json::UInt(cache_hits));
             push("cache_misses", Json::UInt(cache_misses));
+            push("warm_started", Json::Bool(warm_started));
+            push("converged", Json::Bool(converged));
+            push("shrunk", Json::UInt(shrunk as u64));
+            push(
+                "initial_kkt_violation_e6",
+                Json::UInt(initial_kkt_violation_e6),
+            );
         }
         Event::ExpansionRound {
             cluster,
@@ -192,6 +203,10 @@ mod tests {
             iterations: 9,
             cache_hits: 40,
             cache_misses: 4,
+            warm_started: true,
+            converged: true,
+            shrunk: 5,
+            initial_kkt_violation_e6: 1834,
         });
         obs.event(&Event::ExpansionRound {
             cluster: 0,

@@ -37,6 +37,15 @@ pub struct ReplayCounts {
     pub max_target_size: usize,
     /// SMO iterations, summed over trainings.
     pub smo_iterations: u64,
+    /// Warm-started trainings (`warm_started == true` on [`Event::SmoSolve`]).
+    pub warm_started_trainings: u64,
+    /// Trainings that exhausted their iteration cap (`converged == false`).
+    pub iterations_exhausted: u64,
+    /// Peak shrunk variables, summed over trainings.
+    pub shrunk_variables: u64,
+    /// Initial KKT violations in fixed-point microunits, summed over
+    /// trainings.
+    pub initial_kkt_violation_e6: u64,
     /// Serving: assignments answered (count of [`Event::Assign`]).
     pub assigns: u64,
     /// Of those, assignments that landed in a cluster (`hit == true`).
@@ -62,11 +71,19 @@ impl ReplayCounts {
             Event::SmoSolve {
                 target_size,
                 iterations,
+                warm_started,
+                converged,
+                shrunk,
+                initial_kkt_violation_e6,
                 ..
             } => {
                 self.svdd_trainings += 1;
                 self.smo_iterations += *iterations as u64;
                 self.max_target_size = self.max_target_size.max(*target_size);
+                self.warm_started_trainings += *warm_started as u64;
+                self.iterations_exhausted += !*converged as u64;
+                self.shrunk_variables += *shrunk as u64;
+                self.initial_kkt_violation_e6 += *initial_kkt_violation_e6;
             }
             Event::ExpansionRound {
                 target_size,
@@ -190,6 +207,10 @@ pub fn event_from_json(value: &Json) -> Result<Event, String> {
             iterations: field_usize(value, "iterations")?,
             cache_hits: field_u64(value, "cache_hits")?,
             cache_misses: field_u64(value, "cache_misses")?,
+            warm_started: field_bool(value, "warm_started")?,
+            converged: field_bool(value, "converged")?,
+            shrunk: field_usize(value, "shrunk")?,
+            initial_kkt_violation_e6: field_u64(value, "initial_kkt_violation_e6")?,
         }),
         "expansion_round" => Ok(Event::ExpansionRound {
             cluster: field_u32(value, "cluster")?,
@@ -251,6 +272,10 @@ mod tests {
                 iterations: 17,
                 cache_hits: 100,
                 cache_misses: 8,
+                warm_started: false,
+                converged: true,
+                shrunk: 0,
+                initial_kkt_violation_e6: 1_500_000,
             },
             Event::ExpansionRound {
                 cluster: 0,
@@ -265,6 +290,10 @@ mod tests {
                 iterations: 23,
                 cache_hits: 50,
                 cache_misses: 2,
+                warm_started: true,
+                converged: false,
+                shrunk: 30,
+                initial_kkt_violation_e6: 420,
             },
             Event::ExpansionRound {
                 cluster: 0,
@@ -292,6 +321,10 @@ mod tests {
         assert_eq!(c.range_queries, 2);
         assert_eq!(c.svdd_trainings, 2);
         assert_eq!(c.smo_iterations, 40);
+        assert_eq!(c.warm_started_trainings, 1);
+        assert_eq!(c.iterations_exhausted, 1);
+        assert_eq!(c.shrunk_variables, 30);
+        assert_eq!(c.initial_kkt_violation_e6, 1_500_420);
         assert_eq!(c.expansion_rounds, 2);
         assert_eq!(c.support_vectors, 14);
         assert_eq!(c.core_support_vectors, 9);
@@ -340,6 +373,16 @@ mod tests {
             Event::RangeQuery {
                 probe: 7,
                 result_len: 3,
+            },
+            Event::SmoSolve {
+                target_size: 15,
+                iterations: 4,
+                cache_hits: 9,
+                cache_misses: 6,
+                warm_started: true,
+                converged: true,
+                shrunk: 2,
+                initial_kkt_violation_e6: 77,
             },
             Event::Merge {
                 existing: 2,

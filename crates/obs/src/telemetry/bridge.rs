@@ -27,6 +27,10 @@ struct EventCounters {
     range_queries: CounterId,
     expansion_rounds: CounterId,
     smo_iterations: CounterId,
+    warm_started_trainings: CounterId,
+    iterations_exhausted: CounterId,
+    shrunk_variables: CounterId,
+    initial_kkt_violation_e6: CounterId,
     assigns: CounterId,
     assign_hits: CounterId,
     ingests: CounterId,
@@ -101,6 +105,26 @@ impl MetricsObserver {
                 &mut reg,
                 "dbsvec_smo_iterations_total",
                 "SMO iterations, summed over trainings.",
+            ),
+            warm_started_trainings: c(
+                &mut reg,
+                "dbsvec_warm_started_trainings_total",
+                "SVDD trainings seeded from the previous round's multipliers.",
+            ),
+            iterations_exhausted: c(
+                &mut reg,
+                "dbsvec_iterations_exhausted_total",
+                "SVDD trainings that hit the SMO iteration cap.",
+            ),
+            shrunk_variables: c(
+                &mut reg,
+                "dbsvec_shrunk_variables_total",
+                "Peak shrunk variables, summed over trainings.",
+            ),
+            initial_kkt_violation_e6: c(
+                &mut reg,
+                "dbsvec_initial_kkt_violation_e6_total",
+                "Initial KKT violations in microunits, summed over trainings.",
             ),
             assigns: c(&mut reg, "dbsvec_assigns_total", "Assignments answered."),
             assign_hits: c(
@@ -198,10 +222,21 @@ impl Observer for MetricsObserver {
             Event::SmoSolve {
                 target_size,
                 iterations,
+                warm_started,
+                converged,
+                shrunk,
+                initial_kkt_violation_e6,
                 ..
             } => {
                 self.registry.inc(c.svdd_trainings);
                 self.registry.add(c.smo_iterations, *iterations as u64);
+                self.registry
+                    .add(c.warm_started_trainings, *warm_started as u64);
+                self.registry
+                    .add(c.iterations_exhausted, !*converged as u64);
+                self.registry.add(c.shrunk_variables, *shrunk as u64);
+                self.registry
+                    .add(c.initial_kkt_violation_e6, *initial_kkt_violation_e6);
                 self.observe_max_target(*target_size);
             }
             Event::ExpansionRound {
@@ -259,12 +294,29 @@ mod tests {
             iterations: 17,
             cache_hits: 0,
             cache_misses: 0,
+            warm_started: true,
+            converged: false,
+            shrunk: 12,
+            initial_kkt_violation_e6: 250,
         });
         let reg = m.registry();
         assert_eq!(reg.counter_value("dbsvec_range_queries_total"), Some(1));
         assert_eq!(reg.counter_value("dbsvec_assigns_total"), Some(2));
         assert_eq!(reg.counter_value("dbsvec_assign_hits_total"), Some(1));
         assert_eq!(reg.counter_value("dbsvec_smo_iterations_total"), Some(17));
+        assert_eq!(
+            reg.counter_value("dbsvec_warm_started_trainings_total"),
+            Some(1)
+        );
+        assert_eq!(
+            reg.counter_value("dbsvec_iterations_exhausted_total"),
+            Some(1)
+        );
+        assert_eq!(reg.counter_value("dbsvec_shrunk_variables_total"), Some(12));
+        assert_eq!(
+            reg.counter_value("dbsvec_initial_kkt_violation_e6_total"),
+            Some(250)
+        );
         assert_eq!(reg.gauge_value("dbsvec_max_target_size"), Some(40.0));
     }
 

@@ -1,242 +1,335 @@
-//! LRU cache of kernel matrix rows.
+//! LRU cache of **squared-distance** rows, shared across SVDD trainings.
 //!
-//! SMO touches two kernel rows per iteration (the working pair) and revisits
-//! the same small set of "active" rows many times before the working set
-//! drifts. Materializing the full `ñ × ñ` Gram matrix would be quadratic in
-//! memory, so — like libsvm, on which the paper's implementation is based —
-//! we cache complete rows with LRU eviction and recompute on miss.
+//! SMO touches two kernel rows per iteration (the working pair) and
+//! revisits the same small set of "active" rows many times before the
+//! working set drifts. Materializing the full `ñ × ñ` Gram matrix would be
+//! quadratic in memory, so — like libsvm, on which the paper's
+//! implementation is based — we cache complete rows with LRU eviction and
+//! recompute on miss.
+//!
+//! Unlike libsvm this cache does **not** store kernel values. DBSVEC
+//! recomputes the kernel width `σ = r/√2` from the sub-cluster radius
+//! before every expansion round, so a cached Gaussian value
+//! `exp(−d²/2σ²)` is stale the moment σ moves. The squared distance `d²`
+//! is σ-invariant, so the cache stores distance rows and the solver
+//! applies [`GaussianKernel::eval_sq_dist`] on read — one `exp` per
+//! active entry, against O(d) multiply-adds for a recomputed distance.
+//! That is what lets one cache outlive every training of a sub-cluster.
+//!
+//! Rows are keyed by [`PointId`] through an append-only **universe**: the
+//! first time an id is registered it receives a dense universe index that
+//! never changes, even as the incremental target set evicts and re-orders
+//! points between rounds. A resident row covers a prefix of the universe;
+//! when later registrations grow the universe, the row is *extended* in
+//! place (only the new tail columns are computed) instead of being thrown
+//! away.
 
-use dbsvec_geometry::{PointId, PointSet};
+use std::collections::HashMap;
+
+use dbsvec_geometry::{squared_euclidean, PointId, PointSet};
 
 use crate::kernel::GaussianKernel;
 
-/// Cached rows of the Gram matrix `K[i][j] = K(x_{ids[i]}, x_{ids[j]})`.
-pub struct KernelCache<'a> {
-    points: &'a PointSet,
-    ids: &'a [PointId],
-    kernel: GaussianKernel,
-    /// `slots[i]` is `Some(row)` when row `i` is resident.
-    slots: Vec<Option<Box<[f64]>>>,
+/// Counters describing one cache's lifetime (across every solve that
+/// shared it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistCacheStats {
+    /// Row requests served from a resident row.
+    pub hits: u64,
+    /// Row requests that computed the row from scratch.
+    pub misses: u64,
+    /// Resident rows dropped to make room (LRU order).
+    pub evictions: u64,
+    /// Resident rows whose tail was recomputed after the universe grew
+    /// (each such request also counts as a hit).
+    pub extensions: u64,
+}
+
+/// Cached squared-distance rows `D[u][v] = ‖x_{ids[u]} − x_{ids[v]}‖²`
+/// over the append-only universe of registered point ids.
+#[derive(Debug)]
+pub struct DistanceRowCache {
+    /// `ids[u]` is the point behind universe index `u` (append-only).
+    ids: Vec<PointId>,
+    /// Inverse of `ids`. Iteration order is never used, so the map's
+    /// nondeterministic layout cannot leak into results.
+    index_of: HashMap<PointId, usize>,
+    /// `slots[u]` holds row `u` when resident; a row may be shorter than
+    /// the universe (computed before later registrations) and is extended
+    /// on first use.
+    slots: Vec<Option<Vec<f64>>>,
     /// Resident row indices in LRU order (front = oldest).
     lru: Vec<usize>,
     capacity_rows: usize,
-    hits: u64,
-    misses: u64,
+    stats: DistCacheStats,
 }
 
-impl<'a> KernelCache<'a> {
-    /// Creates a cache holding at most `capacity_rows` rows (at least 2, the
-    /// SMO working-pair size).
-    pub fn new(
-        points: &'a PointSet,
-        ids: &'a [PointId],
-        kernel: GaussianKernel,
-        capacity_rows: usize,
-    ) -> Self {
-        let n = ids.len();
+impl DistanceRowCache {
+    /// Creates a cache holding at most `capacity_rows` rows (at least 2,
+    /// the SMO working-pair size).
+    pub fn new(capacity_rows: usize) -> Self {
         Self {
-            points,
-            ids,
-            kernel,
-            slots: (0..n).map(|_| None).collect(),
+            ids: Vec::new(),
+            index_of: HashMap::new(),
+            slots: Vec::new(),
             lru: Vec::new(),
             capacity_rows: capacity_rows.max(2),
-            hits: 0,
-            misses: 0,
+            stats: DistCacheStats::default(),
         }
     }
 
-    /// Number of target points (rows).
-    pub fn len(&self) -> usize {
+    /// Raises the row capacity to at least `capacity_rows`. Capacity only
+    /// grows — an incremental target that shrank between rounds keeps the
+    /// larger budget, so earlier rows stay reusable.
+    pub fn ensure_capacity(&mut self, capacity_rows: usize) {
+        self.capacity_rows = self.capacity_rows.max(capacity_rows);
+    }
+
+    /// Registers `target_ids` (appending unseen ids to the universe) and
+    /// returns the universe index of each target position. Duplicate ids
+    /// map to the same universe index.
+    pub fn register(&mut self, target_ids: &[PointId]) -> Vec<usize> {
+        target_ids
+            .iter()
+            .map(|&id| match self.index_of.get(&id) {
+                Some(&u) => u,
+                None => {
+                    let u = self.ids.len();
+                    self.ids.push(id);
+                    self.index_of.insert(id, u);
+                    self.slots.push(None);
+                    u
+                }
+            })
+            .collect()
+    }
+
+    /// Number of distinct ids ever registered.
+    pub fn universe_len(&self) -> usize {
         self.ids.len()
     }
 
-    /// Whether the target set is empty.
-    pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+    /// Lifetime counters.
+    pub fn stats(&self) -> DistCacheStats {
+        self.stats
     }
 
-    /// Returns row `i`, computing and caching it if absent.
-    pub fn row(&mut self, i: usize) -> &[f64] {
-        if self.slots[i].is_some() {
-            self.hits += 1;
-            self.touch(i);
-        } else {
-            self.misses += 1;
-            self.insert(i);
+    /// Returns row `u` (full universe width), computing, extending, or
+    /// caching it as needed.
+    pub fn row(&mut self, points: &PointSet, u: usize) -> &[f64] {
+        self.ensure_row(points, u);
+        self.slots[u].as_deref().expect("row just ensured resident")
+    }
+
+    /// A single squared distance, bypassing the cache when neither row is
+    /// resident. Resident rows are only consulted up to their computed
+    /// length, so a stale (short) row never yields a wrong value.
+    pub fn sq_dist(&self, points: &PointSet, u: usize, v: usize) -> f64 {
+        if let Some(row) = &self.slots[u] {
+            if v < row.len() {
+                return row[v];
+            }
         }
-        self.slots[i].as_deref().expect("row just ensured resident")
-    }
-
-    /// A single kernel entry, bypassing the cache when the row is absent.
-    pub fn entry(&self, i: usize, j: usize) -> f64 {
-        if let Some(row) = &self.slots[i] {
-            return row[j];
+        if let Some(row) = &self.slots[v] {
+            if u < row.len() {
+                return row[u];
+            }
         }
-        if let Some(row) = &self.slots[j] {
-            return row[i];
-        }
-        self.kernel.eval(
-            self.points.point(self.ids[i]),
-            self.points.point(self.ids[j]),
-        )
+        squared_euclidean(points.point(self.ids[u]), points.point(self.ids[v]))
     }
 
-    /// `(hits, misses)` counters — used to validate cache effectiveness.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-
-    /// Visits the rows at `indices` in order, computing the missing ones
+    /// Visits the rows at `requests` in order, computing the missing ones
     /// across `threads` scoped worker threads first (per-thread shards,
-    /// merged back into this cache).
+    /// merged back into this cache). The callback receives the *position*
+    /// within `requests` plus the full-width row.
     ///
-    /// The hit/miss counters, LRU transitions, and row values are **bit
-    /// identical** to calling [`KernelCache::row`] once per index in the
-    /// same order: the shards only pre-compute values (each row is a pure
-    /// function of the immutable target set), while all accounting is
-    /// replayed sequentially in `indices` order — a repeated index scores
-    /// a hit on its second visit, and a shard row whose slot was evicted
-    /// again before a later revisit is recomputed as a fresh miss, exactly
-    /// as the sequential path would. `threads <= 1` takes the sequential
-    /// path outright.
+    /// The hit/miss/eviction/extension counters, LRU transitions, and row
+    /// values are **bit identical** to calling [`DistanceRowCache::row`]
+    /// once per request in the same order: the shards only pre-compute
+    /// values (each row is a pure function of the immutable point set),
+    /// while all accounting is replayed sequentially in request order — a
+    /// repeated index scores a hit on its second visit, and a shard row
+    /// whose slot was evicted again before a later revisit is recomputed
+    /// as a fresh miss, exactly as the sequential path would. Short
+    /// resident rows are extended during the replay (the tail is O(new·d),
+    /// too small to farm out). `threads <= 1` takes the sequential path
+    /// outright.
     pub fn for_rows(
         &mut self,
-        indices: &[usize],
+        points: &PointSet,
+        requests: &[usize],
         threads: usize,
         mut f: impl FnMut(usize, &[f64]),
     ) {
-        if threads <= 1 || indices.len() < 2 {
-            for &i in indices {
-                let row = self.row(i);
-                f(i, row);
+        if threads <= 1 || requests.len() < 2 {
+            for (pos, &u) in requests.iter().enumerate() {
+                self.ensure_row(points, u);
+                f(pos, self.slots[u].as_deref().expect("row resident"));
             }
             return;
         }
 
         // Distinct absent rows, in first-occurrence order.
-        let mut queued = vec![false; self.ids.len()];
+        let mut queued = vec![false; self.universe_len()];
         let mut missing: Vec<usize> = Vec::new();
-        for &i in indices {
-            if self.slots[i].is_none() && !queued[i] {
-                queued[i] = true;
-                missing.push(i);
+        for &u in requests {
+            if self.slots[u].is_none() && !queued[u] {
+                queued[u] = true;
+                missing.push(u);
             }
         }
 
-        let mut shard: Vec<Option<Box<[f64]>>> = (0..self.ids.len()).map(|_| None).collect();
+        let mut shard: Vec<Option<Vec<f64>>> = (0..self.universe_len()).map(|_| None).collect();
         if missing.len() >= 2 {
             let workers = threads.min(missing.len());
             let chunk = missing.len().div_ceil(workers);
-            let (points, ids, kernel) = (self.points, self.ids, self.kernel);
-            let computed: Vec<Vec<(usize, Box<[f64]>)>> = std::thread::scope(|scope| {
+            let ids = &self.ids;
+            let computed: Vec<Vec<(usize, Vec<f64>)>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = missing
                     .chunks(chunk)
                     .map(|part| {
                         scope.spawn(move || {
                             part.iter()
-                                .map(|&i| (i, gram_row(points, ids, kernel, i)))
+                                .map(|&u| (u, dist_row(points, ids, u, 0)))
                                 .collect::<Vec<_>>()
                         })
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("kernel-row worker panicked"))
+                    .map(|h| h.join().expect("distance-row worker panicked"))
                     .collect()
             });
-            for (i, row) in computed.into_iter().flatten() {
-                shard[i] = Some(row);
+            for (u, row) in computed.into_iter().flatten() {
+                shard[u] = Some(row);
             }
         }
 
         // Sequential replay of the accounting, in request order.
-        for &i in indices {
-            if self.slots[i].is_some() {
-                self.hits += 1;
-                self.touch(i);
+        for (pos, &u) in requests.iter().enumerate() {
+            if self.slots[u].is_some() {
+                self.hit(points, u);
             } else {
-                self.misses += 1;
-                let row = shard[i].take().unwrap_or_else(|| self.compute_row(i));
-                self.insert_row(i, row);
+                self.stats.misses += 1;
+                let row = shard[u]
+                    .take()
+                    .unwrap_or_else(|| dist_row(points, &self.ids, u, 0));
+                self.insert_row(u, row);
             }
             f(
-                i,
-                self.slots[i].as_deref().expect("row resident after replay"),
+                pos,
+                self.slots[u].as_deref().expect("row resident after replay"),
             );
         }
     }
 
-    /// Fetches the SMO working pair `(i, j)`, computing both rows
+    /// Fetches the SMO working pair `(u, v)`, computing both rows
     /// concurrently when `parallel` is set and neither is resident.
     ///
-    /// Row `i` comes back as an owned copy (the gradient update needs both
+    /// Row `u` comes back as an owned copy (the gradient update needs both
     /// rows at once, and the cache hands out overlapping borrows).
-    /// Accounting and LRU state match two sequential [`KernelCache::row`]
-    /// calls exactly; the capacity floor of 2 keeps the pair resident
-    /// together.
-    pub fn pair_rows(&mut self, i: usize, j: usize, parallel: bool) -> (Vec<f64>, &[f64]) {
-        if parallel && i != j && self.slots[i].is_none() && self.slots[j].is_none() {
-            let (points, ids, kernel) = (self.points, self.ids, self.kernel);
-            let (row_i, row_j) = std::thread::scope(|scope| {
-                let handle = scope.spawn(move || gram_row(points, ids, kernel, i));
-                let row_j = gram_row(points, ids, kernel, j);
-                (handle.join().expect("kernel-row worker panicked"), row_j)
+    /// Accounting and LRU state match two sequential
+    /// [`DistanceRowCache::row`] calls exactly; the capacity floor of 2
+    /// keeps the pair resident together.
+    pub fn pair_rows(
+        &mut self,
+        points: &PointSet,
+        u: usize,
+        v: usize,
+        parallel: bool,
+    ) -> (Vec<f64>, &[f64]) {
+        if parallel && u != v && self.slots[u].is_none() && self.slots[v].is_none() {
+            let ids = &self.ids;
+            let (row_u, row_v) = std::thread::scope(|scope| {
+                let handle = scope.spawn(move || dist_row(points, ids, u, 0));
+                let row_v = dist_row(points, ids, v, 0);
+                (handle.join().expect("distance-row worker panicked"), row_v)
             });
-            self.misses += 1;
-            self.insert_row(i, row_i);
-            self.misses += 1;
-            self.insert_row(j, row_j);
-            let row_i = self.slots[i]
+            self.stats.misses += 1;
+            self.insert_row(u, row_u);
+            self.stats.misses += 1;
+            self.insert_row(v, row_v);
+            let row_u = self.slots[u]
                 .as_deref()
                 .expect("pair row survives one insertion (capacity >= 2)")
                 .to_vec();
-            (row_i, self.slots[j].as_deref().expect("row just inserted"))
+            (row_u, self.slots[v].as_deref().expect("row just inserted"))
         } else {
-            let row_i = self.row(i).to_vec();
-            (row_i, self.row(j))
+            let row_u = self.row(points, u).to_vec();
+            (row_u, self.row(points, v))
         }
     }
 
-    fn compute_row(&self, i: usize) -> Box<[f64]> {
-        gram_row(self.points, self.ids, self.kernel, i)
+    /// Makes row `u` resident at full universe width, with accounting.
+    fn ensure_row(&mut self, points: &PointSet, u: usize) {
+        if self.slots[u].is_some() {
+            self.hit(points, u);
+        } else {
+            self.stats.misses += 1;
+            let row = dist_row(points, &self.ids, u, 0);
+            self.insert_row(u, row);
+        }
     }
 
-    fn insert(&mut self, i: usize) {
-        let row = self.compute_row(i);
-        self.insert_row(i, row);
+    /// Accounts a hit on resident row `u`, extending a short row first.
+    fn hit(&mut self, points: &PointSet, u: usize) {
+        let have = self.slots[u].as_ref().map_or(0, Vec::len);
+        if have < self.universe_len() {
+            let tail = dist_row(points, &self.ids, u, have);
+            self.slots[u]
+                .as_mut()
+                .expect("hit on resident row")
+                .extend(tail);
+            self.stats.extensions += 1;
+        }
+        self.stats.hits += 1;
+        self.touch(u);
     }
 
-    fn insert_row(&mut self, i: usize, row: Box<[f64]>) {
+    fn insert_row(&mut self, u: usize, row: Vec<f64>) {
         if self.lru.len() >= self.capacity_rows {
             let evict = self.lru.remove(0);
             self.slots[evict] = None;
+            self.stats.evictions += 1;
         }
-        self.slots[i] = Some(row);
-        self.lru.push(i);
+        self.slots[u] = Some(row);
+        self.lru.push(u);
     }
 
-    fn touch(&mut self, i: usize) {
-        if let Some(pos) = self.lru.iter().position(|&x| x == i) {
+    fn touch(&mut self, u: usize) {
+        if let Some(pos) = self.lru.iter().position(|&x| x == u) {
             self.lru.remove(pos);
-            self.lru.push(i);
+            self.lru.push(u);
         }
     }
 }
 
-/// One Gram-matrix row, computed from scratch. A pure function of the
-/// target set, shared by the cached and the parallel shard paths so both
-/// produce bit-identical values.
-fn gram_row(points: &PointSet, ids: &[PointId], kernel: GaussianKernel, i: usize) -> Box<[f64]> {
-    let pi = points.point(ids[i]);
-    ids.iter()
-        .map(|&id| kernel.eval(pi, points.point(id)))
+/// The squared-distance row columns `from..` for universe index `u` — a
+/// pure function of the immutable point set and universe, shared by the
+/// cached, extension, and parallel shard paths so all produce bit-identical
+/// values. `from = 0` computes the whole row.
+fn dist_row(points: &PointSet, ids: &[PointId], u: usize, from: usize) -> Vec<f64> {
+    let pu = points.point(ids[u]);
+    ids[from..]
+        .iter()
+        .map(|&id| squared_euclidean(pu, points.point(id)))
         .collect()
+}
+
+/// Materializes the Gaussian kernel over a cached distance row into
+/// `out[t] = exp(−γ·row[uidx[t]])` — the on-read σ application that keeps
+/// the cache itself σ-invariant.
+pub fn kernel_row_into(kernel: GaussianKernel, row: &[f64], uidx: &[usize], out: &mut [f64]) {
+    debug_assert_eq!(uidx.len(), out.len());
+    for (o, &u) in out.iter_mut().zip(uidx) {
+        *o = kernel.eval_sq_dist(row[u]);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dbsvec_geometry::rng::SplitMix64;
 
     fn setup() -> (PointSet, Vec<PointId>) {
         let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
@@ -247,81 +340,158 @@ mod tests {
     #[test]
     fn rows_match_direct_evaluation() {
         let (ps, ids) = setup();
-        let k = GaussianKernel::from_width(1.0);
-        let mut cache = KernelCache::new(&ps, &ids, k, 4);
-        for i in 0..4 {
-            let row = cache.row(i).to_vec();
-            for (j, &v) in row.iter().enumerate() {
-                let want = k.eval(ps.point(ids[i]), ps.point(ids[j]));
-                assert!((v - want).abs() < 1e-15);
+        let mut cache = DistanceRowCache::new(4);
+        let uidx = cache.register(&ids);
+        for &u in &uidx {
+            let row = cache.row(&ps, u).to_vec();
+            for (v, &d) in row.iter().enumerate() {
+                let want = squared_euclidean(ps.point(ids[u]), ps.point(ids[v]));
+                assert!((d - want).abs() < 1e-15);
             }
         }
     }
 
     #[test]
-    fn lru_eviction_keeps_capacity() {
+    fn lru_eviction_keeps_capacity_and_counts() {
         let (ps, ids) = setup();
-        let k = GaussianKernel::from_width(1.0);
-        let mut cache = KernelCache::new(&ps, &ids, k, 2);
-        cache.row(0);
-        cache.row(1);
-        cache.row(2); // evicts 0
+        let mut cache = DistanceRowCache::new(2);
+        cache.register(&ids);
+        cache.row(&ps, 0);
+        cache.row(&ps, 1);
+        cache.row(&ps, 2); // evicts 0
         assert!(cache.slots[0].is_none());
         assert!(cache.slots[1].is_some());
         assert!(cache.slots[2].is_some());
+        assert_eq!(cache.stats().evictions, 1);
         // Touch 1, then insert 3: 2 must be evicted, not 1.
-        cache.row(1);
-        cache.row(3);
+        cache.row(&ps, 1);
+        cache.row(&ps, 3);
         assert!(cache.slots[1].is_some());
         assert!(cache.slots[2].is_none());
+        assert_eq!(cache.stats().evictions, 2);
     }
 
     #[test]
     fn hit_and_miss_counters() {
         let (ps, ids) = setup();
-        let k = GaussianKernel::from_width(1.0);
-        let mut cache = KernelCache::new(&ps, &ids, k, 4);
-        cache.row(0);
-        cache.row(0);
-        cache.row(1);
-        let (hits, misses) = cache.stats();
-        assert_eq!(hits, 1);
-        assert_eq!(misses, 2);
+        let mut cache = DistanceRowCache::new(4);
+        cache.register(&ids);
+        cache.row(&ps, 0);
+        cache.row(&ps, 0);
+        cache.row(&ps, 1);
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.extensions, 0);
     }
 
     #[test]
-    fn entry_works_without_resident_rows() {
+    fn sq_dist_works_without_resident_rows() {
         let (ps, ids) = setup();
-        let k = GaussianKernel::from_width(1.0);
-        let cache = KernelCache::new(&ps, &ids, k, 2);
-        let v = cache.entry(0, 3);
-        assert!((v - k.eval(&[0.0], &[3.0])).abs() < 1e-15);
+        let mut cache = DistanceRowCache::new(2);
+        cache.register(&ids);
+        let d = cache.sq_dist(&ps, 0, 3);
+        assert!((d - 9.0).abs() < 1e-15);
+        assert_eq!(cache.stats(), DistCacheStats::default());
     }
 
-    /// Delivered `(index, row)` pairs, `(hits, misses)`, and final slot
-    /// residency of one request sequence — everything the parallel shard
-    /// merge must reproduce.
-    type OracleState = (Vec<(usize, Vec<f64>)>, (u64, u64), Vec<Option<Vec<f64>>>);
+    #[test]
+    fn registration_is_append_only_and_dedups() {
+        let mut cache = DistanceRowCache::new(4);
+        let a = cache.register(&[10, 20, 30]);
+        assert_eq!(a, vec![0, 1, 2]);
+        // Re-registering (with a duplicate and a newcomer, reordered)
+        // keeps the old indices and appends only the newcomer.
+        let b = cache.register(&[30, 40, 10, 30]);
+        assert_eq!(b, vec![2, 3, 0, 2]);
+        assert_eq!(cache.universe_len(), 4);
+    }
+
+    #[test]
+    fn short_rows_extend_after_universe_growth() {
+        let mut ps = PointSet::new(1);
+        for i in 0..6 {
+            ps.push(&[i as f64]);
+        }
+        let mut cache = DistanceRowCache::new(4);
+        cache.register(&[0, 1, 2]);
+        assert_eq!(cache.row(&ps, 0).len(), 3);
+        cache.register(&[3, 4, 5]);
+        // The resident row is short; the next read extends it in place.
+        let row = cache.row(&ps, 0).to_vec();
+        assert_eq!(row.len(), 6);
+        for (v, &d) in row.iter().enumerate() {
+            assert!((d - (v as f64).powi(2)).abs() < 1e-15, "column {v}");
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.extensions), (1, 1, 1));
+    }
+
+    /// The satellite property: a cached distance row with the kernel
+    /// applied on read matches direct `kernel.rs` evaluation to ≤ 1e-15,
+    /// across random widths, dimensions, and eviction pressure — i.e. the
+    /// σ-invariant cache can serve *any* σ without error.
+    #[test]
+    fn kernel_on_read_matches_direct_evaluation_under_pressure() {
+        let mut rng = SplitMix64::new(0xCAC4E);
+        for trial in 0..24 {
+            let d = 1 + rng.next_below(6) as usize;
+            let n = 3 + rng.next_below(20) as usize;
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..d).map(|_| rng.next_f64_range(-40.0, 40.0)).collect())
+                .collect();
+            let ps = PointSet::from_rows(&rows);
+            let ids: Vec<PointId> = (0..n as u32).collect();
+            let capacity = 2 + rng.next_below(4) as usize; // heavy eviction
+            let mut cache = DistanceRowCache::new(capacity);
+            let uidx = cache.register(&ids);
+            // Several σ regimes against the same resident/evicted rows.
+            for _ in 0..3 {
+                let sigma = rng.next_f64_range(0.05, 50.0);
+                let kernel = GaussianKernel::from_width(sigma);
+                let mut out = vec![0.0; n];
+                for _ in 0..8 {
+                    let t = rng.next_below(n as u64) as usize;
+                    let row = cache.row(&ps, uidx[t]).to_vec();
+                    kernel_row_into(kernel, &row, &uidx, &mut out);
+                    for (j, &got) in out.iter().enumerate() {
+                        let want = kernel.eval(ps.point(ids[t]), ps.point(ids[j]));
+                        assert!(
+                            (got - want).abs() <= 1e-15,
+                            "trial {trial}: σ={sigma} K[{t}][{j}] {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivered `(position, row)` pairs, stats, and final slot residency
+    /// of one request sequence — everything the parallel shard merge must
+    /// reproduce.
+    type OracleState = (
+        Vec<(usize, Vec<f64>)>,
+        DistCacheStats,
+        Vec<Option<Vec<f64>>>,
+    );
 
     /// Mirror of a request sequence through `row()` — the sequential
-    /// oracle the parallel shard merge must reproduce exactly.
+    /// oracle the parallel shard merge must reproduce exactly. The
+    /// `grow_at` hook registers extra ids mid-stream so extension
+    /// accounting is exercised too.
     fn sequential_oracle(
         ps: &PointSet,
         ids: &[PointId],
         capacity: usize,
-        indices: &[usize],
+        requests: &[usize],
     ) -> OracleState {
-        let k = GaussianKernel::from_width(1.0);
-        let mut cache = KernelCache::new(ps, ids, k, capacity);
+        let mut cache = DistanceRowCache::new(capacity);
+        cache.register(ids);
         let mut seen = Vec::new();
-        for &i in indices {
-            seen.push((i, cache.row(i).to_vec()));
+        for (pos, &u) in requests.iter().enumerate() {
+            seen.push((pos, cache.row(ps, u).to_vec()));
         }
-        let slots = cache
-            .slots
-            .iter()
-            .map(|s| s.as_deref().map(|r| r.to_vec()))
-            .collect();
+        let slots = cache.slots.clone();
         (seen, cache.stats(), slots)
     }
 
@@ -332,29 +502,26 @@ mod tests {
             ps.push(&[i as f64 * 0.7, (i % 5) as f64]);
         }
         let ids: Vec<PointId> = (0..12).collect();
-        let k = GaussianKernel::from_width(1.0);
         // Repeats, revisits after eviction, and an undersized capacity all
         // in one request stream.
-        let indices = [0usize, 1, 2, 0, 3, 4, 5, 1, 6, 7, 0, 8, 9, 10, 11, 2, 2];
+        let requests = [0usize, 1, 2, 0, 3, 4, 5, 1, 6, 7, 0, 8, 9, 10, 11, 2, 2];
         for capacity in [2, 3, 8, 16] {
             let (want_rows, want_stats, want_slots) =
-                sequential_oracle(&ps, &ids, capacity, &indices);
+                sequential_oracle(&ps, &ids, capacity, &requests);
             for threads in [2, 3, 8] {
-                let mut cache = KernelCache::new(&ps, &ids, k, capacity);
+                let mut cache = DistanceRowCache::new(capacity);
+                cache.register(&ids);
                 let mut got_rows = Vec::new();
-                cache.for_rows(&indices, threads, |i, row| got_rows.push((i, row.to_vec())));
+                cache.for_rows(&ps, &requests, threads, |pos, row| {
+                    got_rows.push((pos, row.to_vec()))
+                });
                 assert_eq!(got_rows, want_rows, "cap={capacity} threads={threads}");
                 assert_eq!(
                     cache.stats(),
                     want_stats,
                     "cap={capacity} threads={threads}"
                 );
-                let got_slots: Vec<Option<Vec<f64>>> = cache
-                    .slots
-                    .iter()
-                    .map(|s| s.as_deref().map(|r| r.to_vec()))
-                    .collect();
-                assert_eq!(got_slots, want_slots, "cap={capacity} threads={threads}");
+                assert_eq!(cache.slots, want_slots, "cap={capacity} threads={threads}");
                 // No duplicate resident rows: the LRU list is a set.
                 let mut lru = cache.lru.clone();
                 lru.sort_unstable();
@@ -365,14 +532,52 @@ mod tests {
     }
 
     #[test]
+    fn for_rows_counters_thread_invariant_across_universe_growth() {
+        // Sequential oracle with a mid-life universe growth, then the same
+        // (post-growth) request stream through the parallel path: the
+        // hit/miss/eviction/extension counters must not move.
+        let mut ps = PointSet::new(2);
+        for i in 0..10 {
+            ps.push(&[i as f64, (i * i % 7) as f64]);
+        }
+        let first: Vec<PointId> = (0..6).collect();
+        let later: Vec<PointId> = (6..10).collect();
+        let warmup = [0usize, 1, 2, 3];
+        // Touch the short row 1 before eviction pressure pushes it out, so
+        // the stream exercises the lazy tail extension.
+        let requests = [1usize, 6, 2, 7, 0, 8, 9, 2, 0];
+        let run = |threads: usize| -> (Vec<(usize, Vec<f64>)>, DistCacheStats) {
+            let mut cache = DistanceRowCache::new(3);
+            cache.register(&first);
+            for &u in &warmup {
+                cache.row(&ps, u);
+            }
+            cache.register(&later);
+            let mut rows = Vec::new();
+            cache.for_rows(&ps, &requests, threads, |pos, row| {
+                rows.push((pos, row.to_vec()))
+            });
+            (rows, cache.stats())
+        };
+        let (want_rows, want_stats) = run(1);
+        assert!(want_stats.extensions > 0, "growth must force extensions");
+        assert!(want_stats.evictions > 0, "capacity 3 must force evictions");
+        for threads in [2, 3, 8] {
+            let (rows, stats) = run(threads);
+            assert_eq!(rows, want_rows, "threads={threads}");
+            assert_eq!(stats, want_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn for_rows_sequential_path_is_plain_row_calls() {
         let (ps, ids) = setup();
-        let k = GaussianKernel::from_width(1.0);
-        let indices = [0usize, 1, 0, 2, 3, 1];
-        let (want_rows, want_stats, _) = sequential_oracle(&ps, &ids, 2, &indices);
-        let mut cache = KernelCache::new(&ps, &ids, k, 2);
+        let requests = [0usize, 1, 0, 2, 3, 1];
+        let (want_rows, want_stats, _) = sequential_oracle(&ps, &ids, 2, &requests);
+        let mut cache = DistanceRowCache::new(2);
+        cache.register(&ids);
         let mut got = Vec::new();
-        cache.for_rows(&indices, 1, |i, row| got.push((i, row.to_vec())));
+        cache.for_rows(&ps, &requests, 1, |pos, row| got.push((pos, row.to_vec())));
         assert_eq!(got, want_rows);
         assert_eq!(cache.stats(), want_stats);
     }
@@ -384,22 +589,24 @@ mod tests {
             ps.push(&[i as f64]);
         }
         let ids: Vec<PointId> = (0..6).collect();
-        let k = GaussianKernel::from_width(1.0);
 
-        let mut seq = KernelCache::new(&ps, &ids, k, 2);
-        let want_i = seq.row(4).to_vec();
-        let want_j = seq.row(5).to_vec();
+        let mut seq = DistanceRowCache::new(2);
+        seq.register(&ids);
+        let want_u = seq.row(&ps, 4).to_vec();
+        let want_v = seq.row(&ps, 5).to_vec();
         let want_stats = seq.stats();
 
-        let mut par = KernelCache::new(&ps, &ids, k, 2);
-        let (got_i, got_j) = par.pair_rows(4, 5, true);
-        assert_eq!(got_i, want_i);
-        assert_eq!(got_j.to_vec(), want_j);
+        let mut par = DistanceRowCache::new(2);
+        par.register(&ids);
+        let (got_u, got_v) = par.pair_rows(&ps, 4, 5, true);
+        assert_eq!(got_u, want_u);
+        assert_eq!(got_v.to_vec(), want_v);
         assert_eq!(par.stats(), want_stats);
         assert!(par.slots[4].is_some() && par.slots[5].is_some());
 
         // Resident rows fall back to the plain path and score hits.
-        let (_, _) = par.pair_rows(4, 5, true);
-        assert_eq!(par.stats(), (2, 2));
+        let _ = par.pair_rows(&ps, 4, 5, true);
+        let s = par.stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
     }
 }

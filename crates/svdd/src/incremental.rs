@@ -9,12 +9,69 @@
 //!
 //! The counters do double duty: they are the `t_i` of the penalty-weight
 //! formula (Eq. 7), which is why this type hands them out alongside the ids.
+//!
+//! [`SolverSession`] is the other half of the incremental story: it carries
+//! the solver state worth keeping *between* trainings of the same
+//! sub-cluster — the previous round's multipliers (for warm starts) and the
+//! σ-invariant squared-distance row cache.
 
 use dbsvec_geometry::PointId;
+
+use crate::cache::{DistCacheStats, DistanceRowCache};
 
 /// The paper's recommended learning threshold (`T = 3`, §IV-B.1: values in
 /// 2–4 improve efficiency with negligible accuracy impact).
 pub const DEFAULT_LEARNING_THRESHOLD: u32 = 3;
+
+/// Cross-round solver state for repeated SVDD trainings of one sub-cluster.
+///
+/// A session owns two things that stay valid while the kernel width σ and
+/// the per-point box constraints change every round:
+///
+/// * the **squared-distance row cache** — distances don't depend on σ, so
+///   rows computed in round `k` serve round `k+1` unchanged;
+/// * the **last multipliers** per [`PointId`] — the warm-start seed. The
+///   solver projects them into the new box `[0, ω_i C]` and repairs
+///   `Σα = 1` before iterating.
+///
+/// Attach one to a [`crate::SvddProblem`] with
+/// [`crate::SvddProblem::with_session`]; without one the solver behaves as
+/// a cold, single-shot solve.
+#[derive(Debug)]
+pub struct SolverSession {
+    pub(crate) cache: DistanceRowCache,
+    /// Last solved α per universe slot (aligned with the cache's universe).
+    pub(crate) alpha: Vec<f64>,
+    /// Completed solves in this session.
+    pub(crate) solves: usize,
+}
+
+impl SolverSession {
+    /// Creates an empty session (first solve through it is a cold start).
+    pub fn new() -> Self {
+        Self {
+            cache: DistanceRowCache::new(2),
+            alpha: Vec::new(),
+            solves: 0,
+        }
+    }
+
+    /// Completed solves through this session.
+    pub fn solves(&self) -> usize {
+        self.solves
+    }
+
+    /// Cumulative distance-row cache counters across all solves.
+    pub fn cache_stats(&self) -> DistCacheStats {
+        self.cache.stats()
+    }
+}
+
+impl Default for SolverSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// The evolving SVDD target set of one expanding sub-cluster.
 #[derive(Clone, Debug)]

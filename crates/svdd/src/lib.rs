@@ -17,11 +17,14 @@
 //!   vectors;
 //! * **Sequential Minimal Optimization** ([`smo`]): pairwise multiplier
 //!   updates under the simplex constraint `Σ α_i = 1`, first-order working
-//!   set selection by maximum KKT violation, and an LRU kernel-row cache
-//!   ([`cache`]);
+//!   set selection by maximum KKT violation, active-set shrinking with a
+//!   full KKT re-scan before convergence, and a σ-invariant LRU
+//!   squared-distance row cache ([`cache`]);
 //! * **incremental learning** ([`incremental`]): a learning threshold `T`
 //!   bounds how many trainings a point participates in, keeping the target
-//!   set — and hence each SMO solve — small;
+//!   set — and hence each SMO solve — small, and a cross-round
+//!   [`SolverSession`] warm-starts each solve from the previous round's
+//!   multipliers;
 //! * **kernel width selection** ([`params`]): `σ = r/√2` for target radius
 //!   `r`, the lower bound derived in the paper's Eq. 19 that avoids the
 //!   "crater" overfitting regime, plus the penalty factor rule
@@ -54,10 +57,11 @@ pub mod params;
 pub mod smo;
 pub mod weights;
 
+pub use cache::{DistCacheStats, DistanceRowCache};
 pub use contour::{decision_boundary_2d, decision_boundary_around_targets, Segment};
-pub use incremental::{IncrementalTarget, DEFAULT_LEARNING_THRESHOLD};
+pub use incremental::{IncrementalTarget, SolverSession, DEFAULT_LEARNING_THRESHOLD};
 pub use kernel::GaussianKernel;
-pub use model::{SvType, SvddModel};
+pub use model::{SolveDiagnostics, SvType, SvddModel};
 pub use params::{kernel_width_center_radius, optimal_nu, KernelWidthStrategy};
 pub use smo::{SmoOptions, SvddProblem};
 pub use weights::{centroid_distances, kernel_distances, penalty_weights, WeightOptions};

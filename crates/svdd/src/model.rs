@@ -2,6 +2,7 @@
 
 use dbsvec_geometry::{PointId, PointSet};
 
+use crate::cache::DistCacheStats;
 use crate::kernel::GaussianKernel;
 
 /// Classification of a target point by its multiplier (paper §II-D).
@@ -13,6 +14,36 @@ pub enum SvType {
     Normal,
     /// `α_i ≈ ω_i C`: bounded support vector, outside the sphere.
     Bounded,
+}
+
+/// How one SMO solve went: iteration spend, termination cause, warm-start
+/// quality, shrinking effectiveness, and distance-row cache traffic.
+///
+/// All values are deterministic at every thread count (the solver's
+/// parallel paths only precompute pure rows).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SolveDiagnostics {
+    /// SMO iterations spent.
+    pub iterations: usize,
+    /// `true` when the solver stopped with KKT violation below tolerance;
+    /// `false` when it exhausted [`crate::SmoOptions::max_iterations`].
+    pub converged: bool,
+    /// Whether the solve started from a previous round's α (a session was
+    /// attached, warm starting was enabled, and a prior solve existed).
+    pub warm_started: bool,
+    /// The KKT violation `g_down − g_up` of the starting point, measured
+    /// at the first working-set selection (0 when the start was already
+    /// optimal). A warm start is good exactly when this is small.
+    pub initial_kkt_violation: f64,
+    /// Peak number of variables simultaneously removed from the working
+    /// set by active-set shrinking (0 with shrinking disabled).
+    pub shrunk_peak: usize,
+    /// Full KKT re-scans performed to validate convergence after
+    /// shrinking (gradient reconstruction passes).
+    pub rescans: usize,
+    /// Distance-row cache traffic attributable to *this* solve (deltas of
+    /// the possibly session-shared cache counters).
+    pub cache: DistCacheStats,
 }
 
 /// A solved (weighted) SVDD description of one target set.
@@ -32,10 +63,8 @@ pub struct SvddModel {
     alpha_k_alpha: f64,
     /// Indices (into `target_ids`) of points with `α > tol`.
     support: Vec<usize>,
-    /// SMO iterations spent.
-    iterations: usize,
-    /// Kernel-row cache `(hits, misses)` during the solve.
-    cache_stats: (u64, u64),
+    /// How the solve went (iterations, termination, cache traffic).
+    diag: SolveDiagnostics,
 }
 
 /// Multipliers below this are treated as exactly zero.
@@ -50,8 +79,7 @@ impl SvddModel {
         kernel: GaussianKernel,
         r_sq: f64,
         alpha_k_alpha: f64,
-        iterations: usize,
-        cache_stats: (u64, u64),
+        diag: SolveDiagnostics,
     ) -> Self {
         let support = alpha
             .iter()
@@ -67,8 +95,7 @@ impl SvddModel {
             r_sq,
             alpha_k_alpha,
             support,
-            iterations,
-            cache_stats,
+            diag,
         }
     }
 
@@ -124,12 +151,23 @@ impl SvddModel {
 
     /// SMO iterations used to reach convergence.
     pub fn iterations(&self) -> usize {
-        self.iterations
+        self.diag.iterations
     }
 
-    /// Kernel-row cache `(hits, misses)` recorded during the solve.
+    /// Distance-row cache `(hits, misses)` recorded during the solve.
     pub fn cache_stats(&self) -> (u64, u64) {
-        self.cache_stats
+        (self.diag.cache.hits, self.diag.cache.misses)
+    }
+
+    /// Full solve diagnostics (termination, warm start, shrinking, cache).
+    pub fn diagnostics(&self) -> SolveDiagnostics {
+        self.diag
+    }
+
+    /// Whether the solver reached the KKT tolerance (as opposed to
+    /// exhausting its iteration budget).
+    pub fn converged(&self) -> bool {
+        self.diag.converged
     }
 
     /// The discrimination function `F(x) = ||Φ(x) − a||²` (paper Eq. 12):

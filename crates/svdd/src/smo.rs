@@ -24,16 +24,46 @@
 //! pair optimization (Keerthi et al.); iteration stops at
 //! [`SmoOptions::tolerance`] or the iteration cap.
 //!
-//! Cost: O(active-set · ñ) gradient work plus O(ñ·d) per kernel-row cache
+//! # Warm starts
+//!
+//! During support vector expansion the same sub-cluster is solved once per
+//! round over a mostly-overlapping target set. Attaching a
+//! [`SolverSession`] (see [`SvddProblem::with_session`]) makes consecutive
+//! solves reuse the previous round's multipliers: each carried-over α_i is
+//! clipped into the *new* box `[0, u_i]` (the weights ω_i change every
+//! round) and the sum is repaired back to the simplex — scaled down when
+//! `Σα > 1`, greedily topped up in index order when `Σα < 1`. The repaired
+//! point is feasible by construction and, because consecutive rounds differ
+//! by a few boundary points, usually near-optimal: the remaining work is
+//! the one O(ñ · #seeds) gradient reconstruction plus a handful of
+//! iterations. [`SolveDiagnostics::initial_kkt_violation`] measures exactly
+//! how good the seed was.
+//!
+//! # Active-set shrinking
+//!
+//! Most multipliers sit pinned at a bound with strongly-signed gradients
+//! long before convergence (interior points at 0, outliers at u_i).
+//! Shrinking drops them from working-set selection *and* gradient
+//! maintenance: every [`SmoOptions::shrink_interval`] iterations, variables
+//! with `α_k ≈ 0, G_k > G_down` or `α_k ≈ u_k, G_k < G_up` are deactivated,
+//! making each subsequent iteration O(active) instead of O(ñ). The
+//! heuristic can be wrong, so the solver never declares convergence from a
+//! shrunk state: on any stop condition it reconstructs the gradients of the
+//! shrunk variables (`G_k = 2 Σ_{α_j>0} α_j K_jk`), reactivates everything,
+//! and re-checks the KKT conditions over the *full* set — only a clean
+//! full-set pass terminates.
+//!
+//! Cost: O(active-set · ñ) gradient work plus O(ñ·d) per distance-row cache
 //! miss. With DBSVEC's small ν (few support vectors) the active set is tiny,
 //! which is what makes per-expansion SVDD training effectively linear in ñ
 //! (paper §IV-D).
 
 use dbsvec_geometry::{PointId, PointSet};
 
-use crate::cache::KernelCache;
+use crate::cache::{DistCacheStats, DistanceRowCache};
+use crate::incremental::SolverSession;
 use crate::kernel::GaussianKernel;
-use crate::model::{SvddModel, ALPHA_TOL};
+use crate::model::{SolveDiagnostics, SvddModel, ALPHA_TOL};
 use crate::params::nu_to_c;
 
 /// Solver configuration.
@@ -45,18 +75,34 @@ pub struct SmoOptions {
     /// needs the *identity* of the boundary points, not polished
     /// multipliers, and the looser stop roughly halves SMO iterations.
     pub tolerance: f64,
-    /// Hard iteration cap; `0` means `200·ñ + 10_000` (never reached in
-    /// practice — typical solves take a few times the support-vector count).
+    /// Hard iteration cap; `0` means
+    /// [`SmoOptions::MAX_ITERATIONS_PER_POINT`]` · ñ + `
+    /// [`SmoOptions::MAX_ITERATIONS_FLOOR`]. Hitting the cap is surfaced as
+    /// `converged == false` in [`SolveDiagnostics`], never silently.
     pub max_iterations: usize,
-    /// Kernel-row cache capacity in rows; `0` means `min(ñ, 512)`.
+    /// Distance-row cache capacity in rows; `0` means `min(ñ, 512)`. With a
+    /// [`SolverSession`] attached the capacity only ever grows.
     pub cache_rows: usize,
-    /// Worker threads for batched kernel-row computation (the initial
+    /// Worker threads for batched distance-row computation (the initial
     /// gradient rows and, on large targets, the per-iteration working
     /// pair). `1` (the default) keeps the solver on the exact sequential
     /// code path; `0` means all available cores. The solution, iteration
     /// count, and cache statistics are bit-identical at every setting —
     /// threads only precompute rows, all accounting replays in order.
     pub threads: usize,
+    /// Seed each solve from the session's previous multipliers (box
+    /// projection + Σα = 1 repair) instead of a cold greedy fill. Only
+    /// takes effect when a [`SolverSession`] with at least one completed
+    /// solve is attached. Default `true`.
+    pub warm_start: bool,
+    /// Enable active-set shrinking (see module docs). Convergence is
+    /// always validated by a full KKT re-scan, so the final accuracy is
+    /// identical with or without it. Default `true`.
+    pub shrinking: bool,
+    /// Iterations between shrink passes; `0` means `min(ñ, 1000)` (the
+    /// libsvm heuristic). Smaller values shrink more aggressively at the
+    /// price of more reconstruction re-scans.
+    pub shrink_interval: usize,
 }
 
 impl Default for SmoOptions {
@@ -66,11 +112,33 @@ impl Default for SmoOptions {
             max_iterations: 0,
             cache_rows: 0,
             threads: 1,
+            warm_start: true,
+            shrinking: true,
+            shrink_interval: 0,
         }
     }
 }
 
 impl SmoOptions {
+    /// Per-point factor of the default iteration cap. Exact pair
+    /// optimization converges linearly, and observed solves take a few
+    /// times the support-vector count, so 200·ñ is a generous margin — the
+    /// cap exists to bound pathological inputs, not to tune accuracy.
+    pub const MAX_ITERATIONS_PER_POINT: usize = 200;
+
+    /// Additive floor of the default iteration cap, so tiny targets still
+    /// get enough budget for slow tail convergence.
+    pub const MAX_ITERATIONS_FLOOR: usize = 10_000;
+
+    /// The effective iteration cap for a target of size `n`.
+    pub fn resolve_max_iterations(&self, n: usize) -> usize {
+        if self.max_iterations == 0 {
+            Self::MAX_ITERATIONS_PER_POINT * n + Self::MAX_ITERATIONS_FLOOR
+        } else {
+            self.max_iterations
+        }
+    }
+
     /// The effective worker count: `0` resolves to the machine's available
     /// parallelism.
     pub fn resolve_threads(&self) -> usize {
@@ -82,13 +150,15 @@ impl SmoOptions {
             self.threads
         }
     }
-}
 
-/// Below this target size the per-iteration working pair is fetched
-/// sequentially even when threads are available: two O(ñ·d) rows are too
-/// cheap to amortize a spawn. The batched initial gradient (many rows per
-/// scope) parallelizes at any size.
-const PAIR_ROWS_PARALLEL_MIN: usize = 2048;
+    fn resolve_shrink_interval(&self, n: usize) -> usize {
+        if self.shrink_interval == 0 {
+            n.clamp(1, 1000)
+        } else {
+            self.shrink_interval.max(1)
+        }
+    }
+}
 
 /// A weighted SVDD training problem over a subset of a [`PointSet`].
 pub struct SvddProblem<'a> {
@@ -97,6 +167,7 @@ pub struct SvddProblem<'a> {
     kernel: GaussianKernel,
     upper: Vec<f64>,
     options: SmoOptions,
+    session: Option<&'a mut SolverSession>,
 }
 
 impl<'a> SvddProblem<'a> {
@@ -115,6 +186,7 @@ impl<'a> SvddProblem<'a> {
             kernel,
             upper: vec![1.0; ids.len()],
             options: SmoOptions::default(),
+            session: None,
         }
     }
 
@@ -152,25 +224,140 @@ impl<'a> SvddProblem<'a> {
         self
     }
 
+    /// Attaches a cross-round [`SolverSession`]: the σ-invariant distance
+    /// rows persist across solves, and (with [`SmoOptions::warm_start`])
+    /// the previous solve's α seeds this one.
+    pub fn with_session(mut self, session: &'a mut SolverSession) -> Self {
+        self.session = Some(session);
+        self
+    }
+
     /// Runs SMO to convergence and returns the trained model.
     pub fn solve(self) -> SvddModel {
-        let n = self.ids.len();
-        let max_iter = if self.options.max_iterations == 0 {
-            200 * n + 10_000
-        } else {
-            self.options.max_iterations
-        };
-        let cache_rows = if self.options.cache_rows == 0 {
-            n.min(512)
-        } else {
-            self.options.cache_rows
-        };
-        let threads = self.options.resolve_threads();
+        let Self {
+            points,
+            ids,
+            kernel,
+            upper,
+            options,
+            session,
+        } = self;
+        match session {
+            Some(session) => solve_in_session(points, ids, kernel, upper, options, session),
+            // A throwaway session makes the sessionless call exactly the
+            // first (cold) solve of a session — one code path to test.
+            None => solve_in_session(
+                points,
+                ids,
+                kernel,
+                upper,
+                options,
+                &mut SolverSession::new(),
+            ),
+        }
+    }
+}
 
-        // ---- Initial feasible point: greedily fill bounds until Σα = 1.
-        let mut alpha = vec![0.0; n];
+/// Rebuilds `G_k = 2 Σ_{α_j>0} α_j K_jk` for every inactive `k` from the
+/// cached distance rows of the nonzero multipliers. Rows may be precomputed
+/// across threads; accumulation runs here in ascending source order.
+#[allow(clippy::too_many_arguments)]
+fn reconstruct_shrunk_gradients(
+    points: &PointSet,
+    kernel: GaussianKernel,
+    cache: &mut DistanceRowCache,
+    uidx: &[usize],
+    alpha: &[f64],
+    active: &[bool],
+    grad: &mut [f64],
+    threads: usize,
+) {
+    let shrunk: Vec<usize> = (0..alpha.len()).filter(|&k| !active[k]).collect();
+    if shrunk.is_empty() {
+        return;
+    }
+    for &k in &shrunk {
+        grad[k] = 0.0;
+    }
+    let sources: Vec<usize> = (0..alpha.len()).filter(|&t| alpha[t] > 0.0).collect();
+    let rows: Vec<usize> = sources.iter().map(|&t| uidx[t]).collect();
+    cache.for_rows(points, &rows, threads, |pos, row| {
+        let a2 = 2.0 * alpha[sources[pos]];
+        for &k in &shrunk {
+            grad[k] += a2 * kernel.eval_sq_dist(row[uidx[k]]);
+        }
+    });
+}
+
+fn solve_in_session(
+    points: &PointSet,
+    ids: &[PointId],
+    kernel: GaussianKernel,
+    upper: Vec<f64>,
+    options: SmoOptions,
+    session: &mut SolverSession,
+) -> SvddModel {
+    let n = ids.len();
+    let max_iter = options.resolve_max_iterations(n);
+    let cache_rows = if options.cache_rows == 0 {
+        n.min(512)
+    } else {
+        options.cache_rows
+    };
+    let threads = options.resolve_threads();
+
+    let stats_before = session.cache.stats();
+    session.cache.ensure_capacity(cache_rows);
+    // Universe indices of this round's targets (distance rows are keyed by
+    // PointId, so rows cached in earlier rounds stay valid under new σ).
+    let uidx = session.cache.register(ids);
+    session.alpha.resize(session.cache.universe_len(), 0.0);
+
+    let warm = options.warm_start && session.solves > 0;
+    let mut alpha = vec![0.0; n];
+    if warm {
+        // ---- Warm start: refill the simplex greedily over the previous
+        // round's support set, strongest multiplier first, each point
+        // capped by its new box. The *support* (which points carried mass)
+        // transfers across rounds; the exact values do not, because σ is
+        // re-resolved every round and shifts the whole Gram matrix under
+        // the old optimum — so the init borrows the support and lets the
+        // solver place the values.
+        let mut support: Vec<(usize, f64)> = uidx
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &u)| {
+                let a = session.alpha[u].clamp(0.0, upper[t]);
+                (a > 0.0).then_some((t, a))
+            })
+            .collect();
+        support.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
         let mut remaining = 1.0;
-        for (a, &u) in alpha.iter_mut().zip(&self.upper) {
+        for &(t, _) in &support {
+            let take = upper[t].min(remaining);
+            alpha[t] = take;
+            remaining -= take;
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        // Survivors' caps could not absorb the whole simplex (heavy
+        // eviction or shrunk bounds): top up in index order like a cold fill.
+        if remaining > 0.0 {
+            for (a, &u) in alpha.iter_mut().zip(&upper) {
+                let take = (u - *a).min(remaining).max(0.0);
+                *a += take;
+                remaining -= take;
+                if remaining <= 0.0 {
+                    break;
+                }
+            }
+        }
+        debug_assert!(remaining <= 1e-9, "with_bounds guarantees feasibility");
+    } else {
+        // ---- Cold start: greedily fill bounds until Σα = 1.
+        let mut remaining = 1.0;
+        for (a, &u) in alpha.iter_mut().zip(&upper) {
             let take = u.min(remaining);
             *a = take;
             remaining -= take;
@@ -179,121 +366,272 @@ impl<'a> SvddProblem<'a> {
             }
         }
         debug_assert!(remaining <= 1e-9, "with_bounds guarantees feasibility");
+    }
 
-        let mut cache = KernelCache::new(self.points, self.ids, self.kernel, cache_rows);
-
-        // ---- Initial gradient G = 2Kα from the rows of nonzero multipliers.
-        // The rows are independent, so `for_rows` may precompute them across
-        // threads; the accumulation below runs on this thread in ascending
-        // index order either way, keeping the float association identical.
-        let mut grad = vec![0.0; n];
-        let seeded: Vec<usize> = (0..n).filter(|&i| alpha[i] > 0.0).collect();
-        cache.for_rows(&seeded, threads, |i, row| {
-            let ai = alpha[i];
-            for (g, &k) in grad.iter_mut().zip(row) {
-                *g += 2.0 * ai * k;
+    // ---- Initial gradient G = 2Kα from the rows of nonzero multipliers.
+    // The rows are independent, so `for_rows` may precompute them across
+    // threads; the accumulation below runs on this thread in ascending
+    // index order either way, keeping the float association identical.
+    let mut grad = vec![0.0; n];
+    let seeded: Vec<usize> = (0..n).filter(|&t| alpha[t] > 0.0).collect();
+    let seed_rows: Vec<usize> = seeded.iter().map(|&t| uidx[t]).collect();
+    session
+        .cache
+        .for_rows(points, &seed_rows, threads, |pos, row| {
+            let a2 = 2.0 * alpha[seeded[pos]];
+            for (g, &u) in grad.iter_mut().zip(&uidx) {
+                *g += a2 * kernel.eval_sq_dist(row[u]);
             }
         });
 
-        // ---- Main loop.
-        let mut iterations = 0;
-        while iterations < max_iter {
-            // Working-set selection by maximum KKT violation.
-            let mut i_up = usize::MAX; // candidate to increase
-            let mut g_up = f64::INFINITY;
-            let mut j_down = usize::MAX; // candidate to decrease
-            let mut g_down = f64::NEG_INFINITY;
-            for k in 0..n {
-                if alpha[k] < self.upper[k] - ALPHA_TOL && grad[k] < g_up {
-                    g_up = grad[k];
-                    i_up = k;
-                }
-                if alpha[k] > ALPHA_TOL && grad[k] > g_down {
-                    g_down = grad[k];
-                    j_down = k;
-                }
-            }
-            if i_up == usize::MAX || j_down == usize::MAX || i_up == j_down {
-                break;
-            }
-            if g_down - g_up < self.options.tolerance {
-                break; // KKT-optimal within tolerance
-            }
+    // ---- Main loop.
+    let shrinking = options.shrinking && n > 1;
+    let shrink_interval = options.resolve_shrink_interval(n);
+    let mut active = vec![true; n];
+    let mut n_active = n;
+    let mut until_shrink = shrink_interval;
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut initial_kkt_violation = 0.0f64;
+    let mut first_selection = true;
+    let mut shrunk_peak = 0usize;
+    let mut rescans = 0usize;
 
-            let (i, j) = (i_up, j_down);
-            let k_ij = cache.entry(i, j);
-            let eta = 2.0 * (1.0 - k_ij); // K_ii + K_jj − 2K_ij for Gaussian
-            let max_step = (self.upper[i] - alpha[i]).min(alpha[j]);
-            let delta = if eta > 1e-12 {
-                ((g_down - g_up) / (2.0 * eta)).min(max_step)
-            } else {
-                // Coincident points: the objective is linear along the
-                // direction; move as far as the box allows.
-                max_step
-            };
-            if delta <= 0.0 {
-                break; // numerically stuck; current iterate is KKT-ε optimal
-            }
-
-            alpha[i] += delta;
-            alpha[j] -= delta;
-
-            // Gradient maintenance with the two working rows (fetched
-            // concurrently on large targets when both are cache misses).
-            {
-                let parallel = threads > 1 && n >= PAIR_ROWS_PARALLEL_MIN;
-                let (row_i, row_j) = cache.pair_rows(i, j, parallel);
-                for ((g, &ki), &kj) in grad.iter_mut().zip(&row_i).zip(row_j) {
-                    *g += 2.0 * delta * (ki - kj);
-                }
-            }
-            iterations += 1;
-        }
-
-        // ---- Radius and constants.
-        let alpha_k_alpha: f64 = alpha.iter().zip(&grad).map(|(&a, &g)| a * g).sum::<f64>() / 2.0;
-        let decision_at = |k: usize| 1.0 - grad[k] + alpha_k_alpha;
-
-        // KKT: normal SVs sit exactly on the sphere. Average them for a
-        // robust R²; fall back to bracketing when every SV is at its bound.
-        let mut nsv_sum = 0.0;
-        let mut nsv_count = 0usize;
-        let mut max_inside = f64::NEG_INFINITY; // over α≈0 points (F <= R²)
-        let mut min_outside = f64::INFINITY; // over bounded SVs (F >= R²)
-        #[allow(clippy::needless_range_loop)] // k indexes alpha, upper, and grad together
+    loop {
+        // Working-set selection by maximum KKT violation over the active set.
+        let mut i_up = usize::MAX; // candidate to increase
+        let mut g_up = f64::INFINITY;
+        let mut j_down = usize::MAX; // candidate to decrease
+        let mut g_down = f64::NEG_INFINITY;
         for k in 0..n {
-            let f = decision_at(k);
-            if alpha[k] <= ALPHA_TOL {
-                max_inside = max_inside.max(f);
-            } else if alpha[k] >= self.upper[k] - ALPHA_TOL {
-                min_outside = min_outside.min(f);
-            } else {
-                nsv_sum += f;
-                nsv_count += 1;
+            if !active[k] {
+                continue;
+            }
+            if alpha[k] < upper[k] - ALPHA_TOL && grad[k] < g_up {
+                g_up = grad[k];
+                i_up = k;
+            }
+            if alpha[k] > ALPHA_TOL && grad[k] > g_down {
+                g_down = grad[k];
+                j_down = k;
             }
         }
-        let r_sq = if nsv_count > 0 {
-            nsv_sum / nsv_count as f64
-        } else {
-            match (max_inside.is_finite(), min_outside.is_finite()) {
-                (true, true) => 0.5 * (max_inside + min_outside),
-                (true, false) => max_inside,
-                (false, true) => min_outside,
-                (false, false) => 0.0,
+        if first_selection {
+            first_selection = false;
+            if i_up != usize::MAX && j_down != usize::MAX && i_up != j_down {
+                initial_kkt_violation = (g_down - g_up).max(0.0);
             }
-        };
+        }
 
-        SvddModel::new(
-            self.ids.to_vec(),
-            alpha,
-            self.upper,
-            self.kernel,
-            r_sq,
-            alpha_k_alpha,
-            iterations,
-            cache.stats(),
-        )
+        let optimal = i_up == usize::MAX
+            || j_down == usize::MAX
+            || i_up == j_down
+            || g_down - g_up < options.tolerance;
+        if optimal {
+            if n_active < n {
+                // The active set looks converged, but shrinking is a
+                // heuristic: reconstruct the shrunk gradients and re-check
+                // the KKT conditions over the full variable set.
+                reconstruct_shrunk_gradients(
+                    points,
+                    kernel,
+                    &mut session.cache,
+                    &uidx,
+                    &alpha,
+                    &active,
+                    &mut grad,
+                    threads,
+                );
+                active.fill(true);
+                n_active = n;
+                until_shrink = shrink_interval;
+                rescans += 1;
+                continue;
+            }
+            converged = true;
+            break;
+        }
+        if iterations >= max_iter {
+            break; // budget exhausted: reported via `converged == false`
+        }
+
+        let i = i_up;
+        // Second-order selection of j (libsvm's WSS2): among the variables
+        // that can decrease, maximize the guaranteed objective decrease
+        // (G_j − G_i)²/η_ij instead of the bare violation G_j. First-order
+        // selection crawls when the iterate is near-optimal everywhere —
+        // exactly the regime a warm start puts the solver in — because the
+        // most violating pair can have near-parallel images (η ≈ 0) and
+        // admit only a tiny step. Row i is needed for the η's and is
+        // reused by the gradient update below.
+        let row_i: Vec<f64> = session.cache.row(points, uidx[i]).to_vec();
+        let mut j = j_down;
+        let mut best_gain = f64::NEG_INFINITY;
+        for k in 0..n {
+            if !active[k] || k == i || alpha[k] <= ALPHA_TOL {
+                continue;
+            }
+            let diff = grad[k] - g_up;
+            if diff <= 0.0 {
+                continue;
+            }
+            let eta_ik = (2.0 * (1.0 - kernel.eval_sq_dist(row_i[uidx[k]]))).max(1e-12);
+            let gain = diff * diff / eta_ik;
+            if gain > best_gain {
+                best_gain = gain;
+                j = k;
+            }
+        }
+        let k_ij = kernel.eval_sq_dist(row_i[uidx[j]]);
+        let eta = 2.0 * (1.0 - k_ij); // K_ii + K_jj − 2K_ij for Gaussian
+        let max_step = (upper[i] - alpha[i]).min(alpha[j]);
+        let delta = if eta > 1e-12 {
+            ((grad[j] - g_up) / (2.0 * eta)).min(max_step)
+        } else {
+            // Coincident points: the objective is linear along the
+            // direction; move as far as the box allows.
+            max_step
+        };
+        if delta <= 0.0 {
+            if n_active < n {
+                reconstruct_shrunk_gradients(
+                    points,
+                    kernel,
+                    &mut session.cache,
+                    &uidx,
+                    &alpha,
+                    &active,
+                    &mut grad,
+                    threads,
+                );
+                active.fill(true);
+                n_active = n;
+                until_shrink = shrink_interval;
+                rescans += 1;
+                continue;
+            }
+            converged = true; // numerically stuck; current iterate is KKT-ε optimal
+            break;
+        }
+
+        alpha[i] += delta;
+        alpha[j] -= delta;
+
+        // Gradient maintenance over the active set with the two working
+        // rows. The kernel values come from σ-invariant squared distances,
+        // so only the O(active) `exp` calls below depend on this round's σ.
+        {
+            let row_j = session.cache.row(points, uidx[j]);
+            let two_delta = 2.0 * delta;
+            for k in 0..n {
+                if !active[k] {
+                    continue;
+                }
+                let ki = kernel.eval_sq_dist(row_i[uidx[k]]);
+                let kj = kernel.eval_sq_dist(row_j[uidx[k]]);
+                grad[k] += two_delta * (ki - kj);
+            }
+        }
+        iterations += 1;
+
+        if shrinking {
+            until_shrink -= 1;
+            if until_shrink == 0 {
+                until_shrink = shrink_interval;
+                // Deactivate variables pinned at a bound whose gradient
+                // sign says they want to stay there (relative to this
+                // iteration's violating pair).
+                for k in 0..n {
+                    if !active[k] {
+                        continue;
+                    }
+                    let at_lower = alpha[k] <= ALPHA_TOL;
+                    let at_upper = alpha[k] >= upper[k] - ALPHA_TOL;
+                    if (at_lower && grad[k] > g_down) || (at_upper && grad[k] < g_up) {
+                        active[k] = false;
+                        n_active -= 1;
+                    }
+                }
+                shrunk_peak = shrunk_peak.max(n - n_active);
+            }
+        }
     }
+
+    // Budget exhaustion can leave shrunk variables with stale gradients;
+    // R² and αᵀKα below need the real ones.
+    if n_active < n {
+        reconstruct_shrunk_gradients(
+            points,
+            kernel,
+            &mut session.cache,
+            &uidx,
+            &alpha,
+            &active,
+            &mut grad,
+            threads,
+        );
+    }
+
+    // ---- Radius and constants.
+    let alpha_k_alpha: f64 = alpha.iter().zip(&grad).map(|(&a, &g)| a * g).sum::<f64>() / 2.0;
+    let decision_at = |k: usize| 1.0 - grad[k] + alpha_k_alpha;
+
+    // KKT: every point below its cap satisfies F ≤ R² (zeros strictly
+    // inside, free SVs exactly on the sphere), so their maximum is the
+    // tightest radius that keeps the ε-optimal iterate KKT-consistent —
+    // averaging free SVs instead would leave up to half of them outside
+    // the sphere by the solver tolerance. Fall back to the bounded SVs'
+    // bracket when everything sits at a cap.
+    let mut max_inside = f64::NEG_INFINITY; // over α < u points (F <= R²)
+    let mut min_outside = f64::INFINITY; // over bounded SVs (F >= R²)
+    #[allow(clippy::needless_range_loop)] // k indexes alpha, upper, and grad together
+    for k in 0..n {
+        let f = decision_at(k);
+        if alpha[k] >= upper[k] - ALPHA_TOL {
+            min_outside = min_outside.min(f);
+        } else {
+            max_inside = max_inside.max(f);
+        }
+    }
+    let r_sq = if max_inside.is_finite() {
+        max_inside
+    } else if min_outside.is_finite() {
+        min_outside
+    } else {
+        0.0
+    };
+
+    // ---- Persist this round's α for the next warm start.
+    for (t, &u) in uidx.iter().enumerate() {
+        session.alpha[u] = alpha[t];
+    }
+    session.solves += 1;
+
+    let after = session.cache.stats();
+    let diag = SolveDiagnostics {
+        iterations,
+        converged,
+        warm_started: warm,
+        initial_kkt_violation,
+        shrunk_peak,
+        rescans,
+        cache: DistCacheStats {
+            hits: after.hits - stats_before.hits,
+            misses: after.misses - stats_before.misses,
+            evictions: after.evictions - stats_before.evictions,
+            extensions: after.extensions - stats_before.extensions,
+        },
+    };
+
+    SvddModel::new(
+        ids.to_vec(),
+        alpha,
+        upper,
+        kernel,
+        r_sq,
+        alpha_k_alpha,
+        diag,
+    )
 }
 
 #[cfg(test)]
@@ -321,6 +659,32 @@ mod tests {
             ps.push(&[x, y]);
         }
         (ps, (0..n as u32).collect())
+    }
+
+    /// Recomputes the gradient from scratch and returns `G_down − G_up`.
+    fn kkt_violation(ps: &PointSet, ids: &[PointId], model: &SvddModel) -> f64 {
+        let n = ids.len();
+        let kernel = model.kernel();
+        let alpha = model.alphas();
+        let mut grad = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                grad[i] += 2.0 * alpha[j] * kernel.eval(ps.point(ids[i]), ps.point(ids[j]));
+            }
+        }
+        let mut g_up = f64::INFINITY;
+        let mut g_down = f64::NEG_INFINITY;
+        for (k, &g) in grad.iter().enumerate() {
+            match model.sv_type(k) {
+                SvType::Interior => g_up = g_up.min(g),
+                SvType::Bounded => g_down = g_down.max(g),
+                SvType::Normal => {
+                    g_up = g_up.min(g);
+                    g_down = g_down.max(g);
+                }
+            }
+        }
+        g_down - g_up
     }
 
     #[test]
@@ -504,6 +868,41 @@ mod tests {
     }
 
     #[test]
+    fn warm_sessions_are_thread_invariant_too() {
+        // The warm path adds session-cache reuse and gradient
+        // reconstruction on top of the cold path; trace equality across
+        // thread counts must survive all of it.
+        let (ps, ids) = gaussian_blob(180, 43);
+        let solve_rounds = |threads: usize| {
+            let options = SmoOptions {
+                threads,
+                shrink_interval: 7, // force shrink/rescan traffic
+                ..SmoOptions::default()
+            };
+            let mut session = SolverSession::new();
+            let mut out = Vec::new();
+            for (end, sigma) in [(120, 1.4), (150, 1.6), (180, 1.9)] {
+                let model = SvddProblem::new(&ps, &ids[..end], GaussianKernel::from_width(sigma))
+                    .with_nu(0.2)
+                    .with_options(options)
+                    .with_session(&mut session)
+                    .solve();
+                out.push((
+                    model.alphas().to_vec(),
+                    model.iterations(),
+                    model.diagnostics().cache,
+                    model.diagnostics().rescans,
+                ));
+            }
+            out
+        };
+        let base = solve_rounds(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(base, solve_rounds(threads), "{threads} threads");
+        }
+    }
+
+    #[test]
     fn zero_threads_resolves_to_available_parallelism() {
         let options = SmoOptions {
             threads: 0,
@@ -550,5 +949,136 @@ mod tests {
         };
         let uniform = vec![1.0 / ids.len() as f64; ids.len()];
         assert!(objective(model.alphas()) <= objective(&uniform) + 1e-9);
+    }
+
+    #[test]
+    fn first_session_solve_matches_sessionless_solve_exactly() {
+        let (ps, ids) = gaussian_blob(100, 37);
+        let kernel = GaussianKernel::from_width(1.8);
+        let plain = SvddProblem::new(&ps, &ids, kernel).with_nu(0.2).solve();
+        let mut session = SolverSession::new();
+        let first = SvddProblem::new(&ps, &ids, kernel)
+            .with_nu(0.2)
+            .with_session(&mut session)
+            .solve();
+        assert_eq!(plain.alphas(), first.alphas());
+        assert_eq!(plain.iterations(), first.iterations());
+        assert_eq!(plain.radius_sq(), first.radius_sq());
+        assert!(!first.diagnostics().warm_started);
+        assert_eq!(session.solves(), 1);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations_on_regrowth() {
+        // Simulate expansion rounds: the target grows, σ changes every
+        // round, and the warm path should finish in fewer total iterations
+        // than cold-starting each round.
+        let (ps, ids) = gaussian_blob(240, 41);
+        let rounds = [(160, 1.5), (200, 1.7), (240, 1.9)];
+        let mut session = SolverSession::new();
+        let mut warm_total = 0usize;
+        let mut cold_total = 0usize;
+        for (round, &(end, sigma)) in rounds.iter().enumerate() {
+            let kernel = GaussianKernel::from_width(sigma);
+            let warm = SvddProblem::new(&ps, &ids[..end], kernel)
+                .with_nu(0.2)
+                .with_session(&mut session)
+                .solve();
+            let cold = SvddProblem::new(&ps, &ids[..end], kernel)
+                .with_nu(0.2)
+                .solve();
+            assert!(warm.converged() && cold.converged());
+            assert_eq!(warm.diagnostics().warm_started, round > 0);
+            if round > 0 {
+                // The seed was near-optimal, so it must start closer to
+                // KKT than a cold uniform-ish fill would.
+                assert!(
+                    warm.diagnostics().initial_kkt_violation
+                        < cold.diagnostics().initial_kkt_violation,
+                    "round {round}"
+                );
+            }
+            assert!(
+                kkt_violation(&ps, &ids[..end], &warm) < 1e-3,
+                "warm round {round} violates KKT"
+            );
+            warm_total += warm.iterations();
+            cold_total += cold.iterations();
+        }
+        assert!(
+            warm_total < cold_total,
+            "warm {warm_total} iterations vs cold {cold_total}"
+        );
+    }
+
+    #[test]
+    fn session_cache_rows_survive_sigma_changes() {
+        // Same target, different σ: every distance row is already cached,
+        // so the second solve must not miss at all.
+        let (ps, ids) = gaussian_blob(80, 53);
+        let mut session = SolverSession::new();
+        let a = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(1.2))
+            .with_nu(0.3)
+            .with_session(&mut session)
+            .solve();
+        let b = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(2.4))
+            .with_nu(0.3)
+            .with_session(&mut session)
+            .solve();
+        assert!(a.diagnostics().cache.misses > 0);
+        assert_eq!(b.diagnostics().cache.misses, 0, "σ change must not evict");
+        assert!(b.diagnostics().cache.hits > 0);
+        assert!(kkt_violation(&ps, &ids, &b) < 1e-3);
+    }
+
+    #[test]
+    fn shrinking_shrinks_and_stays_correct() {
+        let (ps, ids) = gaussian_blob(150, 59);
+        let kernel = GaussianKernel::from_width(1.5);
+        let aggressive = SmoOptions {
+            shrink_interval: 5,
+            ..SmoOptions::default()
+        };
+        let no_shrink = SmoOptions {
+            shrinking: false,
+            ..SmoOptions::default()
+        };
+        let shrunk = SvddProblem::new(&ps, &ids, kernel)
+            .with_nu(0.1)
+            .with_options(aggressive)
+            .solve();
+        let full = SvddProblem::new(&ps, &ids, kernel)
+            .with_nu(0.1)
+            .with_options(no_shrink)
+            .solve();
+        assert!(shrunk.diagnostics().shrunk_peak > 0, "never shrank");
+        assert!(
+            shrunk.diagnostics().rescans > 0,
+            "converged without re-scan"
+        );
+        assert_eq!(full.diagnostics().shrunk_peak, 0);
+        // Shrinking changes the trajectory, not the quality: both end
+        // within the same KKT tolerance and with near-identical objectives.
+        assert!(kkt_violation(&ps, &ids, &shrunk) < 1e-3);
+        assert!(kkt_violation(&ps, &ids, &full) < 1e-3);
+        let objective = |m: &SvddModel| m.alpha_k_alpha();
+        assert!((objective(&shrunk) - objective(&full)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn exhausted_budget_is_reported_not_silent() {
+        let (ps, ids) = gaussian_blob(100, 61);
+        let starved = SmoOptions {
+            max_iterations: 1,
+            ..SmoOptions::default()
+        };
+        let model = SvddProblem::new(&ps, &ids, GaussianKernel::from_width(1.5))
+            .with_nu(0.2)
+            .with_options(starved)
+            .solve();
+        assert!(!model.converged());
+        assert_eq!(model.iterations(), 1);
+        assert!(model.radius_sq().is_finite());
+        assert_eq!(SmoOptions::default().resolve_max_iterations(100), 30_000);
     }
 }

@@ -118,7 +118,8 @@ fn recorded_traces_are_identical_across_thread_counts() {
 #[test]
 fn smo_cache_counters_in_the_trace_are_thread_invariant() {
     let ps = dataset(0xD374, 100);
-    let solves = |threads: usize| -> Vec<(usize, usize, u64, u64)> {
+    #[allow(clippy::type_complexity)]
+    let solves = |threads: usize| -> Vec<(usize, usize, u64, u64, bool, bool, usize, u64)> {
         let mut recorder = RecordingObserver::new();
         let _ = Dbsvec::new(DbsvecConfig::new(3.0, 6).with_threads(threads))
             .fit_observed(&ps, &mut recorder);
@@ -130,7 +131,20 @@ fn smo_cache_counters_in_the_trace_are_thread_invariant() {
                     iterations,
                     cache_hits,
                     cache_misses,
-                } => Some((*target_size, *iterations, *cache_hits, *cache_misses)),
+                    warm_started,
+                    converged,
+                    shrunk,
+                    initial_kkt_violation_e6,
+                } => Some((
+                    *target_size,
+                    *iterations,
+                    *cache_hits,
+                    *cache_misses,
+                    *warm_started,
+                    *converged,
+                    *shrunk,
+                    *initial_kkt_violation_e6,
+                )),
                 _ => None,
             })
             .collect()

@@ -66,6 +66,16 @@ fn replayed_counters_match_the_run_stats_exactly() {
     assert_eq!(replayed.expansion_rounds, stats.expansion_rounds);
     assert_eq!(replayed.max_target_size, stats.max_target_size);
     assert_eq!(replayed.smo_iterations, stats.smo_iterations);
+    assert_eq!(
+        replayed.warm_started_trainings,
+        stats.warm_started_trainings
+    );
+    assert_eq!(replayed.iterations_exhausted, stats.iterations_exhausted);
+    assert_eq!(replayed.shrunk_variables, stats.shrunk_variables);
+    assert_eq!(
+        replayed.initial_kkt_violation_e6,
+        stats.initial_kkt_violation_e6
+    );
 
     // θ recomputed from raw RangeQuery events agrees too.
     let n = result.labels().len();
