@@ -18,7 +18,8 @@ use dbsvec_baselines::{
 use dbsvec_bench::micro::{black_box, Runner};
 use dbsvec_core::{Dbsvec, DbsvecConfig};
 use dbsvec_datasets::{random_walk_clusters, RandomWalkConfig};
-use dbsvec_engine::{Engine, ModelArtifact};
+use dbsvec_engine::{Engine, ModelArtifact, MonitorConfig};
+use dbsvec_geometry::rng::SplitMix64;
 use dbsvec_index::KdTree;
 use dbsvec_obs::NoopObserver;
 
@@ -27,6 +28,7 @@ fn main() {
     bench_end_to_end(&runner);
     bench_noop_observer_overhead(&runner);
     bench_serve_telemetry_overhead(&runner);
+    bench_monitor_overhead(&runner);
     bench_ablations(&runner);
 }
 
@@ -131,16 +133,20 @@ fn bench_noop_observer_overhead(runner: &Runner) {
     let points = &ds.points;
     let (eps, min_pts) = (5000.0, 100);
 
-    let plain = runner.bench("dbsvec_fit", || {
-        Dbsvec::new(DbsvecConfig::new(eps, min_pts))
-            .fit(black_box(points))
-            .num_clusters()
-    });
-    let observed = runner.bench("dbsvec_fit_observed_noop", || {
-        Dbsvec::new(DbsvecConfig::new(eps, min_pts))
-            .fit_observed(black_box(points), &mut NoopObserver)
-            .num_clusters()
-    });
+    let (plain, observed) = runner.bench_pair(
+        "dbsvec_fit",
+        "dbsvec_fit_observed_noop",
+        || {
+            Dbsvec::new(DbsvecConfig::new(eps, min_pts))
+                .fit(black_box(points))
+                .num_clusters()
+        },
+        || {
+            Dbsvec::new(DbsvecConfig::new(eps, min_pts))
+                .fit_observed(black_box(points), &mut NoopObserver)
+                .num_clusters()
+        },
+    );
     check_envelope("noop observer overhead", plain, observed, 2.0);
 }
 
@@ -162,21 +168,112 @@ fn bench_serve_telemetry_overhead(runner: &Runner) {
             .expect("fit produces a valid artifact");
     let engine = std::cell::RefCell::new(Engine::new(&artifact));
 
-    let plain = runner.bench("engine_classify_loop", || {
-        let e = engine.borrow();
-        let queries = black_box(points);
-        (0..queries.len())
-            .map(|i| e.classify(queries.point(i as u32)))
-            .filter(|a| a.cluster().is_some())
-            .count()
-    });
-    let observed = runner.bench("engine_assign_batch_noop_observed", || {
-        engine
-            .borrow_mut()
-            .assign_batch_observed(black_box(points), 1, &mut NoopObserver)
-            .len()
-    });
+    let (plain, observed) = runner.bench_pair(
+        "engine_classify_loop",
+        "engine_assign_batch_noop_observed",
+        || {
+            let e = engine.borrow();
+            let queries = black_box(points);
+            (0..queries.len())
+                .map(|i| e.classify(queries.point(i as u32)))
+                .filter(|a| a.cluster().is_some())
+                .count()
+        },
+        || {
+            engine
+                .borrow_mut()
+                .assign_batch_observed(black_box(points), 1, &mut NoopObserver)
+                .len()
+        },
+    );
     check_envelope("disabled-telemetry serve overhead", plain, observed, 2.0);
+}
+
+/// The quality-monitor counterpart of the telemetry check: folding every
+/// assignment into a quality monitor (histogram bump, occupancy counter,
+/// amortized per-window drift math) must stay inside the same ±2%
+/// envelope as the other observability seams — monitoring is meant to be
+/// always-on-able in serving. The ingest seam is checked on real mixed
+/// traffic (promotions, borders, buffered points): each sample rebuilds
+/// the engine from the artifact so every run ingests the identical
+/// stream into identical state, and the rebuild cost lands on both sides
+/// of the comparison equally.
+fn bench_monitor_overhead(runner: &Runner) {
+    let n = runner.size(20_000, 2_000);
+    println!("monitor_overhead_{}k_8d", n / 1000);
+    let ds = random_walk_clusters(&RandomWalkConfig::paper_default(n, 8), 42);
+    let points = &ds.points;
+    let (eps, min_pts) = (5000.0, 100);
+
+    let fit = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit(points);
+    let artifact =
+        ModelArtifact::from_fit(points, fit.labels(), fit.core_points(), eps, min_pts as u32)
+            .expect("fit produces a valid artifact")
+            .with_quality(points, fit.labels());
+    let engine = std::cell::RefCell::new(Engine::new(&artifact));
+
+    let (plain, monitored) = runner.bench_pair(
+        "engine_assign_loop",
+        "engine_assign_monitored_loop",
+        || {
+            let mut e = engine.borrow_mut();
+            let queries = black_box(points);
+            (0..queries.len())
+                .filter(|&i| e.assign(queries.point(i as u32)).cluster().is_some())
+                .count()
+        },
+        || {
+            let mut e = engine.borrow_mut();
+            let mut monitor = e.monitor(MonitorConfig::new());
+            let queries = black_box(points);
+            (0..queries.len())
+                .filter(|&i| {
+                    e.assign_monitored(queries.point(i as u32), &mut monitor, &mut NoopObserver)
+                        .cluster()
+                        .is_some()
+                })
+                .count()
+        },
+    );
+    check_envelope("monitored assign overhead", plain, monitored, 2.0);
+
+    // Fresh arrivals: sub-eps jitter keeps the stream near the fitted
+    // density so ingests exercise the full promote/border/buffer mix.
+    let mut rng = SplitMix64::new(0x1a9e57);
+    let mut stream = dbsvec_geometry::PointSet::new(8);
+    let mut buf = [0.0f64; 8];
+    for i in 0..points.len() {
+        let p = points.point(i as u32);
+        for (d, v) in buf.iter_mut().enumerate() {
+            *v = p[d] + (rng.next_f64() - 0.5) * eps;
+        }
+        stream.push(&buf);
+    }
+    let (plain_ingest, monitored_ingest) = runner.bench_pair(
+        "engine_ingest_stream",
+        "engine_ingest_monitored_stream",
+        || {
+            let mut e = Engine::new(black_box(&artifact));
+            (0..stream.len())
+                .map(|i| e.ingest_observed(stream.point(i as u32), &mut NoopObserver))
+                .count()
+        },
+        || {
+            let mut e = Engine::new(black_box(&artifact));
+            let mut monitor = e.monitor(MonitorConfig::new());
+            (0..stream.len())
+                .map(|i| {
+                    e.ingest_monitored(stream.point(i as u32), &mut monitor, &mut NoopObserver)
+                })
+                .count()
+        },
+    );
+    check_envelope(
+        "monitored ingest overhead",
+        plain_ingest,
+        monitored_ingest,
+        2.0,
+    );
 }
 
 /// Ablation bench: the design choices DESIGN.md calls out.

@@ -16,7 +16,7 @@
 
 use std::time::Duration;
 
-use dbsvec_bench::harness::{time, Stopwatch};
+use dbsvec_bench::harness::{time, Stopwatch, BENCH_SCHEMA_VERSION};
 use dbsvec_bench::parse_args;
 use dbsvec_core::{Dbsvec, DbsvecConfig};
 use dbsvec_datasets::{gaussian_mixture, standins::suggest_eps};
@@ -224,6 +224,7 @@ fn main() {
 
     if let Some(dir) = &args.json_dir {
         let report = Json::obj([
+            ("version", Json::UInt(BENCH_SCHEMA_VERSION)),
             ("experiment", Json::str("serve_throughput")),
             ("n", Json::UInt(n as u64)),
             ("dims", Json::UInt(DIMS as u64)),

@@ -8,6 +8,13 @@ use dbsvec_obs::Json;
 
 use crate::runners::RunOutcome;
 
+/// Schema version stamped into every `BENCH_<experiment>.json` report.
+///
+/// Version 1 is the implicit, unstamped era; bump this whenever a field is
+/// renamed, removed, or changes meaning, so report consumers can dispatch
+/// instead of sniffing keys.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
 /// Wall-clock stopwatch with a per-sweep budget.
 ///
 /// The paper caps every run at 10 hours; these harnesses default to a far
@@ -305,6 +312,7 @@ impl JsonReport {
     /// The whole report as one JSON value.
     pub fn to_json(&self) -> Json {
         Json::obj([
+            ("version", Json::UInt(BENCH_SCHEMA_VERSION)),
             ("experiment", Json::str(&self.experiment)),
             ("runs", Json::Arr(self.runs.clone())),
         ])
@@ -417,6 +425,12 @@ mod tests {
 
         let text = report.to_json().to_string();
         let parsed = dbsvec_obs::json::parse(&text).expect("report is valid JSON");
+        // The hand-rolled parser reads small non-negative integers as Int.
+        assert_eq!(
+            parsed.get("version"),
+            Some(&Json::Int(BENCH_SCHEMA_VERSION as i64)),
+            "every report must carry the schema version"
+        );
         assert_eq!(parsed.get("experiment"), Some(&Json::str("test")));
         let runs = match parsed.get("runs") {
             Some(Json::Arr(rows)) => rows,

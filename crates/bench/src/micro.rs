@@ -73,6 +73,52 @@ impl Runner {
         );
         best
     }
+
+    /// Times two closures with **interleaved** samples (`a, b, a, b, …`
+    /// after one warmup each), prints both rows, and returns the **mean**
+    /// observed seconds for each. Use this for overhead-envelope
+    /// comparisons, where both choices of [`Runner::bench`] would bias
+    /// the delta: running all of `a`'s samples and then all of `b`'s lets
+    /// clock-frequency and scheduler drift between the two rows
+    /// masquerade as overhead, and comparing best-of order statistics
+    /// compares two lucky tails — on a busy single-core box either
+    /// effect alone regularly exceeds the ±2% envelopes being checked.
+    /// Interleaving makes the drift land on both sides equally, and the
+    /// paired means then estimate the true overhead with variance shrunk
+    /// by the sample count.
+    pub fn bench_pair<T, U>(
+        &self,
+        name_a: &str,
+        name_b: &str,
+        mut a: impl FnMut() -> T,
+        mut b: impl FnMut() -> U,
+    ) -> (f64, f64) {
+        black_box(a());
+        black_box(b());
+        let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+        let (mut total_a, mut total_b) = (0.0, 0.0);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(a());
+            let secs = start.elapsed().as_secs_f64();
+            best_a = best_a.min(secs);
+            total_a += secs;
+            let start = Instant::now();
+            black_box(b());
+            let secs = start.elapsed().as_secs_f64();
+            best_b = best_b.min(secs);
+            total_b += secs;
+        }
+        for (name, best, total) in [(name_a, best_a, total_a), (name_b, best_b, total_b)] {
+            println!(
+                "  {name:<44} best {:>12}  mean {:>12}",
+                fmt_time(best),
+                fmt_time(total / self.samples as f64)
+            );
+        }
+        let n = self.samples as f64;
+        (total_a / n, total_b / n)
+    }
 }
 
 /// Formats seconds with an adaptive unit.
@@ -100,6 +146,27 @@ mod tests {
         let best = runner.bench("noop", || calls += 1);
         assert_eq!(calls, 4); // 1 warmup + 3 samples
         assert!(best >= 0.0 && best.is_finite());
+    }
+
+    #[test]
+    fn bench_pair_interleaves_samples() {
+        let runner = Runner {
+            samples: 4,
+            quick: true,
+        };
+        // Record the call order: interleaving means after the two
+        // warmups the sequence strictly alternates a, b, a, b, …
+        let order = std::cell::RefCell::new(Vec::new());
+        let (mean_a, mean_b) = runner.bench_pair(
+            "pair_a",
+            "pair_b",
+            || order.borrow_mut().push('a'),
+            || order.borrow_mut().push('b'),
+        );
+        // 1 warmup pair + 4 sample pairs, strictly alternating.
+        assert_eq!(*order.borrow(), "ababababab".chars().collect::<Vec<_>>());
+        assert!(mean_a >= 0.0 && mean_a.is_finite());
+        assert!(mean_b >= 0.0 && mean_b.is_finite());
     }
 
     #[test]

@@ -15,7 +15,10 @@ use dbsvec_datasets::{
     chameleon_t48k, chameleon_t710k, random_walk_clusters, spirals, two_moons, Dataset,
     RandomWalkConfig,
 };
-use dbsvec_engine::{snapshot, Assignment, Engine, EngineMetrics, ModelArtifact, REFIT_THRESHOLD};
+use dbsvec_engine::{
+    snapshot, Assignment, Engine, EngineConfig, EngineMetrics, ModelArtifact, MonitorConfig,
+    QualityMonitor,
+};
 use dbsvec_geometry::PointSet;
 use dbsvec_index::{k_distance_profile, knee_epsilon, KdTree};
 use dbsvec_metrics::{adjusted_rand_index, recall};
@@ -85,17 +88,128 @@ fn open_metrics(
     Ok((metrics, path, interval))
 }
 
-/// Final refresh + dump + note, shared by `serve` and `ingest`.
+/// Final refresh + dump + note, shared by `serve` and `ingest`. When a
+/// quality monitor ran, its drift gauges land in the dump too.
 fn finish_metrics(
     metrics: &mut Option<EngineMetrics>,
     path: Option<&str>,
     engine: &Engine,
+    monitor: Option<&QualityMonitor>,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     if let (Some(m), Some(path)) = (metrics.as_mut(), path) {
-        m.refresh(engine);
+        match monitor {
+            Some(mon) => m.refresh_with_monitor(engine, mon),
+            None => m.refresh(engine),
+        }
         write_metrics_file(path, m.registry())?;
         writeln!(out, "metrics written to {path}")?;
+    }
+    Ok(())
+}
+
+/// Resolves `--refit-threshold` into an engine configuration.
+fn engine_config(args: &ParsedArgs) -> Result<EngineConfig, CliError> {
+    match args.get_parsed::<f64>("refit-threshold")? {
+        None => Ok(EngineConfig::default()),
+        Some(t) if t.is_finite() && t > 0.0 => Ok(EngineConfig::default().with_refit_threshold(t)),
+        Some(t) => Err(CliError(format!(
+            "--refit-threshold must be a positive number, got {t}"
+        ))),
+    }
+}
+
+/// Resolves `--monitor` / `--monitor-window` / `--drift-threshold` into an
+/// optional monitor configuration, validating before the panicking
+/// builders see the values.
+fn monitor_options(args: &ParsedArgs) -> Result<Option<MonitorConfig>, CliError> {
+    let window: Option<usize> = args.get_parsed("monitor-window")?;
+    let threshold: Option<f64> = args.get_parsed("drift-threshold")?;
+    if !args.has_switch("monitor") {
+        if window.is_some() || threshold.is_some() {
+            return Err(CliError(
+                "--monitor-window/--drift-threshold require --monitor".to_string(),
+            ));
+        }
+        return Ok(None);
+    }
+    let mut config = MonitorConfig::new();
+    if let Some(w) = window {
+        if w == 0 {
+            return Err(CliError("--monitor-window must be positive".to_string()));
+        }
+        config = config.with_window(w);
+    }
+    if let Some(t) = threshold {
+        if !(t.is_finite() && t > 0.0 && t <= 1.0) {
+            return Err(CliError(format!(
+                "--drift-threshold must be in (0, 1], got {t}"
+            )));
+        }
+        config = config.with_drift_threshold(t);
+    }
+    Ok(Some(config))
+}
+
+/// Prints the monitor's verdict and the combined refit recommendation
+/// after a monitored serve/ingest run.
+fn print_drift_summary(monitor: &QualityMonitor, out: &mut dyn Write) -> Result<(), CliError> {
+    if !monitor.has_baseline() {
+        writeln!(
+            out,
+            "drift: model has no fit-time quality baseline (snapshot predates it); \
+             staleness is the only refit signal"
+        )?;
+    }
+    match monitor.signals() {
+        Some(s) => writeln!(
+            out,
+            "drift: {} windows, {} alerts; score {:.3} (smoothed {:.3}), dominant signal {}",
+            monitor.windows_completed(),
+            monitor.alerts(),
+            s.score,
+            s.smoothed_score,
+            s.dominant()
+        )?,
+        None => writeln!(
+            out,
+            "drift: {} windows completed, none scored yet \
+             (window {} larger than the traffic seen?)",
+            monitor.windows_completed(),
+            monitor.config().window
+        )?,
+    }
+    Ok(())
+}
+
+/// The refit recommendation line: staleness and (when monitored) drift,
+/// each against its own threshold.
+fn print_recommendation(
+    engine: &Engine,
+    monitor: Option<&QualityMonitor>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let stale = engine.refit_recommended();
+    let drifted = monitor.is_some_and(QualityMonitor::drift_exceeded);
+    if stale || drifted {
+        let why = match (stale, drifted) {
+            (true, true) => format!(
+                "staleness above {:.0}% and drift above {:.2}",
+                engine.config().refit_threshold * 100.0,
+                monitor.expect("drifted").config().drift_threshold
+            ),
+            (true, false) => format!(
+                "staleness above {:.0}%",
+                engine.config().refit_threshold * 100.0
+            ),
+            _ => format!(
+                "smoothed drift score at or above {:.2}",
+                monitor.expect("drifted").config().drift_threshold
+            ),
+        };
+        writeln!(out, "recommendation: re-fit from scratch ({why})")?;
+    } else {
+        writeln!(out, "recommendation: model is still fresh")?;
     }
     Ok(())
 }
@@ -442,6 +556,10 @@ pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     if args.has_switch("boundaries") {
         artifact = artifact.with_boundaries(&points, result.labels());
     }
+    // Always record the fit-time quality baseline: it is what `serve
+    // --monitor` scores live traffic against, and costs one extra range
+    // query per training point.
+    artifact = artifact.with_quality(&points, result.labels());
     let bytes = snapshot::write_file(&artifact, Path::new(save))
         .map_err(|e| CliError(format!("cannot write model {save}: {e}")))?;
     obs.event(&Event::SnapshotWrite { bytes });
@@ -454,7 +572,7 @@ pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     };
     writeln!(
         out,
-        "model: {} core points, {} clusters{boundary_note} -> {save} ({bytes} bytes)",
+        "model: {} core points, {} clusters{boundary_note}, quality baseline -> {save} ({bytes} bytes)",
         artifact.cores.len(),
         artifact.num_clusters,
     )?;
@@ -491,12 +609,25 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "trace",
         "metrics-file",
         "metrics-interval",
+        "monitor",
+        "monitor-window",
+        "drift-threshold",
+        "refit-threshold",
         "help",
     ])?;
     let model_path = args.require("model")?;
     let assign_path = args.require("assign")?;
     let threads: usize = args.get_or("threads", 1)?;
     let (mut metrics, metrics_path, metrics_interval) = open_metrics(args)?;
+    let monitor_config = monitor_options(args)?;
+    let config = engine_config(args)?;
+    if monitor_config.is_some() && threads > 1 {
+        return Err(CliError(
+            "--monitor folds every assignment into one window stream and is \
+             single-threaded; drop --threads"
+                .to_string(),
+        ));
+    }
 
     let profile = args.has_switch("profile");
     let mut sink = open_trace(args)?;
@@ -512,7 +643,8 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(m) = metrics.as_mut() {
         m.inc_snapshot_load();
     }
-    let mut engine = Engine::new(&artifact);
+    let mut engine = Engine::with_config(&artifact, config);
+    let mut monitor = monitor_config.map(|c| engine.monitor(c));
     writeln!(
         out,
         "model: {}-d, {} core points, {} clusters, eps = {:.6}, MinPts = {} ({bytes} bytes)",
@@ -537,39 +669,60 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
     obs.span_enter(Phase::Serve);
     let start = Instant::now();
-    let assignments = match metrics.as_mut() {
-        None => engine.assign_batch_observed(&queries, threads, obs),
-        Some(m) => {
-            // Metered path: per-query latency lands in the registry, and
-            // the dump is re-flushed every `--metrics-interval` queries so
-            // a scraper watching the file sees progress mid-batch.
-            let n = queries.len();
-            let chunk = if metrics_interval == 0 {
-                n
-            } else {
-                metrics_interval
-            };
-            let path = metrics_path.as_deref().expect("metrics imply a path");
-            let mut assignments = Vec::with_capacity(n);
-            let mut lo = 0;
-            while lo < n {
-                let hi = (lo + chunk).min(n);
-                let mut part = PointSet::new(queries.dims());
-                for i in lo..hi {
-                    part.push(queries.point(i as u32));
+    let assignments = if let Some(mon) = monitor.as_mut() {
+        // Monitored path: every assignment folds into the tumbling window
+        // (distances included), so windows complete — and drift alerts
+        // fire — while the batch streams through.
+        let mut assignments = Vec::with_capacity(queries.len());
+        for (i, p) in queries.iter() {
+            let t = Instant::now();
+            let a = engine.assign_monitored(p, mon, obs);
+            assignments.push(a);
+            if let Some(m) = metrics.as_mut() {
+                m.record_assign(t.elapsed());
+                if metrics_interval > 0 && (i as usize + 1) % metrics_interval == 0 {
+                    let path = metrics_path.as_deref().expect("metrics imply a path");
+                    m.refresh_with_monitor(&engine, mon);
+                    write_metrics_file(path, m.registry())?;
                 }
-                let res = engine.assign_batch_metered(&part, threads, m);
-                for a in &res {
-                    obs.event(&Event::Assign {
-                        hit: matches!(a, Assignment::Cluster(_)),
-                    });
-                }
-                assignments.extend(res);
-                m.refresh(&engine);
-                write_metrics_file(path, m.registry())?;
-                lo = hi;
             }
-            assignments
+        }
+        assignments
+    } else {
+        match metrics.as_mut() {
+            None => engine.assign_batch_observed(&queries, threads, obs),
+            Some(m) => {
+                // Metered path: per-query latency lands in the registry, and
+                // the dump is re-flushed every `--metrics-interval` queries so
+                // a scraper watching the file sees progress mid-batch.
+                let n = queries.len();
+                let chunk = if metrics_interval == 0 {
+                    n
+                } else {
+                    metrics_interval
+                };
+                let path = metrics_path.as_deref().expect("metrics imply a path");
+                let mut assignments = Vec::with_capacity(n);
+                let mut lo = 0;
+                while lo < n {
+                    let hi = (lo + chunk).min(n);
+                    let mut part = PointSet::new(queries.dims());
+                    for i in lo..hi {
+                        part.push(queries.point(i as u32));
+                    }
+                    let res = engine.assign_batch_metered(&part, threads, m);
+                    for a in &res {
+                        obs.event(&Event::Assign {
+                            hit: matches!(a, Assignment::Cluster(_)),
+                        });
+                    }
+                    assignments.extend(res);
+                    m.refresh(&engine);
+                    write_metrics_file(path, m.registry())?;
+                    lo = hi;
+                }
+                assignments
+            }
         }
     };
     let seconds = start.elapsed().as_secs_f64();
@@ -586,6 +739,10 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         queries.len() as f64 / seconds.max(1e-9),
         queries.len() - hits
     )?;
+    if let Some(mon) = monitor.as_ref() {
+        print_drift_summary(mon, out)?;
+        print_recommendation(&engine, Some(mon), out)?;
+    }
 
     if let Some(output) = args.get("output") {
         let labels: Vec<Option<u32>> = assignments.iter().map(|a| a.cluster()).collect();
@@ -600,7 +757,13 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             ProfileReport::from_recording(&recorder, queries.len())
         )?;
     }
-    finish_metrics(&mut metrics, metrics_path.as_deref(), &engine, out)?;
+    finish_metrics(
+        &mut metrics,
+        metrics_path.as_deref(),
+        &engine,
+        monitor.as_ref(),
+        out,
+    )?;
     finish_trace(args, sink, out)?;
     Ok(())
 }
@@ -614,11 +777,17 @@ pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "trace",
         "metrics-file",
         "metrics-interval",
+        "monitor",
+        "monitor-window",
+        "drift-threshold",
+        "refit-threshold",
         "help",
     ])?;
     let model_path = args.require("model")?;
     let input = args.require("input")?;
     let (mut metrics, metrics_path, metrics_interval) = open_metrics(args)?;
+    let monitor_config = monitor_options(args)?;
+    let config = engine_config(args)?;
 
     let mut sink = open_trace(args)?;
     let observing = sink.is_some();
@@ -633,7 +802,8 @@ pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(m) = metrics.as_mut() {
         m.inc_snapshot_load();
     }
-    let mut engine = Engine::new(&artifact);
+    let mut engine = Engine::with_config(&artifact, config);
+    let mut monitor = monitor_config.map(|c| engine.monitor(c));
 
     let (points, _) = read_csv(Path::new(input))?;
     if points.is_empty() {
@@ -650,19 +820,24 @@ pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     obs.span_enter(Phase::Serve);
     let start = Instant::now();
     for (i, p) in points.iter() {
-        match metrics.as_mut() {
+        let t = Instant::now();
+        match monitor.as_mut() {
+            Some(mon) => {
+                engine.ingest_monitored(p, mon, obs);
+            }
             None => {
                 engine.ingest_observed(p, obs);
             }
-            Some(m) => {
-                let t = Instant::now();
-                engine.ingest_observed(p, obs);
-                m.record_ingest(t.elapsed());
-                if metrics_interval > 0 && (i as usize + 1) % metrics_interval == 0 {
-                    let path = metrics_path.as_deref().expect("metrics imply a path");
-                    m.refresh(&engine);
-                    write_metrics_file(path, m.registry())?;
+        }
+        if let Some(m) = metrics.as_mut() {
+            m.record_ingest(t.elapsed());
+            if metrics_interval > 0 && (i as usize + 1) % metrics_interval == 0 {
+                let path = metrics_path.as_deref().expect("metrics imply a path");
+                match monitor.as_ref() {
+                    Some(mon) => m.refresh_with_monitor(&engine, mon),
+                    None => m.refresh(&engine),
                 }
+                write_metrics_file(path, m.registry())?;
             }
         }
     }
@@ -690,15 +865,10 @@ pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         engine.num_clusters(),
         engine.staleness() * 100.0
     )?;
-    if engine.refit_recommended() {
-        writeln!(
-            out,
-            "recommendation: re-fit from scratch (staleness above {:.0}%)",
-            REFIT_THRESHOLD * 100.0
-        )?;
-    } else {
-        writeln!(out, "recommendation: model is still fresh")?;
+    if let Some(mon) = monitor.as_ref() {
+        print_drift_summary(mon, out)?;
     }
+    print_recommendation(&engine, monitor.as_ref(), out)?;
 
     if let Some(save) = args.get("save") {
         let snap = engine.snapshot();
@@ -710,7 +880,13 @@ pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         }
         writeln!(out, "updated model written to {save} ({bytes} bytes)")?;
     }
-    finish_metrics(&mut metrics, metrics_path.as_deref(), &engine, out)?;
+    finish_metrics(
+        &mut metrics,
+        metrics_path.as_deref(),
+        &engine,
+        monitor.as_ref(),
+        out,
+    )?;
     finish_trace(args, sink, out)?;
     Ok(())
 }
@@ -767,6 +943,124 @@ pub fn metrics_report(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliE
             };
             writeln!(out, "  {}{labels} = {}", s.name, s.value)?;
         }
+    }
+    Ok(())
+}
+
+/// Numeric value of a JSON scalar, if it is one.
+fn json_num(v: &Json) -> Option<f64> {
+    match v {
+        Json::Int(i) => Some(*i as f64),
+        Json::UInt(u) => Some(*u as f64),
+        Json::Num(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// `dbsvec monitor-report`: summarize the drift metrics in a metrics dump
+/// and optionally assert the refit verdict (for CI gates).
+///
+/// Reads the same Prometheus-text or JSON dumps `--metrics-file` writes,
+/// extracts the quality/drift series published by `serve --monitor` /
+/// `ingest --monitor`, and renders a verdict. `--expect-refit` /
+/// `--expect-fresh` turn the verdict into an exit status.
+pub fn monitor_report(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&["input", "expect-refit", "expect-fresh", "help"])?;
+    let path = args.require("input")?;
+    if args.has_switch("expect-refit") && args.has_switch("expect-fresh") {
+        return Err(CliError(
+            "--expect-refit and --expect-fresh are mutually exclusive".to_string(),
+        ));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read metrics dump {path}: {e}")))?;
+
+    // Flatten either dump format into (name, value) pairs.
+    let values: Vec<(String, f64)> = if path.ends_with(".json") {
+        let v = dbsvec_obs::json::parse(&text)
+            .map_err(|e| CliError(format!("{path}: invalid JSON: {e}")))?;
+        let mut pairs = Vec::new();
+        for section in ["counters", "gauges"] {
+            if let Some(Json::Obj(entries)) = v.get(section) {
+                for (name, value) in entries {
+                    if let Some(x) = json_num(value) {
+                        pairs.push((name.clone(), x));
+                    }
+                }
+            }
+        }
+        pairs
+    } else {
+        parse_prometheus(&text)
+            .map_err(|e| CliError(format!("{path}: {e}")))?
+            .into_iter()
+            .filter(|s| s.labels.is_empty())
+            .map(|s| (s.name, s.value))
+            .collect()
+    };
+    let get = |name: &str| values.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+
+    let windows = get("dbsvec_quality_windows_total").ok_or_else(|| {
+        CliError(format!(
+            "{path}: no quality metrics found; the dump must come from \
+             `serve --monitor` or `ingest --monitor` with --metrics-file"
+        ))
+    })?;
+    let alerts = get("dbsvec_drift_alerts_total").unwrap_or(0.0);
+    let baseline = get("dbsvec_quality_baseline_present").unwrap_or(0.0) >= 0.5;
+    let yes_no = |b: bool| if b { "yes" } else { "no" };
+
+    writeln!(out, "monitor report for {path}:")?;
+    writeln!(out, "  quality windows     {windows:>10}")?;
+    writeln!(out, "  drift alerts        {alerts:>10}")?;
+    writeln!(out, "  baseline present    {:>10}", yes_no(baseline))?;
+    for (label, name) in [
+        ("drift score", "dbsvec_drift_score"),
+        ("smoothed score", "dbsvec_drift_score_smoothed"),
+        ("hist distance", "dbsvec_drift_hist_distance"),
+        ("occupancy shift", "dbsvec_drift_occupancy_shift"),
+        ("noise delta", "dbsvec_drift_noise_delta"),
+        ("window noise rate", "dbsvec_noise_rate_window"),
+        ("staleness", "dbsvec_staleness_ratio"),
+    ] {
+        if let Some(v) = get(name) {
+            writeln!(out, "  {label:<19} {v:>10.4}")?;
+        }
+    }
+    let mut occupancy: Vec<(usize, f64)> = values
+        .iter()
+        .filter_map(|(n, v)| {
+            n.strip_prefix("dbsvec_cluster_occupancy_c")
+                .and_then(|c| c.parse().ok())
+                .map(|c| (c, *v))
+        })
+        .collect();
+    if !occupancy.is_empty() {
+        occupancy.sort_by_key(|&(c, _)| c);
+        let shares: Vec<String> = occupancy
+            .iter()
+            .map(|(c, v)| format!("c{c}={v:.3}"))
+            .collect();
+        writeln!(out, "  window occupancy    {}", shares.join(" "))?;
+    }
+
+    let refit = get("dbsvec_refit_recommended")
+        .map(|v| v >= 0.5)
+        .ok_or_else(|| CliError(format!("{path}: dbsvec_refit_recommended gauge missing")))?;
+    writeln!(out, "  refit recommended   {:>10}", yes_no(refit))?;
+
+    if args.has_switch("expect-refit") && !refit {
+        return Err(CliError(format!(
+            "{path}: expected a refit recommendation, but the model looks fresh"
+        )));
+    }
+    if args.has_switch("expect-fresh") && refit {
+        return Err(CliError(format!(
+            "{path}: expected a fresh model, but a refit is recommended"
+        )));
+    }
+    if args.has_switch("expect-refit") || args.has_switch("expect-fresh") {
+        writeln!(out, "expectation met")?;
     }
     Ok(())
 }
@@ -1451,6 +1745,315 @@ mod tests {
         assert!(parse_prometheus(&dump).is_ok());
 
         for f in [&data, &extra, &model, &updated, &prom] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn fit_records_a_quality_baseline() {
+        let data = tempfile("baseline.csv");
+        let model = tempfile("baseline.dbm");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "300",
+            "--output",
+            data_s,
+        ]);
+        let text = run_ok(&[
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            model_s,
+        ]);
+        assert!(text.contains("quality baseline"), "got: {text}");
+        let (artifact, _) = snapshot::read_file(&model).unwrap();
+        let q = artifact.quality.expect("fit must persist a baseline");
+        assert_eq!(q.total_points, 300);
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn monitored_serve_separates_drifted_from_stationary_traffic() {
+        let train = tempfile("drift-train.csv");
+        let fresh = tempfile("drift-fresh.csv");
+        let shifted = tempfile("drift-shifted.csv");
+        let model = tempfile("drift.dbm");
+        let fresh_prom = tempfile("drift-fresh.prom");
+        let shifted_json = tempfile("drift-shifted.json");
+        let trace = tempfile("drift.jsonl");
+        let train_s = train.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "600",
+            "--output",
+            train_s,
+        ]);
+        run_ok(&[
+            "fit",
+            "--input",
+            train_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            model_s,
+        ]);
+        // Stationary traffic: the same distribution, a different seed.
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "600",
+            "--seed",
+            "99",
+            "--output",
+            fresh.to_str().unwrap(),
+        ]);
+        // Drifted traffic: a different generator entirely.
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "spirals",
+            "--n",
+            "600",
+            "--output",
+            shifted.to_str().unwrap(),
+        ]);
+
+        let text = run_ok(&[
+            "serve",
+            "--model",
+            model_s,
+            "--assign",
+            fresh.to_str().unwrap(),
+            "--monitor",
+            "--monitor-window",
+            "150",
+            "--metrics-file",
+            fresh_prom.to_str().unwrap(),
+        ]);
+        assert!(text.contains("drift:"), "missing drift summary: {text}");
+        assert!(
+            text.contains("model is still fresh"),
+            "stationary traffic must not trigger a refit: {text}"
+        );
+
+        let text = run_ok(&[
+            "serve",
+            "--model",
+            model_s,
+            "--assign",
+            shifted.to_str().unwrap(),
+            "--monitor",
+            "--monitor-window",
+            "150",
+            "--metrics-file",
+            shifted_json.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]);
+        assert!(
+            text.contains("re-fit from scratch"),
+            "drifted traffic must recommend a refit: {text}"
+        );
+        assert!(text.contains("alerts"), "got: {text}");
+
+        // The drift events stream through the trace and replay cleanly.
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        let counts = dbsvec_obs::ReplayCounts::from_jsonl(&trace_text).unwrap();
+        assert_eq!(counts.quality_windows, 4, "600 / 150 windows");
+        assert!(counts.drift_alerts > 0, "no alerts in {counts:?}");
+
+        // The Prometheus dump carries the drift series...
+        let dump = std::fs::read_to_string(&fresh_prom).unwrap();
+        for name in [
+            "dbsvec_drift_score_smoothed",
+            "dbsvec_quality_windows_total 4",
+            "dbsvec_quality_baseline_present 1",
+            "dbsvec_noise_rate_window",
+            "dbsvec_cluster_occupancy_c0",
+        ] {
+            assert!(dump.contains(name), "missing {name:?} in:\n{dump}");
+        }
+
+        // ...and monitor-report turns the verdict into an exit status.
+        let fresh_s = fresh_prom.to_str().unwrap();
+        let shifted_s = shifted_json.to_str().unwrap();
+        let text = run_ok(&["monitor-report", "--input", fresh_s, "--expect-fresh"]);
+        assert!(text.contains("refit recommended"), "{text}");
+        assert!(text.contains("expectation met"), "{text}");
+        let text = run_ok(&["monitor-report", "--input", shifted_s, "--expect-refit"]);
+        assert!(text.contains("expectation met"), "{text}");
+        assert!(text.contains("drift score"), "{text}");
+        assert!(text.contains("window occupancy"), "{text}");
+        let err = run_err(&["monitor-report", "--input", shifted_s, "--expect-fresh"]);
+        assert!(err.contains("refit is recommended"), "got: {err}");
+        let err = run_err(&["monitor-report", "--input", fresh_s, "--expect-refit"]);
+        assert!(err.contains("looks fresh"), "got: {err}");
+
+        for f in [
+            &train,
+            &fresh,
+            &shifted,
+            &model,
+            &fresh_prom,
+            &shifted_json,
+            &trace,
+        ] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn monitored_ingest_reports_drift_and_honors_refit_threshold() {
+        let data = tempfile("mon-ingest.csv");
+        let extra = tempfile("mon-ingest-extra.csv");
+        let model = tempfile("mon-ingest.dbm");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "400",
+            "--output",
+            data_s,
+        ]);
+        run_ok(&[
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            model_s,
+        ]);
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "200",
+            "--seed",
+            "11",
+            "--output",
+            extra.to_str().unwrap(),
+        ]);
+
+        let text = run_ok(&[
+            "ingest",
+            "--model",
+            model_s,
+            "--input",
+            extra.to_str().unwrap(),
+            "--monitor",
+            "--monitor-window",
+            "50",
+        ]);
+        assert!(text.contains("drift:"), "missing drift summary: {text}");
+        assert!(text.contains("recommendation:"), "got: {text}");
+
+        // A configurable staleness threshold: low enough, any topology
+        // change at all recommends a refit.
+        let text = run_ok(&[
+            "ingest",
+            "--model",
+            model_s,
+            "--input",
+            extra.to_str().unwrap(),
+            "--refit-threshold",
+            "0.0001",
+        ]);
+        assert!(
+            text.contains("re-fit from scratch (staleness above 0%)"),
+            "got: {text}"
+        );
+
+        for f in [&data, &extra, &model] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn monitor_flag_validation() {
+        let data = tempfile("monflags.csv");
+        let model = tempfile("monflags.dbm");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "150",
+            "--output",
+            data_s,
+        ]);
+        run_ok(&[
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            model_s,
+        ]);
+
+        let base = ["serve", "--model", model_s, "--assign", data_s];
+        let with = |extra: &[&'static str]| {
+            let mut v = base.to_vec();
+            v.extend_from_slice(extra);
+            v
+        };
+        let err = run_err(&with(&["--monitor-window", "64"]));
+        assert!(err.contains("require --monitor"), "got: {err}");
+        let err = run_err(&with(&["--monitor", "--monitor-window", "0"]));
+        assert!(err.contains("--monitor-window"), "got: {err}");
+        let err = run_err(&with(&["--monitor", "--drift-threshold", "1.5"]));
+        assert!(err.contains("(0, 1]"), "got: {err}");
+        let err = run_err(&with(&["--refit-threshold", "-0.5"]));
+        assert!(err.contains("--refit-threshold"), "got: {err}");
+        let err = run_err(&with(&["--monitor", "--threads", "4"]));
+        assert!(err.contains("single-threaded"), "got: {err}");
+        let err = run_err(&[
+            "monitor-report",
+            "--input",
+            "x.prom",
+            "--expect-refit",
+            "--expect-fresh",
+        ]);
+        assert!(err.contains("mutually exclusive"), "got: {err}");
+
+        // A dump without the quality series is called out, not zero-filled.
+        let foreign = tempfile("monflags-foreign.prom");
+        std::fs::write(&foreign, "# TYPE up gauge\nup 1\n").unwrap();
+        let err = run_err(&["monitor-report", "--input", foreign.to_str().unwrap()]);
+        assert!(err.contains("no quality metrics"), "got: {err}");
+
+        for f in [&data, &model, &foreign] {
             std::fs::remove_file(f).ok();
         }
     }

@@ -17,7 +17,10 @@
 //! * `dbsvec ingest` — stream new points into a loaded model, promoting
 //!   dense arrivals to cores, and report the resulting drift;
 //! * `dbsvec metrics-report` — render a `--metrics-file` dump (Prometheus
-//!   text or JSON) human-readably, validating it along the way.
+//!   text or JSON) human-readably, validating it along the way;
+//! * `dbsvec monitor-report` — summarize the drift metrics a monitored
+//!   serve/ingest run dumped, and optionally assert the refit verdict
+//!   (`--expect-refit` / `--expect-fresh`) as an exit status for CI.
 //!
 //! All user errors surface as [`CliError`] with a message suitable for
 //! stderr; the binary in `src/bin/dbsvec.rs` is a trivial shell around
@@ -69,10 +72,14 @@ USAGE:
   dbsvec-cli serve    --model model.dbm --assign points.csv [--output labels.csv]
                   [--threads N] [--profile] [--trace out.jsonl]
                   [--metrics-file metrics.prom] [--metrics-interval N]
+                  [--monitor] [--monitor-window N] [--drift-threshold F]
+                  [--refit-threshold F]
   dbsvec-cli ingest   --model model.dbm --input points.csv [--save updated.dbm]
                   [--trace out.jsonl] [--metrics-file metrics.prom]
-                  [--metrics-interval N]
+                  [--metrics-interval N] [--monitor] [--monitor-window N]
+                  [--drift-threshold F] [--refit-threshold F]
   dbsvec-cli metrics-report --input metrics.prom
+  dbsvec-cli monitor-report --input metrics.prom [--expect-refit | --expect-fresh]
 
 ALGORITHMS (for --algorithm):
   dbsvec (default) | dbsvec-min | dbscan | kd-dbscan | parallel-dbscan |
@@ -111,6 +118,23 @@ TELEMETRY (serve, ingest):
   --metrics-interval N  re-dump the file every N processed points (0 = only at
                         the end), so a scraper sees progress mid-run
   metrics-report        validate and pretty-print such a dump
+
+QUALITY MONITORING (serve, ingest):
+  fit records a quality baseline into the snapshot: per-cluster occupancy,
+  the assign-distance histogram, and the noise rate of the training data.
+  --monitor             window live traffic into the same distributions and
+                        score the drift (histogram EMD, occupancy shift,
+                        noise-rate delta); alerts and window summaries land
+                        in traces and in the metrics dump
+  --monitor-window N    observations per tumbling window (default 512)
+  --drift-threshold F   smoothed-score alert threshold in (0, 1]
+                        (default 0.35); at or above it, a re-fit is
+                        recommended regardless of staleness
+  --refit-threshold F   staleness ratio that alone recommends a re-fit
+                        (default 0.25)
+  monitor-report        summarize the drift metrics in such a dump;
+                        --expect-refit / --expect-fresh assert the verdict
+                        via the exit status (CI gate)
 ";
 
 /// Entry point shared by the binary and the tests: parses `tokens`
@@ -131,6 +155,7 @@ pub fn run(tokens: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), CliE
         Some("serve") => commands::serve(&parsed, out),
         Some("ingest") => commands::ingest(&parsed, out),
         Some("metrics-report") => commands::metrics_report(&parsed, out),
+        Some("monitor-report") => commands::monitor_report(&parsed, out),
         Some(other) => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
         None => Err(CliError(format!("no command given\n\n{USAGE}"))),
     }

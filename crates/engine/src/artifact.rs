@@ -10,12 +10,47 @@
 use dbsvec_core::labels::Clustering;
 use dbsvec_core::{ClusterModel, ModelError};
 use dbsvec_geometry::{PointId, PointSet};
+use dbsvec_index::{KdTree, RangeIndex};
+use dbsvec_obs::Histogram;
 use dbsvec_svdd::{kernel_width_center_radius, optimal_nu, GaussianKernel, SvddProblem};
 
 /// Multipliers below this are not support vectors (mirrors the solver's
 /// internal tolerance, so a persisted boundary evaluates the decision
 /// function over exactly the support set the live model uses).
 const ALPHA_TOL: f64 = 1e-9;
+
+/// Histogram ticks per ε when recording assign distances. The log-linear
+/// histogram counts integers, so continuous distances are fixed-pointed in
+/// units of ε/1024 — fine enough that quantization never dominates the
+/// octave-level drift comparison, coarse enough that a full ε is only ten
+/// octaves.
+pub const DIST_TICKS_PER_EPS: f64 = 1024.0;
+
+/// Fixed-point mapping of a distance into histogram ticks, in units of the
+/// model's ε (see [`DIST_TICKS_PER_EPS`]).
+pub fn distance_ticks(distance: f64, eps: f64) -> u64 {
+    let t = (distance / eps) * DIST_TICKS_PER_EPS;
+    if t.is_finite() && t > 0.0 {
+        t.round() as u64
+    } else {
+        0
+    }
+}
+
+/// SVDD margins (`F(x) − R²`) are signed and small; they are clamped to
+/// `±MARGIN_CLAMP`, shifted positive, and scaled by
+/// [`DIST_TICKS_PER_EPS`] before recording.
+pub const MARGIN_CLAMP: f64 = 8.0;
+
+/// Fixed-point mapping of a signed SVDD margin into histogram ticks.
+pub fn margin_ticks(margin: f64) -> u64 {
+    let m = if margin.is_finite() {
+        margin.clamp(-MARGIN_CLAMP, MARGIN_CLAMP)
+    } else {
+        MARGIN_CLAMP
+    };
+    ((m + MARGIN_CLAMP) * DIST_TICKS_PER_EPS).round() as u64
+}
 
 /// One cluster's SVDD description, reduced to what the decision function
 /// needs: support vectors, their multipliers, the kernel width, and the
@@ -55,6 +90,74 @@ impl ClusterBoundary {
     }
 }
 
+/// Fit-time distribution summary the quality monitor compares live
+/// traffic against.
+///
+/// Captured by [`ModelArtifact::with_quality`] and persisted in snapshot
+/// format v2; models without one (old snapshots, fits that skipped the
+/// step) serve fine but the monitor degrades to staleness-only mode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QualityBaseline {
+    /// Points per cluster at fit time, indexed by compact cluster id
+    /// (length equals the artifact's `num_clusters`).
+    pub occupancy: Vec<u64>,
+    /// Points the fit left as noise.
+    pub noise_points: u64,
+    /// Total points the fit saw (`Σ occupancy + noise_points`).
+    pub total_points: u64,
+    /// Distance from each clustered training point to its nearest core
+    /// *other than itself*, in [`DIST_TICKS_PER_EPS`] ticks — the
+    /// leave-one-out version of the quantity serving assignment measures.
+    pub assign_dist: Histogram,
+    /// SVDD margins `F(x) − R²` of clustered training points against
+    /// their own cluster's boundary, in [`margin_ticks`] ticks. Present
+    /// only when the artifact carried boundaries at capture time.
+    pub margin: Option<Histogram>,
+}
+
+impl QualityBaseline {
+    /// Per-cluster occupancy shares (fractions of `total_points`).
+    pub fn shares(&self) -> Vec<f64> {
+        let total = self.total_points.max(1) as f64;
+        self.occupancy.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Fraction of fit points left as noise.
+    pub fn noise_rate(&self) -> f64 {
+        self.noise_points as f64 / self.total_points.max(1) as f64
+    }
+
+    /// Consistency against the owning artifact (the snapshot decoder
+    /// surfaces failures as semantic corruption).
+    pub fn validate(&self, num_clusters: u32) -> Result<(), String> {
+        if self.occupancy.len() != num_clusters as usize {
+            return Err(format!(
+                "baseline tracks {} clusters, model has {num_clusters}",
+                self.occupancy.len()
+            ));
+        }
+        let clustered = self
+            .occupancy
+            .iter()
+            .try_fold(0u64, |acc, &c| acc.checked_add(c))
+            .and_then(|sum| sum.checked_add(self.noise_points));
+        if clustered != Some(self.total_points) {
+            return Err(format!(
+                "baseline occupancy + noise {} != total {}",
+                self.noise_points, self.total_points
+            ));
+        }
+        if self.assign_dist.count() > self.total_points {
+            return Err(format!(
+                "baseline distance histogram holds {} samples for {} points",
+                self.assign_dist.count(),
+                self.total_points
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A fitted DBSVEC model in persistable form.
 ///
 /// Produced by [`ModelArtifact::from_fit`], written and read by
@@ -74,6 +177,8 @@ pub struct ModelArtifact {
     /// Optional per-cluster SVDD boundaries (at most one per cluster;
     /// clusters too small to train on are simply absent).
     pub boundaries: Option<Vec<ClusterBoundary>>,
+    /// Optional fit-time quality baseline for serve-time drift detection.
+    pub quality: Option<QualityBaseline>,
 }
 
 impl ModelArtifact {
@@ -94,6 +199,7 @@ impl ModelArtifact {
             cores: model.cores().clone(),
             core_labels: model.core_labels().to_vec(),
             boundaries: None,
+            quality: None,
         })
     }
 
@@ -130,6 +236,63 @@ impl ModelArtifact {
             });
         }
         self.boundaries = Some(boundaries);
+        self
+    }
+
+    /// Captures the fit-time quality baseline: per-cluster occupancy,
+    /// noise rate, the leave-one-out distance-to-nearest-core histogram,
+    /// and (when boundaries are attached) the SVDD margin histogram.
+    ///
+    /// Call after [`ModelArtifact::with_boundaries`] if margins should be
+    /// part of the baseline.
+    pub fn with_quality(mut self, points: &PointSet, clustering: &Clustering) -> Self {
+        let tree = KdTree::build(&self.cores);
+        let mut assign_dist = Histogram::new();
+        let mut hits: Vec<PointId> = Vec::new();
+        for (_, x) in points.iter() {
+            hits.clear(); // range() appends
+            tree.range(x, self.eps, &mut hits);
+            // Nearest core other than the point itself: a core point's
+            // distance to its own entry is a degenerate 0 that serving
+            // traffic (fresh draws) never reproduces.
+            let mut best = f64::INFINITY;
+            let mut self_skipped = false;
+            for &id in &hits {
+                let d_sq = self.cores.squared_distance_to(id, x);
+                if !self_skipped && d_sq == 0.0 && self.cores.point(id) == x {
+                    self_skipped = true;
+                    continue;
+                }
+                best = best.min(d_sq);
+            }
+            if best.is_finite() {
+                assign_dist.record(distance_ticks(best.sqrt(), self.eps));
+            }
+        }
+
+        let margin = self.boundaries.as_ref().map(|bounds| {
+            let mut h = Histogram::new();
+            let members = clustering.cluster_members();
+            for b in bounds {
+                for &id in &members[b.cluster as usize] {
+                    let m = b.decision(points.point(id)) - b.r_sq;
+                    h.record(margin_ticks(m));
+                }
+            }
+            h
+        });
+
+        self.quality = Some(QualityBaseline {
+            occupancy: clustering
+                .cluster_sizes()
+                .iter()
+                .map(|&s| s as u64)
+                .collect(),
+            noise_points: clustering.noise_count() as u64,
+            total_points: clustering.len() as u64,
+            assign_dist,
+            margin,
+        });
         self
     }
 
@@ -216,6 +379,9 @@ impl ModelArtifact {
                 }
             }
         }
+        if let Some(q) = &self.quality {
+            q.validate(self.num_clusters)?;
+        }
         Ok(())
     }
 }
@@ -284,6 +450,91 @@ mod tests {
     }
 
     #[test]
+    fn with_quality_captures_the_fit_distributions() {
+        let (ps, result, eps, min_pts) = two_blob_fit();
+        let artifact =
+            ModelArtifact::from_fit(&ps, result.labels(), result.core_points(), eps, min_pts)
+                .unwrap()
+                .with_boundaries(&ps, result.labels())
+                .with_quality(&ps, result.labels());
+        let q = artifact.quality.as_ref().expect("baseline captured");
+        assert_eq!(q.occupancy.len(), 2);
+        assert_eq!(q.total_points, ps.len() as u64);
+        assert_eq!(
+            q.occupancy.iter().sum::<u64>() + q.noise_points,
+            q.total_points
+        );
+        let shares = q.shares();
+        assert!((shares.iter().sum::<f64>() + q.noise_rate() - 1.0).abs() < 1e-12);
+        // The blobs are dense lines: every point has a nearby core, and
+        // the leave-one-out distances sit well inside ε.
+        assert!(q.assign_dist.count() > 0);
+        assert!(q.assign_dist.max().unwrap() <= DIST_TICKS_PER_EPS as u64);
+        // Boundaries were attached first, so margins are present and the
+        // bulk of training points lie inside their sphere (margin <= 0,
+        // i.e. ticks at or below the zero offset).
+        let margin = q.margin.as_ref().expect("margin histogram");
+        assert!(margin.count() > 0);
+        let zero = margin_ticks(0.0);
+        assert!(margin.quantile(0.5).unwrap() <= zero as f64);
+        artifact.validate().expect("baseline validates");
+    }
+
+    #[test]
+    fn quality_distances_are_leave_one_out() {
+        // Regression: `KdTree::range` appends into its output vector, so a
+        // hits buffer reused across points used to retain stale copies of a
+        // core's own id — the self-skip fired once, the stale duplicate
+        // recorded a degenerate zero distance, and the baseline histogram
+        // skewed low enough to flag stationary traffic as drifted.
+        let (ps, result, eps, min_pts) = two_blob_fit();
+        let artifact =
+            ModelArtifact::from_fit(&ps, result.labels(), result.core_points(), eps, min_pts)
+                .unwrap()
+                .with_quality(&ps, result.labels());
+        let q = artifact.quality.as_ref().unwrap();
+        // Every point on the 0.1-spaced lines has its nearest *other* core
+        // a full grid step away, so the smallest recorded tick sits near
+        // distance_ticks(0.1, eps) — and in particular is never zero.
+        assert_eq!(q.assign_dist.count(), ps.len() as u64);
+        let min = q.assign_dist.min().unwrap();
+        assert!(
+            min >= distance_ticks(0.1, eps) / 2,
+            "degenerate self-distance leaked into the baseline: min tick {min}"
+        );
+    }
+
+    #[test]
+    fn quality_without_boundaries_skips_margins() {
+        let (ps, result, eps, min_pts) = two_blob_fit();
+        let artifact =
+            ModelArtifact::from_fit(&ps, result.labels(), result.core_points(), eps, min_pts)
+                .unwrap()
+                .with_quality(&ps, result.labels());
+        let q = artifact.quality.as_ref().unwrap();
+        assert!(q.margin.is_none());
+    }
+
+    #[test]
+    fn fixed_point_tick_mappings_are_sane() {
+        assert_eq!(distance_ticks(0.0, 0.5), 0);
+        assert_eq!(distance_ticks(0.5, 0.5), DIST_TICKS_PER_EPS as u64);
+        assert_eq!(distance_ticks(0.25, 0.5), (DIST_TICKS_PER_EPS / 2.0) as u64);
+        assert_eq!(distance_ticks(f64::NAN, 0.5), 0);
+        assert_eq!(
+            margin_ticks(0.0),
+            (MARGIN_CLAMP * DIST_TICKS_PER_EPS) as u64
+        );
+        assert_eq!(margin_ticks(-1e9), 0);
+        assert_eq!(
+            margin_ticks(1e9),
+            (2.0 * MARGIN_CLAMP * DIST_TICKS_PER_EPS) as u64
+        );
+        assert!(margin_ticks(-0.5) < margin_ticks(0.0));
+        assert!(margin_ticks(0.5) > margin_ticks(0.0));
+    }
+
+    #[test]
     fn validate_catches_corruption() {
         let (ps, result, eps, min_pts) = two_blob_fit();
         let good =
@@ -304,6 +555,21 @@ mod tests {
 
         let mut bad = good.clone();
         bad.core_labels.pop();
+        assert!(bad.validate().is_err());
+
+        // Baseline corruption is caught too.
+        let with_q = good.clone().with_quality(&ps, result.labels());
+        let mut bad = with_q.clone();
+        bad.quality.as_mut().unwrap().occupancy.pop();
+        assert!(bad.validate().is_err());
+        let mut bad = with_q.clone();
+        bad.quality.as_mut().unwrap().total_points += 1;
+        assert!(bad.validate().is_err());
+        let mut bad = with_q;
+        let q = bad.quality.as_mut().unwrap();
+        for _ in 0..=q.total_points {
+            q.assign_dist.record(1);
+        }
         assert!(bad.validate().is_err());
     }
 }

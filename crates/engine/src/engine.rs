@@ -37,8 +37,9 @@ use dbsvec_geometry::{squared_euclidean, PointSet};
 use dbsvec_index::{OwnedKdTree, RangeIndex};
 use dbsvec_obs::{Event, Histogram, NoopObserver, Observer};
 
-use crate::artifact::{ClusterBoundary, ModelArtifact};
+use crate::artifact::{ClusterBoundary, ModelArtifact, QualityBaseline};
 use crate::metrics::EngineMetrics;
+use crate::monitor::{DriftSignals, MonitorConfig, QualityMonitor, WindowReport};
 
 /// Result of classifying one observation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,7 +111,10 @@ pub struct EngineStats {
 pub struct HealthSnapshot {
     /// Accumulated topology drift per fitted core ([`Engine::staleness`]).
     pub staleness: f64,
-    /// Whether drift passed [`REFIT_THRESHOLD`].
+    /// Whether the refit evidence crossed a threshold: staleness past
+    /// [`EngineConfig::refit_threshold`], or — when produced by
+    /// [`Engine::health_with`] — the monitor's smoothed drift score past
+    /// its alert threshold.
     pub refit_recommended: bool,
     /// Current core points (fitted + promoted).
     pub core_points: usize,
@@ -122,6 +126,10 @@ pub struct HealthSnapshot {
     pub buffered_points: usize,
     /// Times the core kd-tree has been rebuilt.
     pub tree_rebuilds: u64,
+    /// Distribution-drift evidence from the quality monitor's last
+    /// completed window. `None` from [`Engine::health`], or when the
+    /// monitor has no baseline or no completed window yet.
+    pub drift: Option<DriftSignals>,
 }
 
 /// A buffered (not-yet-core) observation and its tracked neighbor count.
@@ -132,8 +140,47 @@ struct Buffered {
     count: u32,
 }
 
-/// Staleness ratio above which [`Engine::refit_recommended`] fires.
+/// Default staleness ratio above which [`Engine::refit_recommended`]
+/// fires ([`EngineConfig::refit_threshold`]'s default).
 pub const REFIT_THRESHOLD: f64 = 0.25;
+
+/// Tunable serving knobs, applied at construction via
+/// [`Engine::with_config`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Staleness ratio above which a refit is recommended. Lower values
+    /// trade refit churn for model freshness.
+    pub refit_threshold: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            refit_threshold: REFIT_THRESHOLD,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration ([`REFIT_THRESHOLD`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the staleness ratio above which a refit is recommended.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold is not positive and finite.
+    pub fn with_refit_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "refit threshold must be positive and finite, got {threshold}"
+        );
+        self.refit_threshold = threshold;
+        self
+    }
+}
 
 /// Fold the tail into the kd-tree once it exceeds
 /// `max(REBUILD_MIN_TAIL, indexed/4)`.
@@ -162,12 +209,26 @@ pub struct Engine {
     /// Fit-time SVDD boundaries; dropped on the first topology change
     /// (they describe clusters that no longer exist as fitted).
     boundaries: Option<Vec<ClusterBoundary>>,
+    /// Fit-time quality baseline; dropped on the first topology change
+    /// like the boundaries (its occupancy is indexed by the fitted
+    /// cluster ids). A [`QualityMonitor`] keeps its own copy, so drift is
+    /// still scored against the original fit after promotions.
+    quality: Option<QualityBaseline>,
+    config: EngineConfig,
     initial_cores: usize,
     stats: EngineStats,
 }
 
 fn coord_key(x: &[f64]) -> Vec<u64> {
     x.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Streams a completed window (and its alert, if raised) to the observer.
+fn emit_window(report: &WindowReport, obs: &mut dyn Observer) {
+    obs.event(&report.window_event());
+    if let Some(alert) = report.alert_event() {
+        obs.event(&alert);
+    }
 }
 
 impl Engine {
@@ -177,6 +238,11 @@ impl Engine {
     /// snapshot loader guarantees this, and [`ModelArtifact::from_fit`]
     /// cannot produce an invalid one.
     pub fn new(artifact: &ModelArtifact) -> Self {
+        Self::with_config(artifact, EngineConfig::default())
+    }
+
+    /// [`Engine::new`] with explicit serving knobs.
+    pub fn with_config(artifact: &ModelArtifact, config: EngineConfig) -> Self {
         debug_assert!(artifact.validate().is_ok());
         let mut uf = UnionFind::new();
         for _ in 0..artifact.num_clusters {
@@ -202,9 +268,16 @@ impl Engine {
             buffered: Vec::new(),
             seen,
             boundaries: artifact.boundaries.clone(),
+            quality: artifact.quality.clone(),
+            config,
             initial_cores: artifact.cores.len(),
             stats: EngineStats::default(),
         }
+    }
+
+    /// The serving knobs the engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// The assignment radius ε.
@@ -248,6 +321,19 @@ impl Engine {
         self.boundaries.as_deref()
     }
 
+    /// Fit-time quality baseline, while still faithful (dropped on the
+    /// first promotion or merge, like the boundaries).
+    pub fn quality(&self) -> Option<&QualityBaseline> {
+        self.quality.as_ref()
+    }
+
+    /// Builds a [`QualityMonitor`] for this engine's model, scoring
+    /// against the fit-time baseline when one is still held (degraded,
+    /// staleness-only mode otherwise).
+    pub fn monitor(&self, config: MonitorConfig) -> QualityMonitor {
+        QualityMonitor::from_parts(self.eps, self.quality.as_ref(), config)
+    }
+
     /// Accumulated topology drift relative to the fitted model: promoted
     /// cores, merges, and still-buffered points, per fitted core point.
     pub fn staleness(&self) -> f64 {
@@ -257,7 +343,7 @@ impl Engine {
 
     /// Whether the drift warrants re-fitting from scratch.
     pub fn refit_recommended(&self) -> bool {
-        self.staleness() >= REFIT_THRESHOLD
+        self.staleness() >= self.config.refit_threshold
     }
 
     /// One coherent snapshot of the engine's operational health.
@@ -270,7 +356,18 @@ impl Engine {
             clusters: self.num_display,
             buffered_points: self.buffered.len(),
             tree_rebuilds: self.stats.tree_rebuilds,
+            drift: None,
         }
+    }
+
+    /// [`Engine::health`] enriched with the monitor's drift evidence: the
+    /// refit recommendation combines staleness with the smoothed drift
+    /// score, each against its own threshold.
+    pub fn health_with(&self, monitor: &QualityMonitor) -> HealthSnapshot {
+        let mut h = self.health();
+        h.drift = monitor.signals();
+        h.refit_recommended = h.refit_recommended || monitor.drift_exceeded();
+        h
     }
 
     /// Pure classification: nearest core within ε, else noise. Shared by
@@ -278,6 +375,28 @@ impl Engine {
     /// `&self` and is safe to call from scoped threads.
     pub fn classify(&self, x: &[f64]) -> Assignment {
         assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
+        match self.nearest_core(x) {
+            Some((_, raw)) => Assignment::Cluster(self.display[raw as usize]),
+            None => Assignment::Noise,
+        }
+    }
+
+    /// [`Engine::classify`] that also reports the distance to the nearest
+    /// core for cluster hits — the quantity the quality monitor windows.
+    pub fn classify_scored(&self, x: &[f64]) -> (Assignment, Option<f64>) {
+        assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
+        match self.nearest_core(x) {
+            Some((d_sq, raw)) => (
+                Assignment::Cluster(self.display[raw as usize]),
+                Some(d_sq.sqrt()),
+            ),
+            None => (Assignment::Noise, None),
+        }
+    }
+
+    /// Squared distance and raw union–find id of the nearest core within
+    /// ε, over the kd-tree plus the linear tail.
+    fn nearest_core(&self, x: &[f64]) -> Option<(f64, u32)> {
         let mut best: Option<(f64, u32)> = None;
         let mut hits = Vec::new();
         self.tree.range(x, self.eps, &mut hits);
@@ -294,10 +413,7 @@ impl Engine {
                 best = Some((d, self.core_raw[offset + i as usize]));
             }
         }
-        match best {
-            Some((_, raw)) => Assignment::Cluster(self.display[raw as usize]),
-            None => Assignment::Noise,
-        }
+        best
     }
 
     /// Classifies one observation, recording stats and an
@@ -448,6 +564,46 @@ impl Engine {
         results
     }
 
+    /// [`Engine::assign_observed`] folding the result (and the distance
+    /// to the nearest core) into a quality monitor. Emits
+    /// [`Event::QualityWindow`] / [`Event::DriftAlert`] when this call
+    /// completes a window. Sequential by design: the monitor is `&mut`
+    /// shared state.
+    pub fn assign_monitored(
+        &mut self,
+        x: &[f64],
+        monitor: &mut QualityMonitor,
+        obs: &mut dyn Observer,
+    ) -> Assignment {
+        let (a, distance) = self.classify_scored(x);
+        self.stats.assigns += 1;
+        let hit = matches!(a, Assignment::Cluster(_));
+        if hit {
+            self.stats.assign_hits += 1;
+        }
+        obs.event(&Event::Assign { hit });
+        if let Some(report) = monitor.observe_assign(a, distance) {
+            emit_window(&report, obs);
+        }
+        a
+    }
+
+    /// [`Engine::ingest_observed`] folding the outcome into a quality
+    /// monitor (outcome only — no extra range query). Emits window and
+    /// alert events like [`Engine::assign_monitored`].
+    pub fn ingest_monitored(
+        &mut self,
+        x: &[f64],
+        monitor: &mut QualityMonitor,
+        obs: &mut dyn Observer,
+    ) -> IngestOutcome {
+        let out = self.ingest_observed(x, obs);
+        if let Some(report) = monitor.observe_ingest(out) {
+            emit_window(&report, obs);
+        }
+        out
+    }
+
     /// [`Engine::ingest`] with per-call latency recorded into `metrics`.
     pub fn ingest_metered(&mut self, x: &[f64], metrics: &mut EngineMetrics) -> IngestOutcome {
         let start = Instant::now();
@@ -527,7 +683,8 @@ impl Engine {
     }
 
     /// Re-persists the engine's current state as an artifact. Boundaries
-    /// survive only if no promotion or merge has occurred since load.
+    /// and the quality baseline survive only if no promotion or merge has
+    /// occurred since load.
     pub fn snapshot(&self) -> ModelArtifact {
         let mut cores = self.tree.points().clone();
         for (_, p) in self.tail.iter() {
@@ -545,6 +702,7 @@ impl Engine {
             cores,
             core_labels,
             boundaries: self.boundaries.clone(),
+            quality: self.quality.clone(),
         }
     }
 
@@ -607,11 +765,13 @@ impl Engine {
         self.tail.push(x);
         self.core_raw.push(raw);
         self.stats.promotions += 1;
-        // Topology changed: refresh the display map, drop stale boundaries.
+        // Topology changed: refresh the display map, drop the stale
+        // boundaries and quality baseline (both indexed by fitted ids).
         let (display, num_display) = self.uf.compact_labels();
         self.display = display;
         self.num_display = num_display;
         self.boundaries = None;
+        self.quality = None;
         let cluster = self.display[raw as usize];
         obs.event(&Event::Promote { cluster });
         if self.tail.len() >= REBUILD_MIN_TAIL.max(self.tree.len() / 4) {
@@ -656,6 +816,7 @@ mod tests {
             cores,
             core_labels: labels,
             boundaries: None,
+            quality: None,
         }
     }
 
@@ -742,6 +903,7 @@ mod tests {
             cores,
             core_labels: vec![0, 0, 1, 1],
             boundaries: None,
+            quality: None,
         };
         let mut engine = Engine::new(&artifact);
         assert_eq!(engine.num_clusters(), 2);
@@ -817,6 +979,105 @@ mod tests {
         assert!(expected_hits > 0);
         assert!(engine.stats().tree_rebuilds >= 1 || engine.tail.len() < 64);
         assert_eq!(engine.classify(&[0.5, 0.5]), Assignment::Cluster(0));
+    }
+
+    #[test]
+    fn config_overrides_the_refit_threshold() {
+        let artifact = grid_artifact();
+        let config = EngineConfig::new().with_refit_threshold(0.05);
+        let mut engine = Engine::with_config(&artifact, config);
+        assert_eq!(engine.config().refit_threshold, 0.05);
+        engine.ingest(&[2.0, 0.5]); // one promotion: staleness 0.1
+        assert!(engine.refit_recommended(), "{}", engine.staleness());
+        let mut default_engine = Engine::new(&artifact);
+        default_engine.ingest(&[2.0, 0.5]);
+        assert!(!default_engine.refit_recommended());
+    }
+
+    #[test]
+    #[should_panic(expected = "refit threshold")]
+    fn config_rejects_nonpositive_threshold() {
+        EngineConfig::new().with_refit_threshold(0.0);
+    }
+
+    #[test]
+    fn classify_scored_agrees_with_classify() {
+        let engine = Engine::new(&grid_artifact());
+        for q in [[2.0, 0.5], [2.0, 99.5], [2.0, 50.0], [4.9, 1.0]] {
+            let (a, d) = engine.classify_scored(&q);
+            assert_eq!(a, engine.classify(&q));
+            match a {
+                Assignment::Cluster(_) => {
+                    let d = d.expect("cluster hits carry a distance");
+                    assert!(d <= engine.eps() && d >= 0.0, "{d}");
+                }
+                Assignment::Noise => assert_eq!(d, None),
+            }
+        }
+        // The reported distance is to the *nearest* core.
+        let (_, d) = engine.classify_scored(&[2.0, 0.5]);
+        assert!((d.unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monitored_paths_window_and_alert() {
+        use dbsvec_obs::RecordingObserver;
+        let artifact = grid_artifact().with_quality_from_labels();
+        let mut engine = Engine::new(&artifact);
+        assert!(engine.quality().is_some());
+        let mut monitor = engine.monitor(
+            MonitorConfig::new()
+                .with_window(8)
+                .with_drift_threshold(0.3)
+                .with_ewma_alpha(1.0),
+        );
+        let mut rec = RecordingObserver::new();
+        // All-noise traffic: maximal noise delta against a 0%-noise fit.
+        for _ in 0..8 {
+            let a = engine.assign_monitored(&[2.0, 50.0], &mut monitor, &mut rec);
+            assert_eq!(a, Assignment::Noise);
+        }
+        let counts = rec.replay();
+        assert_eq!(counts.assigns, 8);
+        assert_eq!(counts.quality_windows, 1);
+        assert_eq!(counts.drift_alerts, 1);
+        let h = engine.health_with(&monitor);
+        assert!(h.refit_recommended, "drift alone must recommend refit");
+        assert_eq!(h.staleness, 0.0);
+        let drift = h.drift.expect("completed window carries signals");
+        assert!(drift.smoothed_score >= 0.3, "{drift:?}");
+        assert_eq!(drift.dominant(), "noise_delta");
+        // Plain health stays drift-blind.
+        assert!(engine.health().drift.is_none());
+        assert!(!engine.health().refit_recommended);
+    }
+
+    #[test]
+    fn monitored_ingest_counts_windows() {
+        use dbsvec_obs::RecordingObserver;
+        let artifact = grid_artifact().with_quality_from_labels();
+        let mut engine = Engine::new(&artifact);
+        let mut monitor = engine.monitor(MonitorConfig::new().with_window(4));
+        let mut rec = RecordingObserver::new();
+        for i in 0..4 {
+            engine.ingest_monitored(&[30.0 + i as f64 * 8.0, 30.0], &mut monitor, &mut rec);
+        }
+        let counts = rec.replay();
+        assert_eq!(counts.ingests, 4);
+        assert_eq!(counts.quality_windows, 1);
+        assert_eq!(monitor.windows_completed(), 1);
+    }
+
+    impl ModelArtifact {
+        /// Test helper: synthesizes the quality baseline straight from the
+        /// artifact's own cores (each core is its own training point).
+        fn with_quality_from_labels(self) -> ModelArtifact {
+            let points = self.cores.clone();
+            let clustering = dbsvec_core::Clustering::from_assignments(
+                self.core_labels.iter().map(|&l| Some(l)).collect(),
+            );
+            self.with_quality(&points, &clustering)
+        }
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //!   counters mirroring [`EngineStats`], health gauges mirroring
 //!   [`HealthSnapshot`], and per-call latency histograms filled by the
 //!   engine's `*_metered` methods. Exposed as Prometheus text or JSON via
-//!   `dbsvec_obs::telemetry::expo`.
+//!   `dbsvec_obs::telemetry::expo`;
+//! * [`QualityMonitor`] ([`monitor`]) — online drift detection: the fit
+//!   records a [`QualityBaseline`] into the artifact, the monitor windows
+//!   live traffic into the same distributions and scores histogram,
+//!   occupancy, and noise-rate drift, feeding
+//!   [`Engine::health_with`](engine::Engine::health_with) refit evidence
+//!   beyond staleness.
 //!
 //! Everything observes through the `dbsvec-obs` seam (`Assign`, `Ingest`,
 //! `Promote`, `SnapshotWrite`/`SnapshotLoad` events under the `serve`
@@ -51,9 +57,13 @@
 pub mod artifact;
 pub mod engine;
 pub mod metrics;
+pub mod monitor;
 pub mod snapshot;
 
-pub use artifact::{ClusterBoundary, ModelArtifact};
-pub use engine::{Assignment, Engine, EngineStats, HealthSnapshot, IngestOutcome, REFIT_THRESHOLD};
+pub use artifact::{ClusterBoundary, ModelArtifact, QualityBaseline};
+pub use engine::{
+    Assignment, Engine, EngineConfig, EngineStats, HealthSnapshot, IngestOutcome, REFIT_THRESHOLD,
+};
 pub use metrics::EngineMetrics;
-pub use snapshot::{SnapshotError, FORMAT_VERSION, MAGIC};
+pub use monitor::{DriftSignals, MonitorConfig, QualityMonitor, WindowReport};
+pub use snapshot::{SnapshotError, FORMAT_VERSION, MAGIC, MIN_READ_VERSION};

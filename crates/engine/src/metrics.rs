@@ -32,6 +32,7 @@ use dbsvec_obs::telemetry::{CounterId, GaugeId, Histogram, HistogramId, Histogra
 use dbsvec_obs::Registry;
 
 use crate::engine::Engine;
+use crate::monitor::QualityMonitor;
 
 /// A telemetry registry pre-wired with the engine's serving metrics.
 #[derive(Clone, Debug)]
@@ -55,6 +56,19 @@ pub struct EngineMetrics {
     buffered_points: GaugeId,
     assign_latency: HistogramId,
     ingest_latency: HistogramId,
+    // Quality-monitor metrics, set by `refresh_with_monitor`.
+    quality_windows: CounterId,
+    drift_alerts: CounterId,
+    quality_baseline_present: GaugeId,
+    drift_score: GaugeId,
+    drift_score_smoothed: GaugeId,
+    drift_hist_distance: GaugeId,
+    drift_occupancy_shift: GaugeId,
+    drift_noise_delta: GaugeId,
+    noise_rate_window: GaugeId,
+    /// Per-cluster occupancy gauges (`dbsvec_cluster_occupancy_c<N>`),
+    /// registered lazily as clusters appear in completed windows.
+    cluster_occupancy: Vec<GaugeId>,
 }
 
 impl Default for EngineMetrics {
@@ -136,6 +150,42 @@ impl EngineMetrics {
             "Per-call ingest latency.",
             1e9,
         );
+        let quality_windows = reg.counter(
+            "dbsvec_quality_windows_total",
+            "Quality-monitor tumbling windows completed.",
+        );
+        let drift_alerts = reg.counter(
+            "dbsvec_drift_alerts_total",
+            "Windows whose smoothed drift score crossed the threshold.",
+        );
+        let quality_baseline_present = reg.gauge(
+            "dbsvec_quality_baseline_present",
+            "1 when the monitor scores against a fit-time baseline, 0 in degraded mode.",
+        );
+        let drift_score = reg.gauge(
+            "dbsvec_drift_score",
+            "Raw combined drift score of the last completed window.",
+        );
+        let drift_score_smoothed = reg.gauge(
+            "dbsvec_drift_score_smoothed",
+            "EWMA-smoothed drift score (the alerting quantity).",
+        );
+        let drift_hist_distance = reg.gauge(
+            "dbsvec_drift_hist_distance",
+            "Assign-distance histogram drift vs the baseline, last window.",
+        );
+        let drift_occupancy_shift = reg.gauge(
+            "dbsvec_drift_occupancy_shift",
+            "Occupancy-share total variation vs the baseline, last window.",
+        );
+        let drift_noise_delta = reg.gauge(
+            "dbsvec_drift_noise_delta",
+            "Absolute noise-rate change vs the baseline, last window.",
+        );
+        let noise_rate_window = reg.gauge(
+            "dbsvec_noise_rate_window",
+            "Noise rate of the last completed window.",
+        );
         Self {
             reg,
             assigns,
@@ -156,6 +206,16 @@ impl EngineMetrics {
             buffered_points,
             assign_latency,
             ingest_latency,
+            quality_windows,
+            drift_alerts,
+            quality_baseline_present,
+            drift_score,
+            drift_score_smoothed,
+            drift_hist_distance,
+            drift_occupancy_shift,
+            drift_noise_delta,
+            noise_rate_window,
+            cluster_occupancy: Vec::new(),
         }
     }
 
@@ -181,6 +241,55 @@ impl EngineMetrics {
         self.reg.set(self.tail_length, h.tail_length as f64);
         self.reg.set(self.clusters, h.clusters as f64);
         self.reg.set(self.buffered_points, h.buffered_points as f64);
+    }
+
+    /// [`EngineMetrics::refresh`] plus the quality monitor's state:
+    /// window/alert counters, per-signal drift gauges, windowed noise
+    /// rate, and lazily registered per-cluster occupancy gauges
+    /// (`dbsvec_cluster_occupancy_c<N>`, the registry has no label
+    /// support). The refit gauge reflects the combined evidence of
+    /// [`Engine::health_with`](crate::Engine::health_with).
+    pub fn refresh_with_monitor(&mut self, engine: &Engine, monitor: &QualityMonitor) {
+        self.refresh(engine);
+        let h = engine.health_with(monitor);
+        self.reg
+            .set(self.refit_recommended, f64::from(h.refit_recommended));
+        self.reg
+            .set_counter(self.quality_windows, monitor.windows_completed());
+        self.reg.set_counter(self.drift_alerts, monitor.alerts());
+        self.reg.set(
+            self.quality_baseline_present,
+            f64::from(monitor.has_baseline()),
+        );
+        let s = h.drift;
+        self.reg.set(self.drift_score, s.map_or(0.0, |s| s.score));
+        self.reg.set(
+            self.drift_score_smoothed,
+            s.map_or(0.0, |s| s.smoothed_score),
+        );
+        self.reg
+            .set(self.drift_hist_distance, s.map_or(0.0, |s| s.hist_distance));
+        self.reg.set(
+            self.drift_occupancy_shift,
+            s.map_or(0.0, |s| s.occupancy_shift),
+        );
+        self.reg
+            .set(self.drift_noise_delta, s.map_or(0.0, |s| s.noise_delta));
+        self.reg.set(
+            self.noise_rate_window,
+            monitor.window_noise_rate().unwrap_or(0.0),
+        );
+        let shares = monitor.window_shares();
+        while self.cluster_occupancy.len() < shares.len() {
+            let c = self.cluster_occupancy.len();
+            self.cluster_occupancy.push(self.reg.gauge(
+                &format!("dbsvec_cluster_occupancy_c{c}"),
+                &format!("Occupancy share of cluster {c} in the last completed window."),
+            ));
+        }
+        for (&id, &share) in self.cluster_occupancy.iter().zip(shares) {
+            self.reg.set(id, share);
+        }
     }
 
     /// Records one assignment's wall-clock latency.
@@ -254,6 +363,7 @@ mod tests {
             cores,
             core_labels: labels,
             boundaries: None,
+            quality: None,
         }
     }
 
@@ -308,6 +418,62 @@ mod tests {
             assert_eq!(got, expected);
             assert_eq!(m.assign_latency().histogram().count(), 100);
         }
+    }
+
+    #[test]
+    fn refresh_with_monitor_publishes_drift_gauges() {
+        use crate::monitor::MonitorConfig;
+        use dbsvec_obs::NoopObserver;
+
+        let mut cores = PointSet::new(2);
+        for i in 0..5 {
+            cores.push(&[i as f64, 0.0]);
+        }
+        let artifact = ModelArtifact {
+            eps: 1.5,
+            min_pts: 3,
+            num_clusters: 1,
+            cores: cores.clone(),
+            core_labels: vec![0; 5],
+            boundaries: None,
+            quality: None,
+        };
+        let points = cores;
+        let clustering = dbsvec_core::Clustering::from_assignments(vec![Some(0); 5]);
+        let artifact = artifact.with_quality(&points, &clustering);
+        let mut engine = Engine::new(&artifact);
+        let mut monitor = engine.monitor(
+            MonitorConfig::new()
+                .with_window(4)
+                .with_drift_threshold(0.3)
+                .with_ewma_alpha(1.0),
+        );
+        let mut m = EngineMetrics::new();
+        // Before any window: baseline present, everything else zero.
+        m.refresh_with_monitor(&engine, &monitor);
+        let reg = m.registry();
+        assert_eq!(
+            reg.gauge_value("dbsvec_quality_baseline_present"),
+            Some(1.0)
+        );
+        assert_eq!(reg.counter_value("dbsvec_quality_windows_total"), Some(0));
+        assert_eq!(reg.gauge_value("dbsvec_drift_score"), Some(0.0));
+        assert!(reg.gauge_value("dbsvec_cluster_occupancy_c0").is_none());
+
+        // An all-noise window: maximal noise delta, alert, occupancy gauge.
+        for _ in 0..4 {
+            engine.assign_monitored(&[50.0, 50.0], &mut monitor, &mut NoopObserver);
+        }
+        m.refresh_with_monitor(&engine, &monitor);
+        let reg = m.registry();
+        assert_eq!(reg.counter_value("dbsvec_quality_windows_total"), Some(1));
+        assert_eq!(reg.counter_value("dbsvec_drift_alerts_total"), Some(1));
+        let score = reg.gauge_value("dbsvec_drift_score_smoothed").unwrap();
+        assert!(score >= 0.3, "{score}");
+        assert_eq!(reg.gauge_value("dbsvec_noise_rate_window"), Some(1.0));
+        assert_eq!(reg.gauge_value("dbsvec_drift_noise_delta"), Some(1.0));
+        assert_eq!(reg.gauge_value("dbsvec_refit_recommended"), Some(1.0));
+        assert_eq!(reg.gauge_value("dbsvec_cluster_occupancy_c0"), Some(0.0));
     }
 
     #[test]

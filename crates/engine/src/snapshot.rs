@@ -8,16 +8,16 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  89 44 42 53 4D 0D 0A 1A  ("\x89DBSM\r\n\x1a")
-//! 8       4     format version (u32)            currently 1
+//! 8       4     format version (u32)            currently 2 (reads 1 too)
 //! 12      8     FNV-1a 64 checksum of payload (u64)
 //! 20      ...   payload
 //! ```
 //!
-//! Payload (version 1):
+//! Payload:
 //!
 //! ```text
 //! u32 dims | u32 core_count | u32 num_clusters | u32 min_pts
-//! f64 eps  | u32 flags (bit 0: boundaries present)
+//! f64 eps  | u32 flags (bit 0: boundaries, bit 1: quality baseline)
 //! f64 core coords   × core_count·dims
 //! u32 core labels   × core_count
 //! [flags bit 0] u32 boundary_count, then per boundary:
@@ -25,7 +25,25 @@
 //!     f64 sigma | f64 r_sq | f64 alpha_k_alpha
 //!     f64 sv coords × sv_count·dims
 //!     f64 alphas    × sv_count
+//! [flags bit 1, version ≥ 2] quality baseline:
+//!     u64 noise_points | u64 total_points
+//!     u32 occupancy_len | u64 occupancy × occupancy_len
+//!     histogram assign_dist
+//!     u32 margin_present (0/1) | [histogram margin]
 //! ```
+//!
+//! where `histogram` is the sparse-bucket encoding of a log-linear
+//! `dbsvec_obs::Histogram`:
+//!
+//! ```text
+//! u32 entry_count | (u32 bucket_index, u64 count) × entry_count
+//! u64 sum | u64 min | u64 max      (all zero when entry_count = 0)
+//! ```
+//!
+//! Version 1 snapshots are identical minus flag bit 1 and the baseline
+//! section; this build still reads them (the artifact simply loads with
+//! `quality: None`, so serving falls back to staleness-only monitoring)
+//! but always writes version 2.
 //!
 //! The magic borrows PNG's trick: a high-bit byte first (catches 7-bit
 //! transfer), `\r\n` (catches newline translation), and ^Z (stops `type`
@@ -41,13 +59,18 @@ use std::path::Path;
 
 use dbsvec_geometry::PointSet;
 
-use crate::artifact::{ClusterBoundary, ModelArtifact};
+use dbsvec_obs::Histogram;
+
+use crate::artifact::{ClusterBoundary, ModelArtifact, QualityBaseline};
 
 /// File signature of a `.dbm` snapshot.
 pub const MAGIC: [u8; 8] = [0x89, b'D', b'B', b'S', b'M', b'\r', b'\n', 0x1a];
 
-/// The format version this build writes (and the only one it reads).
-pub const FORMAT_VERSION: u32 = 1;
+/// The format version this build writes.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version this build still reads.
+pub const MIN_READ_VERSION: u32 = 1;
 
 /// Size of the fixed header (magic + version + checksum).
 const HEADER_LEN: usize = 8 + 4 + 8;
@@ -87,7 +110,7 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
             SnapshotError::BadMagic => write!(f, "not a dbsvec model snapshot (bad magic)"),
             SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "snapshot format version {v} not supported (this build reads {FORMAT_VERSION})")
+                write!(f, "snapshot format version {v} not supported (this build reads {MIN_READ_VERSION}..={FORMAT_VERSION})")
             }
             SnapshotError::ChecksumMismatch { expected, found } => write!(
                 f,
@@ -137,6 +160,9 @@ impl Writer {
     fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
     fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -144,6 +170,17 @@ impl Writer {
         for &v in vs {
             self.f64(v);
         }
+    }
+    fn histogram(&mut self, h: &Histogram) {
+        let entries: Vec<(usize, u64)> = h.sparse_counts().collect();
+        self.u32(entries.len() as u32);
+        for (i, c) in entries {
+            self.u32(i as u32);
+            self.u64(c);
+        }
+        self.u64(h.sum());
+        self.u64(h.min().unwrap_or(0));
+        self.u64(h.max().unwrap_or(0));
     }
 }
 
@@ -156,7 +193,13 @@ pub fn encode(artifact: &ModelArtifact) -> Vec<u8> {
     payload.u32(artifact.num_clusters);
     payload.u32(artifact.min_pts);
     payload.f64(artifact.eps);
-    let flags = if artifact.boundaries.is_some() { 1 } else { 0 };
+    let mut flags = 0u32;
+    if artifact.boundaries.is_some() {
+        flags |= 1;
+    }
+    if artifact.quality.is_some() {
+        flags |= 2;
+    }
     payload.u32(flags);
     payload.f64_slice(artifact.cores.as_flat());
     for &label in &artifact.core_labels {
@@ -172,6 +215,22 @@ pub fn encode(artifact: &ModelArtifact) -> Vec<u8> {
             payload.f64(b.alpha_k_alpha);
             payload.f64_slice(b.sv.as_flat());
             payload.f64_slice(&b.alpha);
+        }
+    }
+    if let Some(q) = &artifact.quality {
+        payload.u64(q.noise_points);
+        payload.u64(q.total_points);
+        payload.u32(q.occupancy.len() as u32);
+        for &c in &q.occupancy {
+            payload.u64(c);
+        }
+        payload.histogram(&q.assign_dist);
+        match &q.margin {
+            Some(m) => {
+                payload.u32(1);
+                payload.histogram(m);
+            }
+            None => payload.u32(0),
         }
     }
 
@@ -204,6 +263,30 @@ impl<'a> Reader<'a> {
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn histogram(&mut self) -> Result<Histogram, SnapshotError> {
+        let entry_count = self.u32()? as usize;
+        let mut entries = Vec::with_capacity(entry_count.min(4096));
+        for _ in 0..entry_count {
+            let index = self.u32()? as usize;
+            let count = self.u64()?;
+            entries.push((index, count));
+        }
+        let sum = self.u64()?;
+        let min = self.u64()?;
+        let max = self.u64()?;
+        if entries.is_empty() && (sum | min | max) != 0 {
+            return Err(SnapshotError::Invalid(format!(
+                "empty histogram with nonzero summary (sum {sum}, min {min}, max {max})"
+            )));
+        }
+        Histogram::from_sparse(&entries, sum, min, max)
+            .map_err(|why| SnapshotError::Invalid(format!("histogram: {why}")))
     }
 
     fn f64(&mut self) -> Result<f64, SnapshotError> {
@@ -240,7 +323,7 @@ pub fn decode(bytes: &[u8]) -> Result<ModelArtifact, SnapshotError> {
         });
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != FORMAT_VERSION {
+    if !(MIN_READ_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let expected = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
@@ -263,9 +346,10 @@ pub fn decode(bytes: &[u8]) -> Result<ModelArtifact, SnapshotError> {
     if dims == 0 {
         return Err(SnapshotError::Invalid("zero dimensions".to_string()));
     }
-    if flags & !1 != 0 {
+    let known_flags = if version >= 2 { 0b11 } else { 0b1 };
+    if flags & !known_flags != 0 {
         return Err(SnapshotError::Invalid(format!(
-            "unknown flag bits {flags:#x}"
+            "unknown flag bits {flags:#x} for version {version}"
         )));
     }
     let coords = r.f64_vec(core_count * dims)?;
@@ -298,6 +382,34 @@ pub fn decode(bytes: &[u8]) -> Result<ModelArtifact, SnapshotError> {
     } else {
         None
     };
+    let quality = if flags & 2 != 0 {
+        let noise_points = r.u64()?;
+        let total_points = r.u64()?;
+        let occupancy_len = r.u32()? as usize;
+        let mut occupancy = Vec::with_capacity(occupancy_len.min(4096));
+        for _ in 0..occupancy_len {
+            occupancy.push(r.u64()?);
+        }
+        let assign_dist = r.histogram()?;
+        let margin = match r.u32()? {
+            0 => None,
+            1 => Some(r.histogram()?),
+            other => {
+                return Err(SnapshotError::Invalid(format!(
+                    "bad margin-present flag {other}"
+                )))
+            }
+        };
+        Some(QualityBaseline {
+            occupancy,
+            noise_points,
+            total_points,
+            assign_dist,
+            margin,
+        })
+    } else {
+        None
+    };
     if r.remaining() != 0 {
         return Err(SnapshotError::Invalid(format!(
             "{} trailing bytes after payload",
@@ -312,6 +424,7 @@ pub fn decode(bytes: &[u8]) -> Result<ModelArtifact, SnapshotError> {
         cores,
         core_labels,
         boundaries,
+        quality,
     };
     artifact.validate().map_err(SnapshotError::Invalid)?;
     Ok(artifact)
@@ -344,6 +457,7 @@ mod tests {
             cores: PointSet::from_rows(&[vec![0.0, 1.0], vec![2.5, -3.0], vec![10.0, 10.0]]),
             core_labels: vec![0, 0, 1],
             boundaries: None,
+            quality: None,
         }
     }
 

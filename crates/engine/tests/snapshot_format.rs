@@ -4,16 +4,41 @@
 
 use dbsvec_core::{Dbsvec, DbsvecConfig};
 use dbsvec_datasets::gaussian_mixture;
-use dbsvec_engine::{snapshot, ModelArtifact, SnapshotError, FORMAT_VERSION, MAGIC};
+use dbsvec_engine::{
+    snapshot, ModelArtifact, QualityBaseline, SnapshotError, FORMAT_VERSION, MAGIC,
+};
 use dbsvec_geometry::PointSet;
+use dbsvec_obs::Histogram;
 
-/// Encoding of `tiny_artifact()` as produced by format version 1. If this
-/// test breaks, either the format changed silently (bump
+/// Encoding of `tiny_artifact()` as produced by format version 2 (no
+/// baseline: byte-identical to the version-1 encoding except the version
+/// field). If this test breaks, either the format changed silently (bump
 /// `FORMAT_VERSION`!) or the encoder regressed.
-const GOLDEN_HEX: &str = "894442534d0d0a1a01000000a731e52b2f93af2b\
+const GOLDEN_HEX: &str = "894442534d0d0a1a02000000a731e52b2f93af2b\
                           01000000020000000200000002000000000000000000f03f00000000\
                           0000000000000000000000000000f03f\
                           0000000001000000";
+
+/// The same artifact as written by format version 1 (the previous
+/// release): identical payload and checksum, version field 1. Pins
+/// backward compatibility — this build must keep decoding it.
+const GOLDEN_V1_HEX: &str = "894442534d0d0a1a01000000a731e52b2f93af2b\
+                             01000000020000000200000002000000000000000000f03f00000000\
+                             0000000000000000000000000000f03f\
+                             0000000001000000";
+
+/// Encoding of `tiny_artifact()` + `tiny_quality()`: pins the baseline
+/// section's byte layout (flags bit 1, counts, occupancy, sparse
+/// histogram, margin-present flag).
+const GOLDEN_QUALITY_HEX: &str = "894442534d0d0a1a02000000aa554d7ab6ee0588\
+                                  01000000020000000200000002000000000000000000f03f02000000\
+                                  0000000000000000000000000000f03f\
+                                  0000000001000000\
+                                  00000000000000000200000000000000\
+                                  0200000001000000000000000100000000000000\
+                                  0200000003000000010000000000000052000000010000000000\
+                                  00002f0100000000000003000000000000002c01000000000000\
+                                  00000000";
 
 fn tiny_artifact() -> ModelArtifact {
     ModelArtifact {
@@ -23,15 +48,35 @@ fn tiny_artifact() -> ModelArtifact {
         cores: PointSet::from_rows(&[vec![0.0], vec![1.0]]),
         core_labels: vec![0, 1],
         boundaries: None,
+        quality: None,
     }
 }
 
-fn golden_bytes() -> Vec<u8> {
-    let hex: String = GOLDEN_HEX.chars().filter(|c| !c.is_whitespace()).collect();
+/// A minimal deterministic baseline: one sample per cluster, distances 3
+/// and 300 ticks, no noise, no margins.
+fn tiny_quality() -> QualityBaseline {
+    let mut assign_dist = Histogram::new();
+    assign_dist.record(3);
+    assign_dist.record(300);
+    QualityBaseline {
+        occupancy: vec![1, 1],
+        noise_points: 0,
+        total_points: 2,
+        assign_dist,
+        margin: None,
+    }
+}
+
+fn from_hex(hex: &str) -> Vec<u8> {
+    let hex: String = hex.chars().filter(|c| !c.is_whitespace()).collect();
     hex.as_bytes()
         .chunks(2)
         .map(|pair| u8::from_str_radix(std::str::from_utf8(pair).unwrap(), 16).unwrap())
         .collect()
+}
+
+fn golden_bytes() -> Vec<u8> {
+    from_hex(GOLDEN_HEX)
 }
 
 #[test]
@@ -45,37 +90,82 @@ fn golden_bytes_decode() {
     assert_eq!(artifact, tiny_artifact());
 }
 
-fn fitted_artifact(with_boundaries: bool) -> ModelArtifact {
+#[test]
+fn v1_snapshots_still_load_and_upgrade_on_save() {
+    let v1 = from_hex(GOLDEN_V1_HEX);
+    let artifact = snapshot::decode(&v1).expect("version-1 snapshot decodes");
+    assert_eq!(artifact, tiny_artifact());
+    assert_eq!(artifact.quality, None, "v1 has no baseline to load");
+    // Re-encoding writes the current version; with no baseline the payload
+    // (and thus the checksum) is unchanged.
+    assert_eq!(snapshot::encode(&artifact), golden_bytes());
+}
+
+#[test]
+fn quality_golden_bytes_are_stable_and_decode() {
+    let mut artifact = tiny_artifact();
+    artifact.quality = Some(tiny_quality());
+    let bytes = snapshot::encode(&artifact);
+    assert_eq!(
+        bytes,
+        from_hex(GOLDEN_QUALITY_HEX),
+        "baseline section layout changed; got:\n{}",
+        bytes.iter().map(|b| format!("{b:02x}")).collect::<String>()
+    );
+    let restored = snapshot::decode(&bytes).expect("quality snapshot decodes");
+    assert_eq!(restored, artifact);
+}
+
+#[test]
+fn v1_rejects_the_quality_flag() {
+    // A version-1 header cannot promise a baseline section: flag bit 1
+    // must read as an unknown flag, not as silently-skipped data.
+    let mut artifact = tiny_artifact();
+    artifact.quality = Some(tiny_quality());
+    let mut bytes = snapshot::encode(&artifact);
+    bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+    assert!(matches!(
+        snapshot::decode(&bytes),
+        Err(SnapshotError::Invalid(_))
+    ));
+}
+
+fn fitted_artifact(with_boundaries: bool, with_quality: bool) -> ModelArtifact {
     let data = gaussian_mixture(600, 3, 3, 500.0, 1e5, 7);
     let eps = dbsvec_datasets::standins::suggest_eps(&data.points, 6, 3);
     let fit = Dbsvec::new(DbsvecConfig::new(eps, 6)).fit(&data.points);
-    let artifact =
+    let mut artifact =
         ModelArtifact::from_fit(&data.points, fit.labels(), fit.core_points(), eps, 6).unwrap();
     if with_boundaries {
-        artifact.with_boundaries(&data.points, fit.labels())
-    } else {
-        artifact
+        artifact = artifact.with_boundaries(&data.points, fit.labels());
     }
+    if with_quality {
+        artifact = artifact.with_quality(&data.points, fit.labels());
+    }
+    artifact
 }
 
 #[test]
 fn round_trip_of_a_real_fit_is_bit_stable() {
     for with_boundaries in [false, true] {
-        let artifact = fitted_artifact(with_boundaries);
-        let bytes = snapshot::encode(&artifact);
-        let restored = snapshot::decode(&bytes).expect("own encoding decodes");
-        assert_eq!(restored, artifact, "model == load(save(model))");
-        assert_eq!(
-            snapshot::encode(&restored),
-            bytes,
-            "save→load→save must yield identical bytes (boundaries={with_boundaries})"
-        );
+        for with_quality in [false, true] {
+            let artifact = fitted_artifact(with_boundaries, with_quality);
+            let bytes = snapshot::encode(&artifact);
+            let restored = snapshot::decode(&bytes).expect("own encoding decodes");
+            assert_eq!(restored, artifact, "model == load(save(model))");
+            assert_eq!(
+                snapshot::encode(&restored),
+                bytes,
+                "save→load→save must yield identical bytes \
+                 (boundaries={with_boundaries}, quality={with_quality})"
+            );
+        }
     }
 }
 
 #[test]
 fn file_round_trip() {
-    let artifact = fitted_artifact(true);
+    let artifact = fitted_artifact(true, true);
     let dir = std::env::temp_dir().join(format!("dbsvec-snap-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("model.dbm");
@@ -151,7 +241,7 @@ fn rejects_corrupted_header_and_payload() {
 
 #[test]
 fn rejects_truncation_at_every_length() {
-    let good = snapshot::encode(&fitted_artifact(true));
+    let good = snapshot::encode(&fitted_artifact(true, true));
     // Every proper prefix must fail with a typed error — never panic,
     // never succeed.
     for len in 0..good.len() {
@@ -174,6 +264,18 @@ fn rejects_semantic_corruption_with_a_valid_checksum() {
     // structural pass accepts it, the semantic pass must not.
     let mut artifact = tiny_artifact();
     artifact.core_labels[1] = 9;
+    let bytes = snapshot::encode(&artifact);
+    assert!(matches!(
+        snapshot::decode(&bytes),
+        Err(SnapshotError::Invalid(_))
+    ));
+
+    // Same for the baseline section: a bookkeeping mismatch the structural
+    // pass accepts must fall to the semantic validator.
+    let mut artifact = tiny_artifact();
+    let mut q = tiny_quality();
+    q.total_points += 1;
+    artifact.quality = Some(q);
     let bytes = snapshot::encode(&artifact);
     assert!(matches!(
         snapshot::decode(&bytes),

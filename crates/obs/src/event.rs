@@ -152,6 +152,38 @@ pub enum Event {
         /// Snapshot size in bytes.
         bytes: u64,
     },
+    /// The quality monitor completed one tumbling window.
+    ///
+    /// Scores are fixed-point microunits (`round(score · 1e6)`), the same
+    /// convention as [`Event::SmoSolve::initial_kkt_violation_e6`]:
+    /// integers keep the event `Eq` and the replay exact.
+    QualityWindow {
+        /// 1-based ordinal of the completed window.
+        window: u64,
+        /// Observations the window folded in.
+        samples: u64,
+        /// Combined drift evidence score in microunits.
+        drift_score_e6: u64,
+        /// Assign-distance histogram drift in microunits.
+        hist_distance_e6: u64,
+        /// Per-cluster occupancy-share shift in microunits.
+        occupancy_shift_e6: u64,
+        /// Noise-rate delta against the baseline in microunits.
+        noise_delta_e6: u64,
+        /// `false` when the model carried no quality baseline and the
+        /// scores above are zeros (staleness-only degraded mode).
+        baseline: bool,
+    },
+    /// A completed window's smoothed drift score crossed the alert
+    /// threshold.
+    DriftAlert {
+        /// 1-based ordinal of the window that tripped the alert.
+        window: u64,
+        /// Smoothed drift score in microunits.
+        drift_score_e6: u64,
+        /// The configured alert threshold in microunits.
+        threshold_e6: u64,
+    },
 }
 
 impl Event {
@@ -169,6 +201,8 @@ impl Event {
             Event::Promote { .. } => "promote",
             Event::SnapshotWrite { .. } => "snapshot_write",
             Event::SnapshotLoad { .. } => "snapshot_load",
+            Event::QualityWindow { .. } => "quality_window",
+            Event::DriftAlert { .. } => "drift_alert",
         }
     }
 }
@@ -223,5 +257,27 @@ mod tests {
         assert_eq!(Event::Promote { cluster: 2 }.name(), "promote");
         assert_eq!(Event::SnapshotWrite { bytes: 64 }.name(), "snapshot_write");
         assert_eq!(Event::SnapshotLoad { bytes: 64 }.name(), "snapshot_load");
+        assert_eq!(
+            Event::QualityWindow {
+                window: 1,
+                samples: 256,
+                drift_score_e6: 120_000,
+                hist_distance_e6: 120_000,
+                occupancy_shift_e6: 40_000,
+                noise_delta_e6: 10_000,
+                baseline: true,
+            }
+            .name(),
+            "quality_window"
+        );
+        assert_eq!(
+            Event::DriftAlert {
+                window: 2,
+                drift_score_e6: 700_000,
+                threshold_e6: 350_000,
+            }
+            .name(),
+            "drift_alert"
+        );
     }
 }

@@ -99,6 +99,32 @@ pub fn event_to_json(event: &Event) -> Json {
         Event::SnapshotLoad { bytes } => {
             push("bytes", Json::UInt(bytes));
         }
+        Event::QualityWindow {
+            window,
+            samples,
+            drift_score_e6,
+            hist_distance_e6,
+            occupancy_shift_e6,
+            noise_delta_e6,
+            baseline,
+        } => {
+            push("window", Json::UInt(window));
+            push("samples", Json::UInt(samples));
+            push("drift_score_e6", Json::UInt(drift_score_e6));
+            push("hist_distance_e6", Json::UInt(hist_distance_e6));
+            push("occupancy_shift_e6", Json::UInt(occupancy_shift_e6));
+            push("noise_delta_e6", Json::UInt(noise_delta_e6));
+            push("baseline", Json::Bool(baseline));
+        }
+        Event::DriftAlert {
+            window,
+            drift_score_e6,
+            threshold_e6,
+        } => {
+            push("window", Json::UInt(window));
+            push("drift_score_e6", Json::UInt(drift_score_e6));
+            push("threshold_e6", Json::UInt(threshold_e6));
+        }
     }
     Json::Obj(pairs)
 }

@@ -60,6 +60,10 @@ pub struct ReplayCounts {
     pub snapshot_writes: u64,
     /// Model snapshots loaded (count of [`Event::SnapshotLoad`]).
     pub snapshot_loads: u64,
+    /// Quality windows completed (count of [`Event::QualityWindow`]).
+    pub quality_windows: u64,
+    /// Drift alerts raised (count of [`Event::DriftAlert`]).
+    pub drift_alerts: u64,
 }
 
 impl ReplayCounts {
@@ -118,6 +122,8 @@ impl ReplayCounts {
             Event::Promote { .. } => self.promotions += 1,
             Event::SnapshotWrite { .. } => self.snapshot_writes += 1,
             Event::SnapshotLoad { .. } => self.snapshot_loads += 1,
+            Event::QualityWindow { .. } => self.quality_windows += 1,
+            Event::DriftAlert { .. } => self.drift_alerts += 1,
         }
     }
 
@@ -244,6 +250,20 @@ pub fn event_from_json(value: &Json) -> Result<Event, String> {
         "snapshot_load" => Ok(Event::SnapshotLoad {
             bytes: field_u64(value, "bytes")?,
         }),
+        "quality_window" => Ok(Event::QualityWindow {
+            window: field_u64(value, "window")?,
+            samples: field_u64(value, "samples")?,
+            drift_score_e6: field_u64(value, "drift_score_e6")?,
+            hist_distance_e6: field_u64(value, "hist_distance_e6")?,
+            occupancy_shift_e6: field_u64(value, "occupancy_shift_e6")?,
+            noise_delta_e6: field_u64(value, "noise_delta_e6")?,
+            baseline: field_bool(value, "baseline")?,
+        }),
+        "drift_alert" => Ok(Event::DriftAlert {
+            window: field_u64(value, "window")?,
+            drift_score_e6: field_u64(value, "drift_score_e6")?,
+            threshold_e6: field_u64(value, "threshold_e6")?,
+        }),
         other => Err(format!("unknown event {other:?}")),
     }
 }
@@ -351,6 +371,20 @@ mod tests {
             Event::Promote { cluster: 1 },
             Event::SnapshotWrite { bytes: 128 },
             Event::SnapshotLoad { bytes: 128 },
+            Event::QualityWindow {
+                window: 1,
+                samples: 256,
+                drift_score_e6: 480_000,
+                hist_distance_e6: 480_000,
+                occupancy_shift_e6: 90_000,
+                noise_delta_e6: 12_000,
+                baseline: true,
+            },
+            Event::DriftAlert {
+                window: 1,
+                drift_score_e6: 480_000,
+                threshold_e6: 350_000,
+            },
         ];
         let c = ReplayCounts::from_events(events.iter());
         assert_eq!(c.assigns, 2);
@@ -360,6 +394,8 @@ mod tests {
         assert_eq!(c.promotions, 1);
         assert_eq!(c.snapshot_writes, 1);
         assert_eq!(c.snapshot_loads, 1);
+        assert_eq!(c.quality_windows, 1);
+        assert_eq!(c.drift_alerts, 1);
         // Fit counters untouched by serving traffic.
         assert_eq!(c.seeds, 0);
         assert_eq!(c.range_queries, 0);
@@ -391,6 +427,20 @@ mod tests {
             Event::NoiseVerdict {
                 point: 11,
                 confirmed: false,
+            },
+            Event::QualityWindow {
+                window: 3,
+                samples: 512,
+                drift_score_e6: 150_000,
+                hist_distance_e6: 150_000,
+                occupancy_shift_e6: 20_000,
+                noise_delta_e6: 5_000,
+                baseline: true,
+            },
+            Event::DriftAlert {
+                window: 3,
+                drift_score_e6: 150_000,
+                threshold_e6: 100_000,
             },
         ];
         let mut text = String::new();

@@ -126,6 +126,14 @@ impl fmt::Display for ProfileReport {
                 c.snapshot_loads
             )?;
         }
+        if c.quality_windows + c.drift_alerts > 0 {
+            writeln!(f)?;
+            write!(
+                f,
+                "quality windows {} | drift alerts {}",
+                c.quality_windows, c.drift_alerts
+            )?;
+        }
         Ok(())
     }
 }
@@ -178,6 +186,27 @@ mod tests {
         assert!(
             served.contains("assigns 1 (hits 1) | ingests 1"),
             "missing serving line in:\n{served}"
+        );
+        assert!(!served.contains("quality windows"), "unexpected:\n{served}");
+
+        rec.event(&Event::QualityWindow {
+            window: 1,
+            samples: 4,
+            drift_score_e6: 600_000,
+            hist_distance_e6: 600_000,
+            occupancy_shift_e6: 0,
+            noise_delta_e6: 0,
+            baseline: true,
+        });
+        rec.event(&Event::DriftAlert {
+            window: 1,
+            drift_score_e6: 600_000,
+            threshold_e6: 350_000,
+        });
+        let monitored = ProfileReport::from_recording(&rec, 4).to_string();
+        assert!(
+            monitored.contains("quality windows 1 | drift alerts 1"),
+            "missing quality line in:\n{monitored}"
         );
     }
 

@@ -38,6 +38,8 @@ struct EventCounters {
     promotions: CounterId,
     snapshot_writes: CounterId,
     snapshot_loads: CounterId,
+    quality_windows: CounterId,
+    drift_alerts: CounterId,
 }
 
 /// An [`Observer`] that folds events into registry counters and phase
@@ -152,6 +154,16 @@ impl MetricsObserver {
                 &mut reg,
                 "dbsvec_snapshot_loads_total",
                 "Model snapshots deserialized.",
+            ),
+            quality_windows: c(
+                &mut reg,
+                "dbsvec_quality_windows_total",
+                "Quality-monitor tumbling windows completed.",
+            ),
+            drift_alerts: c(
+                &mut reg,
+                "dbsvec_drift_alerts_total",
+                "Windows whose smoothed drift score crossed the threshold.",
             ),
         };
         let max_target_size = reg.gauge(
@@ -272,6 +284,8 @@ impl Observer for MetricsObserver {
             Event::Promote { .. } => self.registry.inc(c.promotions),
             Event::SnapshotWrite { .. } => self.registry.inc(c.snapshot_writes),
             Event::SnapshotLoad { .. } => self.registry.inc(c.snapshot_loads),
+            Event::QualityWindow { .. } => self.registry.inc(c.quality_windows),
+            Event::DriftAlert { .. } => self.registry.inc(c.drift_alerts),
         }
     }
 }

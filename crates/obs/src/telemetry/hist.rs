@@ -201,6 +201,67 @@ impl Histogram {
             .map(|(i, &c)| (bucket_lower(i), bucket_width(i), c))
     }
 
+    /// The non-empty buckets as `(bucket index, count)` pairs, in index
+    /// order. Bucket indices depend only on the module constants
+    /// ([`SUB_BUCKETS`], [`BUCKET_COUNT`]), never on the data, so the
+    /// pairs are a stable serialization of the distribution — the snapshot
+    /// format relies on this and [`Histogram::from_sparse`] round-trips it.
+    pub fn sparse_counts(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Reconstructs a histogram from [`Histogram::sparse_counts`] output
+    /// plus the exact `sum`/`min`/`max` it tracked.
+    ///
+    /// Returns `Err` when an index is out of range, a count is zero,
+    /// indices are not strictly increasing, or the min/max/sum headline
+    /// numbers are inconsistent with the buckets (the snapshot decoder
+    /// surfaces these as corruption).
+    pub fn from_sparse(
+        entries: &[(usize, u64)],
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Result<Self, String> {
+        if entries.is_empty() {
+            return Ok(Self::new());
+        }
+        let mut h = Self::new();
+        let mut prev: Option<usize> = None;
+        for &(i, c) in entries {
+            if i >= BUCKET_COUNT {
+                return Err(format!("bucket index {i} out of range"));
+            }
+            if c == 0 {
+                return Err(format!("empty bucket {i} in sparse encoding"));
+            }
+            if prev.is_some_and(|p| p >= i) {
+                return Err(format!("bucket indices not strictly increasing at {i}"));
+            }
+            prev = Some(i);
+            h.counts[i] = c;
+            h.count += c;
+        }
+        if min > max {
+            return Err(format!("histogram min {min} exceeds max {max}"));
+        }
+        let (lo, hi) = (entries[0].0, entries[entries.len() - 1].0);
+        if bucket_index(min) != lo {
+            return Err(format!("min {min} outside first occupied bucket {lo}"));
+        }
+        if bucket_index(max) != hi {
+            return Err(format!("max {max} outside last occupied bucket {hi}"));
+        }
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Ok(h)
+    }
+
     /// A plain-number snapshot for exposition.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -354,6 +415,39 @@ mod tests {
         assert_eq!(left, right, "merge must be associative");
         assert_eq!(left, direct, "merged parts must equal direct recording");
         assert_eq!(left.summary(), direct.summary());
+    }
+
+    #[test]
+    fn sparse_counts_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0, 3, 17, 17, 1_000, 123_456_789] {
+            h.record(v);
+        }
+        let entries: Vec<(usize, u64)> = h.sparse_counts().collect();
+        let back =
+            Histogram::from_sparse(&entries, h.sum(), h.min().unwrap(), h.max().unwrap()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.summary(), h.summary());
+
+        // Empty round-trips too.
+        let empty = Histogram::from_sparse(&[], 0, u64::MAX, 0).unwrap();
+        assert_eq!(empty, Histogram::new());
+    }
+
+    #[test]
+    fn from_sparse_rejects_malformed_encodings() {
+        let bad_index = Histogram::from_sparse(&[(BUCKET_COUNT, 1)], 0, 0, 0);
+        assert!(bad_index.is_err());
+        let zero_count = Histogram::from_sparse(&[(3, 0)], 0, 3, 3);
+        assert!(zero_count.is_err());
+        let unsorted = Histogram::from_sparse(&[(5, 1), (3, 1)], 8, 3, 5);
+        assert!(unsorted.is_err());
+        let min_gt_max = Histogram::from_sparse(&[(3, 2)], 6, 5, 3);
+        assert!(min_gt_max.is_err());
+        let min_outside = Histogram::from_sparse(&[(3, 1), (5, 1)], 9, 4, 5);
+        assert!(min_outside.is_err());
+        let max_outside = Histogram::from_sparse(&[(3, 1), (5, 1)], 8, 3, 9);
+        assert!(max_outside.is_err());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   (used by `metrics-report` and the CI smoke test).
 //! * [`bridge`] — the [`MetricsObserver`] event→counter / span→histogram
 //!   bridge.
+//! * [`quality`] — drift math for the model-quality monitor: octave-level
+//!   earth-mover distance between histograms, total-variation shift
+//!   between share vectors, and EWMA smoothing.
 //!
 //! Everything here is hand-rolled; `DESIGN.md` explains why no
 //! `prometheus`/`metrics` crate (the workspace's offline-buildable rule).
@@ -23,9 +26,11 @@
 pub mod bridge;
 pub mod expo;
 pub mod hist;
+pub mod quality;
 pub mod registry;
 
 pub use bridge::MetricsObserver;
 pub use expo::{parse_prometheus, render_json, render_prometheus, Sample};
 pub use hist::{Histogram, HistogramSummary};
+pub use quality::{hist_drift, share_shift, Ewma, DRIFT_SATURATION_OCTAVES};
 pub use registry::{CounterId, GaugeId, HistogramId, HistogramMetric, Registry};

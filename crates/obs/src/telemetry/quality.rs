@@ -1,0 +1,297 @@
+//! Model-quality drift math: distribution distances and smoothing.
+//!
+//! The serving engine compares a fit-time **baseline** distribution
+//! against a tumbling window of live traffic and needs a score that is
+//! `0` for identical distributions, symmetric, bounded in `[0, 1]`, and
+//! monotone as the window drifts away from the baseline. Two distances
+//! cover the signals the monitor tracks:
+//!
+//! * [`hist_drift`] — for *ordered* quantities (assign distances, SVDD
+//!   margins) held in log-linear [`Histogram`]s. Raw per-bucket distances
+//!   (total variation, KL) are brittle here: two narrow distributions
+//!   offset by one bucket width look maximally different even though the
+//!   shift is ~6%. Instead the buckets are first pooled into their octave
+//!   groups (one group per power of two, matching the histogram's
+//!   log-linear layout), then compared with a 1-Wasserstein
+//!   (earth-mover) distance on the group masses. The result is the mean
+//!   number of octaves a sample must move to turn one distribution into
+//!   the other — robust to sub-octave jitter, linear in genuine shift —
+//!   and is normalized so a displacement of
+//!   [`DRIFT_SATURATION_OCTAVES`] octaves (16× in the underlying unit)
+//!   saturates the score at 1.
+//! * [`share_shift`] — for *categorical* quantities (per-cluster
+//!   occupancy shares), where total variation distance is the natural
+//!   choice: half the L1 distance between the share vectors, the
+//!   probability mass that changed cluster.
+//!
+//! [`Ewma`] smooths per-window scores so a single odd window does not
+//! flip an alert; the engine's `QualityMonitor` combines all three
+//! signals into its refit evidence.
+
+use crate::telemetry::hist::{Histogram, BUCKET_COUNT, SUB_BUCKETS};
+
+/// Octave groups in a [`Histogram`]: one per power of two, plus the exact
+/// `0..SUB_BUCKETS` range as group zero.
+const GROUPS: usize = BUCKET_COUNT / SUB_BUCKETS as usize;
+
+/// Octave displacement at which [`hist_drift`] saturates at `1.0`. Four
+/// octaves means the typical sample moved by 16× — far past any
+/// quantization noise, unambiguously a different distribution.
+pub const DRIFT_SATURATION_OCTAVES: f64 = 4.0;
+
+/// Pools bucket counts into per-octave probability masses.
+fn octave_masses(h: &Histogram) -> Option<[f64; GROUPS]> {
+    if h.is_empty() {
+        return None;
+    }
+    let total = h.count() as f64;
+    let mut masses = [0.0; GROUPS];
+    for (index, count) in h.sparse_counts() {
+        masses[index / SUB_BUCKETS as usize] += count as f64 / total;
+    }
+    Some(masses)
+}
+
+/// Drift score between two histograms of the same quantity, in `[0, 1]`.
+///
+/// Zero iff the distributions agree at octave granularity; `1.0` when one
+/// side is empty and the other is not (maximal evidence of change), or
+/// when the earth-mover displacement reaches
+/// [`DRIFT_SATURATION_OCTAVES`]. Symmetric, and stable under
+/// element-wise histogram merge: scoring a merged pair of worker-local
+/// windows equals scoring the directly recorded window.
+pub fn hist_drift(a: &Histogram, b: &Histogram) -> f64 {
+    match (octave_masses(a), octave_masses(b)) {
+        (None, None) => 0.0,
+        (None, Some(_)) | (Some(_), None) => 1.0,
+        (Some(p), Some(q)) => {
+            // 1-Wasserstein on the line of octave groups: sum of absolute
+            // CDF differences = mean octaves a unit of mass must travel.
+            let mut cum = 0.0;
+            let mut emd = 0.0;
+            for g in 0..GROUPS - 1 {
+                cum += p[g] - q[g];
+                emd += cum.abs();
+            }
+            (emd / DRIFT_SATURATION_OCTAVES).min(1.0)
+        }
+    }
+}
+
+/// Total variation distance between two share vectors, in `[0, 1]`.
+///
+/// Shorter vectors are zero-padded, so a cluster present on only one
+/// side contributes its full share. For probability vectors this is the
+/// probability mass that moved between categories.
+pub fn share_shift(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().max(b.len());
+    let at = |v: &[f64], i: usize| v.get(i).copied().unwrap_or(0.0);
+    let l1: f64 = (0..n).map(|i| (at(a, i) - at(b, i)).abs()).sum();
+    (l1 / 2.0).min(1.0)
+}
+
+/// An exponentially weighted moving average of a scalar signal.
+///
+/// `value ← α·x + (1−α)·value`, seeded with the first observation. Larger
+/// `alpha` reacts faster; the monitor's default weights recent windows
+/// heavily while still damping one-window spikes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// A fresh average with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha` is outside `(0, 1]` or not finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        Self { alpha, value: None }
+    }
+
+    /// Folds in one observation and returns the updated average.
+    pub fn observe(&mut self, x: f64) -> f64 {
+        let next = match self.value {
+            None => x,
+            Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// The current average, `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift for property-style sampling (no external
+    /// crates, no wall clock).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    fn sampled(seed: u64, n: usize, lo: u64, hi: u64) -> Vec<u64> {
+        let mut rng = Rng(seed | 1);
+        (0..n).map(|_| lo + rng.next() % (hi - lo)).collect()
+    }
+
+    fn hist_of(samples: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    #[test]
+    fn identical_distributions_score_zero() {
+        for seed in 1..20u64 {
+            let samples = sampled(seed, 500, 100, 100_000);
+            let (a, b) = (hist_of(&samples), hist_of(&samples));
+            assert_eq!(hist_drift(&a, &b), 0.0, "seed {seed}");
+        }
+        assert_eq!(hist_drift(&Histogram::new(), &Histogram::new()), 0.0);
+        assert_eq!(share_shift(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert_eq!(share_shift(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn drift_is_symmetric() {
+        for seed in 1..20u64 {
+            let a = hist_of(&sampled(seed, 400, 50, 5_000));
+            let b = hist_of(&sampled(seed + 100, 400, 500, 50_000));
+            assert_eq!(hist_drift(&a, &b), hist_drift(&b, &a), "seed {seed}");
+        }
+        let (p, q) = ([0.7, 0.2, 0.1], [0.1, 0.1, 0.8]);
+        assert_eq!(share_shift(&p, &q), share_shift(&q, &p));
+    }
+
+    #[test]
+    fn drift_is_bounded_and_detects_empty_vs_nonempty() {
+        let a = hist_of(&sampled(7, 300, 1, 1_000_000_000));
+        assert_eq!(hist_drift(&a, &Histogram::new()), 1.0);
+        assert_eq!(hist_drift(&Histogram::new(), &a), 1.0);
+        for seed in 1..20u64 {
+            let b = hist_of(&sampled(seed, 300, 1, u64::MAX / 2));
+            let d = hist_drift(&a, &b);
+            assert!((0.0..=1.0).contains(&d), "seed {seed}: {d}");
+        }
+        // All mass moving to a cluster absent on the other side is the
+        // maximal categorical change.
+        assert_eq!(share_shift(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(share_shift(&[1.0], &[]), 0.5);
+    }
+
+    #[test]
+    fn drift_is_monotone_under_growing_shift() {
+        // Scaling every sample by 2^k translates the distribution by
+        // exactly k octave groups, so the score must be non-decreasing in
+        // k and reach saturation once k passes DRIFT_SATURATION_OCTAVES.
+        for seed in 1..10u64 {
+            let base = sampled(seed, 600, 64, 4_096);
+            let reference = hist_of(&base);
+            let mut prev = 0.0;
+            for k in 0..8u32 {
+                let shifted: Vec<u64> = base.iter().map(|&s| s << k).collect();
+                let d = hist_drift(&reference, &hist_of(&shifted));
+                assert!(
+                    d >= prev - 1e-12,
+                    "seed {seed}, k={k}: score {d} fell below {prev}"
+                );
+                prev = d;
+            }
+            assert_eq!(prev, 1.0, "seed {seed}: 128x shift must saturate");
+        }
+
+        // Share shift grows as more mass moves to a new cluster.
+        let mut prev = 0.0;
+        for moved in 0..=10 {
+            let m = moved as f64 / 10.0;
+            let d = share_shift(&[1.0, 0.0], &[1.0 - m, m]);
+            assert!(d >= prev);
+            prev = d;
+        }
+        assert_eq!(prev, 1.0);
+    }
+
+    #[test]
+    fn drift_is_stable_under_histogram_merge() {
+        // Scoring a merge of worker-local windows equals scoring the
+        // directly recorded window — the scorer only sees bucket counts,
+        // and merge is an element-wise add (associativity pinned in the
+        // hist tests; this extends the guarantee to the scorer).
+        for seed in 1..10u64 {
+            let samples = sampled(seed, 900, 10, 1_000_000);
+            let direct = hist_of(&samples);
+            let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+            for (i, &s) in samples.iter().enumerate() {
+                parts[i % 3].record(s);
+            }
+            let [a, b, c] = parts;
+            let mut merged = a;
+            merged.merge(&b);
+            merged.merge(&c);
+            let reference = hist_of(&sampled(seed + 50, 900, 10, 1_000_000));
+            assert_eq!(
+                hist_drift(&merged, &reference),
+                hist_drift(&direct, &reference),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn share_shift_pads_missing_clusters() {
+        // A cluster that exists only in the window counts in full.
+        let d = share_shift(&[0.5, 0.5], &[0.5, 0.25, 0.25]);
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_smooths_toward_new_observations() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.observe(1.0), 1.0);
+        assert_eq!(e.observe(0.0), 0.5);
+        assert_eq!(e.observe(0.0), 0.25);
+        assert_eq!(e.value(), Some(0.25));
+        assert_eq!(e.alpha(), 0.5);
+
+        // alpha = 1 tracks the signal exactly.
+        let mut track = Ewma::new(1.0);
+        for x in [0.3, 0.9, 0.1] {
+            assert_eq!(track.observe(x), x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA alpha")]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+}

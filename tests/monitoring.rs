@@ -1,0 +1,136 @@
+//! End-to-end quality monitoring through the facade: the fit-time quality
+//! baseline must survive the snapshot round trip, a monitored engine must
+//! separate drifted traffic from stationary traffic, its window/alert
+//! events must replay from a JSONL trace to the exact live counts, and a
+//! baseline-less (v1-era) model must degrade gracefully instead of
+//! alerting on signals it cannot compute.
+
+use dbsvec::datasets::{gaussian_mixture, standins::suggest_eps};
+use dbsvec::engine::{snapshot, Engine, ModelArtifact, MonitorConfig};
+use dbsvec::geometry::rng::SplitMix64;
+use dbsvec::obs::{JsonlSink, NoopObserver, RecordingObserver, ReplayCounts, Tee};
+use dbsvec::{Dbsvec, DbsvecConfig, PointSet};
+
+const DIMS: usize = 4;
+const WINDOW: usize = 100;
+
+/// Fits a mixture and returns (training points, eps, quality-baselined
+/// artifact round-tripped through the snapshot format).
+fn fitted_model(seed: u64) -> (PointSet, f64, ModelArtifact) {
+    let ds = gaussian_mixture(1_500, DIMS, 3, 500.0, 1e5, seed);
+    let eps = suggest_eps(&ds.points, 6, seed);
+    let fit = Dbsvec::new(DbsvecConfig::new(eps, 6)).fit(&ds.points);
+    let artifact = ModelArtifact::from_fit(&ds.points, fit.labels(), fit.core_points(), eps, 6)
+        .expect("valid fit")
+        .with_quality(&ds.points, fit.labels());
+    let bytes = snapshot::encode(&artifact);
+    let restored = snapshot::decode(&bytes).expect("own bytes decode");
+    assert_eq!(restored, artifact, "snapshot round trip is lossless");
+    assert!(
+        restored.quality.is_some(),
+        "the quality baseline must survive the snapshot round trip"
+    );
+    (ds.points, eps, restored)
+}
+
+/// Training points displaced by `offset` eps on every coordinate, with a
+/// deterministic sub-eps jitter so no two queries are identical.
+fn shifted_stream(points: &PointSet, eps: f64, offset: f64, seed: u64) -> PointSet {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = PointSet::new(DIMS);
+    let mut buf = vec![0.0; DIMS];
+    for (_, p) in points.iter() {
+        for (d, v) in buf.iter_mut().enumerate() {
+            *v = p[d] + (rng.next_f64() - 0.5) * eps + offset * eps;
+        }
+        out.push(&buf);
+    }
+    out
+}
+
+#[test]
+fn monitored_serving_separates_drift_and_replays_from_the_trace() {
+    let (points, eps, artifact) = fitted_model(17);
+
+    // ---- Stationary traffic: jittered training points stay quiet.
+    let mut engine = Engine::new(&artifact);
+    let mut monitor = engine.monitor(MonitorConfig::new().with_window(WINDOW));
+    assert!(monitor.has_baseline());
+    let stationary = shifted_stream(&points, eps, 0.0, 0x57a7);
+    for (_, p) in stationary.iter() {
+        engine.assign_monitored(p, &mut monitor, &mut NoopObserver);
+    }
+    let expected_windows = (points.len() / WINDOW) as u64;
+    assert_eq!(monitor.windows_completed(), expected_windows);
+    assert_eq!(
+        monitor.alerts(),
+        0,
+        "in-distribution traffic must not alert"
+    );
+    assert!(!monitor.drift_exceeded());
+    let health = engine.health_with(&monitor);
+    assert!(!health.refit_recommended, "fresh model, fresh traffic");
+    let signals = health.drift.expect("windows completed, so signals exist");
+    assert!(
+        signals.smoothed_score < monitor.config().drift_threshold,
+        "stationary smoothed score {:.3} must sit below the threshold",
+        signals.smoothed_score
+    );
+
+    // ---- Drifted traffic: a 3-eps-per-coordinate population shift must
+    // alert, and every window/alert event must replay from the trace.
+    let mut engine = Engine::new(&artifact);
+    let mut monitor = engine.monitor(MonitorConfig::new().with_window(WINDOW));
+    let mut recorder = RecordingObserver::new();
+    let mut sink = JsonlSink::new(Vec::new());
+    let drifted = shifted_stream(&points, eps, 3.0, 0x57a7);
+    for (_, p) in drifted.iter() {
+        engine.assign_monitored(p, &mut monitor, &mut Tee(&mut recorder, &mut sink));
+    }
+    assert_eq!(monitor.windows_completed(), expected_windows);
+    assert!(monitor.alerts() > 0, "a population shift must raise alerts");
+    assert!(monitor.drift_exceeded());
+    let health = engine.health_with(&monitor);
+    assert!(
+        health.refit_recommended,
+        "drift alone must recommend a refit even with zero staleness"
+    );
+
+    let text = String::from_utf8(sink.finish().expect("in-memory sink cannot fail"))
+        .expect("trace is UTF-8");
+    let replayed = ReplayCounts::from_jsonl(&text).expect("trace replays");
+    assert_eq!(replayed.quality_windows, monitor.windows_completed());
+    assert_eq!(replayed.drift_alerts, monitor.alerts());
+    assert_eq!(replayed, recorder.replay(), "sink and recorder agree");
+}
+
+#[test]
+fn baseline_less_model_monitors_in_degraded_mode() {
+    // A model persisted before quality baselines existed (format v1)
+    // decodes with `quality: None`; a monitor on top of it must keep
+    // counting windows without ever fabricating drift evidence.
+    let ds = gaussian_mixture(800, DIMS, 3, 500.0, 1e5, 41);
+    let eps = suggest_eps(&ds.points, 6, 41);
+    let fit = Dbsvec::new(DbsvecConfig::new(eps, 6)).fit(&ds.points);
+    let artifact = ModelArtifact::from_fit(&ds.points, fit.labels(), fit.core_points(), eps, 6)
+        .expect("valid fit");
+    assert!(artifact.quality.is_none());
+
+    let mut engine = Engine::new(&artifact);
+    let mut monitor = engine.monitor(MonitorConfig::new().with_window(WINDOW));
+    assert!(!monitor.has_baseline());
+    let drifted = shifted_stream(&ds.points, eps, 3.0, 0xdead);
+    for (_, p) in drifted.iter() {
+        engine.assign_monitored(p, &mut monitor, &mut NoopObserver);
+    }
+    assert_eq!(
+        monitor.windows_completed(),
+        (ds.points.len() / WINDOW) as u64
+    );
+    assert_eq!(monitor.alerts(), 0, "no baseline, no drift evidence");
+    assert!(!monitor.drift_exceeded());
+    assert!(monitor.signals().is_none());
+    let health = engine.health_with(&monitor);
+    assert!(health.drift.is_none());
+    assert!(!health.refit_recommended);
+}
