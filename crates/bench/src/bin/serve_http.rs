@@ -1,0 +1,440 @@
+//! HTTP serving tier — closed-loop load generation over the real socket
+//! path.
+//!
+//! Fits DBSVEC once, persists the model, and serves it with the
+//! `crates/server` tier on an ephemeral port. A pool of client threads
+//! then drives each endpoint closed-loop (every client waits for its
+//! response before sending the next request) over keep-alive
+//! connections, timing every request end to end: single assign, batch
+//! assign (16 points per body), ingest, and health, at each worker
+//! thread count the hardware can honestly run. Writes
+//! `BENCH_serve_http.json` with per-endpoint p50/p95/p99 when
+//! `--json DIR` is given.
+//!
+//! Two envelopes ride along, printed always and asserted under
+//! `MICROBENCH_ENFORCE=1`:
+//!
+//! * SLO: loaded p99 single-assign latency stays under 10× the unloaded
+//!   (sequential, single-client) p50 — queueing may stretch the tail,
+//!   but not collapse it;
+//! * batch ≥ single: a 16-point body must move at least as many points
+//!   per second as single-point requests at every thread count, because
+//!   it amortizes both the HTTP round trip and the dispatch.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dbsvec_bench::harness::{time, Stopwatch, BENCH_SCHEMA_VERSION};
+use dbsvec_bench::parse_args;
+use dbsvec_core::{Dbsvec, DbsvecConfig};
+use dbsvec_datasets::{gaussian_mixture, standins::suggest_eps};
+use dbsvec_engine::{snapshot, ModelArtifact};
+use dbsvec_geometry::rng::SplitMix64;
+use dbsvec_obs::{Json, NoopObserver};
+use dbsvec_server::{Router, Server, ServerConfig, ShutdownFlag};
+
+const DIMS: usize = 8;
+const CLUSTERS: usize = 5;
+const MIN_PTS: usize = 8;
+const BATCH: usize = 16;
+/// Loaded p99 must stay under this multiple of the unloaded p50.
+const SLO_FACTOR: f64 = 10.0;
+
+/// One keep-alive connection speaking just enough HTTP/1.1 for the
+/// bench: write a request, read the framed response, return the status.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to bench server");
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().expect("clone stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> u16 {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes()).expect("write head");
+        self.writer.write_all(body.as_bytes()).expect("write body");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("header line");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("content-length value");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("response body");
+        status
+    }
+}
+
+/// A deterministic query point near the training distribution.
+fn query_point(seed: u64, index: u64, spread: f64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    (0..DIMS)
+        .map(|_| (rng.next_f64() - 0.5) * 2.0 * spread)
+        .collect()
+}
+
+fn json_point(p: &[f64]) -> String {
+    let coords: Vec<String> = p.iter().map(|v| format!("{v}")).collect();
+    format!("[{}]", coords.join(","))
+}
+
+/// Drives `iters` requests per client closed-loop; returns every
+/// per-request latency (seconds) and the phase wall time. Each client
+/// sends one untimed warm-up request first, so the accept-loop pickup
+/// delay of a fresh connection never lands in the percentiles.
+fn drive(
+    addr: SocketAddr,
+    clients: usize,
+    iters: usize,
+    make: impl Fn(usize) -> (&'static str, String, String) + Sync,
+) -> (Vec<f64>, f64) {
+    let make = &make;
+    let (latencies, secs) = time(|| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr);
+                        let (method, path, body) = make(clients * iters + c);
+                        client.request(method, &path, &body);
+                        let mut latencies = Vec::with_capacity(iters);
+                        for i in 0..iters {
+                            let (method, path, body) = make(c * iters + i);
+                            let t = Instant::now();
+                            let status = client.request(method, &path, &body);
+                            latencies.push(t.elapsed().as_secs_f64());
+                            assert_eq!(status, 200, "{method} {path} failed");
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            let mut all = Vec::new();
+            for h in handles {
+                all.extend(h.join().expect("client thread"));
+            }
+            all
+        })
+    });
+    (latencies, secs)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct Row {
+    threads: usize,
+    endpoint: &'static str,
+    requests: usize,
+    points: u64,
+    seconds: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+impl Row {
+    fn from_latencies(
+        threads: usize,
+        endpoint: &'static str,
+        mut latencies: Vec<f64>,
+        points_per_request: u64,
+        seconds: f64,
+    ) -> Row {
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Row {
+            threads,
+            endpoint,
+            requests: latencies.len(),
+            points: latencies.len() as u64 * points_per_request,
+            seconds,
+            p50: percentile(&latencies, 0.50),
+            p95: percentile(&latencies, 0.95),
+            p99: percentile(&latencies, 0.99),
+        }
+    }
+
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.seconds.max(1e-9)
+    }
+
+    fn points_per_sec(&self) -> f64 {
+        self.points as f64 / self.seconds.max(1e-9)
+    }
+
+    fn print(&self) {
+        println!(
+            "{:>8} {:>12} {:>8} {:>10.0} req/s {:>11.0} pts/s  p50 {:.1}us p95 {:.1}us p99 {:.1}us",
+            self.threads,
+            self.endpoint,
+            self.requests,
+            self.requests_per_sec(),
+            self.points_per_sec(),
+            self.p50 * 1e6,
+            self.p95 * 1e6,
+            self.p99 * 1e6,
+        );
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("threads", Json::UInt(self.threads as u64)),
+            ("endpoint", Json::str(self.endpoint)),
+            ("requests", Json::UInt(self.requests as u64)),
+            ("points", Json::UInt(self.points)),
+            ("seconds", Json::Num(self.seconds)),
+            ("requests_per_sec", Json::Num(self.requests_per_sec())),
+            ("points_per_sec", Json::Num(self.points_per_sec())),
+            ("latency_p50_s", Json::Num(self.p50)),
+            ("latency_p95_s", Json::Num(self.p95)),
+            ("latency_p99_s", Json::Num(self.p99)),
+        ])
+    }
+}
+
+/// One server lifetime at a fixed worker-thread count.
+fn serve_round(
+    model_path: &std::path::Path,
+    threads: usize,
+    shards: usize,
+    f: impl FnOnce(SocketAddr),
+) {
+    let mut router = Router::new();
+    router
+        .load_model(model_path, shards, None)
+        .expect("load bench model");
+    let router = Arc::new(router);
+    let server = Server::bind(
+        Arc::clone(&router),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = ShutdownFlag::new();
+    let flag = shutdown.clone();
+    let handle = std::thread::spawn(move || server.run(&flag, &mut NoopObserver));
+    f(addr);
+    shutdown.request();
+    let report = handle.join().expect("server thread").expect("server run");
+    // Ingest phases dirty shards; their persisted snapshots are bench
+    // scratch, deleted with the rest of the temp dir.
+    drop(report);
+}
+
+fn main() {
+    let args = parse_args();
+    let stopwatch = Stopwatch::with_budget(Duration::from_secs_f64(args.budget_secs));
+    let n = ((20_000f64 * args.scale) as usize).max(2_000);
+    let iters = ((400f64 * args.scale) as usize).max(50);
+    let enforce = std::env::var_os("MICROBENCH_ENFORCE").is_some_and(|v| v == "1");
+
+    // ---- Fit once, persist once; every server round reloads the file.
+    let data = gaussian_mixture(n, DIMS, CLUSTERS, 400.0, 1e5, args.seed);
+    let eps = suggest_eps(&data.points, MIN_PTS, args.seed);
+    let (fit, fit_secs) = time(|| Dbsvec::new(DbsvecConfig::new(eps, MIN_PTS)).fit(&data.points));
+    let artifact = ModelArtifact::from_fit(
+        &data.points,
+        fit.labels(),
+        fit.core_points(),
+        eps,
+        MIN_PTS as u32,
+    )
+    .expect("fit produces a valid artifact");
+    let dir = std::env::temp_dir().join(format!("dbsvec-serve-http-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    let model_path = dir.join("model.dbm");
+    let bytes = snapshot::write_file(&artifact, &model_path).expect("persist bench model");
+    println!(
+        "fit: n={n}, d={DIMS}, eps={eps:.1} -> {} cores in {fit_secs:.3}s; snapshot {bytes} bytes",
+        artifact.cores.len()
+    );
+
+    let spread = 400.0 * 2.5; // spans the mixture's support
+    let seed = args.seed;
+    let assign_single = move |i: usize| {
+        let p = query_point(seed, i as u64, spread);
+        (
+            "POST",
+            "/v1/models/model/assign".to_string(),
+            format!("{{\"point\":{}}}", json_point(&p)),
+        )
+    };
+
+    // ---- Unloaded baseline: one client, sequential, one worker.
+    let mut unloaded_p50 = 0.0;
+    serve_round(&model_path, 1, 1, |addr| {
+        let (mut lat, _) = drive(addr, 1, iters, assign_single);
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        unloaded_p50 = percentile(&lat, 0.50);
+    });
+    println!(
+        "unloaded single-assign p50: {:.1}us ({} sequential requests); \
+         SLO: loaded p99 < {SLO_FACTOR:.0}x = {:.1}us",
+        unloaded_p50 * 1e6,
+        iters,
+        unloaded_p50 * SLO_FACTOR * 1e6
+    );
+
+    // ---- Loaded sweep over worker-thread counts the hardware can run.
+    let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let sweep: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&t| t <= hardware)
+        .collect();
+    println!(
+        "{:>8} {:>12} {:>8} {:>16} {:>17}",
+        "threads", "endpoint", "requests", "throughput", "latency"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    let mut slo_pass = true;
+    let mut batch_pass = true;
+    for &threads in &sweep {
+        if stopwatch.exhausted() {
+            println!("{threads:>8}  (budget exhausted)");
+            break;
+        }
+        serve_round(&model_path, threads, 2, |addr| {
+            let (lat, secs) = drive(addr, threads, iters, assign_single);
+            let single = Row::from_latencies(threads, "assign", lat, 1, secs);
+            single.print();
+
+            let assign_batch = move |i: usize| {
+                let pts: Vec<String> = (0..BATCH)
+                    .map(|k| {
+                        json_point(&query_point(seed ^ 0xb47c, (i * BATCH + k) as u64, spread))
+                    })
+                    .collect();
+                (
+                    "POST",
+                    "/v1/models/model/assign".to_string(),
+                    format!("{{\"points\":[{}]}}", pts.join(",")),
+                )
+            };
+            let (lat, secs) = drive(addr, threads, iters.div_ceil(4), assign_batch);
+            let batch = Row::from_latencies(threads, "assign_batch", lat, BATCH as u64, secs);
+            batch.print();
+
+            let ingest = move |i: usize| {
+                // Far outside the mixture, so every ingest is novel work.
+                let mut p = query_point(seed ^ 0x1497, i as u64, spread);
+                p[0] += 1e7 + i as f64;
+                (
+                    "POST",
+                    "/v1/models/model/ingest".to_string(),
+                    format!("{{\"point\":{}}}", json_point(&p)),
+                )
+            };
+            let (lat, secs) = drive(addr, threads, iters.div_ceil(4), ingest);
+            let ingest_row = Row::from_latencies(threads, "ingest", lat, 1, secs);
+            ingest_row.print();
+
+            let health = |_: usize| ("GET", "/v1/models/model/health".to_string(), String::new());
+            let (lat, secs) = drive(addr, threads, iters.div_ceil(4), health);
+            let health_row = Row::from_latencies(threads, "health", lat, 0, secs);
+            health_row.print();
+
+            let slo_target = unloaded_p50 * SLO_FACTOR;
+            if single.p99 >= slo_target {
+                slo_pass = false;
+                println!(
+                    "  SLO MISS at {threads} thread(s): loaded p99 {:.1}us >= {:.1}us",
+                    single.p99 * 1e6,
+                    slo_target * 1e6
+                );
+            }
+            if batch.points_per_sec() < single.points_per_sec() {
+                batch_pass = false;
+                println!(
+                    "  BATCH REGRESSION at {threads} thread(s): {:.0} pts/s batch < {:.0} pts/s single",
+                    batch.points_per_sec(),
+                    single.points_per_sec()
+                );
+            }
+            rows.extend([single, batch, ingest_row, health_row]);
+        });
+    }
+
+    println!(
+        "slo: {} | batch >= single at every thread count: {}",
+        if slo_pass { "pass" } else { "MISS" },
+        if batch_pass { "pass" } else { "FAIL" }
+    );
+
+    if let Some(json_dir) = &args.json_dir {
+        let report = Json::obj([
+            ("version", Json::UInt(BENCH_SCHEMA_VERSION)),
+            ("experiment", Json::str("serve_http")),
+            ("n", Json::UInt(n as u64)),
+            ("dims", Json::UInt(DIMS as u64)),
+            ("cores", Json::UInt(artifact.cores.len() as u64)),
+            ("hardware_threads", Json::UInt(hardware as u64)),
+            (
+                "clients_policy",
+                Json::str("one keep-alive client per worker thread"),
+            ),
+            ("batch_size", Json::UInt(BATCH as u64)),
+            ("unloaded_assign_p50_s", Json::Num(unloaded_p50)),
+            ("slo_factor", Json::Num(SLO_FACTOR)),
+            ("slo_pass", Json::Bool(slo_pass)),
+            ("batch_ge_single", Json::Bool(batch_pass)),
+            ("runs", Json::Arr(rows.iter().map(Row::to_json).collect())),
+        ]);
+        if let Err(e) = std::fs::create_dir_all(json_dir) {
+            eprintln!("cannot create {json_dir}: {e}");
+        } else {
+            let path = std::path::Path::new(json_dir).join("BENCH_serve_http.json");
+            match std::fs::write(&path, format!("{report}\n")) {
+                Ok(()) => println!("json report written to {}", path.display()),
+                Err(e) => eprintln!("cannot write json report to {json_dir}: {e}"),
+            }
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    if enforce {
+        assert!(
+            slo_pass,
+            "SLO: loaded p99 assign must stay under {SLO_FACTOR}x the unloaded p50"
+        );
+        assert!(
+            batch_pass,
+            "batch assign must move at least as many points/s as single at every thread count"
+        );
+    }
+}

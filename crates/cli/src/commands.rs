@@ -27,6 +27,7 @@ use dbsvec_obs::{
     Event, Json, JsonlSink, NoopObserver, Observer, Phase, ProfileReport, RecordingObserver,
     Registry, Tee,
 };
+use dbsvec_server::{Router, Server, ServerConfig, ShutdownFlag};
 
 use crate::args::ParsedArgs;
 use crate::CliError;
@@ -764,6 +765,120 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         monitor.as_ref(),
         out,
     )?;
+    finish_trace(args, sink, out)?;
+    Ok(())
+}
+
+/// `dbsvec serve-http`: expose one or more persisted models over the
+/// zero-dependency HTTP/1.1 serving tier until SIGINT/SIGTERM (or
+/// `--max-requests` for scripted runs), then drain, persist dirty
+/// shards, and dump final metrics.
+pub fn serve_http(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "model",
+        "addr",
+        "shards",
+        "threads",
+        "max-requests",
+        "metrics-file",
+        "trace",
+        "monitor",
+        "monitor-window",
+        "drift-threshold",
+        "help",
+    ])?;
+    let models = args.require("model")?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let shards: usize = args.get_or("shards", 1)?;
+    let threads: usize = args.get_or("threads", 1)?;
+    let max_requests: Option<u64> = args.get_parsed("max-requests")?;
+    let metrics_path = args.get("metrics-file").map(str::to_string);
+    let monitor_config = monitor_options(args)?;
+
+    let paths: Vec<&str> = models
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if paths.is_empty() {
+        return Err(CliError("--model needs at least one .dbm path".to_string()));
+    }
+    if monitor_config.is_some() && (paths.len() > 1 || shards > 1) {
+        return Err(CliError(
+            "--monitor aggregates drift gauges for exactly one model with --shards 1; \
+             drop --monitor or serve a single unsharded model"
+                .to_string(),
+        ));
+    }
+
+    let mut router = Router::new();
+    for path in &paths {
+        router
+            .load_model(Path::new(path), shards, monitor_config)
+            .map_err(|e| CliError(format!("cannot load model {path}: {e}")))?;
+    }
+    for (i, m) in router.models().iter().enumerate() {
+        if router.models()[..i].iter().any(|o| o.name() == m.name()) {
+            return Err(CliError(format!(
+                "duplicate model name {:?} — routing is by file stem, so stems must be unique",
+                m.name()
+            )));
+        }
+    }
+
+    let mut sink = open_trace(args)?;
+    let observing = sink.is_some();
+    let mut recorder = RecordingObserver::new();
+    let mut noop = NoopObserver;
+    let mut tee = Tee(&mut recorder, &mut sink);
+    let obs: &mut dyn Observer = if observing { &mut tee } else { &mut noop };
+
+    let router = std::sync::Arc::new(router);
+    let server = Server::bind(
+        std::sync::Arc::clone(&router),
+        ServerConfig {
+            addr: addr.clone(),
+            threads,
+            max_requests,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+    let local = server.local_addr()?;
+    for m in router.models() {
+        writeln!(out, "model {}: {} shard(s)", m.name(), m.shard_count())?;
+    }
+    writeln!(
+        out,
+        "listening on {local} ({threads} thread(s)); endpoints: \
+         POST /v1/models/{{name}}/assign, POST /v1/models/{{name}}/ingest, \
+         GET /v1/models/{{name}}/health, GET /metrics, GET /healthz"
+    )?;
+    out.flush()?;
+
+    let shutdown = ShutdownFlag::new();
+    shutdown.install_signal_handlers();
+    let report = server
+        .run(&shutdown, obs)
+        .map_err(|e| CliError(format!("serving on {local}: {e}")))?;
+
+    writeln!(
+        out,
+        "shutdown: {} requests handled ({} errors)",
+        report.requests, report.errors
+    )?;
+    for (path, bytes) in &report.persisted {
+        writeln!(
+            out,
+            "persisted dirty shard -> {} ({bytes} bytes)",
+            path.display()
+        )?;
+    }
+    if let Some(path) = metrics_path.as_deref() {
+        let metrics = router.aggregate_metrics();
+        write_metrics_file(path, metrics.registry())?;
+        writeln!(out, "metrics written to {path}")?;
+    }
     finish_trace(args, sink, out)?;
     Ok(())
 }
@@ -2074,5 +2189,140 @@ mod tests {
         let err = run_err(&["serve", "--model", data_s, "--assign", data_s]);
         assert!(err.contains("cannot load model"), "got: {err}");
         std::fs::remove_file(&data).ok();
+    }
+
+    /// A `Write` target shared with the thread running `serve-http`, so
+    /// the test can scrape the "listening on" line for the ephemeral port.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+        }
+    }
+
+    fn http_request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+        use std::io::Read;
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        conn.write_all(head.as_bytes()).unwrap();
+        conn.write_all(body.as_bytes()).unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn serve_http_serves_and_stops_after_max_requests() {
+        let data = tempfile("http.csv");
+        let model = tempfile("http.dbm");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap().to_string();
+        let name = model.file_stem().unwrap().to_str().unwrap().to_string();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "400",
+            "--output",
+            data_s,
+        ]);
+        run_ok(&[
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            &model_s,
+        ]);
+
+        let buf = SharedBuf::default();
+        let mut out = buf.clone();
+        let model_arg = model_s.clone();
+        let handle = std::thread::spawn(move || {
+            run(
+                [
+                    "serve-http",
+                    "--model",
+                    &model_arg,
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--shards",
+                    "2",
+                    "--threads",
+                    "2",
+                    "--max-requests",
+                    "4",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                &mut out,
+            )
+        });
+        let addr = loop {
+            if let Some(line) = buf.text().lines().find(|l| l.starts_with("listening on ")) {
+                break line["listening on ".len()..]
+                    .split_whitespace()
+                    .next()
+                    .unwrap()
+                    .to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let (status, body) = http_request(&addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains(&format!("\"{name}\"")), "got: {body}");
+        let (status, body) = http_request(
+            &addr,
+            "POST",
+            &format!("/v1/models/{name}/assign"),
+            "{\"points\":[[0.5,0.2],[9.0,9.0]]}",
+        );
+        assert_eq!(status, 200, "assign body: {body}");
+        assert!(body.contains("\"clusters\""), "got: {body}");
+        let (status, _) = http_request(&addr, "GET", &format!("/v1/models/{name}/health"), "");
+        assert_eq!(status, 200);
+        let (status, text) = http_request(&addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(text.contains("dbsvec_http_requests_total"), "got: {text}");
+
+        handle.join().unwrap().unwrap();
+        let text = buf.text();
+        assert!(text.contains("4 requests handled"), "got: {text}");
+        for f in [&data, &model] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn serve_http_rejects_bad_flag_combinations() {
+        let err = run_err(&["serve-http", "--model", "a.dbm,b.dbm", "--monitor"]);
+        assert!(err.contains("--monitor"), "got: {err}");
+        let err = run_err(&["serve-http", "--model", ""]);
+        assert!(err.contains("at least one"), "got: {err}");
+        let err = run_err(&["serve-http", "--model", "/nonexistent/x.dbm"]);
+        assert!(err.contains("cannot load model"), "got: {err}");
     }
 }

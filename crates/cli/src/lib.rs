@@ -14,6 +14,8 @@
 //!   versioned binary snapshot (`.dbm`);
 //! * `dbsvec serve` — load a snapshot and assign a batch of new points
 //!   (optionally fanned out over threads);
+//! * `dbsvec serve-http` — expose one or more snapshots over the std-only
+//!   HTTP/1.1 serving tier (sharded router, graceful shutdown);
 //! * `dbsvec ingest` — stream new points into a loaded model, promoting
 //!   dense arrivals to cores, and report the resulting drift;
 //! * `dbsvec metrics-report` — render a `--metrics-file` dump (Prometheus
@@ -74,6 +76,10 @@ USAGE:
                   [--metrics-file metrics.prom] [--metrics-interval N]
                   [--monitor] [--monitor-window N] [--drift-threshold F]
                   [--refit-threshold F]
+  dbsvec-cli serve-http --model a.dbm[,b.dbm] [--addr HOST:PORT] [--shards N]
+                  [--threads N] [--monitor] [--monitor-window N]
+                  [--drift-threshold F] [--metrics-file metrics.prom]
+                  [--trace out.jsonl] [--max-requests N]
   dbsvec-cli ingest   --model model.dbm --input points.csv [--save updated.dbm]
                   [--trace out.jsonl] [--metrics-file metrics.prom]
                   [--metrics-interval N] [--monitor] [--monitor-window N]
@@ -104,6 +110,17 @@ SERVING:
   one trained SVDD per cluster). serve loads it and labels new points by the
   nearest-core-within-eps rule; ingest streams points in, promoting dense
   arrivals to cores, and prints a staleness-based re-fit recommendation.
+
+HTTP SERVING (serve-http):
+  serve-http exposes one or more snapshots over a std-only HTTP/1.1 server:
+  POST /v1/models/{name}/assign and /ingest take {\"point\":[..]} or
+  {\"points\":[[..],..]} JSON bodies (name = the .dbm file stem); GET
+  /v1/models/{name}/health, /metrics (Prometheus text), and /healthz round
+  it out. --shards N splits each model over N engines with consistent
+  point-to-shard hashing; --threads N sizes the connection worker pool.
+  SIGINT/SIGTERM (or --max-requests N) drains in-flight requests, persists
+  every shard dirtied by ingest next to its source snapshot, and dumps
+  final metrics to --metrics-file.
 
 OBSERVABILITY (cluster, fit, serve, ingest; instrumented algorithms:
 dbsvec, dbsvec-min, dbscan, kd-dbscan, nq-dbscan):
@@ -153,6 +170,7 @@ pub fn run(tokens: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), CliE
         Some("suggest") => commands::suggest(&parsed, out),
         Some("fit") => commands::fit(&parsed, out),
         Some("serve") => commands::serve(&parsed, out),
+        Some("serve-http") => commands::serve_http(&parsed, out),
         Some("ingest") => commands::ingest(&parsed, out),
         Some("metrics-report") => commands::metrics_report(&parsed, out),
         Some("monitor-report") => commands::monitor_report(&parsed, out),

@@ -434,46 +434,82 @@ impl Engine {
         self.assign_observed(x, &mut NoopObserver)
     }
 
-    /// Classifies a batch with a scoped-thread fan-out over contiguous
-    /// chunks. `threads == 0` or `1` stays on the calling thread. Events
-    /// and stats are recorded after the join (observers are `&mut` and
-    /// cannot be shared across the fan-out).
-    pub fn assign_batch_observed(
-        &mut self,
+    /// Minimum queries *per worker* before a scoped-thread fan-out pays
+    /// for itself. One classify costs a few microseconds; a spawn + join
+    /// costs tens. Batches that cannot give every worker at least this
+    /// many queries stay on the calling thread, so batch throughput never
+    /// drops below single-query throughput.
+    pub const SPAWN_AMORTIZATION_FLOOR: usize = 256;
+
+    /// Effective fan-out width for a batch of `n` queries: the requested
+    /// thread count, capped so each worker gets at least
+    /// [`Engine::SPAWN_AMORTIZATION_FLOOR`] queries. Returns 1 (stay on
+    /// the calling thread) for small batches or `threads <= 1`.
+    pub fn fan_out_width(n: usize, threads: usize) -> usize {
+        threads
+            .clamp(1, n.max(1))
+            .min((n / Self::SPAWN_AMORTIZATION_FLOOR).max(1))
+    }
+
+    /// The one batch-classification fan-out every batch entry point
+    /// shares. Splits the queries into contiguous chunks across scoped
+    /// threads when [`Engine::fan_out_width`] says the spawn cost
+    /// amortizes, otherwise classifies sequentially. When `timed`, each
+    /// query's latency lands in a worker-local [`Histogram`] (bucket merge
+    /// is associative, so the merged result equals single-threaded
+    /// recording); untimed callers skip the clock reads entirely.
+    fn classify_batch_inner(
+        &self,
         queries: &PointSet,
         threads: usize,
-        obs: &mut dyn Observer,
-    ) -> Vec<Assignment> {
+        timed: bool,
+    ) -> (Vec<Assignment>, Histogram) {
         assert_eq!(queries.dims(), self.dims, "query dimensionality mismatch");
         let n = queries.len();
-        let threads = threads.clamp(1, n.max(1));
-        let results = if threads == 1 {
-            (0..n)
-                .map(|i| self.classify(queries.point(i as u32)))
-                .collect()
-        } else {
-            let shared: &Engine = self;
-            let chunk = n.div_ceil(threads);
-            let mut results: Vec<Assignment> = Vec::with_capacity(n);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(n);
-                        scope.spawn(move || {
-                            (lo..hi)
-                                .map(|i| shared.classify(queries.point(i as u32)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    results.extend(h.join().expect("classification must not panic"));
-                }
-            });
-            results
+        let width = Self::fan_out_width(n, threads);
+        let classify_range = |lo: usize, hi: usize| {
+            let mut local = Histogram::new();
+            let answers: Vec<Assignment> = (lo..hi)
+                .map(|i| {
+                    if timed {
+                        let start = Instant::now();
+                        let a = self.classify(queries.point(i as u32));
+                        local.record_duration(start.elapsed());
+                        a
+                    } else {
+                        self.classify(queries.point(i as u32))
+                    }
+                })
+                .collect();
+            (answers, local)
         };
-        for a in &results {
+        if width == 1 {
+            return classify_range(0, n);
+        }
+        let chunk = n.div_ceil(width);
+        let mut results: Vec<Assignment> = Vec::with_capacity(n);
+        let mut latencies = Histogram::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..width)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    scope.spawn(move || classify_range(lo, hi))
+                })
+                .collect();
+            for h in handles {
+                let (answers, local) = h.join().expect("classification must not panic");
+                results.extend(answers);
+                latencies.merge(&local);
+            }
+        });
+        (results, latencies)
+    }
+
+    /// Folds a batch of answers into the serving stats, emitting one
+    /// [`Event::Assign`] per answer.
+    fn record_batch_stats(&mut self, results: &[Assignment], obs: &mut dyn Observer) {
+        for a in results {
             self.stats.assigns += 1;
             let hit = matches!(a, Assignment::Cluster(_));
             if hit {
@@ -481,6 +517,22 @@ impl Engine {
             }
             obs.event(&Event::Assign { hit });
         }
+    }
+
+    /// Classifies a batch with a scoped-thread fan-out over contiguous
+    /// chunks. `threads == 0` or `1` stays on the calling thread, as do
+    /// batches too small to amortize the spawn cost (see
+    /// [`Engine::SPAWN_AMORTIZATION_FLOOR`]). Events and stats are
+    /// recorded after the join (observers are `&mut` and cannot be shared
+    /// across the fan-out).
+    pub fn assign_batch_observed(
+        &mut self,
+        queries: &PointSet,
+        threads: usize,
+        obs: &mut dyn Observer,
+    ) -> Vec<Assignment> {
+        let (results, _) = self.classify_batch_inner(queries, threads, false);
+        self.record_batch_stats(&results, obs);
         results
     }
 
@@ -498,70 +550,52 @@ impl Engine {
     }
 
     /// [`Engine::assign_batch`] with per-query latency recorded into
-    /// `metrics`. Each scoped-thread worker times its queries into a
-    /// worker-local [`Histogram`]; the locals are merged into the registry
-    /// after the join (bucket merge is associative, so the result equals
-    /// single-threaded recording).
+    /// `metrics`, through the same fan-out (and the same amortization
+    /// floor) as [`Engine::assign_batch_observed`].
     pub fn assign_batch_metered(
         &mut self,
         queries: &PointSet,
         threads: usize,
         metrics: &mut EngineMetrics,
     ) -> Vec<Assignment> {
-        assert_eq!(queries.dims(), self.dims, "query dimensionality mismatch");
-        let n = queries.len();
-        let threads = threads.clamp(1, n.max(1));
-        let (results, latencies) = if threads == 1 {
+        let (results, latencies) = self.classify_batch_inner(queries, threads, true);
+        self.record_batch_stats(&results, &mut NoopObserver);
+        metrics.merge_assign_latencies(&latencies);
+        results
+    }
+
+    /// Classifies a batch handed over as raw coordinate rows — the shape
+    /// HTTP bodies and in-process callers share — with per-query latency
+    /// recorded into `metrics`. Small batches skip the [`PointSet`] copy
+    /// and the fan-out entirely; large ones delegate to
+    /// [`Engine::assign_batch_metered`], so there is exactly one fan-out
+    /// implementation either way.
+    pub fn assign_many<R: AsRef<[f64]>>(
+        &mut self,
+        rows: &[R],
+        threads: usize,
+        metrics: &mut EngineMetrics,
+    ) -> Vec<Assignment> {
+        if Self::fan_out_width(rows.len(), threads) == 1 {
             let mut local = Histogram::new();
-            let results = (0..n)
-                .map(|i| {
+            let results: Vec<Assignment> = rows
+                .iter()
+                .map(|r| {
                     let start = Instant::now();
-                    let a = self.classify(queries.point(i as u32));
+                    let a = self.classify(r.as_ref());
                     local.record_duration(start.elapsed());
                     a
                 })
                 .collect();
-            (results, local)
-        } else {
-            let shared: &Engine = self;
-            let chunk = n.div_ceil(threads);
-            let mut results: Vec<Assignment> = Vec::with_capacity(n);
-            let mut latencies = Histogram::new();
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(n);
-                        scope.spawn(move || {
-                            let mut local = Histogram::new();
-                            let answers: Vec<_> = (lo..hi)
-                                .map(|i| {
-                                    let start = Instant::now();
-                                    let a = shared.classify(queries.point(i as u32));
-                                    local.record_duration(start.elapsed());
-                                    a
-                                })
-                                .collect();
-                            (answers, local)
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    let (answers, local) = h.join().expect("classification must not panic");
-                    results.extend(answers);
-                    latencies.merge(&local);
-                }
-            });
-            (results, latencies)
-        };
-        for a in &results {
-            self.stats.assigns += 1;
-            if matches!(a, Assignment::Cluster(_)) {
-                self.stats.assign_hits += 1;
-            }
+            self.record_batch_stats(&results, &mut NoopObserver);
+            metrics.merge_assign_latencies(&local);
+            return results;
         }
-        metrics.merge_assign_latencies(&latencies);
-        results
+        let mut set = PointSet::new(self.dims);
+        for r in rows {
+            set.push(r.as_ref());
+        }
+        self.assign_batch_metered(&set, threads, metrics)
     }
 
     /// [`Engine::assign_observed`] folding the result (and the distance

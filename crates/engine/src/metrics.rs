@@ -224,7 +224,16 @@ impl EngineMetrics {
     /// and gauges from its current [`HealthSnapshot`](crate::HealthSnapshot).
     /// Safe to call at any cadence; both sources are authoritative.
     pub fn refresh(&mut self, engine: &Engine) {
-        let s = engine.stats();
+        self.refresh_from_parts(engine.stats(), &engine.health());
+    }
+
+    /// [`EngineMetrics::refresh`] from already-captured parts. The HTTP
+    /// router uses this to publish one aggregate registry over N shards:
+    /// it sums the shards' [`EngineStats`](crate::EngineStats) (all
+    /// counters are additive) and folds their
+    /// [`HealthSnapshot`](crate::HealthSnapshot)s (counts sum, staleness
+    /// takes the max, refit ORs) before refreshing.
+    pub fn refresh_from_parts(&mut self, s: &crate::EngineStats, h: &crate::HealthSnapshot) {
         self.reg.set_counter(self.assigns, s.assigns);
         self.reg.set_counter(self.assign_hits, s.assign_hits);
         self.reg.set_counter(self.ingests, s.ingests);
@@ -233,7 +242,6 @@ impl EngineMetrics {
         self.reg.set_counter(self.new_clusters, s.new_clusters);
         self.reg.set_counter(self.merges, s.merges);
         self.reg.set_counter(self.tree_rebuilds, s.tree_rebuilds);
-        let h = engine.health();
         self.reg.set(self.staleness, h.staleness);
         self.reg
             .set(self.refit_recommended, f64::from(h.refit_recommended));
@@ -308,6 +316,12 @@ impl EngineMetrics {
         self.reg.merge_histogram(self.assign_latency, local);
     }
 
+    /// Folds a histogram of ingest latencies (nanosecond ticks) into the
+    /// registry — the aggregation half of multi-shard exposition.
+    pub fn merge_ingest_latencies(&mut self, local: &Histogram) {
+        self.reg.merge_histogram(self.ingest_latency, local);
+    }
+
     /// Counts one snapshot serialization.
     pub fn inc_snapshot_write(&mut self) {
         self.reg.inc(self.snapshot_writes);
@@ -316,6 +330,14 @@ impl EngineMetrics {
     /// Counts one snapshot deserialization.
     pub fn inc_snapshot_load(&mut self) {
         self.reg.inc(self.snapshot_loads);
+    }
+
+    /// Overwrites the snapshot I/O counters (for aggregating registries
+    /// that sum per-shard counts, matching the overwrite discipline of
+    /// [`EngineMetrics::refresh`]).
+    pub fn set_snapshot_counts(&mut self, writes: u64, loads: u64) {
+        self.reg.set_counter(self.snapshot_writes, writes);
+        self.reg.set_counter(self.snapshot_loads, loads);
     }
 
     /// The assignment-latency histogram.
@@ -418,6 +440,75 @@ mod tests {
             assert_eq!(got, expected);
             assert_eq!(m.assign_latency().histogram().count(), 100);
         }
+    }
+
+    #[test]
+    fn fan_out_width_enforces_the_amortization_floor() {
+        let floor = Engine::SPAWN_AMORTIZATION_FLOOR;
+        // Small batches never fan out, whatever was requested.
+        assert_eq!(Engine::fan_out_width(floor - 1, 8), 1);
+        assert_eq!(Engine::fan_out_width(1, 8), 1);
+        assert_eq!(Engine::fan_out_width(0, 8), 1);
+        // threads <= 1 never fans out, whatever the batch size.
+        assert_eq!(Engine::fan_out_width(10 * floor, 1), 1);
+        assert_eq!(Engine::fan_out_width(10 * floor, 0), 1);
+        // Width grows with the batch but each worker keeps >= floor.
+        assert_eq!(Engine::fan_out_width(2 * floor, 8), 2);
+        assert_eq!(Engine::fan_out_width(8 * floor, 8), 8);
+        assert_eq!(Engine::fan_out_width(8 * floor, 4), 4);
+    }
+
+    #[test]
+    fn assign_many_matches_classify_and_meters_every_row() {
+        let mut engine = Engine::new(&two_cluster_artifact());
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64 * 50.0])
+            .collect();
+        let expected: Vec<_> = rows.iter().map(|r| engine.classify(r)).collect();
+        for threads in [1, 4] {
+            let mut m = EngineMetrics::new();
+            let before = engine.stats().assigns;
+            let got = engine.assign_many(&rows, threads, &mut m);
+            assert_eq!(got, expected);
+            assert_eq!(m.assign_latency().histogram().count(), 40);
+            assert_eq!(engine.stats().assigns, before + 40);
+        }
+        // Large enough to cross the fan-out floor: same answers.
+        let big: Vec<Vec<f64>> = (0..(2 * Engine::SPAWN_AMORTIZATION_FLOOR))
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64 * 50.0])
+            .collect();
+        let expected: Vec<_> = big.iter().map(|r| engine.classify(r)).collect();
+        let mut m = EngineMetrics::new();
+        let got = engine.assign_many(&big, 2, &mut m);
+        assert_eq!(got, expected);
+        assert_eq!(m.assign_latency().histogram().count(), big.len() as u64);
+    }
+
+    #[test]
+    fn refresh_from_parts_and_set_snapshot_counts_aggregate() {
+        let mut engine_a = Engine::new(&two_cluster_artifact());
+        let mut engine_b = Engine::new(&two_cluster_artifact());
+        engine_a.assign(&[2.0, 0.5]);
+        engine_a.assign(&[2.0, 50.0]);
+        engine_b.assign(&[3.0, 0.5]);
+        let mut stats = *engine_a.stats();
+        let b = engine_b.stats();
+        stats.assigns += b.assigns;
+        stats.assign_hits += b.assign_hits;
+        let mut health = engine_a.health();
+        let hb = engine_b.health();
+        health.core_points += hb.core_points;
+        health.clusters += hb.clusters;
+        health.staleness = health.staleness.max(hb.staleness);
+        let mut m = EngineMetrics::new();
+        m.refresh_from_parts(&stats, &health);
+        m.set_snapshot_counts(3, 2);
+        let reg = m.registry();
+        assert_eq!(reg.counter_value("dbsvec_assigns_total"), Some(3));
+        assert_eq!(reg.counter_value("dbsvec_assign_hits_total"), Some(2));
+        assert_eq!(reg.gauge_value("dbsvec_core_points"), Some(20.0));
+        assert_eq!(reg.counter_value("dbsvec_snapshot_writes_total"), Some(3));
+        assert_eq!(reg.counter_value("dbsvec_snapshot_loads_total"), Some(2));
     }
 
     #[test]

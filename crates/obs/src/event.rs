@@ -184,6 +184,16 @@ pub enum Event {
         /// The configured alert threshold in microunits.
         threshold_e6: u64,
     },
+    /// The HTTP serving tier finished handling one request.
+    HttpRequest {
+        /// Stable endpoint slug: `assign`, `ingest`, `health`, `metrics`,
+        /// `healthz`, or `error` for requests rejected before routing.
+        endpoint: String,
+        /// HTTP status code of the response.
+        status: u16,
+        /// Points carried by the request body (0 for bodyless endpoints).
+        points: u64,
+    },
 }
 
 impl Event {
@@ -203,6 +213,7 @@ impl Event {
             Event::SnapshotLoad { .. } => "snapshot_load",
             Event::QualityWindow { .. } => "quality_window",
             Event::DriftAlert { .. } => "drift_alert",
+            Event::HttpRequest { .. } => "http_request",
         }
     }
 }
@@ -278,6 +289,15 @@ mod tests {
             }
             .name(),
             "drift_alert"
+        );
+        assert_eq!(
+            Event::HttpRequest {
+                endpoint: "assign".to_string(),
+                status: 200,
+                points: 16,
+            }
+            .name(),
+            "http_request"
         );
     }
 }

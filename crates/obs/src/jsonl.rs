@@ -125,6 +125,15 @@ pub fn event_to_json(event: &Event) -> Json {
             push("drift_score_e6", Json::UInt(drift_score_e6));
             push("threshold_e6", Json::UInt(threshold_e6));
         }
+        Event::HttpRequest {
+            ref endpoint,
+            status,
+            points,
+        } => {
+            push("endpoint", Json::Str(endpoint.clone()));
+            push("status", Json::UInt(status as u64));
+            push("points", Json::UInt(points));
+        }
     }
     Json::Obj(pairs)
 }

@@ -64,6 +64,10 @@ pub struct ReplayCounts {
     pub quality_windows: u64,
     /// Drift alerts raised (count of [`Event::DriftAlert`]).
     pub drift_alerts: u64,
+    /// HTTP requests handled (count of [`Event::HttpRequest`]).
+    pub http_requests: u64,
+    /// Of those, requests answered with a 4xx/5xx status.
+    pub http_errors: u64,
 }
 
 impl ReplayCounts {
@@ -124,6 +128,12 @@ impl ReplayCounts {
             Event::SnapshotLoad { .. } => self.snapshot_loads += 1,
             Event::QualityWindow { .. } => self.quality_windows += 1,
             Event::DriftAlert { .. } => self.drift_alerts += 1,
+            Event::HttpRequest { status, .. } => {
+                self.http_requests += 1;
+                if *status >= 400 {
+                    self.http_errors += 1;
+                }
+            }
         }
     }
 
@@ -189,6 +199,13 @@ fn field_bool(value: &Json, key: &str) -> Result<bool, String> {
     match value.get(key) {
         Some(Json::Bool(b)) => Ok(*b),
         _ => Err(format!("missing bool field {key:?}")),
+    }
+}
+
+fn field_str(value: &Json, key: &str) -> Result<String, String> {
+    match value.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        _ => Err(format!("missing string field {key:?}")),
     }
 }
 
@@ -263,6 +280,12 @@ pub fn event_from_json(value: &Json) -> Result<Event, String> {
             window: field_u64(value, "window")?,
             drift_score_e6: field_u64(value, "drift_score_e6")?,
             threshold_e6: field_u64(value, "threshold_e6")?,
+        }),
+        "http_request" => Ok(Event::HttpRequest {
+            endpoint: field_str(value, "endpoint")?,
+            status: u16::try_from(field_u64(value, "status")?)
+                .map_err(|e| format!("field \"status\": {e}"))?,
+            points: field_u64(value, "points")?,
         }),
         other => Err(format!("unknown event {other:?}")),
     }
@@ -385,6 +408,16 @@ mod tests {
                 drift_score_e6: 480_000,
                 threshold_e6: 350_000,
             },
+            Event::HttpRequest {
+                endpoint: "assign".to_string(),
+                status: 200,
+                points: 1,
+            },
+            Event::HttpRequest {
+                endpoint: "error".to_string(),
+                status: 400,
+                points: 0,
+            },
         ];
         let c = ReplayCounts::from_events(events.iter());
         assert_eq!(c.assigns, 2);
@@ -396,6 +429,8 @@ mod tests {
         assert_eq!(c.snapshot_loads, 1);
         assert_eq!(c.quality_windows, 1);
         assert_eq!(c.drift_alerts, 1);
+        assert_eq!(c.http_requests, 2);
+        assert_eq!(c.http_errors, 1);
         // Fit counters untouched by serving traffic.
         assert_eq!(c.seeds, 0);
         assert_eq!(c.range_queries, 0);
@@ -441,6 +476,11 @@ mod tests {
                 window: 3,
                 drift_score_e6: 150_000,
                 threshold_e6: 100_000,
+            },
+            Event::HttpRequest {
+                endpoint: "ingest".to_string(),
+                status: 503,
+                points: 4,
             },
         ];
         let mut text = String::new();

@@ -134,6 +134,14 @@ impl fmt::Display for ProfileReport {
                 c.quality_windows, c.drift_alerts
             )?;
         }
+        if c.http_requests > 0 {
+            writeln!(f)?;
+            write!(
+                f,
+                "http requests {} | http errors {}",
+                c.http_requests, c.http_errors
+            )?;
+        }
         Ok(())
     }
 }

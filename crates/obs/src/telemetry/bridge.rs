@@ -40,6 +40,8 @@ struct EventCounters {
     snapshot_loads: CounterId,
     quality_windows: CounterId,
     drift_alerts: CounterId,
+    http_requests: CounterId,
+    http_errors: CounterId,
 }
 
 /// An [`Observer`] that folds events into registry counters and phase
@@ -165,6 +167,16 @@ impl MetricsObserver {
                 "dbsvec_drift_alerts_total",
                 "Windows whose smoothed drift score crossed the threshold.",
             ),
+            http_requests: c(
+                &mut reg,
+                "dbsvec_http_requests_total",
+                "HTTP requests handled by the serving tier.",
+            ),
+            http_errors: c(
+                &mut reg,
+                "dbsvec_http_errors_total",
+                "HTTP requests answered with a 4xx/5xx status.",
+            ),
         };
         let max_target_size = reg.gauge(
             "dbsvec_max_target_size",
@@ -286,6 +298,12 @@ impl Observer for MetricsObserver {
             Event::SnapshotLoad { .. } => self.registry.inc(c.snapshot_loads),
             Event::QualityWindow { .. } => self.registry.inc(c.quality_windows),
             Event::DriftAlert { .. } => self.registry.inc(c.drift_alerts),
+            Event::HttpRequest { status, .. } => {
+                self.registry.inc(c.http_requests);
+                if *status >= 400 {
+                    self.registry.inc(c.http_errors);
+                }
+            }
         }
     }
 }

@@ -1,0 +1,444 @@
+//! A hand-rolled HTTP/1.1 request parser and response writer.
+//!
+//! The workspace builds offline with zero external dependencies, so this
+//! module provides the small HTTP surface the serving tier needs — in the
+//! same spirit as `dbsvec_obs::json`: strict parsing into a typed error
+//! per malformation, no allocation-hungry generality. Only `GET` and
+//! `POST` are accepted; bodies require `Content-Length` (no chunked
+//! transfer encoding); header blocks and bodies are capped so a
+//! misbehaving client cannot balloon a worker's memory.
+
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+/// Cap on the request line plus all header lines, in bytes.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// Default cap on a request body, in bytes (the CLI can lower it).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Every way a request can fail to parse or route, with the HTTP status
+/// each maps to. The parser returns these instead of panicking or
+/// guessing, so tests can pin one typed error per malformed input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line was not `METHOD SP PATH SP VERSION`.
+    BadRequestLine(String),
+    /// A method other than `GET` or `POST`.
+    UnsupportedMethod(String),
+    /// A version other than `HTTP/1.1` or `HTTP/1.0`.
+    UnsupportedVersion(String),
+    /// A header line without a `:` separator.
+    BadHeader(String),
+    /// Request line + headers exceeded [`MAX_HEADER_BYTES`].
+    HeadersTooLarge {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A `POST` without a `Content-Length` header.
+    MissingContentLength,
+    /// A `Content-Length` that is not a non-negative integer.
+    BadContentLength(String),
+    /// A declared body size over the configured cap.
+    BodyTooLarge {
+        /// What `Content-Length` declared.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The connection closed before `Content-Length` bytes arrived.
+    Truncated {
+        /// Bytes the header declared.
+        expected: usize,
+        /// Bytes actually read.
+        got: usize,
+    },
+    /// A body that is not valid UTF-8 or not valid JSON.
+    BadJson(String),
+    /// A structurally valid JSON body with the wrong shape (missing
+    /// `point`/`points`, non-numeric coordinates, dimension mismatch...).
+    BadBody(String),
+    /// No route matches the path (including unknown model names).
+    NotFound(String),
+    /// The path exists but not under this method.
+    MethodNotAllowed {
+        /// The offending method.
+        method: String,
+        /// The path it was tried on.
+        path: String,
+    },
+}
+
+impl HttpError {
+    /// The HTTP status code this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequestLine(_)
+            | HttpError::BadHeader(_)
+            | HttpError::BadContentLength(_)
+            | HttpError::Truncated { .. }
+            | HttpError::BadJson(_)
+            | HttpError::BadBody(_) => 400,
+            HttpError::NotFound(_) => 404,
+            HttpError::UnsupportedMethod(_) | HttpError::MethodNotAllowed { .. } => 405,
+            HttpError::MissingContentLength => 411,
+            HttpError::BodyTooLarge { .. } => 413,
+            HttpError::HeadersTooLarge { .. } => 431,
+            HttpError::UnsupportedVersion(_) => 505,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequestLine(line) => write!(f, "malformed request line: {line:?}"),
+            HttpError::UnsupportedMethod(m) => write!(f, "unsupported method {m:?}"),
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            HttpError::BadHeader(h) => write!(f, "malformed header line: {h:?}"),
+            HttpError::HeadersTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            HttpError::MissingContentLength => write!(f, "POST requires Content-Length"),
+            HttpError::BadContentLength(v) => write!(f, "bad Content-Length: {v:?}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "declared body of {declared} bytes exceeds cap of {limit}"
+                )
+            }
+            HttpError::Truncated { expected, got } => {
+                write!(f, "body truncated: expected {expected} bytes, got {got}")
+            }
+            HttpError::BadJson(e) => write!(f, "body is not valid JSON: {e}"),
+            HttpError::BadBody(e) => write!(f, "bad request body: {e}"),
+            HttpError::NotFound(path) => write!(f, "no route for {path}"),
+            HttpError::MethodNotAllowed { method, path } => {
+                write!(f, "{method} not allowed on {path}")
+            }
+        }
+    }
+}
+
+/// One parsed request: enough of HTTP/1.1 to route and answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// `GET` or `POST` (anything else is rejected at parse time).
+    pub method: String,
+    /// The request path, query string included if one was sent.
+    pub path: String,
+    /// The body, exactly `Content-Length` bytes (empty for `GET`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default, overridden by `Connection: close`; inverted for 1.0).
+    pub keep_alive: bool,
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, counting its bytes
+/// against `budget`. Returns `Ok(None)` on clean EOF before any byte.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut raw = Vec::new();
+    let mut limited = Read::take(&mut *reader, *budget as u64 + 1);
+    let n = limited
+        .read_until(b'\n', &mut raw)
+        .map_err(|e| HttpError::BadRequestLine(format!("io error: {e}")))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if raw.len() > *budget {
+        return Err(HttpError::HeadersTooLarge {
+            limit: MAX_HEADER_BYTES,
+        });
+    }
+    *budget -= raw.len();
+    while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| HttpError::BadHeader("non-UTF-8 header bytes".to_string()))
+}
+
+/// Reads and validates one request from a buffered stream.
+///
+/// Returns `Ok(None)` on a clean EOF before the first byte (the client
+/// closed a keep-alive connection between requests — not an error).
+/// `max_body` caps `Content-Length`; the request head is capped at
+/// [`MAX_HEADER_BYTES`] regardless.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let line = match read_line(reader, &mut budget)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Err(HttpError::BadRequestLine(line.clone())),
+    };
+    if method != "GET" && method != "POST" {
+        return Err(HttpError::UnsupportedMethod(method.to_string()));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::UnsupportedVersion(version.to_string()));
+    }
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length: Option<usize> = None;
+    loop {
+        let header = match read_line(reader, &mut budget)? {
+            None => {
+                return Err(HttpError::BadHeader(
+                    "connection closed inside the header block".to_string(),
+                ))
+            }
+            Some(h) => h,
+        };
+        if header.is_empty() {
+            break;
+        }
+        let (name, value) = header
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(header.clone()))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .parse()
+                .map_err(|_| HttpError::BadContentLength(value.to_string()))?;
+            content_length = Some(n);
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    let body = if method == "POST" {
+        let declared = content_length.ok_or(HttpError::MissingContentLength)?;
+        if declared > max_body {
+            return Err(HttpError::BodyTooLarge {
+                declared,
+                limit: max_body,
+            });
+        }
+        let mut body = vec![0u8; declared];
+        let mut got = 0;
+        while got < declared {
+            match reader.read(&mut body[got..]) {
+                Ok(0) => {
+                    return Err(HttpError::Truncated {
+                        expected: declared,
+                        got,
+                    })
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(HttpError::BadBody(format!("io error reading body: {e}")));
+                }
+            }
+        }
+        body
+    } else {
+        Vec::new()
+    };
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        keep_alive,
+    }))
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one HTTP/1.1 response with an explicit `Content-Length` (so
+/// keep-alive framing stays correct) and the negotiated connection
+/// disposition.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        status_reason(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes()), DEFAULT_MAX_BODY_BYTES)
+    }
+
+    #[test]
+    fn parses_a_get_request() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_connection_close() {
+        let req = parse(
+            "POST /v1/models/m/assign HTTP/1.1\r\nContent-Length: 11\r\nConnection: close\r\n\r\n{\"point\":1}",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"point\":1}");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close() {
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_an_error() {
+        assert_eq!(parse(""), Ok(None));
+    }
+
+    #[test]
+    fn malformed_request_line_is_typed() {
+        assert!(matches!(
+            parse("GARBAGE\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse("GET /too many words HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(" \r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_method_and_version_are_typed() {
+        let err = parse("DELETE /v1/models/m HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::UnsupportedMethod("DELETE".to_string()));
+        assert_eq!(err.status(), 405);
+        let err = parse("GET / HTTP/2\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::UnsupportedVersion("HTTP/2".to_string()));
+        assert_eq!(err.status(), 505);
+    }
+
+    #[test]
+    fn header_without_colon_is_typed() {
+        let err = parse("GET / HTTP/1.1\r\nNotAHeader\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BadHeader(_)));
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn oversized_header_block_is_rejected() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..200 {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(64)));
+        }
+        raw.push_str("\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(
+            err,
+            HttpError::HeadersTooLarge {
+                limit: MAX_HEADER_BYTES
+            }
+        );
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn post_without_content_length_is_rejected() {
+        let err = parse("POST /v1/models/m/assign HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::MissingContentLength);
+        assert_eq!(err.status(), 411);
+    }
+
+    #[test]
+    fn bad_content_length_is_typed() {
+        let err = parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::BadContentLength("nope".to_string()));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_reading_it() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        let err = read_request(&mut Cursor::new(raw.as_bytes()), 10).unwrap_err();
+        assert_eq!(
+            err,
+            HttpError::BodyTooLarge {
+                declared: 100,
+                limit: 10
+            }
+        );
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn truncated_body_is_typed() {
+        let err = parse("POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").unwrap_err();
+        assert_eq!(
+            err,
+            HttpError::Truncated {
+                expected: 50,
+                got: 5
+            }
+        );
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn eof_inside_headers_is_typed() {
+        let err = parse("GET / HTTP/1.1\r\nHost: x\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BadHeader(_)));
+    }
+
+    #[test]
+    fn response_writer_frames_with_content_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,698 @@
+//! The routing core: models → shards → per-shard engines.
+//!
+//! A [`Router`] owns one [`ModelEntry`] per served model; each entry owns
+//! N [`Shard`]s, each a `Mutex` around an [`Engine`] plus its
+//! [`EngineMetrics`] and an optional [`QualityMonitor`]. Two routing
+//! modes compose:
+//!
+//! * **Name-based** (multi-model): the `{name}` path segment picks the
+//!   entry.
+//! * **Point-to-shard** (sharded single model): within an entry, a point
+//!   hashes — FNV-1a over its coordinate bits, so the mapping is
+//!   consistent across requests and processes — to one shard. Assignment
+//!   is pure, so any shard answers identically; ingest routed this way
+//!   keeps each point's density bookkeeping on one shard.
+//!
+//! Lock granularity is the shard: two HTTP workers hitting different
+//! shards (or different models) never contend. Batch bodies group their
+//! rows per shard and take each shard lock once, then scatter results
+//! back into request order.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use dbsvec_engine::{
+    snapshot, Assignment, Engine, EngineMetrics, EngineStats, HealthSnapshot, IngestOutcome,
+    ModelArtifact, MonitorConfig, QualityMonitor, SnapshotError,
+};
+use dbsvec_obs::telemetry::render_prometheus;
+use dbsvec_obs::{Json, NoopObserver};
+
+use crate::http::HttpError;
+
+/// One shard: an engine plus its per-shard telemetry.
+pub struct Shard {
+    engine: Engine,
+    metrics: EngineMetrics,
+    monitor: Option<QualityMonitor>,
+    /// State-changing ingests since the last persist (duplicates do not
+    /// count — they change nothing worth snapshotting).
+    mutations: u64,
+    snapshot_writes: u64,
+    snapshot_loads: u64,
+}
+
+impl Shard {
+    /// The engine behind this shard.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Whether this shard has unpersisted mutations.
+    pub fn dirty(&self) -> bool {
+        self.mutations > 0
+    }
+}
+
+/// One served model: a name, the snapshot it was loaded from, and its
+/// shards.
+pub struct ModelEntry {
+    name: String,
+    path: PathBuf,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl ModelEntry {
+    /// The model's routing name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of shards serving this model.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// The sharded multi-model router.
+#[derive(Default)]
+pub struct Router {
+    models: Vec<ModelEntry>,
+}
+
+/// FNV-1a over the coordinate bit patterns: the consistent point-to-shard
+/// hash. Little-endian `f64::to_bits` bytes make the mapping exact and
+/// platform-independent for identical inputs.
+pub fn point_shard(x: &[f64], shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in x {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    (h % shards as u64) as usize
+}
+
+fn assignment_json(a: Assignment) -> Json {
+    match a.cluster() {
+        Some(c) => Json::UInt(c as u64),
+        None => Json::Null,
+    }
+}
+
+fn outcome_slug(out: IngestOutcome) -> &'static str {
+    match out {
+        IngestOutcome::Duplicate => "duplicate",
+        IngestOutcome::Core { .. } => "core",
+        IngestOutcome::Border { .. } => "border",
+        IngestOutcome::Buffered => "buffered",
+    }
+}
+
+/// Decoded body of an assign/ingest request: coordinate rows plus whether
+/// the client sent the single-point (`{"point":[..]}`) or the batch
+/// (`{"points":[[..],..]}`) shape.
+pub struct PointsBody {
+    /// The coordinate rows.
+    pub rows: Vec<Vec<f64>>,
+    /// True for the batch shape (the response echoes an array back).
+    pub batch: bool,
+}
+
+fn row_from_json(v: &Json, dims: usize) -> Result<Vec<f64>, HttpError> {
+    let arr = match v {
+        Json::Arr(items) => items,
+        other => {
+            return Err(HttpError::BadBody(format!(
+                "point must be an array of numbers, got {other}"
+            )))
+        }
+    };
+    let mut row = Vec::with_capacity(arr.len());
+    for item in arr {
+        match item {
+            Json::Num(f) => row.push(*f),
+            Json::Int(i) => row.push(*i as f64),
+            Json::UInt(u) => row.push(*u as f64),
+            other => {
+                return Err(HttpError::BadBody(format!(
+                    "non-numeric coordinate: {other}"
+                )))
+            }
+        }
+    }
+    if row.len() != dims {
+        return Err(HttpError::BadBody(format!(
+            "point has {} coordinates, model expects {dims}",
+            row.len()
+        )));
+    }
+    Ok(row)
+}
+
+/// Parses an assign/ingest body against the model's dimensionality.
+pub fn parse_points_body(body: &[u8], dims: usize) -> Result<PointsBody, HttpError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| HttpError::BadJson("body is not UTF-8".to_string()))?;
+    let value = dbsvec_obs::json::parse(text).map_err(HttpError::BadJson)?;
+    if let Some(p) = value.get("point") {
+        return Ok(PointsBody {
+            rows: vec![row_from_json(p, dims)?],
+            batch: false,
+        });
+    }
+    if let Some(ps) = value.get("points") {
+        let items = match ps {
+            Json::Arr(items) => items,
+            other => {
+                return Err(HttpError::BadBody(format!(
+                    "\"points\" must be an array of arrays, got {other}"
+                )))
+            }
+        };
+        if items.is_empty() {
+            return Err(HttpError::BadBody("\"points\" is empty".to_string()));
+        }
+        let rows = items
+            .iter()
+            .map(|v| row_from_json(v, dims))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(PointsBody { rows, batch: true });
+    }
+    Err(HttpError::BadBody(
+        "body must carry \"point\" or \"points\"".to_string(),
+    ))
+}
+
+impl Router {
+    /// An empty router (add models with [`Router::add_model`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a model from an already-decoded artifact, building `shards`
+    /// independent engines over it. `monitor` attaches a fresh
+    /// [`QualityMonitor`] to every shard.
+    pub fn add_model(
+        &mut self,
+        name: impl Into<String>,
+        path: impl Into<PathBuf>,
+        artifact: &ModelArtifact,
+        shards: usize,
+        monitor: Option<MonitorConfig>,
+    ) {
+        let shards = shards.max(1);
+        let name = name.into();
+        let entries = (0..shards)
+            .map(|_| {
+                let engine = Engine::new(artifact);
+                let monitor = monitor.map(|cfg| engine.monitor(cfg));
+                Mutex::new(Shard {
+                    engine,
+                    metrics: EngineMetrics::new(),
+                    monitor,
+                    mutations: 0,
+                    snapshot_writes: 0,
+                    snapshot_loads: 1,
+                })
+            })
+            .collect();
+        self.models.push(ModelEntry {
+            name,
+            path: path.into(),
+            shards: entries,
+        });
+    }
+
+    /// Loads a `.dbm` snapshot and adds it under the file-stem name.
+    pub fn load_model(
+        &mut self,
+        path: impl AsRef<Path>,
+        shards: usize,
+        monitor: Option<MonitorConfig>,
+    ) -> Result<(), SnapshotError> {
+        let path = path.as_ref();
+        let (artifact, _) = snapshot::read_file(path)?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        self.add_model(name, path, &artifact, shards, monitor);
+        Ok(())
+    }
+
+    /// The served models, in registration order.
+    pub fn models(&self) -> &[ModelEntry] {
+        &self.models
+    }
+
+    fn entry(&self, name: &str) -> Result<&ModelEntry, HttpError> {
+        self.models
+            .iter()
+            .find(|m| m.name == name)
+            .ok_or_else(|| HttpError::NotFound(format!("/v1/models/{name}")))
+    }
+
+    /// Classifies the body's points against `name`, hashing each point to
+    /// its shard and batching per shard through [`Engine::assign_many`].
+    /// Returns the response object and the number of points served.
+    pub fn assign(&self, name: &str, body: &[u8]) -> Result<(Json, u64), HttpError> {
+        let entry = self.entry(name)?;
+        let dims = entry.shards[0].lock().unwrap().engine.dims();
+        let parsed = parse_points_body(body, dims)?;
+        let n = parsed.rows.len();
+        let shard_count = entry.shards.len();
+        // Group row indices per shard, then take each shard lock once.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        for (i, row) in parsed.rows.iter().enumerate() {
+            groups[point_shard(row, shard_count)].push(i);
+        }
+        let mut answers: Vec<Option<Assignment>> = vec![None; n];
+        for (shard_idx, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut shard = entry.shards[shard_idx].lock().unwrap();
+            let shard = &mut *shard;
+            if let Some(monitor) = shard.monitor.as_mut() {
+                // Monitored assigns are sequential by design (the monitor
+                // is windowed `&mut` state), and metered by hand.
+                for &i in group {
+                    let start = std::time::Instant::now();
+                    let a =
+                        shard
+                            .engine
+                            .assign_monitored(&parsed.rows[i], monitor, &mut NoopObserver);
+                    shard.metrics.record_assign(start.elapsed());
+                    answers[i] = Some(a);
+                }
+            } else {
+                let rows: Vec<&[f64]> = group.iter().map(|&i| parsed.rows[i].as_slice()).collect();
+                let got = shard.engine.assign_many(&rows, 1, &mut shard.metrics);
+                for (&i, a) in group.iter().zip(got) {
+                    answers[i] = Some(a);
+                }
+            }
+        }
+        let clusters: Vec<Json> = answers
+            .into_iter()
+            .map(|a| assignment_json(a.expect("every row was routed to a shard")))
+            .collect();
+        let response = if parsed.batch {
+            Json::obj([
+                ("model", Json::str(name)),
+                ("count", Json::UInt(n as u64)),
+                ("clusters", Json::Arr(clusters)),
+            ])
+        } else {
+            Json::obj([
+                ("model", Json::str(name)),
+                (
+                    "cluster",
+                    clusters.into_iter().next().expect("single-point body"),
+                ),
+            ])
+        };
+        Ok((response, n as u64))
+    }
+
+    /// Ingests the body's points into `name`, hashing each point to its
+    /// shard so density bookkeeping for a given point stays on one engine.
+    pub fn ingest(&self, name: &str, body: &[u8]) -> Result<(Json, u64), HttpError> {
+        let entry = self.entry(name)?;
+        let dims = entry.shards[0].lock().unwrap().engine.dims();
+        let parsed = parse_points_body(body, dims)?;
+        let n = parsed.rows.len();
+        let shard_count = entry.shards.len();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        for (i, row) in parsed.rows.iter().enumerate() {
+            groups[point_shard(row, shard_count)].push(i);
+        }
+        let mut outcomes: Vec<Option<IngestOutcome>> = vec![None; n];
+        for (shard_idx, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut shard = entry.shards[shard_idx].lock().unwrap();
+            let shard = &mut *shard;
+            for &i in group {
+                let start = std::time::Instant::now();
+                let out = match shard.monitor.as_mut() {
+                    Some(monitor) => {
+                        shard
+                            .engine
+                            .ingest_monitored(&parsed.rows[i], monitor, &mut NoopObserver)
+                    }
+                    None => shard.engine.ingest(&parsed.rows[i]),
+                };
+                shard.metrics.record_ingest(start.elapsed());
+                if !matches!(out, IngestOutcome::Duplicate) {
+                    shard.mutations += 1;
+                }
+                outcomes[i] = Some(out);
+            }
+        }
+        let slugs: Vec<Json> = outcomes
+            .into_iter()
+            .map(|o| Json::str(outcome_slug(o.expect("every row was routed to a shard"))))
+            .collect();
+        let response = if parsed.batch {
+            Json::obj([
+                ("model", Json::str(name)),
+                ("count", Json::UInt(n as u64)),
+                ("outcomes", Json::Arr(slugs)),
+            ])
+        } else {
+            Json::obj([
+                ("model", Json::str(name)),
+                (
+                    "outcome",
+                    slugs.into_iter().next().expect("single-point body"),
+                ),
+            ])
+        };
+        Ok((response, n as u64))
+    }
+
+    /// One model's health, folded across its shards: counts sum,
+    /// staleness takes the worst shard, refit evidence ORs.
+    pub fn health(&self, name: &str) -> Result<Json, HttpError> {
+        let entry = self.entry(name)?;
+        let mut agg: Option<HealthSnapshot> = None;
+        let mut dirty = 0u64;
+        for shard in &entry.shards {
+            let shard = shard.lock().unwrap();
+            let h = match shard.monitor.as_ref() {
+                Some(m) => shard.engine.health_with(m),
+                None => shard.engine.health(),
+            };
+            dirty += shard.dirty() as u64;
+            agg = Some(match agg {
+                None => h,
+                Some(mut a) => {
+                    a.staleness = a.staleness.max(h.staleness);
+                    a.refit_recommended = a.refit_recommended || h.refit_recommended;
+                    a.core_points += h.core_points;
+                    a.tail_length += h.tail_length;
+                    a.clusters += h.clusters;
+                    a.buffered_points += h.buffered_points;
+                    a.tree_rebuilds += h.tree_rebuilds;
+                    a
+                }
+            });
+        }
+        let h = agg.expect("a model always has at least one shard");
+        Ok(Json::obj([
+            ("model", Json::str(name)),
+            ("shards", Json::UInt(entry.shards.len() as u64)),
+            ("dirty_shards", Json::UInt(dirty)),
+            ("core_points", Json::UInt(h.core_points as u64)),
+            ("clusters", Json::UInt(h.clusters as u64)),
+            ("buffered_points", Json::UInt(h.buffered_points as u64)),
+            ("tail_length", Json::UInt(h.tail_length as u64)),
+            ("staleness", Json::Num(h.staleness)),
+            ("refit_recommended", Json::Bool(h.refit_recommended)),
+        ]))
+    }
+
+    /// Builds the aggregate metrics registry across every shard of every
+    /// model: counters from summed [`EngineStats`], gauges from folded
+    /// health, per-call latency histograms merged shard by shard. When the
+    /// router serves exactly one monitored shard, the monitor's drift
+    /// gauges ride along too.
+    pub fn aggregate_metrics(&self) -> EngineMetrics {
+        let mut agg = EngineMetrics::new();
+        let mut stats = EngineStats::default();
+        let mut health: Option<HealthSnapshot> = None;
+        let mut writes = 0u64;
+        let mut loads = 0u64;
+        let single_monitored = self.models.len() == 1 && self.models[0].shards.len() == 1;
+        for entry in &self.models {
+            for shard in &entry.shards {
+                let shard = shard.lock().unwrap();
+                let s = shard.engine.stats();
+                stats.assigns += s.assigns;
+                stats.assign_hits += s.assign_hits;
+                stats.ingests += s.ingests;
+                stats.duplicates += s.duplicates;
+                stats.promotions += s.promotions;
+                stats.new_clusters += s.new_clusters;
+                stats.merges += s.merges;
+                stats.tree_rebuilds += s.tree_rebuilds;
+                let h = shard.engine.health();
+                health = Some(match health {
+                    None => h,
+                    Some(mut a) => {
+                        a.staleness = a.staleness.max(h.staleness);
+                        a.refit_recommended = a.refit_recommended || h.refit_recommended;
+                        a.core_points += h.core_points;
+                        a.tail_length += h.tail_length;
+                        a.clusters += h.clusters;
+                        a.buffered_points += h.buffered_points;
+                        a.tree_rebuilds += h.tree_rebuilds;
+                        a
+                    }
+                });
+                writes += shard.snapshot_writes;
+                loads += shard.snapshot_loads;
+                agg.merge_assign_latencies(shard.metrics.assign_latency().histogram());
+                agg.merge_ingest_latencies(shard.metrics.ingest_latency().histogram());
+                if single_monitored {
+                    if let Some(monitor) = shard.monitor.as_ref() {
+                        agg.refresh_with_monitor(&shard.engine, monitor);
+                    }
+                }
+            }
+        }
+        if let Some(h) = health {
+            // refresh_with_monitor above already wrote the single-shard
+            // view; the overwrite below is identical for that case.
+            agg.refresh_from_parts(&stats, &h);
+        }
+        agg.set_snapshot_counts(writes, loads);
+        agg
+    }
+
+    /// The aggregate registry rendered as Prometheus text.
+    pub fn metrics_text(&self) -> String {
+        render_prometheus(self.aggregate_metrics().registry())
+    }
+
+    /// Persists every dirty shard as `<stem>.shard<k>.dbm` next to the
+    /// snapshot it was loaded from (never overwriting the input), and
+    /// marks it clean. Returns `(path, bytes)` per written snapshot.
+    pub fn persist_dirty(&self) -> Result<Vec<(PathBuf, u64)>, SnapshotError> {
+        let mut written = Vec::new();
+        for entry in &self.models {
+            let stem = entry
+                .path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| entry.name.clone());
+            let dir = entry.path.parent().unwrap_or_else(|| Path::new("."));
+            for (k, shard) in entry.shards.iter().enumerate() {
+                let mut shard = shard.lock().unwrap();
+                if !shard.dirty() {
+                    continue;
+                }
+                let path = dir.join(format!("{stem}.shard{k}.dbm"));
+                let artifact = shard.engine.snapshot();
+                let bytes = snapshot::write_file(&artifact, &path)?;
+                shard.snapshot_writes += 1;
+                shard.mutations = 0;
+                written.push((path, bytes));
+            }
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsvec_geometry::PointSet;
+
+    fn artifact() -> ModelArtifact {
+        let mut cores = PointSet::new(2);
+        let mut labels = Vec::new();
+        for i in 0..5 {
+            cores.push(&[i as f64, 0.0]);
+            labels.push(0);
+        }
+        for i in 0..5 {
+            cores.push(&[i as f64, 100.0]);
+            labels.push(1);
+        }
+        ModelArtifact {
+            eps: 1.5,
+            min_pts: 3,
+            num_clusters: 2,
+            cores,
+            core_labels: labels,
+            boundaries: None,
+            quality: None,
+        }
+    }
+
+    fn body(points: &[[f64; 2]]) -> Vec<u8> {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|p| format!("[{},{}]", p[0], p[1]))
+            .collect();
+        format!("{{\"points\":[{}]}}", rows.join(",")).into_bytes()
+    }
+
+    #[test]
+    fn point_shard_is_consistent_and_in_range() {
+        for shards in [1usize, 2, 3, 8] {
+            for i in 0..50 {
+                let p = [i as f64 * 0.37, (i % 7) as f64];
+                let s = point_shard(&p, shards);
+                assert!(s < shards);
+                assert_eq!(s, point_shard(&p, shards), "hash must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_assign_matches_an_unsharded_engine() {
+        let art = artifact();
+        let mut reference = Engine::new(&art);
+        let mut router = Router::new();
+        router.add_model("m", "m.dbm", &art, 3, None);
+        let queries: Vec<[f64; 2]> = (0..40)
+            .map(|i| [(i % 7) as f64, (i % 3) as f64 * 50.0])
+            .collect();
+        let (resp, n) = router.assign("m", &body(&queries)).unwrap();
+        assert_eq!(n, 40);
+        let clusters = match resp.get("clusters") {
+            Some(Json::Arr(items)) => items.clone(),
+            other => panic!("bad response: {other:?}"),
+        };
+        for (q, got) in queries.iter().zip(clusters) {
+            let want = match reference.assign(q).cluster() {
+                Some(c) => Json::UInt(c as u64),
+                None => Json::Null,
+            };
+            assert_eq!(got, want, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn single_point_shape_round_trips() {
+        let mut router = Router::new();
+        router.add_model("m", "m.dbm", &artifact(), 2, None);
+        let (resp, n) = router.assign("m", b"{\"point\":[2.0,0.5]}").unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(resp.get("cluster"), Some(&Json::UInt(0)));
+        let (resp, _) = router.assign("m", b"{\"point\":[50.0,50.0]}").unwrap();
+        assert_eq!(resp.get("cluster"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn unknown_model_is_not_found() {
+        let mut router = Router::new();
+        router.add_model("m", "m.dbm", &artifact(), 1, None);
+        let err = router.assign("ghost", b"{\"point\":[0,0]}").unwrap_err();
+        assert!(matches!(err, HttpError::NotFound(_)));
+        assert_eq!(err.status(), 404);
+    }
+
+    #[test]
+    fn bad_bodies_are_typed() {
+        let mut router = Router::new();
+        router.add_model("m", "m.dbm", &artifact(), 1, None);
+        assert!(matches!(
+            router.assign("m", b"not json").unwrap_err(),
+            HttpError::BadJson(_)
+        ));
+        assert!(matches!(
+            router.assign("m", b"{\"nope\":1}").unwrap_err(),
+            HttpError::BadBody(_)
+        ));
+        assert!(matches!(
+            router.assign("m", b"{\"point\":[1.0]}").unwrap_err(),
+            HttpError::BadBody(_) // dims mismatch
+        ));
+        assert!(matches!(
+            router.assign("m", b"{\"points\":[]}").unwrap_err(),
+            HttpError::BadBody(_)
+        ));
+        assert!(matches!(
+            router.assign("m", b"{\"point\":[1.0,\"x\"]}").unwrap_err(),
+            HttpError::BadBody(_)
+        ));
+    }
+
+    #[test]
+    fn ingest_marks_shards_dirty_and_duplicates_do_not() {
+        let mut router = Router::new();
+        router.add_model("m", "m.dbm", &artifact(), 2, None);
+        let (resp, n) = router
+            .ingest("m", b"{\"points\":[[2.0,0.4],[2.0,0.4],[70.0,70.0]]}")
+            .unwrap();
+        assert_eq!(n, 3);
+        let outcomes = match resp.get("outcomes") {
+            Some(Json::Arr(items)) => items.clone(),
+            other => panic!("bad response: {other:?}"),
+        };
+        assert_eq!(outcomes[1], Json::str("duplicate"));
+        let dirty: usize = router.models()[0]
+            .shards
+            .iter()
+            .filter(|s| s.lock().unwrap().dirty())
+            .count();
+        assert!(dirty >= 1, "a non-duplicate ingest must dirty its shard");
+    }
+
+    #[test]
+    fn health_aggregates_across_shards() {
+        let mut router = Router::new();
+        router.add_model("m", "m.dbm", &artifact(), 2, None);
+        let h = router.health("m").unwrap();
+        assert_eq!(h.get("shards"), Some(&Json::UInt(2)));
+        // Each shard holds a full copy of the model's cores.
+        assert_eq!(h.get("core_points"), Some(&Json::UInt(20)));
+        assert_eq!(h.get("refit_recommended"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn aggregate_metrics_sum_stats_and_merge_latencies() {
+        let mut router = Router::new();
+        router.add_model("a", "a.dbm", &artifact(), 2, None);
+        router.add_model("b", "b.dbm", &artifact(), 1, None);
+        router
+            .assign("a", &body(&[[2.0, 0.5], [3.0, 0.5], [50.0, 50.0]]))
+            .unwrap();
+        router.assign("b", b"{\"point\":[2.0,0.5]}").unwrap();
+        let agg = router.aggregate_metrics();
+        let reg = agg.registry();
+        assert_eq!(reg.counter_value("dbsvec_assigns_total"), Some(4));
+        assert_eq!(agg.assign_latency().histogram().count(), 4);
+        assert_eq!(reg.counter_value("dbsvec_snapshot_loads_total"), Some(3));
+        let text = router.metrics_text();
+        assert!(text.contains("dbsvec_assigns_total 4"));
+    }
+
+    #[test]
+    fn persist_dirty_writes_only_dirty_shards_and_resets() {
+        let dir = std::env::temp_dir().join(format!("dbsvec-router-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("m.dbm");
+        let mut router = Router::new();
+        router.add_model("m", &model_path, &artifact(), 2, None);
+        assert!(router.persist_dirty().unwrap().is_empty(), "nothing dirty");
+        router.ingest("m", b"{\"point\":[2.0,0.4]}").unwrap();
+        let written = router.persist_dirty().unwrap();
+        assert_eq!(written.len(), 1, "exactly the mutated shard persists");
+        let (path, bytes) = &written[0];
+        assert!(path.to_string_lossy().contains("m.shard"));
+        assert!(*bytes > 0);
+        let (reloaded, _) = snapshot::read_file(path).unwrap();
+        assert!(reloaded.validate().is_ok());
+        assert!(router.persist_dirty().unwrap().is_empty(), "clean again");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

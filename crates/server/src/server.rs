@@ -1,0 +1,466 @@
+//! The socket front end: a bounded thread pool over a [`Router`].
+//!
+//! One acceptor (the calling thread) pushes connections into a
+//! `sync_channel` whose capacity is the accept backlog — when every
+//! worker is busy and the queue is full, the acceptor blocks instead of
+//! piling up unbounded connections, which is the server's backpressure.
+//! Workers pull connections, speak keep-alive HTTP/1.1 over them, and
+//! report every finished request back to the acceptor over a second
+//! channel; the acceptor owns the session's [`Observer`], so trace events
+//! stay single-threaded and ordered.
+//!
+//! Graceful shutdown: a [`ShutdownFlag`] (tripped programmatically, by
+//! `SIGINT`/`SIGTERM`, or by `max_requests`) stops the accept loop, the
+//! connection channel closes, workers finish their in-flight connections
+//! and exit, and the router persists every dirty shard before
+//! [`Server::run`] returns its report.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Sender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dbsvec_obs::{Event, Observer, Phase};
+
+use crate::http::{read_request, write_response, HttpError, Request, DEFAULT_MAX_BODY_BYTES};
+use crate::router::Router;
+
+/// Knobs for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:8080` (port 0 for ephemeral).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Accepted-connection queue capacity (the backpressure bound).
+    pub backlog: usize,
+    /// Request-body cap in bytes.
+    pub max_body: usize,
+    /// Shut down after this many requests (tests and smoke jobs).
+    pub max_requests: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".to_string(),
+            threads: 1,
+            backlog: 64,
+            max_body: DEFAULT_MAX_BODY_BYTES,
+            max_requests: None,
+        }
+    }
+}
+
+/// Set by the process signal handler; async-signal-safe (a relaxed store
+/// on a static atomic is all the handler does).
+static SIGNAL_FLAG: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    SIGNAL_FLAG.store(true, Ordering::Relaxed);
+}
+
+/// A cooperative shutdown request, pollable from the accept loop.
+///
+/// [`ShutdownFlag::install_signal_handlers`] arms `SIGINT` and `SIGTERM`
+/// via the libc `signal(2)` entry point (declared by hand — the workspace
+/// carries no libc crate), so ctrl-c and orchestrator termination drain
+/// the server instead of killing it mid-write.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownFlag {
+    requested: Arc<AtomicBool>,
+}
+
+impl ShutdownFlag {
+    /// A fresh, untripped flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag programmatically.
+    pub fn request(&self) {
+        self.requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether shutdown was requested (programmatically or by signal).
+    pub fn is_requested(&self) -> bool {
+        self.requested.load(Ordering::Relaxed) || SIGNAL_FLAG.load(Ordering::Relaxed)
+    }
+
+    /// Routes `SIGINT` and `SIGTERM` into this flag. No-op off Unix.
+    pub fn install_signal_handlers(&self) {
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn signal(signum: i32, handler: usize) -> usize;
+            }
+            const SIGINT: i32 = 2;
+            const SIGTERM: i32 = 15;
+            unsafe {
+                signal(SIGINT, on_signal as *const () as usize);
+                signal(SIGTERM, on_signal as *const () as usize);
+            }
+        }
+    }
+}
+
+/// Live request counters shared between workers and the `/metrics`
+/// handler, rendered as an extra exposition section beside the engine
+/// aggregate (names are disjoint, so the concatenation stays valid).
+#[derive(Debug, Default)]
+struct HttpCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl HttpCounters {
+    fn render(&self) -> String {
+        format!(
+            "# HELP dbsvec_http_requests_total HTTP requests handled by the serving tier.\n\
+             # TYPE dbsvec_http_requests_total counter\n\
+             dbsvec_http_requests_total {}\n\
+             # HELP dbsvec_http_errors_total HTTP requests answered with a 4xx/5xx status.\n\
+             # TYPE dbsvec_http_errors_total counter\n\
+             dbsvec_http_errors_total {}\n",
+            self.requests.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One finished request, reported from a worker to the acceptor (which
+/// owns the observer).
+struct RequestRecord {
+    endpoint: &'static str,
+    status: u16,
+    points: u64,
+}
+
+/// What [`Server::run`] hands back after a graceful shutdown.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// Requests handled (including error responses).
+    pub requests: u64,
+    /// Of those, requests answered with a 4xx/5xx status.
+    pub errors: u64,
+    /// Snapshots written while persisting dirty shards: `(path, bytes)`.
+    pub persisted: Vec<(PathBuf, u64)>,
+}
+
+/// The bound server, ready to [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    router: Arc<Router>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the configured address (use port 0 for an ephemeral port,
+    /// then read [`Server::local_addr`]).
+    pub fn bind(router: Arc<Router>, config: ServerConfig) -> io::Result<Server> {
+        let addrs: Vec<SocketAddr> = config.addr.to_socket_addrs()?.collect();
+        let listener = TcpListener::bind(&addrs[..])?;
+        Ok(Server {
+            listener,
+            router,
+            config,
+        })
+    }
+
+    /// The actually-bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `shutdown` trips (or `max_requests` is reached), then
+    /// drains in-flight connections, persists dirty shards, and reports.
+    ///
+    /// Runs the accept loop on the calling thread inside a
+    /// [`Phase::Serve`] span; every finished request lands in `obs` as an
+    /// [`Event::HttpRequest`], and every persisted shard as an
+    /// [`Event::SnapshotWrite`].
+    pub fn run(&self, shutdown: &ShutdownFlag, obs: &mut dyn Observer) -> io::Result<ServerReport> {
+        self.listener.set_nonblocking(true)?;
+        let threads = self.config.threads.max(1);
+        let backlog = self.config.backlog.max(1);
+        let http = Arc::new(HttpCounters::default());
+        let mut requests = 0u64;
+        let mut errors = 0u64;
+
+        obs.span_enter(Phase::Serve);
+        let (conn_tx, conn_rx) = std::sync::mpsc::sync_channel::<TcpStream>(backlog);
+        let (rec_tx, rec_rx) = std::sync::mpsc::channel::<RequestRecord>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let conn_rx = Arc::clone(&conn_rx);
+                let rec_tx = rec_tx.clone();
+                let router = Arc::clone(&self.router);
+                let http = Arc::clone(&http);
+                let max_body = self.config.max_body;
+                scope.spawn(move || loop {
+                    let conn = match conn_rx.lock().unwrap().recv() {
+                        Ok(c) => c,
+                        Err(_) => return, // channel closed: drain done
+                    };
+                    handle_connection(conn, &router, &http, max_body, &rec_tx);
+                });
+            }
+            drop(rec_tx);
+
+            let drain = |requests: &mut u64, errors: &mut u64, obs: &mut dyn Observer| {
+                while let Ok(rec) = rec_rx.try_recv() {
+                    *requests += 1;
+                    if rec.status >= 400 {
+                        *errors += 1;
+                    }
+                    obs.event(&Event::HttpRequest {
+                        endpoint: rec.endpoint.to_string(),
+                        status: rec.status,
+                        points: rec.points,
+                    });
+                }
+            };
+
+            let mut pending: Option<TcpStream> = None;
+            loop {
+                drain(&mut requests, &mut errors, obs);
+                if shutdown.is_requested() {
+                    break;
+                }
+                if let Some(max) = self.config.max_requests {
+                    if requests >= max {
+                        shutdown.request();
+                        break;
+                    }
+                }
+                // Re-offer a connection the full queue refused last round,
+                // then accept new ones; try_send keeps this loop polling
+                // (a blocking send would stop shutdown and record drains).
+                if let Some(conn) = pending.take() {
+                    match conn_tx.try_send(conn) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(conn)) => {
+                            pending = Some(conn);
+                            std::thread::sleep(Duration::from_millis(1));
+                            continue;
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                match self.listener.accept() {
+                    Ok((conn, _)) => match conn_tx.try_send(conn) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(conn)) => pending = Some(conn),
+                        Err(TrySendError::Disconnected(_)) => break,
+                    },
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+            // Close the queue; workers finish queued + in-flight
+            // connections, then exit, which closes the record channel.
+            drop(conn_tx);
+            while let Ok(rec) = rec_rx.recv() {
+                requests += 1;
+                if rec.status >= 400 {
+                    errors += 1;
+                }
+                obs.event(&Event::HttpRequest {
+                    endpoint: rec.endpoint.to_string(),
+                    status: rec.status,
+                    points: rec.points,
+                });
+            }
+        });
+
+        let persisted = self
+            .router
+            .persist_dirty()
+            .map_err(|e| io::Error::other(format!("persisting dirty shards: {e}")))?;
+        for (_, bytes) in &persisted {
+            obs.event(&Event::SnapshotWrite { bytes: *bytes });
+        }
+        obs.span_exit(Phase::Serve);
+        Ok(ServerReport {
+            requests,
+            errors,
+            persisted,
+        })
+    }
+
+    /// The router this server fronts.
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+}
+
+/// How long a keep-alive connection may sit idle before the worker closes
+/// it (so shutdown never waits on a silent client).
+const IDLE_TIMEOUT: Duration = Duration::from_millis(500);
+
+fn handle_connection(
+    conn: TcpStream,
+    router: &Router,
+    http: &HttpCounters,
+    max_body: usize,
+    records: &Sender<RequestRecord>,
+) {
+    let _ = conn.set_nodelay(true);
+    let _ = conn.set_read_timeout(Some(IDLE_TIMEOUT));
+    let mut writer = match conn.try_clone() {
+        Ok(w) => BufWriter::new(w),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(conn);
+    loop {
+        let req = match read_request(&mut reader, max_body) {
+            Ok(None) => return, // clean close between requests
+            Ok(Some(req)) => req,
+            Err(err) => {
+                // Framing is unknown after a parse error; answer and close.
+                let status = err.status();
+                let body = error_body(&err);
+                let _ = write_response(&mut writer, status, "application/json", &body, false);
+                report(http, records, "error", status, 0);
+                return;
+            }
+        };
+        let keep_alive = req.keep_alive;
+        let (endpoint, status, content_type, body, points) = match dispatch(router, http, &req) {
+            Ok((endpoint, content_type, body, points)) => {
+                (endpoint, 200, content_type, body, points)
+            }
+            Err(err) => (
+                "error",
+                err.status(),
+                "application/json",
+                error_body(&err),
+                0,
+            ),
+        };
+        if write_response(&mut writer, status, content_type, &body, keep_alive).is_err() {
+            report(http, records, endpoint, status, points);
+            return;
+        }
+        report(http, records, endpoint, status, points);
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+fn report(
+    http: &HttpCounters,
+    records: &Sender<RequestRecord>,
+    endpoint: &'static str,
+    status: u16,
+    points: u64,
+) {
+    http.requests.fetch_add(1, Ordering::Relaxed);
+    if status >= 400 {
+        http.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = records.send(RequestRecord {
+        endpoint,
+        status,
+        points,
+    });
+}
+
+fn error_body(err: &HttpError) -> Vec<u8> {
+    use dbsvec_obs::Json;
+    Json::obj([
+        ("error", Json::str(err.to_string())),
+        ("status", Json::UInt(err.status() as u64)),
+    ])
+    .to_string()
+    .into_bytes()
+}
+
+/// Routes one parsed request. Returns `(endpoint slug, content type,
+/// response body, points served)`.
+fn dispatch(
+    router: &Router,
+    http: &HttpCounters,
+    req: &Request,
+) -> Result<(&'static str, &'static str, Vec<u8>, u64), HttpError> {
+    use dbsvec_obs::Json;
+    let path = req.path.split('?').next().unwrap_or(&req.path);
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let models: Vec<Json> = router
+                .models()
+                .iter()
+                .map(|m| Json::str(m.name()))
+                .collect();
+            let body = Json::obj([("status", Json::str("ok")), ("models", Json::Arr(models))]);
+            Ok((
+                "healthz",
+                "application/json",
+                body.to_string().into_bytes(),
+                0,
+            ))
+        }
+        ("GET", "/metrics") => {
+            let mut text = router.metrics_text();
+            text.push_str(&http.render());
+            Ok(("metrics", "text/plain; version=0.0.4", text.into_bytes(), 0))
+        }
+        (method, path) if path.starts_with("/v1/models/") => {
+            let rest = &path["/v1/models/".len()..];
+            let (name, op) = rest
+                .split_once('/')
+                .ok_or_else(|| HttpError::NotFound(path.to_string()))?;
+            if name.is_empty() {
+                return Err(HttpError::NotFound(path.to_string()));
+            }
+            match (method, op) {
+                ("POST", "assign") => {
+                    let (resp, points) = router.assign(name, &req.body)?;
+                    Ok((
+                        "assign",
+                        "application/json",
+                        resp.to_string().into_bytes(),
+                        points,
+                    ))
+                }
+                ("POST", "ingest") => {
+                    let (resp, points) = router.ingest(name, &req.body)?;
+                    Ok((
+                        "ingest",
+                        "application/json",
+                        resp.to_string().into_bytes(),
+                        points,
+                    ))
+                }
+                ("GET", "health") => {
+                    let resp = router.health(name)?;
+                    Ok((
+                        "health",
+                        "application/json",
+                        resp.to_string().into_bytes(),
+                        0,
+                    ))
+                }
+                (_, "assign" | "ingest" | "health") => Err(HttpError::MethodNotAllowed {
+                    method: method.to_string(),
+                    path: path.to_string(),
+                }),
+                _ => Err(HttpError::NotFound(path.to_string())),
+            }
+        }
+        (_, "/healthz" | "/metrics") => Err(HttpError::MethodNotAllowed {
+            method: req.method.clone(),
+            path: path.to_string(),
+        }),
+        _ => Err(HttpError::NotFound(path.to_string())),
+    }
+}

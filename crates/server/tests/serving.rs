@@ -1,0 +1,316 @@
+//! Integration tests against a live server on an ephemeral port:
+//! concurrent traffic, typed error statuses over the socket, keep-alive
+//! framing, and graceful shutdown persisting dirty shards.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dbsvec_engine::{snapshot, Engine, ModelArtifact};
+use dbsvec_geometry::PointSet;
+use dbsvec_obs::NoopObserver;
+use dbsvec_server::{Router, Server, ServerConfig, ServerReport, ShutdownFlag};
+
+fn artifact() -> ModelArtifact {
+    let mut cores = PointSet::new(2);
+    let mut labels = Vec::new();
+    for i in 0..6 {
+        cores.push(&[i as f64, 0.0]);
+        labels.push(0);
+    }
+    for i in 0..6 {
+        cores.push(&[i as f64, 100.0]);
+        labels.push(1);
+    }
+    ModelArtifact {
+        eps: 1.5,
+        min_pts: 3,
+        num_clusters: 2,
+        cores,
+        core_labels: labels,
+        boundaries: None,
+        quality: None,
+    }
+}
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dbsvec-serving-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Harness {
+    addr: SocketAddr,
+    shutdown: ShutdownFlag,
+    handle: JoinHandle<std::io::Result<ServerReport>>,
+    router: Arc<Router>,
+    dir: PathBuf,
+}
+
+impl Harness {
+    fn start(shards: usize, threads: usize, max_requests: Option<u64>) -> Harness {
+        let dir = scratch_dir();
+        let mut router = Router::new();
+        router.add_model("m", dir.join("m.dbm"), &artifact(), shards, None);
+        let router = Arc::new(router);
+        let server = Server::bind(
+            Arc::clone(&router),
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                threads,
+                backlog: 8,
+                max_requests,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = ShutdownFlag::new();
+        let flag = shutdown.clone();
+        let handle = std::thread::spawn(move || server.run(&flag, &mut NoopObserver));
+        Harness {
+            addr,
+            shutdown,
+            handle,
+            router,
+            dir,
+        }
+    }
+
+    fn stop(self) -> ServerReport {
+        self.shutdown.request();
+        let report = self.handle.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&self.dir);
+        report
+    }
+}
+
+/// One request over a fresh connection with `Connection: close`; returns
+/// `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes()).unwrap();
+    conn.write_all(body.as_bytes()).unwrap();
+    read_response(conn)
+}
+
+fn read_response(conn: TcpStream) -> (u16, String) {
+    let mut raw = String::new();
+    BufReader::new(conn).read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    (status, body.to_string())
+}
+
+#[test]
+fn http_assign_matches_the_in_process_engine() {
+    let h = Harness::start(3, 1, None);
+    let mut reference = Engine::new(&artifact());
+    for q in [[2.0, 0.5], [3.0, 99.5], [50.0, 50.0], [0.2, 0.9]] {
+        let (status, body) = request(
+            h.addr,
+            "POST",
+            "/v1/models/m/assign",
+            &format!("{{\"point\":[{},{}]}}", q[0], q[1]),
+        );
+        assert_eq!(status, 200, "body: {body}");
+        let want = match reference.assign(&q).cluster() {
+            Some(c) => format!("\"cluster\":{c}"),
+            None => "\"cluster\":null".to_string(),
+        };
+        assert!(body.contains(&want), "body {body} missing {want}");
+    }
+    let report = h.stop();
+    assert_eq!(report.requests, 4);
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn concurrent_clients_assign_ingest_and_scrape() {
+    let h = Harness::start(2, 4, None);
+    let addr = h.addr;
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            std::thread::spawn(move || {
+                for i in 0..8 {
+                    let x = (c * 8 + i) as f64 * 0.1;
+                    let (status, body) = request(
+                        addr,
+                        "POST",
+                        "/v1/models/m/assign",
+                        &format!("{{\"points\":[[{x},0.0],[{x},100.0]]}}"),
+                    );
+                    assert_eq!(status, 200, "assign body: {body}");
+                    assert!(body.contains("\"count\":2"), "assign body: {body}");
+                    let (status, body) = request(
+                        addr,
+                        "POST",
+                        "/v1/models/m/ingest",
+                        &format!("{{\"point\":[{},50.0]}}", 200.0 + x),
+                    );
+                    assert_eq!(status, 200, "ingest body: {body}");
+                    let (status, _) = request(addr, "GET", "/v1/models/m/health", "");
+                    assert_eq!(status, 200);
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    let (status, text) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(text.contains("dbsvec_http_requests_total"), "{text}");
+    assert!(text.contains("dbsvec_assigns_total"), "{text}");
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""), "{body}");
+
+    let report = h.stop();
+    assert_eq!(report.requests, 4 * 8 * 3 + 2);
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn graceful_shutdown_persists_dirty_shards() {
+    let h = Harness::start(2, 2, None);
+    // Novel points dirty whichever shard they hash to.
+    for i in 0..6 {
+        let (status, body) = request(
+            h.addr,
+            "POST",
+            "/v1/models/m/ingest",
+            &format!("{{\"point\":[{},0.4]}}", i as f64 * 0.5),
+        );
+        assert_eq!(status, 200, "ingest body: {body}");
+    }
+    let dir = h.dir.clone();
+    let router = Arc::clone(&h.router);
+    let report = {
+        let Harness {
+            shutdown, handle, ..
+        } = h;
+        shutdown.request();
+        handle.join().unwrap().unwrap()
+    };
+    assert!(
+        !report.persisted.is_empty(),
+        "dirty shards must be persisted on shutdown"
+    );
+    for (path, bytes) in &report.persisted {
+        assert!(*bytes > 0);
+        let (reloaded, _loaded_bytes) = snapshot::read_file(path).unwrap();
+        reloaded.validate().unwrap();
+    }
+    // A second persist finds nothing dirty: shutdown left shards clean.
+    assert!(router.persist_dirty().unwrap().is_empty());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn error_statuses_are_typed_over_the_socket() {
+    let h = Harness::start(1, 1, None);
+    let cases = [
+        ("GET", "/nope", "", 404u16),
+        ("GET", "/v1/models/ghost/health", "", 404),
+        ("POST", "/v1/models/ghost/assign", "{\"point\":[0,0]}", 404),
+        ("GET", "/v1/models/m/assign", "", 405),
+        ("POST", "/v1/models/m/health", "", 405),
+        ("POST", "/healthz", "", 405),
+        ("POST", "/v1/models/m/assign", "{not json", 400),
+        ("POST", "/v1/models/m/assign", "{\"point\":[1.0]}", 400),
+        ("POST", "/v1/models/m/assign", "{\"points\":[]}", 400),
+    ];
+    for (method, path, body, want) in cases {
+        let (status, resp) = request(h.addr, method, path, body);
+        assert_eq!(status, want, "{method} {path}: {resp}");
+        assert!(resp.contains("\"error\""), "{method} {path}: {resp}");
+    }
+    // An oversized declared body is refused without reading it.
+    let mut conn = TcpStream::connect(h.addr).unwrap();
+    conn.write_all(
+        b"POST /v1/models/m/assign HTTP/1.1\r\nHost: t\r\nContent-Length: 999999999\r\n\r\n",
+    )
+    .unwrap();
+    let (status, _) = read_response(conn);
+    assert_eq!(status, 413);
+    // A malformed request line is a 400, not a hang.
+    let mut conn = TcpStream::connect(h.addr).unwrap();
+    conn.write_all(b"NONSENSE\r\n\r\n").unwrap();
+    let (status, _) = read_response(conn);
+    assert_eq!(status, 400);
+
+    let report = h.stop();
+    assert_eq!(report.requests, cases.len() as u64 + 2);
+    assert_eq!(report.errors, cases.len() as u64 + 2);
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    let h = Harness::start(1, 1, None);
+    let mut conn = TcpStream::connect(h.addr).unwrap();
+    for (i, q) in [[1.0, 0.0], [1.0, 100.0]].iter().enumerate() {
+        let body = format!("{{\"point\":[{},{}]}}", q[0], q[1]);
+        let head = format!(
+            "POST /v1/models/m/assign HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        conn.write_all(head.as_bytes()).unwrap();
+        conn.write_all(body.as_bytes()).unwrap();
+        // Read exactly one framed response off the shared connection.
+        let mut raw = Vec::new();
+        let mut byte = [0u8; 1];
+        while !raw.ends_with(b"\r\n\r\n") {
+            conn.read_exact(&mut byte).unwrap();
+            raw.push(byte[0]);
+        }
+        let head = String::from_utf8(raw).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "request {i}: {head}");
+        let len: usize = head
+            .lines()
+            .find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .map(str::to_string)
+            })
+            .and_then(|v| v.trim().parse().ok())
+            .expect("content-length header");
+        let mut body = vec![0u8; len];
+        conn.read_exact(&mut body).unwrap();
+        assert!(String::from_utf8(body).unwrap().contains("\"cluster\""));
+    }
+    drop(conn);
+    let report = h.stop();
+    assert_eq!(report.requests, 2);
+}
+
+#[test]
+fn max_requests_trips_shutdown_on_its_own() {
+    let h = Harness::start(1, 1, Some(3));
+    for _ in 0..3 {
+        let (status, _) = request(h.addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+    }
+    // No explicit shutdown.request(): the server stops itself.
+    let report = h.handle.join().unwrap().unwrap();
+    assert_eq!(report.requests, 3);
+    let _ = std::fs::remove_dir_all(&h.dir);
+}

@@ -39,10 +39,11 @@
 //! | [`datasets`] | `dbsvec-datasets` | deterministic synthetic generators, CSV I/O, SVG scatter plots |
 //! | [`obs`] | `dbsvec-obs` | run-trace observers: phase spans, typed events, JSONL sink, replay, profiling; telemetry registry with latency histograms and Prometheus/JSON exposition |
 //! | [`engine`] | `dbsvec-engine` | persistent model snapshots (`.dbm`) and the online ingest/assign serving engine |
+//! | [`server`] | `dbsvec-server` | std-only HTTP/1.1 serving tier: sharded multi-model router, bounded thread pool, graceful shutdown |
 //!
 //! A command-line front end lives in the separate `dbsvec-cli` crate
 //! (binary `dbsvec-cli`): cluster, compare, generate, suggest, fit,
-//! serve, and ingest subcommands over CSV files.
+//! serve, serve-http, and ingest subcommands over CSV files.
 
 pub use dbsvec_baselines as baselines;
 pub use dbsvec_core as core;
@@ -53,6 +54,7 @@ pub use dbsvec_index as index;
 pub use dbsvec_lsh as lsh;
 pub use dbsvec_metrics as metrics;
 pub use dbsvec_obs as obs;
+pub use dbsvec_server as server;
 pub use dbsvec_svdd as svdd;
 
 pub use dbsvec_core::{dbsvec, Dbsvec, DbsvecConfig, ParallelConfig};

@@ -37,6 +37,8 @@ fn assert_counters_match(reg: &Registry, r: &ReplayCounts) {
     assert_eq!(c("dbsvec_promotions_total"), r.promotions);
     assert_eq!(c("dbsvec_snapshot_writes_total"), r.snapshot_writes);
     assert_eq!(c("dbsvec_snapshot_loads_total"), r.snapshot_loads);
+    assert_eq!(c("dbsvec_http_requests_total"), r.http_requests);
+    assert_eq!(c("dbsvec_http_errors_total"), r.http_errors);
     assert_eq!(
         reg.gauge_value("dbsvec_max_target_size"),
         Some(r.max_target_size as f64)
@@ -68,6 +70,16 @@ fn traced_run() -> (RecordingObserver, MetricsObserver) {
         engine.ingest_observed(ds.points.point(i), &mut tee);
     }
     tee.event(&Event::SnapshotWrite { bytes: 1024 });
+    tee.event(&Event::HttpRequest {
+        endpoint: "assign".to_string(),
+        status: 200,
+        points: 1,
+    });
+    tee.event(&Event::HttpRequest {
+        endpoint: "error".to_string(),
+        status: 404,
+        points: 0,
+    });
     (recorder, metrics)
 }
 
@@ -78,6 +90,8 @@ fn live_metrics_observer_matches_replay_counts_field_for_field() {
     assert!(replay.seeds > 0 && replay.assigns == 50 && replay.ingests == 20);
     assert_eq!(replay.snapshot_loads, 1);
     assert_eq!(replay.snapshot_writes, 1);
+    assert_eq!(replay.http_requests, 2);
+    assert_eq!(replay.http_errors, 1);
     assert_counters_match(metrics.registry(), &replay);
 }
 
