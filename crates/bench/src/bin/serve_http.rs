@@ -7,9 +7,12 @@
 //! response before sending the next request) over keep-alive
 //! connections, timing every request end to end: single assign, batch
 //! assign (16 points per body), ingest, and health, at each worker
-//! thread count the hardware can honestly run. Writes
-//! `BENCH_serve_http.json` with per-endpoint p50/p95/p99 when
-//! `--json DIR` is given.
+//! thread count the hardware can honestly run. After each loaded round
+//! it scrapes `/metrics` for the server's own stage histograms (queue,
+//! parse, route, lock, engine, serialize, write) so client-observed and
+//! server-attributed latency land side by side. Writes
+//! `BENCH_serve_http.json` with per-endpoint client p50/p95/p99 plus the
+//! server-side stage percentiles when `--json DIR` is given.
 //!
 //! Two envelopes ride along, printed always and asserted under
 //! `MICROBENCH_ENFORCE=1`:
@@ -32,6 +35,7 @@ use dbsvec_core::{Dbsvec, DbsvecConfig};
 use dbsvec_datasets::{gaussian_mixture, standins::suggest_eps};
 use dbsvec_engine::{snapshot, ModelArtifact};
 use dbsvec_geometry::rng::SplitMix64;
+use dbsvec_obs::telemetry::parse_prometheus;
 use dbsvec_obs::{Json, NoopObserver};
 use dbsvec_server::{Router, Server, ServerConfig, ShutdownFlag};
 
@@ -61,6 +65,10 @@ impl Client {
     }
 
     fn request(&mut self, method: &str, path: &str, body: &str) -> u16 {
+        self.request_body(method, path, body).0
+    }
+
+    fn request_body(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
             body.len()
@@ -88,8 +96,94 @@ impl Client {
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body).expect("response body");
-        status
+        (status, String::from_utf8_lossy(&body).into_owned())
     }
+}
+
+/// The stage names the server attributes request time to, in order.
+const STAGES: [&str; 7] = [
+    "queue",
+    "parse",
+    "route",
+    "lock",
+    "engine",
+    "serialize",
+    "write",
+];
+
+/// Scrapes `/metrics` after a loaded round and distills the server-side
+/// stage and per-endpoint duration summaries into one JSON row.
+fn scrape_server_stages(addr: SocketAddr, threads: usize) -> Json {
+    let mut client = Client::connect(addr);
+    let (status, text) = client.request_body("GET", "/metrics", "");
+    assert_eq!(status, 200, "metrics scrape failed");
+    let samples = parse_prometheus(&text).expect("metrics exposition parses");
+    let summary = |base: &str| {
+        let q = |quant: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == base && s.label("quantile") == Some(quant))
+                .map_or(0.0, |s| s.value)
+        };
+        let plain = |suffix: &str| {
+            let name = format!("{base}{suffix}");
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .map_or(0.0, |s| s.value)
+        };
+        Json::obj([
+            ("p50_s", Json::Num(q("0.5"))),
+            ("p95_s", Json::Num(q("0.95"))),
+            ("p99_s", Json::Num(q("0.99"))),
+            ("sum_s", Json::Num(plain("_sum"))),
+            ("count", Json::UInt(plain("_count") as u64)),
+        ])
+    };
+    let stages: Vec<(&str, Json)> = STAGES
+        .iter()
+        .map(|&s| (s, summary(&format!("dbsvec_http_stage_{s}_seconds"))))
+        .collect();
+    let p95 = |j: &Json| match j {
+        Json::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == "p95_s")
+            .and_then(|(_, v)| match v {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or(0.0),
+        _ => 0.0,
+    };
+    let line: Vec<String> = stages
+        .iter()
+        .map(|(name, j)| format!("{name} p95 {:.1}us", p95(j) * 1e6))
+        .collect();
+    println!("  server stages ({threads} thread(s)): {}", line.join(", "));
+    Json::obj([
+        ("threads", Json::UInt(threads as u64)),
+        (
+            "assign_duration",
+            summary("dbsvec_http_request_duration_assign_seconds"),
+        ),
+        (
+            "ingest_duration",
+            summary("dbsvec_http_request_duration_ingest_seconds"),
+        ),
+        (
+            "health_duration",
+            summary("dbsvec_http_request_duration_health_seconds"),
+        ),
+        (
+            "stages",
+            Json::Obj(
+                stages
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// A deterministic query point near the training distribution.
@@ -322,6 +416,7 @@ fn main() {
         "threads", "endpoint", "requests", "throughput", "latency"
     );
     let mut rows: Vec<Row> = Vec::new();
+    let mut server_stage_rows: Vec<Json> = Vec::new();
     let mut slo_pass = true;
     let mut batch_pass = true;
     for &threads in &sweep {
@@ -387,6 +482,9 @@ fn main() {
                 );
             }
             rows.extend([single, batch, ingest_row, health_row]);
+            // Server's own attribution of where that round's time went,
+            // scraped before this round's server shuts down.
+            server_stage_rows.push(scrape_server_stages(addr, threads));
         });
     }
 
@@ -414,6 +512,7 @@ fn main() {
             ("slo_pass", Json::Bool(slo_pass)),
             ("batch_ge_single", Json::Bool(batch_pass)),
             ("runs", Json::Arr(rows.iter().map(Row::to_json).collect())),
+            ("server_stages", Json::Arr(server_stage_rows.clone())),
         ]);
         if let Err(e) = std::fs::create_dir_all(json_dir) {
             eprintln!("cannot create {json_dir}: {e}");

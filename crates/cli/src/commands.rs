@@ -780,6 +780,8 @@ pub fn serve_http(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError
         "shards",
         "threads",
         "max-requests",
+        "slow-request-ms",
+        "trace-capacity",
         "metrics-file",
         "trace",
         "monitor",
@@ -792,6 +794,8 @@ pub fn serve_http(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError
     let shards: usize = args.get_or("shards", 1)?;
     let threads: usize = args.get_or("threads", 1)?;
     let max_requests: Option<u64> = args.get_parsed("max-requests")?;
+    let slow_request_ms: Option<u64> = args.get_parsed("slow-request-ms")?;
+    let trace_capacity: usize = args.get_or("trace-capacity", 256)?;
     let metrics_path = args.get("metrics-file").map(str::to_string);
     let monitor_config = monitor_options(args)?;
 
@@ -840,6 +844,8 @@ pub fn serve_http(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError
             addr: addr.clone(),
             threads,
             max_requests,
+            slow_request_ms,
+            trace_capacity,
             ..ServerConfig::default()
         },
     )
@@ -852,14 +858,22 @@ pub fn serve_http(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError
         out,
         "listening on {local} ({threads} thread(s)); endpoints: \
          POST /v1/models/{{name}}/assign, POST /v1/models/{{name}}/ingest, \
-         GET /v1/models/{{name}}/health, GET /metrics, GET /healthz"
+         GET /v1/models/{{name}}/health, GET /metrics, GET /healthz, \
+         GET /debug/requests"
     )?;
+    if let Some(ms) = slow_request_ms {
+        writeln!(
+            out,
+            "slow-request threshold: {ms}ms (offenders logged and retained \
+             in the {trace_capacity}-trace flight recorder)"
+        )?;
+    }
     out.flush()?;
 
     let shutdown = ShutdownFlag::new();
     shutdown.install_signal_handlers();
     let report = server
-        .run(&shutdown, obs)
+        .run_logged(&shutdown, obs, &mut *out)
         .map_err(|e| CliError(format!("serving on {local}: {e}")))?;
 
     writeln!(
@@ -2311,6 +2325,88 @@ mod tests {
         handle.join().unwrap().unwrap();
         let text = buf.text();
         assert!(text.contains("4 requests handled"), "got: {text}");
+        for f in [&data, &model] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn serve_http_flight_recorder_and_slow_logging() {
+        let data = tempfile("http_fr.csv");
+        let model = tempfile("http_fr.dbm");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap().to_string();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "400",
+            "--output",
+            data_s,
+        ]);
+        run_ok(&[
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            &model_s,
+        ]);
+
+        let buf = SharedBuf::default();
+        let mut out = buf.clone();
+        let model_arg = model_s.clone();
+        let handle = std::thread::spawn(move || {
+            run(
+                [
+                    "serve-http",
+                    "--model",
+                    &model_arg,
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--max-requests",
+                    "3",
+                    "--slow-request-ms",
+                    "0",
+                    "--trace-capacity",
+                    "8",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                &mut out,
+            )
+        });
+        let addr = loop {
+            if let Some(line) = buf.text().lines().find(|l| l.starts_with("listening on ")) {
+                break line["listening on ".len()..]
+                    .split_whitespace()
+                    .next()
+                    .unwrap()
+                    .to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let (status, _) = http_request(&addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        let (status, body) = http_request(&addr, "GET", "/debug/requests", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"endpoint\":\"healthz\""), "got: {body}");
+        assert!(body.contains("\"slow\":true"), "got: {body}");
+        assert!(body.contains("\"slow_threshold_ms\":0"), "got: {body}");
+        let (status, _) = http_request(&addr, "GET", "/nope", "");
+        assert_eq!(status, 404);
+
+        handle.join().unwrap().unwrap();
+        let text = buf.text();
+        assert!(text.contains("slow-request threshold: 0ms"), "got: {text}");
+        assert!(text.contains("slow request #1 healthz"), "got: {text}");
+        assert!(text.contains("queue="), "got: {text}");
         for f in [&data, &model] {
             std::fs::remove_file(f).ok();
         }

@@ -80,6 +80,7 @@ USAGE:
                   [--threads N] [--monitor] [--monitor-window N]
                   [--drift-threshold F] [--metrics-file metrics.prom]
                   [--trace out.jsonl] [--max-requests N]
+                  [--slow-request-ms N] [--trace-capacity N]
   dbsvec-cli ingest   --model model.dbm --input points.csv [--save updated.dbm]
                   [--trace out.jsonl] [--metrics-file metrics.prom]
                   [--metrics-interval N] [--monitor] [--monitor-window N]
@@ -121,6 +122,14 @@ HTTP SERVING (serve-http):
   SIGINT/SIGTERM (or --max-requests N) drains in-flight requests, persists
   every shard dirtied by ingest next to its source snapshot, and dumps
   final metrics to --metrics-file.
+
+  Every request gets a monotonically increasing id and a stage-timed trace
+  (queue/parse/route/lock/engine/serialize/write); GET /debug/requests
+  returns the flight recorder's recent window (--trace-capacity N traces,
+  default 256) with errors and slow requests tail-sampled so they survive
+  the ring wrapping. --slow-request-ms N marks requests at or over N ms
+  slow: each one is retained and logged as a one-line `slow request`
+  report with its stage breakdown.
 
 OBSERVABILITY (cluster, fit, serve, ingest; instrumented algorithms:
 dbsvec, dbsvec-min, dbscan, kd-dbscan, nq-dbscan):

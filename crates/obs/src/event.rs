@@ -187,13 +187,49 @@ pub enum Event {
     /// The HTTP serving tier finished handling one request.
     HttpRequest {
         /// Stable endpoint slug: `assign`, `ingest`, `health`, `metrics`,
-        /// `healthz`, or `error` for requests rejected before routing.
+        /// `healthz`, `debug_requests`, or `error` for requests rejected
+        /// before routing.
         endpoint: String,
         /// HTTP status code of the response.
         status: u16,
         /// Points carried by the request body (0 for bodyless endpoints).
         points: u64,
+        /// Monotonically increasing id assigned when a worker picked the
+        /// request up (1-based; unique within one server run).
+        request_id: u64,
+        /// End-to-end wall time in microseconds: accept-queue wait plus
+        /// every stage from first request byte to last response byte.
+        duration_us: u64,
+        /// Where the time went, stage by stage.
+        stages: HttpStages,
     },
+}
+
+/// Stage-attributed timing breakdown of one HTTP request, in microseconds.
+///
+/// Integers keep [`Event`] `Eq` and the jsonl round-trip exact. The stages
+/// partition [`Event::HttpRequest::duration_us`] up to rounding: `queue_us`
+/// plus the six handling stages is never more than a few microseconds away
+/// from the total (each stage truncates independently).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct HttpStages {
+    /// Accept-queue wait: accept() to worker pickup. Attributed to the
+    /// first request of a connection; follow-up keep-alive requests
+    /// report 0.
+    pub queue_us: u64,
+    /// Reading and parsing the request head + body off the socket
+    /// (includes time spent waiting for the client to send).
+    pub parse_us: u64,
+    /// Routing and handler bookkeeping outside the shard locks.
+    pub route_us: u64,
+    /// Total time blocked acquiring per-shard locks.
+    pub lock_us: u64,
+    /// Engine compute under the shard locks (assign/ingest/health fold).
+    pub engine_us: u64,
+    /// Rendering the response body (JSON or metrics text).
+    pub serialize_us: u64,
+    /// Writing the framed response back to the socket.
+    pub write_us: u64,
 }
 
 impl Event {
@@ -295,6 +331,17 @@ mod tests {
                 endpoint: "assign".to_string(),
                 status: 200,
                 points: 16,
+                request_id: 1,
+                duration_us: 1_250,
+                stages: HttpStages {
+                    queue_us: 10,
+                    parse_us: 200,
+                    route_us: 5,
+                    lock_us: 15,
+                    engine_us: 900,
+                    serialize_us: 40,
+                    write_us: 80,
+                },
             }
             .name(),
             "http_request"

@@ -129,10 +129,22 @@ pub fn event_to_json(event: &Event) -> Json {
             ref endpoint,
             status,
             points,
+            request_id,
+            duration_us,
+            stages,
         } => {
             push("endpoint", Json::Str(endpoint.clone()));
             push("status", Json::UInt(status as u64));
             push("points", Json::UInt(points));
+            push("request_id", Json::UInt(request_id));
+            push("duration_us", Json::UInt(duration_us));
+            push("queue_us", Json::UInt(stages.queue_us));
+            push("parse_us", Json::UInt(stages.parse_us));
+            push("route_us", Json::UInt(stages.route_us));
+            push("lock_us", Json::UInt(stages.lock_us));
+            push("engine_us", Json::UInt(stages.engine_us));
+            push("serialize_us", Json::UInt(stages.serialize_us));
+            push("write_us", Json::UInt(stages.write_us));
         }
     }
     Json::Obj(pairs)

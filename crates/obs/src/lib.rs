@@ -39,7 +39,7 @@ pub mod replay;
 pub mod report;
 pub mod telemetry;
 
-pub use event::{Event, Phase};
+pub use event::{Event, HttpStages, Phase};
 pub use json::Json;
 pub use jsonl::JsonlSink;
 pub use observer::{NoopObserver, Observer, Tee};

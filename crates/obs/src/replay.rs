@@ -68,6 +68,8 @@ pub struct ReplayCounts {
     pub http_requests: u64,
     /// Of those, requests answered with a 4xx/5xx status.
     pub http_errors: u64,
+    /// End-to-end HTTP wall time, summed over requests, in microseconds.
+    pub http_duration_us: u64,
 }
 
 impl ReplayCounts {
@@ -128,11 +130,16 @@ impl ReplayCounts {
             Event::SnapshotLoad { .. } => self.snapshot_loads += 1,
             Event::QualityWindow { .. } => self.quality_windows += 1,
             Event::DriftAlert { .. } => self.drift_alerts += 1,
-            Event::HttpRequest { status, .. } => {
+            Event::HttpRequest {
+                status,
+                duration_us,
+                ..
+            } => {
                 self.http_requests += 1;
                 if *status >= 400 {
                     self.http_errors += 1;
                 }
+                self.http_duration_us += *duration_us;
             }
         }
     }
@@ -286,6 +293,17 @@ pub fn event_from_json(value: &Json) -> Result<Event, String> {
             status: u16::try_from(field_u64(value, "status")?)
                 .map_err(|e| format!("field \"status\": {e}"))?,
             points: field_u64(value, "points")?,
+            request_id: field_u64(value, "request_id")?,
+            duration_us: field_u64(value, "duration_us")?,
+            stages: crate::event::HttpStages {
+                queue_us: field_u64(value, "queue_us")?,
+                parse_us: field_u64(value, "parse_us")?,
+                route_us: field_u64(value, "route_us")?,
+                lock_us: field_u64(value, "lock_us")?,
+                engine_us: field_u64(value, "engine_us")?,
+                serialize_us: field_u64(value, "serialize_us")?,
+                write_us: field_u64(value, "write_us")?,
+            },
         }),
         other => Err(format!("unknown event {other:?}")),
     }
@@ -412,11 +430,29 @@ mod tests {
                 endpoint: "assign".to_string(),
                 status: 200,
                 points: 1,
+                request_id: 1,
+                duration_us: 750,
+                stages: crate::event::HttpStages {
+                    queue_us: 20,
+                    parse_us: 100,
+                    route_us: 5,
+                    lock_us: 10,
+                    engine_us: 500,
+                    serialize_us: 45,
+                    write_us: 70,
+                },
             },
             Event::HttpRequest {
                 endpoint: "error".to_string(),
                 status: 400,
                 points: 0,
+                request_id: 2,
+                duration_us: 90,
+                stages: crate::event::HttpStages {
+                    parse_us: 60,
+                    write_us: 30,
+                    ..Default::default()
+                },
             },
         ];
         let c = ReplayCounts::from_events(events.iter());
@@ -431,6 +467,7 @@ mod tests {
         assert_eq!(c.drift_alerts, 1);
         assert_eq!(c.http_requests, 2);
         assert_eq!(c.http_errors, 1);
+        assert_eq!(c.http_duration_us, 840);
         // Fit counters untouched by serving traffic.
         assert_eq!(c.seeds, 0);
         assert_eq!(c.range_queries, 0);
@@ -481,6 +518,17 @@ mod tests {
                 endpoint: "ingest".to_string(),
                 status: 503,
                 points: 4,
+                request_id: 9,
+                duration_us: 1_100,
+                stages: crate::event::HttpStages {
+                    queue_us: 300,
+                    parse_us: 400,
+                    route_us: 2,
+                    lock_us: 8,
+                    engine_us: 250,
+                    serialize_us: 40,
+                    write_us: 100,
+                },
             },
         ];
         let mut text = String::new();

@@ -138,8 +138,10 @@ impl fmt::Display for ProfileReport {
             writeln!(f)?;
             write!(
                 f,
-                "http requests {} | http errors {}",
-                c.http_requests, c.http_errors
+                "http requests {} | http errors {} | http time {}",
+                c.http_requests,
+                c.http_errors,
+                fmt_duration(Duration::from_micros(c.http_duration_us))
             )?;
         }
         Ok(())

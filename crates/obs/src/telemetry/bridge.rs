@@ -53,6 +53,8 @@ pub struct MetricsObserver {
     /// Largest SVDD target set seen (a high-water mark, so a gauge).
     max_target_size: GaugeId,
     max_target_seen: usize,
+    /// End-to-end HTTP request durations (all endpoints), seconds.
+    http_duration: HistogramId,
     /// One duration histogram per [`Phase::ALL`] entry, same order.
     phase_hists: [HistogramId; Phase::ALL.len()],
     /// Open spans: `(phase, entered_at)`, LIFO like the trace discipline.
@@ -182,6 +184,11 @@ impl MetricsObserver {
             "dbsvec_max_target_size",
             "Largest target set any SVDD was trained on.",
         );
+        let http_duration = reg.histogram(
+            "dbsvec_http_request_duration_seconds",
+            "End-to-end HTTP request wall time, all endpoints.",
+            1e6,
+        );
         let phase_hists = Phase::ALL.map(|p| {
             reg.histogram(
                 &format!("dbsvec_phase_{}_seconds", p.name()),
@@ -194,6 +201,7 @@ impl MetricsObserver {
             counters,
             max_target_size,
             max_target_seen: 0,
+            http_duration,
             phase_hists,
             stack: Vec::new(),
         }
@@ -298,11 +306,17 @@ impl Observer for MetricsObserver {
             Event::SnapshotLoad { .. } => self.registry.inc(c.snapshot_loads),
             Event::QualityWindow { .. } => self.registry.inc(c.quality_windows),
             Event::DriftAlert { .. } => self.registry.inc(c.drift_alerts),
-            Event::HttpRequest { status, .. } => {
+            Event::HttpRequest {
+                status,
+                duration_us,
+                ..
+            } => {
                 self.registry.inc(c.http_requests);
                 if *status >= 400 {
                     self.registry.inc(c.http_errors);
                 }
+                let hist = self.http_duration;
+                self.registry.observe(hist, *duration_us);
             }
         }
     }

@@ -4,8 +4,9 @@
 //! hand-rolled JSON and Prometheus exposition: [`http`] parses and frames
 //! HTTP/1.1 by hand with typed errors, [`router`] owns the sharded
 //! multi-model state (per-shard `Mutex<Engine>` + metrics + optional
-//! quality monitor), and [`server`] runs the bounded thread pool with
-//! graceful, snapshot-persisting shutdown.
+//! quality monitor), [`server`] runs the bounded thread pool with
+//! graceful, snapshot-persisting shutdown, and [`trace`] keeps the
+//! tail-sampling flight recorder behind `GET /debug/requests`.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -25,9 +26,11 @@
 pub mod http;
 pub mod router;
 pub mod server;
+pub mod trace;
 
 pub use http::{
     read_request, write_response, HttpError, Request, DEFAULT_MAX_BODY_BYTES, MAX_HEADER_BYTES,
 };
-pub use router::{point_shard, ModelEntry, Router};
+pub use router::{point_shard, ModelEntry, RouteCost, Router};
 pub use server::{Server, ServerConfig, ServerReport, ShutdownFlag};
+pub use trace::{FlightRecorder, RequestTrace};

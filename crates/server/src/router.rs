@@ -30,6 +30,21 @@ use dbsvec_obs::{Json, NoopObserver};
 
 use crate::http::HttpError;
 
+/// Lock-wait and engine-compute time one routed request accumulated
+/// across its shard groups, in microseconds. The server stamps these into
+/// the request's stage breakdown ([`dbsvec_obs::HttpStages`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteCost {
+    /// Total time blocked acquiring per-shard locks.
+    pub lock_us: u64,
+    /// Engine compute spent under those locks.
+    pub engine_us: u64,
+}
+
+fn micros(d: std::time::Duration) -> u64 {
+    d.as_micros() as u64
+}
+
 /// One shard: an engine plus its per-shard telemetry.
 pub struct Shard {
     engine: Engine,
@@ -259,6 +274,17 @@ impl Router {
     /// its shard and batching per shard through [`Engine::assign_many`].
     /// Returns the response object and the number of points served.
     pub fn assign(&self, name: &str, body: &[u8]) -> Result<(Json, u64), HttpError> {
+        self.assign_traced(name, body, &mut RouteCost::default())
+    }
+
+    /// [`Router::assign`], accumulating per-shard lock-wait and engine
+    /// time into `cost`.
+    pub fn assign_traced(
+        &self,
+        name: &str,
+        body: &[u8],
+        cost: &mut RouteCost,
+    ) -> Result<(Json, u64), HttpError> {
         let entry = self.entry(name)?;
         let dims = entry.shards[0].lock().unwrap().engine.dims();
         let parsed = parse_points_body(body, dims)?;
@@ -274,7 +300,10 @@ impl Router {
             if group.is_empty() {
                 continue;
             }
+            let lock_start = std::time::Instant::now();
             let mut shard = entry.shards[shard_idx].lock().unwrap();
+            cost.lock_us += micros(lock_start.elapsed());
+            let engine_start = std::time::Instant::now();
             let shard = &mut *shard;
             if let Some(monitor) = shard.monitor.as_mut() {
                 // Monitored assigns are sequential by design (the monitor
@@ -295,6 +324,7 @@ impl Router {
                     answers[i] = Some(a);
                 }
             }
+            cost.engine_us += micros(engine_start.elapsed());
         }
         let clusters: Vec<Json> = answers
             .into_iter()
@@ -321,6 +351,17 @@ impl Router {
     /// Ingests the body's points into `name`, hashing each point to its
     /// shard so density bookkeeping for a given point stays on one engine.
     pub fn ingest(&self, name: &str, body: &[u8]) -> Result<(Json, u64), HttpError> {
+        self.ingest_traced(name, body, &mut RouteCost::default())
+    }
+
+    /// [`Router::ingest`], accumulating per-shard lock-wait and engine
+    /// time into `cost`.
+    pub fn ingest_traced(
+        &self,
+        name: &str,
+        body: &[u8],
+        cost: &mut RouteCost,
+    ) -> Result<(Json, u64), HttpError> {
         let entry = self.entry(name)?;
         let dims = entry.shards[0].lock().unwrap().engine.dims();
         let parsed = parse_points_body(body, dims)?;
@@ -335,7 +376,10 @@ impl Router {
             if group.is_empty() {
                 continue;
             }
+            let lock_start = std::time::Instant::now();
             let mut shard = entry.shards[shard_idx].lock().unwrap();
+            cost.lock_us += micros(lock_start.elapsed());
+            let engine_start = std::time::Instant::now();
             let shard = &mut *shard;
             for &i in group {
                 let start = std::time::Instant::now();
@@ -353,6 +397,7 @@ impl Router {
                 }
                 outcomes[i] = Some(out);
             }
+            cost.engine_us += micros(engine_start.elapsed());
         }
         let slugs: Vec<Json> = outcomes
             .into_iter()

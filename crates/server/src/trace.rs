@@ -1,0 +1,243 @@
+//! Request traces and the flight recorder behind `GET /debug/requests`.
+//!
+//! Every finished request yields a [`RequestTrace`]: its id, endpoint,
+//! status, and the stage-attributed timing breakdown the workers stamp
+//! with `Instant` reads. The [`FlightRecorder`] keeps a bounded window of
+//! them with *tail-sampling*: a fixed-size ring of the most recent traces
+//! for ambient context, plus a second ring that only admits interesting
+//! traces — error responses and requests over the slow threshold — so the
+//! requests worth debugging survive long after ordinary traffic has
+//! wrapped the recent ring. Two small rings instead of full retention
+//! keep the recorder O(capacity) in memory no matter how long the server
+//! runs (the reasoning is laid out in DESIGN.md §5i).
+
+use std::collections::VecDeque;
+
+use dbsvec_obs::{HttpStages, Json};
+
+/// One finished request, as the flight recorder and `/debug/requests`
+/// see it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// Monotonically increasing id (1-based, unique per server run).
+    pub request_id: u64,
+    /// Endpoint slug (`assign`, `ingest`, ..., `error`).
+    pub endpoint: &'static str,
+    /// HTTP status answered.
+    pub status: u16,
+    /// Points carried by the request body.
+    pub points: u64,
+    /// End-to-end wall time in microseconds.
+    pub duration_us: u64,
+    /// Where the time went.
+    pub stages: HttpStages,
+}
+
+impl RequestTrace {
+    /// Whether this trace is an error response (4xx/5xx).
+    pub fn is_error(&self) -> bool {
+        self.status >= 400
+    }
+
+    /// Whether this trace is over the slow threshold, if one is set.
+    pub fn is_slow(&self, slow_threshold_us: Option<u64>) -> bool {
+        slow_threshold_us.is_some_and(|t| self.duration_us >= t)
+    }
+
+    /// The trace as the JSON object `/debug/requests` serves.
+    pub fn to_json(&self, slow_threshold_us: Option<u64>) -> Json {
+        Json::obj([
+            ("request_id", Json::UInt(self.request_id)),
+            ("endpoint", Json::str(self.endpoint)),
+            ("status", Json::UInt(self.status as u64)),
+            ("points", Json::UInt(self.points)),
+            ("error", Json::Bool(self.is_error())),
+            ("slow", Json::Bool(self.is_slow(slow_threshold_us))),
+            ("duration_us", Json::UInt(self.duration_us)),
+            (
+                "stages",
+                Json::obj([
+                    ("queue_us", Json::UInt(self.stages.queue_us)),
+                    ("parse_us", Json::UInt(self.stages.parse_us)),
+                    ("route_us", Json::UInt(self.stages.route_us)),
+                    ("lock_us", Json::UInt(self.stages.lock_us)),
+                    ("engine_us", Json::UInt(self.stages.engine_us)),
+                    ("serialize_us", Json::UInt(self.stages.serialize_us)),
+                    ("write_us", Json::UInt(self.stages.write_us)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Bounded in-memory window over recent request traces, with
+/// tail-sampling retention for errors and slow requests.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    slow_threshold_us: Option<u64>,
+    /// The last `capacity` traces, whatever they were.
+    recent: VecDeque<RequestTrace>,
+    /// The last `capacity` *interesting* traces (error or slow), which
+    /// survive the recent ring wrapping.
+    retained: VecDeque<RequestTrace>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping up to `capacity` recent and `capacity` retained
+    /// traces. `slow_threshold_us` marks traces slow (and retains them);
+    /// `None` retains errors only.
+    pub fn new(capacity: usize, slow_threshold_us: Option<u64>) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            slow_threshold_us,
+            recent: VecDeque::with_capacity(capacity),
+            retained: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The slow threshold in microseconds, if one is set.
+    pub fn slow_threshold_us(&self) -> Option<u64> {
+        self.slow_threshold_us
+    }
+
+    /// Records one finished request.
+    pub fn record(&mut self, trace: RequestTrace) {
+        if trace.is_error() || trace.is_slow(self.slow_threshold_us) {
+            if self.retained.len() == self.capacity {
+                self.retained.pop_front();
+            }
+            self.retained.push_back(trace.clone());
+        }
+        if self.recent.len() == self.capacity {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(trace);
+    }
+
+    /// Every trace currently held, newest first, duplicates (traces in
+    /// both rings) collapsed.
+    pub fn snapshot(&self) -> Vec<RequestTrace> {
+        let mut all: Vec<RequestTrace> = self.recent.iter().cloned().collect();
+        for t in &self.retained {
+            if !all.iter().any(|r| r.request_id == t.request_id) {
+                all.push(t.clone());
+            }
+        }
+        all.sort_by_key(|t| std::cmp::Reverse(t.request_id));
+        all
+    }
+
+    /// The JSON body `GET /debug/requests` answers with.
+    pub fn snapshot_json(&self) -> Json {
+        let traces: Vec<Json> = self
+            .snapshot()
+            .iter()
+            .map(|t| t.to_json(self.slow_threshold_us))
+            .collect();
+        Json::obj([
+            ("capacity", Json::UInt(self.capacity as u64)),
+            (
+                "slow_threshold_ms",
+                match self.slow_threshold_us {
+                    Some(us) => Json::UInt(us / 1_000),
+                    None => Json::Null,
+                },
+            ),
+            ("count", Json::UInt(traces.len() as u64)),
+            ("traces", Json::Arr(traces)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, status: u16, duration_us: u64) -> RequestTrace {
+        RequestTrace {
+            request_id: id,
+            endpoint: if status >= 400 { "error" } else { "assign" },
+            status,
+            points: 1,
+            duration_us,
+            stages: HttpStages {
+                parse_us: duration_us / 2,
+                engine_us: duration_us / 2,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn recent_ring_wraps_in_order() {
+        let mut rec = FlightRecorder::new(3, None);
+        for id in 1..=5 {
+            rec.record(trace(id, 200, 100));
+        }
+        let ids: Vec<u64> = rec.snapshot().iter().map(|t| t.request_id).collect();
+        assert_eq!(ids, [5, 4, 3], "newest first, oldest wrapped away");
+    }
+
+    #[test]
+    fn errors_and_slow_traces_survive_the_wrap() {
+        let mut rec = FlightRecorder::new(4, Some(50_000));
+        rec.record(trace(1, 400, 100)); // error
+        rec.record(trace(2, 200, 80_000)); // slow
+        for id in 3..=40 {
+            rec.record(trace(id, 200, 100)); // fast OK traffic wraps recent
+        }
+        let snap = rec.snapshot();
+        let ids: Vec<u64> = snap.iter().map(|t| t.request_id).collect();
+        assert_eq!(ids, [40, 39, 38, 37, 2, 1]);
+        assert!(snap.iter().any(|t| t.request_id == 1 && t.is_error()));
+        assert!(snap
+            .iter()
+            .any(|t| t.request_id == 2 && t.is_slow(Some(50_000))));
+    }
+
+    #[test]
+    fn retained_ring_is_bounded_too() {
+        let mut rec = FlightRecorder::new(2, None);
+        for id in 1..=10 {
+            rec.record(trace(id, 500, 10));
+        }
+        // Both rings hold the same last-two errors; the snapshot dedups.
+        let ids: Vec<u64> = rec.snapshot().iter().map(|t| t.request_id).collect();
+        assert_eq!(ids, [10, 9]);
+    }
+
+    #[test]
+    fn snapshot_json_carries_stage_fields() {
+        let mut rec = FlightRecorder::new(2, Some(1_000));
+        rec.record(trace(7, 200, 2_000));
+        let body = rec.snapshot_json().to_string();
+        for key in [
+            "\"request_id\":7",
+            "\"slow\":true",
+            "\"queue_us\"",
+            "\"parse_us\"",
+            "\"route_us\"",
+            "\"lock_us\"",
+            "\"engine_us\"",
+            "\"serialize_us\"",
+            "\"write_us\"",
+            "\"slow_threshold_ms\":1",
+        ] {
+            assert!(body.contains(key), "missing {key} in {body}");
+        }
+    }
+
+    #[test]
+    fn without_a_threshold_nothing_is_slow() {
+        let t = trace(1, 200, u64::MAX);
+        assert!(!t.is_slow(None));
+        assert!(t.is_slow(Some(1)));
+    }
+}

@@ -11,7 +11,7 @@ use std::thread::JoinHandle;
 
 use dbsvec_engine::{snapshot, Engine, ModelArtifact};
 use dbsvec_geometry::PointSet;
-use dbsvec_obs::NoopObserver;
+use dbsvec_obs::{JsonlSink, NoopObserver, ProfileReport, RecordingObserver, ReplayCounts, Tee};
 use dbsvec_server::{Router, Server, ServerConfig, ServerReport, ShutdownFlag};
 
 fn artifact() -> ModelArtifact {
@@ -58,21 +58,22 @@ struct Harness {
 
 impl Harness {
     fn start(shards: usize, threads: usize, max_requests: Option<u64>) -> Harness {
+        Harness::start_cfg(shards, |cfg| cfg.max_requests = max_requests, threads)
+    }
+
+    fn start_cfg(shards: usize, tweak: impl FnOnce(&mut ServerConfig), threads: usize) -> Harness {
         let dir = scratch_dir();
         let mut router = Router::new();
         router.add_model("m", dir.join("m.dbm"), &artifact(), shards, None);
         let router = Arc::new(router);
-        let server = Server::bind(
-            Arc::clone(&router),
-            ServerConfig {
-                addr: "127.0.0.1:0".to_string(),
-                threads,
-                backlog: 8,
-                max_requests,
-                ..ServerConfig::default()
-            },
-        )
-        .unwrap();
+        let mut config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads,
+            backlog: 8,
+            ..ServerConfig::default()
+        };
+        tweak(&mut config);
+        let server = Server::bind(Arc::clone(&router), config).unwrap();
         let addr = server.local_addr().unwrap();
         let shutdown = ShutdownFlag::new();
         let flag = shutdown.clone();
@@ -300,6 +301,217 @@ fn keep_alive_serves_multiple_requests_per_connection() {
     drop(conn);
     let report = h.stop();
     assert_eq!(report.requests, 2);
+}
+
+/// One request whose body arrives in two halves with a pause in between,
+/// stretching the server-side parse stage past any small slow threshold
+/// while staying well under the 500ms idle timeout.
+fn slow_request(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    delay: std::time::Duration,
+) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes()).unwrap();
+    let (first, rest) = body.split_at(body.len() / 2);
+    conn.write_all(first.as_bytes()).unwrap();
+    conn.flush().unwrap();
+    std::thread::sleep(delay);
+    conn.write_all(rest.as_bytes()).unwrap();
+    read_response(conn)
+}
+
+/// Digs the first integer after `key` out of a JSON line (the trace
+/// format flattens every stage field, so plain string math suffices).
+fn extract_u64(line: &str, key: &str) -> u64 {
+    let rest = &line[line.find(key).expect(key) + key.len()..];
+    rest.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn flight_recorder_retains_slow_and_error_traces_after_ring_wrap() {
+    let h = Harness::start_cfg(
+        1,
+        |cfg| {
+            cfg.slow_request_ms = Some(50);
+            cfg.trace_capacity = 4;
+        },
+        2,
+    );
+
+    // One genuinely slow assign (the body stalls ~120ms mid-flight), one
+    // 404, then enough fast traffic to wrap the 4-trace recent ring
+    // several times over.
+    let (status, body) = slow_request(
+        h.addr,
+        "/v1/models/m/assign",
+        "{\"point\":[2.0,0.5]}",
+        std::time::Duration::from_millis(120),
+    );
+    assert_eq!(status, 200, "slow assign body: {body}");
+    let (status, _) = request(h.addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    for _ in 0..20 {
+        let (status, _) = request(h.addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+    }
+
+    let (status, body) = request(h.addr, "GET", "/debug/requests", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"capacity\":4"), "got: {body}");
+    assert!(body.contains("\"slow_threshold_ms\":50"), "got: {body}");
+    // Both interesting traces outlived the wrap, stage-attributed.
+    assert!(
+        body.contains("\"endpoint\":\"assign\"") && body.contains("\"slow\":true"),
+        "slow assign trace missing: {body}"
+    );
+    assert!(
+        body.contains("\"endpoint\":\"error\"") && body.contains("\"status\":404"),
+        "error trace missing: {body}"
+    );
+    assert!(body.contains("\"parse_us\":"), "got: {body}");
+    // The slow request's parse stage carries the injected stall.
+    let slow_line = body
+        .split("{\"request_id\"")
+        .find(|chunk| chunk.contains("\"slow\":true"))
+        .expect("slow trace present");
+    assert!(
+        extract_u64(slow_line, "\"parse_us\":") >= 100_000,
+        "parse stage should carry the ~120ms stall: {slow_line}"
+    );
+
+    // The metrics section exposes the per-endpoint/stage histograms and
+    // the queue gauges the acceptor maintains.
+    let (status, text) = request(h.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for name in [
+        "dbsvec_http_request_duration_assign_seconds",
+        "dbsvec_http_request_duration_healthz_seconds{quantile=\"0.95\"}",
+        "dbsvec_http_stage_parse_seconds",
+        "dbsvec_http_stage_engine_seconds",
+        "dbsvec_http_queue_depth",
+        "dbsvec_http_workers_busy",
+        "dbsvec_http_queue_full_total",
+    ] {
+        assert!(text.contains(name), "missing {name} in: {text}");
+    }
+
+    let report = h.stop();
+    assert_eq!(report.requests, 24);
+    assert_eq!(report.errors, 1);
+}
+
+#[test]
+fn healthz_reports_uptime_served_requests_and_shards() {
+    let h = Harness::start(3, 1, None);
+    let (status, _) = request(
+        h.addr,
+        "POST",
+        "/v1/models/m/ingest",
+        "{\"point\":[0.5,0.1]}",
+    );
+    assert_eq!(status, 200);
+    let (status, body) = request(h.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "got: {body}");
+    assert!(body.contains("\"uptime_seconds\":"), "got: {body}");
+    assert!(
+        body.contains("\"requests\":1"),
+        "healthz must count the one served request: {body}"
+    );
+    assert!(
+        body.contains("\"name\":\"m\"") && body.contains("\"shards\":3"),
+        "got: {body}"
+    );
+    h.stop();
+}
+
+#[test]
+fn trace_jsonl_cross_checks_with_live_replay_counts() {
+    let dir = scratch_dir();
+    let mut router = Router::new();
+    router.add_model("m", dir.join("m.dbm"), &artifact(), 2, None);
+    let router = Arc::new(router);
+    let server = Server::bind(
+        Arc::clone(&router),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            backlog: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = ShutdownFlag::new();
+    let flag = shutdown.clone();
+    let handle = std::thread::spawn(move || {
+        let mut recorder = RecordingObserver::new();
+        let mut sink = JsonlSink::new(Vec::new());
+        let report = {
+            let mut tee = Tee(&mut recorder, &mut sink);
+            server.run(&flag, &mut tee).unwrap()
+        };
+        (report, recorder, sink.finish().unwrap())
+    });
+
+    for i in 0..3 {
+        let (status, _) = request(
+            addr,
+            "POST",
+            "/v1/models/m/assign",
+            &format!("{{\"point\":[{}.0,0.2]}}", i),
+        );
+        assert_eq!(status, 200);
+    }
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    shutdown.request();
+    let (report, recorder, jsonl) = handle.join().unwrap();
+    let jsonl = String::from_utf8(jsonl).unwrap();
+    assert_eq!(report.requests, 5);
+    assert_eq!(report.errors, 1);
+
+    let live = recorder.replay();
+    assert_eq!(live.http_requests, 5);
+    assert_eq!(live.http_errors, 1);
+    assert!(live.http_duration_us > 0);
+
+    // Replaying the written trace reproduces the live counts exactly —
+    // including the summed per-request wall time.
+    let replayed = ReplayCounts::from_jsonl(&jsonl).expect("trace replays");
+    assert_eq!(replayed, live, "jsonl replay diverged from live counts");
+
+    // And the per-request duration fields on the trace lines sum to that
+    // same total: the jsonl is the ground truth the report renders.
+    let mut duration_sum = 0u64;
+    let mut ids = Vec::new();
+    for line in jsonl.lines().filter(|l| l.contains("\"http_request\"")) {
+        duration_sum += extract_u64(line, "\"duration_us\":");
+        ids.push(extract_u64(line, "\"request_id\":"));
+    }
+    assert_eq!(duration_sum, live.http_duration_us);
+    ids.sort_unstable();
+    assert_eq!(ids, [1, 2, 3, 4, 5], "ids are dense and monotonic");
+
+    let rendered = ProfileReport::from_recording(&recorder, 0).to_string();
+    assert!(
+        rendered.contains("http requests 5 | http errors 1"),
+        "got: {rendered}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -7,7 +7,8 @@ use dbsvec::datasets::gaussian_mixture;
 use dbsvec::engine::{Engine, ModelArtifact};
 use dbsvec::obs::telemetry::parse_prometheus;
 use dbsvec::obs::{
-    Event, MetricsObserver, Observer, Phase, Record, RecordingObserver, Registry, ReplayCounts, Tee,
+    Event, HttpStages, MetricsObserver, Observer, Phase, Record, RecordingObserver, Registry,
+    ReplayCounts, Tee,
 };
 use dbsvec::{Dbsvec, DbsvecConfig};
 
@@ -39,6 +40,14 @@ fn assert_counters_match(reg: &Registry, r: &ReplayCounts) {
     assert_eq!(c("dbsvec_snapshot_loads_total"), r.snapshot_loads);
     assert_eq!(c("dbsvec_http_requests_total"), r.http_requests);
     assert_eq!(c("dbsvec_http_errors_total"), r.http_errors);
+    assert_eq!(
+        reg.histogram_by_name("dbsvec_http_request_duration_seconds")
+            .expect("http duration histogram registered")
+            .histogram()
+            .count(),
+        r.http_requests,
+        "every http request must land one duration observation"
+    );
     assert_eq!(
         reg.gauge_value("dbsvec_max_target_size"),
         Some(r.max_target_size as f64)
@@ -74,11 +83,29 @@ fn traced_run() -> (RecordingObserver, MetricsObserver) {
         endpoint: "assign".to_string(),
         status: 200,
         points: 1,
+        request_id: 1,
+        duration_us: 820,
+        stages: HttpStages {
+            queue_us: 30,
+            parse_us: 150,
+            route_us: 5,
+            lock_us: 10,
+            engine_us: 500,
+            serialize_us: 45,
+            write_us: 80,
+        },
     });
     tee.event(&Event::HttpRequest {
         endpoint: "error".to_string(),
         status: 404,
         points: 0,
+        request_id: 2,
+        duration_us: 95,
+        stages: HttpStages {
+            parse_us: 60,
+            write_us: 35,
+            ..Default::default()
+        },
     });
     (recorder, metrics)
 }
