@@ -212,6 +212,57 @@ fn main() {
         ));
     }
 
+    // Dynamic-maintenance path: interleaved ingest/remove churn over the
+    // served model. Every inserted point is eventually removed, so the
+    // row times the full decremental repair (demotions, connectivity
+    // splits, compaction) — latency percentiles come from the removal
+    // histogram, not the assign one.
+    if stopwatch.exhausted() {
+        println!(" dynamic  (budget exhausted)");
+    } else {
+        let n_dyn = (n / 10).clamp(500, 20_000).min(queries.len());
+        let mut dyn_metrics = EngineMetrics::new();
+        let mut tracked: Vec<Vec<f64>> = Vec::with_capacity(n_dyn);
+        let (_, secs) = {
+            let m = &mut dyn_metrics;
+            let e = &mut engine;
+            time(|| {
+                for i in 0..n_dyn {
+                    tracked.push(queries.point(i as u32).to_vec());
+                    e.ingest(tracked.last().unwrap());
+                    // Remove a point half a lifetime old: steady churn
+                    // rather than build-then-teardown.
+                    if i % 2 == 1 {
+                        let victim = tracked.swap_remove((i / 2) % tracked.len());
+                        e.remove_metered(&victim, m);
+                    }
+                }
+                for p in tracked.drain(..) {
+                    e.remove_metered(&p, m);
+                }
+            })
+        };
+        let ops = 2 * n_dyn;
+        let pps = ops as f64 / secs.max(1e-9);
+        print_row(
+            "dynamic",
+            1,
+            ops,
+            pps,
+            hardware == 1,
+            dyn_metrics.remove_latency(),
+        );
+        runs.push(run_row(
+            "serve_dynamic",
+            1,
+            ops,
+            secs,
+            pps,
+            hardware == 1,
+            dyn_metrics.remove_latency(),
+        ));
+    }
+
     let speedup = best_batch_pps / single_pps.max(1e-9);
     if hardware == 1 {
         println!(

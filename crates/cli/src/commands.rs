@@ -17,7 +17,7 @@ use dbsvec_datasets::{
 };
 use dbsvec_engine::{
     snapshot, Assignment, Engine, EngineConfig, EngineMetrics, ModelArtifact, MonitorConfig,
-    QualityMonitor,
+    QualityMonitor, RemoveOutcome,
 };
 use dbsvec_geometry::PointSet;
 use dbsvec_index::{k_distance_profile, knee_epsilon, KdTree};
@@ -858,8 +858,8 @@ pub fn serve_http(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError
         out,
         "listening on {local} ({threads} thread(s)); endpoints: \
          POST /v1/models/{{name}}/assign, POST /v1/models/{{name}}/ingest, \
-         GET /v1/models/{{name}}/health, GET /metrics, GET /healthz, \
-         GET /debug/requests"
+         DELETE /v1/models/{{name}}/points, GET /v1/models/{{name}}/health, \
+         GET /metrics, GET /healthz, GET /debug/requests"
     )?;
     if let Some(ms) = slow_request_ms {
         writeln!(
@@ -897,12 +897,39 @@ pub fn serve_http(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError
     Ok(())
 }
 
+/// Parses a `--remove-ids` list (`3,5,10-20`) into sorted, deduplicated
+/// row indices.
+fn parse_id_list(spec: &str) -> Result<Vec<usize>, CliError> {
+    let number = |s: &str| {
+        s.trim()
+            .parse::<usize>()
+            .map_err(|_| CliError(format!("--remove-ids: {s:?} is not a row index")))
+    };
+    let mut ids = Vec::new();
+    for part in spec.split(',') {
+        match part.split_once('-') {
+            Some((a, b)) => {
+                let (a, b) = (number(a)?, number(b)?);
+                if a > b {
+                    return Err(CliError(format!("--remove-ids: backwards range {part:?}")));
+                }
+                ids.extend(a..=b);
+            }
+            None => ids.push(number(part)?),
+        }
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    Ok(ids)
+}
+
 /// `dbsvec ingest`: stream points into a persisted model and report drift.
 pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     args.reject_unknown(&[
         "model",
         "input",
         "save",
+        "remove-ids",
         "trace",
         "metrics-file",
         "metrics-interval",
@@ -945,21 +972,45 @@ pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             engine.dims()
         )));
     }
+    let mut remove_row = vec![false; points.len()];
+    if let Some(spec) = args.get("remove-ids") {
+        for id in parse_id_list(spec)? {
+            if id >= points.len() {
+                return Err(CliError(format!(
+                    "--remove-ids: row {id} out of range ({input} has {} rows)",
+                    points.len()
+                )));
+            }
+            remove_row[id] = true;
+        }
+    }
 
     obs.span_enter(Phase::Serve);
     let start = Instant::now();
     for (i, p) in points.iter() {
         let t = Instant::now();
-        match monitor.as_mut() {
-            Some(mon) => {
-                engine.ingest_monitored(p, mon, obs);
+        if remove_row[i as usize] {
+            let outcome = engine.remove_observed(p, obs);
+            if let Some(m) = metrics.as_mut() {
+                m.record_remove(t.elapsed());
+                if let RemoveOutcome::Removed { splits: 1.., .. } = outcome {
+                    m.record_split(t.elapsed());
+                }
             }
-            None => {
-                engine.ingest_observed(p, obs);
+        } else {
+            match monitor.as_mut() {
+                Some(mon) => {
+                    engine.ingest_monitored(p, mon, obs);
+                }
+                None => {
+                    engine.ingest_observed(p, obs);
+                }
+            }
+            if let Some(m) = metrics.as_mut() {
+                m.record_ingest(t.elapsed());
             }
         }
         if let Some(m) = metrics.as_mut() {
-            m.record_ingest(t.elapsed());
             if metrics_interval > 0 && (i as usize + 1) % metrics_interval == 0 {
                 let path = metrics_path.as_deref().expect("metrics imply a path");
                 match monitor.as_ref() {
@@ -985,6 +1036,13 @@ pub fn ingest(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         s.merges,
         engine.buffered_count()
     )?;
+    if s.removals + s.remove_misses + s.demotions + s.splits > 0 {
+        writeln!(
+            out,
+            "removed {} points ({} not tracked): {} cores demoted, {} cluster splits",
+            s.removals, s.remove_misses, s.demotions, s.splits
+        )?;
+    }
     writeln!(
         out,
         "model drift: {} -> {} cores, {} -> {} clusters, staleness {:.1}%",

@@ -82,7 +82,7 @@ USAGE:
                   [--trace out.jsonl] [--max-requests N]
                   [--slow-request-ms N] [--trace-capacity N]
   dbsvec-cli ingest   --model model.dbm --input points.csv [--save updated.dbm]
-                  [--trace out.jsonl] [--metrics-file metrics.prom]
+                  [--remove-ids LIST] [--trace out.jsonl] [--metrics-file metrics.prom]
                   [--metrics-interval N] [--monitor] [--monitor-window N]
                   [--drift-threshold F] [--refit-threshold F]
   dbsvec-cli metrics-report --input metrics.prom
@@ -111,14 +111,21 @@ SERVING:
   one trained SVDD per cluster). serve loads it and labels new points by the
   nearest-core-within-eps rule; ingest streams points in, promoting dense
   arrivals to cores, and prints a staleness-based re-fit recommendation.
+  ingest --remove-ids LIST (row indices, e.g. 3,5,10-20) removes those input
+  rows from the model by coordinates instead of ingesting them, in row
+  order: tracked neighborhoods thin, cores falling below MinPts demote back
+  to the buffer, and clusters merge or split as the core graph repairs.
 
 HTTP SERVING (serve-http):
   serve-http exposes one or more snapshots over a std-only HTTP/1.1 server:
   POST /v1/models/{name}/assign and /ingest take {\"point\":[..]} or
-  {\"points\":[[..],..]} JSON bodies (name = the .dbm file stem); GET
-  /v1/models/{name}/health, /metrics (Prometheus text), and /healthz round
-  it out. --shards N splits each model over N engines with consistent
-  point-to-shard hashing; --threads N sizes the connection worker pool.
+  {\"points\":[[..],..]} JSON bodies (name = the .dbm file stem); DELETE
+  /v1/models/{name}/points takes the same shapes and removes tracked
+  points (single-point bodies naming an untracked point answer a typed
+  404); GET /v1/models/{name}/health, /metrics (Prometheus text), and
+  /healthz round it out. --shards N splits each model over N engines with
+  consistent point-to-shard hashing (a removal lands on the shard that
+  ingested the point); --threads N sizes the connection worker pool.
   SIGINT/SIGTERM (or --max-requests N) drains in-flight requests, persists
   every shard dirtied by ingest next to its source snapshot, and dumps
   final metrics to --metrics-file.

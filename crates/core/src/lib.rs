@@ -49,6 +49,7 @@
 //! ```
 
 pub mod config;
+pub mod connectivity;
 pub mod dbsvec;
 pub mod expand;
 pub mod labels;
@@ -60,6 +61,7 @@ pub mod stats;
 pub mod unionfind;
 
 pub use config::{DbsvecConfig, NuStrategy, ParallelConfig};
+pub use connectivity::Connectivity;
 pub use dbsvec::{dbsvec, Dbsvec, DbsvecResult};
 pub use labels::{Clustering, WorkingLabels};
 pub use predict::{ClusterModel, ModelError};

@@ -12,27 +12,42 @@
 //!   whose tracked ε-neighborhood reaches MinPts becomes a core point
 //!   immediately; otherwise it is buffered, and buffered points are
 //!   promoted as later arrivals densify their neighborhoods. Promotion
-//!   next to cores of different clusters merges those clusters through
-//!   the same union–find the fit uses.
+//!   next to cores of different clusters merges those clusters.
+//! * [`Engine::remove`] — delete a tracked observation from the model.
+//!   Removal decrements the tracked ε-neighborhood counts around the
+//!   point, **demotes** any core whose count falls below MinPts back to
+//!   the buffer, and repairs the cluster structure exactly: the core
+//!   graph (cores within ε of each other) is maintained in a
+//!   [`Connectivity`] spanning forest, so a removal that disconnects a
+//!   cluster is detected and the cluster **split** into its true pieces.
 //!
-//! The engine counts only the points *it has seen* (cores + buffered
+//! The engine counts only the points *it tracks* (cores + buffered
 //! arrivals, with exact-coordinate dedup), so its neighborhood counts are
 //! **underestimates** of the true density. The useful consequence:
 //! re-ingesting the training set is a no-op — cores are duplicates, and
 //! every border/noise point's true neighborhood was already below MinPts,
 //! so an underestimate cannot promote it, spawn a cluster, or merge
-//! anything.
+//! anything. The decremental invariant mirrors the incremental one: with
+//! `L` the tracked set (fitted cores plus ingests minus removals), a
+//! point is core iff `|N_ε(p) ∩ L| ≥ MinPts`, and clusters are the
+//! connected components of the core graph. The one asymmetry is
+//! *grandfathering*: a fitted core whose tracked count starts below
+//! MinPts (its fit-time density came from border points the engine never
+//! tracked) keeps core status until a removal inside its ε-neighborhood
+//! drops the count further — deterministic, and exact for any model
+//! whose cores are mutually dense (see the interleaving oracle harness).
 //!
 //! Online maintenance degrades a fitted model over time (new cores are
-//! attached by the incremental rule, not by a full re-expansion), so the
-//! engine tracks a [`Engine::staleness`] ratio — accumulated topology
-//! changes relative to the fitted core count — and recommends a re-fit
+//! attached by the incremental rule, not by a full re-expansion; removed
+//! witnesses are only counted approximately), so the engine tracks a
+//! [`Engine::staleness`] ratio — accumulated topology changes, removals
+//! included, relative to the fitted core count — and recommends a re-fit
 //! once it passes 25%.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::time::Instant;
 
-use dbsvec_core::UnionFind;
+use dbsvec_core::Connectivity;
 use dbsvec_geometry::{squared_euclidean, PointSet};
 use dbsvec_index::{OwnedKdTree, RangeIndex};
 use dbsvec_obs::{Event, Histogram, NoopObserver, Observer};
@@ -81,6 +96,34 @@ pub enum IngestOutcome {
     Buffered,
 }
 
+/// What happened to a removal request ([`Engine::remove`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoveOutcome {
+    /// The point is not tracked (never ingested, or already removed);
+    /// nothing changed.
+    NotFound,
+    /// The point left the tracked set.
+    Removed {
+        /// Whether it was a core point (`false`: a buffered observation).
+        was_core: bool,
+        /// Cores whose tracked ε-neighborhoods fell below MinPts and
+        /// were demoted back to the buffer.
+        demoted: u32,
+        /// Cluster splits the structural repair produced (a component
+        /// breaking into `k` pieces counts `k - 1`).
+        splits: u32,
+    },
+}
+
+/// Where a tracked coordinate vector currently lives.
+#[derive(Clone, Copy, Debug)]
+enum Tracked {
+    /// A core point, by slot id (kd-tree order, then tail order).
+    Core(u32),
+    /// A buffered observation, by index into the buffer.
+    Buffered(u32),
+}
+
 /// Counters the engine accumulates over its lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -98,6 +141,15 @@ pub struct EngineStats {
     pub new_clusters: u64,
     /// Cluster merges caused by promotions.
     pub merges: u64,
+    /// Tracked points removed ([`Engine::remove`] hits).
+    pub removals: u64,
+    /// Removal requests for untracked points (no-ops).
+    pub remove_misses: u64,
+    /// Cores demoted below MinPts by removals.
+    pub demotions: u64,
+    /// Cluster splits repaired after removals (a component breaking
+    /// into `k` pieces counts `k - 1`).
+    pub splits: u64,
     /// Times the core kd-tree was rebuilt to fold in the tail.
     pub tree_rebuilds: u64,
 }
@@ -186,7 +238,11 @@ impl EngineConfig {
 /// `max(REBUILD_MIN_TAIL, indexed/4)`.
 const REBUILD_MIN_TAIL: usize = 64;
 
-/// An online ingest/assign server over a fitted model.
+/// Compact dead (removed/demoted) slots out of the kd-tree and tail once
+/// they exceed `max(COMPACT_MIN_DEAD, slots/4)`.
+const COMPACT_MIN_DEAD: usize = 16;
+
+/// An online ingest/assign/remove server over a fitted model.
 pub struct Engine {
     eps: f64,
     eps_sq: f64,
@@ -196,16 +252,26 @@ pub struct Engine {
     tree: OwnedKdTree,
     /// Recently promoted cores, scanned linearly until the next rebuild.
     tail: PointSet,
-    /// Raw union–find id per core, tree order then tail order.
-    core_raw: Vec<u32>,
-    uf: UnionFind,
-    /// Eager raw-id → compact-label map (refreshed on every topology
-    /// change, so classification needs only `&self`).
+    /// Dynamic connectivity over the core graph (cores within ε of each
+    /// other); vertex ids equal slot ids (tree order then tail order).
+    conn: Connectivity,
+    /// Whether each slot still holds a live core (removals and demotions
+    /// tombstone slots until the next compaction).
+    alive: Vec<bool>,
+    /// Tombstoned slots awaiting compaction.
+    dead: usize,
+    /// Tracked points within ε of each core slot, **including itself**
+    /// — the decremental mirror of [`Buffered::count`].
+    core_counts: Vec<u32>,
+    /// Eager slot → compact-label map (maintained on every topology
+    /// change, so classification needs only `&self`). Dead slots hold
+    /// `u32::MAX`.
     display: Vec<u32>,
     num_display: usize,
     buffered: Vec<Buffered>,
-    /// Exact bit patterns of every tracked coordinate vector.
-    seen: HashSet<Vec<u64>>,
+    /// Where each tracked coordinate vector (by exact bit pattern)
+    /// currently lives.
+    tracked: HashMap<Vec<u64>, Tracked>,
     /// Fit-time SVDD boundaries; dropped on the first topology change
     /// (they describe clusters that no longer exist as fitted).
     boundaries: Option<Vec<ClusterBoundary>>,
@@ -242,31 +308,75 @@ impl Engine {
     }
 
     /// [`Engine::new`] with explicit serving knobs.
+    ///
+    /// Load builds the decremental bookkeeping: per-core tracked
+    /// neighborhood counts and the core-graph connectivity structure.
+    /// Geometric ε-edges are added between same-label cores only — the
+    /// fitted labels are ground truth, and a cross-label ε-pair reflects
+    /// a separation the fit established with evidence the engine no
+    /// longer holds. Where a label's cores fall into several geometric
+    /// pieces (possible for hand-built artifacts; a DBSCAN-faithful fit
+    /// yields none), minimal *glue* edges chain the pieces so the load
+    /// reproduces the fitted partition exactly; such a cluster
+    /// under-splits on removals until the glue is torn down.
     pub fn with_config(artifact: &ModelArtifact, config: EngineConfig) -> Self {
         debug_assert!(artifact.validate().is_ok());
-        let mut uf = UnionFind::new();
-        for _ in 0..artifact.num_clusters {
-            uf.make_set();
+        let dims = artifact.cores.dims();
+        let tree = OwnedKdTree::build(artifact.cores.clone());
+        let n = tree.len();
+        let labels = &artifact.core_labels;
+        let mut conn = Connectivity::new();
+        for _ in 0..n {
+            conn.add_vertex();
         }
-        let core_raw = artifact.core_labels.clone();
-        let (display, num_display) = uf.compact_labels();
-        let mut seen = HashSet::with_capacity(artifact.cores.len());
-        for (_, p) in artifact.cores.iter() {
-            seen.insert(coord_key(p));
+        let mut core_counts = vec![0u32; n];
+        let mut hits = Vec::new();
+        for i in 0..n {
+            hits.clear();
+            tree.range(tree.points().point(i as u32), artifact.eps, &mut hits);
+            core_counts[i] = hits.len() as u32; // the range query includes i itself
+            for &j in &hits {
+                if (j as usize) < i && labels[j as usize] == labels[i] {
+                    conn.add_edge(i as u32, j);
+                }
+            }
+        }
+        for l in 0..artifact.num_clusters {
+            let mut anchors: Vec<u32> = Vec::new();
+            let mut reps: Vec<u32> = Vec::new();
+            for s in 0..n as u32 {
+                if labels[s as usize] != l {
+                    continue;
+                }
+                let r = conn.rep(s);
+                if !reps.contains(&r) {
+                    reps.push(r);
+                    anchors.push(s);
+                }
+            }
+            for w in anchors.windows(2) {
+                conn.add_edge(w[0], w[1]);
+            }
+        }
+        let mut tracked = HashMap::with_capacity(n);
+        for (i, p) in artifact.cores.iter() {
+            tracked.insert(coord_key(p), Tracked::Core(i));
         }
         Self {
             eps: artifact.eps,
             eps_sq: artifact.eps * artifact.eps,
             min_pts: artifact.min_pts,
-            dims: artifact.cores.dims(),
-            tree: OwnedKdTree::build(artifact.cores.clone()),
-            tail: PointSet::new(artifact.cores.dims()),
-            core_raw,
-            uf,
-            display,
-            num_display,
+            dims,
+            tree,
+            tail: PointSet::new(dims),
+            conn,
+            alive: vec![true; n],
+            dead: 0,
+            core_counts,
+            display: labels.clone(),
+            num_display: artifact.num_clusters as usize,
             buffered: Vec::new(),
-            seen,
+            tracked,
             boundaries: artifact.boundaries.clone(),
             quality: artifact.quality.clone(),
             config,
@@ -295,9 +405,9 @@ impl Engine {
         self.dims
     }
 
-    /// Current number of core points (fitted + promoted).
+    /// Current number of core points (fitted + promoted − removed).
     pub fn core_count(&self) -> usize {
-        self.tree.len() + self.tail.len()
+        self.tree.len() + self.tail.len() - self.dead
     }
 
     /// Current number of clusters.
@@ -334,10 +444,16 @@ impl Engine {
         QualityMonitor::from_parts(self.eps, self.quality.as_ref(), config)
     }
 
-    /// Accumulated topology drift relative to the fitted model: promoted
-    /// cores, merges, and still-buffered points, per fitted core point.
+    /// Accumulated topology drift relative to the fitted model:
+    /// promotions, merges, removals, demotions, splits, and
+    /// still-buffered points, per fitted core point.
     pub fn staleness(&self) -> f64 {
-        let drift = self.stats.promotions + self.stats.merges + self.buffered.len() as u64;
+        let drift = self.stats.promotions
+            + self.stats.merges
+            + self.stats.removals
+            + self.stats.demotions
+            + self.stats.splits
+            + self.buffered.len() as u64;
         drift as f64 / (self.initial_cores.max(1)) as f64
     }
 
@@ -376,7 +492,7 @@ impl Engine {
     pub fn classify(&self, x: &[f64]) -> Assignment {
         assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
         match self.nearest_core(x) {
-            Some((_, raw)) => Assignment::Cluster(self.display[raw as usize]),
+            Some((_, slot)) => Assignment::Cluster(self.display[slot as usize]),
             None => Assignment::Noise,
         }
     }
@@ -386,31 +502,38 @@ impl Engine {
     pub fn classify_scored(&self, x: &[f64]) -> (Assignment, Option<f64>) {
         assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
         match self.nearest_core(x) {
-            Some((d_sq, raw)) => (
-                Assignment::Cluster(self.display[raw as usize]),
+            Some((d_sq, slot)) => (
+                Assignment::Cluster(self.display[slot as usize]),
                 Some(d_sq.sqrt()),
             ),
             None => (Assignment::Noise, None),
         }
     }
 
-    /// Squared distance and raw union–find id of the nearest core within
-    /// ε, over the kd-tree plus the linear tail.
+    /// Squared distance and slot id of the nearest live core within ε,
+    /// over the kd-tree plus the linear tail (tombstoned slots are
+    /// skipped).
     fn nearest_core(&self, x: &[f64]) -> Option<(f64, u32)> {
         let mut best: Option<(f64, u32)> = None;
         let mut hits = Vec::new();
         self.tree.range(x, self.eps, &mut hits);
         for &id in &hits {
+            if !self.alive[id as usize] {
+                continue;
+            }
             let d = self.tree.points().squared_distance_to(id, x);
             if best.map_or(true, |(bd, _)| d < bd) {
-                best = Some((d, self.core_raw[id as usize]));
+                best = Some((d, id));
             }
         }
         let offset = self.tree.len();
         for (i, p) in self.tail.iter() {
+            if !self.alive[offset + i as usize] {
+                continue;
+            }
             let d = squared_euclidean(p, x);
             if d <= self.eps_sq && best.map_or(true, |(bd, _)| d < bd) {
-                best = Some((d, self.core_raw[offset + i as usize]));
+                best = Some((d, (offset + i as usize) as u32));
             }
         }
         best
@@ -651,7 +774,8 @@ impl Engine {
     pub fn ingest_observed(&mut self, x: &[f64], obs: &mut dyn Observer) -> IngestOutcome {
         assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
         self.stats.ingests += 1;
-        if !self.seen.insert(coord_key(x)) {
+        let key = coord_key(x);
+        if self.tracked.contains_key(&key) {
             self.stats.duplicates += 1;
             obs.event(&Event::Ingest {
                 core: false,
@@ -661,7 +785,11 @@ impl Engine {
         }
 
         let core_hits = self.core_hits(x);
-        // Densify buffered neighbors; collect the ones that cross MinPts.
+        // The new arrival densifies every tracked neighborhood it lands
+        // in; collect buffered neighbors that cross MinPts.
+        for &h in &core_hits {
+            self.core_counts[h as usize] += 1;
+        }
         let mut ripe = Vec::new();
         let mut buffered_hits = 0u32;
         for (i, b) in self.buffered.iter_mut().enumerate() {
@@ -676,7 +804,7 @@ impl Engine {
         let count = 1 + core_hits.len() as u32 + buffered_hits;
 
         let outcome = if count >= self.min_pts {
-            let cluster = self.promote(x, &core_hits, obs);
+            let cluster = self.promote(x, &core_hits, count, obs);
             obs.event(&Event::Ingest {
                 core: true,
                 duplicate: false,
@@ -684,17 +812,19 @@ impl Engine {
             IngestOutcome::Core { cluster }
         } else {
             let nearest = self.nearest_of(x, &core_hits);
+            let idx = self.buffered.len() as u32;
             self.buffered.push(Buffered {
                 coords: x.to_vec(),
                 count,
             });
+            self.tracked.insert(key, Tracked::Buffered(idx));
             obs.event(&Event::Ingest {
                 core: false,
                 duplicate: false,
             });
             match nearest {
-                Some(raw) => IngestOutcome::Border {
-                    cluster: self.display[raw as usize],
+                Some(slot) => IngestOutcome::Border {
+                    cluster: self.display[slot as usize],
                 },
                 None => IngestOutcome::Buffered,
             }
@@ -705,8 +835,9 @@ impl Engine {
         // tracked), so one pass cannot cascade.
         for &i in ripe.iter().rev() {
             let b = self.buffered.swap_remove(i);
+            self.fix_swapped_buffer(i);
             let hits = self.core_hits(&b.coords);
-            self.promote(&b.coords, &hits, obs);
+            self.promote(&b.coords, &hits, b.count, obs);
         }
         outcome
     }
@@ -716,19 +847,20 @@ impl Engine {
         self.ingest_observed(x, &mut NoopObserver)
     }
 
-    /// Re-persists the engine's current state as an artifact. Boundaries
-    /// and the quality baseline survive only if no promotion or merge has
-    /// occurred since load.
+    /// Re-persists the engine's current state as an artifact (live cores
+    /// only — tombstoned slots are skipped). Boundaries and the quality
+    /// baseline survive only if no topology change has occurred since
+    /// load.
     pub fn snapshot(&self) -> ModelArtifact {
-        let mut cores = self.tree.points().clone();
-        for (_, p) in self.tail.iter() {
-            cores.push(p);
+        let mut cores = PointSet::new(self.dims);
+        let mut core_labels = Vec::new();
+        for s in 0..self.slot_count() as u32 {
+            if !self.alive[s as usize] {
+                continue;
+            }
+            cores.push(self.core_point(s));
+            core_labels.push(self.display[s as usize]);
         }
-        let core_labels = self
-            .core_raw
-            .iter()
-            .map(|&raw| self.display[raw as usize])
-            .collect();
         ModelArtifact {
             eps: self.eps,
             min_pts: self.min_pts,
@@ -740,88 +872,356 @@ impl Engine {
         }
     }
 
-    /// Global indices (tree order then tail order) of cores within ε.
+    /// The buffered (below-density) observations and their tracked
+    /// ε-neighborhood counts (self included) — the surface the
+    /// interleaving oracle harness compares against a from-scratch
+    /// recount. Order is an implementation detail.
+    pub fn buffered_view(&self) -> Vec<(&[f64], u32)> {
+        self.buffered
+            .iter()
+            .map(|b| (b.coords.as_slice(), b.count))
+            .collect()
+    }
+
+    /// Total slots, live and tombstoned.
+    fn slot_count(&self) -> usize {
+        self.tree.len() + self.tail.len()
+    }
+
+    /// Coordinates of a slot (live or tombstoned).
+    fn core_point(&self, slot: u32) -> &[f64] {
+        let tree_len = self.tree.len() as u32;
+        if slot < tree_len {
+            self.tree.points().point(slot)
+        } else {
+            self.tail.point(slot - tree_len)
+        }
+    }
+
+    /// Slot ids (tree order then tail order) of live cores within ε.
     fn core_hits(&self, x: &[f64]) -> Vec<u32> {
         let mut hits = Vec::new();
         self.tree.range(x, self.eps, &mut hits);
+        hits.retain(|&id| self.alive[id as usize]);
         let offset = self.tree.len() as u32;
         for (i, p) in self.tail.iter() {
-            if squared_euclidean(p, x) <= self.eps_sq {
+            if self.alive[(offset + i) as usize] && squared_euclidean(p, x) <= self.eps_sq {
                 hits.push(offset + i);
             }
         }
         hits
     }
 
-    /// Raw union–find id of the nearest core among `hits`.
+    /// Slot id of the nearest core among `hits`.
     fn nearest_of(&self, x: &[f64], hits: &[u32]) -> Option<u32> {
-        let tree_len = self.tree.len() as u32;
         hits.iter()
-            .map(|&id| {
-                let p = if id < tree_len {
-                    self.tree.points().point(id)
-                } else {
-                    self.tail.point(id - tree_len)
-                };
-                (squared_euclidean(p, x), id)
-            })
+            .map(|&id| (squared_euclidean(self.core_point(id), x), id))
             .min_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"))
-            .map(|(_, id)| self.core_raw[id as usize])
+            .map(|(_, id)| id)
     }
 
     /// Makes `x` a core point: joins the nearest hit cluster (merging all
-    /// hit clusters) or spawns a new one. Returns the compact label.
-    fn promote(&mut self, x: &[f64], core_hits: &[u32], obs: &mut dyn Observer) -> u32 {
-        let mut roots: Vec<u32> = core_hits
+    /// hit clusters) or spawns a new one. `count` is the point's tracked
+    /// ε-neighborhood count (self included). Returns the compact label.
+    fn promote(&mut self, x: &[f64], core_hits: &[u32], count: u32, obs: &mut dyn Observer) -> u32 {
+        let mut labels: Vec<u32> = core_hits
             .iter()
-            .map(|&id| self.uf.find(self.core_raw[id as usize]))
+            .map(|&id| self.display[id as usize])
             .collect();
-        roots.sort_unstable();
-        roots.dedup();
-        let raw = match roots.split_first() {
+        labels.sort_unstable();
+        labels.dedup();
+        let label = match labels.split_first() {
             Some((&first, rest)) => {
-                let mut acc = first;
                 for &r in rest {
                     obs.event(&Event::Merge {
-                        existing: acc,
+                        existing: first,
                         expanding: r,
                     });
-                    acc = self.uf.union(acc, r);
                     self.stats.merges += 1;
                 }
-                acc
+                if !rest.is_empty() {
+                    self.merge_labels(first, rest);
+                }
+                first
             }
             None => {
                 self.stats.new_clusters += 1;
-                self.uf.make_set()
+                self.num_display += 1;
+                (self.num_display - 1) as u32
             }
         };
+        let slot = self.slot_count() as u32;
         self.tail.push(x);
-        self.core_raw.push(raw);
+        let v = self.conn.add_vertex();
+        debug_assert_eq!(v, slot, "connectivity vertex ids mirror slot ids");
+        for &h in core_hits {
+            self.conn.add_edge(slot, h);
+        }
+        self.alive.push(true);
+        self.core_counts.push(count);
+        self.display.push(label);
+        self.tracked.insert(coord_key(x), Tracked::Core(slot));
         self.stats.promotions += 1;
-        // Topology changed: refresh the display map, drop the stale
-        // boundaries and quality baseline (both indexed by fitted ids).
-        let (display, num_display) = self.uf.compact_labels();
-        self.display = display;
-        self.num_display = num_display;
+        // Topology changed: drop the stale boundaries and quality
+        // baseline (both indexed by fitted ids).
         self.boundaries = None;
         self.quality = None;
-        let cluster = self.display[raw as usize];
-        obs.event(&Event::Promote { cluster });
+        obs.event(&Event::Promote { cluster: label });
         if self.tail.len() >= REBUILD_MIN_TAIL.max(self.tree.len() / 4) {
             self.rebuild_tree();
         }
-        cluster
+        label
     }
 
-    fn rebuild_tree(&mut self) {
-        let tail = std::mem::replace(&mut self.tail, PointSet::new(self.dims));
-        let mut points =
-            std::mem::replace(&mut self.tree, OwnedKdTree::build(PointSet::new(self.dims)))
-                .into_points();
-        for (_, p) in tail.iter() {
-            points.push(p);
+    /// Collapses display labels `rest` (sorted, all greater than `keep`)
+    /// into `keep` and re-densifies the label space.
+    fn merge_labels(&mut self, keep: u32, rest: &[u32]) {
+        debug_assert!(rest.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(rest.first().map_or(true, |&r| r > keep));
+        for s in 0..self.display.len() {
+            if !self.alive[s] {
+                continue;
+            }
+            let l = self.display[s];
+            self.display[s] = if rest.binary_search(&l).is_ok() {
+                keep
+            } else {
+                l - rest.iter().take_while(|&&r| r < l).count() as u32
+            };
         }
+        self.num_display -= rest.len();
+    }
+
+    /// After `buffered.swap_remove(i)`, repoints the tracked-map entry of
+    /// the element swapped into position `i` (if any).
+    fn fix_swapped_buffer(&mut self, i: usize) {
+        if i < self.buffered.len() {
+            let key = coord_key(&self.buffered[i].coords);
+            self.tracked.insert(key, Tracked::Buffered(i as u32));
+        }
+    }
+
+    /// Removes one tracked observation, recording stats and
+    /// [`Event::Remove`] / [`Event::Demote`] / [`Event::Split`] as
+    /// appropriate. Purely sequential by design: removal repairs shared
+    /// structure, so thread count can never change what is computed.
+    pub fn remove_observed(&mut self, x: &[f64], obs: &mut dyn Observer) -> RemoveOutcome {
+        assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
+        let key = coord_key(x);
+        let Some(entry) = self.tracked.remove(&key) else {
+            self.stats.remove_misses += 1;
+            obs.event(&Event::Remove {
+                core: false,
+                found: false,
+            });
+            return RemoveOutcome::NotFound;
+        };
+        let was_core = matches!(entry, Tracked::Core(_));
+        self.stats.removals += 1;
+        obs.event(&Event::Remove {
+            core: was_core,
+            found: true,
+        });
+
+        // Detach the point from the tracked set.
+        match entry {
+            Tracked::Core(slot) => {
+                self.alive[slot as usize] = false;
+                self.dead += 1;
+            }
+            Tracked::Buffered(i) => {
+                self.buffered.swap_remove(i as usize);
+                self.fix_swapped_buffer(i as usize);
+            }
+        }
+
+        // The departure thins every tracked neighborhood it was in;
+        // collect cores that fall below MinPts. (`core_hits` skips dead
+        // slots, so a removed core never decrements itself.)
+        let mut demoted = self.core_hits(x);
+        demoted.retain(|&h| {
+            self.core_counts[h as usize] -= 1;
+            self.core_counts[h as usize] < self.min_pts
+        });
+        for b in self.buffered.iter_mut() {
+            if squared_euclidean(&b.coords, x) <= self.eps_sq {
+                b.count -= 1;
+            }
+        }
+        demoted.sort_unstable();
+
+        // Repair the core graph: the removed core first, then each
+        // demotion in ascending slot order.
+        let mut splits = 0u32;
+        if let Tracked::Core(slot) = entry {
+            splits += self.detach_core(slot, obs);
+        }
+        let demoted_n = demoted.len() as u32;
+        for d in demoted {
+            obs.event(&Event::Demote {
+                cluster: self.display[d as usize],
+            });
+            self.stats.demotions += 1;
+            // The demoted core rejoins the buffer with its tracked count.
+            let coords = self.core_point(d).to_vec();
+            self.alive[d as usize] = false;
+            self.dead += 1;
+            let idx = self.buffered.len() as u32;
+            self.tracked
+                .insert(coord_key(&coords), Tracked::Buffered(idx));
+            self.buffered.push(Buffered {
+                coords,
+                count: self.core_counts[d as usize],
+            });
+            splits += self.detach_core(d, obs);
+        }
+        if was_core || demoted_n > 0 {
+            // Topology changed (see `promote`).
+            self.boundaries = None;
+            self.quality = None;
+        }
+        if self.dead >= COMPACT_MIN_DEAD.max(self.slot_count() / 4) {
+            self.rebuild_tree();
+        }
+        RemoveOutcome::Removed {
+            was_core,
+            demoted: demoted_n,
+            splits,
+        }
+    }
+
+    /// [`Engine::remove_observed`] without observation.
+    pub fn remove(&mut self, x: &[f64]) -> RemoveOutcome {
+        self.remove_observed(x, &mut NoopObserver)
+    }
+
+    /// Removes a batch of observations, one by one in order (removal is
+    /// inherently sequential — each one may restructure what the next
+    /// sees).
+    pub fn remove_batch_observed(
+        &mut self,
+        points: &PointSet,
+        obs: &mut dyn Observer,
+    ) -> Vec<RemoveOutcome> {
+        (0..points.len())
+            .map(|i| self.remove_observed(points.point(i as u32), obs))
+            .collect()
+    }
+
+    /// [`Engine::remove_batch_observed`] without observation.
+    pub fn remove_batch(&mut self, points: &PointSet) -> Vec<RemoveOutcome> {
+        self.remove_batch_observed(points, &mut NoopObserver)
+    }
+
+    /// [`Engine::remove`] with per-call latency recorded into `metrics`
+    /// (removals that split a cluster also land in the split-repair
+    /// histogram).
+    pub fn remove_metered(&mut self, x: &[f64], metrics: &mut EngineMetrics) -> RemoveOutcome {
+        let start = Instant::now();
+        let out = self.remove(x);
+        let elapsed = start.elapsed();
+        metrics.record_remove(elapsed);
+        if let RemoveOutcome::Removed { splits: 1.., .. } = out {
+            metrics.record_split(elapsed);
+        }
+        out
+    }
+
+    /// Removes raw coordinate rows — the shape HTTP bodies share — with
+    /// per-call latency recorded into `metrics`.
+    pub fn remove_many<R: AsRef<[f64]>>(
+        &mut self,
+        rows: &[R],
+        metrics: &mut EngineMetrics,
+    ) -> Vec<RemoveOutcome> {
+        rows.iter()
+            .map(|r| self.remove_metered(r.as_ref(), metrics))
+            .collect()
+    }
+
+    /// Tears `slot` out of the core graph and repairs the display
+    /// labels: a vanished component's label is compacted away; on a
+    /// split, the piece containing the smallest slot keeps the label and
+    /// the remaining pieces are appended as new clusters in ascending
+    /// slot order. Returns the number of splits (`pieces - 1`).
+    fn detach_core(&mut self, slot: u32, obs: &mut dyn Observer) -> u32 {
+        let old_label = self.display[slot as usize];
+        self.display[slot as usize] = u32::MAX;
+        let reps = self.conn.remove_vertex(slot);
+        match reps.len() {
+            0 => {
+                // Last core of its cluster: the label vanishes.
+                for s in 0..self.display.len() {
+                    if self.alive[s] && self.display[s] > old_label {
+                        self.display[s] -= 1;
+                    }
+                }
+                self.num_display -= 1;
+                0
+            }
+            1 => 0,
+            pieces => {
+                for (extra, &rep) in reps[1..].iter().enumerate() {
+                    let new_label = (self.num_display + extra) as u32;
+                    for s in 0..self.display.len() {
+                        if self.alive[s] && self.conn.rep(s as u32) == rep {
+                            self.display[s] = new_label;
+                        }
+                    }
+                }
+                self.num_display += pieces - 1;
+                self.stats.splits += (pieces - 1) as u64;
+                obs.event(&Event::Split {
+                    pieces: pieces as u32,
+                });
+                (pieces - 1) as u32
+            }
+        }
+    }
+
+    /// Folds the tail into the kd-tree and compacts tombstoned slots
+    /// away, remapping slot ids (and rebuilding the connectivity
+    /// structure and tracked map) in surviving order — display labels
+    /// are carried over unchanged.
+    fn rebuild_tree(&mut self) {
+        let total = self.slot_count();
+        let mut remap = vec![u32::MAX; total];
+        let mut points = PointSet::new(self.dims);
+        for (s, slot) in remap.iter_mut().enumerate() {
+            if !self.alive[s] {
+                continue;
+            }
+            *slot = points.len() as u32;
+            points.push(self.core_point(s as u32));
+        }
+        let n = points.len();
+        self.display = (0..total)
+            .filter(|&s| self.alive[s])
+            .map(|s| self.display[s])
+            .collect();
+        self.core_counts = (0..total)
+            .filter(|&s| self.alive[s])
+            .map(|s| self.core_counts[s])
+            .collect();
+        let mut conn = Connectivity::new();
+        for _ in 0..n {
+            conn.add_vertex();
+        }
+        // Dead vertices never hold edges, so every edge remaps cleanly;
+        // component structure (and therefore the labels) is preserved
+        // regardless of re-insertion order.
+        self.conn.for_each_edge(|u, v, _| {
+            conn.add_edge(remap[u as usize], remap[v as usize]);
+        });
+        self.conn = conn;
+        for entry in self.tracked.values_mut() {
+            if let Tracked::Core(s) = entry {
+                *s = remap[*s as usize];
+            }
+        }
+        self.alive = vec![true; n];
+        self.dead = 0;
+        self.tail = PointSet::new(self.dims);
         self.tree = OwnedKdTree::build(points);
         self.stats.tree_rebuilds += 1;
     }

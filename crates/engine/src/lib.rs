@@ -62,7 +62,8 @@ pub mod snapshot;
 
 pub use artifact::{ClusterBoundary, ModelArtifact, QualityBaseline};
 pub use engine::{
-    Assignment, Engine, EngineConfig, EngineStats, HealthSnapshot, IngestOutcome, REFIT_THRESHOLD,
+    Assignment, Engine, EngineConfig, EngineStats, HealthSnapshot, IngestOutcome, RemoveOutcome,
+    REFIT_THRESHOLD,
 };
 pub use metrics::EngineMetrics;
 pub use monitor::{DriftSignals, MonitorConfig, QualityMonitor, WindowReport};

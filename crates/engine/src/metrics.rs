@@ -45,6 +45,10 @@ pub struct EngineMetrics {
     promotions: CounterId,
     new_clusters: CounterId,
     merges: CounterId,
+    removals: CounterId,
+    remove_misses: CounterId,
+    demotions: CounterId,
+    splits: CounterId,
     tree_rebuilds: CounterId,
     snapshot_writes: CounterId,
     snapshot_loads: CounterId,
@@ -56,6 +60,8 @@ pub struct EngineMetrics {
     buffered_points: GaugeId,
     assign_latency: HistogramId,
     ingest_latency: HistogramId,
+    remove_latency: HistogramId,
+    split_latency: HistogramId,
     // Quality-monitor metrics, set by `refresh_with_monitor`.
     quality_windows: CounterId,
     drift_alerts: CounterId,
@@ -107,6 +113,22 @@ impl EngineMetrics {
             "dbsvec_merges_total",
             "Cluster merges caused by promotions.",
         );
+        let removals = reg.counter(
+            "dbsvec_removals_total",
+            "Tracked observations removed (found).",
+        );
+        let remove_misses = reg.counter(
+            "dbsvec_remove_misses_total",
+            "Removal requests for untracked points.",
+        );
+        let demotions = reg.counter(
+            "dbsvec_demotions_total",
+            "Cores demoted below MinPts by removals.",
+        );
+        let splits = reg.counter(
+            "dbsvec_splits_total",
+            "Extra cluster pieces created by removal repairs.",
+        );
         let tree_rebuilds = reg.counter(
             "dbsvec_tree_rebuilds_total",
             "Core kd-tree rebuilds folding in the promotion tail.",
@@ -148,6 +170,16 @@ impl EngineMetrics {
         let ingest_latency = reg.histogram(
             "dbsvec_ingest_latency_seconds",
             "Per-call ingest latency.",
+            1e9,
+        );
+        let remove_latency = reg.histogram(
+            "dbsvec_remove_latency_seconds",
+            "Per-call removal latency (repair included).",
+            1e9,
+        );
+        let split_latency = reg.histogram(
+            "dbsvec_split_repair_latency_seconds",
+            "Latency of removals whose repair split a cluster.",
             1e9,
         );
         let quality_windows = reg.counter(
@@ -195,6 +227,10 @@ impl EngineMetrics {
             promotions,
             new_clusters,
             merges,
+            removals,
+            remove_misses,
+            demotions,
+            splits,
             tree_rebuilds,
             snapshot_writes,
             snapshot_loads,
@@ -206,6 +242,8 @@ impl EngineMetrics {
             buffered_points,
             assign_latency,
             ingest_latency,
+            remove_latency,
+            split_latency,
             quality_windows,
             drift_alerts,
             quality_baseline_present,
@@ -241,6 +279,10 @@ impl EngineMetrics {
         self.reg.set_counter(self.promotions, s.promotions);
         self.reg.set_counter(self.new_clusters, s.new_clusters);
         self.reg.set_counter(self.merges, s.merges);
+        self.reg.set_counter(self.removals, s.removals);
+        self.reg.set_counter(self.remove_misses, s.remove_misses);
+        self.reg.set_counter(self.demotions, s.demotions);
+        self.reg.set_counter(self.splits, s.splits);
         self.reg.set_counter(self.tree_rebuilds, s.tree_rebuilds);
         self.reg.set(self.staleness, h.staleness);
         self.reg
@@ -310,6 +352,16 @@ impl EngineMetrics {
         self.reg.observe_duration(self.ingest_latency, d);
     }
 
+    /// Records one removal's wall-clock latency.
+    pub fn record_remove(&mut self, d: Duration) {
+        self.reg.observe_duration(self.remove_latency, d);
+    }
+
+    /// Records the latency of a removal whose repair split a cluster.
+    pub fn record_split(&mut self, d: Duration) {
+        self.reg.observe_duration(self.split_latency, d);
+    }
+
     /// Folds a worker-local histogram of assignment latencies (nanosecond
     /// ticks) into the registry — the merge half of the batch fan-out.
     pub fn merge_assign_latencies(&mut self, local: &Histogram) {
@@ -320,6 +372,16 @@ impl EngineMetrics {
     /// registry — the aggregation half of multi-shard exposition.
     pub fn merge_ingest_latencies(&mut self, local: &Histogram) {
         self.reg.merge_histogram(self.ingest_latency, local);
+    }
+
+    /// Folds a histogram of removal latencies into the registry.
+    pub fn merge_remove_latencies(&mut self, local: &Histogram) {
+        self.reg.merge_histogram(self.remove_latency, local);
+    }
+
+    /// Folds a histogram of split-repair latencies into the registry.
+    pub fn merge_split_latencies(&mut self, local: &Histogram) {
+        self.reg.merge_histogram(self.split_latency, local);
     }
 
     /// Counts one snapshot serialization.
@@ -348,6 +410,16 @@ impl EngineMetrics {
     /// The ingest-latency histogram.
     pub fn ingest_latency(&self) -> &HistogramMetric {
         self.reg.histogram_at(self.ingest_latency)
+    }
+
+    /// The removal-latency histogram.
+    pub fn remove_latency(&self) -> &HistogramMetric {
+        self.reg.histogram_at(self.remove_latency)
+    }
+
+    /// The split-repair-latency histogram.
+    pub fn split_latency(&self) -> &HistogramMetric {
+        self.reg.histogram_at(self.split_latency)
     }
 
     /// The underlying registry (for exposition).

@@ -179,3 +179,70 @@ fn training_labels_are_reproduced_modulo_border_ties() {
         }
     }
 }
+
+/// Regression: [`Engine::staleness`] counts the *decremental* drift too.
+/// Removals, demotions, and splits each move the model away from its
+/// fitted topology exactly like promotions and merges do — a removal-only
+/// workload must push staleness toward the refit threshold, and a missed
+/// removal must not.
+#[test]
+fn staleness_counts_removals_demotions_and_splits() {
+    // Two 3×3 unit grids (ε 1.2, MinPts 3): 18 fitted cores, 2 clusters.
+    let mut cores = PointSet::new(2);
+    let mut labels = Vec::new();
+    for (x0, label) in [(0.0, 0), (6.0, 1)] {
+        for x in 0..3 {
+            for y in 0..3 {
+                cores.push(&[x0 + x as f64, y as f64]);
+                labels.push(label);
+            }
+        }
+    }
+    let artifact = ModelArtifact {
+        eps: 1.2,
+        min_pts: 3,
+        num_clusters: 2,
+        cores,
+        core_labels: labels,
+        boundaries: None,
+        quality: None,
+    };
+    let mut engine = Engine::new(&artifact);
+    assert_eq!(engine.staleness(), 0.0);
+
+    // A plain core removal is one unit of drift over 18 fitted cores.
+    assert!(matches!(
+        engine.remove(&[0.0, 0.0]),
+        dbsvec_engine::RemoveOutcome::Removed { .. }
+    ));
+    assert_eq!(engine.staleness(), 1.0 / 18.0);
+    // A miss is not drift.
+    assert_eq!(
+        engine.remove(&[50.0, 50.0]),
+        dbsvec_engine::RemoveOutcome::NotFound
+    );
+    assert_eq!(engine.staleness(), 1.0 / 18.0);
+
+    // Bridge the grids (3 promotions + 2 merges), then tear the keystone
+    // out (1 removal + 2 demotions + 1 split, leaving 2 buffered): every
+    // term of the drift sum is now exercised.
+    for p in [[3.0, 1.0], [5.0, 1.0], [4.0, 1.0]] {
+        engine.ingest(&p);
+    }
+    assert_eq!(engine.staleness(), (1 + 3 + 2) as f64 / 18.0);
+    assert_eq!(
+        engine.remove(&[4.0, 1.0]),
+        dbsvec_engine::RemoveOutcome::Removed {
+            was_core: true,
+            demoted: 2,
+            splits: 1,
+        }
+    );
+    let stats = engine.stats();
+    assert_eq!(
+        (stats.removals, stats.demotions, stats.splits),
+        (2, 2, 1),
+        "decremental counters feed the drift sum"
+    );
+    assert_eq!(engine.staleness(), (2 + 2 + 1 + 3 + 2 + 2) as f64 / 18.0);
+}

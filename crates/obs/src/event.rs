@@ -142,6 +142,28 @@ pub enum Event {
         /// Compact cluster id the new core landed in.
         cluster: u32,
     },
+    /// The serving engine processed one removal request
+    /// (`Engine::remove`).
+    Remove {
+        /// `true` if the removed point was a core point (`false`: a
+        /// buffered observation, or a miss).
+        core: bool,
+        /// `false` when the point was not tracked (never ingested, or
+        /// already removed) and nothing changed.
+        found: bool,
+    },
+    /// A removal dropped a core point's tracked ε-neighborhood below
+    /// MinPts; the core was demoted back to the boundary buffer.
+    Demote {
+        /// Compact cluster id the core belonged to when demoted.
+        cluster: u32,
+    },
+    /// A removal or demotion disconnected a cluster's core graph; the
+    /// cluster was split into its connected pieces.
+    Split {
+        /// Connected pieces the cluster broke into (always ≥ 2).
+        pieces: u32,
+    },
     /// A model snapshot was serialized.
     SnapshotWrite {
         /// Snapshot size in bytes.
@@ -245,6 +267,9 @@ impl Event {
             Event::Assign { .. } => "assign",
             Event::Ingest { .. } => "ingest",
             Event::Promote { .. } => "promote",
+            Event::Remove { .. } => "remove",
+            Event::Demote { .. } => "demote",
+            Event::Split { .. } => "split",
             Event::SnapshotWrite { .. } => "snapshot_write",
             Event::SnapshotLoad { .. } => "snapshot_load",
             Event::QualityWindow { .. } => "quality_window",
@@ -302,6 +327,16 @@ mod tests {
             "ingest"
         );
         assert_eq!(Event::Promote { cluster: 2 }.name(), "promote");
+        assert_eq!(
+            Event::Remove {
+                core: true,
+                found: true
+            }
+            .name(),
+            "remove"
+        );
+        assert_eq!(Event::Demote { cluster: 1 }.name(), "demote");
+        assert_eq!(Event::Split { pieces: 2 }.name(), "split");
         assert_eq!(Event::SnapshotWrite { bytes: 64 }.name(), "snapshot_write");
         assert_eq!(Event::SnapshotLoad { bytes: 64 }.name(), "snapshot_load");
         assert_eq!(

@@ -93,6 +93,16 @@ pub fn event_to_json(event: &Event) -> Json {
         Event::Promote { cluster } => {
             push("cluster", Json::UInt(cluster as u64));
         }
+        Event::Remove { core, found } => {
+            push("core", Json::Bool(core));
+            push("found", Json::Bool(found));
+        }
+        Event::Demote { cluster } => {
+            push("cluster", Json::UInt(cluster as u64));
+        }
+        Event::Split { pieces } => {
+            push("pieces", Json::UInt(pieces as u64));
+        }
         Event::SnapshotWrite { bytes } => {
             push("bytes", Json::UInt(bytes));
         }

@@ -56,6 +56,18 @@ pub struct ReplayCounts {
     pub ingest_duplicates: u64,
     /// Serving: online core promotions (count of [`Event::Promote`]).
     pub promotions: u64,
+    /// Serving: tracked points removed ([`Event::Remove`] with
+    /// `found == true`).
+    pub removals: u64,
+    /// Removal requests for untracked points ([`Event::Remove`] with
+    /// `found == false`).
+    pub remove_misses: u64,
+    /// Cores demoted below MinPts by removals (count of
+    /// [`Event::Demote`]).
+    pub demotions: u64,
+    /// Cluster splits repaired after removals: the sum of `pieces - 1`
+    /// over [`Event::Split`] events.
+    pub splits: u64,
     /// Model snapshots written (count of [`Event::SnapshotWrite`]).
     pub snapshot_writes: u64,
     /// Model snapshots loaded (count of [`Event::SnapshotLoad`]).
@@ -126,6 +138,15 @@ impl ReplayCounts {
                 }
             }
             Event::Promote { .. } => self.promotions += 1,
+            Event::Remove { found, .. } => {
+                if *found {
+                    self.removals += 1;
+                } else {
+                    self.remove_misses += 1;
+                }
+            }
+            Event::Demote { .. } => self.demotions += 1,
+            Event::Split { pieces } => self.splits += (*pieces as u64).saturating_sub(1),
             Event::SnapshotWrite { .. } => self.snapshot_writes += 1,
             Event::SnapshotLoad { .. } => self.snapshot_loads += 1,
             Event::QualityWindow { .. } => self.quality_windows += 1,
@@ -267,6 +288,16 @@ pub fn event_from_json(value: &Json) -> Result<Event, String> {
         }),
         "promote" => Ok(Event::Promote {
             cluster: field_u32(value, "cluster")?,
+        }),
+        "remove" => Ok(Event::Remove {
+            core: field_bool(value, "core")?,
+            found: field_bool(value, "found")?,
+        }),
+        "demote" => Ok(Event::Demote {
+            cluster: field_u32(value, "cluster")?,
+        }),
+        "split" => Ok(Event::Split {
+            pieces: field_u32(value, "pieces")?,
         }),
         "snapshot_write" => Ok(Event::SnapshotWrite {
             bytes: field_u64(value, "bytes")?,
@@ -410,6 +441,20 @@ mod tests {
                 duplicate: true,
             },
             Event::Promote { cluster: 1 },
+            Event::Remove {
+                core: true,
+                found: true,
+            },
+            Event::Remove {
+                core: false,
+                found: true,
+            },
+            Event::Remove {
+                core: false,
+                found: false,
+            },
+            Event::Demote { cluster: 0 },
+            Event::Split { pieces: 3 },
             Event::SnapshotWrite { bytes: 128 },
             Event::SnapshotLoad { bytes: 128 },
             Event::QualityWindow {
@@ -461,6 +506,10 @@ mod tests {
         assert_eq!(c.ingests, 2);
         assert_eq!(c.ingest_duplicates, 1);
         assert_eq!(c.promotions, 1);
+        assert_eq!(c.removals, 2);
+        assert_eq!(c.remove_misses, 1);
+        assert_eq!(c.demotions, 1);
+        assert_eq!(c.splits, 2, "a 3-piece split counts as two splits");
         assert_eq!(c.snapshot_writes, 1);
         assert_eq!(c.snapshot_loads, 1);
         assert_eq!(c.quality_windows, 1);
@@ -500,6 +549,12 @@ mod tests {
                 point: 11,
                 confirmed: false,
             },
+            Event::Remove {
+                core: true,
+                found: true,
+            },
+            Event::Demote { cluster: 4 },
+            Event::Split { pieces: 2 },
             Event::QualityWindow {
                 window: 3,
                 samples: 512,

@@ -126,6 +126,14 @@ impl fmt::Display for ProfileReport {
                 c.snapshot_loads
             )?;
         }
+        if c.removals + c.remove_misses + c.demotions + c.splits > 0 {
+            writeln!(f)?;
+            write!(
+                f,
+                "removals {} (misses {}) | demotions {} | splits {}",
+                c.removals, c.remove_misses, c.demotions, c.splits
+            )?;
+        }
         if c.quality_windows + c.drift_alerts > 0 {
             writeln!(f)?;
             write!(

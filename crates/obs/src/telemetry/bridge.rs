@@ -36,6 +36,10 @@ struct EventCounters {
     ingests: CounterId,
     ingest_duplicates: CounterId,
     promotions: CounterId,
+    removals: CounterId,
+    remove_misses: CounterId,
+    demotions: CounterId,
+    splits: CounterId,
     snapshot_writes: CounterId,
     snapshot_loads: CounterId,
     quality_windows: CounterId,
@@ -148,6 +152,26 @@ impl MetricsObserver {
                 &mut reg,
                 "dbsvec_promotions_total",
                 "Points promoted to core online.",
+            ),
+            removals: c(
+                &mut reg,
+                "dbsvec_removals_total",
+                "Tracked points removed online.",
+            ),
+            remove_misses: c(
+                &mut reg,
+                "dbsvec_remove_misses_total",
+                "Removal requests for untracked points.",
+            ),
+            demotions: c(
+                &mut reg,
+                "dbsvec_demotions_total",
+                "Cores demoted below MinPts by removals.",
+            ),
+            splits: c(
+                &mut reg,
+                "dbsvec_splits_total",
+                "Cluster splits repaired after removals.",
             ),
             snapshot_writes: c(
                 &mut reg,
@@ -302,6 +326,17 @@ impl Observer for MetricsObserver {
                 }
             }
             Event::Promote { .. } => self.registry.inc(c.promotions),
+            Event::Remove { found, .. } => {
+                if *found {
+                    self.registry.inc(c.removals);
+                } else {
+                    self.registry.inc(c.remove_misses);
+                }
+            }
+            Event::Demote { .. } => self.registry.inc(c.demotions),
+            Event::Split { pieces } => self
+                .registry
+                .add(c.splits, (*pieces as u64).saturating_sub(1)),
             Event::SnapshotWrite { .. } => self.registry.inc(c.snapshot_writes),
             Event::SnapshotLoad { .. } => self.registry.inc(c.snapshot_loads),
             Event::QualityWindow { .. } => self.registry.inc(c.quality_windows),

@@ -3,10 +3,11 @@
 //! The workspace builds offline with zero external dependencies, so this
 //! module provides the small HTTP surface the serving tier needs — in the
 //! same spirit as `dbsvec_obs::json`: strict parsing into a typed error
-//! per malformation, no allocation-hungry generality. Only `GET` and
-//! `POST` are accepted; bodies require `Content-Length` (no chunked
-//! transfer encoding); header blocks and bodies are capped so a
-//! misbehaving client cannot balloon a worker's memory.
+//! per malformation, no allocation-hungry generality. Only `GET`,
+//! `POST`, and `DELETE` are accepted; `POST`/`DELETE` bodies require
+//! `Content-Length` (no chunked transfer encoding); header blocks and
+//! bodies are capped so a misbehaving client cannot balloon a worker's
+//! memory.
 
 use std::fmt;
 use std::io::{self, BufRead, Read, Write};
@@ -24,7 +25,7 @@ pub const DEFAULT_MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 pub enum HttpError {
     /// The request line was not `METHOD SP PATH SP VERSION`.
     BadRequestLine(String),
-    /// A method other than `GET` or `POST`.
+    /// A method other than `GET`, `POST`, or `DELETE`.
     UnsupportedMethod(String),
     /// A version other than `HTTP/1.1` or `HTTP/1.0`.
     UnsupportedVersion(String),
@@ -35,7 +36,7 @@ pub enum HttpError {
         /// The configured cap.
         limit: usize,
     },
-    /// A `POST` without a `Content-Length` header.
+    /// A `POST` or `DELETE` without a `Content-Length` header.
     MissingContentLength,
     /// A `Content-Length` that is not a non-negative integer.
     BadContentLength(String),
@@ -60,6 +61,8 @@ pub enum HttpError {
     BadBody(String),
     /// No route matches the path (including unknown model names).
     NotFound(String),
+    /// A single-point `DELETE` named a point the model does not track.
+    UnknownPoint(String),
     /// The path exists but not under this method.
     MethodNotAllowed {
         /// The offending method.
@@ -79,7 +82,7 @@ impl HttpError {
             | HttpError::Truncated { .. }
             | HttpError::BadJson(_)
             | HttpError::BadBody(_) => 400,
-            HttpError::NotFound(_) => 404,
+            HttpError::NotFound(_) | HttpError::UnknownPoint(_) => 404,
             HttpError::UnsupportedMethod(_) | HttpError::MethodNotAllowed { .. } => 405,
             HttpError::MissingContentLength => 411,
             HttpError::BodyTooLarge { .. } => 413,
@@ -99,7 +102,9 @@ impl fmt::Display for HttpError {
             HttpError::HeadersTooLarge { limit } => {
                 write!(f, "request head exceeds {limit} bytes")
             }
-            HttpError::MissingContentLength => write!(f, "POST requires Content-Length"),
+            HttpError::MissingContentLength => {
+                write!(f, "POST/DELETE requires Content-Length")
+            }
             HttpError::BadContentLength(v) => write!(f, "bad Content-Length: {v:?}"),
             HttpError::BodyTooLarge { declared, limit } => {
                 write!(
@@ -113,6 +118,7 @@ impl fmt::Display for HttpError {
             HttpError::BadJson(e) => write!(f, "body is not valid JSON: {e}"),
             HttpError::BadBody(e) => write!(f, "bad request body: {e}"),
             HttpError::NotFound(path) => write!(f, "no route for {path}"),
+            HttpError::UnknownPoint(p) => write!(f, "point not tracked: {p}"),
             HttpError::MethodNotAllowed { method, path } => {
                 write!(f, "{method} not allowed on {path}")
             }
@@ -123,7 +129,8 @@ impl fmt::Display for HttpError {
 /// One parsed request: enough of HTTP/1.1 to route and answer.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
-    /// `GET` or `POST` (anything else is rejected at parse time).
+    /// `GET`, `POST`, or `DELETE` (anything else is rejected at parse
+    /// time).
     pub method: String,
     /// The request path, query string included if one was sent.
     pub path: String,
@@ -179,7 +186,7 @@ pub fn read_request(
         (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
         _ => return Err(HttpError::BadRequestLine(line.clone())),
     };
-    if method != "GET" && method != "POST" {
+    if method != "GET" && method != "POST" && method != "DELETE" {
         return Err(HttpError::UnsupportedMethod(method.to_string()));
     }
     if version != "HTTP/1.1" && version != "HTTP/1.0" {
@@ -216,7 +223,7 @@ pub fn read_request(
             }
         }
     }
-    let body = if method == "POST" {
+    let body = if method == "POST" || method == "DELETE" {
         let declared = content_length.ok_or(HttpError::MissingContentLength)?;
         if declared > max_body {
             return Err(HttpError::BodyTooLarge {
@@ -353,12 +360,33 @@ mod tests {
 
     #[test]
     fn unsupported_method_and_version_are_typed() {
-        let err = parse("DELETE /v1/models/m HTTP/1.1\r\n\r\n").unwrap_err();
-        assert_eq!(err, HttpError::UnsupportedMethod("DELETE".to_string()));
+        let err = parse("PATCH /v1/models/m HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::UnsupportedMethod("PATCH".to_string()));
         assert_eq!(err.status(), 405);
         let err = parse("GET / HTTP/2\r\n\r\n").unwrap_err();
         assert_eq!(err, HttpError::UnsupportedVersion("HTTP/2".to_string()));
         assert_eq!(err.status(), 505);
+    }
+
+    #[test]
+    fn delete_parses_like_post_and_requires_content_length() {
+        let req = parse(
+            "DELETE /v1/models/m/points HTTP/1.1\r\nContent-Length: 13\r\n\r\n{\"point\":[1]}",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "DELETE");
+        assert_eq!(req.body, b"{\"point\":[1]}");
+        let err = parse("DELETE /v1/models/m/points HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::MissingContentLength);
+        assert_eq!(err.status(), 411);
+    }
+
+    #[test]
+    fn unknown_point_maps_to_404() {
+        let err = HttpError::UnknownPoint("[1, 2]".to_string());
+        assert_eq!(err.status(), 404);
+        assert!(err.to_string().contains("not tracked"));
     }
 
     #[test]

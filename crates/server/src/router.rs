@@ -23,7 +23,7 @@ use std::sync::Mutex;
 
 use dbsvec_engine::{
     snapshot, Assignment, Engine, EngineMetrics, EngineStats, HealthSnapshot, IngestOutcome,
-    ModelArtifact, MonitorConfig, QualityMonitor, SnapshotError,
+    ModelArtifact, MonitorConfig, QualityMonitor, RemoveOutcome, SnapshotError,
 };
 use dbsvec_obs::telemetry::render_prometheus;
 use dbsvec_obs::{Json, NoopObserver};
@@ -421,6 +421,109 @@ impl Router {
         Ok((response, n as u64))
     }
 
+    /// Removes the body's points from `name`, hashing each point to its
+    /// shard (the same mapping that routed its ingest, so the removal
+    /// lands on the engine tracking it). A single-point body naming an
+    /// untracked point answers a typed 404; a batch body answers 200
+    /// with per-point outcomes.
+    pub fn remove(&self, name: &str, body: &[u8]) -> Result<(Json, u64), HttpError> {
+        self.remove_traced(name, body, &mut RouteCost::default())
+    }
+
+    /// [`Router::remove`], accumulating per-shard lock-wait and engine
+    /// time into `cost`.
+    pub fn remove_traced(
+        &self,
+        name: &str,
+        body: &[u8],
+        cost: &mut RouteCost,
+    ) -> Result<(Json, u64), HttpError> {
+        let entry = self.entry(name)?;
+        let dims = entry.shards[0].lock().unwrap().engine.dims();
+        let parsed = parse_points_body(body, dims)?;
+        let n = parsed.rows.len();
+        let shard_count = entry.shards.len();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        for (i, row) in parsed.rows.iter().enumerate() {
+            groups[point_shard(row, shard_count)].push(i);
+        }
+        let mut outcomes: Vec<Option<RemoveOutcome>> = vec![None; n];
+        for (shard_idx, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let lock_start = std::time::Instant::now();
+            let mut shard = entry.shards[shard_idx].lock().unwrap();
+            cost.lock_us += micros(lock_start.elapsed());
+            let engine_start = std::time::Instant::now();
+            let shard = &mut *shard;
+            let rows: Vec<&[f64]> = group.iter().map(|&i| parsed.rows[i].as_slice()).collect();
+            let got = shard.engine.remove_many(&rows, &mut shard.metrics);
+            for (&i, out) in group.iter().zip(got) {
+                if !matches!(out, RemoveOutcome::NotFound) {
+                    shard.mutations += 1;
+                }
+                outcomes[i] = Some(out);
+            }
+            cost.engine_us += micros(engine_start.elapsed());
+        }
+        let outcomes: Vec<RemoveOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every row was routed to a shard"))
+            .collect();
+        if !parsed.batch {
+            return match outcomes[0] {
+                RemoveOutcome::NotFound => Err(HttpError::UnknownPoint(format!(
+                    "{:?}",
+                    parsed.rows[0].as_slice()
+                ))),
+                RemoveOutcome::Removed {
+                    was_core,
+                    demoted,
+                    splits,
+                } => Ok((
+                    Json::obj([
+                        ("model", Json::str(name)),
+                        ("removed", Json::Bool(true)),
+                        ("was_core", Json::Bool(was_core)),
+                        ("demoted", Json::UInt(demoted as u64)),
+                        ("splits", Json::UInt(splits as u64)),
+                    ]),
+                    1,
+                )),
+            };
+        }
+        let removed = outcomes
+            .iter()
+            .filter(|o| !matches!(o, RemoveOutcome::NotFound))
+            .count() as u64;
+        let items: Vec<Json> = outcomes
+            .into_iter()
+            .map(|o| match o {
+                RemoveOutcome::NotFound => Json::obj([("removed", Json::Bool(false))]),
+                RemoveOutcome::Removed {
+                    was_core,
+                    demoted,
+                    splits,
+                } => Json::obj([
+                    ("removed", Json::Bool(true)),
+                    ("was_core", Json::Bool(was_core)),
+                    ("demoted", Json::UInt(demoted as u64)),
+                    ("splits", Json::UInt(splits as u64)),
+                ]),
+            })
+            .collect();
+        Ok((
+            Json::obj([
+                ("model", Json::str(name)),
+                ("count", Json::UInt(n as u64)),
+                ("removed", Json::UInt(removed)),
+                ("outcomes", Json::Arr(items)),
+            ]),
+            n as u64,
+        ))
+    }
+
     /// One model's health, folded across its shards: counts sum,
     /// staleness takes the worst shard, refit evidence ORs.
     pub fn health(&self, name: &str) -> Result<Json, HttpError> {
@@ -485,6 +588,10 @@ impl Router {
                 stats.promotions += s.promotions;
                 stats.new_clusters += s.new_clusters;
                 stats.merges += s.merges;
+                stats.removals += s.removals;
+                stats.remove_misses += s.remove_misses;
+                stats.demotions += s.demotions;
+                stats.splits += s.splits;
                 stats.tree_rebuilds += s.tree_rebuilds;
                 let h = shard.engine.health();
                 health = Some(match health {
@@ -504,6 +611,8 @@ impl Router {
                 loads += shard.snapshot_loads;
                 agg.merge_assign_latencies(shard.metrics.assign_latency().histogram());
                 agg.merge_ingest_latencies(shard.metrics.ingest_latency().histogram());
+                agg.merge_remove_latencies(shard.metrics.remove_latency().histogram());
+                agg.merge_split_latencies(shard.metrics.split_latency().histogram());
                 if single_monitored {
                     if let Some(monitor) = shard.monitor.as_ref() {
                         agg.refresh_with_monitor(&shard.engine, monitor);
@@ -690,6 +799,46 @@ mod tests {
             .filter(|s| s.lock().unwrap().dirty())
             .count();
         assert!(dirty >= 1, "a non-duplicate ingest must dirty its shard");
+    }
+
+    #[test]
+    fn remove_routes_to_the_ingesting_shard_and_types_unknowns() {
+        let mut router = Router::new();
+        router.add_model("m", "m.dbm", &artifact(), 3, None);
+        router
+            .ingest("m", b"{\"points\":[[2.0,0.4],[70.0,70.0]]}")
+            .unwrap();
+        // Batch: one tracked buffered point, one fitted core, one unknown.
+        let (resp, n) = router
+            .remove("m", b"{\"points\":[[70.0,70.0],[2.0,0.0],[9.0,9.0]]}")
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(resp.get("removed"), Some(&Json::UInt(2)));
+        let outcomes = match resp.get("outcomes") {
+            Some(Json::Arr(items)) => items.clone(),
+            other => panic!("bad response: {other:?}"),
+        };
+        assert_eq!(outcomes[0].get("removed"), Some(&Json::Bool(true)));
+        assert_eq!(outcomes[0].get("was_core"), Some(&Json::Bool(false)));
+        assert_eq!(outcomes[1].get("was_core"), Some(&Json::Bool(true)));
+        assert_eq!(outcomes[2].get("removed"), Some(&Json::Bool(false)));
+        // Single-point unknown: typed 404, not a 200 envelope.
+        let err = router.remove("m", b"{\"point\":[9.0,9.0]}").unwrap_err();
+        assert!(matches!(err, HttpError::UnknownPoint(_)));
+        assert_eq!(err.status(), 404);
+        // Single-point known: flat response object, shard goes dirty.
+        let (resp, _) = router.remove("m", b"{\"point\":[2.0,0.4]}").unwrap();
+        assert_eq!(resp.get("removed"), Some(&Json::Bool(true)));
+        let agg = router.aggregate_metrics();
+        assert_eq!(
+            agg.registry().counter_value("dbsvec_removals_total"),
+            Some(3)
+        );
+        assert_eq!(
+            agg.registry().counter_value("dbsvec_remove_misses_total"),
+            Some(2)
+        );
+        assert_eq!(agg.remove_latency().histogram().count(), 5);
     }
 
     #[test]

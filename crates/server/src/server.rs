@@ -127,9 +127,10 @@ impl ShutdownFlag {
 }
 
 /// Endpoint slugs, one duration histogram each on `/metrics`.
-const ENDPOINTS: [&str; 7] = [
+const ENDPOINTS: [&str; 8] = [
     "assign",
     "ingest",
+    "remove",
     "health",
     "metrics",
     "healthz",
@@ -775,6 +776,18 @@ fn dispatch(
                         DispatchCost::from_route(cost, serialize_us),
                     ))
                 }
+                ("DELETE", "points") => {
+                    let mut cost = RouteCost::default();
+                    let (resp, points) = router.remove_traced(name, &req.body, &mut cost)?;
+                    let (body, serialize_us) = serialized(|| resp.to_string());
+                    Ok((
+                        "remove",
+                        "application/json",
+                        body,
+                        points,
+                        DispatchCost::from_route(cost, serialize_us),
+                    ))
+                }
                 ("GET", "health") => {
                     let resp = router.health(name)?;
                     let (body, serialize_us) = serialized(|| resp.to_string());
@@ -789,10 +802,12 @@ fn dispatch(
                         },
                     ))
                 }
-                (_, "assign" | "ingest" | "health") => Err(HttpError::MethodNotAllowed {
-                    method: method.to_string(),
-                    path: path.to_string(),
-                }),
+                (_, "assign" | "ingest" | "points" | "health") => {
+                    Err(HttpError::MethodNotAllowed {
+                        method: method.to_string(),
+                        path: path.to_string(),
+                    })
+                }
                 _ => Err(HttpError::NotFound(path.to_string())),
             }
         }
@@ -864,6 +879,10 @@ dbsvec_http_request_duration_assign_seconds_count 2
 # TYPE dbsvec_http_request_duration_ingest_seconds summary
 dbsvec_http_request_duration_ingest_seconds_sum 0
 dbsvec_http_request_duration_ingest_seconds_count 0
+# HELP dbsvec_http_request_duration_remove_seconds End-to-end latency of remove requests.
+# TYPE dbsvec_http_request_duration_remove_seconds summary
+dbsvec_http_request_duration_remove_seconds_sum 0
+dbsvec_http_request_duration_remove_seconds_count 0
 # HELP dbsvec_http_request_duration_health_seconds End-to-end latency of health requests.
 # TYPE dbsvec_http_request_duration_health_seconds summary
 dbsvec_http_request_duration_health_seconds_sum 0

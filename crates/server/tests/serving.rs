@@ -226,6 +226,92 @@ fn graceful_shutdown_persists_dirty_shards() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// DELETE /v1/models/{name}/points over a live socket: single and batch
+/// bodies remove tracked points shard-transparently, an unknown single
+/// point is a typed 404, and the deletions re-dirty their shards so the
+/// shutdown drain persists them.
+#[test]
+fn delete_over_the_socket_removes_points_and_persists_dirty_shards() {
+    let h = Harness::start(2, 2, None);
+    // Ingest novel points across both shards; exact decimal coordinates
+    // so the JSON round trip reproduces the bit pattern removal keys on.
+    let rows: Vec<String> = (0..6).map(|i| format!("[{}.5,0.25]", i)).collect();
+    let (status, body) = request(
+        h.addr,
+        "POST",
+        "/v1/models/m/ingest",
+        &format!("{{\"points\":[{}]}}", rows.join(",")),
+    );
+    assert_eq!(status, 200, "ingest: {body}");
+    // Flush ingest dirt so the persistence asserted below is the DELETEs'.
+    assert!(!h.router.persist_dirty().unwrap().is_empty());
+
+    // Single tracked point: removed, with the repair outcome inlined.
+    let (status, body) = request(
+        h.addr,
+        "DELETE",
+        "/v1/models/m/points",
+        "{\"point\":[0.5,0.25]}",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"removed\":true"), "{body}");
+    assert!(body.contains("\"was_core\""), "{body}");
+    assert!(body.contains("\"splits\""), "{body}");
+
+    // The same point again — and any never-tracked point — is a typed 404.
+    for unknown in ["{\"point\":[0.5,0.25]}", "{\"point\":[77.0,77.0]}"] {
+        let (status, body) = request(h.addr, "DELETE", "/v1/models/m/points", unknown);
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("\"error\""), "{body}");
+        assert!(body.contains("point not tracked"), "{body}");
+    }
+
+    // Batch: three tracked and one unknown, grouped per shard — the
+    // response keeps request order and counts only the found removals.
+    let (status, body) = request(
+        h.addr,
+        "DELETE",
+        "/v1/models/m/points",
+        "{\"points\":[[1.5,0.25],[2.5,0.25],[3.5,0.25],[88.0,88.0]]}",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"count\":4"), "{body}");
+    assert!(body.contains("\"removed\":3"), "{body}");
+    assert!(body.contains("\"removed\":false"), "{body}");
+
+    // Unknown model is still the usual model-level 404.
+    let (status, _) = request(
+        h.addr,
+        "DELETE",
+        "/v1/models/ghost/points",
+        "{\"point\":[0,0]}",
+    );
+    assert_eq!(status, 404);
+
+    // Drain: the DELETE-dirtied shards persist, and the persisted
+    // snapshots reload cleanly.
+    let dir = h.dir.clone();
+    let router = Arc::clone(&h.router);
+    let report = {
+        let Harness {
+            shutdown, handle, ..
+        } = h;
+        shutdown.request();
+        handle.join().unwrap().unwrap()
+    };
+    assert!(
+        !report.persisted.is_empty(),
+        "DELETE must dirty shards for the shutdown drain"
+    );
+    for (path, bytes) in &report.persisted {
+        assert!(*bytes > 0);
+        let (reloaded, _) = snapshot::read_file(path).unwrap();
+        reloaded.validate().unwrap();
+    }
+    assert!(router.persist_dirty().unwrap().is_empty());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 #[test]
 fn error_statuses_are_typed_over_the_socket() {
     let h = Harness::start(1, 1, None);

@@ -8,6 +8,7 @@
 //! kernel-cache counters) must match callback for callback, so a trace
 //! captured from a parallel run replays exactly like a sequential one.
 
+use dbsvec::engine::{snapshot, Engine, ModelArtifact};
 use dbsvec::geometry::rng::SplitMix64;
 use dbsvec::obs::{Event, Phase, Record, RecordingObserver};
 use dbsvec::{Dbsvec, DbsvecConfig, PointSet};
@@ -113,6 +114,104 @@ fn recorded_traces_are_identical_across_thread_counts() {
         );
         assert_eq!(base_result.labels(), par_result.labels());
     }
+}
+
+/// Two 3×3 unit grids whose labels equal the geometric components at
+/// ε = 1.2, MinPts = 3 — the closure-property model `tests/dynamic.rs`
+/// exercises, rebuilt here as a deterministic dynamic-maintenance base.
+fn two_grid_artifact() -> ModelArtifact {
+    let mut cores = PointSet::new(2);
+    let mut core_labels = Vec::new();
+    for (x0, label) in [(0, 0u32), (6, 1)] {
+        for x in x0..x0 + 3 {
+            for y in 0..3 {
+                cores.push(&[x as f64, y as f64]);
+                core_labels.push(label);
+            }
+        }
+    }
+    ModelArtifact {
+        eps: 1.2,
+        min_pts: 3,
+        num_clusters: 2,
+        cores,
+        core_labels,
+        boundaries: None,
+        quality: None,
+    }
+}
+
+/// Dynamic maintenance is deterministic too: one fixed insert / delete /
+/// assign interleaving driven at 1, 2, 4, and 8 assignment threads — and
+/// replayed on a cold engine reloaded from snapshot bytes — must produce
+/// the same trace callback for callback, the same replayed counters, the
+/// same engine stats, and a bit-identical snapshot encoding.
+#[test]
+fn insert_delete_interleavings_are_bit_identical_across_threads_and_restarts() {
+    let run = |artifact: &ModelArtifact, threads: usize| {
+        let mut engine = Engine::new(artifact);
+        let mut recorder = RecordingObserver::new();
+        let mut rng = SplitMix64::new(0xD375);
+        let mut inserted: Vec<Vec<f64>> = Vec::new();
+        for op in 0..160 {
+            match op % 4 {
+                // Inserts on a half-unit lattice spanning both grids and
+                // the gap: some buffer, some promote, some merge.
+                0 | 1 => {
+                    let p = vec![
+                        (rng.next_below(19) as f64) * 0.5 - 0.5,
+                        (rng.next_below(7) as f64) * 0.5 - 0.5,
+                    ];
+                    engine.ingest_observed(&p, &mut recorder);
+                    inserted.push(p);
+                }
+                // Deletes of earlier inserts (occasionally already
+                // removed — the miss is part of the trace under test).
+                2 => {
+                    let p = inserted[rng.next_below(inserted.len() as u64) as usize].clone();
+                    engine.remove_observed(&p, &mut recorder);
+                }
+                // Threaded assign batches: `threads` changes where the
+                // queries run, never what is answered or recorded.
+                _ => {
+                    let mut queries = PointSet::new(2);
+                    for _ in 0..6 {
+                        queries
+                            .push(&[rng.next_f64_range(-1.0, 9.0), rng.next_f64_range(-1.0, 3.0)]);
+                    }
+                    engine.assign_batch_observed(&queries, threads, &mut recorder);
+                }
+            }
+        }
+        let stats = *engine.stats();
+        (
+            steps(&recorder),
+            recorder.replay(),
+            stats,
+            snapshot::encode(&engine.snapshot()),
+        )
+    };
+
+    let artifact = two_grid_artifact();
+    let (base_steps, base_replay, base_stats, base_bytes) = run(&artifact, 1);
+    assert!(base_replay.removals > 0, "sequence should remove points");
+    assert!(base_replay.merges > 0, "sequence should merge clusters");
+    for threads in [2usize, 4, 8] {
+        let (s, r, st, bytes) = run(&artifact, threads);
+        assert_eq!(base_steps, s, "threads={threads}");
+        assert_eq!(base_replay, r, "threads={threads}");
+        assert_eq!(base_stats, st, "threads={threads}");
+        assert_eq!(base_bytes, bytes, "threads={threads}");
+    }
+
+    // Cold start: round-trip the base model through snapshot bytes and
+    // replay the same interleaving — nothing may move.
+    let reloaded = snapshot::decode(&snapshot::encode(&artifact)).expect("round-trip");
+    let (s, r, st, bytes) = run(&reloaded, 4);
+    assert_eq!(base_steps, s, "cold restart");
+    assert_eq!(base_replay, r, "cold restart");
+    assert_eq!(base_stats, st, "cold restart");
+    assert_eq!(base_bytes, bytes, "cold restart");
 }
 
 #[test]

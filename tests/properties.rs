@@ -4,7 +4,9 @@
 //! failure exactly reproducible.
 
 use dbsvec::baselines::Dbscan;
+use dbsvec::engine::{Assignment, Engine, ModelArtifact};
 use dbsvec::geometry::rng::SplitMix64;
+use dbsvec::geometry::squared_euclidean;
 use dbsvec::index::{GridIndex, KdTree, LinearScan, RStarTree, RangeIndex};
 use dbsvec::metrics::{adjusted_rand_index, recall};
 use dbsvec::svdd::{GaussianKernel, SvddProblem};
@@ -314,6 +316,146 @@ fn dbsvec_noise_verification_never_attaches_beyond_eps_at_any_thread_count() {
                 nearest_core_sq <= eps_sq,
                 "border point {i} attached at distance² {nearest_core_sq} > ε² (threads={threads})"
             );
+        }
+    }
+}
+
+/// A fitted engine over a random 2-D cloud plus its mirrored tracked set
+/// (at load, the tracked set is exactly the fitted cores).
+fn random_engine(rng: &mut SplitMix64) -> (Engine, Vec<Vec<f64>>, f64, usize) {
+    let n = 60 + rng.next_below(60) as usize;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            vec![
+                rng.next_f64_range(-30.0, 30.0),
+                rng.next_f64_range(-30.0, 30.0),
+            ]
+        })
+        .collect();
+    let ps = PointSet::from_rows(&rows);
+    let eps = 6.0;
+    let min_pts = 4;
+    let result = Dbsvec::new(DbsvecConfig::new(eps, min_pts)).fit(&ps);
+    let core_ids: Vec<_> = result.core_points().to_vec();
+    let artifact = ModelArtifact::from_fit(&ps, result.labels(), &core_ids, eps, min_pts as u32)
+        .expect("fit produces a valid artifact");
+    let live: Vec<Vec<f64>> = artifact.cores.iter().map(|(_, p)| p.to_vec()).collect();
+    (Engine::new(&artifact), live, eps, min_pts)
+}
+
+/// One random insert/delete interleaving step; returns whether anything
+/// was removed this step.
+fn dynamic_step(rng: &mut SplitMix64, engine: &mut Engine, live: &mut Vec<Vec<f64>>) -> bool {
+    if rng.next_below(2) == 0 || live.is_empty() {
+        let p = vec![
+            rng.next_f64_range(-32.0, 32.0),
+            rng.next_f64_range(-32.0, 32.0),
+        ];
+        if !live.contains(&p) {
+            engine.ingest(&p);
+            live.push(p);
+        }
+        false
+    } else {
+        let p = live.swap_remove(rng.next_below(live.len() as u64) as usize);
+        engine.remove(&p);
+        true
+    }
+}
+
+/// Deletion invariant: a demoted core really lost its density. Every
+/// buffered point — demoted cores included — must have fewer than MinPts
+/// tracked points (itself included) within ε, counted by brute force over
+/// the mirrored tracked set, after every removal.
+#[test]
+fn no_demoted_core_keeps_a_dense_neighborhood() {
+    let mut rng = SplitMix64::new(0xF00F);
+    for _ in 0..24 {
+        let (mut engine, mut live, eps, min_pts) = random_engine(&mut rng);
+        let eps_sq = eps * eps;
+        for _ in 0..40 {
+            if !dynamic_step(&mut rng, &mut engine, &mut live) {
+                continue;
+            }
+            for (p, _) in engine.buffered_view() {
+                let count = live
+                    .iter()
+                    .filter(|q| squared_euclidean(p, q) <= eps_sq)
+                    .count();
+                assert!(
+                    count < min_pts,
+                    "buffered point {p:?} has {count} ≥ MinPts tracked neighbors"
+                );
+            }
+        }
+    }
+}
+
+/// Deletion invariant: clusters stay ε-connected through repairs. After
+/// every removal, each core of a multi-core cluster must still have a
+/// same-cluster core within ε — a split that should have happened but
+/// didn't would strand a core among ε-unreachable labelmates.
+#[test]
+fn every_cluster_member_keeps_a_same_cluster_core_within_eps() {
+    let mut rng = SplitMix64::new(0xF010);
+    for _ in 0..24 {
+        let (mut engine, mut live, eps, _) = random_engine(&mut rng);
+        let eps_sq = eps * eps;
+        for _ in 0..40 {
+            if !dynamic_step(&mut rng, &mut engine, &mut live) {
+                continue;
+            }
+            let snap = engine.snapshot();
+            let mut cluster_sizes = vec![0usize; snap.num_clusters as usize];
+            for &l in &snap.core_labels {
+                cluster_sizes[l as usize] += 1;
+            }
+            for (i, p) in snap.cores.iter() {
+                let l = snap.core_labels[i as usize];
+                if cluster_sizes[l as usize] < 2 {
+                    continue;
+                }
+                let witness = snap.cores.iter().any(|(j, q)| {
+                    j != i && snap.core_labels[j as usize] == l && squared_euclidean(p, q) <= eps_sq
+                });
+                assert!(witness, "core {p:?} stranded in cluster {l} beyond ε");
+            }
+        }
+    }
+}
+
+/// Deletion invariant: removals never loosen the assignment rule. After
+/// every removal, a query labels into a cluster iff a live core lies
+/// within ε — noise can never re-attach through a stale core.
+#[test]
+fn noise_never_reattaches_beyond_eps_after_removals() {
+    let mut rng = SplitMix64::new(0xF011);
+    for _ in 0..24 {
+        let (mut engine, mut live, eps, _) = random_engine(&mut rng);
+        let eps_sq = eps * eps;
+        for _ in 0..40 {
+            if !dynamic_step(&mut rng, &mut engine, &mut live) {
+                continue;
+            }
+            let snap = engine.snapshot();
+            for _ in 0..4 {
+                let q = vec![
+                    rng.next_f64_range(-35.0, 35.0),
+                    rng.next_f64_range(-35.0, 35.0),
+                ];
+                let in_range = snap
+                    .cores
+                    .iter()
+                    .any(|(_, p)| squared_euclidean(p, &q) <= eps_sq);
+                match engine.assign(&q) {
+                    Assignment::Cluster(_) => {
+                        assert!(in_range, "{q:?} attached with no live core within ε")
+                    }
+                    Assignment::Noise => {
+                        assert!(!in_range, "{q:?} called noise with a live core within ε")
+                    }
+                }
+            }
         }
     }
 }
