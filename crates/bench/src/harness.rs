@@ -276,6 +276,9 @@ impl JsonReport {
                     ("merges", Json::UInt(c.merges)),
                     ("noise_candidates", Json::UInt(c.noise_candidates)),
                     ("noise_confirmed", Json::UInt(c.noise_confirmed)),
+                    ("sampled_candidates", Json::UInt(c.sampled_candidates)),
+                    ("attachment_candidates", Json::UInt(c.attachment_candidates)),
+                    ("attached_points", Json::UInt(c.attached_points)),
                 ]),
             ));
         }

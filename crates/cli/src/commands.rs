@@ -7,7 +7,10 @@ use std::time::Instant;
 use dbsvec_baselines::{
     Dbscan, DbscanLsh, FDbscan, Hdbscan, KMeans, NqDbscan, ParallelDbscan, RhoApproxDbscan,
 };
-use dbsvec_core::{Clustering, Dbsvec, DbsvecConfig};
+use dbsvec_core::sample::sample_candidates;
+use dbsvec_core::{
+    Clustering, Dbsvec, DbsvecConfig, SamplingConfig, SamplingMode, DEFAULT_SAMPLING_SEED,
+};
 use dbsvec_datasets::io::{read_csv, write_csv};
 use dbsvec_datasets::plot::write_svg_scatter;
 use dbsvec_datasets::standins::{default_min_pts, suggest_eps};
@@ -17,10 +20,10 @@ use dbsvec_datasets::{
 };
 use dbsvec_engine::{
     snapshot, Assignment, Engine, EngineConfig, EngineMetrics, ModelArtifact, MonitorConfig,
-    QualityMonitor, RemoveOutcome,
+    QualityMonitor, RemoveOutcome, SampledMode, SamplingInfo,
 };
-use dbsvec_geometry::PointSet;
-use dbsvec_index::{k_distance_profile, knee_epsilon, KdTree};
+use dbsvec_geometry::{PointId, PointSet};
+use dbsvec_index::{k_distance_profile, k_distance_profile_for_ids, knee_epsilon, KdTree};
 use dbsvec_metrics::{adjusted_rand_index, recall};
 use dbsvec_obs::telemetry::{parse_prometheus, render_json, render_prometheus};
 use dbsvec_obs::{
@@ -215,11 +218,65 @@ fn print_recommendation(
     Ok(())
 }
 
+/// Resolves `--sample-rate` / `--sample-kcenter` / `--sample-seed` into a
+/// sampling configuration (`Exact` when neither mode flag is present),
+/// validating before the panicking core builders see the values.
+fn sampling_options(args: &ParsedArgs) -> Result<SamplingConfig, CliError> {
+    let rate: Option<f64> = args.get_parsed("sample-rate")?;
+    let m: Option<usize> = args.get_parsed("sample-kcenter")?;
+    let seed: u64 = args.get_or("sample-seed", DEFAULT_SAMPLING_SEED)?;
+    let mode = match (rate, m) {
+        (Some(_), Some(_)) => {
+            return Err(CliError(
+                "--sample-rate and --sample-kcenter are mutually exclusive".to_string(),
+            ))
+        }
+        (Some(r), None) => {
+            if !(r.is_finite() && r > 0.0 && r <= 1.0) {
+                return Err(CliError(format!(
+                    "--sample-rate must be in (0, 1], got {r}"
+                )));
+            }
+            SamplingMode::Uniform { rate: r }
+        }
+        (None, Some(m)) => {
+            if m == 0 {
+                return Err(CliError("--sample-kcenter must be at least 1".to_string()));
+            }
+            SamplingMode::KCenter { m }
+        }
+        (None, None) => {
+            if args.get("sample-seed").is_some() {
+                return Err(CliError(
+                    "--sample-seed requires --sample-rate or --sample-kcenter".to_string(),
+                ));
+            }
+            SamplingMode::Exact
+        }
+    };
+    Ok(SamplingConfig { mode, seed })
+}
+
 /// Loads points (labels in the file are ignored) and resolves (ε, MinPts):
 /// explicit flags win; otherwise MinPts comes from the cardinality default
 /// and ε from the k-distance knee.
 fn load_with_params(
     args: &ParsedArgs,
+    out: &mut dyn Write,
+) -> Result<(PointSet, f64, usize), CliError> {
+    load_with_params_sampled(args, &SamplingConfig::default(), out)
+}
+
+/// [`load_with_params`] for a (possibly) sampled fit: when ε must be
+/// derived and a subsample is drawn, the k-distance sweep profiles the
+/// drawn candidates instead of a stride over all n — the fit only seeds
+/// from candidates, so the knee should reflect their density landscape
+/// (and the profiling cost stays proportional to the subsample). At rate
+/// 1.0 the draw collapses to full coverage and the classic sweep runs
+/// unchanged, so the derived ε matches the exact fit's exactly.
+fn load_with_params_sampled(
+    args: &ParsedArgs,
+    sampling: &SamplingConfig,
     out: &mut dyn Write,
 ) -> Result<(PointSet, f64, usize), CliError> {
     let input = args.require("input")?;
@@ -233,7 +290,14 @@ fn load_with_params(
         Some(e) => return Err(CliError(format!("--eps must be positive, got {e}"))),
         None => {
             let index = KdTree::build(&points);
-            let profile = k_distance_profile(&points, &index, min_pts, 500);
+            let profile = match sample_candidates(&points, sampling) {
+                Some(ids) => {
+                    let stride = (ids.len() / 500).max(1);
+                    let probes: Vec<PointId> = ids.iter().copied().step_by(stride).collect();
+                    k_distance_profile_for_ids(&points, &index, min_pts, &probes, 1)
+                }
+                None => k_distance_profile(&points, &index, min_pts, 500),
+            };
             let eps = knee_epsilon(&profile).unwrap_or_else(|| suggest_eps(&points, min_pts, 1));
             writeln!(
                 out,
@@ -519,12 +583,16 @@ pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "threads",
         "cold-start",
         "boundaries",
+        "sample-rate",
+        "sample-kcenter",
+        "sample-seed",
         "stats",
         "trace",
         "profile",
         "help",
     ])?;
-    let (points, eps, min_pts) = load_with_params(args, out)?;
+    let sampling = sampling_options(args)?;
+    let (points, eps, min_pts) = load_with_params_sampled(args, &sampling, out)?;
     let save = args.require("save")?;
     let threads: usize = args.get_or("threads", 0)?;
     let cold_start = args.has_switch("cold-start");
@@ -539,6 +607,7 @@ pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
     let start = Instant::now();
     let mut config = DbsvecConfig::new(eps, min_pts).with_threads(threads);
+    config.sampling = sampling;
     if cold_start {
         config = config.cold_start();
     }
@@ -561,12 +630,39 @@ pub fn fit(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     // --monitor` scores live traffic against, and costs one extra range
     // query per training point.
     artifact = artifact.with_quality(&points, result.labels());
+    let sampling_info = match sampling.mode {
+        SamplingMode::Exact => None,
+        SamplingMode::Uniform { rate } => Some(SamplingInfo {
+            mode: SampledMode::Uniform { rate },
+            seed: sampling.seed,
+            candidates: stats.sampled_candidates,
+            total: points.len() as u64,
+        }),
+        SamplingMode::KCenter { m } => Some(SamplingInfo {
+            mode: SampledMode::KCenter { m: m as u64 },
+            seed: sampling.seed,
+            candidates: stats.sampled_candidates,
+            total: points.len() as u64,
+        }),
+    };
+    if let Some(info) = sampling_info {
+        artifact = artifact.with_sampling(info);
+    }
     let bytes = snapshot::write_file(&artifact, Path::new(save))
         .map_err(|e| CliError(format!("cannot write model {save}: {e}")))?;
     obs.event(&Event::SnapshotWrite { bytes });
 
     writeln!(out, "parameters: eps = {eps:.6}, MinPts = {min_pts}")?;
     print_summary(out, "dbsvec", result.labels(), seconds)?;
+    if let Some(info) = sampling_info {
+        writeln!(
+            out,
+            "sampling: {}, attached {} of {} unsampled",
+            info.describe(),
+            stats.attached_points,
+            stats.attachment_candidates
+        )?;
+    }
     let boundary_note = match &artifact.boundaries {
         Some(b) => format!(", {} SVDD boundaries", b.len()),
         None => String::new(),
@@ -655,6 +751,9 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         engine.eps(),
         engine.min_pts()
     )?;
+    if let Some(s) = engine.sampling() {
+        writeln!(out, "model sampling: {}", s.describe())?;
+    }
 
     let (queries, _) = read_csv(Path::new(assign_path))?;
     if queries.is_empty() {
@@ -1636,6 +1735,131 @@ mod tests {
         for f in [&data, &model, &fit_labels, &served_labels] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn sampled_fit_prints_provenance_and_serves() {
+        let data = tempfile("sampled-fit.csv");
+        let model = tempfile("sampled-fit.dbm");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "600",
+            "--output",
+            data_s,
+        ]);
+        let text = run_ok(&[
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            model_s,
+            "--sample-rate",
+            "0.5",
+            "--sample-seed",
+            "7",
+        ]);
+        assert!(
+            text.contains("sampling: uniform rate 0.5 (seed 7)"),
+            "missing sampling line: {text}"
+        );
+        assert!(
+            text.contains("attached"),
+            "missing attachment counts: {text}"
+        );
+
+        // The persisted provenance comes back out of the snapshot.
+        let text = run_ok(&["serve", "--model", model_s, "--assign", data_s]);
+        assert!(
+            text.contains("model sampling: uniform rate 0.5 (seed 7)"),
+            "missing provenance on load: {text}"
+        );
+
+        // k-center mode and the rate-1.0 full-coverage collapse.
+        let text = run_ok(&[
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            model_s,
+            "--sample-kcenter",
+            "150",
+        ]);
+        assert!(
+            text.contains("sampling: k-center m 150"),
+            "missing k-center line: {text}"
+        );
+        let text = run_ok(&[
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            model_s,
+            "--sample-rate",
+            "1.0",
+        ]);
+        assert!(
+            text.contains("sampling: uniform rate 1") && text.contains("full coverage"),
+            "rate 1.0 must report full coverage: {text}"
+        );
+
+        for f in [&data, &model] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn sampling_flags_are_validated() {
+        let data = tempfile("sampled-validate.csv");
+        let data_s = data.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--dataset",
+            "moons",
+            "--n",
+            "100",
+            "--output",
+            data_s,
+        ]);
+        let base = [
+            "fit",
+            "--input",
+            data_s,
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--save",
+            "/dev/null",
+        ];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            run_err(&v)
+        };
+        assert!(with(&["--sample-rate", "0.5", "--sample-kcenter", "10"])
+            .contains("mutually exclusive"));
+        assert!(with(&["--sample-rate", "0.0"]).contains("must be in (0, 1]"));
+        assert!(with(&["--sample-rate", "1.5"]).contains("must be in (0, 1]"));
+        assert!(with(&["--sample-kcenter", "0"]).contains("at least 1"));
+        assert!(with(&["--sample-seed", "9"]).contains("requires"));
+        std::fs::remove_file(&data).ok();
     }
 
     #[test]

@@ -70,6 +70,7 @@ USAGE:
   dbsvec-cli suggest  --input points.csv [--min-pts N]
   dbsvec-cli fit      --input points.csv --save model.dbm [--eps F] [--min-pts N]
                   [--threads N] [--cold-start] [--boundaries] [--stats] [--profile]
+                  [--sample-rate R | --sample-kcenter M] [--sample-seed N]
                   [--trace out.jsonl]
   dbsvec-cli serve    --model model.dbm --assign points.csv [--output labels.csv]
                   [--threads N] [--profile] [--trace out.jsonl]
@@ -104,6 +105,18 @@ kernel rows across N worker threads (0 = all cores, the default; 1 = the
 sequential code path). Labels, stats, and traces are identical at every N.
 fit --cold-start disables the warm-started incremental SMO solver (cross-round
 alpha reuse + active-set shrinking); labels are identical either way.
+
+SAMPLED CORE DISCOVERY (fit):
+  fit --sample-rate R draws a uniform Bernoulli subsample (each point a core
+  candidate with probability R in (0, 1]) and restricts seeding, expansion,
+  and the eps-derivation k-distance sweep to it; unsampled points are then
+  attached to the nearest discovered core within eps or confirmed as noise.
+  fit --sample-kcenter M draws M greedy farthest-first (k-center) candidates
+  instead — better coverage of sparse regions at the same budget.
+  --sample-seed N seeds the draw (default 20190401). At --sample-rate 1.0
+  the fit is bit-identical to an exact fit. The summary prints a greppable
+  `sampling:` line; the snapshot records the provenance, which serve and
+  the /health endpoint report back.
 
 SERVING:
   fit --save writes a versioned, checksummed binary snapshot (.dbm) of the

@@ -51,6 +51,53 @@ impl ParallelConfig {
     }
 }
 
+/// How core candidates are drawn for the sampled fit mode (DBSCAN++-style
+/// subsampled core discovery; see `crate::sample`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SamplingMode {
+    /// Every point is a core candidate — the classic full fit.
+    Exact,
+    /// Each point is a candidate independently with probability `rate`
+    /// (expected subsample size `rate·n`).
+    Uniform {
+        /// Per-point inclusion probability in `(0, 1]`.
+        rate: f64,
+    },
+    /// Greedy farthest-first (k-center) subset of `m` candidates, the
+    /// geometry-aware draw DBSCAN++ recommends for unbalanced densities.
+    KCenter {
+        /// Candidate budget. `m >= n` degenerates to `Exact`.
+        m: usize,
+    },
+}
+
+/// Default seed for sampled draws, matching the bench harness discipline.
+pub const DEFAULT_SAMPLING_SEED: u64 = 20190401;
+
+/// Seeded core-candidate subsampling for the fit.
+///
+/// The draw is a pure function of `(points, SamplingConfig)` via the
+/// workspace's SplitMix64 stream, so sampled fits keep the parallel
+/// determinism contract: labels, stats, and traces are bit-identical at
+/// every thread count, and a draw that covers all n points (including
+/// `Uniform { rate: 1.0 }`) takes the exact fit path untouched.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SamplingConfig {
+    /// How the candidate set is drawn.
+    pub mode: SamplingMode,
+    /// SplitMix64 seed for the draw.
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self {
+            mode: SamplingMode::Exact,
+            seed: DEFAULT_SAMPLING_SEED,
+        }
+    }
+}
+
 /// Full configuration of a DBSVEC run.
 ///
 /// [`DbsvecConfig::new`] gives the paper's recommended settings; the
@@ -93,6 +140,11 @@ pub struct DbsvecConfig {
     /// and SMO kernel rows). Defaults to all available cores; results are
     /// identical at every setting.
     pub parallel: ParallelConfig,
+    /// Core-candidate subsampling (default: `Exact`, the full fit).
+    /// Seeding and support-vector expansion restrict themselves to the
+    /// drawn candidates; unsampled points are attached to their nearest
+    /// discovered core within ε afterwards or confirmed as noise.
+    pub sampling: SamplingConfig,
 }
 
 impl DbsvecConfig {
@@ -120,6 +172,7 @@ impl DbsvecConfig {
             kernel_width: KernelWidthStrategy::CenterRadius,
             smo: SmoOptions::default(),
             parallel: ParallelConfig::default(),
+            sampling: SamplingConfig::default(),
         }
     }
 
@@ -128,6 +181,40 @@ impl DbsvecConfig {
     /// observer traces are bit-identical at every setting.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.parallel = ParallelConfig::fixed(threads);
+        self
+    }
+
+    /// Restricts core discovery to a uniform candidate subsample: each
+    /// point is a candidate with probability `rate`, drawn from the seeded
+    /// SplitMix64 stream. `rate = 1.0` is exactly the full fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is finite and in `(0, 1]`.
+    pub fn with_uniform_sampling(mut self, rate: f64, seed: u64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0 && rate <= 1.0,
+            "sampling rate must be in (0, 1], got {rate}"
+        );
+        self.sampling = SamplingConfig {
+            mode: SamplingMode::Uniform { rate },
+            seed,
+        };
+        self
+    }
+
+    /// Restricts core discovery to a greedy k-center (farthest-first)
+    /// subsample of `m` candidates. `m >= n` degenerates to the full fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` is zero.
+    pub fn with_kcenter_sampling(mut self, m: usize, seed: u64) -> Self {
+        assert!(m >= 1, "k-center budget must be at least 1");
+        self.sampling = SamplingConfig {
+            mode: SamplingMode::KCenter { m },
+            seed,
+        };
         self
     }
 
@@ -222,6 +309,8 @@ mod tests {
         assert_eq!(c.kernel_width, KernelWidthStrategy::CenterRadius);
         assert_eq!(c.parallel, ParallelConfig::default());
         assert_eq!(c.parallel.threads, 0);
+        assert_eq!(c.sampling.mode, SamplingMode::Exact);
+        assert_eq!(c.sampling.seed, DEFAULT_SAMPLING_SEED);
         // Warm starts and shrinking are on by default.
         assert!(c.smo.warm_start);
         assert!(c.smo.shrinking);
@@ -289,6 +378,34 @@ mod tests {
     fn resolve_nu_minimal_is_one_over_n() {
         let c = DbsvecConfig::new(1.0, 5).minimal_nu();
         assert!((c.resolve_nu(3, 40) - 1.0 / 40.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sampling_builders_set_mode_and_seed() {
+        let u = DbsvecConfig::new(1.0, 5).with_uniform_sampling(0.25, 7);
+        assert_eq!(u.sampling.mode, SamplingMode::Uniform { rate: 0.25 });
+        assert_eq!(u.sampling.seed, 7);
+        let k = DbsvecConfig::new(1.0, 5).with_kcenter_sampling(40, 11);
+        assert_eq!(k.sampling.mode, SamplingMode::KCenter { m: 40 });
+        assert_eq!(k.sampling.seed, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate must be in (0, 1]")]
+    fn rejects_zero_sampling_rate() {
+        let _ = DbsvecConfig::new(1.0, 5).with_uniform_sampling(0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate must be in (0, 1]")]
+    fn rejects_sampling_rate_above_one() {
+        let _ = DbsvecConfig::new(1.0, 5).with_uniform_sampling(1.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k-center budget must be at least 1")]
+    fn rejects_zero_kcenter_budget() {
+        let _ = DbsvecConfig::new(1.0, 5).with_kcenter_sampling(0, 1);
     }
 
     #[test]

@@ -128,12 +128,36 @@ impl Dbsvec {
             index.len(),
             points.len()
         );
+        // Sampled core discovery: draw the candidate subsample up front (a
+        // pure function of the points and the seeded config, identical at
+        // every thread count). A draw covering all n points — `Exact` mode
+        // included — leaves the mask off, so the classic fit path below
+        // runs untouched: bit-identical labels, stats, and traces.
+        let sample = crate::sample::sample_candidates(points, &self.config.sampling);
         let mut state = RunState::new(points, index, &self.config, obs);
 
         // ---- Initialization + expansion (Algorithm 2 lines 2–12).
         state.obs.span_enter(Phase::Init);
+        if let Some(ids) = sample {
+            state.stats.sampled_candidates = ids.len() as u64;
+            state.obs.event(&Event::Sample {
+                candidates: ids.len(),
+                total: points.len(),
+                rate_e6: ((ids.len() as f64 / points.len().max(1) as f64) * 1e6).round() as u64,
+            });
+            let mut mask = vec![false; points.len()];
+            for &i in &ids {
+                mask[i as usize] = true;
+            }
+            state.candidates = Some(mask);
+        }
         let mut neighborhood: Vec<PointId> = Vec::new();
         for i in 0..points.len() as u32 {
+            if !state.is_candidate(i) {
+                // Sampled mode: unsampled points neither seed nor park on
+                // the noise list — the attachment pass resolves them.
+                continue;
+            }
             if !state.labels.is_unclassified(i) {
                 continue;
             }
@@ -544,6 +568,89 @@ mod tests {
                 baseline.core_points(),
                 par.core_points(),
                 "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_fit_recovers_blobs_with_fewer_queries() {
+        let ps = blobs(&[[0.0, 0.0], [40.0, 40.0]], 400, 1.5, 21);
+        let exact = Dbsvec::new(DbsvecConfig::new(4.0, 10)).fit(&ps);
+        let sampled =
+            Dbsvec::new(DbsvecConfig::new(4.0, 10).with_uniform_sampling(0.3, 11)).fit(&ps);
+        assert_eq!(sampled.num_clusters(), 2);
+        let recall = pair_recall(exact.labels().assignments(), sampled.labels().assignments());
+        assert!(recall > 0.98, "recall {recall} too low");
+        assert!(
+            sampled.stats().range_queries < exact.stats().range_queries,
+            "sampling must save queries: {} vs {}",
+            sampled.stats().range_queries,
+            exact.stats().range_queries
+        );
+        let s = sampled.stats();
+        assert!(s.sampled_candidates > 0 && (s.sampled_candidates as usize) < ps.len());
+        // Unsampled points absorbed during expansion never reach the
+        // attachment pass; the candidates are exactly the leftover ones.
+        assert!(s.attachment_candidates <= ps.len() as u64 - s.sampled_candidates);
+        assert!(s.attached_points <= s.attachment_candidates);
+    }
+
+    #[test]
+    fn kcenter_sampled_fit_recovers_blobs() {
+        let ps = blobs(&[[0.0, 0.0], [30.0, 0.0]], 150, 1.1, 13);
+        let m = ps.len() / 5;
+        let result = Dbsvec::new(DbsvecConfig::new(3.5, 8).with_kcenter_sampling(m, 5)).fit(&ps);
+        assert_eq!(result.num_clusters(), 2);
+        assert_eq!(result.stats().sampled_candidates, m as u64);
+    }
+
+    #[test]
+    fn uniform_rate_one_is_bit_identical_to_exact() {
+        let ps = blobs(&[[0.0, 0.0], [25.0, 10.0]], 100, 1.2, 77);
+        let exact = Dbsvec::new(DbsvecConfig::new(3.0, 6)).fit(&ps);
+        let sampled =
+            Dbsvec::new(DbsvecConfig::new(3.0, 6).with_uniform_sampling(1.0, 99)).fit(&ps);
+        assert_eq!(exact.labels(), sampled.labels());
+        assert_eq!(exact.stats(), sampled.stats());
+        assert_eq!(exact.core_points(), sampled.core_points());
+        assert_eq!(sampled.stats().sampled_candidates, 0, "full draw is exact");
+        assert_eq!(sampled.stats().attachment_candidates, 0);
+    }
+
+    #[test]
+    fn sampled_parallel_fit_is_bit_identical_to_sequential() {
+        let mut ps = blobs(&[[0.0, 0.0], [25.0, 10.0]], 120, 1.2, 61);
+        // Isolated stragglers: the unsampled ones are never absorbed, so
+        // the attachment pass has real work to replay deterministically.
+        for i in 0..30 {
+            ps.push(&[200.0 + 10.0 * i as f64, -50.0]);
+        }
+        let config = DbsvecConfig::new(3.0, 6).with_uniform_sampling(0.4, 17);
+        let baseline = Dbsvec::new(config.clone().with_threads(1)).fit(&ps);
+        assert!(baseline.stats().attachment_candidates > 0);
+        for threads in [2usize, 4, 8] {
+            let par = Dbsvec::new(config.clone().with_threads(threads)).fit(&ps);
+            assert_eq!(baseline.labels(), par.labels(), "threads={threads}");
+            assert_eq!(baseline.stats(), par.stats(), "threads={threads}");
+            assert_eq!(
+                baseline.core_points(),
+                par.core_points(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_cores_are_a_subset_of_the_candidates() {
+        let ps = blobs(&[[0.0, 0.0], [30.0, 0.0]], 120, 1.1, 29);
+        let config = DbsvecConfig::new(3.0, 6).with_uniform_sampling(0.5, 23);
+        let candidates =
+            crate::sample::sample_candidates(&ps, &config.sampling).expect("a strict subsample");
+        let result = Dbsvec::new(config).fit(&ps);
+        for &c in result.core_points() {
+            assert!(
+                candidates.binary_search(&c).is_ok(),
+                "core {c} was never a candidate"
             );
         }
     }

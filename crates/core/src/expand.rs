@@ -86,6 +86,12 @@ pub(crate) fn sv_expand_cluster<I: RangeIndex + Sync>(
             // Sequential escape hatch: the exact original query-then-absorb
             // loop, one support vector at a time.
             for sv in support_vectors {
+                if !state.is_candidate(sv) {
+                    // Sampled mode: a support vector outside the drawn
+                    // subsample can never be core, so querying it cannot
+                    // expand the cluster (Def. 6) — skip without a query.
+                    continue;
+                }
                 if state.queried[sv as usize] {
                     // Already materialized and absorbed in an earlier round
                     // (or as a seed): a repeat query cannot discover anything
@@ -117,7 +123,7 @@ pub(crate) fn sv_expand_cluster<I: RangeIndex + Sync>(
             let pending: Vec<PointId> = support_vectors
                 .iter()
                 .copied()
-                .filter(|&sv| !state.queried[sv as usize])
+                .filter(|&sv| state.is_candidate(sv) && !state.queried[sv as usize])
                 .collect();
             let batches = batch_range_queries(
                 state.points,

@@ -12,12 +12,18 @@
 //! than MinPts points each), so this pass issues at most `MinPts·l`
 //! memoized core tests, matching the §III-D cost model.
 
-use dbsvec_index::RangeIndex;
+use dbsvec_geometry::{PointId, PointSet};
+use dbsvec_index::{KdTree, RangeIndex};
 use dbsvec_obs::{Event, Phase};
 
-use crate::runner::RunState;
+use crate::parallel::batch_nearest_cores;
+use crate::runner::{CoreStatus, RunState};
 
-/// Resolves every entry of the potential-noise list.
+/// Resolves every entry of the potential-noise list, then — on sampled
+/// fits — attaches every still-unclassified (unsampled) point to the
+/// cluster of its nearest discovered core within ε, or confirms it as
+/// noise. Both passes apply the same nearest-core rule, which is why the
+/// attachment generalization lives in this phase.
 pub(crate) fn verify_noise<I: RangeIndex>(state: &mut RunState<'_, I>) {
     state.obs.span_enter(Phase::NoiseVerify);
     let noise_list = std::mem::take(&mut state.noise_list);
@@ -58,5 +64,65 @@ pub(crate) fn verify_noise<I: RangeIndex>(state: &mut RunState<'_, I>) {
         });
     }
     state.noise_list = noise_list;
+    if state.candidates.is_some() {
+        attach_unsampled(state);
+    }
     state.obs.span_exit(Phase::NoiseVerify);
+}
+
+/// The sampled-mode attachment pass.
+///
+/// After a sampled main loop the only unclassified points are unsampled
+/// ones that no expansion absorbed (candidates all ended clustered or on
+/// the noise list). Each gets the out-of-sample classification rule of
+/// `crate::predict`: the cluster of the nearest discovered core within ε,
+/// or noise. The lookups run against a kd-tree over the discovered cores
+/// — built once on the driving thread — and fan out through
+/// [`batch_nearest_cores`], so the pass is threaded yet bit-deterministic
+/// at every thread count. No ε-range queries against the full index are
+/// issued, keeping θ proportional to the subsample, not n.
+fn attach_unsampled<I: RangeIndex>(state: &mut RunState<'_, I>) {
+    let pending: Vec<PointId> = (0..state.points.len() as PointId)
+        .filter(|&i| state.labels.is_unclassified(i))
+        .collect();
+    if pending.is_empty() {
+        return;
+    }
+    let mut cores = PointSet::new(state.points.dims());
+    let mut core_cids: Vec<u32> = Vec::new();
+    for (i, s) in state.core_status.iter().enumerate() {
+        if matches!(s, CoreStatus::Core) {
+            // Every discovered core is clustered by the end of the main
+            // loop; the guard keeps an adversarial index from panicking us.
+            if let Some(cid) = state.labels.cluster(i as PointId) {
+                cores.push(state.points.point(i as PointId));
+                core_cids.push(cid);
+            }
+        }
+    }
+    let verdicts = if cores.is_empty() {
+        vec![None; pending.len()]
+    } else {
+        let tree = KdTree::build(&cores);
+        batch_nearest_cores(
+            state.points,
+            &cores,
+            &tree,
+            &core_cids,
+            state.config.eps,
+            &pending,
+            state.threads,
+        )
+    };
+    for (&i, verdict) in pending.iter().zip(&verdicts) {
+        state.stats.attachment_candidates += 1;
+        if let Some(cid) = verdict {
+            state.labels.set_cluster(i, *cid);
+            state.stats.attached_points += 1;
+        }
+        state.obs.event(&Event::Attach {
+            point: i,
+            attached: verdict.is_some(),
+        });
+    }
 }

@@ -37,6 +37,13 @@ pub(crate) struct RunState<'a, I: RangeIndex> {
     /// DBSVEC's materializing queries at n even in regimes where SVDD keeps
     /// re-selecting the same boundary points across rounds.
     pub queried: Vec<bool>,
+    /// Core-candidacy mask for the sampled fit mode: `None` means every
+    /// point is a candidate (the exact fit). Non-candidates are never
+    /// seeded, never queried by expansion, and can never test core — they
+    /// end the main loop clustered (absorbed from a candidate's
+    /// neighborhood) or unclassified, and the attachment pass resolves the
+    /// latter.
+    pub candidates: Option<Vec<bool>>,
     /// Effective worker count for the parallel fit path, resolved once from
     /// `config.parallel` so every phase (and every SMO training) agrees.
     pub threads: usize,
@@ -64,6 +71,7 @@ impl<'a, I: RangeIndex> RunState<'a, I> {
             core_status: vec![CoreStatus::Unknown; n],
             noise_list: Vec::new(),
             queried: vec![false; n],
+            candidates: None,
             threads: config.parallel.resolve(),
             stats: DbsvecStats::default(),
             obs,
@@ -79,6 +87,14 @@ impl<'a, I: RangeIndex> RunState<'a, I> {
         self.record_range_query(id, out.len());
     }
 
+    /// Whether `id` may test core. Always true on exact fits; sampled fits
+    /// restrict candidacy to the drawn subsample.
+    pub fn is_candidate(&self, id: PointId) -> bool {
+        self.candidates
+            .as_ref()
+            .map_or(true, |mask| mask[id as usize])
+    }
+
     /// Accounting for a materializing range query whose result was computed
     /// elsewhere (the batched expansion path runs the index probes on worker
     /// threads, then replays this bookkeeping on the driving thread in
@@ -91,15 +107,23 @@ impl<'a, I: RangeIndex> RunState<'a, I> {
             result_len,
         });
         self.queried[id as usize] = true;
-        self.core_status[id as usize] = if result_len >= self.config.min_pts {
-            CoreStatus::Core
-        } else {
-            CoreStatus::NonCore
-        };
+        // Only candidates can hold core status: the sampled mode's density
+        // estimate lives on the subsample, so the discovered core set (and
+        // the `ClusterModel` built from it) is a subset of the candidates.
+        self.core_status[id as usize] =
+            if result_len >= self.config.min_pts && self.is_candidate(id) {
+                CoreStatus::Core
+            } else {
+                CoreStatus::NonCore
+            };
     }
 
     /// Memoized core test (issues a counting query on first use).
+    /// Non-candidates answer false without a query.
     pub fn is_core(&mut self, id: PointId) -> bool {
+        if !self.is_candidate(id) {
+            return false;
+        }
         match self.core_status[id as usize] {
             CoreStatus::Core => true,
             CoreStatus::NonCore => false,

@@ -43,6 +43,14 @@ pub struct DbsvecStats {
     /// (`round(violation · 1e6)`): integer so the stats stay `Eq`/replayable.
     /// Warm starts drive the per-training violation toward 0.
     pub initial_kkt_violation_e6: u64,
+    /// Core candidates drawn by the sampled fit mode (0 on exact fits,
+    /// which place every point in candidacy without drawing).
+    pub sampled_candidates: u64,
+    /// Unsampled points examined by the attachment pass (0 on exact fits).
+    pub attachment_candidates: u64,
+    /// Attachment candidates that joined the cluster of a discovered core
+    /// within ε; the remainder were confirmed as noise.
+    pub attached_points: u64,
 }
 
 impl DbsvecStats {

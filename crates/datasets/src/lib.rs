@@ -33,7 +33,7 @@ pub use classic::{spirals, two_moons};
 pub use gaussian::{gaussian_mixture, grid_gaussians};
 pub use normalize::normalize_to_domain;
 pub use plot::{svg_scatter, write_svg_scatter};
-pub use randomwalk::{random_walk_clusters, RandomWalkConfig};
+pub use randomwalk::{random_walk_clusters, RandomWalkConfig, RandomWalkStream};
 pub use shapes::{chameleon_t48k, chameleon_t710k, Scene, Shape};
 pub use standins::{OpenDataset, StandIn};
 

@@ -55,6 +55,96 @@ impl RandomWalkConfig {
     }
 }
 
+/// Streaming form of [`random_walk_clusters`]: emits the same point
+/// sequence one at a time, holding only the walker states and one scratch
+/// row — O(clusters · d) memory regardless of `n`. The sampled-fit
+/// scalability sweep uses it to materialize 10⁶⁺-point sets straight into
+/// a [`PointSet`] without ever building the side `truth` vector.
+///
+/// The batch generator is implemented on top of this stream, so the two
+/// are bit-identical per `(config, seed)` by construction.
+#[derive(Clone, Debug)]
+pub struct RandomWalkStream {
+    rng: SplitMix64,
+    config: RandomWalkConfig,
+    walkers: Vec<Vec<f64>>,
+    scratch: Vec<f64>,
+    emitted: usize,
+}
+
+impl RandomWalkStream {
+    /// Starts the stream described by `config`, deterministically from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `dims == 0`, `clusters == 0`, or
+    /// `noise_fraction` is outside `[0, 1]`.
+    pub fn new(config: &RandomWalkConfig, seed: u64) -> Self {
+        assert!(config.n > 0, "n must be positive");
+        assert!(config.dims > 0, "dims must be positive");
+        assert!(config.clusters > 0, "clusters must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.noise_fraction),
+            "noise fraction must be in [0, 1]"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let d = config.dims;
+        // Walker start positions, kept in the interior so walks rarely
+        // clamp.
+        let walkers: Vec<Vec<f64>> = (0..config.clusters)
+            .map(|_| {
+                (0..d)
+                    .map(|_| rng.next_f64_range(0.1 * config.domain, 0.9 * config.domain))
+                    .collect()
+            })
+            .collect();
+        Self {
+            rng,
+            config: *config,
+            walkers,
+            scratch: vec![0.0; d],
+            emitted: 0,
+        }
+    }
+
+    /// Emits the next point, or `None` once `config.n` points are out.
+    /// The coordinate slice borrows the stream's scratch row — copy it
+    /// before the next call. The second element is the ground-truth label
+    /// (`None` for background noise).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(&[f64], Option<u32>)> {
+        if self.emitted >= self.config.n {
+            return None;
+        }
+        self.emitted += 1;
+        let step = self.config.step_fraction * self.config.domain;
+        if self.rng.next_f64() < self.config.noise_fraction {
+            for x in &mut self.scratch {
+                *x = self.rng.next_f64_range(0.0, self.config.domain);
+            }
+            Some((&self.scratch, None))
+        } else {
+            let w = self.rng.next_below(self.config.clusters as u64) as usize;
+            for x in self.walkers[w].iter_mut() {
+                *x = (*x + self.rng.next_f64_range(-step, step)).clamp(0.0, self.config.domain);
+            }
+            self.scratch.copy_from_slice(&self.walkers[w]);
+            Some((&self.scratch, Some(w as u32)))
+        }
+    }
+
+    /// Drains the stream into a bare [`PointSet`], dropping the truth
+    /// labels — the memory-lean path for scalability workloads.
+    pub fn collect_points(mut self) -> PointSet {
+        let mut points = PointSet::with_capacity(self.config.dims, self.config.n);
+        while let Some((p, _)) = self.next() {
+            points.push(p);
+        }
+        points
+    }
+}
+
 /// Generates the dataset described by `config`, deterministically from
 /// `seed`.
 ///
@@ -63,44 +153,12 @@ impl RandomWalkConfig {
 /// Panics if `n == 0`, `dims == 0`, `clusters == 0`, or `noise_fraction`
 /// is outside `[0, 1]`.
 pub fn random_walk_clusters(config: &RandomWalkConfig, seed: u64) -> Dataset {
-    assert!(config.n > 0, "n must be positive");
-    assert!(config.dims > 0, "dims must be positive");
-    assert!(config.clusters > 0, "clusters must be positive");
-    assert!(
-        (0.0..=1.0).contains(&config.noise_fraction),
-        "noise fraction must be in [0, 1]"
-    );
-    let mut rng = SplitMix64::new(seed);
-    let d = config.dims;
-    let step = config.step_fraction * config.domain;
-
-    // Walker start positions, kept in the interior so walks rarely clamp.
-    let mut walkers: Vec<Vec<f64>> = (0..config.clusters)
-        .map(|_| {
-            (0..d)
-                .map(|_| rng.next_f64_range(0.1 * config.domain, 0.9 * config.domain))
-                .collect()
-        })
-        .collect();
-
-    let mut points = PointSet::with_capacity(d, config.n);
+    let mut stream = RandomWalkStream::new(config, seed);
+    let mut points = PointSet::with_capacity(config.dims, config.n);
     let mut truth = Vec::with_capacity(config.n);
-    let mut scratch = vec![0.0; d];
-    for _ in 0..config.n {
-        if rng.next_f64() < config.noise_fraction {
-            for x in &mut scratch {
-                *x = rng.next_f64_range(0.0, config.domain);
-            }
-            points.push(&scratch);
-            truth.push(None);
-        } else {
-            let w = rng.next_below(config.clusters as u64) as usize;
-            for x in walkers[w].iter_mut() {
-                *x = (*x + rng.next_f64_range(-step, step)).clamp(0.0, config.domain);
-            }
-            points.push(&walkers[w]);
-            truth.push(Some(w as u32));
-        }
+    while let Some((p, label)) = stream.next() {
+        points.push(p);
+        truth.push(label);
     }
     Dataset { points, truth }
 }
@@ -180,6 +238,24 @@ mod tests {
         assert!(
             mean_nn < 1000.0,
             "cluster too sparse: mean NN distance {mean_nn}"
+        );
+    }
+
+    #[test]
+    fn stream_is_bit_identical_to_the_batch_generator() {
+        let config = RandomWalkConfig::paper_default(3000, 5);
+        let batch = random_walk_clusters(&config, 9);
+        let mut stream = RandomWalkStream::new(&config, 9);
+        let mut i = 0u32;
+        while let Some((p, label)) = stream.next() {
+            assert_eq!(p, batch.points.point(i), "point {i} diverged");
+            assert_eq!(label, batch.truth[i as usize], "label {i} diverged");
+            i += 1;
+        }
+        assert_eq!(i as usize, batch.len(), "stream ended early");
+        assert_eq!(
+            RandomWalkStream::new(&config, 9).collect_points(),
+            batch.points
         );
     }
 

@@ -158,6 +158,88 @@ impl QualityBaseline {
     }
 }
 
+/// The subsampling discipline of a sampled fit, as persisted metadata.
+///
+/// Mirrors `dbsvec_core::SamplingMode` minus the `Exact` arm: an exact
+/// fit simply carries no [`SamplingInfo`] at all.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SampledMode {
+    /// Independent Bernoulli draw: each point was a core candidate with
+    /// probability `rate`.
+    Uniform {
+        /// Per-point inclusion probability in (0, 1].
+        rate: f64,
+    },
+    /// Greedy farthest-first (k-center) draw of `m` candidates.
+    KCenter {
+        /// The candidate budget.
+        m: u64,
+    },
+}
+
+/// How the fit that produced this artifact drew its core-candidate
+/// subsample.
+///
+/// Attached by sampled fits so a served model can report its provenance
+/// (quality expectations differ between an exact model and one fitted on
+/// a 5% subsample); exact fits and pre-v3 snapshots carry `None`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SamplingInfo {
+    /// The draw discipline and its parameter.
+    pub mode: SampledMode,
+    /// Seed of the SplitMix64 stream that made the draw.
+    pub seed: u64,
+    /// Candidates the draw produced. `0` means the draw collapsed to
+    /// full coverage (e.g. uniform at rate 1.0) and the fit took the
+    /// exact path.
+    pub candidates: u64,
+    /// Points in the training set the fit saw.
+    pub total: u64,
+}
+
+impl SamplingInfo {
+    /// Consistency of the persisted metadata (the snapshot decoder
+    /// surfaces failures as semantic corruption).
+    pub fn validate(&self) -> Result<(), String> {
+        match self.mode {
+            SampledMode::Uniform { rate } => {
+                if !(rate.is_finite() && rate > 0.0 && rate <= 1.0) {
+                    return Err(format!("sampling rate must be in (0, 1], got {rate}"));
+                }
+            }
+            SampledMode::KCenter { m } => {
+                if m == 0 {
+                    return Err("k-center sampling budget must be at least 1".to_string());
+                }
+            }
+        }
+        if self.candidates > self.total {
+            return Err(format!(
+                "sampling drew {} candidates from {} points",
+                self.candidates, self.total
+            ));
+        }
+        Ok(())
+    }
+
+    /// One-line human description, e.g. `uniform rate 0.05 (seed 7), 4983
+    /// of 100000 candidates` — the health and serve summaries print this.
+    pub fn describe(&self) -> String {
+        let mode = match self.mode {
+            SampledMode::Uniform { rate } => format!("uniform rate {rate}"),
+            SampledMode::KCenter { m } => format!("k-center m {m}"),
+        };
+        if self.candidates == 0 {
+            format!("{mode} (seed {}), full coverage", self.seed)
+        } else {
+            format!(
+                "{mode} (seed {}), {} of {} candidates",
+                self.seed, self.candidates, self.total
+            )
+        }
+    }
+}
+
 /// A fitted DBSVEC model in persistable form.
 ///
 /// Produced by [`ModelArtifact::from_fit`], written and read by
@@ -179,6 +261,9 @@ pub struct ModelArtifact {
     pub boundaries: Option<Vec<ClusterBoundary>>,
     /// Optional fit-time quality baseline for serve-time drift detection.
     pub quality: Option<QualityBaseline>,
+    /// How the fit drew its core-candidate subsample (`None` on exact
+    /// fits).
+    pub sampling: Option<SamplingInfo>,
 }
 
 impl ModelArtifact {
@@ -200,7 +285,14 @@ impl ModelArtifact {
             core_labels: model.core_labels().to_vec(),
             boundaries: None,
             quality: None,
+            sampling: None,
         })
+    }
+
+    /// Attaches sampled-fit provenance metadata.
+    pub fn with_sampling(mut self, info: SamplingInfo) -> Self {
+        self.sampling = Some(info);
+        self
     }
 
     /// Trains one SVDD per cluster over the full training set and attaches
@@ -382,6 +474,9 @@ impl ModelArtifact {
         if let Some(q) = &self.quality {
             q.validate(self.num_clusters)?;
         }
+        if let Some(s) = &self.sampling {
+            s.validate()?;
+        }
         Ok(())
     }
 }
@@ -532,6 +627,45 @@ mod tests {
         );
         assert!(margin_ticks(-0.5) < margin_ticks(0.0));
         assert!(margin_ticks(0.5) > margin_ticks(0.0));
+    }
+
+    #[test]
+    fn sampling_metadata_validates_and_describes() {
+        let (ps, result, eps, min_pts) = two_blob_fit();
+        let artifact =
+            ModelArtifact::from_fit(&ps, result.labels(), result.core_points(), eps, min_pts)
+                .unwrap();
+        assert!(artifact.sampling.is_none(), "exact fits carry no metadata");
+
+        let info = SamplingInfo {
+            mode: SampledMode::Uniform { rate: 0.25 },
+            seed: 7,
+            candidates: 20,
+            total: 80,
+        };
+        let sampled = artifact.clone().with_sampling(info);
+        sampled.validate().expect("sampled metadata validates");
+        assert_eq!(
+            info.describe(),
+            "uniform rate 0.25 (seed 7), 20 of 80 candidates"
+        );
+        let full = SamplingInfo {
+            mode: SampledMode::KCenter { m: 99 },
+            seed: 1,
+            candidates: 0,
+            total: 80,
+        };
+        assert_eq!(full.describe(), "k-center m 99 (seed 1), full coverage");
+
+        let mut bad = sampled.clone();
+        bad.sampling.as_mut().unwrap().mode = SampledMode::Uniform { rate: 1.5 };
+        assert!(bad.validate().is_err());
+        let mut bad = sampled.clone();
+        bad.sampling.as_mut().unwrap().mode = SampledMode::KCenter { m: 0 };
+        assert!(bad.validate().is_err());
+        let mut bad = sampled;
+        bad.sampling.as_mut().unwrap().candidates = 81;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

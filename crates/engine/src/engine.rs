@@ -52,7 +52,7 @@ use dbsvec_geometry::{squared_euclidean, PointSet};
 use dbsvec_index::{OwnedKdTree, RangeIndex};
 use dbsvec_obs::{Event, Histogram, NoopObserver, Observer};
 
-use crate::artifact::{ClusterBoundary, ModelArtifact, QualityBaseline};
+use crate::artifact::{ClusterBoundary, ModelArtifact, QualityBaseline, SamplingInfo};
 use crate::metrics::EngineMetrics;
 use crate::monitor::{DriftSignals, MonitorConfig, QualityMonitor, WindowReport};
 
@@ -182,6 +182,10 @@ pub struct HealthSnapshot {
     /// completed window. `None` from [`Engine::health`], or when the
     /// monitor has no baseline or no completed window yet.
     pub drift: Option<DriftSignals>,
+    /// Provenance of a sampled fit (`None` when the model was fitted
+    /// exactly) — quality expectations differ for a model discovered
+    /// from a core-candidate subsample.
+    pub sampling: Option<SamplingInfo>,
 }
 
 /// A buffered (not-yet-core) observation and its tracked neighbor count.
@@ -280,6 +284,10 @@ pub struct Engine {
     /// cluster ids). A [`QualityMonitor`] keeps its own copy, so drift is
     /// still scored against the original fit after promotions.
     quality: Option<QualityBaseline>,
+    /// Sampled-fit provenance; survives topology changes (unlike the
+    /// boundaries and baseline, it describes how the fit was *made*, not
+    /// the current topology).
+    sampling: Option<SamplingInfo>,
     config: EngineConfig,
     initial_cores: usize,
     stats: EngineStats,
@@ -379,6 +387,7 @@ impl Engine {
             tracked,
             boundaries: artifact.boundaries.clone(),
             quality: artifact.quality.clone(),
+            sampling: artifact.sampling,
             config,
             initial_cores: artifact.cores.len(),
             stats: EngineStats::default(),
@@ -437,6 +446,11 @@ impl Engine {
         self.quality.as_ref()
     }
 
+    /// Provenance of a sampled fit, if the loaded model carried it.
+    pub fn sampling(&self) -> Option<SamplingInfo> {
+        self.sampling
+    }
+
     /// Builds a [`QualityMonitor`] for this engine's model, scoring
     /// against the fit-time baseline when one is still held (degraded,
     /// staleness-only mode otherwise).
@@ -473,6 +487,7 @@ impl Engine {
             buffered_points: self.buffered.len(),
             tree_rebuilds: self.stats.tree_rebuilds,
             drift: None,
+            sampling: self.sampling,
         }
     }
 
@@ -869,6 +884,7 @@ impl Engine {
             core_labels,
             boundaries: self.boundaries.clone(),
             quality: self.quality.clone(),
+            sampling: self.sampling,
         }
     }
 
@@ -1251,6 +1267,7 @@ mod tests {
             core_labels: labels,
             boundaries: None,
             quality: None,
+            sampling: None,
         }
     }
 
@@ -1338,6 +1355,7 @@ mod tests {
             core_labels: vec![0, 0, 1, 1],
             boundaries: None,
             quality: None,
+            sampling: None,
         };
         let mut engine = Engine::new(&artifact);
         assert_eq!(engine.num_clusters(), 2);

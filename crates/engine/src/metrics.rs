@@ -458,6 +458,7 @@ mod tests {
             core_labels: labels,
             boundaries: None,
             quality: None,
+            sampling: None,
         }
     }
 
@@ -600,6 +601,7 @@ mod tests {
             core_labels: vec![0; 5],
             boundaries: None,
             quality: None,
+            sampling: None,
         };
         let points = cores;
         let clustering = dbsvec_core::Clustering::from_assignments(vec![Some(0); 5]);

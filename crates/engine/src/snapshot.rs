@@ -8,7 +8,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  89 44 42 53 4D 0D 0A 1A  ("\x89DBSM\r\n\x1a")
-//! 8       4     format version (u32)            currently 2 (reads 1 too)
+//! 8       4     format version (u32)            currently 3 (reads 1 and 2 too)
 //! 12      8     FNV-1a 64 checksum of payload (u64)
 //! 20      ...   payload
 //! ```
@@ -17,7 +17,8 @@
 //!
 //! ```text
 //! u32 dims | u32 core_count | u32 num_clusters | u32 min_pts
-//! f64 eps  | u32 flags (bit 0: boundaries, bit 1: quality baseline)
+//! f64 eps  | u32 flags (bit 0: boundaries, bit 1: quality baseline,
+//!                       bit 2: sampling metadata)
 //! f64 core coords   × core_count·dims
 //! u32 core labels   × core_count
 //! [flags bit 0] u32 boundary_count, then per boundary:
@@ -30,6 +31,10 @@
 //!     u32 occupancy_len | u64 occupancy × occupancy_len
 //!     histogram assign_dist
 //!     u32 margin_present (0/1) | [histogram margin]
+//! [flags bit 2, version ≥ 3] sampling metadata:
+//!     u32 mode_tag (0: uniform, 1: k-center)
+//!     [tag 0] f64 rate | [tag 1] u64 m
+//!     u64 seed | u64 candidates | u64 total
 //! ```
 //!
 //! where `histogram` is the sparse-bucket encoding of a log-linear
@@ -40,10 +45,11 @@
 //! u64 sum | u64 min | u64 max      (all zero when entry_count = 0)
 //! ```
 //!
-//! Version 1 snapshots are identical minus flag bit 1 and the baseline
-//! section; this build still reads them (the artifact simply loads with
-//! `quality: None`, so serving falls back to staleness-only monitoring)
-//! but always writes version 2.
+//! Older versions nest: version 2 is identical minus flag bit 2 and the
+//! sampling section, version 1 additionally lacks flag bit 1 and the
+//! baseline section. This build still reads both (the artifact simply
+//! loads with `quality: None` / `sampling: None`) but always writes
+//! version 3.
 //!
 //! The magic borrows PNG's trick: a high-bit byte first (catches 7-bit
 //! transfer), `\r\n` (catches newline translation), and ^Z (stops `type`
@@ -61,13 +67,13 @@ use dbsvec_geometry::PointSet;
 
 use dbsvec_obs::Histogram;
 
-use crate::artifact::{ClusterBoundary, ModelArtifact, QualityBaseline};
+use crate::artifact::{ClusterBoundary, ModelArtifact, QualityBaseline, SampledMode, SamplingInfo};
 
 /// File signature of a `.dbm` snapshot.
 pub const MAGIC: [u8; 8] = [0x89, b'D', b'B', b'S', b'M', b'\r', b'\n', 0x1a];
 
 /// The format version this build writes.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// The oldest format version this build still reads.
 pub const MIN_READ_VERSION: u32 = 1;
@@ -200,6 +206,9 @@ pub fn encode(artifact: &ModelArtifact) -> Vec<u8> {
     if artifact.quality.is_some() {
         flags |= 2;
     }
+    if artifact.sampling.is_some() {
+        flags |= 4;
+    }
     payload.u32(flags);
     payload.f64_slice(artifact.cores.as_flat());
     for &label in &artifact.core_labels {
@@ -232,6 +241,21 @@ pub fn encode(artifact: &ModelArtifact) -> Vec<u8> {
             }
             None => payload.u32(0),
         }
+    }
+    if let Some(s) = &artifact.sampling {
+        match s.mode {
+            SampledMode::Uniform { rate } => {
+                payload.u32(0);
+                payload.f64(rate);
+            }
+            SampledMode::KCenter { m } => {
+                payload.u32(1);
+                payload.u64(m);
+            }
+        }
+        payload.u64(s.seed);
+        payload.u64(s.candidates);
+        payload.u64(s.total);
     }
 
     let mut out = Vec::with_capacity(HEADER_LEN + payload.buf.len());
@@ -346,7 +370,11 @@ pub fn decode(bytes: &[u8]) -> Result<ModelArtifact, SnapshotError> {
     if dims == 0 {
         return Err(SnapshotError::Invalid("zero dimensions".to_string()));
     }
-    let known_flags = if version >= 2 { 0b11 } else { 0b1 };
+    let known_flags = match version {
+        1 => 0b1,
+        2 => 0b11,
+        _ => 0b111,
+    };
     if flags & !known_flags != 0 {
         return Err(SnapshotError::Invalid(format!(
             "unknown flag bits {flags:#x} for version {version}"
@@ -410,6 +438,25 @@ pub fn decode(bytes: &[u8]) -> Result<ModelArtifact, SnapshotError> {
     } else {
         None
     };
+    let sampling = if flags & 4 != 0 {
+        let mode = match r.u32()? {
+            0 => SampledMode::Uniform { rate: r.f64()? },
+            1 => SampledMode::KCenter { m: r.u64()? },
+            other => {
+                return Err(SnapshotError::Invalid(format!(
+                    "bad sampling mode tag {other}"
+                )))
+            }
+        };
+        Some(SamplingInfo {
+            mode,
+            seed: r.u64()?,
+            candidates: r.u64()?,
+            total: r.u64()?,
+        })
+    } else {
+        None
+    };
     if r.remaining() != 0 {
         return Err(SnapshotError::Invalid(format!(
             "{} trailing bytes after payload",
@@ -425,6 +472,7 @@ pub fn decode(bytes: &[u8]) -> Result<ModelArtifact, SnapshotError> {
         core_labels,
         boundaries,
         quality,
+        sampling,
     };
     artifact.validate().map_err(SnapshotError::Invalid)?;
     Ok(artifact)
@@ -458,6 +506,7 @@ mod tests {
             core_labels: vec![0, 0, 1],
             boundaries: None,
             quality: None,
+            sampling: None,
         }
     }
 
@@ -468,6 +517,52 @@ mod tests {
         let b = decode(&bytes).expect("own encoding decodes");
         assert_eq!(a, b);
         assert_eq!(bytes, encode(&b), "save→load→save must be byte-stable");
+    }
+
+    #[test]
+    fn sampling_metadata_round_trips() {
+        for mode in [
+            SampledMode::Uniform { rate: 0.05 },
+            SampledMode::KCenter { m: 2 },
+        ] {
+            let a = tiny_artifact().with_sampling(SamplingInfo {
+                mode,
+                seed: 42,
+                candidates: 2,
+                total: 3,
+            });
+            let bytes = encode(&a);
+            let b = decode(&bytes).expect("sampled encoding decodes");
+            assert_eq!(a, b);
+            assert_eq!(bytes, encode(&b));
+        }
+    }
+
+    #[test]
+    fn reads_version_2_snapshots_without_sampling() {
+        // A v2 snapshot is byte-identical to a v3 one that carries no
+        // sampling section; only the header version differs.
+        let a = tiny_artifact();
+        let mut bytes = encode(&a);
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let b = decode(&bytes).expect("v2 snapshot still reads");
+        assert_eq!(a, b);
+        assert!(b.sampling.is_none());
+    }
+
+    #[test]
+    fn rejects_sampling_flag_on_old_versions() {
+        // Flag bit 2 did not exist before v3: a v2 header carrying it is
+        // corruption, not a readable snapshot.
+        let a = tiny_artifact().with_sampling(SamplingInfo {
+            mode: SampledMode::Uniform { rate: 0.5 },
+            seed: 1,
+            candidates: 1,
+            total: 3,
+        });
+        let mut bytes = encode(&a);
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(SnapshotError::Invalid(_))));
     }
 
     #[test]

@@ -206,6 +206,7 @@ fn staleness_counts_removals_demotions_and_splits() {
         core_labels: labels,
         boundaries: None,
         quality: None,
+        sampling: None,
     };
     let mut engine = Engine::new(&artifact);
     assert_eq!(engine.staleness(), 0.0);

@@ -5,24 +5,33 @@
 use dbsvec_core::{Dbsvec, DbsvecConfig};
 use dbsvec_datasets::gaussian_mixture;
 use dbsvec_engine::{
-    snapshot, Engine, ModelArtifact, QualityBaseline, SnapshotError, FORMAT_VERSION, MAGIC,
+    snapshot, Engine, ModelArtifact, QualityBaseline, SampledMode, SamplingInfo, SnapshotError,
+    FORMAT_VERSION, MAGIC,
 };
 use dbsvec_geometry::PointSet;
 use dbsvec_obs::Histogram;
 
-/// Encoding of `tiny_artifact()` as produced by format version 2 (no
-/// baseline: byte-identical to the version-1 encoding except the version
-/// field). If this test breaks, either the format changed silently (bump
-/// `FORMAT_VERSION`!) or the encoder regressed.
-const GOLDEN_HEX: &str = "894442534d0d0a1a02000000a731e52b2f93af2b\
+/// Encoding of `tiny_artifact()` as produced by format version 3 (no
+/// baseline, no sampling: byte-identical to the version-1 and version-2
+/// encodings except the version field). If this test breaks, either the
+/// format changed silently (bump `FORMAT_VERSION`!) or the encoder
+/// regressed.
+const GOLDEN_HEX: &str = "894442534d0d0a1a03000000a731e52b2f93af2b\
                           01000000020000000200000002000000000000000000f03f00000000\
                           0000000000000000000000000000f03f\
                           0000000001000000";
 
-/// The same artifact as written by format version 1 (the previous
-/// release): identical payload and checksum, version field 1. Pins
-/// backward compatibility — this build must keep decoding it.
+/// The same artifact as written by format version 1 (two releases back):
+/// identical payload and checksum, version field 1. Pins backward
+/// compatibility — this build must keep decoding it.
 const GOLDEN_V1_HEX: &str = "894442534d0d0a1a01000000a731e52b2f93af2b\
+                             01000000020000000200000002000000000000000000f03f00000000\
+                             0000000000000000000000000000f03f\
+                             0000000001000000";
+
+/// The same artifact as written by format version 2 (the previous
+/// release): identical payload and checksum, version field 2.
+const GOLDEN_V2_HEX: &str = "894442534d0d0a1a02000000a731e52b2f93af2b\
                              01000000020000000200000002000000000000000000f03f00000000\
                              0000000000000000000000000000f03f\
                              0000000001000000";
@@ -30,7 +39,7 @@ const GOLDEN_V1_HEX: &str = "894442534d0d0a1a01000000a731e52b2f93af2b\
 /// Encoding of `tiny_artifact()` + `tiny_quality()`: pins the baseline
 /// section's byte layout (flags bit 1, counts, occupancy, sparse
 /// histogram, margin-present flag).
-const GOLDEN_QUALITY_HEX: &str = "894442534d0d0a1a02000000aa554d7ab6ee0588\
+const GOLDEN_QUALITY_HEX: &str = "894442534d0d0a1a03000000aa554d7ab6ee0588\
                                   01000000020000000200000002000000000000000000f03f02000000\
                                   0000000000000000000000000000f03f\
                                   0000000001000000\
@@ -49,6 +58,7 @@ fn tiny_artifact() -> ModelArtifact {
         core_labels: vec![0, 1],
         boundaries: None,
         quality: None,
+        sampling: None,
     }
 }
 
@@ -99,6 +109,37 @@ fn v1_snapshots_still_load_and_upgrade_on_save() {
     // Re-encoding writes the current version; with no baseline the payload
     // (and thus the checksum) is unchanged.
     assert_eq!(snapshot::encode(&artifact), golden_bytes());
+}
+
+#[test]
+fn v2_snapshots_still_load_and_upgrade_on_save() {
+    let v2 = from_hex(GOLDEN_V2_HEX);
+    let artifact = snapshot::decode(&v2).expect("version-2 snapshot decodes");
+    assert_eq!(artifact, tiny_artifact());
+    assert_eq!(artifact.sampling, None, "v2 has no sampling to load");
+    assert_eq!(snapshot::encode(&artifact), golden_bytes());
+}
+
+#[test]
+fn sampled_fit_metadata_round_trips_through_the_format() {
+    let artifact = tiny_artifact().with_sampling(SamplingInfo {
+        mode: SampledMode::Uniform { rate: 0.5 },
+        seed: 20190401,
+        candidates: 1,
+        total: 2,
+    });
+    let bytes = snapshot::encode(&artifact);
+    let restored = snapshot::decode(&bytes).expect("sampled snapshot decodes");
+    assert_eq!(restored, artifact);
+    assert_eq!(snapshot::encode(&restored), bytes);
+    // The sampling section rides behind flag bit 2, which pre-v3 readers
+    // reject rather than misparse.
+    let mut as_v2 = bytes.clone();
+    as_v2[8..12].copy_from_slice(&2u32.to_le_bytes());
+    assert!(matches!(
+        snapshot::decode(&as_v2),
+        Err(SnapshotError::Invalid(_))
+    ));
 }
 
 #[test]

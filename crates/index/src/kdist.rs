@@ -107,6 +107,42 @@ pub fn k_distance_profile_threaded<I: RangeIndex + Sync>(
 ) -> Vec<f64> {
     assert!(k >= 1, "k must be at least 1");
     assert!(sample >= 1, "sample must be at least 1");
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let stride = (n / sample).max(1);
+    let ids: Vec<PointId> = (0..n).step_by(stride).map(|i| i as PointId).collect();
+    k_distance_profile_for_ids(points, index, k, &ids, threads)
+}
+
+/// The sorted (descending) k-distance profile over an explicit id set —
+/// the entry point sampled fits use to derive ε from the drawn subsample
+/// while the exact path keeps its strided default.
+///
+/// Each id's k-th-neighbor search still ranges over the **full** index, so
+/// a candidate subset profiles the same density landscape as the classic
+/// sweep, just evaluated at fewer probes. When `ids` covers every point in
+/// natural order the profile is identical to
+/// [`k_distance_profile`]`(…, sample = n)`, so ε derivation at sampling
+/// rate 1.0 matches the exact fit bit-for-bit.
+///
+/// Threading follows [`k_distance_profile_threaded`]: `0` means all
+/// available cores, `1` (or fewer than 2 ids) takes the sequential path,
+/// and the chunked fan-out is order-preserving, so the result is identical
+/// at every thread count.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn k_distance_profile_for_ids<I: RangeIndex + Sync>(
+    points: &PointSet,
+    index: &I,
+    k: usize,
+    ids: &[PointId],
+    threads: usize,
+) -> Vec<f64> {
+    assert!(k >= 1, "k must be at least 1");
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -114,34 +150,31 @@ pub fn k_distance_profile_threaded<I: RangeIndex + Sync>(
     } else {
         threads
     };
-    let n = points.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let stride = (n / sample).max(1);
-    let ids: Vec<PointId> = (0..n).step_by(stride).map(|i| i as PointId).collect();
-    if threads <= 1 || ids.len() < 2 {
-        return k_distance_profile(points, index, k, sample);
-    }
-    let workers = threads.min(ids.len());
-    let chunk = ids.len().div_ceil(workers);
-    let mut profile: Vec<f64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ids
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    part.iter()
-                        .filter_map(|&id| kth_neighbor_distance(points, index, id, k))
-                        .collect::<Vec<f64>>()
+    let mut profile: Vec<f64> = if threads <= 1 || ids.len() < 2 {
+        ids.iter()
+            .filter_map(|&id| kth_neighbor_distance(points, index, id, k))
+            .collect()
+    } else {
+        let workers = threads.min(ids.len());
+        let chunk = ids.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ids
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .filter_map(|&id| kth_neighbor_distance(points, index, id, k))
+                            .collect::<Vec<f64>>()
+                    })
                 })
-            })
-            .collect();
-        let mut all = Vec::with_capacity(ids.len());
-        for handle in handles {
-            all.extend(handle.join().expect("k-dist worker panicked"));
-        }
-        all
-    });
+                .collect();
+            let mut all = Vec::with_capacity(ids.len());
+            for handle in handles {
+                all.extend(handle.join().expect("k-dist worker panicked"));
+            }
+            all
+        })
+    };
     profile.sort_by(|a, b| b.partial_cmp(a).expect("NaN distance"));
     profile
 }
@@ -282,6 +315,41 @@ mod tests {
         let empty = PointSet::new(2);
         let idx2 = LinearScan::build(&empty);
         assert!(k_distance_profile_threaded(&empty, &idx2, 1, 1, 4).is_empty());
+    }
+
+    #[test]
+    fn full_coverage_id_profile_matches_the_classic_sweep() {
+        // Sampling rate 1.0 must derive the exact fit's ε: profiling every
+        // id in natural order reproduces the strided sweep (stride 1) and
+        // therefore the same knee, at every thread count.
+        let mut ps = PointSet::new(2);
+        for i in 0..70 {
+            ps.push(&[(i % 7) as f64 * 1.2, (i / 7) as f64 * 0.9]);
+        }
+        for i in 0..5 {
+            ps.push(&[300.0 + i as f64 * 50.0, 80.0]);
+        }
+        let idx = LinearScan::build(&ps);
+        let classic = k_distance_profile(&ps, &idx, 4, ps.len());
+        let all_ids: Vec<PointId> = (0..ps.len() as PointId).collect();
+        for threads in [1, 2, 4, 8] {
+            let by_ids = k_distance_profile_for_ids(&ps, &idx, 4, &all_ids, threads);
+            assert_eq!(classic, by_ids, "threads={threads}");
+            assert_eq!(knee_epsilon(&classic), knee_epsilon(&by_ids));
+        }
+    }
+
+    #[test]
+    fn subset_id_profile_probes_only_the_subset() {
+        let ps = line(40, 1.0);
+        let idx = LinearScan::build(&ps);
+        let ids: Vec<PointId> = vec![3, 11, 27];
+        let profile = k_distance_profile_for_ids(&ps, &idx, 2, &ids, 1);
+        assert_eq!(profile.len(), ids.len());
+        // Every probed point still sees the full index: interior spacing 1,
+        // so the 2nd neighbor is at distance 1 for each chosen id.
+        assert!(profile.iter().all(|&d| d == 1.0), "profile {profile:?}");
+        assert!(k_distance_profile_for_ids(&ps, &idx, 2, &[], 4).is_empty());
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub mod traits;
 pub use balltree::BallTree;
 pub use grid::GridIndex;
 pub use kdist::{
-    k_distance_profile, k_distance_profile_threaded, knee_epsilon, kth_neighbor_distance,
+    k_distance_profile, k_distance_profile_for_ids, k_distance_profile_threaded, knee_epsilon,
+    kth_neighbor_distance,
 };
 pub use kdtree::{KdTree, OwnedKdTree};
 pub use linear::LinearScan;

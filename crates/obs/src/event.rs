@@ -123,6 +123,25 @@ pub enum Event {
         /// `true` if confirmed noise, `false` if attached as a border point.
         confirmed: bool,
     },
+    /// A sampled fit drew its core-candidate subsample (fires once, at the
+    /// start of initialization; exact fits never emit it).
+    Sample {
+        /// Candidates drawn.
+        candidates: usize,
+        /// Points in the dataset.
+        total: usize,
+        /// Effective sampling rate `candidates / total` in fixed-point
+        /// microunits (`round(rate · 1e6)`), keeping the event `Eq`.
+        rate_e6: u64,
+    },
+    /// The attachment pass resolved one unsampled point: attached to the
+    /// cluster of its nearest discovered core within ε, or confirmed noise.
+    Attach {
+        /// The point in question.
+        point: u32,
+        /// `true` if the point joined a cluster, `false` for noise.
+        attached: bool,
+    },
     /// The serving engine classified one observation.
     Assign {
         /// `true` if the point landed in a cluster, `false` for noise.
@@ -264,6 +283,8 @@ impl Event {
             Event::ExpansionRound { .. } => "expansion_round",
             Event::Merge { .. } => "merge",
             Event::NoiseVerdict { .. } => "noise_verdict",
+            Event::Sample { .. } => "sample",
+            Event::Attach { .. } => "attach",
             Event::Assign { .. } => "assign",
             Event::Ingest { .. } => "ingest",
             Event::Promote { .. } => "promote",
@@ -316,6 +337,23 @@ mod tests {
             }
             .name(),
             "noise_verdict"
+        );
+        assert_eq!(
+            Event::Sample {
+                candidates: 250,
+                total: 1000,
+                rate_e6: 250_000
+            }
+            .name(),
+            "sample"
+        );
+        assert_eq!(
+            Event::Attach {
+                point: 4,
+                attached: true
+            }
+            .name(),
+            "attach"
         );
         assert_eq!(Event::Assign { hit: true }.name(), "assign");
         assert_eq!(

@@ -83,6 +83,19 @@ pub fn event_to_json(event: &Event) -> Json {
             push("point", Json::UInt(point as u64));
             push("confirmed", Json::Bool(confirmed));
         }
+        Event::Sample {
+            candidates,
+            total,
+            rate_e6,
+        } => {
+            push("candidates", Json::UInt(candidates as u64));
+            push("total", Json::UInt(total as u64));
+            push("rate_e6", Json::UInt(rate_e6));
+        }
+        Event::Attach { point, attached } => {
+            push("point", Json::UInt(point as u64));
+            push("attached", Json::Bool(attached));
+        }
         Event::Assign { hit } => {
             push("hit", Json::Bool(hit));
         }

@@ -46,6 +46,14 @@ pub struct ReplayCounts {
     /// Initial KKT violations in fixed-point microunits, summed over
     /// trainings.
     pub initial_kkt_violation_e6: u64,
+    /// Core candidates drawn by a sampled fit (the `candidates` field of
+    /// [`Event::Sample`]; 0 on exact fits).
+    pub sampled_candidates: u64,
+    /// Unsampled points examined by the attachment pass (count of
+    /// [`Event::Attach`]).
+    pub attachment_candidates: u64,
+    /// Of those, points attached to a cluster (`attached == true`).
+    pub attached_points: u64,
     /// Serving: assignments answered (count of [`Event::Assign`]).
     pub assigns: u64,
     /// Of those, assignments that landed in a cluster (`hit == true`).
@@ -123,6 +131,13 @@ impl ReplayCounts {
                 self.noise_candidates += 1;
                 if *confirmed {
                     self.noise_confirmed += 1;
+                }
+            }
+            Event::Sample { candidates, .. } => self.sampled_candidates += *candidates as u64,
+            Event::Attach { attached, .. } => {
+                self.attachment_candidates += 1;
+                if *attached {
+                    self.attached_points += 1;
                 }
             }
             Event::Assign { hit } => {
@@ -279,6 +294,15 @@ pub fn event_from_json(value: &Json) -> Result<Event, String> {
             point: field_u32(value, "point")?,
             confirmed: field_bool(value, "confirmed")?,
         }),
+        "sample" => Ok(Event::Sample {
+            candidates: field_usize(value, "candidates")?,
+            total: field_usize(value, "total")?,
+            rate_e6: field_u64(value, "rate_e6")?,
+        }),
+        "attach" => Ok(Event::Attach {
+            point: field_u32(value, "point")?,
+            attached: field_bool(value, "attached")?,
+        }),
         "assign" => Ok(Event::Assign {
             hit: field_bool(value, "hit")?,
         }),
@@ -407,6 +431,23 @@ mod tests {
                 point: 10,
                 confirmed: false,
             },
+            Event::Sample {
+                candidates: 120,
+                total: 400,
+                rate_e6: 300_000,
+            },
+            Event::Attach {
+                point: 11,
+                attached: true,
+            },
+            Event::Attach {
+                point: 12,
+                attached: false,
+            },
+            Event::Attach {
+                point: 13,
+                attached: true,
+            },
         ];
         let c = ReplayCounts::from_events(events.iter());
         assert_eq!(c.seeds, 1);
@@ -424,6 +465,9 @@ mod tests {
         assert_eq!(c.merges, 1);
         assert_eq!(c.noise_candidates, 2);
         assert_eq!(c.noise_confirmed, 1);
+        assert_eq!(c.sampled_candidates, 120);
+        assert_eq!(c.attachment_candidates, 3);
+        assert_eq!(c.attached_points, 2);
         assert!((c.theta(20) - 0.1).abs() < 1e-12);
     }
 
@@ -548,6 +592,15 @@ mod tests {
             Event::NoiseVerdict {
                 point: 11,
                 confirmed: false,
+            },
+            Event::Sample {
+                candidates: 64,
+                total: 256,
+                rate_e6: 250_000,
+            },
+            Event::Attach {
+                point: 19,
+                attached: false,
             },
             Event::Remove {
                 core: true,

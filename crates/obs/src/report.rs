@@ -112,6 +112,14 @@ impl fmt::Display for ProfileReport {
             "noise candidates {} | confirmed noise {}",
             c.noise_candidates, c.noise_confirmed
         )?;
+        if c.sampled_candidates + c.attachment_candidates > 0 {
+            writeln!(f)?;
+            write!(
+                f,
+                "sampled candidates {} | attachment candidates {} | attached {}",
+                c.sampled_candidates, c.attachment_candidates, c.attached_points
+            )?;
+        }
         if c.assigns + c.ingests + c.promotions + c.snapshot_writes + c.snapshot_loads > 0 {
             writeln!(f)?;
             write!(
@@ -225,6 +233,33 @@ mod tests {
         assert!(
             monitored.contains("quality windows 1 | drift alerts 1"),
             "missing quality line in:\n{monitored}"
+        );
+    }
+
+    #[test]
+    fn sampling_line_appears_only_on_sampled_fits() {
+        let mut rec = RecordingObserver::new();
+        rec.span_enter(Phase::Init);
+        rec.span_exit(Phase::Init);
+        let exact = ProfileReport::from_recording(&rec, 4).to_string();
+        assert!(
+            !exact.contains("sampled candidates"),
+            "unexpected:\n{exact}"
+        );
+
+        rec.event(&Event::Sample {
+            candidates: 2,
+            total: 4,
+            rate_e6: 500_000,
+        });
+        rec.event(&Event::Attach {
+            point: 3,
+            attached: true,
+        });
+        let sampled = ProfileReport::from_recording(&rec, 4).to_string();
+        assert!(
+            sampled.contains("sampled candidates 2 | attachment candidates 1 | attached 1"),
+            "missing sampling line in:\n{sampled}"
         );
     }
 

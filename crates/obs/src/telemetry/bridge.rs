@@ -31,6 +31,9 @@ struct EventCounters {
     iterations_exhausted: CounterId,
     shrunk_variables: CounterId,
     initial_kkt_violation_e6: CounterId,
+    sampled_candidates: CounterId,
+    attachment_candidates: CounterId,
+    attached_points: CounterId,
     assigns: CounterId,
     assign_hits: CounterId,
     ingests: CounterId,
@@ -135,6 +138,21 @@ impl MetricsObserver {
                 &mut reg,
                 "dbsvec_initial_kkt_violation_e6_total",
                 "Initial KKT violations in microunits, summed over trainings.",
+            ),
+            sampled_candidates: c(
+                &mut reg,
+                "dbsvec_sampled_candidates_total",
+                "Core candidates drawn by sampled fits.",
+            ),
+            attachment_candidates: c(
+                &mut reg,
+                "dbsvec_attachment_candidates_total",
+                "Unsampled points examined by the attachment pass.",
+            ),
+            attached_points: c(
+                &mut reg,
+                "dbsvec_attached_points_total",
+                "Attachment candidates that joined a cluster.",
             ),
             assigns: c(&mut reg, "dbsvec_assigns_total", "Assignments answered."),
             assign_hits: c(
@@ -313,6 +331,15 @@ impl Observer for MetricsObserver {
                     self.registry.inc(c.noise_confirmed);
                 }
             }
+            Event::Sample { candidates, .. } => {
+                self.registry.add(c.sampled_candidates, *candidates as u64)
+            }
+            Event::Attach { attached, .. } => {
+                self.registry.inc(c.attachment_candidates);
+                if *attached {
+                    self.registry.inc(c.attached_points);
+                }
+            }
             Event::Assign { hit } => {
                 self.registry.inc(c.assigns);
                 if *hit {
@@ -370,6 +397,19 @@ mod tests {
         });
         m.event(&Event::Assign { hit: true });
         m.event(&Event::Assign { hit: false });
+        m.event(&Event::Sample {
+            candidates: 30,
+            total: 100,
+            rate_e6: 300_000,
+        });
+        m.event(&Event::Attach {
+            point: 5,
+            attached: true,
+        });
+        m.event(&Event::Attach {
+            point: 6,
+            attached: false,
+        });
         m.event(&Event::SmoSolve {
             target_size: 40,
             iterations: 17,
@@ -399,6 +439,15 @@ mod tests {
             Some(250)
         );
         assert_eq!(reg.gauge_value("dbsvec_max_target_size"), Some(40.0));
+        assert_eq!(
+            reg.counter_value("dbsvec_sampled_candidates_total"),
+            Some(30)
+        );
+        assert_eq!(
+            reg.counter_value("dbsvec_attachment_candidates_total"),
+            Some(2)
+        );
+        assert_eq!(reg.counter_value("dbsvec_attached_points_total"), Some(1));
     }
 
     #[test]

@@ -552,7 +552,7 @@ impl Router {
             });
         }
         let h = agg.expect("a model always has at least one shard");
-        Ok(Json::obj([
+        let mut fields = vec![
             ("model", Json::str(name)),
             ("shards", Json::UInt(entry.shards.len() as u64)),
             ("dirty_shards", Json::UInt(dirty)),
@@ -562,7 +562,11 @@ impl Router {
             ("tail_length", Json::UInt(h.tail_length as u64)),
             ("staleness", Json::Num(h.staleness)),
             ("refit_recommended", Json::Bool(h.refit_recommended)),
-        ]))
+        ];
+        if let Some(s) = h.sampling {
+            fields.push(("sampling", Json::Str(s.describe())));
+        }
+        Ok(Json::obj(fields))
     }
 
     /// Builds the aggregate metrics registry across every shard of every
@@ -687,6 +691,7 @@ mod tests {
             core_labels: labels,
             boundaries: None,
             quality: None,
+            sampling: None,
         }
     }
 

@@ -33,6 +33,7 @@ fn artifact() -> ModelArtifact {
         core_labels: labels,
         boundaries: None,
         quality: None,
+        sampling: None,
     }
 }
 

@@ -57,5 +57,8 @@ pub use dbsvec_obs as obs;
 pub use dbsvec_server as server;
 pub use dbsvec_svdd as svdd;
 
-pub use dbsvec_core::{dbsvec, Dbsvec, DbsvecConfig, ParallelConfig};
+pub use dbsvec_core::{
+    dbsvec, Dbsvec, DbsvecConfig, ParallelConfig, SamplingConfig, SamplingMode,
+    DEFAULT_SAMPLING_SEED,
+};
 pub use dbsvec_geometry::{PointId, PointSet};

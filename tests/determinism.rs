@@ -138,6 +138,7 @@ fn two_grid_artifact() -> ModelArtifact {
         core_labels,
         boundaries: None,
         quality: None,
+        sampling: None,
     }
 }
 

@@ -84,6 +84,7 @@ fn make_artifact(cores: Vec<(Vec<f64>, u32)>, eps: f64, min_pts: u32) -> ModelAr
         core_labels: labels,
         boundaries: None,
         quality: None,
+        sampling: None,
     };
     artifact.validate().expect("scenario artifact validates");
     artifact

@@ -320,6 +320,115 @@ fn dbsvec_noise_verification_never_attaches_beyond_eps_at_any_thread_count() {
     }
 }
 
+/// Sampled-mode invariant: restricting core *candidacy* to a subsample
+/// never weakens core *density* — every reported core still has MinPts
+/// ε-neighbors counted by brute force over the full point set (candidates
+/// gate who may become a core; neighborhoods are always exact).
+#[test]
+fn sampled_core_points_still_meet_min_pts_by_brute_force() {
+    let threads = test_threads();
+    let mut rng = SplitMix64::new(0xF012);
+    for round in 0..48u64 {
+        let ps = point_set(&mut rng, 130, 3);
+        let eps = 20.0;
+        let min_pts = 4;
+        let base = DbsvecConfig::new(eps, min_pts).with_threads(threads);
+        let config = if round % 2 == 0 {
+            base.with_uniform_sampling(rng.next_f64_range(0.2, 0.9), 0x5EED + round)
+        } else {
+            base.with_kcenter_sampling((ps.len() / 3).max(1), 0x5EED + round)
+        };
+        let result = Dbsvec::new(config).fit(&ps);
+        let scan = LinearScan::build(&ps);
+        for &c in result.core_points() {
+            let count = scan.count_range(ps.point(c), eps);
+            assert!(
+                count >= min_pts,
+                "sampled core {c} has only {count} ε-neighbors (threads={threads})"
+            );
+        }
+    }
+}
+
+/// Sampled-mode invariant: every clustered point — expanded or attached
+/// by the post-pass — sits within ε of a *discovered* core carrying the
+/// same cluster label. (Under sampling the discovered cores are a subset
+/// of the density cores, so the witness must come from the fit itself.)
+#[test]
+fn sampled_attachment_stays_within_eps_of_a_same_cluster_core() {
+    let threads = test_threads();
+    let mut rng = SplitMix64::new(0xF013);
+    for round in 0..48u64 {
+        let ps = point_set(&mut rng, 130, 2);
+        let eps = 18.0;
+        let min_pts = 4;
+        let config = DbsvecConfig::new(eps, min_pts)
+            .with_uniform_sampling(rng.next_f64_range(0.3, 0.8), 0xA77 + round)
+            .with_threads(threads);
+        let result = Dbsvec::new(config).fit(&ps);
+        let labels = result.labels();
+        let eps_sq = eps * eps;
+        for i in 0..ps.len() {
+            let Some(cid) = labels.assignments()[i] else {
+                continue;
+            };
+            let witness = result.core_points().iter().any(|&c| {
+                labels.assignments()[c as usize] == Some(cid)
+                    && ps.squared_distance(i as u32, c) <= eps_sq
+            });
+            assert!(
+                witness,
+                "clustered point {i} has no same-cluster discovered core within ε \
+                 (threads={threads})"
+            );
+        }
+    }
+}
+
+/// A full-coverage draw is not "approximately" exact — it must be the
+/// exact fit bit for bit: same labels, same stats, same core set.
+#[test]
+fn sampling_rate_one_is_bit_identical_to_exact_at_any_thread_count() {
+    let threads = test_threads();
+    let mut rng = SplitMix64::new(0xF014);
+    for round in 0..32u64 {
+        let ps = point_set(&mut rng, 120, 3);
+        let exact = Dbsvec::new(DbsvecConfig::new(20.0, 4).with_threads(threads)).fit(&ps);
+        let sampled = Dbsvec::new(
+            DbsvecConfig::new(20.0, 4)
+                .with_uniform_sampling(1.0, 0xFACE + round)
+                .with_threads(threads),
+        )
+        .fit(&ps);
+        assert_eq!(exact.labels(), sampled.labels(), "threads={threads}");
+        assert_eq!(exact.stats(), sampled.stats(), "threads={threads}");
+        assert_eq!(exact.core_points(), sampled.core_points());
+    }
+}
+
+/// The determinism contract extends to sampled fits: the threaded fit
+/// (DBSVEC_TEST_THREADS, CI pins 1 and 4) must reproduce the sequential
+/// one bit for bit — labels, stats, and discovered cores.
+#[test]
+fn sampled_fits_are_thread_count_invariant() {
+    let threads = test_threads();
+    let mut rng = SplitMix64::new(0xF015);
+    for round in 0..32u64 {
+        let ps = point_set(&mut rng, 120, 3);
+        let base = DbsvecConfig::new(20.0, 4);
+        let config = if round % 2 == 0 {
+            base.with_uniform_sampling(0.5, 0xBEE + round)
+        } else {
+            base.with_kcenter_sampling((ps.len() / 4).max(1), 0xBEE + round)
+        };
+        let sequential = Dbsvec::new(config.clone().with_threads(1)).fit(&ps);
+        let threaded = Dbsvec::new(config.with_threads(threads)).fit(&ps);
+        assert_eq!(sequential.labels(), threaded.labels(), "threads={threads}");
+        assert_eq!(sequential.stats(), threaded.stats(), "threads={threads}");
+        assert_eq!(sequential.core_points(), threaded.core_points());
+    }
+}
+
 /// A fitted engine over a random 2-D cloud plus its mirrored tracked set
 /// (at load, the tracked set is exactly the fitted cores).
 fn random_engine(rng: &mut SplitMix64) -> (Engine, Vec<Vec<f64>>, f64, usize) {

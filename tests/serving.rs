@@ -4,7 +4,7 @@
 //! serving correctly after online ingest.
 
 use dbsvec::datasets::{gaussian_mixture, standins::suggest_eps, two_moons};
-use dbsvec::engine::{snapshot, Assignment, Engine, ModelArtifact};
+use dbsvec::engine::{snapshot, Assignment, Engine, ModelArtifact, SampledMode, SamplingInfo};
 use dbsvec::geometry::squared_euclidean;
 use dbsvec::{Dbsvec, DbsvecConfig};
 
@@ -79,6 +79,81 @@ fn fit_save_serve_reproduces_training_labels() {
 
     let moons = two_moons(900, 0.05, 23);
     fit_save_serve_reproduces(&moons.points, 0.15, 5, "moons");
+}
+
+/// A sampled fit must serve exactly like an exact one: the snapshot keeps
+/// the sampling provenance, the engine reports it back, and assignments
+/// still follow the nearest-core-within-eps rule against the (sampled)
+/// core set — label transparency end to end.
+#[test]
+fn sampled_fit_save_assign_round_trip_keeps_labels_and_provenance() {
+    let ds = gaussian_mixture(1500, 4, 3, 600.0, 1e5, 41);
+    let eps = suggest_eps(&ds.points, 6, 1);
+    let rate = 0.6;
+    let seed = 7;
+    let fit =
+        Dbsvec::new(DbsvecConfig::new(eps, 6).with_uniform_sampling(rate, seed)).fit(&ds.points);
+    assert!(fit.num_clusters() >= 2, "sampled fit still finds structure");
+    let stats = *fit.stats();
+    assert!(
+        stats.sampled_candidates > 0,
+        "a 0.6 draw on 1500 points samples"
+    );
+
+    let artifact = ModelArtifact::from_fit(&ds.points, fit.labels(), fit.core_points(), eps, 6)
+        .expect("valid sampled fit")
+        .with_sampling(SamplingInfo {
+            mode: SampledMode::Uniform { rate },
+            seed,
+            candidates: stats.sampled_candidates,
+            total: ds.points.len() as u64,
+        });
+
+    let dir = std::env::temp_dir().join(format!("dbsvec-serving-sampled-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.dbm");
+    snapshot::write_file(&artifact, &path).expect("snapshot writes");
+    let (restored, _) = snapshot::read_file(&path).expect("snapshot reads");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(restored, artifact, "disk round trip is lossless");
+    let info = restored.sampling.expect("sampling provenance persists");
+    assert_eq!(info.mode, SampledMode::Uniform { rate });
+    assert_eq!(info.seed, seed);
+
+    let mut engine = Engine::new(&restored);
+    assert_eq!(
+        engine.sampling(),
+        Some(info),
+        "engine reports the provenance"
+    );
+    assert_eq!(engine.health().sampling, Some(info));
+
+    // Serving is transparent to sampling: every training point lands on
+    // the label of some reachable core (cores only exist among candidates
+    // and promoted neighbors, but the assignment rule is unchanged).
+    let served = engine.assign_batch(&ds.points, 2);
+    let eps_sq = eps * eps;
+    for (i, p) in ds.points.iter() {
+        let fitted = fit.labels().get(i as usize);
+        match served[i as usize] {
+            Assignment::Noise => {
+                assert_eq!(fitted, None, "point {i} clustered by the sampled fit");
+            }
+            Assignment::Cluster(c) => {
+                assert!(fitted.is_some(), "sampled fit called point {i} noise");
+                let reachable: Vec<u32> = restored
+                    .cores
+                    .iter()
+                    .filter(|(_, core)| squared_euclidean(core, p) <= eps_sq)
+                    .map(|(j, _)| restored.core_labels[j as usize])
+                    .collect();
+                assert!(
+                    reachable.contains(&c),
+                    "point {i} served label {c} has no reachable core"
+                );
+            }
+        }
+    }
 }
 
 #[test]
